@@ -1,0 +1,37 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test bench repro repro-full examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-output:
+	go test ./... 2>&1 | tee test_output.txt
+
+bench:
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+repro:
+	go run ./cmd/repro
+
+repro-full:
+	go run ./cmd/repro -full -extended
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/noiseaudit
+	go run ./examples/geosweep
+	go run ./examples/filterbubble
+	go run ./examples/customworld
+	go run ./examples/ipmethodology
+
+clean:
+	rm -f campaign.jsonl test_output.txt bench_output.txt

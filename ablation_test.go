@@ -1,0 +1,279 @@
+package geoserp
+
+// Ablation suite: each test disables one engine mechanism and asserts the
+// phenomenon it implements disappears (and nothing else does). Together
+// they demonstrate that every headline effect in the reproduction is
+// attributable to the mechanism DESIGN.md claims — not an accident of the
+// corpus. Matching Benchmark variants time the engine with each mechanism
+// removed, quantifying what each costs on the hot path.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/geo"
+	"geoserp/internal/metrics"
+	"geoserp/internal/simclock"
+)
+
+var (
+	ablCleveland = geo.Point{Lat: 41.4993, Lon: -81.6944}
+	ablColumbus  = geo.Point{Lat: 39.9612, Lon: -82.9988}
+	ablDenver    = geo.Point{Lat: 39.7392, Lon: -104.9903}
+)
+
+func ablEngine(mutate func(*engine.Config)) *engine.Engine {
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := engine.DefaultConfig()
+	cfg.RateBurst = 1 << 30
+	cfg.RatePerMinute = 1 << 30
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return engine.New(cfg, clk)
+}
+
+// ablMeasure returns (mean noise edit, mean personalization edit) for the
+// given terms between two locations.
+func ablMeasure(t testing.TB, e *engine.Engine, terms []string, a, b geo.Point, rounds int) (noise, pers float64) {
+	t.Helper()
+	var nSum, pSum float64
+	var n int
+	for _, term := range terms {
+		for r := 0; r < rounds; r++ {
+			ra1, err := e.Search(engine.Request{Query: term, GPS: &a, ClientIP: "10.0.0.1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ra2, err := e.Search(engine.Request{Query: term, GPS: &a, ClientIP: "10.0.0.2"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := e.Search(engine.Request{Query: term, GPS: &b, ClientIP: "10.0.0.1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nSum += float64(metrics.ComparePages(ra1.Page, ra2.Page).EditDistance)
+			pSum += float64(metrics.ComparePages(ra1.Page, rb.Page).EditDistance)
+			n++
+		}
+	}
+	return nSum / float64(n), pSum / float64(n)
+}
+
+var ablLocalTerms = []string{"School", "Coffee", "Bank", "Hospital", "Park", "Airport"}
+
+// TestAblationNoiseModel: with every stochastic mechanism off, noise
+// collapses to zero while location personalization survives — the two are
+// independent, as the paper's treatment/control design assumes.
+func TestAblationNoiseModel(t *testing.T) {
+	quiet := ablEngine(func(c *engine.Config) {
+		c.WebJitterSigma, c.PlaceJitterSigma, c.NewsJitterSigma = 0, 0, 0
+		c.Buckets, c.BucketWeightSpread = 1, 0
+		c.ReplicaSkew = 0
+		c.Datacenters = 1
+		c.MapsCardProb = 1
+	})
+	noise, pers := ablMeasure(t, quiet, ablLocalTerms, ablCleveland, ablDenver, 3)
+	if noise != 0 {
+		t.Errorf("quiet engine noise = %.2f, want 0", noise)
+	}
+	if pers < 4 {
+		t.Errorf("quiet engine personalization = %.2f, want >= 4 (signal must survive)", pers)
+	}
+
+	noisy := ablEngine(nil)
+	nNoise, _ := ablMeasure(t, noisy, ablLocalTerms, ablCleveland, ablDenver, 3)
+	if nNoise <= 1 {
+		t.Errorf("default engine noise = %.2f, want > 1", nNoise)
+	}
+}
+
+// TestAblationMapsCards: disabling Maps cards removes the Maps share of
+// local differences and reduces — but does not eliminate — local
+// personalization, matching the paper's "most changes hit typical
+// results".
+func TestAblationMapsCards(t *testing.T) {
+	noMaps := ablEngine(func(c *engine.Config) { c.MapsCardProb = 0 })
+	withMaps := ablEngine(nil)
+
+	sumBreakdown := func(e *engine.Engine) (maps, other float64) {
+		for _, term := range ablLocalTerms {
+			ra, err := e.Search(engine.Request{Query: term, GPS: &ablCleveland, ClientIP: "10.0.0.1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := e.Search(engine.Request{Query: term, GPS: &ablDenver, ClientIP: "10.0.0.1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bd := metrics.BreakdownPages(ra.Page, rb.Page)
+			maps += float64(bd.Maps)
+			other += float64(bd.Other)
+		}
+		return maps, other
+	}
+	m0, o0 := sumBreakdown(noMaps)
+	m1, o1 := sumBreakdown(withMaps)
+	if m0 != 0 {
+		t.Errorf("maps differences with MapsCardProb=0: %.1f", m0)
+	}
+	if m1 == 0 {
+		t.Error("no maps differences with default config")
+	}
+	if o0 == 0 || o1 == 0 {
+		t.Errorf("typical-result personalization should survive either way (%.1f, %.1f)", o0, o1)
+	}
+}
+
+// TestAblationGPSPriority: without GPS the engine falls back to IP
+// geolocation, so two coordinates "visited" from the same IP become
+// indistinguishable — the mechanism the §2.2 validation experiment relies
+// on, inverted.
+func TestAblationGPSPriority(t *testing.T) {
+	e := ablEngine(func(c *engine.Config) {
+		c.WebJitterSigma, c.PlaceJitterSigma, c.NewsJitterSigma = 0, 0, 0
+		c.Buckets, c.BucketWeightSpread = 1, 0
+		c.ReplicaSkew = 0
+		c.Datacenters = 1
+		c.MapsCardProb = 1
+	})
+	// Same IP, no GPS: the "two locations" collapse to one.
+	for _, term := range ablLocalTerms[:3] {
+		r1, err := e.Search(engine.Request{Query: term, ClientIP: "10.0.0.1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := e.Search(engine.Request{Query: term, ClientIP: "10.0.0.1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmp := metrics.ComparePages(r1.Page, r2.Page); cmp.EditDistance != 0 {
+			t.Errorf("%s: GPS-less same-IP queries differ by %d", term, cmp.EditDistance)
+		}
+	}
+}
+
+// TestAblationRegionBoost: zeroing the region boost removes the
+// cross-state personalization of controversial queries (which rides on
+// region-tagged documents) while local personalization (which rides on
+// Places) survives.
+func TestAblationRegionBoost(t *testing.T) {
+	noRegion := ablEngine(func(c *engine.Config) {
+		c.RegionBoost = 0
+		c.NewsRegionBoost = 0
+		c.OffRegionPenalty = 1
+		c.WebJitterSigma, c.PlaceJitterSigma, c.NewsJitterSigma = 0, 0, 0
+		c.Buckets, c.BucketWeightSpread = 1, 0
+		c.ReplicaSkew = 0
+		c.Datacenters = 1
+		c.MapsCardProb = 1
+	})
+	controversial := []string{"Gay Marriage", "Health", "Abortion", "Obamacare", "Fracking", "Gun Control"}
+	_, persControversial := ablMeasure(t, noRegion, controversial, ablCleveland, ablDenver, 1)
+	if persControversial != 0 {
+		t.Errorf("controversial personalization without region machinery = %.2f, want 0", persControversial)
+	}
+	_, persLocal := ablMeasure(t, noRegion, ablLocalTerms, ablCleveland, ablDenver, 1)
+	if persLocal < 3 {
+		t.Errorf("local personalization without region machinery = %.2f, want >= 3", persLocal)
+	}
+}
+
+// TestAblationHistoryWindow: zero history boost removes same-session
+// personalization entirely.
+func TestAblationHistoryWindow(t *testing.T) {
+	e := ablEngine(func(c *engine.Config) {
+		c.HistoryBoost = 0
+		c.WebJitterSigma, c.PlaceJitterSigma, c.NewsJitterSigma = 0, 0, 0
+		c.Buckets, c.BucketWeightSpread = 1, 0
+		c.ReplicaSkew = 0
+		c.Datacenters = 1
+		c.MapsCardProb = 1
+	})
+	pt := ablCleveland
+	r1, err := e.Search(engine.Request{Query: "Coffee", GPS: &pt, ClientIP: "10.0.0.1", SessionID: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Search(engine.Request{Query: "Coffee", GPS: &pt, ClientIP: "10.0.0.1", SessionID: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp := metrics.ComparePages(r1.Page, r2.Page); cmp.EditDistance != 0 {
+		t.Errorf("history boost 0 but session queries differ by %d", cmp.EditDistance)
+	}
+}
+
+// TestAblationPlacesVertical: removing the Places vertical from pages (no
+// Maps cards, no place-backed organic results) collapses local-query
+// personalization to the level of non-local queries — places ARE the
+// mechanism behind the paper's local findings.
+func TestAblationPlacesVertical(t *testing.T) {
+	quiet := func(c *engine.Config) {
+		c.WebJitterSigma, c.PlaceJitterSigma, c.NewsJitterSigma = 0, 0, 0
+		c.Buckets, c.BucketWeightSpread = 1, 0
+		c.ReplicaSkew = 0
+		c.Datacenters = 1
+	}
+	noPlaces := ablEngine(func(c *engine.Config) {
+		quiet(c)
+		c.MapsCardProb = 0
+		c.PlaceWeight = 0
+		c.PopWeight = 0
+		c.MaxPlaceOrganic = 0
+	})
+	withPlaces := ablEngine(func(c *engine.Config) { quiet(c); c.MapsCardProb = 1 })
+
+	// Within one state (Cleveland vs Columbus) the regional web content is
+	// identical, so with Places removed local queries should show zero
+	// location personalization; with Places on, plenty.
+	_, pers0 := ablMeasure(t, noPlaces, ablLocalTerms, ablCleveland, ablColumbus, 1)
+	_, pers1 := ablMeasure(t, withPlaces, ablLocalTerms, ablCleveland, ablColumbus, 1)
+	if pers0 != 0 {
+		t.Errorf("local personalization without places vertical = %.2f, want 0", pers0)
+	}
+	if pers1 < 4 {
+		t.Errorf("local personalization with places vertical = %.2f, want >= 4", pers1)
+	}
+}
+
+// ---- ablation benchmarks: what each mechanism costs ----
+
+func benchAblation(b *testing.B, mutate func(*engine.Config)) {
+	e := ablEngine(mutate)
+	b.ResetTimer()
+	i := 0
+	for ; i < b.N; i++ {
+		term := ablLocalTerms[i%len(ablLocalTerms)]
+		if _, err := e.Search(engine.Request{Query: term, GPS: &ablCleveland, ClientIP: "10.0.0.1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationFull times the default engine (all mechanisms on).
+func BenchmarkAblationFull(b *testing.B) { benchAblation(b, nil) }
+
+// BenchmarkAblationNoNoise times the engine with the noise model off.
+func BenchmarkAblationNoNoise(b *testing.B) {
+	benchAblation(b, func(c *engine.Config) {
+		c.WebJitterSigma, c.PlaceJitterSigma, c.NewsJitterSigma = 0, 0, 0
+		c.Buckets, c.BucketWeightSpread = 1, 0
+	})
+}
+
+// BenchmarkAblationNoMaps times the engine with Maps cards disabled.
+func BenchmarkAblationNoMaps(b *testing.B) {
+	benchAblation(b, func(c *engine.Config) { c.MapsCardProb = 0 })
+}
+
+// BenchmarkAblationWidePlaces times the engine with a 4x place radius —
+// the cost of drawing candidates from a wider area.
+func BenchmarkAblationWidePlaces(b *testing.B) {
+	benchAblation(b, func(c *engine.Config) { c.PlaceRadiusKm = 40 })
+}
+
+var _ = fmt.Sprintf

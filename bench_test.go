@@ -1,0 +1,370 @@
+package geoserp
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each BenchmarkTableN/
+// BenchmarkFigureN times the full regeneration of that artifact from a
+// shared campaign fixture; the remaining benchmarks measure the substrate
+// (engine, HTTP path, SERP codec, comparison metrics) so regressions in
+// the expensive inner loops are visible.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/engine"
+	"geoserp/internal/geo"
+	"geoserp/internal/metrics"
+	"geoserp/internal/queries"
+	"geoserp/internal/report"
+	"geoserp/internal/serp"
+	"geoserp/internal/simclock"
+	"geoserp/internal/storage"
+
+	"time"
+)
+
+// ---- shared campaign fixture ----
+
+var (
+	fixtureOnce sync.Once
+	fixtureObs  []storage.Observation
+	fixtureDS   *analysis.Dataset
+	fixtureErr  error
+)
+
+// fixture runs one scaled campaign (8 terms per category × 2 days × all
+// granularities) and indexes it; every figure benchmark reuses it.
+func fixture(b *testing.B) *analysis.Dataset {
+	b.Helper()
+	fixtureOnce.Do(func() {
+		study, err := NewStudy(DefaultStudyConfig())
+		if err != nil {
+			fixtureErr = err
+			return
+		}
+		defer study.Close()
+		fixtureObs, fixtureErr = study.RunPhases(study.ScaledPhases(8, 2))
+		if fixtureErr != nil {
+			return
+		}
+		fixtureDS, fixtureErr = analysis.NewDataset(fixtureObs)
+	})
+	if fixtureErr != nil {
+		b.Fatalf("fixture: %v", fixtureErr)
+	}
+	return fixtureDS
+}
+
+// ---- tables and figures ----
+
+// BenchmarkTable1Corpus regenerates Table 1 (the controversial-term
+// examples) from the study corpus.
+func BenchmarkTable1Corpus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		terms := Table1Terms()
+		if out := report.Table1(terms); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure2Noise regenerates Figure 2: noise by granularity and
+// query type from treatment/control pairs.
+func BenchmarkFigure2Noise(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := d.NoiseByGranularity()
+		if len(cells) != 9 {
+			b.Fatalf("cells = %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkFigure3NoisePerTerm regenerates Figure 3: per-term noise for
+// local queries at each granularity.
+func BenchmarkFigure3NoisePerTerm(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if terms := d.NoisePerTerm("local"); len(terms) == 0 {
+			b.Fatal("no terms")
+		}
+	}
+}
+
+// BenchmarkFigure4NoiseTypes regenerates Figure 4: the noise attribution
+// to Maps/News results for local queries at county granularity.
+func BenchmarkFigure4NoiseTypes(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if attr := d.NoiseByResultType("local", "county"); len(attr) == 0 {
+			b.Fatal("no attribution")
+		}
+	}
+}
+
+// BenchmarkFigure5Personalization regenerates Figure 5: all-pairs
+// cross-location personalization with noise floors.
+func BenchmarkFigure5Personalization(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cells := d.PersonalizationByGranularity(); len(cells) != 9 {
+			b.Fatalf("cells = %d", len(cells))
+		}
+	}
+}
+
+// BenchmarkFigure6PersonalizationPerTerm regenerates Figure 6: per-term
+// personalization of local queries.
+func BenchmarkFigure6PersonalizationPerTerm(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if terms := d.PersonalizationPerTerm("local"); len(terms) == 0 {
+			b.Fatal("no terms")
+		}
+	}
+}
+
+// BenchmarkFigure7TypeBreakdown regenerates Figure 7: the Maps/News/Other
+// decomposition of personalization.
+func BenchmarkFigure7TypeBreakdown(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cells := d.PersonalizationByResultType(); len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+// BenchmarkFigure8Consistency regenerates Figure 8: the day-by-day
+// baseline-vs-locations series per granularity.
+func BenchmarkFigure8Consistency(b *testing.B) {
+	d := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if series := d.ConsistencyOverTime("local"); len(series) != 3 {
+			b.Fatalf("series = %d", len(series))
+		}
+	}
+}
+
+// BenchmarkValidationGPSvsIP regenerates the §2.2 validation experiment:
+// identical queries, fixed GPS, many vantage IPs, over the live HTTP path.
+func BenchmarkValidationGPSvsIP(b *testing.B) {
+	study, err := NewStudy(DefaultStudyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer study.Close()
+	terms := StudyCorpus().Category(queries.Controversial)[:3]
+	gps := Point{Lat: 41.4993, Lon: -81.6944}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := study.RunValidation(terms, gps, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanResultOverlap < 0.5 {
+			b.Fatalf("overlap = %v", res.MeanResultOverlap)
+		}
+	}
+}
+
+// BenchmarkDemographicsCorrelation regenerates the §3.2 demographics
+// analysis over the campaign fixture.
+func BenchmarkDemographicsCorrelation(b *testing.B) {
+	d := fixture(b)
+	locs := geo.StudyDataset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := d.DemographicCorrelations(locs, "local"); len(rows) != 26 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// ---- substrate benchmarks ----
+
+func benchEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := engine.DefaultConfig()
+	cfg.RateBurst = 1 << 30
+	cfg.RatePerMinute = 1 << 30
+	return engine.New(cfg, clk)
+}
+
+func benchSearch(b *testing.B, term string) {
+	e := benchEngine(b)
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Search(engine.Request{Query: term, GPS: &pt, ClientIP: "10.0.0.1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSearchLocal measures the engine's hot path for a generic
+// local query (index retrieval + Places generation + assembly).
+func BenchmarkEngineSearchLocal(b *testing.B) { benchSearch(b, "School") }
+
+// BenchmarkEngineSearchControversial measures a news-bearing query.
+func BenchmarkEngineSearchControversial(b *testing.B) { benchSearch(b, "Gay Marriage") }
+
+// BenchmarkEngineSearchPolitician measures a politician query.
+func BenchmarkEngineSearchPolitician(b *testing.B) { benchSearch(b, "Barack Obama") }
+
+// BenchmarkEngineSearchParallel measures contended throughput.
+func BenchmarkEngineSearchParallel(b *testing.B) {
+	e := benchEngine(b)
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	terms := []string{"School", "Coffee", "Gay Marriage", "Barack Obama"}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			term := terms[i%len(terms)]
+			i++
+			if _, err := e.Search(engine.Request{Query: term, GPS: &pt, ClientIP: fmt.Sprintf("10.0.%d.1", i%200)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSERPRenderParse measures the HTML wire codec round trip the
+// crawler pays per page.
+func BenchmarkSERPRenderParse(b *testing.B) {
+	e := benchEngine(b)
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	resp, err := e.Search(engine.Request{Query: "School", GPS: &pt, ClientIP: "10.0.0.1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := serp.RenderHTML(resp.Page)
+		if _, err := serp.ParseHTML(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricsComparePages measures one page-pair comparison (Jaccard
+// + edit distance), the inner loop of all figure regenerations.
+func BenchmarkMetricsComparePages(b *testing.B) {
+	e := benchEngine(b)
+	pt1 := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	pt2 := geo.Point{Lat: 39.9612, Lon: -82.9988}
+	r1, err := e.Search(engine.Request{Query: "School", GPS: &pt1, ClientIP: "10.0.0.1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r2, err := e.Search(engine.Request{Query: "School", GPS: &pt2, ClientIP: "10.0.0.1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.ComparePages(r1.Page, r2.Page)
+	}
+}
+
+// BenchmarkCampaignSweep measures one full lock-step term sweep (all 59
+// locations × 2 roles over HTTP) — the unit of crawl cost.
+func BenchmarkCampaignSweep(b *testing.B) {
+	study, err := NewStudy(DefaultStudyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer study.Close()
+	term := StudyCorpus().Category(queries.Local)[:1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		phases := []Phase{{
+			Name:          "bench",
+			Terms:         term,
+			Granularities: []Granularity{County},
+			Days:          1,
+		}}
+		obs, err := study.RunPhases(phases)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(obs) != 30 {
+			b.Fatalf("obs = %d", len(obs))
+		}
+	}
+}
+
+// BenchmarkMetricsRank measures the rank-aware comparison metrics over
+// realistic page-sized lists.
+func BenchmarkMetricsRank(b *testing.B) {
+	a := make([]string, 18)
+	c := make([]string, 18)
+	for i := range a {
+		a[i] = fmt.Sprintf("https://site-%d.example/", i)
+		c[i] = fmt.Sprintf("https://site-%d.example/", (i*7+3)%20)
+	}
+	b.Run("KendallTau", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metrics.KendallTau(a, c)
+		}
+	})
+	b.Run("RBO", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			metrics.RBO(a, c, 0.9)
+		}
+	})
+}
+
+// BenchmarkReportSVG measures figure-image generation from the campaign
+// fixture.
+func BenchmarkReportSVG(b *testing.B) {
+	d := fixture(b)
+	cells := d.NoiseByGranularity()
+	terms := d.NoisePerTerm("local")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if svg := report.Figure2SVG(cells); len(svg) == 0 {
+			b.Fatal("empty svg")
+		}
+		if svg := report.Figure3SVG(terms); len(svg) == 0 {
+			b.Fatal("empty svg")
+		}
+	}
+}
+
+// BenchmarkStorageRoundTrip measures JSONL encode+decode of one thousand
+// observations (the persistence cost per campaign chunk).
+func BenchmarkStorageRoundTrip(b *testing.B) {
+	d := fixture(b)
+	_ = d
+	obs := fixtureObs
+	if len(obs) > 1000 {
+		obs = obs[:1000]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := storage.WriteJSONL(&buf, obs); err != nil {
+			b.Fatal(err)
+		}
+		back, err := storage.ReadJSONL(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(back) != len(obs) {
+			b.Fatal("lost observations")
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Command analyze computes the paper's tables and figures from a stored
+// crawl (cmd/crawl's JSONL output).
+//
+//	analyze -in campaign.jsonl                 # print every figure + scorecard
+//	analyze -in campaign.jsonl -figure 5       # one figure
+//	analyze -in campaign.jsonl -csv out/       # also export CSVs
+//	analyze -in campaign.jsonl -extended       # + clusters, domain bias, distance decay
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.In, "in", "campaign.jsonl", "input JSONL path")
+	flag.IntVar(&opts.Figure, "figure", 0, "figure number to print (0 = all)")
+	flag.StringVar(&opts.CSVDir, "csv", "", "directory to export CSV tables into")
+	flag.StringVar(&opts.SVGDir, "svg", "", "directory to export SVG figure images into")
+	flag.StringVar(&opts.HTMLPath, "html", "", "write a single self-contained HTML report to this path")
+	flag.BoolVar(&opts.Extended, "extended", false, "also run the §5 follow-up analyses (clusters, domain bias, distance decay)")
+	flag.Parse()
+
+	if err := runAnalyze(opts, os.Stdout); err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"geoserp/internal/crawler"
+	"geoserp/internal/engine"
+	"geoserp/internal/geo"
+	"geoserp/internal/queries"
+	"geoserp/internal/serpserver"
+	"geoserp/internal/simclock"
+	"geoserp/internal/storage"
+)
+
+// options collects the crawl command's inputs.
+type options struct {
+	// Server is an existing serpd URL; "" runs an in-process engine
+	// under virtual time.
+	Server string
+	// Out is the JSONL output path.
+	Out string
+	// TermsPerCategory caps each category (0 = full corpus).
+	TermsPerCategory int
+	// Days per phase.
+	Days int
+	// Machines in the crawl /24.
+	Machines int
+	// Seed for the in-process engine.
+	Seed uint64
+	// PinnedDatacenter ("" = unpinned).
+	PinnedDatacenter string
+	// Wait between successive terms.
+	Wait time.Duration
+	// CorpusPath loads a custom query corpus (JSON) instead of the
+	// study's 240 terms (in-process mode).
+	CorpusPath string
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// runCrawl executes the campaign and writes the observations; it returns
+// the observation count.
+func runCrawl(opts options) (int, error) {
+	if opts.Out == "" {
+		return 0, fmt.Errorf("crawl: output path must be set")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	corpus := queries.StudyCorpus()
+	if opts.CorpusPath != "" {
+		var err error
+		corpus, err = queries.LoadCorpus(opts.CorpusPath)
+		if err != nil {
+			return 0, err
+		}
+	}
+	ds := geo.StudyDataset()
+
+	ccfg := crawler.DefaultConfig()
+	if opts.Machines > 0 {
+		ccfg.Machines = opts.Machines
+	}
+	ccfg.PinnedDatacenter = opts.PinnedDatacenter
+	if opts.Wait > 0 {
+		ccfg.WaitBetweenTerms = opts.Wait
+	}
+
+	take := func(qs []queries.Query) []queries.Query {
+		if opts.TermsPerCategory > 0 && len(qs) > opts.TermsPerCategory {
+			return qs[:opts.TermsPerCategory]
+		}
+		return qs
+	}
+	days := opts.Days
+	if days <= 0 {
+		days = 5
+	}
+	lc := append([]queries.Query{}, take(corpus.Category(queries.Local))...)
+	lc = append(lc, take(corpus.Category(queries.Controversial))...)
+	phases := []crawler.Phase{
+		{Name: "local+controversial", Terms: lc, Granularities: geo.Granularities, Days: days},
+		{Name: "politicians", Terms: take(corpus.Category(queries.Politician)), Granularities: geo.Granularities, Days: days},
+	}
+
+	var obs []storage.Observation
+	var err error
+	if opts.Server == "" {
+		clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+		ecfg := engine.DefaultConfig()
+		if opts.Seed != 0 {
+			ecfg.Seed = opts.Seed
+		}
+		eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus))
+		srv, lerr := serpserver.Listen("127.0.0.1:0", serpserver.NewHandler(eng))
+		if lerr != nil {
+			return 0, lerr
+		}
+		srv.Start()
+		logf("crawl: in-process engine at %s", srv.URL())
+		cr, cerr := crawler.New(ccfg, clk, srv.URL(), ds, corpus)
+		if cerr != nil {
+			return 0, cerr
+		}
+		cr.Progress = func(s string) { logf("crawl: %s", s) }
+		obs, err = cr.RunCampaignVirtual(clk, phases)
+	} else {
+		logf("crawl: targeting live server %s (wall-clock waits apply!)", opts.Server)
+		cr, cerr := crawler.New(ccfg, simclock.Wall(), opts.Server, ds, corpus)
+		if cerr != nil {
+			return 0, cerr
+		}
+		cr.Progress = func(s string) { logf("crawl: %s", s) }
+		obs, err = cr.RunCampaign(phases)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("crawl: campaign: %w", err)
+	}
+	if err := storage.SaveJSONL(opts.Out, obs); err != nil {
+		return 0, fmt.Errorf("crawl: save: %w", err)
+	}
+	return len(obs), nil
+}

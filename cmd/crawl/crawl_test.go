@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"geoserp/internal/storage"
+)
+
+func TestRunCrawlInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "campaign.jsonl")
+	n, err := runCrawl(options{
+		Out:              out,
+		TermsPerCategory: 2,
+		Days:             1,
+		Machines:         44,
+		Seed:             1,
+		PinnedDatacenter: "dc-0",
+		Wait:             11 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2 local + 2 controversial + 2 politicians) × 59 locations × 2 roles × 1 day.
+	want := 6 * 59 * 2
+	if n != want {
+		t.Fatalf("observations = %d, want %d", n, want)
+	}
+	obs, err := storage.LoadJSONL(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != want {
+		t.Fatalf("file has %d observations, want %d", len(obs), want)
+	}
+	for _, o := range obs {
+		if o.Datacenter != "dc-0" {
+			t.Fatalf("observation served by %q, want dc-0", o.Datacenter)
+		}
+	}
+}
+
+func TestRunCrawlValidation(t *testing.T) {
+	if _, err := runCrawl(options{Out: ""}); err == nil {
+		t.Fatal("empty output path accepted")
+	}
+	if _, err := runCrawl(options{Out: "/nonexistent-dir/x.jsonl", TermsPerCategory: 1, Days: 1}); err == nil {
+		t.Fatal("unwritable output path accepted")
+	}
+}
+
+func TestRunCrawlAgainstDeadServer(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.jsonl")
+	_, err := runCrawl(options{
+		Out:              out,
+		Server:           "http://127.0.0.1:1",
+		TermsPerCategory: 1,
+		Days:             1,
+		Wait:             time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("crawl against dead server succeeded")
+	}
+}
+
+func TestRunCrawlCustomCorpus(t *testing.T) {
+	dir := t.TempDir()
+	corpusPath := filepath.Join(dir, "corpus.json")
+	doc := `[
+	  {"term": "Coffee", "category": "local"},
+	  {"term": "Health", "category": "controversial"},
+	  {"term": "Barack Obama", "category": "politician"}
+	]`
+	if err := os.WriteFile(corpusPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "obs.jsonl.gz")
+	n, err := runCrawl(options{
+		Out:        out,
+		CorpusPath: corpusPath,
+		Days:       1,
+		Machines:   44,
+		Wait:       11 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 terms × 59 locations × 2 roles.
+	if want := 3 * 59 * 2; n != want {
+		t.Fatalf("observations = %d, want %d", n, want)
+	}
+	obs, err := storage.LoadJSONL(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != n {
+		t.Fatalf("gzip file has %d observations", len(obs))
+	}
+	if _, err := runCrawl(options{Out: out, CorpusPath: filepath.Join(dir, "missing.json"), Days: 1}); err == nil {
+		t.Fatal("missing corpus accepted")
+	}
+}

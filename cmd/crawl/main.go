@@ -1,0 +1,45 @@
+// Command crawl runs a measurement campaign — the paper's §2 methodology —
+// and writes the observations as JSON Lines for cmd/analyze.
+//
+// By default it spins up an in-process engine under a virtual clock, so
+// "30 days" of crawling completes in seconds:
+//
+//	crawl -out campaign.jsonl                  # full study (240 terms × 59 locations × 5 days × 2 phases)
+//	crawl -terms 8 -days 2 -out small.jsonl    # scaled-down campaign
+//
+// Against a live serpd instance (wall-clock time — slow by design, the
+// crawler really does wait 11 minutes between queries):
+//
+//	crawl -server http://127.0.0.1:8080 -terms 2 -days 1 -out live.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.Server, "server", "", "existing serpd URL (default: run an in-process engine under virtual time)")
+	flag.StringVar(&opts.Out, "out", "campaign.jsonl", "output JSONL path")
+	flag.IntVar(&opts.TermsPerCategory, "terms", 0, "terms per category (0 = full corpus)")
+	flag.IntVar(&opts.Days, "days", 5, "days per phase")
+	flag.IntVar(&opts.Machines, "machines", 44, "crawl machines in the /24")
+	flag.Uint64Var(&opts.Seed, "seed", 1, "engine seed (in-process mode)")
+	flag.StringVar(&opts.PinnedDatacenter, "datacenter", "dc-0", "pinned datacenter ('' = unpinned)")
+	flag.DurationVar(&opts.Wait, "wait", 11*time.Minute, "spacing between successive terms")
+	flag.StringVar(&opts.CorpusPath, "corpus", "", "custom query corpus JSON (default: the study's 240 terms)")
+	flag.Parse()
+	opts.Logf = log.Printf
+
+	start := time.Now()
+	n, err := runCrawl(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "crawl: wrote %d observations to %s in %v\n",
+		n, opts.Out, time.Since(start).Round(time.Millisecond))
+}

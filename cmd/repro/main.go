@@ -1,0 +1,39 @@
+// Command repro reproduces the paper end-to-end: it runs the full
+// measurement campaign (or a scaled one) against the synthetic engine
+// under virtual time, then prints every table and figure plus the
+// validation and demographics experiments and a fidelity scorecard.
+//
+//	repro                      # scaled campaign (12 terms/category × 3 days) — seconds
+//	repro -full                # the paper's full 240 × 59 × 5-day campaign — minutes
+//	repro -figure 5            # run + print one figure
+//	repro -experiment validation
+//	repro -experiment demographics
+//	repro -extended            # + clusters, domain bias, distance decay
+//	repro -save campaign.jsonl # also persist the raw observations
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+)
+
+func main() {
+	var opts options
+	flag.BoolVar(&opts.Full, "full", false, "run the paper's full campaign (240 terms, 5 days)")
+	flag.IntVar(&opts.TermsPerCategory, "terms", 12, "terms per category when not -full")
+	flag.IntVar(&opts.Days, "days", 3, "days per phase when not -full")
+	flag.IntVar(&opts.Figure, "figure", 0, "only this figure (0 = everything)")
+	flag.IntVar(&opts.Table, "table", 0, "only this table (1 = Table 1)")
+	flag.StringVar(&opts.Experiment, "experiment", "", "only this experiment: validation | demographics")
+	flag.StringVar(&opts.Save, "save", "", "also write raw observations to this JSONL path")
+	flag.Uint64Var(&opts.Seed, "seed", 1, "engine seed")
+	flag.BoolVar(&opts.Extended, "extended", false, "also run the §5 follow-up analyses (clusters, domain bias, distance decay)")
+	flag.IntVar(&opts.Validators, "validators", 50, "vantage machines for the validation experiment")
+	flag.Parse()
+	opts.Logf = log.Printf
+
+	if err := runRepro(opts, os.Stdout); err != nil {
+		log.Fatalf("repro: %v", err)
+	}
+}

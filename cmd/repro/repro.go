@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"geoserp"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/geo"
+	"geoserp/internal/queries"
+	"geoserp/internal/report"
+	"geoserp/internal/storage"
+)
+
+// options collects the repro command's inputs.
+type options struct {
+	// Full runs the paper's complete campaign.
+	Full bool
+	// TermsPerCategory / Days scale the campaign when !Full.
+	TermsPerCategory int
+	Days             int
+	// Figure restricts output to one figure (0 = everything).
+	Figure int
+	// Table restricts output to one table (1 = Table 1).
+	Table int
+	// Experiment restricts to "validation" or "demographics".
+	Experiment string
+	// Save persists raw observations to this path ("" = discard).
+	Save string
+	// Seed is the engine seed.
+	Seed uint64
+	// Extended also runs the §5 follow-up analyses.
+	Extended bool
+	// Validators is the vantage count for the validation experiment.
+	Validators int
+	// Logf receives progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// runRepro reproduces the paper, writing every artifact to w.
+func runRepro(opts options, w io.Writer) error {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.Validators <= 0 {
+		opts.Validators = 50
+	}
+	if opts.Table != 0 && opts.Table != 1 {
+		return fmt.Errorf("repro: the paper has one table (Table 1); got -table=%d", opts.Table)
+	}
+
+	cfg := geoserp.DefaultStudyConfig()
+	if opts.Seed != 0 {
+		cfg.Engine.Seed = opts.Seed
+	}
+	study, err := geoserp.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	defer study.Close()
+
+	if opts.Table == 1 && opts.Figure == 0 && opts.Experiment == "" {
+		fmt.Fprintln(w, report.Table1(geoserp.Table1Terms()))
+		return nil
+	}
+
+	if opts.Experiment == "validation" || opts.Experiment == "" && opts.Figure == 0 {
+		terms := geoserp.StudyCorpus().Category(queries.Controversial)
+		if !opts.Full && opts.TermsPerCategory > 0 && len(terms) > opts.TermsPerCategory {
+			terms = terms[:opts.TermsPerCategory]
+		}
+		res, err := study.RunValidation(terms, geoserp.Point{Lat: 41.4993, Lon: -81.6944}, opts.Validators)
+		if err != nil {
+			return fmt.Errorf("repro: validation: %w", err)
+		}
+		fmt.Fprintln(w, report.Validation(res))
+		if opts.Experiment == "validation" {
+			return nil
+		}
+	}
+
+	phases := study.StudyPhases()
+	if !opts.Full {
+		phases = study.ScaledPhases(opts.TermsPerCategory, opts.Days)
+	}
+	study.Crawler.Progress = func(s string) { logf("repro: %s", s) }
+	start := time.Now()
+	obs, err := study.RunPhases(phases)
+	if err != nil {
+		return fmt.Errorf("repro: campaign: %w", err)
+	}
+	logf("repro: campaign complete: %d observations in %v",
+		len(obs), time.Since(start).Round(time.Millisecond))
+
+	if opts.Save != "" {
+		if err := storage.SaveJSONL(opts.Save, obs); err != nil {
+			return fmt.Errorf("repro: save: %w", err)
+		}
+		logf("repro: raw observations saved to %s", opts.Save)
+	}
+
+	d, err := analysis.NewDataset(obs)
+	if err != nil {
+		return err
+	}
+
+	if opts.Experiment == "demographics" {
+		fmt.Fprintln(w, report.Demographics(d.DemographicCorrelations(geo.StudyDataset(), "local")))
+		return nil
+	}
+
+	show := func(n int) bool { return opts.Figure == 0 || opts.Figure == n }
+	if opts.Figure == 0 || opts.Table == 1 {
+		fmt.Fprintln(w, report.Table1(geoserp.Table1Terms()))
+	}
+	if show(2) {
+		fmt.Fprintln(w, report.Figure2(d.NoiseByGranularity()))
+	}
+	if show(3) {
+		fmt.Fprintln(w, report.Figure3(d.NoisePerTerm("local")))
+	}
+	if show(4) {
+		fmt.Fprintln(w, report.Figure4(d.NoiseByResultType("local", "county")))
+	}
+	if show(5) {
+		fmt.Fprintln(w, report.Figure5(d.PersonalizationByGranularity()))
+	}
+	if show(6) {
+		fmt.Fprintln(w, report.Figure6(d.PersonalizationPerTerm("local")))
+	}
+	if show(7) {
+		fmt.Fprintln(w, report.Figure7(d.PersonalizationByResultType()))
+	}
+	if show(8) {
+		fmt.Fprintln(w, report.Figure8(d.ConsistencyOverTime("local")))
+	}
+	if opts.Figure == 0 {
+		fmt.Fprintln(w, report.Demographics(d.DemographicCorrelations(geo.StudyDataset(), "local")))
+		fmt.Fprintln(w, report.Scorecard(d.Scorecard()))
+	}
+	if opts.Extended {
+		for _, g := range d.Granularities() {
+			m := d.LocationSimilarity(g, "local")
+			noise := 0.0
+			for _, c := range d.NoiseByGranularity() {
+				if c.Granularity == g && c.Category == "local" {
+					noise = c.Edit.Mean
+				}
+			}
+			threshold := noise * 1.3
+			fmt.Fprintln(w, report.Clusters(g, m.Clusters(threshold), threshold))
+		}
+		fmt.Fprintln(w, report.ScopeBreakdown(d.PoliticianScopeBreakdown(queries.StudyCorpus())))
+		fmt.Fprintln(w, report.CommonNames(d.CommonNameAmbiguity(queries.StudyCorpus())))
+		fmt.Fprintln(w, report.DomainBias(d.DomainBiasByLocation("state", "local", 0.02), 25))
+		fmt.Fprintln(w, report.Reordering(d.ReorderingVsComposition()))
+		bins, fit := d.DistanceDecay(geo.StudyDataset(), "local")
+		fmt.Fprintln(w, report.DistanceDecay(bins, fit))
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geoserp/internal/storage"
+)
+
+func TestRunReproTable1Only(t *testing.T) {
+	var buf strings.Builder
+	if err := runRepro(options{Table: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Gay Marriage") {
+		t.Fatalf("out = %s", out)
+	}
+	if strings.Contains(out, "Figure 2") {
+		t.Fatal("table-only run printed figures")
+	}
+}
+
+func TestRunReproBadTable(t *testing.T) {
+	var buf strings.Builder
+	if err := runRepro(options{Table: 7}, &buf); err == nil {
+		t.Fatal("table 7 accepted (the paper has one table)")
+	}
+}
+
+func TestRunReproValidationOnly(t *testing.T) {
+	var buf strings.Builder
+	err := runRepro(options{
+		Experiment:       "validation",
+		TermsPerCategory: 3,
+		Validators:       8,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Validation (§2.2)") {
+		t.Fatalf("out = %s", out)
+	}
+	if strings.Contains(out, "Figure") {
+		t.Fatal("validation-only run printed figures")
+	}
+}
+
+func TestRunReproScaledEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	save := filepath.Join(t.TempDir(), "raw.jsonl")
+	var buf strings.Builder
+	err := runRepro(options{
+		TermsPerCategory: 3,
+		Days:             1,
+		Validators:       6,
+		Save:             save,
+		Extended:         true,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Validation (§2.2)", "Table 1", "Figure 2", "Figure 3", "Figure 4",
+		"Figure 5", "Figure 6", "Figure 7", "Figure 8", "Demographics",
+		"Fidelity scorecard", "Location clusters", "Content analysis",
+		"Personalization vs distance",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+	obs, err := storage.LoadJSONL(save)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3+3 terms) × 59 × 2 roles + (3 politicians) × 59 × 2 roles, 1 day each.
+	if want := 9 * 59 * 2; len(obs) != want {
+		t.Fatalf("saved %d observations, want %d", len(obs), want)
+	}
+}
+
+func TestRunReproSingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	var buf strings.Builder
+	err := runRepro(options{TermsPerCategory: 2, Days: 1, Figure: 5}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5:") {
+		t.Fatal("Figure 5 missing")
+	}
+	if strings.Contains(out, "Figure 2:") || strings.Contains(out, "Fidelity") {
+		t.Fatal("unrequested artifacts printed")
+	}
+}

@@ -1,0 +1,67 @@
+// Command serpd runs the synthetic personalized search engine as a
+// standalone HTTP service — the stand-in for Google Search that crawlers
+// (cmd/crawl, the examples, or your own tooling) measure.
+//
+// Usage:
+//
+//	serpd [-addr 127.0.0.1:8080] [-seed 1] [-datacenters 3] [-rate-burst 30] [-verbose]
+//
+// Endpoints:
+//
+//	GET /search?q=<term>&ll=<lat>,<lon>[&format=json]
+//	GET /healthz
+//	GET /statz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.Addr, "addr", "127.0.0.1:8080", "listen address")
+	flag.Uint64Var(&opts.Seed, "seed", 1, "root seed for the synthetic web and noise")
+	flag.IntVar(&opts.Datacenters, "datacenters", 3, "number of replica datacenters")
+	flag.IntVar(&opts.Buckets, "buckets", 8, "number of A/B experiment buckets")
+	flag.IntVar(&opts.RateBurst, "rate-burst", 30, "per-IP rate limit burst")
+	flag.Float64Var(&opts.RatePerMin, "rate-per-minute", 10, "per-IP sustained requests per minute")
+	flag.BoolVar(&opts.Quiet, "quiet", false, "disable all noise mechanisms (deterministic serving)")
+	flag.StringVar(&opts.CorpusPath, "corpus", "", "custom query corpus JSON (default: the study's 240 terms)")
+	verbose := flag.Bool("verbose", false, "log every request")
+	flag.Parse()
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+
+	srv, eng, err := buildServer(opts)
+	if err != nil {
+		log.Fatalf("serpd: %v", err)
+	}
+	log.Printf("serpd: serving synthetic search on %s (seed=%d, datacenters=%d)",
+		srv.URL(), opts.Seed, opts.Datacenters)
+	log.Printf("serpd: try %s/search?q=Coffee&ll=41.4993,-81.6944", srv.URL())
+
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		if err := srv.Serve(); err != nil {
+			log.Printf("serpd: serve: %v", err)
+		}
+	}()
+	<-done
+	fmt.Fprintln(os.Stderr)
+	log.Printf("serpd: shutting down (%d pages served, %d rate-limited)",
+		eng.Served(), eng.RateLimited())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("serpd: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"geoserp/internal/engine"
+	"geoserp/internal/queries"
+	"geoserp/internal/serpserver"
+	"geoserp/internal/simclock"
+)
+
+// options collects the serpd command's inputs.
+type options struct {
+	Addr        string
+	Seed        uint64
+	Datacenters int
+	Buckets     int
+	RateBurst   int
+	RatePerMin  float64
+	Quiet       bool
+	// CorpusPath loads a custom query corpus (JSON) instead of the
+	// study's 240 terms.
+	CorpusPath string
+	// Logf, when set, receives access-log lines.
+	Logf func(format string, args ...any)
+}
+
+// buildServer constructs the engine and a bound (not yet serving) server.
+func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
+	cfg := engine.DefaultConfig()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Datacenters > 0 {
+		cfg.Datacenters = opts.Datacenters
+	}
+	if opts.Buckets > 0 {
+		cfg.Buckets = opts.Buckets
+	}
+	if opts.RateBurst > 0 {
+		cfg.RateBurst = opts.RateBurst
+	}
+	if opts.RatePerMin > 0 {
+		cfg.RatePerMinute = opts.RatePerMin
+	}
+	if opts.Quiet {
+		cfg.WebJitterSigma = 0
+		cfg.PlaceJitterSigma = 0
+		cfg.NewsJitterSigma = 0
+		cfg.Buckets = 1
+		cfg.BucketWeightSpread = 0
+		cfg.ReplicaSkew = 0
+	}
+	var eng *engine.Engine
+	if opts.CorpusPath != "" {
+		corpus, err := queries.LoadCorpus(opts.CorpusPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng = engine.NewCustom(cfg, simclock.Wall(), engine.WithCorpus(corpus))
+	} else {
+		eng = engine.New(cfg, simclock.Wall())
+	}
+	var hopts []serpserver.HandlerOption
+	if opts.Logf != nil {
+		hopts = append(hopts, serpserver.WithAccessLog(opts.Logf))
+	}
+	srv, err := serpserver.Listen(opts.Addr, serpserver.NewHandler(eng, hopts...))
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, eng, nil
+}

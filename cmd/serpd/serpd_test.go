@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"geoserp/internal/serp"
+)
+
+func TestBuildServerAndServe(t *testing.T) {
+	srv, eng, err := buildServer(options{
+		Addr:        "127.0.0.1:0",
+		Seed:        7,
+		Datacenters: 2,
+		RateBurst:   1000,
+		RatePerMin:  100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get(srv.URL() + "/search?q=Coffee&ll=41.4993,-81.6944")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	page, err := serp.ParseHTML(string(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Query != "Coffee" {
+		t.Fatalf("query = %q", page.Query)
+	}
+	if eng.Served() != 1 {
+		t.Fatalf("served = %d", eng.Served())
+	}
+	if len(eng.Datacenters()) != 2 {
+		t.Fatalf("datacenters = %v", eng.Datacenters())
+	}
+}
+
+func TestBuildServerQuietModeDeterministic(t *testing.T) {
+	srv, _, err := buildServer(options{Addr: "127.0.0.1:0", Quiet: true,
+		RateBurst: 1000, RatePerMin: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	fetch := func() string {
+		resp, err := http.Get(srv.URL() + "/search?q=School&ll=41.4993,-81.6944")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if fetch() != fetch() {
+		t.Fatal("quiet mode served different pages for identical requests")
+	}
+}
+
+func TestBuildServerAccessLog(t *testing.T) {
+	var lines []string
+	srv, _, err := buildServer(options{Addr: "127.0.0.1:0",
+		RateBurst: 1000, RatePerMin: 100000,
+		Logf: func(format string, args ...any) {
+			lines = append(lines, format)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(lines) != 1 || !strings.Contains(lines[0], "status=") {
+		t.Fatalf("access log lines = %v", lines)
+	}
+}
+
+func TestBuildServerBadAddr(t *testing.T) {
+	if _, _, err := buildServer(options{Addr: "256.256.256.256:99999"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

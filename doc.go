@@ -1,0 +1,32 @@
+// Package geoserp is a full reproduction of "Location, Location, Location:
+// The Impact of Geolocation on Web Search Personalization" (Kliman-Silver,
+// Hannák, Lazer, Wilson, Mislove — IMC 2015) as a reusable Go library.
+//
+// The paper measured how Google Search personalizes mobile results by
+// GPS coordinate. This library contains both halves of that experiment:
+//
+//   - A synthetic personalized search engine (internal/engine) serving
+//     mobile card-style result pages over real HTTP, with GPS-first
+//     location resolution, Maps and News meta-cards, per-IP rate limiting,
+//     ten-minute search-history personalization, A/B-bucket noise, and
+//     multi-datacenter replicas — every mechanism the paper observed or
+//     controlled for.
+//
+//   - The measurement methodology: a machine pool in one /24, scripted
+//     browsers with spoofed Geolocation coordinates and cleared cookies,
+//     lock-step treatment/control scheduling, Jaccard/edit-distance
+//     comparison, and the analysis that regenerates every table and
+//     figure in the paper's evaluation.
+//
+// The Study type wires everything together:
+//
+//	study, err := geoserp.NewStudy(geoserp.DefaultStudyConfig())
+//	if err != nil { ... }
+//	defer study.Close()
+//	obs, err := study.RunPhases(study.StudyPhases())
+//	ds, err := geoserp.NewDataset(obs)
+//	for _, cell := range ds.PersonalizationByGranularity() { ... }
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every figure.
+package geoserp

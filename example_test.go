@@ -1,0 +1,83 @@
+package geoserp_test
+
+import (
+	"fmt"
+	"log"
+
+	"geoserp"
+
+	"geoserp/internal/metrics"
+)
+
+// quietStudy builds a fully deterministic study (all noise mechanisms
+// disabled) so the examples have stable output.
+func quietStudy() *geoserp.Study {
+	cfg := geoserp.DefaultStudyConfig()
+	cfg.Engine.WebJitterSigma = 0
+	cfg.Engine.PlaceJitterSigma = 0
+	cfg.Engine.NewsJitterSigma = 0
+	cfg.Engine.Buckets = 1
+	cfg.Engine.BucketWeightSpread = 0
+	cfg.Engine.Datacenters = 1
+	cfg.Engine.ReplicaSkew = 0
+	cfg.Engine.MapsCardProb = 1
+	cfg.Engine.RateBurst = 1 << 20
+	cfg.Engine.RatePerMinute = 1 << 20
+	study, err := geoserp.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return study
+}
+
+// Example_corpus shows the study's fixed datasets.
+func Example_corpus() {
+	corpus := geoserp.StudyCorpus()
+	locs := geoserp.StudyLocations()
+	fmt.Println("queries:", corpus.Len())
+	fmt.Println("locations:", locs.Len())
+	fmt.Println("table 1 terms:", len(geoserp.Table1Terms()))
+	// Output:
+	// queries: 240
+	// locations: 59
+	// table 1 terms: 18
+}
+
+// Example_campaign runs a miniature campaign and measures location
+// personalization the way the paper does.
+func Example_campaign() {
+	study := quietStudy()
+	defer study.Close()
+
+	phases := []geoserp.Phase{{
+		Name:          "mini",
+		Terms:         geoserp.StudyCorpus().Category(geoserp.LocalCategory)[:1],
+		Granularities: []geoserp.Granularity{geoserp.National},
+		Days:          1,
+	}}
+	obs, err := study.RunPhases(phases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := geoserp.NewDataset(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cell := range ds.PersonalizationByGranularity() {
+		fmt.Printf("%s %s: personalized=%v\n",
+			cell.Granularity, cell.Category, cell.Edit.Mean > cell.NoiseEdit)
+	}
+	// Output:
+	// national local: personalized=true
+}
+
+// Example_metrics demonstrates the paper's two comparison metrics.
+func Example_metrics() {
+	a := []string{"u1", "u2", "u3", "u4"}
+	b := []string{"u1", "u3", "u2", "u5"}
+	fmt.Printf("jaccard: %.2f\n", metrics.Jaccard(a, b))
+	fmt.Printf("edit distance: %d\n", metrics.EditDistance(a, b))
+	// Output:
+	// jaccard: 0.60
+	// edit distance: 3
+}

@@ -1,0 +1,68 @@
+// Filterbubble: the paper's motivating question — do controversial
+// political topics get locally personalized results ("geolocal Filter
+// Bubbles")? This example crawls a set of controversial terms from every
+// county-level voting district plus far-apart states, compares the pages,
+// and reports whether differences exceed the measured noise floor.
+//
+//	go run ./examples/filterbubble
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoserp"
+
+	"geoserp/internal/queries"
+)
+
+func main() {
+	study, err := geoserp.NewStudy(geoserp.DefaultStudyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	corpus := geoserp.StudyCorpus()
+	terms := corpus.Category(queries.Controversial)[:10]
+
+	phases := []geoserp.Phase{{
+		Name:          "filter-bubble-audit",
+		Terms:         terms,
+		Granularities: []geoserp.Granularity{geoserp.County, geoserp.National},
+		Days:          2,
+	}}
+	obs, err := study.RunPhases(phases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := geoserp.NewDataset(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Filter Bubble audit: controversial queries")
+	fmt.Println("==========================================")
+	for _, cell := range ds.PersonalizationByGranularity() {
+		if cell.Category != "controversial" {
+			continue
+		}
+		excess := cell.Edit.Mean - cell.NoiseEdit
+		verdict := "within noise — no geolocal filter bubble detected"
+		if excess > 1.0 {
+			verdict = "above noise — location-dependent results detected"
+		}
+		fmt.Printf("\n%s:\n", cell.Granularity)
+		fmt.Printf("  cross-location edit distance: %.2f (noise floor %.2f)\n",
+			cell.Edit.Mean, cell.NoiseEdit)
+		fmt.Printf("  jaccard overlap:              %.2f\n", cell.Jaccard.Mean)
+		fmt.Printf("  verdict: %s\n", verdict)
+	}
+
+	fmt.Println("\nPer-term personalization (edit distance, national granularity):")
+	for _, ts := range ds.PersonalizationPerTerm("controversial") {
+		fmt.Printf("  %-34s %.2f\n", ts.Term, ts.EditByGranularity["national"])
+	}
+	fmt.Println("\nThe paper found controversial terms see only small, News-driven")
+	fmt.Println("changes — mostly at large distances — rather than a filter bubble.")
+}

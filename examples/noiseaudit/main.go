@@ -1,0 +1,72 @@
+// Noiseaudit: measure how noisy a search engine's results are, using the
+// paper's treatment/control design — two identical queries at the same
+// instant from the same location. Useful before attributing ANY result
+// difference to personalization.
+//
+//	go run ./examples/noiseaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"geoserp"
+
+	"geoserp/internal/queries"
+)
+
+func main() {
+	study, err := geoserp.NewStudy(geoserp.DefaultStudyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer study.Close()
+
+	corpus := geoserp.StudyCorpus()
+	var terms []geoserp.Query
+	terms = append(terms, corpus.Category(queries.Local)...) // all 33 local terms
+	phases := []geoserp.Phase{{
+		Name:          "noise-audit",
+		Terms:         terms,
+		Granularities: []geoserp.Granularity{geoserp.County},
+		Days:          1,
+	}}
+	obs, err := study.RunPhases(phases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := geoserp.NewDataset(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Noise audit: identical simultaneous queries, same location")
+	fmt.Println("===========================================================")
+	perTerm := ds.NoisePerTerm("local")
+	sort.Slice(perTerm, func(i, j int) bool {
+		return perTerm[i].EditByGranularity["county"] < perTerm[j].EditByGranularity["county"]
+	})
+	fmt.Printf("%-22s %12s %10s\n", "term", "avg edit", "jaccard")
+	for _, ts := range perTerm {
+		fmt.Printf("%-22s %12.2f %10.2f\n", ts.Term,
+			ts.EditByGranularity["county"], ts.JaccardByGranularity["county"])
+	}
+
+	// Brand vs generic: the paper's observation that brand names are
+	// quieter because they do not draw Maps cards.
+	var brandSum, brandN, genericSum, genericN float64
+	for _, ts := range perTerm {
+		q, _ := corpus.ByTerm(ts.Term)
+		if q.Brand {
+			brandSum += ts.EditByGranularity["county"]
+			brandN++
+		} else {
+			genericSum += ts.EditByGranularity["county"]
+			genericN++
+		}
+	}
+	fmt.Printf("\nbrand terms mean noise:   %.2f\n", brandSum/brandN)
+	fmt.Printf("generic terms mean noise: %.2f\n", genericSum/genericN)
+	fmt.Println("\nAny personalization claim must clear these noise floors first.")
+}

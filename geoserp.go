@@ -1,0 +1,225 @@
+package geoserp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/crawler"
+	"geoserp/internal/engine"
+	"geoserp/internal/geo"
+	"geoserp/internal/queries"
+	"geoserp/internal/serp"
+	"geoserp/internal/serpserver"
+	"geoserp/internal/simclock"
+	"geoserp/internal/storage"
+)
+
+// Re-exported core types: the public API surface mirrors the paper's
+// vocabulary. Aliases keep the internal packages as the single source of
+// truth while letting downstream users import only this package.
+type (
+	// Point is a WGS-84 coordinate.
+	Point = geo.Point
+	// Location is a study vantage point.
+	Location = geo.Location
+	// Granularity is the county/state/national scale.
+	Granularity = geo.Granularity
+	// Query is one corpus search term.
+	Query = queries.Query
+	// Page is one page of search results.
+	Page = serp.Page
+	// Observation is one crawled page with experimental context.
+	Observation = storage.Observation
+	// Phase is one campaign sweep (term set × granularities × days).
+	Phase = crawler.Phase
+	// Dataset indexes observations for figure regeneration.
+	Dataset = analysis.Dataset
+	// EngineConfig tunes the synthetic engine.
+	EngineConfig = engine.Config
+	// CrawlerConfig describes the crawl infrastructure.
+	CrawlerConfig = crawler.Config
+	// EngineRequest is a single direct (non-HTTP) engine query.
+	EngineRequest = engine.Request
+	// FeatureCorrelation is one demographics-analysis row.
+	FeatureCorrelation = analysis.FeatureCorrelation
+	// ValidationResult summarizes the GPS-vs-IP experiment.
+	ValidationResult = analysis.ValidationResult
+)
+
+// Granularity constants, fine to coarse.
+const (
+	County   = geo.County
+	State    = geo.State
+	National = geo.National
+)
+
+// QueryCategory is the paper's query taxonomy.
+type QueryCategory = queries.Category
+
+// Query category constants.
+const (
+	LocalCategory         = queries.Local
+	ControversialCategory = queries.Controversial
+	PoliticianCategory    = queries.Politician
+)
+
+// NewDataset indexes crawl observations for analysis.
+func NewDataset(obs []Observation) (*Dataset, error) { return analysis.NewDataset(obs) }
+
+// ValidateGPSOverIP evaluates validation-experiment pages.
+func ValidateGPSOverIP(pages map[string][]*Page) ValidationResult {
+	return analysis.ValidateGPSOverIP(pages)
+}
+
+// StudyLocations returns the paper's 59 vantage points.
+func StudyLocations() *geo.Dataset { return geo.StudyDataset() }
+
+// StudyCorpus returns the paper's 240-term query corpus.
+func StudyCorpus() *queries.Corpus { return queries.StudyCorpus() }
+
+// Table1Terms returns the paper's Table 1 (example controversial terms).
+func Table1Terms() []string { return queries.Table1Terms() }
+
+// DefaultEngineConfig returns the calibrated engine configuration.
+func DefaultEngineConfig() EngineConfig { return engine.DefaultConfig() }
+
+// DefaultCrawlerConfig mirrors the study's crawl infrastructure.
+func DefaultCrawlerConfig() CrawlerConfig { return crawler.DefaultConfig() }
+
+// StudyConfig configures a Study.
+type StudyConfig struct {
+	// Engine tunes the synthetic search engine.
+	Engine EngineConfig
+	// Crawler describes the measurement infrastructure.
+	Crawler CrawlerConfig
+	// ListenAddr is the address the in-process SERP server binds
+	// (default "127.0.0.1:0").
+	ListenAddr string
+	// Epoch is the virtual day-0 instant (default 2015-06-01 UTC, the
+	// season of the paper's data collection).
+	Epoch time.Time
+}
+
+// DefaultStudyConfig returns the full-fidelity study setup.
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		Engine:     engine.DefaultConfig(),
+		Crawler:    crawler.DefaultConfig(),
+		ListenAddr: "127.0.0.1:0",
+		Epoch:      time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+// Study wires the complete experiment: a virtual clock, the synthetic
+// engine, a real HTTP server in front of it, and the crawler pool — the
+// in-process equivalent of the paper's full measurement deployment.
+type Study struct {
+	// Clock is the virtual clock shared by engine and crawler.
+	Clock *simclock.Manual
+	// Engine is the synthetic search engine under measurement.
+	Engine *engine.Engine
+	// Crawler is the measurement harness.
+	Crawler *crawler.Crawler
+
+	server *serpserver.Server
+}
+
+// NewStudy builds and starts a study: the engine is constructed at the
+// epoch, served over a real TCP socket, and the crawler pointed at it.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	clk := simclock.NewManual(cfg.Epoch)
+	eng := engine.New(cfg.Engine, clk)
+	srv, err := serpserver.Listen(cfg.ListenAddr, serpserver.NewHandler(eng))
+	if err != nil {
+		return nil, fmt.Errorf("geoserp: %w", err)
+	}
+	srv.Start()
+	cr, err := crawler.New(cfg.Crawler, clk, srv.URL(), geo.StudyDataset(), queries.StudyCorpus())
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return nil, fmt.Errorf("geoserp: %w", err)
+	}
+	return &Study{Clock: clk, Engine: eng, Crawler: cr, server: srv}, nil
+}
+
+// ServerURL returns the in-process SERP server's base URL.
+func (s *Study) ServerURL() string { return s.server.URL() }
+
+// Close shuts the SERP server down.
+func (s *Study) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.server.Shutdown(ctx)
+}
+
+// StudyPhases returns the paper's two campaign phases (local+controversial
+// then politicians, 5 days each at all three granularities).
+func (s *Study) StudyPhases() []Phase {
+	return crawler.StudyPhases(queries.StudyCorpus())
+}
+
+// ScaledPhases returns a proportionally reduced campaign: terms-per-
+// category and days are capped, granularities kept. Scale 1 reproduces the
+// full study; smaller inputs make quick demos.
+func (s *Study) ScaledPhases(termsPerCategory, days int) []Phase {
+	corpus := queries.StudyCorpus()
+	take := func(qs []Query) []Query {
+		if termsPerCategory > 0 && len(qs) > termsPerCategory {
+			return qs[:termsPerCategory]
+		}
+		return qs
+	}
+	if days <= 0 {
+		days = 5
+	}
+	lc := append([]Query{}, take(corpus.Category(queries.Local))...)
+	lc = append(lc, take(corpus.Category(queries.Controversial))...)
+	return []Phase{
+		{Name: "local+controversial", Terms: lc, Granularities: geo.Granularities, Days: days},
+		{Name: "politicians", Terms: take(corpus.Category(queries.Politician)), Granularities: geo.Granularities, Days: days},
+	}
+}
+
+// RunPhases executes a campaign under virtual time and returns the
+// observations.
+func (s *Study) RunPhases(phases []Phase) ([]Observation, error) {
+	return s.Crawler.RunCampaignVirtual(s.Clock, phases)
+}
+
+// RunValidation runs the §2.2 GPS-vs-IP validation experiment with the
+// given number of vantage machines and returns its summary. The default
+// inputs match the paper: controversial terms, 50 vantages.
+func (s *Study) RunValidation(terms []Query, gps Point, vantages int) (ValidationResult, error) {
+	type result struct {
+		pages map[string][]*Page
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		pages, err := s.Crawler.RunValidation(terms, gps, vantages)
+		done <- result{pages, err}
+	}()
+	for {
+		select {
+		case r := <-done:
+			if r.err != nil {
+				return ValidationResult{}, r.err
+			}
+			return analysis.ValidateGPSOverIP(r.pages), nil
+		default:
+			if next, ok := s.Clock.NextDeadline(); ok {
+				s.Clock.AdvanceTo(next)
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+}

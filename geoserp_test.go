@@ -1,0 +1,113 @@
+package geoserp
+
+import (
+	"testing"
+
+	"geoserp/internal/queries"
+)
+
+func TestStudyLifecycle(t *testing.T) {
+	study, err := NewStudy(DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+	if study.ServerURL() == "" {
+		t.Fatal("no server URL")
+	}
+	phases := study.StudyPhases()
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+}
+
+func TestScaledPhasesCapping(t *testing.T) {
+	study, err := NewStudy(DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+	phases := study.ScaledPhases(4, 2)
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	if len(phases[0].Terms) != 8 { // 4 local + 4 controversial
+		t.Fatalf("phase 0 terms = %d, want 8", len(phases[0].Terms))
+	}
+	if len(phases[1].Terms) != 4 {
+		t.Fatalf("phase 1 terms = %d, want 4", len(phases[1].Terms))
+	}
+	if phases[0].Days != 2 {
+		t.Fatalf("days = %d", phases[0].Days)
+	}
+	// Zero caps mean "full study".
+	full := study.ScaledPhases(0, 0)
+	if len(full[0].Terms) != 120 || full[0].Days != 5 {
+		t.Fatalf("uncapped phases wrong: %d terms, %d days", len(full[0].Terms), full[0].Days)
+	}
+}
+
+func TestStudySmallCampaignAndAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	study, err := NewStudy(DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+	obs, err := study.RunPhases(study.ScaledPhases(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	ds, err := NewDataset(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells := ds.NoiseByGranularity(); len(cells) == 0 {
+		t.Fatal("no noise cells")
+	}
+	if cells := ds.PersonalizationByGranularity(); len(cells) == 0 {
+		t.Fatal("no personalization cells")
+	}
+}
+
+func TestStudyValidationFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation is slow")
+	}
+	study, err := NewStudy(DefaultStudyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer study.Close()
+	terms := StudyCorpus().Category(queries.Controversial)[:4]
+	res, err := study.RunValidation(terms, Point{Lat: 41.4993, Lon: -81.6944}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Terms != 4 {
+		t.Fatalf("terms = %d", res.Terms)
+	}
+	if res.MeanResultOverlap < 0.85 {
+		t.Fatalf("overlap = %.2f, want >= 0.85 (paper: 94%%)", res.MeanResultOverlap)
+	}
+}
+
+func TestFacadeCorpusAndLocations(t *testing.T) {
+	if got := StudyCorpus().Len(); got != 240 {
+		t.Fatalf("corpus = %d", got)
+	}
+	if got := StudyLocations().Len(); got != 59 {
+		t.Fatalf("locations = %d", got)
+	}
+	if got := len(Table1Terms()); got != 18 {
+		t.Fatalf("table 1 = %d", got)
+	}
+	if DefaultEngineConfig().Buckets == 0 || DefaultCrawlerConfig().Machines != 44 {
+		t.Fatal("default configs wrong")
+	}
+}

@@ -1,0 +1,3 @@
+module geoserp
+
+go 1.24

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"testing"
+
+	"geoserp/internal/storage"
+)
+
+func clusterFixture(t *testing.T) *Dataset {
+	t.Helper()
+	// Locations a,b share identical pages; c,d share identical pages;
+	// the two groups are disjoint.
+	groupOne := page("x", "y", "z")
+	groupTwo := page("p", "q", "r")
+	var data []storage.Observation
+	for _, loc := range []string{"d/a", "d/b"} {
+		data = append(data,
+			obs("Coffee", "local", "county", loc, storage.Treatment, 0, groupOne),
+			obs("Coffee", "local", "county", loc, storage.Control, 0, groupOne))
+	}
+	for _, loc := range []string{"d/c", "d/d"} {
+		data = append(data,
+			obs("Coffee", "local", "county", loc, storage.Treatment, 0, groupTwo),
+			obs("Coffee", "local", "county", loc, storage.Control, 0, groupTwo))
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLocationSimilarityMatrix(t *testing.T) {
+	d := clusterFixture(t)
+	m := d.LocationSimilarity("county", "local")
+	if len(m.Locations) != 4 {
+		t.Fatalf("locations = %v", m.Locations)
+	}
+	idx := map[string]int{}
+	for i, l := range m.Locations {
+		idx[l] = i
+	}
+	if got := m.Dist[idx["d/a"]][idx["d/b"]]; got != 0 {
+		t.Fatalf("intra-group distance = %v, want 0", got)
+	}
+	if got := m.Dist[idx["d/a"]][idx["d/c"]]; got != 3 {
+		t.Fatalf("inter-group distance = %v, want 3", got)
+	}
+	// Symmetry and zero diagonal.
+	for i := range m.Dist {
+		if m.Dist[i][i] != 0 {
+			t.Fatal("nonzero diagonal")
+		}
+		for j := range m.Dist {
+			if m.Dist[i][j] != m.Dist[j][i] {
+				t.Fatal("asymmetric matrix")
+			}
+		}
+	}
+}
+
+func TestClustersGroupIdenticalLocations(t *testing.T) {
+	d := clusterFixture(t)
+	m := d.LocationSimilarity("county", "local")
+	clusters := m.Clusters(1.0)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %+v", clusters)
+	}
+	for _, c := range clusters {
+		if len(c.Locations) != 2 {
+			t.Fatalf("cluster sizes wrong: %+v", clusters)
+		}
+		if c.MeanIntraDist != 0 {
+			t.Fatalf("intra dist = %v", c.MeanIntraDist)
+		}
+	}
+	// A huge threshold merges everything.
+	all := m.Clusters(100)
+	if len(all) != 1 || len(all[0].Locations) != 4 {
+		t.Fatalf("threshold=100 clusters = %+v", all)
+	}
+	// A negative threshold merges nothing beyond the zero-distance pairs.
+	none := m.Clusters(0)
+	if len(none) != 2 {
+		t.Fatalf("threshold=0 clusters = %+v", none)
+	}
+}
+
+func TestClustersEmptyMatrix(t *testing.T) {
+	m := SimilarityMatrix{}
+	if got := m.Clusters(1); got != nil {
+		t.Fatalf("empty clusters = %+v", got)
+	}
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"testing"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/storage"
+)
+
+func TestDomainOf(t *testing.T) {
+	cases := map[string]string{
+		"https://Encyclopedia.Example/wiki/x": "encyclopedia.example",
+		"https://a.b.example/path?q=1":        "a.b.example",
+		"not a url ::":                        "",
+	}
+	for in, want := range cases {
+		if got := domainOf(in); got != want {
+			t.Fatalf("domainOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDomainBiasByLocation(t *testing.T) {
+	// everywhere.example appears at both locations; only-a.example only
+	// at d/a.
+	pageA := page("https://everywhere.example/1", "https://only-a.example/1")
+	pageB := page("https://everywhere.example/1", "https://other.example/1")
+	data := []storage.Observation{
+		obs("Coffee", "local", "county", "d/a", storage.Treatment, 0, pageA),
+		obs("Coffee", "local", "county", "d/b", storage.Treatment, 0, pageB),
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := d.DomainBiasByLocation("county", "local", 0)
+	byDomain := map[string]DomainBias{}
+	for _, r := range rows {
+		byDomain[r.Domain] = r
+	}
+	ev := byDomain["everywhere.example"]
+	if ev.Spread != 0 || ev.MeanPresence != 1 {
+		t.Fatalf("everywhere = %+v", ev)
+	}
+	oa := byDomain["only-a.example"]
+	if oa.Spread != 1 || oa.TopLocation != "d/a" || oa.TopPresence != 1 {
+		t.Fatalf("only-a = %+v", oa)
+	}
+	// Sorted by spread: biased domains first.
+	if rows[0].Spread < rows[len(rows)-1].Spread {
+		t.Fatal("rows not sorted by spread")
+	}
+	// minPresence filter suppresses rare domains.
+	filtered := d.DomainBiasByLocation("county", "local", 0.9)
+	for _, r := range filtered {
+		if r.MeanPresence < 0.9 {
+			t.Fatalf("filter leaked %+v", r)
+		}
+	}
+}
+
+func TestDomainBiasEmptyGranularity(t *testing.T) {
+	d, err := NewDataset([]storage.Observation{
+		obs("Coffee", "local", "county", "d/a", storage.Treatment, 0, page("https://x.example/")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := d.DomainBiasByLocation("national", "local", 0); rows != nil {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestDistanceDecay(t *testing.T) {
+	locs := geo.StudyDataset()
+	county := locs.At(geo.County)
+	states := locs.At(geo.National)
+	// Nearby pair: identical pages. Distant pair: disjoint pages.
+	data := []storage.Observation{
+		obs("Coffee", "local", "county", county[0].ID, storage.Treatment, 0, page("a", "b")),
+		obs("Coffee", "local", "county", county[1].ID, storage.Treatment, 0, page("a", "b")),
+		obs("Coffee", "local", "national", states[0].ID, storage.Treatment, 0, page("a", "b")),
+		obs("Coffee", "local", "national", states[1].ID, storage.Treatment, 0, page("c", "d")),
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, fit := d.DistanceDecay(locs, "local")
+	if len(bins) < 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	// First bin (short distance) must be less different than the last.
+	if bins[0].Edit.Mean >= bins[len(bins)-1].Edit.Mean {
+		t.Fatalf("decay not increasing: %+v", bins)
+	}
+	if fit.Slope <= 0 {
+		t.Fatalf("fit slope = %v, want positive (difference grows with log distance)", fit.Slope)
+	}
+	for _, b := range bins {
+		if b.HiKm <= b.LoKm {
+			t.Fatalf("bad bin bounds: %+v", b)
+		}
+	}
+}
+
+func TestDistanceDecayEmpty(t *testing.T) {
+	d, err := NewDataset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins, fit := d.DistanceDecay(geo.StudyDataset(), "local")
+	if bins != nil || fit.Slope != 0 {
+		t.Fatalf("empty decay = %+v %+v", bins, fit)
+	}
+}

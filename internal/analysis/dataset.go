@@ -1,0 +1,164 @@
+// Package analysis turns raw crawl observations into the paper's tables
+// and figures: noise estimation from treatment/control pairs (§3.1),
+// personalization from cross-location comparisons (§3.2), per-card-type
+// attribution, day-by-day consistency, the GPS-vs-IP validation metric,
+// and the demographics correlation study.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"geoserp/internal/serp"
+	"geoserp/internal/storage"
+)
+
+// obsKey identifies one measurement slot: a term queried at a location on
+// a day within one granularity sweep.
+type obsKey struct {
+	granularity string
+	term        string
+	day         int
+	location    string
+}
+
+// pair holds the simultaneous treatment and control pages for a slot.
+type pair struct {
+	treatment *serp.Page
+	control   *serp.Page
+	category  string
+}
+
+// Dataset indexes a crawl's observations for analysis.
+type Dataset struct {
+	pairs map[obsKey]*pair
+	// granularities, categories, terms, days, locations enumerate the
+	// distinct values present, sorted.
+	granularities []string
+	categories    []string
+	days          []int
+	// termsByCategory maps category → sorted terms.
+	termsByCategory map[string][]string
+	// locationsByGranularity maps granularity → sorted location IDs.
+	locationsByGranularity map[string][]string
+}
+
+// NewDataset indexes observations. Both roles must be present for a slot
+// to participate in noise estimation; treatment-only slots still join the
+// personalization comparisons.
+func NewDataset(obs []storage.Observation) (*Dataset, error) {
+	d := &Dataset{
+		pairs:                  make(map[obsKey]*pair, len(obs)/2),
+		termsByCategory:        make(map[string][]string),
+		locationsByGranularity: make(map[string][]string),
+	}
+	gSet := map[string]bool{}
+	cSet := map[string]bool{}
+	dSet := map[int]bool{}
+	termSet := map[string]map[string]bool{}
+	locSet := map[string]map[string]bool{}
+
+	for i := range obs {
+		o := &obs[i]
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("analysis: observation %d: %w", i, err)
+		}
+		k := obsKey{o.Granularity, o.Term, o.Day, o.LocationID}
+		p := d.pairs[k]
+		if p == nil {
+			p = &pair{category: o.Category}
+			d.pairs[k] = p
+		}
+		switch o.Role {
+		case storage.Treatment:
+			if p.treatment != nil {
+				return nil, fmt.Errorf("analysis: duplicate treatment for %+v", k)
+			}
+			p.treatment = o.Page
+		case storage.Control:
+			if p.control != nil {
+				return nil, fmt.Errorf("analysis: duplicate control for %+v", k)
+			}
+			p.control = o.Page
+		}
+		gSet[o.Granularity] = true
+		cSet[o.Category] = true
+		dSet[o.Day] = true
+		if termSet[o.Category] == nil {
+			termSet[o.Category] = map[string]bool{}
+		}
+		termSet[o.Category][o.Term] = true
+		if locSet[o.Granularity] == nil {
+			locSet[o.Granularity] = map[string]bool{}
+		}
+		locSet[o.Granularity][o.LocationID] = true
+	}
+
+	d.granularities = sortedKeys(gSet)
+	d.categories = sortedKeys(cSet)
+	for day := range dSet {
+		d.days = append(d.days, day)
+	}
+	sort.Ints(d.days)
+	for cat, ts := range termSet {
+		d.termsByCategory[cat] = sortedKeys(ts)
+	}
+	for g, ls := range locSet {
+		d.locationsByGranularity[g] = sortedKeys(ls)
+	}
+	return d, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Granularities returns the granularity labels present, sorted.
+func (d *Dataset) Granularities() []string { return d.granularities }
+
+// Categories returns the category labels present, sorted.
+func (d *Dataset) Categories() []string { return d.categories }
+
+// Days returns the campaign days present, sorted.
+func (d *Dataset) Days() []int { return d.days }
+
+// Terms returns the terms of a category, sorted.
+func (d *Dataset) Terms(category string) []string { return d.termsByCategory[category] }
+
+// Locations returns the location IDs of a granularity, sorted.
+func (d *Dataset) Locations(granularity string) []string {
+	return d.locationsByGranularity[granularity]
+}
+
+// Pairs returns the number of indexed slots.
+func (d *Dataset) Pairs() int { return len(d.pairs) }
+
+// lookup returns the slot for a key, if present.
+func (d *Dataset) lookup(g, term string, day int, loc string) (*pair, bool) {
+	p, ok := d.pairs[obsKey{g, term, day, loc}]
+	return p, ok
+}
+
+// eachSlot iterates slots matching granularity and (optional) category,
+// in deterministic order.
+func (d *Dataset) eachSlot(g, category string, fn func(term string, day int, loc string, p *pair)) {
+	for _, cat := range d.categories {
+		if category != "" && cat != category {
+			continue
+		}
+		for _, term := range d.termsByCategory[cat] {
+			for _, day := range d.days {
+				for _, loc := range d.locationsByGranularity[g] {
+					if p, ok := d.lookup(g, term, day, loc); ok {
+						fn(term, day, loc, p)
+					}
+				}
+			}
+		}
+	}
+}

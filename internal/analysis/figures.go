@@ -1,0 +1,429 @@
+package analysis
+
+import (
+	"sort"
+
+	"geoserp/internal/metrics"
+	"geoserp/internal/serp"
+	"geoserp/internal/stats"
+)
+
+// CategoryOrder is the order the paper's figures plot query categories in.
+var CategoryOrder = []string{"politician", "controversial", "local"}
+
+// orderedCategories returns the dataset's categories in figure order, with
+// any extras appended alphabetically.
+func (d *Dataset) orderedCategories() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range CategoryOrder {
+		for _, have := range d.categories {
+			if have == c {
+				out = append(out, c)
+				seen[c] = true
+			}
+		}
+	}
+	for _, have := range d.categories {
+		if !seen[have] {
+			out = append(out, have)
+		}
+	}
+	return out
+}
+
+// GranularityOrder is the fine-to-coarse x-axis order of Figures 2 and 5.
+var GranularityOrder = []string{"county", "state", "national"}
+
+// orderedGranularities returns the dataset's granularities in figure
+// order.
+func (d *Dataset) orderedGranularities() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, g := range GranularityOrder {
+		for _, have := range d.granularities {
+			if have == g {
+				out = append(out, g)
+				seen[g] = true
+			}
+		}
+	}
+	for _, have := range d.granularities {
+		if !seen[have] {
+			out = append(out, have)
+		}
+	}
+	return out
+}
+
+// NoiseCell is one bar of Figure 2: the average treatment-vs-control
+// difference for one (granularity, category) cell, with the standard
+// deviations shown as error bars.
+type NoiseCell struct {
+	Granularity string
+	Category    string
+	Jaccard     stats.Summary
+	Edit        stats.Summary
+}
+
+// NoiseByGranularity reproduces Figure 2: average noise levels across
+// query types and granularities, measured by comparing each treatment to
+// its simultaneous control.
+func (d *Dataset) NoiseByGranularity() []NoiseCell {
+	var out []NoiseCell
+	for _, g := range d.orderedGranularities() {
+		for _, cat := range d.orderedCategories() {
+			var js, es []float64
+			d.eachSlot(g, cat, func(_ string, _ int, _ string, p *pair) {
+				if p.treatment == nil || p.control == nil {
+					return
+				}
+				cmp := metrics.ComparePages(p.treatment, p.control)
+				js = append(js, cmp.Jaccard)
+				es = append(es, float64(cmp.EditDistance))
+			})
+			if len(js) == 0 {
+				continue
+			}
+			out = append(out, NoiseCell{
+				Granularity: g,
+				Category:    cat,
+				Jaccard:     stats.Summarize(js),
+				Edit:        stats.Summarize(es),
+			})
+		}
+	}
+	return out
+}
+
+// PersonalizationCell is one bar of Figure 5: the all-pairs cross-location
+// difference for a (granularity, category) cell, with the matching noise
+// floor drawn as the black bar.
+type PersonalizationCell struct {
+	Granularity  string
+	Category     string
+	Jaccard      stats.Summary
+	Edit         stats.Summary
+	NoiseJaccard float64
+	NoiseEdit    float64
+}
+
+// PersonalizationByGranularity reproduces Figure 5: for every term and
+// day, all unordered pairs of locations' treatment pages are compared; the
+// noise floors from Figure 2 are attached for reference.
+func (d *Dataset) PersonalizationByGranularity() []PersonalizationCell {
+	noise := map[[2]string]NoiseCell{}
+	for _, n := range d.NoiseByGranularity() {
+		noise[[2]string{n.Granularity, n.Category}] = n
+	}
+	var out []PersonalizationCell
+	for _, g := range d.orderedGranularities() {
+		for _, cat := range d.orderedCategories() {
+			js, es := d.pairwiseByTerm(g, cat, nil)
+			if len(js) == 0 {
+				continue
+			}
+			cell := PersonalizationCell{
+				Granularity: g,
+				Category:    cat,
+				Jaccard:     stats.Summarize(js),
+				Edit:        stats.Summarize(es),
+			}
+			if n, ok := noise[[2]string{g, cat}]; ok {
+				cell.NoiseJaccard = n.Jaccard.Mean
+				cell.NoiseEdit = n.Edit.Mean
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// pairwiseByTerm collects Jaccard and edit-distance samples over all
+// unordered location pairs for every (term, day) at granularity g. When
+// filterTerm is non-nil only matching terms contribute.
+func (d *Dataset) pairwiseByTerm(g, category string, filterTerm func(string) bool) (js, es []float64) {
+	locs := d.locationsByGranularity[g]
+	for _, cat := range d.categories {
+		if category != "" && cat != category {
+			continue
+		}
+		for _, term := range d.termsByCategory[cat] {
+			if filterTerm != nil && !filterTerm(term) {
+				continue
+			}
+			for _, day := range d.days {
+				var pages []*serp.Page
+				for _, loc := range locs {
+					if p, ok := d.lookup(g, term, day, loc); ok && p.treatment != nil {
+						pages = append(pages, p.treatment)
+					}
+				}
+				for i := 0; i < len(pages); i++ {
+					for j := i + 1; j < len(pages); j++ {
+						cmp := metrics.ComparePages(pages[i], pages[j])
+						js = append(js, cmp.Jaccard)
+						es = append(es, float64(cmp.EditDistance))
+					}
+				}
+			}
+		}
+	}
+	return js, es
+}
+
+// TermSeries is one term's x-position in Figures 3 and 6: its average edit
+// distance (noise or personalization) at each granularity.
+type TermSeries struct {
+	Term string
+	// EditByGranularity maps granularity label → mean edit distance.
+	EditByGranularity map[string]float64
+	// JaccardByGranularity maps granularity label → mean Jaccard.
+	JaccardByGranularity map[string]float64
+}
+
+// NoisePerTerm reproduces Figure 3 for the given category (the paper plots
+// local queries): per-term noise at each granularity, sorted ascending by
+// the national-level value as the paper sorts its x-axis.
+func (d *Dataset) NoisePerTerm(category string) []TermSeries {
+	var out []TermSeries
+	for _, term := range d.termsByCategory[category] {
+		ts := TermSeries{
+			Term:                 term,
+			EditByGranularity:    map[string]float64{},
+			JaccardByGranularity: map[string]float64{},
+		}
+		for _, g := range d.orderedGranularities() {
+			var js, es []float64
+			d.eachSlot(g, category, func(tm string, _ int, _ string, p *pair) {
+				if tm != term || p.treatment == nil || p.control == nil {
+					return
+				}
+				cmp := metrics.ComparePages(p.treatment, p.control)
+				js = append(js, cmp.Jaccard)
+				es = append(es, float64(cmp.EditDistance))
+			})
+			if len(es) > 0 {
+				ts.EditByGranularity[g] = stats.Mean(es)
+				ts.JaccardByGranularity[g] = stats.Mean(js)
+			}
+		}
+		out = append(out, ts)
+	}
+	sortTermSeries(out, "national")
+	return out
+}
+
+// PersonalizationPerTerm reproduces Figure 6: per-term cross-location
+// personalization at each granularity, sorted by the national values.
+func (d *Dataset) PersonalizationPerTerm(category string) []TermSeries {
+	var out []TermSeries
+	for _, term := range d.termsByCategory[category] {
+		term := term
+		ts := TermSeries{
+			Term:                 term,
+			EditByGranularity:    map[string]float64{},
+			JaccardByGranularity: map[string]float64{},
+		}
+		for _, g := range d.orderedGranularities() {
+			js, es := d.pairwiseByTerm(g, category, func(t string) bool { return t == term })
+			if len(es) > 0 {
+				ts.EditByGranularity[g] = stats.Mean(es)
+				ts.JaccardByGranularity[g] = stats.Mean(js)
+			}
+		}
+		out = append(out, ts)
+	}
+	sortTermSeries(out, "national")
+	return out
+}
+
+func sortTermSeries(ts []TermSeries, by string) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i].EditByGranularity[by], ts[j].EditByGranularity[by]
+		if a != b {
+			return a < b
+		}
+		return ts[i].Term < ts[j].Term
+	})
+}
+
+// TypeAttribution is one term's bar group in Figure 4: the edit distance
+// attributable to all results, Maps results, and News results.
+type TypeAttribution struct {
+	Term string
+	All  float64
+	Maps float64
+	News float64
+}
+
+// NoiseByResultType reproduces Figure 4: the amount of treatment/control
+// noise caused by each card type, per term, at one granularity. The paper
+// plots local queries at county granularity and notes the same trends
+// elsewhere.
+func (d *Dataset) NoiseByResultType(category, granularity string) []TypeAttribution {
+	var out []TypeAttribution
+	for _, term := range d.termsByCategory[category] {
+		var all, maps, news []float64
+		d.eachSlot(granularity, category, func(tm string, _ int, _ string, p *pair) {
+			if tm != term || p.treatment == nil || p.control == nil {
+				return
+			}
+			bd := metrics.BreakdownPages(p.treatment, p.control)
+			all = append(all, float64(bd.All))
+			maps = append(maps, float64(bd.Maps))
+			news = append(news, float64(bd.News))
+		})
+		if len(all) == 0 {
+			continue
+		}
+		out = append(out, TypeAttribution{
+			Term: term,
+			All:  stats.Mean(all),
+			Maps: stats.Mean(maps),
+			News: stats.Mean(news),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].All != out[j].All {
+			return out[i].All < out[j].All
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// BreakdownCell is one bar stack of Figure 7: the personalization edit
+// distance decomposed into Maps, News, and all other results, for one
+// (category, granularity) cell.
+type BreakdownCell struct {
+	Category    string
+	Granularity string
+	All         float64
+	Maps        float64
+	News        float64
+	Other       float64
+}
+
+// MapsShare returns Maps / (Maps+News+Other), 0 when no changes.
+func (b BreakdownCell) MapsShare() float64 {
+	if t := b.Maps + b.News + b.Other; t > 0 {
+		return b.Maps / t
+	}
+	return 0
+}
+
+// NewsShare returns News / (Maps+News+Other), 0 when no changes.
+func (b BreakdownCell) NewsShare() float64 {
+	if t := b.Maps + b.News + b.Other; t > 0 {
+		return b.News / t
+	}
+	return 0
+}
+
+// PersonalizationByResultType reproduces Figure 7: the cross-location edit
+// distance decomposed by card type for every category × granularity.
+func (d *Dataset) PersonalizationByResultType() []BreakdownCell {
+	var out []BreakdownCell
+	for _, cat := range d.orderedCategories() {
+		for _, g := range d.orderedGranularities() {
+			var all, maps, news, other []float64
+			locs := d.locationsByGranularity[g]
+			for _, term := range d.termsByCategory[cat] {
+				for _, day := range d.days {
+					var pages []*serp.Page
+					for _, loc := range locs {
+						if p, ok := d.lookup(g, term, day, loc); ok && p.treatment != nil {
+							pages = append(pages, p.treatment)
+						}
+					}
+					for i := 0; i < len(pages); i++ {
+						for j := i + 1; j < len(pages); j++ {
+							bd := metrics.BreakdownPages(pages[i], pages[j])
+							all = append(all, float64(bd.All))
+							maps = append(maps, float64(bd.Maps))
+							news = append(news, float64(bd.News))
+							other = append(other, float64(bd.Other))
+						}
+					}
+				}
+			}
+			if len(all) == 0 {
+				continue
+			}
+			out = append(out, BreakdownCell{
+				Category:    cat,
+				Granularity: g,
+				All:         stats.Mean(all),
+				Maps:        stats.Mean(maps),
+				News:        stats.Mean(news),
+				Other:       stats.Mean(other),
+			})
+		}
+	}
+	return out
+}
+
+// ConsistencySeries is one panel of Figure 8: for one granularity, the
+// day-by-day average edit distance between a baseline location and every
+// other location (black lines), plus the baseline's treatment-vs-control
+// noise floor (the red line).
+type ConsistencySeries struct {
+	Granularity string
+	Baseline    string
+	// Days lists the campaign days in order.
+	Days []int
+	// NoiseFloor[i] is the baseline's avg treatment/control edit
+	// distance on Days[i].
+	NoiseFloor []float64
+	// PerLocation maps each non-baseline location to its per-day average
+	// edit distance against the baseline.
+	PerLocation map[string][]float64
+}
+
+// ConsistencyOverTime reproduces Figure 8 for the given category (the
+// paper plots local queries). The first location (by ID) at each
+// granularity serves as the baseline.
+func (d *Dataset) ConsistencyOverTime(category string) []ConsistencySeries {
+	var out []ConsistencySeries
+	for _, g := range d.orderedGranularities() {
+		locs := d.locationsByGranularity[g]
+		if len(locs) < 2 {
+			continue
+		}
+		baseline := locs[0]
+		series := ConsistencySeries{
+			Granularity: g,
+			Baseline:    baseline,
+			Days:        append([]int{}, d.days...),
+			PerLocation: map[string][]float64{},
+		}
+		for _, day := range d.days {
+			var noise []float64
+			perLoc := map[string][]float64{}
+			for _, term := range d.termsByCategory[category] {
+				base, ok := d.lookup(g, term, day, baseline)
+				if !ok || base.treatment == nil {
+					continue
+				}
+				if base.control != nil {
+					noise = append(noise, float64(metrics.ComparePages(base.treatment, base.control).EditDistance))
+				}
+				for _, loc := range locs[1:] {
+					p, ok := d.lookup(g, term, day, loc)
+					if !ok || p.treatment == nil {
+						continue
+					}
+					perLoc[loc] = append(perLoc[loc],
+						float64(metrics.ComparePages(base.treatment, p.treatment).EditDistance))
+				}
+			}
+			series.NoiseFloor = append(series.NoiseFloor, stats.Mean(noise))
+			for _, loc := range locs[1:] {
+				series.PerLocation[loc] = append(series.PerLocation[loc], stats.Mean(perLoc[loc]))
+			}
+		}
+		out = append(out, series)
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"geoserp/internal/metrics"
+	"geoserp/internal/stats"
+)
+
+// ReorderCell decomposes personalization into its two components for one
+// (granularity, category) cell. Edit distance conflates replacement and
+// reordering; the paper separates them informally ("18-34% of the search
+// results vary ... 6-10 URLs are presented in a different order"), and
+// this analysis separates them metrically:
+//
+//   - Composition: 1 - Jaccard — how much of the result *set* changes.
+//   - Reordering:  1 - KendallTau over shared results — how shuffled the
+//     surviving results are.
+//   - RBO: a single top-weighted similarity (rank 1 matters most).
+type ReorderCell struct {
+	Granularity string
+	Category    string
+	Composition stats.Summary
+	Reordering  stats.Summary
+	RBO         stats.Summary
+}
+
+// ReorderingVsComposition computes the decomposition over all-pairs
+// cross-location comparisons, using RBO persistence 0.9.
+func (d *Dataset) ReorderingVsComposition() []ReorderCell {
+	var out []ReorderCell
+	for _, g := range d.orderedGranularities() {
+		for _, cat := range d.orderedCategories() {
+			var comp, reorder, rbo []float64
+			locs := d.locationsByGranularity[g]
+			for _, term := range d.termsByCategory[cat] {
+				for _, day := range d.days {
+					var links [][]string
+					for _, loc := range locs {
+						if p, ok := d.lookup(g, term, day, loc); ok && p.treatment != nil {
+							links = append(links, p.treatment.Links())
+						}
+					}
+					for i := 0; i < len(links); i++ {
+						for j := i + 1; j < len(links); j++ {
+							comp = append(comp, 1-metrics.Jaccard(links[i], links[j]))
+							reorder = append(reorder, (1-metrics.KendallTau(links[i], links[j]))/2)
+							rbo = append(rbo, metrics.RBO(links[i], links[j], 0.9))
+						}
+					}
+				}
+			}
+			if len(comp) == 0 {
+				continue
+			}
+			out = append(out, ReorderCell{
+				Granularity: g,
+				Category:    cat,
+				Composition: stats.Summarize(comp),
+				Reordering:  stats.Summarize(reorder),
+				RBO:         stats.Summarize(rbo),
+			})
+		}
+	}
+	return out
+}

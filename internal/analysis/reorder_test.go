@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"geoserp/internal/storage"
+)
+
+func TestReorderingVsComposition(t *testing.T) {
+	// Location pair 1: same set, reversed order → pure reordering.
+	// Location pair 2 (different term): disjoint sets → pure composition.
+	data := []storage.Observation{
+		obs("Coffee", "local", "county", "d/1", storage.Treatment, 0, page("a", "b", "c")),
+		obs("Coffee", "local", "county", "d/2", storage.Treatment, 0, page("c", "b", "a")),
+		obs("Bank", "local", "county", "d/1", storage.Treatment, 0, page("p", "q")),
+		obs("Bank", "local", "county", "d/2", storage.Treatment, 0, page("x", "y")),
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := d.ReorderingVsComposition()
+	if len(cells) != 1 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	c := cells[0]
+	// Coffee pair: composition 0, reordering 1 (fully reversed).
+	// Bank pair: composition 1, reordering 0 (no shared results ⇒ tau=1).
+	if math.Abs(c.Composition.Mean-0.5) > 1e-9 {
+		t.Fatalf("composition = %v, want 0.5", c.Composition.Mean)
+	}
+	if math.Abs(c.Reordering.Mean-0.5) > 1e-9 {
+		t.Fatalf("reordering = %v, want 0.5", c.Reordering.Mean)
+	}
+	if c.RBO.Mean <= 0 || c.RBO.Mean >= 1 {
+		t.Fatalf("rbo = %v", c.RBO.Mean)
+	}
+	if c.Composition.N != 2 {
+		t.Fatalf("samples = %d", c.Composition.N)
+	}
+}
+
+func TestReorderingEmptyDataset(t *testing.T) {
+	d, err := NewDataset(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells := d.ReorderingVsComposition(); cells != nil {
+		t.Fatalf("cells = %+v", cells)
+	}
+}

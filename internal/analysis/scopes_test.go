@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"testing"
+
+	"geoserp/internal/queries"
+	"geoserp/internal/storage"
+)
+
+func TestPoliticianScopeBreakdown(t *testing.T) {
+	corpus := queries.StudyCorpus()
+	// Obama (national figure): identical everywhere. Tim Ryan (US
+	// congress, Ohio, common name): differs across locations.
+	var data []storage.Observation
+	for _, loc := range []string{"s/1", "s/2"} {
+		obamaPage := page("obama-1", "obama-2")
+		data = append(data,
+			obs("Barack Obama", "politician", "national", loc, storage.Treatment, 0, obamaPage),
+			obs("Barack Obama", "politician", "national", loc, storage.Control, 0, obamaPage))
+	}
+	data = append(data,
+		obs("Tim Ryan", "politician", "national", "s/1", storage.Treatment, 0, page("ryan-a", "ryan-b")),
+		obs("Tim Ryan", "politician", "national", "s/1", storage.Control, 0, page("ryan-a", "ryan-b")),
+		obs("Tim Ryan", "politician", "national", "s/2", storage.Treatment, 0, page("ryan-x", "ryan-y")),
+		obs("Tim Ryan", "politician", "national", "s/2", storage.Control, 0, page("ryan-x", "ryan-y")))
+
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := d.PoliticianScopeBreakdown(corpus)
+	byScope := map[string]ScopeCell{}
+	for _, c := range cells {
+		byScope[c.Scope] = c
+	}
+	nat, ok := byScope["national-figure"]
+	if !ok {
+		t.Fatalf("missing national-figure cell: %+v", cells)
+	}
+	if nat.Edit.Mean != 0 {
+		t.Fatalf("national figure edit = %v, want 0", nat.Edit.Mean)
+	}
+	oh, ok := byScope["us-congress-ohio"]
+	if !ok {
+		t.Fatalf("missing us-congress-ohio cell: %+v", cells)
+	}
+	if oh.Edit.Mean != 2 {
+		t.Fatalf("ohio congress edit = %v, want 2", oh.Edit.Mean)
+	}
+	// Scopes with no observed terms are absent.
+	if _, ok := byScope["county-board"]; ok {
+		t.Fatal("county-board cell present without data")
+	}
+}
+
+func TestCommonNameAmbiguity(t *testing.T) {
+	corpus := queries.StudyCorpus()
+	var data []storage.Observation
+	// Common name with big differences, regular name with none.
+	data = append(data,
+		obs("Bill Johnson", "politician", "state", "c/1", storage.Treatment, 0, page("bj-1", "bj-2")),
+		obs("Bill Johnson", "politician", "state", "c/2", storage.Treatment, 0, page("bj-3", "bj-4")),
+		obs("Sherrod Brown", "politician", "state", "c/1", storage.Treatment, 0, page("sb-1", "sb-2")),
+		obs("Sherrod Brown", "politician", "state", "c/2", storage.Treatment, 0, page("sb-1", "sb-2")))
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := d.CommonNameAmbiguity(corpus)
+	if len(cells) != 1 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	c := cells[0]
+	if c.CommonEdit != 2 || c.OtherEdit != 0 {
+		t.Fatalf("common=%v other=%v", c.CommonEdit, c.OtherEdit)
+	}
+	if c.CommonN != 1 || c.OtherN != 1 {
+		t.Fatalf("sample counts = %d/%d", c.CommonN, c.OtherN)
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"geoserp/internal/serp"
+	"geoserp/internal/storage"
+)
+
+// Short aliases for building fixture pages.
+type (
+	serpPage   = serp.Page
+	serpCard   = serp.Card
+	serpResult = serp.Result
+)
+
+const serpNews = serp.News
+
+// scorecardFixture builds a hand-crafted dataset that satisfies every
+// paper claim: quiet politicians, noisy local queries, distance-growing
+// personalization.
+func scorecardFixture(t *testing.T) *Dataset {
+	t.Helper()
+	var data []storage.Observation
+
+	// Per-granularity location pairs.
+	locs := map[string][2]string{
+		"county":   {"d/1", "d/2"},
+		"state":    {"c/1", "c/2"},
+		"national": {"s/1", "s/2"},
+	}
+	// How different the second location's page is, per granularity
+	// (growing with distance).
+	swap := map[string]int{"county": 3, "state": 4, "national": 5}
+
+	mk := func(links ...string) []string { return links }
+	base := mk("a", "b", "c", "d", "e", "f", "g", "h")
+
+	for _, day := range []int{0, 1} {
+		for g, pair := range locs {
+			// Local term "Coffee": noisy control, location-shifted page.
+			ctrl := append([]string{}, base...)
+			ctrl[6], ctrl[7] = "n1", "n2" // noise: 2 changed links
+			other := append([]string{}, base...)
+			for i := 0; i < swap[g]; i++ {
+				other[i] = "loc-" + g + string(rune('A'+i))
+			}
+			data = append(data,
+				obs("Coffee", "local", g, pair[0], storage.Treatment, day, page(base...)),
+				obs("Coffee", "local", g, pair[0], storage.Control, day, page(ctrl...)),
+				obs("Coffee", "local", g, pair[1], storage.Treatment, day, page(other...)),
+				obs("Coffee", "local", g, pair[1], storage.Control, day, page(other...)),
+			)
+			// Second local term with milder personalization (per-term
+			// variation for the Fig 6 claim).
+			mild := append([]string{}, base...)
+			if swap[g] > 3 {
+				mild[0] = "m-" + g
+			}
+			data = append(data,
+				obs("Starbucks", "local", g, pair[0], storage.Treatment, day, page(base...)),
+				obs("Starbucks", "local", g, pair[0], storage.Control, day, page(ctrl...)),
+				obs("Starbucks", "local", g, pair[1], storage.Treatment, day, page(mild...)),
+				obs("Starbucks", "local", g, pair[1], storage.Control, day, page(mild...)),
+			)
+			// Controversial and politician terms: quiet, unpersonalized,
+			// except a small national news difference for controversial.
+			cPage := mapsFree("w", "x", "y", "z")
+			cOther := cPage
+			if g == "national" {
+				// One news-card change plus two organic changes, so the
+				// News share lands in the paper's minority band.
+				cOther = withNews([]string{"news-" + g}, "w", "x", "reg-1", "reg-2")
+			}
+			data = append(data,
+				obs("Health", "controversial", g, pair[0], storage.Treatment, day, cOther),
+				obs("Health", "controversial", g, pair[0], storage.Control, day, cOther),
+				obs("Health", "controversial", g, pair[1], storage.Treatment, day, cPage),
+				obs("Health", "controversial", g, pair[1], storage.Control, day, cPage),
+				obs("Obama", "politician", g, pair[0], storage.Treatment, day, cPage),
+				obs("Obama", "politician", g, pair[0], storage.Control, day, cPage),
+				obs("Obama", "politician", g, pair[1], storage.Treatment, day, cPage),
+				obs("Obama", "politician", g, pair[1], storage.Control, day, cPage),
+			)
+		}
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mapsFree(links ...string) *serpPage { return page(links...) }
+
+func withNews(newsLinks []string, organic ...string) *serpPage {
+	p := page(organic...)
+	card := serpCard{Type: serpNews}
+	for _, l := range newsLinks {
+		card.Results = append(card.Results, serpResult{URL: l, Title: l})
+	}
+	p.Cards = append(p.Cards, card)
+	return p
+}
+
+func TestScorecardOnConformingData(t *testing.T) {
+	d := scorecardFixture(t)
+	checks := d.Scorecard()
+	if len(checks) < 8 {
+		t.Fatalf("checks = %d, want >= 8", len(checks))
+	}
+	for _, c := range checks {
+		// The maps-share claim legitimately fails here (the fixture has
+		// no maps cards); everything else must pass.
+		if strings.Contains(c.Claim, "Maps are a minority") {
+			continue
+		}
+		if !c.Pass {
+			t.Errorf("claim failed on conforming data: %s (%s)", c.Claim, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("claim %q has no detail", c.Claim)
+		}
+	}
+}
+
+func TestScorecardDetectsViolations(t *testing.T) {
+	// A dataset where politicians are personalized MORE than local terms
+	// must fail the category-ordering claims.
+	var data []storage.Observation
+	for g, pair := range map[string][2]string{"county": {"d/1", "d/2"}} {
+		data = append(data,
+			obs("Coffee", "local", g, pair[0], storage.Treatment, 0, page("a", "b")),
+			obs("Coffee", "local", g, pair[0], storage.Control, 0, page("a", "b")),
+			obs("Coffee", "local", g, pair[1], storage.Treatment, 0, page("a", "b")),
+			obs("Coffee", "local", g, pair[1], storage.Control, 0, page("a", "b")),
+			obs("Obama", "politician", g, pair[0], storage.Treatment, 0, page("p", "q")),
+			obs("Obama", "politician", g, pair[0], storage.Control, 0, page("x", "y")),
+			obs("Obama", "politician", g, pair[1], storage.Treatment, 0, page("r", "s")),
+			obs("Obama", "politician", g, pair[1], storage.Control, 0, page("z", "w")),
+		)
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := 0
+	for _, c := range d.Scorecard() {
+		if !c.Pass {
+			failed++
+		}
+	}
+	if failed == 0 {
+		t.Fatal("scorecard passed a clearly violating dataset")
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"sort"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/metrics"
+	"geoserp/internal/serp"
+	"geoserp/internal/stats"
+)
+
+// ValidationResult summarizes the §2.2 validation experiment: identical
+// queries, one GPS coordinate, many vantage IPs.
+type ValidationResult struct {
+	// Terms is the number of distinct query terms compared.
+	Terms int
+	// Comparisons is the number of vantage-pair comparisons.
+	Comparisons int
+	// MeanResultOverlap is the average Jaccard index across vantage
+	// pairs — the "94% of the search results ... are identical" number.
+	MeanResultOverlap float64
+	// FractionIdenticalPages is the stricter page-level criterion.
+	FractionIdenticalPages float64
+	// OverlapHistogram sketches the distribution of pairwise overlap.
+	OverlapHistogram *stats.Histogram
+}
+
+// ValidateGPSOverIP evaluates the validation experiment's fetched pages
+// (grouped by term, one page per vantage machine).
+func ValidateGPSOverIP(pages map[string][]*serp.Page) ValidationResult {
+	res := ValidationResult{OverlapHistogram: stats.NewHistogram(0, 1, 10)}
+	var overlaps []float64
+	identical := 0
+	terms := make([]string, 0, len(pages))
+	for t := range pages {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		ps := pages[t]
+		if len(ps) < 2 {
+			continue
+		}
+		res.Terms++
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				ov := metrics.Jaccard(ps[i].Links(), ps[j].Links())
+				overlaps = append(overlaps, ov)
+				res.OverlapHistogram.Add(ov)
+				if metrics.Identical(ps[i], ps[j]) {
+					identical++
+				}
+			}
+		}
+	}
+	res.Comparisons = len(overlaps)
+	if len(overlaps) > 0 {
+		res.MeanResultOverlap = stats.Mean(overlaps)
+		res.FractionIdenticalPages = float64(identical) / float64(len(overlaps))
+	}
+	return res
+}
+
+// FeatureCorrelation is one row of the demographics analysis (§3.2): the
+// correlation between a demographic feature's pairwise |delta| and the
+// pairwise search-result difference across county-level locations.
+type FeatureCorrelation struct {
+	Feature  string
+	Pearson  float64
+	Spearman float64
+	N        int
+}
+
+// DemographicCorrelations reproduces the §3.2 demographics analysis: for
+// every pair of county-level locations, correlate each demographic
+// feature's absolute difference (plus physical distance) against the mean
+// pairwise edit distance of their search results. The paper's finding — no
+// feature explains the result clustering — shows up as uniformly small
+// coefficients.
+func (d *Dataset) DemographicCorrelations(locs *geo.Dataset, category string) []FeatureCorrelation {
+	const g = "county"
+	ids := d.locationsByGranularity[g]
+	// Mean pairwise edit distance for each location pair.
+	type locPair struct{ a, b string }
+	sums := map[locPair]*stats.Accumulator{}
+	for _, term := range d.termsByCategory[category] {
+		for _, day := range d.days {
+			for i := 0; i < len(ids); i++ {
+				pa, ok := d.lookup(g, term, day, ids[i])
+				if !ok || pa.treatment == nil {
+					continue
+				}
+				for j := i + 1; j < len(ids); j++ {
+					pb, ok := d.lookup(g, term, day, ids[j])
+					if !ok || pb.treatment == nil {
+						continue
+					}
+					key := locPair{ids[i], ids[j]}
+					if sums[key] == nil {
+						sums[key] = &stats.Accumulator{}
+					}
+					sums[key].Add(float64(metrics.ComparePages(pa.treatment, pb.treatment).EditDistance))
+				}
+			}
+		}
+	}
+
+	// Assemble per-feature vectors across pairs.
+	pairsSorted := make([]locPair, 0, len(sums))
+	for k := range sums {
+		pairsSorted = append(pairsSorted, k)
+	}
+	sort.Slice(pairsSorted, func(i, j int) bool {
+		if pairsSorted[i].a != pairsSorted[j].a {
+			return pairsSorted[i].a < pairsSorted[j].a
+		}
+		return pairsSorted[i].b < pairsSorted[j].b
+	})
+
+	features := append([]string{"distance_miles"}, geo.FeatureNames...)
+	xs := map[string][]float64{}
+	var ys []float64
+	for _, lp := range pairsSorted {
+		la, okA := locs.ByID(lp.a)
+		lb, okB := locs.ByID(lp.b)
+		if !okA || !okB {
+			continue
+		}
+		ys = append(ys, sums[lp].Mean())
+		xs["distance_miles"] = append(xs["distance_miles"], geo.DistanceMiles(la.Point, lb.Point))
+		delta := la.Demographics.Delta(lb.Demographics)
+		for _, f := range geo.FeatureNames {
+			xs[f] = append(xs[f], delta[f])
+		}
+	}
+
+	out := make([]FeatureCorrelation, 0, len(features))
+	for _, f := range features {
+		out = append(out, FeatureCorrelation{
+			Feature:  f,
+			Pearson:  stats.Pearson(xs[f], ys),
+			Spearman: stats.Spearman(xs[f], ys),
+			N:        len(ys),
+		})
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+// Package browser simulates the study's instrumented headless browser: a
+// PhantomJS script that loads the mobile search page, presents a fixed
+// browser fingerprint, overrides the JavaScript Geolocation API with a
+// coordinate supplied on the command line, executes the query, saves the
+// first page of results, and clears cookies afterwards (§2.2).
+//
+// Browser drives a real HTTP client against a real server; the Geolocation
+// override becomes the ll= query parameter the mobile page would have
+// obtained from navigator.geolocation, and the fingerprint becomes the
+// request headers.
+package browser
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"time"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/serp"
+	"geoserp/internal/simclock"
+)
+
+// ErrRateLimited is returned when the engine answers 429.
+var ErrRateLimited = errors.New("browser: rate limited by server")
+
+// Fingerprint is the browser identity presented on every request. The
+// study configured all treatments identically so fingerprints could not
+// explain result differences.
+type Fingerprint struct {
+	UserAgent      string
+	AcceptLanguage string
+	ViewportW      int
+	ViewportH      int
+}
+
+// Firefox38Desktop returns a desktop fingerprint of the study's era. The
+// desktop surface ignores the Geolocation override — its only location
+// signal is the IP — matching the constraint prior work operated under.
+func Firefox38Desktop() Fingerprint {
+	return Fingerprint{
+		UserAgent:      "Mozilla/5.0 (X11; Linux x86_64; rv:38.0) Gecko/20100101 Firefox/38.0",
+		AcceptLanguage: "en-US",
+		ViewportW:      1366,
+		ViewportH:      768,
+	}
+}
+
+// IOSSafari8 returns the fingerprint the study used: Safari 8 on iOS.
+func IOSSafari8() Fingerprint {
+	return Fingerprint{
+		UserAgent: "Mozilla/5.0 (iPhone; CPU iPhone OS 8_0 like Mac OS X) " +
+			"AppleWebKit/600.1.4 (KHTML, like Gecko) Version/8.0 Mobile/12A365 Safari/600.1.4",
+		AcceptLanguage: "en-US",
+		ViewportW:      375,
+		ViewportH:      667,
+	}
+}
+
+// Browser is one scripted browser instance. It is not safe for concurrent
+// use; the crawler gives each worker its own Browser, as the study gave
+// each treatment its own PhantomJS process.
+type Browser struct {
+	base      *url.URL
+	client    *http.Client
+	fp        Fingerprint
+	geo       *geo.Point
+	sourceIP  string
+	pinnedDC  string
+	fetches   int
+	retries   int
+	lastDC    string
+	transport http.RoundTripper
+
+	// Retry policy for 429 responses.
+	maxAttempts int
+	backoff     time.Duration
+	clock       simclock.Clock
+}
+
+// Option configures a Browser.
+type Option func(*Browser)
+
+// WithFingerprint overrides the default iOS Safari 8 fingerprint.
+func WithFingerprint(fp Fingerprint) Option {
+	return func(b *Browser) { b.fp = fp }
+}
+
+// WithSourceIP attributes the browser's traffic to a machine address (sent
+// as X-Forwarded-For), modelling which of the crawl machines the script
+// runs on.
+func WithSourceIP(ip string) Option {
+	return func(b *Browser) { b.sourceIP = ip }
+}
+
+// WithPinnedDatacenter statically resolves the service to one datacenter,
+// as the study did with a static DNS entry.
+func WithPinnedDatacenter(dc string) Option {
+	return func(b *Browser) { b.pinnedDC = dc }
+}
+
+// WithTransport substitutes the HTTP transport (tests use this to run
+// without sockets).
+func WithTransport(rt http.RoundTripper) Option {
+	return func(b *Browser) { b.transport = rt }
+}
+
+// WithRetry makes Search retry rate-limited (429) fetches up to attempts
+// total tries with linear backoff between them. The study sidestepped rate
+// limits with its 44-machine pool; smaller deployments want this instead.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(b *Browser) {
+		if attempts > 0 {
+			b.maxAttempts = attempts
+		}
+		b.backoff = backoff
+	}
+}
+
+// WithClock substitutes the clock used for retry backoff (virtual-time
+// campaigns pass the campaign clock).
+func WithClock(clk simclock.Clock) Option {
+	return func(b *Browser) { b.clock = clk }
+}
+
+// New creates a browser pointed at the search service base URL.
+func New(baseURL string, opts ...Option) (*Browser, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("browser: parse base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("browser: base URL %q must be absolute", baseURL)
+	}
+	b := &Browser{base: u, fp: IOSSafari8(), maxAttempts: 1, clock: simclock.Wall()}
+	for _, o := range opts {
+		o(b)
+	}
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, fmt.Errorf("browser: cookie jar: %w", err)
+	}
+	b.client = &http.Client{
+		Jar:     jar,
+		Timeout: 30 * time.Second,
+	}
+	if b.transport != nil {
+		b.client.Transport = b.transport
+	}
+	return b, nil
+}
+
+// OverrideGeolocation installs the spoofed Geolocation API coordinate; all
+// subsequent searches present it to the engine.
+func (b *Browser) OverrideGeolocation(pt geo.Point) { p := pt; b.geo = &p }
+
+// ClearGeolocation removes the override; searches then carry no ll=
+// parameter and the engine falls back to IP geolocation.
+func (b *Browser) ClearGeolocation() { b.geo = nil }
+
+// ClearCookies empties the cookie jar, as the study's script did after
+// every query to prevent the engine "remembering" prior location or
+// searches.
+func (b *Browser) ClearCookies() {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		// cookiejar.New(nil) cannot fail per its contract; guard anyway.
+		panic("browser: cookie jar: " + err.Error())
+	}
+	b.client.Jar = jar
+}
+
+// Fetches returns the number of result pages fetched.
+func (b *Browser) Fetches() int { return b.fetches }
+
+// SourceIP returns the machine address the browser's traffic is attributed
+// to ("" when unset).
+func (b *Browser) SourceIP() string { return b.sourceIP }
+
+// Retries returns how many rate-limited fetches were retried.
+func (b *Browser) Retries() int { return b.retries }
+
+// LastDatacenter reports the replica that served the previous page (from
+// the X-Served-By header).
+func (b *Browser) LastDatacenter() string { return b.lastDC }
+
+// Search executes a query and parses the first page of results, retrying
+// rate-limited fetches per the WithRetry policy.
+func (b *Browser) Search(term string) (*serp.Page, error) {
+	if term == "" {
+		return nil, fmt.Errorf("browser: empty search term")
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		page, err := b.fetchOnce(term)
+		if err == nil {
+			return page, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrRateLimited) || attempt >= b.maxAttempts {
+			return nil, lastErr
+		}
+		b.retries++
+		if b.backoff > 0 {
+			b.clock.Sleep(time.Duration(attempt) * b.backoff)
+		}
+	}
+}
+
+// fetchOnce performs a single fetch+parse.
+func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
+	u := *b.base
+	u.Path = "/search"
+	q := url.Values{}
+	q.Set("q", term)
+	if b.geo != nil {
+		q.Set("ll", b.geo.String())
+	}
+	u.RawQuery = q.Encode()
+
+	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("browser: build request: %w", err)
+	}
+	req.Header.Set("User-Agent", b.fp.UserAgent)
+	req.Header.Set("Accept-Language", b.fp.AcceptLanguage)
+	req.Header.Set("Accept", "text/html")
+	if b.fp.ViewportW > 0 {
+		req.Header.Set("Viewport-Width", fmt.Sprint(b.fp.ViewportW))
+	}
+	if b.sourceIP != "" {
+		req.Header.Set("X-Forwarded-For", b.sourceIP)
+	}
+	if b.pinnedDC != "" {
+		req.Header.Set("X-Datacenter", b.pinnedDC)
+	}
+
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("browser: fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("browser: read body: %w", err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// fall through
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w (retry-after %s)", ErrRateLimited, resp.Header.Get("Retry-After"))
+	default:
+		return nil, fmt.Errorf("browser: server returned %d: %s", resp.StatusCode, truncate(string(body), 120))
+	}
+	page, err := serp.ParseAnyHTML(string(body))
+	if err != nil {
+		return nil, fmt.Errorf("browser: parse results: %w", err)
+	}
+	b.fetches++
+	b.lastDC = resp.Header.Get("X-Served-By")
+	return page, nil
+}
+
+// SearchAndReset performs the full treatment protocol of the study's
+// script: run the query, save the page, then clear cookies so the next
+// query starts from a clean browser.
+func (b *Browser) SearchAndReset(term string) (*serp.Page, error) {
+	page, err := b.Search(term)
+	b.ClearCookies()
+	return page, err
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,125 @@
+package browser
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"geoserp/internal/serp"
+	"geoserp/internal/simclock"
+)
+
+// flakyServer answers 429 for the first n requests, then serves a minimal
+// valid result page.
+func flakyServer(t *testing.T, n int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var count atomic.Int64
+	page := &serp.Page{
+		Query:    "x",
+		Location: "1.000000,2.000000",
+		Cards: []serp.Card{{
+			Type:    serp.Organic,
+			Results: []serp.Result{{URL: "https://a/", Title: "A"}},
+		}},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if count.Add(1) <= int64(n) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, serp.RenderHTML(page))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &count
+}
+
+func TestRetrySucceedsAfterBackoff(t *testing.T) {
+	srv, count := flakyServer(t, 2)
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	b, err := New(srv.URL, WithRetry(4, time.Minute), WithClock(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Search("x")
+		done <- err
+	}()
+	// Drive the virtual clock through the backoff sleeps.
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("search failed despite retries: %v", err)
+			}
+			if got := count.Load(); got != 3 {
+				t.Fatalf("requests = %d, want 3", got)
+			}
+			if b.Retries() != 2 {
+				t.Fatalf("retries = %d, want 2", b.Retries())
+			}
+			return
+		default:
+			if next, ok := clk.NextDeadline(); ok {
+				clk.AdvanceTo(next)
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	srv, count := flakyServer(t, 100)
+	b, err := New(srv.URL, WithRetry(3, 0)) // zero backoff: no sleeping
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serr := b.Search("x")
+	if serr == nil {
+		t.Fatal("search succeeded against a permanently limited server")
+	}
+	if got := count.Load(); got != 3 {
+		t.Fatalf("requests = %d, want 3", got)
+	}
+}
+
+func TestNoRetryByDefault(t *testing.T) {
+	srv, count := flakyServer(t, 1)
+	b, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := b.Search("x"); serr == nil {
+		t.Fatal("default browser retried a 429")
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("requests = %d, want 1", got)
+	}
+	if b.Retries() != 0 {
+		t.Fatalf("retries = %d", b.Retries())
+	}
+}
+
+func TestRetryDoesNotMaskOtherErrors(t *testing.T) {
+	var count atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		count.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	b, err := New(srv.URL, WithRetry(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := b.Search("x"); serr == nil {
+		t.Fatal("500 accepted")
+	}
+	if got := count.Load(); got != 1 {
+		t.Fatalf("500s retried: %d requests", got)
+	}
+}

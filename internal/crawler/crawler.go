@@ -1,0 +1,394 @@
+// Package crawler implements the study's measurement harness (§2.2): a
+// pool of crawl machines in one /24 subnet, scripted browsers with spoofed
+// Geolocation coordinates, lock-step scheduling (every treatment of a term
+// fires at the same instant), simultaneous treatment/control pairs, static
+// datacenter pinning, an 11-minute spacing between successive queries from
+// the same browser, and multi-day campaign phases.
+package crawler
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"geoserp/internal/browser"
+	"geoserp/internal/geo"
+	"geoserp/internal/queries"
+	"geoserp/internal/serp"
+	"geoserp/internal/simclock"
+	"geoserp/internal/storage"
+)
+
+// Config describes the crawl infrastructure.
+type Config struct {
+	// Machines is the number of crawl machines (the study used 44).
+	Machines int
+	// Subnet is the /24 the machines share, e.g. "10.44.7".
+	Subnet string
+	// WaitBetweenTerms is the spacing between successive queries from
+	// the same set of browsers — 11 minutes in the study, comfortably
+	// past the engine's 10-minute history window.
+	WaitBetweenTerms time.Duration
+	// PinnedDatacenter fixes which replica serves every query (the
+	// study's static DNS mapping). Empty means unpinned.
+	PinnedDatacenter string
+	// ClearCookies controls whether browsers reset cookies after every
+	// query (the study's protocol; disable only for methodology
+	// experiments).
+	ClearCookies bool
+}
+
+// DefaultConfig mirrors the study's infrastructure.
+func DefaultConfig() Config {
+	return Config{
+		Machines:         44,
+		Subnet:           "10.44.7",
+		WaitBetweenTerms: 11 * time.Minute,
+		PinnedDatacenter: "dc-0",
+		ClearCookies:     true,
+	}
+}
+
+// Phase is one sweep of a term set over a location set for several days —
+// the study ran two: local+controversial for 5 days, then politicians for
+// 5 days, each at all three granularities.
+type Phase struct {
+	// Name labels the phase in logs.
+	Name string
+	// Terms are the queries to execute.
+	Terms []queries.Query
+	// Granularities selects the vantage-point sets.
+	Granularities []geo.Granularity
+	// Days is how many consecutive days to repeat the sweep.
+	Days int
+}
+
+// StudyPhases returns the paper's two campaign phases over the given
+// corpus.
+func StudyPhases(corpus *queries.Corpus) []Phase {
+	localAndControversial := append([]queries.Query{}, corpus.Category(queries.Local)...)
+	localAndControversial = append(localAndControversial, corpus.Category(queries.Controversial)...)
+	return []Phase{
+		{
+			Name:          "local+controversial",
+			Terms:         localAndControversial,
+			Granularities: geo.Granularities,
+			Days:          5,
+		},
+		{
+			Name:          "politicians",
+			Terms:         corpus.Category(queries.Politician),
+			Granularities: geo.Granularities,
+			Days:          5,
+		},
+	}
+}
+
+// Crawler runs campaigns against a search service.
+type Crawler struct {
+	cfg     Config
+	clock   simclock.Clock
+	baseURL string
+	ds      *geo.Dataset
+	corpus  *queries.Corpus
+	// Progress is called (if set) after each term sweep with a short
+	// status line.
+	Progress func(string)
+}
+
+// New builds a crawler. The clock must be the same clock the engine uses
+// when both run in-process (virtual-time campaigns); against a remote
+// server use simclock.Wall().
+func New(cfg Config, clk simclock.Clock, baseURL string, ds *geo.Dataset, corpus *queries.Corpus) (*Crawler, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("crawler: need at least one machine")
+	}
+	if cfg.Subnet == "" {
+		return nil, fmt.Errorf("crawler: subnet must be set")
+	}
+	if baseURL == "" {
+		return nil, fmt.Errorf("crawler: base URL must be set")
+	}
+	return &Crawler{cfg: cfg, clock: clk, baseURL: baseURL, ds: ds, corpus: corpus}, nil
+}
+
+// MachineIPs returns the crawl machines' addresses: .1 through .N in the
+// configured /24.
+func (c *Crawler) MachineIPs() []string {
+	out := make([]string, c.cfg.Machines)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s.%d", c.cfg.Subnet, i+1)
+	}
+	return out
+}
+
+// vantage is one browser pair stationed at a location.
+type vantage struct {
+	loc       geo.Location
+	treatment *browser.Browser
+	control   *browser.Browser
+}
+
+// newVantages builds the treatment/control browser pairs for a location
+// set, spreading them across the machine pool so no single IP carries
+// enough load to trip the engine's rate limiter.
+func (c *Crawler) newVantages(locs []geo.Location) ([]vantage, error) {
+	machines := c.MachineIPs()
+	out := make([]vantage, 0, len(locs))
+	for i, loc := range locs {
+		mkBrowser := func(slot int) (*browser.Browser, error) {
+			opts := []browser.Option{
+				browser.WithSourceIP(machines[slot%len(machines)]),
+			}
+			if c.cfg.PinnedDatacenter != "" {
+				opts = append(opts, browser.WithPinnedDatacenter(c.cfg.PinnedDatacenter))
+			}
+			b, err := browser.New(c.baseURL, opts...)
+			if err != nil {
+				return nil, err
+			}
+			b.OverrideGeolocation(loc.Point)
+			return b, nil
+		}
+		t, err := mkBrowser(2 * i)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: vantage %s: %w", loc.ID, err)
+		}
+		ctl, err := mkBrowser(2*i + 1)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: vantage %s: %w", loc.ID, err)
+		}
+		out = append(out, vantage{loc: loc, treatment: t, control: ctl})
+	}
+	return out, nil
+}
+
+// fetchResult carries one worker's outcome back to the scheduler.
+type fetchResult struct {
+	obs storage.Observation
+	err error
+}
+
+// RunPhase executes one phase and returns every captured observation,
+// sorted by (day, granularity, term, location, role) for deterministic
+// downstream processing.
+func (c *Crawler) RunPhase(p Phase) ([]storage.Observation, error) {
+	return c.RunPhaseContext(context.Background(), p)
+}
+
+// RunPhaseContext is RunPhase with cancellation: the context is checked at
+// every term boundary, so a cancelled multi-day campaign stops within one
+// lock-step sweep (plus its inter-term wait on a wall clock).
+func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Observation, error) {
+	if p.Days <= 0 {
+		return nil, fmt.Errorf("crawler: phase %q has no days", p.Name)
+	}
+	var all []storage.Observation
+	for _, g := range p.Granularities {
+		locs := c.ds.At(g)
+		if len(locs) == 0 {
+			return nil, fmt.Errorf("crawler: no locations at %s", g)
+		}
+		vans, err := c.newVantages(locs)
+		if err != nil {
+			return nil, err
+		}
+		for day := 0; day < p.Days; day++ {
+			dayStart := c.clock.Now()
+			for _, q := range p.Terms {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("crawler: phase %q cancelled: %w", p.Name, err)
+				}
+				obs, err := c.sweepTerm(q, g, day, vans)
+				if err != nil {
+					return nil, err
+				}
+				all = append(all, obs...)
+				// 11-minute lock-step spacing before the next term.
+				c.clock.Sleep(c.cfg.WaitBetweenTerms)
+			}
+			// Park until the next day boundary so the crawl's "day d"
+			// labels coincide with the engine's day counter (news
+			// rotation, Fig 8's day-by-day series).
+			if rem := 24*time.Hour - c.clock.Now().Sub(dayStart); rem > 0 {
+				c.clock.Sleep(rem)
+			}
+			if c.Progress != nil {
+				c.Progress(fmt.Sprintf("phase %s: %s day %d/%d done (%d observations)",
+					p.Name, g.Short(), day+1, p.Days, len(all)))
+			}
+		}
+	}
+	sortObservations(all)
+	return all, nil
+}
+
+// RunCampaignVirtual runs a campaign under a Manual clock, driving virtual
+// time forward whenever the crawler parks in its inter-query or day-boundary
+// sleeps. This is how "30 days" of crawling completes in seconds: the
+// lock-step semantics are preserved exactly, only the idle waiting is
+// elided.
+func (c *Crawler) RunCampaignVirtual(clk *simclock.Manual, phases []Phase) ([]storage.Observation, error) {
+	type result struct {
+		obs []storage.Observation
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		obs, err := c.RunCampaign(phases)
+		done <- result{obs, err}
+	}()
+	for {
+		select {
+		case r := <-done:
+			return r.obs, r.err
+		default:
+			if next, ok := clk.NextDeadline(); ok {
+				clk.AdvanceTo(next)
+			} else {
+				// Fetches are in flight; yield briefly.
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// RunCampaign executes every phase in order.
+func (c *Crawler) RunCampaign(phases []Phase) ([]storage.Observation, error) {
+	return c.RunCampaignContext(context.Background(), phases)
+}
+
+// RunCampaignContext is RunCampaign with cancellation.
+func (c *Crawler) RunCampaignContext(ctx context.Context, phases []Phase) ([]storage.Observation, error) {
+	var all []storage.Observation
+	for _, p := range phases {
+		obs, err := c.RunPhaseContext(ctx, p)
+		if err != nil {
+			return nil, fmt.Errorf("crawler: phase %q: %w", p.Name, err)
+		}
+		all = append(all, obs...)
+	}
+	return all, nil
+}
+
+// sweepTerm issues the query from every vantage — treatment and control —
+// in lock-step: all fetches run concurrently at the same (virtual) instant.
+func (c *Crawler) sweepTerm(q queries.Query, g geo.Granularity, day int, vans []vantage) ([]storage.Observation, error) {
+	results := make(chan fetchResult, len(vans)*2)
+	var wg sync.WaitGroup
+	now := c.clock.Now()
+	for _, v := range vans {
+		for _, role := range []storage.Role{storage.Treatment, storage.Control} {
+			b := v.treatment
+			if role == storage.Control {
+				b = v.control
+			}
+			wg.Add(1)
+			go func(v vantage, role storage.Role, b *browser.Browser) {
+				defer wg.Done()
+				page, err := b.Search(q.Term)
+				if c.cfg.ClearCookies {
+					b.ClearCookies()
+				}
+				if err != nil {
+					results <- fetchResult{err: fmt.Errorf("crawler: %s %s %q: %w", v.loc.ID, role, q.Term, err)}
+					return
+				}
+				results <- fetchResult{obs: storage.Observation{
+					Term:        q.Term,
+					Category:    q.Category.Short(),
+					Granularity: g.Short(),
+					LocationID:  v.loc.ID,
+					Role:        role,
+					Day:         day,
+					MachineIP:   b.SourceIP(),
+					Datacenter:  page.Datacenter,
+					FetchedAt:   now,
+					Page:        page,
+				}}
+			}(v, role, b)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	out := make([]storage.Observation, 0, len(vans)*2)
+	for r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.obs)
+	}
+	return out, nil
+}
+
+// RunValidation reproduces the §2.2 validation experiment: identical
+// queries with the same GPS coordinate issued from vantage machines spread
+// across unrelated networks (the study used 50 PlanetLab sites across the
+// US). It returns the fetched pages grouped by term, in vantage order.
+// Vantage browsers are deliberately NOT datacenter-pinned: the experiment
+// measures how much the serving path and IP address matter once GPS is
+// fixed.
+func (c *Crawler) RunValidation(terms []queries.Query, gps geo.Point, nVantage int) (map[string][]*serp.Page, error) {
+	if nVantage <= 0 {
+		return nil, fmt.Errorf("crawler: need at least one vantage")
+	}
+	browsers := make([]*browser.Browser, nVantage)
+	for i := range browsers {
+		// Spread vantages across distinct /8s, like PlanetLab sites at
+		// different universities.
+		ip := fmt.Sprintf("%d.%d.10.7", 11+(i*5)%200, (i*13)%250)
+		b, err := browser.New(c.baseURL, browser.WithSourceIP(ip))
+		if err != nil {
+			return nil, err
+		}
+		b.OverrideGeolocation(gps)
+		browsers[i] = b
+	}
+	out := make(map[string][]*serp.Page, len(terms))
+	for _, q := range terms {
+		pages := make([]*serp.Page, nVantage)
+		errs := make([]error, nVantage)
+		var wg sync.WaitGroup
+		for i, b := range browsers {
+			wg.Add(1)
+			go func(i int, b *browser.Browser) {
+				defer wg.Done()
+				p, err := b.Search(q.Term)
+				if c.cfg.ClearCookies {
+					b.ClearCookies()
+				}
+				pages[i], errs[i] = p, err
+			}(i, b)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("crawler: validation vantage %d term %q: %w", i, q.Term, err)
+			}
+		}
+		out[q.Term] = pages
+		c.clock.Sleep(c.cfg.WaitBetweenTerms)
+	}
+	return out, nil
+}
+
+func sortObservations(obs []storage.Observation) {
+	sort.Slice(obs, func(i, j int) bool {
+		a, b := obs[i], obs[j]
+		switch {
+		case a.Day != b.Day:
+			return a.Day < b.Day
+		case a.Granularity != b.Granularity:
+			return a.Granularity < b.Granularity
+		case a.Term != b.Term:
+			return a.Term < b.Term
+		case a.LocationID != b.LocationID:
+			return a.LocationID < b.LocationID
+		default:
+			return a.Role < b.Role
+		}
+	})
+}

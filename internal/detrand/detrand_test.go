@@ -1,0 +1,217 @@
+package detrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashSeparatesParts(t *testing.T) {
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("Hash does not separate parts")
+	}
+	if Hash("x") != Hash("x") {
+		t.Fatal("Hash not deterministic")
+	}
+	if Hash() == Hash("") {
+		t.Fatal("Hash() should differ from Hash(\"\")")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	d := New(42)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestNewKeyed(t *testing.T) {
+	a := NewKeyed(1, "places", "cell-3-4")
+	b := NewKeyed(1, "places", "cell-3-4")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("NewKeyed not deterministic")
+	}
+	c := NewKeyed(1, "places", "cell-3-5")
+	d := NewKeyed(1, "places", "cell-3-4")
+	if c.Uint64() == d.Uint64() {
+		t.Fatal("NewKeyed collision across keys (possible but vanishingly unlikely)")
+	}
+	e := NewKeyed(2, "places", "cell-3-4")
+	f := NewKeyed(1, "places", "cell-3-4")
+	if e.Uint64() == f.Uint64() {
+		t.Fatal("NewKeyed ignores seed")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	r := New(11)
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		sum += f
+		buckets[int(f*10)]++
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if c < n/10*8/10 || c > n/10*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("Intn(5) produced only %d distinct values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRangeAndBool(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("Range = %v", v)
+		}
+	}
+	always, never := 0, 0
+	for i := 0; i < 1000; i++ {
+		if r.Bool(1.0) {
+			always++
+		}
+		if r.Bool(0.0) {
+			never++
+		}
+	}
+	if always != 1000 || never != 0 {
+		t.Fatalf("Bool extremes: always=%d never=%d", always, never)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(9)
+	const n = 50000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestPickAndSample(t *testing.T) {
+	r := New(13)
+	xs := []string{"a", "b", "c", "d"}
+	counts := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		counts[Pick(r, xs)]++
+	}
+	for _, x := range xs {
+		if counts[x] < 700 {
+			t.Fatalf("Pick heavily skewed: %v", counts)
+		}
+	}
+	s := Sample(r, xs, 2)
+	if len(s) != 2 || s[0] == s[1] {
+		t.Fatalf("Sample = %v", s)
+	}
+	all := Sample(r, xs, 10)
+	if len(all) != 4 {
+		t.Fatalf("Sample overshoot = %v", all)
+	}
+	// Input not mutated check needs fresh comparison since Sample shuffles a copy.
+	if xs[0] != "a" || xs[1] != "b" || xs[2] != "c" || xs[3] != "d" {
+		t.Fatalf("Sample mutated input: %v", xs)
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 30)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = i
+		}
+		New(seed).Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		sum := 0
+		for _, v := range xs {
+			sum += v
+		}
+		return sum == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/metrics"
+	"geoserp/internal/queries"
+	"geoserp/internal/simclock"
+)
+
+// This file checks the engine against the paper's shape targets (DESIGN.md):
+// the relative magnitudes of noise and personalization across query
+// categories and granularities. Bands are deliberately generous — we are
+// matching shapes, not the authors' absolute numbers.
+
+type calibStats struct {
+	noiseJ, noiseE float64
+	persJ, persE   float64
+}
+
+// measure computes average noise (treatment vs control) and personalization
+// (all pairs of locations) for the given queries at granularity g.
+func measure(t *testing.T, e *Engine, qs []queries.Query, locs []geo.Location) calibStats {
+	t.Helper()
+	var s calibStats
+	var nNoise, nPers int
+	for _, q := range qs {
+		var links [][]string
+		for _, l := range locs {
+			pt := l.Point
+			r1, err := e.Search(Request{Query: q.Term, GPS: &pt, ClientIP: "10.1.0.1"})
+			if err != nil {
+				t.Fatalf("search %q: %v", q.Term, err)
+			}
+			r2, err := e.Search(Request{Query: q.Term, GPS: &pt, ClientIP: "10.1.0.2"})
+			if err != nil {
+				t.Fatalf("search %q: %v", q.Term, err)
+			}
+			cm := metrics.ComparePages(r1.Page, r2.Page)
+			s.noiseJ += cm.Jaccard
+			s.noiseE += float64(cm.EditDistance)
+			nNoise++
+			links = append(links, r1.Page.Links())
+		}
+		for i := 0; i < len(links); i++ {
+			for j := i + 1; j < len(links); j++ {
+				s.persJ += metrics.Jaccard(links[i], links[j])
+				s.persE += float64(metrics.EditDistance(links[i], links[j]))
+				nPers++
+			}
+		}
+	}
+	s.noiseJ /= float64(nNoise)
+	s.noiseE /= float64(nNoise)
+	s.persJ /= float64(nPers)
+	s.persE /= float64(nPers)
+	return s
+}
+
+func newTestEngine() *Engine {
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := DefaultConfig()
+	// Plenty of rate-limit headroom for the calibration loops.
+	cfg.RateBurst = 1 << 20
+	cfg.RatePerMinute = 1 << 20
+	return New(cfg, clk)
+}
+
+func TestCalibrationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	e := newTestEngine()
+	ds := geo.StudyDataset()
+	c := queries.StudyCorpus()
+
+	cats := map[string][]queries.Query{
+		"local":         c.Category(queries.Local),
+		"controversial": c.Category(queries.Controversial)[:24],
+		"politician":    c.Category(queries.Politician)[:24],
+	}
+
+	stats := map[string]map[string]calibStats{}
+	for _, g := range geo.Granularities {
+		locs := ds.At(g)
+		if len(locs) > 8 {
+			locs = locs[:8]
+		}
+		stats[g.Short()] = map[string]calibStats{}
+		for cat, qs := range cats {
+			s := measure(t, e, qs, locs)
+			stats[g.Short()][cat] = s
+			t.Logf("%-10s %-14s noise J=%.3f E=%.2f | pers J=%.3f E=%.2f",
+				g.Short(), cat, s.noiseJ, s.noiseE, s.persJ, s.persE)
+		}
+	}
+
+	// Shape 1 (Fig 2): local noise far exceeds controversial/politician
+	// noise, at every granularity.
+	for g, byCat := range stats {
+		if byCat["local"].noiseE < 1.0 {
+			t.Errorf("%s: local noise edit %.2f, want >= 1", g, byCat["local"].noiseE)
+		}
+		if byCat["local"].noiseE > 6.0 {
+			t.Errorf("%s: local noise edit %.2f, want <= 6", g, byCat["local"].noiseE)
+		}
+		for _, cat := range []string{"controversial", "politician"} {
+			if byCat[cat].noiseE > 1.5 {
+				t.Errorf("%s: %s noise edit %.2f, want <= 1.5", g, cat, byCat[cat].noiseE)
+			}
+			if byCat[cat].noiseE > byCat["local"].noiseE {
+				t.Errorf("%s: %s noisier than local", g, cat)
+			}
+		}
+	}
+
+	// Shape 2 (Fig 2): noise is roughly uniform across granularities.
+	ln := []float64{
+		stats["county"]["local"].noiseE,
+		stats["state"]["local"].noiseE,
+		stats["national"]["local"].noiseE,
+	}
+	for _, v := range ln[1:] {
+		if v < ln[0]*0.4 || v > ln[0]*2.5 {
+			t.Errorf("local noise not uniform across granularities: %v", ln)
+		}
+	}
+
+	// Shape 3 (Fig 5): local personalization grows with distance and far
+	// exceeds noise.
+	pc := stats["county"]["local"].persE
+	ps := stats["state"]["local"].persE
+	pn := stats["national"]["local"].persE
+	if !(pc < ps && ps <= pn*1.15) {
+		t.Errorf("local personalization not growing: county=%.2f state=%.2f national=%.2f", pc, ps, pn)
+	}
+	if pc < stats["county"]["local"].noiseE+1 {
+		t.Errorf("county local personalization %.2f not above noise %.2f",
+			pc, stats["county"]["local"].noiseE)
+	}
+	if ps < 6 || ps > 16 {
+		t.Errorf("state local personalization edit %.2f, want ~6-16", ps)
+	}
+	// Jaccard at national: paper reports 0.66 (18-34%% of results vary).
+	if j := stats["national"]["local"].persJ; j < 0.45 || j > 0.9 {
+		t.Errorf("national local personalization jaccard %.3f, want 0.45-0.9", j)
+	}
+
+	// Shape 4 (Fig 5): controversial and politician personalization stays
+	// near the noise floor at county level, and rises only modestly.
+	for _, cat := range []string{"controversial", "politician"} {
+		county := stats["county"][cat]
+		if county.persE > county.noiseE+1.5 {
+			t.Errorf("county %s personalization %.2f far above noise %.2f",
+				cat, county.persE, county.noiseE)
+		}
+		national := stats["national"][cat]
+		if national.persE > stats["national"]["local"].persE {
+			t.Errorf("national %s personalization exceeds local", cat)
+		}
+	}
+
+	// Shape 5: at national granularity, controversial personalization is
+	// measurably above its own noise floor (regional results exist) but
+	// small in absolute terms.
+	nc := stats["national"]["controversial"]
+	if nc.persE < nc.noiseE {
+		t.Errorf("national controversial personalization %.2f below noise %.2f", nc.persE, nc.noiseE)
+	}
+}
+
+func TestCalibrationBrandVsGeneric(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	e := newTestEngine()
+	ds := geo.StudyDataset()
+	c := queries.StudyCorpus()
+	locs := ds.At(geo.State)[:8]
+
+	var brands, generics []queries.Query
+	for _, q := range c.Category(queries.Local) {
+		if q.Brand {
+			brands = append(brands, q)
+		} else {
+			generics = append(generics, q)
+		}
+	}
+	bs := measure(t, e, brands, locs)
+	gs := measure(t, e, generics, locs)
+	t.Logf("brands   noise E=%.2f pers E=%.2f", bs.noiseE, bs.persE)
+	t.Logf("generics noise E=%.2f pers E=%.2f", gs.noiseE, gs.persE)
+	// Fig 3 / Fig 6: brand terms are quieter and less personalized than
+	// generic terms.
+	if bs.noiseE >= gs.noiseE {
+		t.Errorf("brand noise %.2f >= generic noise %.2f", bs.noiseE, gs.noiseE)
+	}
+	if bs.persE >= gs.persE {
+		t.Errorf("brand personalization %.2f >= generic %.2f", bs.persE, gs.persE)
+	}
+}
+
+func TestCalibrationTypeAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep is slow")
+	}
+	e := newTestEngine()
+	ds := geo.StudyDataset()
+	c := queries.StudyCorpus()
+
+	// Maps share of local personalization should be a minority (the
+	// paper's surprise: most changes hit "typical" results), and News
+	// share of local differences should be ~0.
+	locs := ds.At(geo.State)[:8]
+	var maps, news, other int
+	for _, q := range c.Category(queries.Local) {
+		if q.Brand {
+			continue
+		}
+		var pages []*Response
+		for _, l := range locs {
+			pt := l.Point
+			r, err := e.Search(Request{Query: q.Term, GPS: &pt, ClientIP: "10.2.0.1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, r)
+		}
+		for i := 0; i < len(pages); i++ {
+			for j := i + 1; j < len(pages); j++ {
+				bd := metrics.BreakdownPages(pages[i].Page, pages[j].Page)
+				maps += bd.Maps
+				news += bd.News
+				other += bd.Other
+			}
+		}
+	}
+	total := maps + news + other
+	if total == 0 {
+		t.Fatal("no local personalization at state level")
+	}
+	mapsShare := float64(maps) / float64(total)
+	newsShare := float64(news) / float64(total)
+	t.Logf("local state-level attribution: maps=%.2f news=%.2f other=%.2f",
+		mapsShare, newsShare, float64(other)/float64(total))
+	if mapsShare < 0.08 || mapsShare > 0.45 {
+		t.Errorf("maps share of local personalization = %.2f, want 0.08-0.45 (paper: 18-27%%)", mapsShare)
+	}
+	if newsShare > 0.02 {
+		t.Errorf("news share of local personalization = %.2f, want ~0", newsShare)
+	}
+
+	// News share of controversial personalization should be small but
+	// nonzero at national granularity (paper: 6-18%).
+	nlocs := ds.At(geo.National)[:8]
+	maps, news, other = 0, 0, 0
+	for _, q := range c.Category(queries.Controversial)[:30] {
+		var pages []*Response
+		for _, l := range nlocs {
+			pt := l.Point
+			r, err := e.Search(Request{Query: q.Term, GPS: &pt, ClientIP: "10.2.0.1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, r)
+		}
+		for i := 0; i < len(pages); i++ {
+			for j := i + 1; j < len(pages); j++ {
+				bd := metrics.BreakdownPages(pages[i].Page, pages[j].Page)
+				maps += bd.Maps
+				news += bd.News
+				other += bd.Other
+			}
+		}
+	}
+	total = maps + news + other
+	if total == 0 {
+		t.Fatal("no controversial personalization at national level")
+	}
+	newsShare = float64(news) / float64(total)
+	t.Logf("controversial national attribution: news=%.2f", newsShare)
+	if newsShare < 0.03 || newsShare > 0.6 {
+		t.Errorf("news share of controversial personalization = %.2f, want 0.03-0.6 (paper: 6-18%%)", newsShare)
+	}
+	if maps != 0 {
+		t.Errorf("controversial queries produced maps differences: %d", maps)
+	}
+}
+
+// fmt is used by helper logging in some builds.
+var _ = fmt.Sprintf

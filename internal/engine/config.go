@@ -1,0 +1,201 @@
+package engine
+
+import "time"
+
+// Config holds every tunable of the synthetic engine. The defaults are
+// calibrated so the measurement pipeline reproduces the shapes of the
+// paper's figures (see DESIGN.md "shape targets"); each knob is documented
+// with the phenomenon it controls.
+type Config struct {
+	// Seed is the root of all deterministic randomness (corpus content,
+	// bucket assignment, jitter). Two engines with equal seeds serve the
+	// same web and the same noise sequence.
+	Seed uint64
+
+	// Datacenters is the number of replica datacenters. Each replica has
+	// a small deterministic skew on its ranking weights, so queries that
+	// hit different datacenters see slightly different pages — the reason
+	// the study pinned DNS to a single datacenter.
+	Datacenters int
+
+	// ReplicaSkew scales the per-datacenter ranking-weight perturbation.
+	ReplicaSkew float64
+
+	// Buckets is the number of concurrent A/B experiment buckets. Every
+	// request is assigned a bucket; buckets perturb ranking weights and
+	// card policies, which is the dominant source of the result noise
+	// the paper measures between simultaneous identical queries (§3.1).
+	Buckets int
+
+	// BucketWeightSpread scales how strongly a bucket perturbs the
+	// place-ranking weight (multiplier drawn from 1 ± spread).
+	BucketWeightSpread float64
+
+	// WebJitterSigma is the per-request gaussian score jitter applied to
+	// static web documents. It is small: authoritative documents have
+	// well-separated scores, so identical simultaneous queries for
+	// controversial terms and politicians come back nearly identical
+	// (the low noise floors of Figure 2).
+	WebJitterSigma float64
+
+	// PlaceJitterSigma is the per-request jitter applied to place-backed
+	// results. Nearby places have near-tied scores, so this term makes
+	// local queries noisy — the paper's most surprising finding (§3.1).
+	PlaceJitterSigma float64
+
+	// NewsJitterSigma is the per-request jitter applied to news-article
+	// selection, the source of the small News-attributed noise of
+	// controversial queries.
+	NewsJitterSigma float64
+
+	// MapsCardProb is the probability that a generic-local query gets a
+	// Maps card (brands never do, matching §3.1). The flip between "has
+	// Maps" and "no Maps" is the paper's main Maps-attributed noise.
+	MapsCardProb float64
+
+	// MapsCardSize is the base number of places on a Maps card; some
+	// buckets use one more.
+	MapsCardSize int
+
+	// NewsCardProbControversial / NewsCardProbPolitician are the
+	// probabilities that those query classes receive an "In the News"
+	// card. Local queries never do (Figure 4: News ≈ 0 for local).
+	NewsCardProbControversial float64
+	NewsCardProbPolitician    float64
+
+	// NewsCardSize is the base number of articles on a News card.
+	NewsCardSize int
+
+	// OrganicCards is the number of single-result cards per page.
+	OrganicCards int
+
+	// PlaceRadiusKm is the initial Places search radius; it doubles (up
+	// to PlaceRadiusMaxKm) until MinPlaces candidates are found, so
+	// sparse kinds (airports) draw from a wide, location-sensitive area.
+	PlaceRadiusKm    float64
+	PlaceRadiusMaxKm float64
+	MinPlaces        int
+
+	// MaxPlaceOrganic caps how many place-backed results can appear as
+	// organic (non-Maps) cards.
+	MaxPlaceOrganic int
+
+	// ProximityHalfKm is the excess distance (beyond the nearest
+	// candidate) at which a place's proximity score halves — the length
+	// scale of location personalization.
+	ProximityHalfKm float64
+
+	// OffRegionPenalty multiplies the authority of region-tagged
+	// documents when the query comes from a different region.
+	OffRegionPenalty float64
+
+	// IPGeoErrorKm bounds the per-prefix error of the IP-geolocation
+	// database. Real databases are city-accurate at best; the default of
+	// 25 km is why IP-based measurement (all prior work could do) cannot
+	// resolve the paper's 1-mile county-level question and GPS spoofing
+	// was required.
+	IPGeoErrorKm float64
+
+	// Ranking weights for organic scoring.
+	WebRelWeight    float64 // index relevance
+	AuthWeight      float64 // document authority
+	RegionBoost     float64 // bonus for documents tied to the query's state
+	PlaceWeight     float64 // base weight of place-backed results
+	PopWeight       float64 // place popularity contribution
+	NewsRegionBoost float64 // bonus for regional articles in the query's state
+
+	// HistoryWindow is how long a session's previous searches influence
+	// ranking; the paper measured ~10 minutes on Google and therefore
+	// waited 11 minutes between queries.
+	HistoryWindow time.Duration
+	// HistoryBoost is the score bonus for documents topically related to
+	// a recent same-session search.
+	HistoryBoost float64
+
+	// Rate limiting per client IP (token bucket). The study spread its
+	// load over 44 machines to stay under the real engine's limiter.
+	RateBurst     int
+	RatePerMinute float64
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Datacenters:        3,
+		ReplicaSkew:        0.06,
+		Buckets:            8,
+		BucketWeightSpread: 0.10,
+		WebJitterSigma:     0.0015,
+		PlaceJitterSigma:   0.022,
+		NewsJitterSigma:    0.012,
+
+		MapsCardProb: 0.87,
+		MapsCardSize: 3,
+
+		NewsCardProbControversial: 0.90,
+		NewsCardProbPolitician:    0.30,
+		NewsCardSize:              3,
+
+		OrganicCards: 14,
+
+		PlaceRadiusKm:    10,
+		PlaceRadiusMaxKm: 80,
+		MinPlaces:        9,
+		MaxPlaceOrganic:  5,
+		ProximityHalfKm:  2.5,
+		OffRegionPenalty: 0.45,
+		IPGeoErrorKm:     25,
+
+		WebRelWeight:    0.55,
+		AuthWeight:      1.15,
+		RegionBoost:     0.32,
+		PlaceWeight:     1.15,
+		PopWeight:       0.35,
+		NewsRegionBoost: 0.25,
+
+		HistoryWindow: 10 * time.Minute,
+		HistoryBoost:  0.5,
+
+		RateBurst:     30,
+		RatePerMinute: 10,
+	}
+}
+
+// validate normalizes obviously invalid values to their defaults.
+func (c *Config) validate() {
+	d := DefaultConfig()
+	if c.Datacenters <= 0 {
+		c.Datacenters = d.Datacenters
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = d.Buckets
+	}
+	if c.OrganicCards <= 0 {
+		c.OrganicCards = d.OrganicCards
+	}
+	if c.MapsCardSize <= 0 {
+		c.MapsCardSize = d.MapsCardSize
+	}
+	if c.NewsCardSize <= 0 {
+		c.NewsCardSize = d.NewsCardSize
+	}
+	if c.PlaceRadiusKm <= 0 {
+		c.PlaceRadiusKm = d.PlaceRadiusKm
+	}
+	if c.PlaceRadiusMaxKm < c.PlaceRadiusKm {
+		c.PlaceRadiusMaxKm = d.PlaceRadiusMaxKm
+	}
+	if c.MinPlaces <= 0 {
+		c.MinPlaces = d.MinPlaces
+	}
+	if c.HistoryWindow <= 0 {
+		c.HistoryWindow = d.HistoryWindow
+	}
+	if c.RateBurst <= 0 {
+		c.RateBurst = d.RateBurst
+	}
+	if c.RatePerMinute <= 0 {
+		c.RatePerMinute = d.RatePerMinute
+	}
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"testing"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/serp"
+)
+
+// Corner-case behaviours of the ranking pipeline.
+
+func TestSparseKindExpandsRadius(t *testing.T) {
+	// Airports are the sparsest kind (density 0.05/cell): the radius
+	// expansion must still find enough candidates to fill a maps card.
+	e, _ := newQuietEngine()
+	r, err := e.Search(Request{Query: "Airport", GPS: &cleveland, ClientIP: "1.2.3.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Page.CardCount(serp.Maps) != 1 {
+		t.Fatal("sparse kind produced no maps card")
+	}
+	for _, c := range r.Page.Cards {
+		if c.Type == serp.Maps && len(c.Results) < 3 {
+			t.Fatalf("maps card has %d results, want >= 3", len(c.Results))
+		}
+	}
+}
+
+func TestRemoteLocationStillServes(t *testing.T) {
+	// A coordinate in the middle of nowhere (rural Nevada) must still get
+	// a structurally valid page for every category: radius expansion caps
+	// out and the page falls back to web results.
+	e, _ := newQuietEngine()
+	nowhere := geo.Point{Lat: 39.5, Lon: -116.8}
+	for _, term := range []string{"Airport", "School", "Starbucks", "Gay Marriage"} {
+		r, err := e.Search(Request{Query: term, GPS: &nowhere, ClientIP: "1.2.3.4"})
+		if err != nil {
+			t.Fatalf("%s: %v", term, err)
+		}
+		if err := r.Page.Validate(); err != nil {
+			t.Fatalf("%s: %v", term, err)
+		}
+		if r.Page.LinkCount() < 5 {
+			t.Fatalf("%s: only %d links in the middle of nowhere", term, r.Page.LinkCount())
+		}
+	}
+}
+
+func TestHistoryAcrossDifferentTopics(t *testing.T) {
+	// Searching topic A then topic B within the window must boost A's
+	// documents in B's results when they leak in via shared tokens —
+	// verify at minimum that cross-topic history does not corrupt pages.
+	e, clk := newQuietEngine()
+	_ = clk
+	session := "cross-topic"
+	if _, err := e.Search(Request{Query: "High School", GPS: &cleveland, ClientIP: "1.2.3.4", SessionID: session}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Search(Request{Query: "School", GPS: &cleveland, ClientIP: "1.2.3.4", SessionID: session})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Page.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The fresh (no-history) page for "School" must differ: high-school
+	// docs got boosted by the session's previous query.
+	fresh, err := e.Search(Request{Query: "School", GPS: &cleveland, ClientIP: "1.2.3.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if equalStrings(r.Page.Links(), fresh.Page.Links()) {
+		t.Fatal("related-topic history had no effect")
+	}
+}
+
+func TestPoleAdjacentCoordinates(t *testing.T) {
+	// Extreme (but valid) coordinates must not panic or produce invalid
+	// pages — the geometry code runs near its edge cases.
+	e, _ := newQuietEngine()
+	for _, pt := range []geo.Point{
+		{Lat: 89.9, Lon: 0},
+		{Lat: -89.9, Lon: 179.9},
+		{Lat: 0, Lon: -179.9},
+	} {
+		p := pt
+		r, err := e.Search(Request{Query: "Coffee", GPS: &p, ClientIP: "1.2.3.4"})
+		if err != nil {
+			t.Fatalf("%v: %v", pt, err)
+		}
+		if err := r.Page.Validate(); err != nil {
+			t.Fatalf("%v: %v", pt, err)
+		}
+	}
+}
+
+func TestDayBeforeEpochClamps(t *testing.T) {
+	// The engine's day counter is derived from the clock; a clock at the
+	// epoch gives day 0 and the news vertical must not receive negative
+	// days through any path.
+	e, _ := newQuietEngine()
+	if e.Day() != 0 {
+		t.Fatalf("day = %d", e.Day())
+	}
+	r, err := e.Search(Request{Query: "Health", GPS: &cleveland, ClientIP: "1.2.3.4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Page.Day != 0 {
+		t.Fatalf("page day = %d", r.Page.Day)
+	}
+}

@@ -1,0 +1,24 @@
+package engine
+
+import (
+	"testing"
+
+	"geoserp/internal/geo"
+)
+
+func TestDiagPageComposition(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	e := newTestEngine()
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	for _, term := range []string{"School", "Airport", "Coffee"} {
+		r, _ := e.Search(Request{Query: term, GPS: &pt, ClientIP: "10.9.0.1"})
+		t.Logf("=== %s (links=%d)", term, r.Page.LinkCount())
+		for _, c := range r.Page.Cards {
+			for _, res := range c.Results {
+				t.Logf("  [%s] %s", c.Type, res.URL)
+			}
+		}
+	}
+}

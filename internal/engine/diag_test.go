@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/metrics"
+)
+
+// TestDiagNoiseSources is a diagnostic aid kept in the suite at -v only: it
+// prints the link diff between treatment and control for one term of each
+// category, making noise regressions easy to inspect.
+func TestDiagNoiseSources(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("diagnostic; run with -v")
+	}
+	e := newTestEngine()
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	for _, term := range []string{"Gay Marriage", "Barack Obama", "School", "Starbucks"} {
+		for trial := 0; trial < 3; trial++ {
+			r1, _ := e.Search(Request{Query: term, GPS: &pt, ClientIP: "10.9.0.1"})
+			r2, _ := e.Search(Request{Query: term, GPS: &pt, ClientIP: "10.9.0.2"})
+			l1, l2 := r1.Page.Links(), r2.Page.Links()
+			cm := metrics.ComparePages(r1.Page, r2.Page)
+			t.Logf("%s trial %d: edit=%d jaccard=%.3f", term, trial, cm.EditDistance, cm.Jaccard)
+			if cm.EditDistance > 0 {
+				n := len(l1)
+				if len(l2) > n {
+					n = len(l2)
+				}
+				for i := 0; i < n; i++ {
+					a, b := "-", "-"
+					if i < len(l1) {
+						a = l1[i]
+					}
+					if i < len(l2) {
+						b = l2[i]
+					}
+					marker := " "
+					if a != b {
+						marker = "*"
+					}
+					t.Logf("  %s %-60s | %s", marker, a, b)
+				}
+			}
+		}
+	}
+}

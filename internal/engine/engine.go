@@ -1,0 +1,537 @@
+// Package engine implements the synthetic personalized search engine that
+// stands in for Google Search in this reproduction. It assembles mobile
+// result pages from three verticals (Web, Places, News), personalizes them
+// on the request's GPS coordinate (falling back to IP geolocation),
+// remembers per-session search history for ten minutes, rate-limits client
+// IPs, and serves from several datacenter replicas with slight ranking
+// skew. Its noise model — A/B buckets plus per-request score jitter — is
+// calibrated so that the paper's measurement pipeline reproduces the
+// shapes of every figure (see DESIGN.md).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"geoserp/internal/detrand"
+	"geoserp/internal/geo"
+	"geoserp/internal/index"
+	"geoserp/internal/queries"
+	"geoserp/internal/serp"
+	"geoserp/internal/simclock"
+	"geoserp/internal/webcorpus"
+)
+
+// ErrRateLimited is returned when a client IP exceeds its request budget.
+var ErrRateLimited = errors.New("engine: rate limited")
+
+// ErrEmptyQuery is returned for blank queries.
+var ErrEmptyQuery = errors.New("engine: empty query")
+
+// Request is one search request as the engine sees it.
+type Request struct {
+	// Query is the search term.
+	Query string
+	// GPS is the coordinate reported by the client's Geolocation API,
+	// or nil when the client did not grant one. GPS takes priority over
+	// IP geolocation (§2.2 validation).
+	GPS *geo.Point
+	// ClientIP is the request's source address (rate limiting, IP
+	// geolocation fallback, datacenter routing).
+	ClientIP string
+	// SessionID identifies the cookie session ("" = cookieless). Search
+	// history personalization applies within a session for ten minutes.
+	SessionID string
+	// Datacenter pins the request to a named replica, emulating the
+	// study's static DNS mapping; "" routes by client IP hash.
+	Datacenter string
+	// UserAgent is recorded but — matching the paper's finding that
+	// browser/OS do not trigger personalization — never affects results.
+	UserAgent string
+}
+
+// Response is a served page plus the serving metadata the study could not
+// see but our tests can.
+type Response struct {
+	Page *serp.Page
+	// Bucket is the A/B experiment bucket the request was assigned.
+	Bucket int
+	// Datacenter is the replica that served the request.
+	Datacenter string
+	// Location is the coordinate the engine personalized for.
+	Location geo.Point
+	// LocationSource is "gps" or "ip".
+	LocationSource string
+}
+
+// queryClass is the engine's internal query-intent taxonomy.
+type queryClass int
+
+const (
+	classGeneral queryClass = iota
+	classLocalBrand
+	classLocalGeneric
+	classControversial
+	classPolitician
+)
+
+// Engine is the synthetic search service. It is safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	clock   simclock.Clock
+	epoch   time.Time
+	corpus  *queries.Corpus
+	web     *webcorpus.Web
+	places  *webcorpus.Places
+	news    *webcorpus.NewsWire
+	idx     *index.Index
+	regions []webcorpus.Region
+	// regionPts maps region slug to its centroid for coarse reverse
+	// geocoding of the query coordinate.
+	regionPts map[string]geo.Point
+	history   *historyStore
+	limiter   *rateLimiter
+	ipgeo     *ipGeolocator
+	dcNames   []string
+	reqCount  atomic.Uint64
+	served    atomic.Uint64
+	limited   atomic.Uint64
+	// servedByDC counts pages served per replica, index-aligned with
+	// dcNames.
+	servedByDC []atomic.Uint64
+}
+
+// New builds an engine over the study corpus: the full 240-query web, the
+// Places grid, the news wire, and the 22 state regions. The epoch (day 0)
+// is the clock's time at construction. For a caller-defined world (other
+// corpora, regions, or establishment taxonomies) use NewCustom.
+func New(cfg Config, clock simclock.Clock) *Engine {
+	return NewCustom(cfg, clock)
+}
+
+// dcName returns the canonical replica name for index i.
+func dcName(i int) string { return fmt.Sprintf("dc-%d", i) }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Datacenters returns the replica names.
+func (e *Engine) Datacenters() []string {
+	out := make([]string, len(e.dcNames))
+	copy(out, e.dcNames)
+	return out
+}
+
+// Day returns the current simulation day (0-based from the epoch).
+func (e *Engine) Day() int {
+	return int(e.clock.Now().Sub(e.epoch) / (24 * time.Hour))
+}
+
+// Served returns how many pages the engine has served.
+func (e *Engine) Served() uint64 { return e.served.Load() }
+
+// RateLimited returns how many requests were rejected by the limiter.
+func (e *Engine) RateLimited() uint64 { return e.limited.Load() }
+
+// ServedByDatacenter returns per-replica serve counts.
+func (e *Engine) ServedByDatacenter() map[string]uint64 {
+	out := make(map[string]uint64, len(e.dcNames))
+	for i, name := range e.dcNames {
+		out[name] = e.servedByDC[i].Load()
+	}
+	return out
+}
+
+// dcIndex returns the index of a replica name (-1 if unknown).
+func (e *Engine) dcIndex(name string) int {
+	for i, d := range e.dcNames {
+		if d == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RegisterIPLocation pins an IP prefix to a known geolocation (emulating a
+// geolocation database entry for, e.g., a PlanetLab site).
+func (e *Engine) RegisterIPLocation(ip string, pt geo.Point) {
+	e.ipgeo.register(ip, pt)
+}
+
+// classify maps a query term to its intent class and topic ID.
+func (e *Engine) classify(term string) (queryClass, string) {
+	if q, ok := e.corpus.ByTerm(term); ok {
+		switch {
+		case q.Category == queries.Local && q.Brand:
+			return classLocalBrand, q.ID()
+		case q.Category == queries.Local:
+			return classLocalGeneric, q.ID()
+		case q.Category == queries.Controversial:
+			return classControversial, q.ID()
+		default:
+			return classPolitician, q.ID()
+		}
+	}
+	// Unknown term: local intent if a place kind matches its slug.
+	id := (queries.Query{Term: term}).ID()
+	if k, ok := e.places.Kind(id); ok {
+		if k.Brand {
+			return classLocalBrand, id
+		}
+		return classLocalGeneric, id
+	}
+	return classGeneral, id
+}
+
+// region returns the slug of the state region nearest to pt.
+func (e *Engine) region(pt geo.Point) string {
+	best := ""
+	bestD := math.Inf(1)
+	for slugName, c := range e.regionPts {
+		if d := geo.DistanceKm(pt, c); d < bestD {
+			best, bestD = slugName, d
+		}
+	}
+	return best
+}
+
+// bucketParams are the per-A/B-bucket policy perturbations.
+type bucketParams struct {
+	placeMult float64
+	mapsProb  float64
+	mapsSize  int
+	newsSize  int
+}
+
+func (e *Engine) bucket(i int, baseMapsProb float64) bucketParams {
+	rng := detrand.NewKeyed(e.cfg.Seed, "bucket", fmt.Sprint(i))
+	bp := bucketParams{
+		placeMult: 1 + e.cfg.BucketWeightSpread*(2*rng.Float64()-1),
+		mapsProb:  clamp01(baseMapsProb + rng.Range(-0.06, 0.06)),
+		mapsSize:  e.cfg.MapsCardSize,
+		newsSize:  e.cfg.NewsCardSize,
+	}
+	if rng.Bool(0.15) {
+		bp.mapsSize++
+	}
+	if rng.Bool(0.10) && bp.newsSize > 2 {
+		bp.newsSize--
+	}
+	return bp
+}
+
+// dcSkew returns the replica's ranking-weight multipliers.
+func (e *Engine) dcSkew(dc string) (authMult, regionMult float64) {
+	rng := detrand.NewKeyed(e.cfg.Seed, "dc", dc)
+	s := e.cfg.ReplicaSkew
+	return 1 + s*(2*rng.Float64()-1), 1 + s*(2*rng.Float64()-1)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// candidate is a scored organic-result candidate.
+type candidate struct {
+	res   serp.Result
+	score float64
+}
+
+// Search executes a request and returns the served page.
+func (e *Engine) Search(req Request) (*Response, error) {
+	if strings.TrimSpace(req.Query) == "" {
+		return nil, ErrEmptyQuery
+	}
+	now := e.clock.Now()
+	if !e.limiter.allow(req.ClientIP, now) {
+		e.limited.Add(1)
+		return nil, ErrRateLimited
+	}
+
+	// Replica routing: pinned, or hashed from the client IP the way
+	// anycast DNS would spread clients.
+	dc := req.Datacenter
+	if dc == "" || !e.validDC(dc) {
+		dc = e.dcNames[detrand.Hash(prefix24(req.ClientIP))%uint64(len(e.dcNames))]
+	}
+
+	// Location resolution: GPS beats IP.
+	var loc geo.Point
+	source := "ip"
+	if req.GPS != nil && req.GPS.Valid() {
+		loc, source = *req.GPS, "gps"
+	} else {
+		loc = e.ipgeo.locate(req.ClientIP)
+	}
+	qRegion := e.region(loc)
+	day := e.Day()
+
+	class, topic := e.classify(req.Query)
+
+	// Per-request randomness: bucket assignment and score jitter. Two
+	// simultaneous identical requests draw different sequence numbers,
+	// which is the engine-side noise the paper measures with
+	// treatment/control pairs.
+	seqNo := e.reqCount.Add(1)
+	if seqNo%4096 == 0 {
+		// Amortized cleanup of abandoned one-shot sessions (crawlers
+		// that clear cookies never revisit theirs).
+		e.history.pruneExpired(now)
+	}
+	rrng := detrand.NewKeyed(e.cfg.Seed, "request", fmt.Sprint(seqNo))
+	baseMapsProb, baseNewsProb := 0.0, 0.0
+	switch class {
+	case classLocalGeneric:
+		baseMapsProb = e.cfg.MapsCardProb
+	case classControversial:
+		baseNewsProb = e.cfg.NewsCardProbControversial
+	case classPolitician:
+		baseNewsProb = e.cfg.NewsCardProbPolitician
+	}
+	bucketNo := rrng.Intn(e.cfg.Buckets)
+	bp := e.bucket(bucketNo, baseMapsProb)
+	authMult, regionMult := e.dcSkew(dc)
+
+	recent := e.history.recent(req.SessionID, now)
+	jitter := func(sigma float64) float64 { return rrng.Norm() * sigma }
+
+	// --- Web vertical ---
+	hits := e.idx.Search(req.Query, 48)
+	var cands []candidate
+	maxRel := 0.0
+	for _, h := range hits {
+		if h.Score > maxRel {
+			maxRel = h.Score
+		}
+	}
+	for _, h := range hits {
+		rel := 0.0
+		if maxRel > 0 {
+			rel = h.Score / maxRel
+		}
+		auth := h.Doc.Authority
+		if h.Doc.Region != "" && h.Doc.Region != qRegion {
+			// Region-tagged content is demoted outside its region: a
+			// Texas local guide is a poor answer in Ohio.
+			auth *= e.cfg.OffRegionPenalty
+		}
+		s := e.cfg.WebRelWeight*rel + e.cfg.AuthWeight*auth*authMult
+		if h.Doc.Region != "" && h.Doc.Region == qRegion {
+			s += e.cfg.RegionBoost * regionMult
+		}
+		for _, t := range recent {
+			if t == h.Doc.Topic {
+				s += e.cfg.HistoryBoost
+				break
+			}
+		}
+		s += jitter(e.cfg.WebJitterSigma)
+		cands = append(cands, candidate{
+			res:   serp.Result{URL: h.Doc.URL, Title: h.Doc.Title},
+			score: s,
+		})
+	}
+
+	// --- Places vertical ---
+	var mapsCard *serp.Card
+	if class == classLocalBrand || class == classLocalGeneric {
+		placeCands := e.placeCandidates(loc, topic, bp.placeMult, jitter)
+		// Maps card: generic local intent only, subject to the bucket's
+		// probability — the presence flip is the paper's dominant
+		// Maps-attributed noise.
+		nMaps := 0
+		if class == classLocalGeneric && len(placeCands) >= 3 && rrng.Bool(bp.mapsProb) {
+			nMaps = bp.mapsSize
+			if nMaps > len(placeCands) {
+				nMaps = len(placeCands)
+			}
+			card := serp.Card{Type: serp.Maps}
+			for _, pc := range placeCands[:nMaps] {
+				card.Results = append(card.Results, pc.res)
+			}
+			mapsCard = &card
+		}
+		// Remaining top places compete as organic results.
+		rest := placeCands[nMaps:]
+		if len(rest) > e.cfg.MaxPlaceOrganic {
+			rest = rest[:e.cfg.MaxPlaceOrganic]
+		}
+		cands = append(cands, rest...)
+	}
+
+	// --- News vertical ---
+	// Whether a topic has news coverage on a given day is a property of
+	// the topic and the day, not of the request: two simultaneous
+	// identical queries agree on News-card presence, and the small News
+	// noise of §3.1 comes only from article selection within the card.
+	var newsCard *serp.Card
+	hasNews := baseNewsProb > 0 &&
+		detrand.NewKeyed(e.cfg.Seed, "newspresence", topic, fmt.Sprint(day)).Bool(baseNewsProb)
+	if hasNews {
+		arts := e.news.Topical(topic, day)
+		type scoredArt struct {
+			a webcorpus.Article
+			s float64
+		}
+		scored := make([]scoredArt, 0, len(arts))
+		for _, a := range arts {
+			s := a.Freshness + jitter(e.cfg.NewsJitterSigma)
+			if a.Region != "" && a.Region == qRegion {
+				s += e.cfg.NewsRegionBoost
+			}
+			scored = append(scored, scoredArt{a, s})
+		}
+		sort.Slice(scored, func(i, j int) bool {
+			if scored[i].s != scored[j].s {
+				return scored[i].s > scored[j].s
+			}
+			return scored[i].a.URL < scored[j].a.URL
+		})
+		n := bp.newsSize
+		if n > len(scored) {
+			n = len(scored)
+		}
+		if n >= 2 {
+			card := serp.Card{Type: serp.News}
+			for _, sa := range scored[:n] {
+				card.Results = append(card.Results, serp.Result{URL: sa.a.URL, Title: sa.a.Title})
+			}
+			newsCard = &card
+		}
+	}
+
+	// --- Assembly ---
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].res.URL < cands[j].res.URL
+	})
+	nOrganic := e.cfg.OrganicCards
+	if nOrganic > len(cands) {
+		nOrganic = len(cands)
+	}
+	page := &serp.Page{
+		Query:      req.Query,
+		Location:   loc.String(),
+		Datacenter: dc,
+		Day:        day,
+	}
+	seen := make(map[string]bool)
+	appendOrganic := func(c candidate) {
+		if seen[c.res.URL] {
+			return
+		}
+		seen[c.res.URL] = true
+		page.Cards = append(page.Cards, serp.Card{Type: serp.Organic, Results: []serp.Result{c.res}})
+	}
+	// The News card's slot is a property of the day's layout, not of the
+	// request: randomizing it per request would shift every link below it
+	// and register as large phantom noise.
+	newsPos := 2 + int(detrand.Hash("newspos", topic, fmt.Sprint(day))%3)
+	placed := 0
+	for _, c := range cands {
+		if placed >= nOrganic {
+			break
+		}
+		if placed == 1 && mapsCard != nil {
+			page.Cards = append(page.Cards, *mapsCard)
+			mapsCard = nil
+		}
+		if placed == newsPos && newsCard != nil {
+			page.Cards = append(page.Cards, *newsCard)
+			newsCard = nil
+		}
+		before := len(page.Cards)
+		appendOrganic(c)
+		if len(page.Cards) > before {
+			placed++
+		}
+	}
+	// Cards that never found their slot (short pages) go at the end.
+	if mapsCard != nil {
+		page.Cards = append(page.Cards, *mapsCard)
+	}
+	if newsCard != nil {
+		page.Cards = append(page.Cards, *newsCard)
+	}
+
+	e.history.record(req.SessionID, topic, now)
+	e.served.Add(1)
+	if i := e.dcIndex(dc); i >= 0 {
+		e.servedByDC[i].Add(1)
+	}
+	return &Response{
+		Page:           page,
+		Bucket:         bucketNo,
+		Datacenter:     dc,
+		Location:       loc,
+		LocationSource: source,
+	}, nil
+}
+
+// placeCandidates returns scored place-backed candidates near loc, best
+// first. The radius doubles until enough candidates exist, so sparse kinds
+// (airport, college) are ranked over a wide — and therefore highly
+// location-sensitive — area.
+func (e *Engine) placeCandidates(loc geo.Point, kind string, placeMult float64, jitter func(float64) float64) []candidate {
+	radius := e.cfg.PlaceRadiusKm
+	var businesses []webcorpus.Business
+	for {
+		businesses = e.places.Near(loc, kind, radius)
+		if len(businesses) >= e.cfg.MinPlaces || radius >= e.cfg.PlaceRadiusMaxKm {
+			break
+		}
+		radius *= 2
+		if radius > e.cfg.PlaceRadiusMaxKm {
+			radius = e.cfg.PlaceRadiusMaxKm
+		}
+	}
+	// Proximity is normalized to the nearest candidate: the closest
+	// establishment of a kind is the canonical answer whether it is 500m
+	// away (coffee) or 20km away (airport). This keeps sparse kinds on
+	// the page while preserving distance-ordered ranking.
+	dmin := math.Inf(1)
+	for _, b := range businesses {
+		if d := geo.DistanceKm(loc, b.Point); d < dmin {
+			dmin = d
+		}
+	}
+	out := make([]candidate, 0, len(businesses))
+	for _, b := range businesses {
+		d := geo.DistanceKm(loc, b.Point)
+		proximity := math.Exp(-math.Ln2 * (d - dmin) / e.cfg.ProximityHalfKm)
+		s := e.cfg.PlaceWeight*placeMult*proximity + e.cfg.PopWeight*b.Popularity + jitter(e.cfg.PlaceJitterSigma)
+		out = append(out, candidate{
+			res:   serp.Result{URL: b.URL, Title: b.Name},
+			score: s,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].res.URL < out[j].res.URL
+	})
+	return out
+}
+
+func (e *Engine) validDC(name string) bool {
+	for _, d := range e.dcNames {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}

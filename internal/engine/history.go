@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// historyStore remembers each session's recent searches. Google Search
+// personalizes on searches from the previous 10 minutes (the paper cites
+// its prior work for this), which is exactly why the study's crawler waits
+// 11 minutes between queries and clears cookies; the store exists so that
+// discipline is load-bearing in our reproduction too.
+type historyStore struct {
+	mu       sync.Mutex
+	window   time.Duration
+	sessions map[string][]historyEntry
+}
+
+type historyEntry struct {
+	topic string
+	at    time.Time
+}
+
+func newHistoryStore(window time.Duration) *historyStore {
+	return &historyStore{
+		window:   window,
+		sessions: make(map[string][]historyEntry),
+	}
+}
+
+// recent returns the distinct topics the session searched within the
+// window ending at now, most recent first.
+func (h *historyStore) recent(session string, now time.Time) []string {
+	if session == "" {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	entries := h.sessions[session]
+	// Prune expired entries in place while we are here.
+	kept := entries[:0]
+	var topics []string
+	seen := make(map[string]bool)
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		if now.Sub(e.at) > h.window {
+			continue
+		}
+		if !seen[e.topic] {
+			seen[e.topic] = true
+			topics = append(topics, e.topic)
+		}
+	}
+	for _, e := range entries {
+		if now.Sub(e.at) <= h.window {
+			kept = append(kept, e)
+		}
+	}
+	if len(kept) == 0 {
+		delete(h.sessions, session)
+	} else {
+		h.sessions[session] = kept
+	}
+	return topics
+}
+
+// record notes that the session searched the topic at the given time.
+func (h *historyStore) record(session, topic string, at time.Time) {
+	if session == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sessions[session] = append(h.sessions[session], historyEntry{topic: topic, at: at})
+}
+
+// pruneExpired drops every session whose entries have all aged out of the
+// window. Crawlers that clear cookies create a fresh session per query and
+// never return to it, so without periodic pruning a long crawl would grow
+// the store without bound.
+func (h *historyStore) pruneExpired(now time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for session, entries := range h.sessions {
+		live := false
+		for _, e := range entries {
+			if now.Sub(e.at) <= h.window {
+				live = true
+				break
+			}
+		}
+		if !live {
+			delete(h.sessions, session)
+		}
+	}
+}
+
+// sessionCount reports how many sessions have live history (for stats
+// endpoints and tests).
+func (h *historyStore) sessionCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.sessions)
+}

@@ -1,0 +1,204 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"geoserp/internal/geo"
+)
+
+var t0 = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestHistoryStoreWindow(t *testing.T) {
+	h := newHistoryStore(10 * time.Minute)
+	h.record("s", "coffee", t0)
+	h.record("s", "school", t0.Add(2*time.Minute))
+
+	got := h.recent("s", t0.Add(5*time.Minute))
+	if len(got) != 2 {
+		t.Fatalf("recent = %v, want 2 topics", got)
+	}
+	// Most recent first.
+	if got[0] != "school" || got[1] != "coffee" {
+		t.Fatalf("recent order = %v", got)
+	}
+	// After the window only the newer entry survives.
+	got = h.recent("s", t0.Add(11*time.Minute))
+	if len(got) != 1 || got[0] != "school" {
+		t.Fatalf("recent after partial expiry = %v", got)
+	}
+	// Everything expires eventually, and the session is pruned.
+	if got := h.recent("s", t0.Add(30*time.Minute)); len(got) != 0 {
+		t.Fatalf("recent after full expiry = %v", got)
+	}
+	if h.sessionCount() != 0 {
+		t.Fatalf("expired session not pruned: %d", h.sessionCount())
+	}
+}
+
+func TestHistoryStoreDeduplicatesTopics(t *testing.T) {
+	h := newHistoryStore(10 * time.Minute)
+	h.record("s", "coffee", t0)
+	h.record("s", "coffee", t0.Add(time.Minute))
+	if got := h.recent("s", t0.Add(2*time.Minute)); len(got) != 1 {
+		t.Fatalf("recent = %v, want deduplicated", got)
+	}
+}
+
+func TestHistoryStoreEmptySession(t *testing.T) {
+	h := newHistoryStore(10 * time.Minute)
+	h.record("", "coffee", t0)
+	if h.sessionCount() != 0 {
+		t.Fatal("empty session recorded")
+	}
+	if got := h.recent("", t0); got != nil {
+		t.Fatalf("recent(\"\") = %v", got)
+	}
+}
+
+func TestRateLimiterRefillCap(t *testing.T) {
+	r := newRateLimiter(2, 60)
+	if !r.allow("a", t0) || !r.allow("a", t0) {
+		t.Fatal("burst rejected")
+	}
+	if r.allow("a", t0) {
+		t.Fatal("over-burst allowed")
+	}
+	// A long idle period must not accumulate more than the burst.
+	later := t0.Add(time.Hour)
+	if !r.allow("a", later) || !r.allow("a", later) {
+		t.Fatal("refilled tokens rejected")
+	}
+	if r.allow("a", later) {
+		t.Fatal("tokens accumulated beyond burst cap")
+	}
+	if r.clients() != 1 {
+		t.Fatalf("clients = %d", r.clients())
+	}
+}
+
+func TestRateLimiterEmptyIPUnlimited(t *testing.T) {
+	r := newRateLimiter(1, 1)
+	for i := 0; i < 10; i++ {
+		if !r.allow("", t0) {
+			t.Fatal("empty IP limited")
+		}
+	}
+	if r.clients() != 0 {
+		t.Fatal("empty IP tracked")
+	}
+}
+
+func TestIPGeolocatorPrefixGranularity(t *testing.T) {
+	g := newIPGeolocator(1, 0) // perfect database for this test
+	g.register("192.168.1.5", geo.Point{Lat: 40, Lon: -80})
+	// Same /24 → same registered location.
+	p := g.locate("192.168.1.200")
+	if p.Lat != 40 || p.Lon != -80 {
+		t.Fatalf("same-/24 lookup = %v", p)
+	}
+	// Different /24 → synthesized, deterministic, valid.
+	a := g.locate("192.168.2.5")
+	b := g.locate("192.168.2.99")
+	if a != b {
+		t.Fatal("same /24 synthesized differently")
+	}
+	if !a.Valid() {
+		t.Fatalf("synthesized point invalid: %v", a)
+	}
+	c := g.locate("10.0.0.1")
+	if c == a {
+		t.Fatal("distinct prefixes collided (vanishingly unlikely)")
+	}
+	// Non-IPv4 strings are hashed whole, not rejected.
+	if p := g.locate("not-an-ip"); !p.Valid() {
+		t.Fatalf("non-IP locate invalid: %v", p)
+	}
+}
+
+func TestIPGeolocatorDatabaseError(t *testing.T) {
+	g := newIPGeolocator(1, 25)
+	base := geo.Point{Lat: 41.5, Lon: -81.7}
+	g.register("10.1.1.1", base)
+	p1 := g.locate("10.1.1.1")
+	p2 := g.locate("10.1.1.200") // same /24 → same error offset
+	if p1 != p2 {
+		t.Fatal("error offset not stable within a /24")
+	}
+	d := geo.DistanceKm(base, p1)
+	if d <= 0 || d > 25.001 {
+		t.Fatalf("database error = %.1f km, want in (0, 25]", d)
+	}
+	// Different prefixes get independent offsets.
+	g.register("10.1.2.1", base)
+	if g.locate("10.1.2.1") == p1 {
+		t.Fatal("distinct prefixes share an error offset (vanishingly unlikely)")
+	}
+	// Negative error is clamped to zero.
+	g0 := newIPGeolocator(1, -5)
+	g0.register("10.9.9.9", base)
+	if g0.locate("10.9.9.9") != base {
+		t.Fatal("negative error not clamped")
+	}
+}
+
+func TestPrefix24(t *testing.T) {
+	cases := map[string]string{
+		"1.2.3.4":   "1.2.3",
+		"10.0.0.1":  "10.0.0",
+		"host-7":    "host-7",
+		"1.2.3.4.5": "1.2.3.4.5",
+	}
+	for in, want := range cases {
+		if got := prefix24(in); got != want {
+			t.Fatalf("prefix24(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestConfigValidateRepairsBadValues(t *testing.T) {
+	cfg := Config{Seed: 5, Datacenters: -1, Buckets: 0, OrganicCards: 0,
+		MapsCardSize: 0, NewsCardSize: -2, PlaceRadiusKm: 0, MinPlaces: 0}
+	cfg.validate()
+	d := DefaultConfig()
+	if cfg.Datacenters != d.Datacenters || cfg.Buckets != d.Buckets ||
+		cfg.OrganicCards != d.OrganicCards || cfg.MapsCardSize != d.MapsCardSize ||
+		cfg.NewsCardSize != d.NewsCardSize || cfg.PlaceRadiusKm != d.PlaceRadiusKm ||
+		cfg.MinPlaces != d.MinPlaces || cfg.HistoryWindow != d.HistoryWindow ||
+		cfg.RateBurst != d.RateBurst {
+		t.Fatalf("validate did not repair config: %+v", cfg)
+	}
+	if cfg.Seed != 5 {
+		t.Fatal("validate clobbered seed")
+	}
+}
+
+func TestRegionReverseGeocode(t *testing.T) {
+	e, _ := newQuietEngine()
+	cases := map[string]geo.Point{
+		"ohio":       {Lat: 41.4993, Lon: -81.6944}, // Cleveland
+		"california": {Lat: 34.0522, Lon: -118.2437},
+		"texas":      {Lat: 29.7604, Lon: -95.3698},
+		"new-york":   {Lat: 43.0481, Lon: -76.1474}, // Syracuse, near the NY centroid
+	}
+	for want, pt := range cases {
+		if got := e.region(pt); got != want {
+			t.Errorf("region(%v) = %q, want %q", pt, got, want)
+		}
+	}
+}
+
+func TestBucketParamsDeterministic(t *testing.T) {
+	e, _ := newQuietEngine()
+	a := e.bucket(3, 0.87)
+	b := e.bucket(3, 0.87)
+	if a != b {
+		t.Fatalf("bucket params not deterministic: %+v vs %+v", a, b)
+	}
+	if a.mapsProb < 0 || a.mapsProb > 1 {
+		t.Fatalf("mapsProb = %v", a.mapsProb)
+	}
+	if a.mapsSize < 3 || a.newsSize < 2 {
+		t.Fatalf("card sizes too small: %+v", a)
+	}
+}

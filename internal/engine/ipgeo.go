@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"strings"
+
+	"geoserp/internal/detrand"
+	"geoserp/internal/geo"
+)
+
+// ipGeolocator models IP-address geolocation: the coarse, database-driven
+// location inference the engine falls back on when a request carries no GPS
+// coordinate. The paper's prior work found Google infers location from IP;
+// this study's contribution is spoofing GPS *past* that inference, which
+// the validation experiment (§2.2) confirms takes priority.
+//
+// Real geolocation databases are city-accurate at best: tens of kilometres
+// of error is typical. The locator therefore perturbs even *registered*
+// prefixes by a deterministic per-prefix offset of up to errorKm — which is
+// exactly why IP-based measurement (all prior work could do) cannot resolve
+// the paper's county-level question, and GPS spoofing was needed.
+type ipGeolocator struct {
+	seed uint64
+	// errorKm bounds the per-prefix database error applied to registered
+	// entries (0 = perfect database).
+	errorKm float64
+	// table holds explicit prefix→location mappings ("known databases");
+	// unknown prefixes are hashed to a deterministic pseudo-location.
+	table map[string]geo.Point
+	// bounds constrain synthesized pseudo-locations (continental US).
+	latLo, latHi float64
+	lonLo, lonHi float64
+}
+
+func newIPGeolocator(seed uint64, errorKm float64) *ipGeolocator {
+	if errorKm < 0 {
+		errorKm = 0
+	}
+	return &ipGeolocator{
+		seed:    seed,
+		errorKm: errorKm,
+		table:   make(map[string]geo.Point),
+		latLo:   30, latHi: 47,
+		lonLo: -120, lonHi: -75,
+	}
+}
+
+// prefix24 returns the /24 prefix of a dotted-quad IP (the granularity real
+// geolocation databases typically resolve), or the whole string when it
+// does not look like an IPv4 address.
+func prefix24(ip string) string {
+	parts := strings.Split(ip, ".")
+	if len(parts) != 4 {
+		return ip
+	}
+	return strings.Join(parts[:3], ".")
+}
+
+// register pins a prefix (the /24 of ip) to a known location. Lookups
+// still carry the database error.
+func (g *ipGeolocator) register(ip string, pt geo.Point) {
+	g.table[prefix24(ip)] = pt
+}
+
+// locate returns the inferred location for ip. Deterministic: the same IP
+// always geolocates to the same place (including the same error offset).
+func (g *ipGeolocator) locate(ip string) geo.Point {
+	p24 := prefix24(ip)
+	if pt, ok := g.table[p24]; ok {
+		if g.errorKm <= 0 {
+			return pt
+		}
+		rng := detrand.NewKeyed(g.seed, "ipgeo-error", p24)
+		bearing := rng.Range(0, 360)
+		dist := rng.Float64() * g.errorKm
+		return geo.Destination(pt, bearing, dist)
+	}
+	rng := detrand.NewKeyed(g.seed, "ipgeo", p24)
+	return geo.Point{
+		Lat: rng.Range(g.latLo, g.latHi),
+		Lon: rng.Range(g.lonLo, g.lonHi),
+	}
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/serp"
+)
+
+// Property tests: structural invariants of served pages that must hold for
+// ANY coordinate and any study query, under the full noisy configuration.
+
+func TestPagePropertiesOverRandomCoordinates(t *testing.T) {
+	e := newTestEngine()
+	terms := []string{"School", "Coffee", "Airport", "Starbucks",
+		"Gay Marriage", "Barack Obama", "Tim Ryan", "Health"}
+	i := 0
+	f := func(latSeed, lonSeed float64, termSeed uint8) bool {
+		if math.IsNaN(latSeed) || math.IsInf(latSeed, 0) ||
+			math.IsNaN(lonSeed) || math.IsInf(lonSeed, 0) {
+			return true
+		}
+		// Continental-US-ish coordinates.
+		pt := geo.Point{
+			Lat: 25 + math.Mod(math.Abs(latSeed), 24),
+			Lon: -70 - math.Mod(math.Abs(lonSeed), 50),
+		}
+		term := terms[int(termSeed)%len(terms)]
+		i++
+		r, err := e.Search(Request{Query: term, GPS: &pt, ClientIP: fmt.Sprintf("10.3.%d.1", i%250)})
+		if err != nil {
+			t.Logf("search error: %v", err)
+			return false
+		}
+		p := r.Page
+		// Invariant 1: structurally valid.
+		if err := p.Validate(); err != nil {
+			t.Logf("invalid page: %v", err)
+			return false
+		}
+		// Invariant 2: the paper's observed link range.
+		if n := p.LinkCount(); n < 8 || n > 22 {
+			t.Logf("link count %d for %q at %v", n, term, pt)
+			return false
+		}
+		// Invariant 3: at most one maps card and one news card.
+		if p.CardCount(serp.Maps) > 1 || p.CardCount(serp.News) > 1 {
+			t.Logf("duplicate meta-cards for %q", term)
+			return false
+		}
+		// Invariant 4: no duplicate organic URLs.
+		seen := map[string]bool{}
+		for _, c := range p.Cards {
+			if c.Type != serp.Organic {
+				continue
+			}
+			u := c.Results[0].URL
+			if seen[u] {
+				t.Logf("duplicate organic URL %s for %q", u, term)
+				return false
+			}
+			seen[u] = true
+		}
+		// Invariant 5: the page echoes the personalization coordinate.
+		if p.Location != pt.String() {
+			t.Logf("location echo mismatch: %q vs %q", p.Location, pt.String())
+			return false
+		}
+		// Invariant 6: HTML round-trips losslessly.
+		back, err := serp.ParseHTML(serp.RenderHTML(p))
+		if err != nil {
+			t.Logf("render/parse: %v", err)
+			return false
+		}
+		if len(back.Cards) != len(p.Cards) || back.LinkCount() != p.LinkCount() {
+			t.Logf("HTML round-trip changed structure for %q", term)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCardPolicyInvariants(t *testing.T) {
+	e := newTestEngine()
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	// Across many requests: brands never get maps; local never gets news;
+	// controversial never gets maps.
+	for trial := 0; trial < 30; trial++ {
+		r, err := e.Search(Request{Query: "Starbucks", GPS: &pt, ClientIP: "10.4.0.1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Page.CardCount(serp.Maps) != 0 {
+			t.Fatal("brand query received a maps card")
+		}
+		r, err = e.Search(Request{Query: "School", GPS: &pt, ClientIP: "10.4.0.1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Page.CardCount(serp.News) != 0 {
+			t.Fatal("local query received a news card")
+		}
+		r, err = e.Search(Request{Query: "Abortion", GPS: &pt, ClientIP: "10.4.0.1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Page.CardCount(serp.Maps) != 0 {
+			t.Fatal("controversial query received a maps card")
+		}
+	}
+}
+
+func TestEveryStudyQueryServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus sweep is slow")
+	}
+	e := newTestEngine()
+	pt := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	for _, q := range e.corpus.All() {
+		r, err := e.Search(Request{Query: q.Term, GPS: &pt, ClientIP: "10.4.0.2"})
+		if err != nil {
+			t.Fatalf("%q: %v", q.Term, err)
+		}
+		if err := r.Page.Validate(); err != nil {
+			t.Fatalf("%q: %v", q.Term, err)
+		}
+		if n := r.Page.LinkCount(); n < 8 {
+			t.Fatalf("%q: only %d links", q.Term, n)
+		}
+	}
+}

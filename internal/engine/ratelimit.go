@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client-IP token bucket. The real engine's limiter is
+// why the study spread its crawl over 44 machines in a /24; ours enforces
+// the same constraint so the crawler's machine-pool design is load-bearing.
+type rateLimiter struct {
+	mu      sync.Mutex
+	burst   float64
+	perSec  float64
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(burst int, perMinute float64) *rateLimiter {
+	return &rateLimiter{
+		burst:   float64(burst),
+		perSec:  perMinute / 60,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// allow reports whether a request from ip at time now is within budget,
+// consuming one token if so.
+func (r *rateLimiter) allow(ip string, now time.Time) bool {
+	if ip == "" {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[ip]
+	if !ok {
+		b = &tokenBucket{tokens: r.burst, last: now}
+		r.buckets[ip] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * r.perSec
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clients reports how many distinct IPs the limiter is tracking.
+func (r *rateLimiter) clients() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buckets)
+}

@@ -1,0 +1,142 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file contains the concrete vantage-point dataset used by the study,
+// mirroring §2.1 of the paper:
+//
+//   - National: centroids of 22 US states (Ohio plus 21 others).
+//   - State:    centroids of 22 Ohio counties (including Cuyahoga);
+//               the paper notes these average roughly 100 miles apart.
+//   - County:   15 voting-district points inside Cuyahoga County,
+//               roughly 1 mile apart on average.
+//
+// State and county centroids are real (approximate) coordinates. The voting
+// districts are synthetic points laid out across the urban core of Cuyahoga
+// County, since the precise district coordinates used in the paper are not
+// published; their inter-point spacing matches the paper's description.
+
+// namedPoint is a compact literal for the tables below.
+type namedPoint struct {
+	name string
+	lat  float64
+	lon  float64
+}
+
+// stateCentroids are the 22 US states of the national-level treatment.
+var stateCentroids = []namedPoint{
+	{"Alabama", 32.806671, -86.791130},
+	{"Arizona", 34.168219, -111.930907},
+	{"California", 37.271875, -119.270415},
+	{"Colorado", 38.997934, -105.550567},
+	{"Florida", 28.932040, -81.928960},
+	{"Georgia", 32.678125, -83.222976},
+	{"Illinois", 40.041822, -89.196101},
+	{"Kansas", 38.498779, -98.320078},
+	{"Kentucky", 37.526671, -85.290272},
+	{"Massachusetts", 42.271555, -71.747659},
+	{"Michigan", 44.343476, -85.411164},
+	{"Minnesota", 46.280092, -94.305510},
+	{"Missouri", 38.456085, -92.288368},
+	{"New York", 42.912764, -75.595104},
+	{"North Carolina", 35.542161, -79.385304},
+	{"Ohio", 40.358615, -82.706838},
+	{"Oregon", 43.933445, -120.558229},
+	{"Pennsylvania", 40.858734, -77.799934},
+	{"Texas", 31.481160, -99.325623},
+	{"Virginia", 37.521652, -78.853461},
+	{"Washington", 47.411639, -120.556366},
+	{"Wisconsin", 44.624679, -89.994114},
+}
+
+// ohioCountyCentroids are the 22 Ohio counties of the state-level treatment.
+var ohioCountyCentroids = []namedPoint{
+	{"Athens", 39.333759, -82.045138},
+	{"Butler", 39.438496, -84.575446},
+	{"Clermont", 39.047703, -84.151878},
+	{"Cuyahoga", 41.432038, -81.671565},
+	{"Delaware", 40.278553, -83.004935},
+	{"Fairfield", 39.751500, -82.630478},
+	{"Franklin", 39.969447, -83.011389},
+	{"Greene", 39.691494, -83.889566},
+	{"Hamilton", 39.195661, -84.543997},
+	{"Lake", 41.713560, -81.245454},
+	{"Licking", 40.091788, -82.483183},
+	{"Lorain", 41.295848, -82.151262},
+	{"Lucas", 41.617455, -83.626102},
+	{"Mahoning", 41.014605, -80.776279},
+	{"Medina", 41.117666, -81.899652},
+	{"Montgomery", 39.754082, -84.290306},
+	{"Portage", 41.167798, -81.197243},
+	{"Stark", 40.813959, -81.365500},
+	{"Summit", 41.126102, -81.532970},
+	{"Trumbull", 41.317224, -80.761284},
+	{"Warren", 39.427543, -84.166764},
+	{"Wood", 41.361738, -83.622922},
+}
+
+// cuyahogaDistricts are 15 synthetic voting-district points inside Cuyahoga
+// County, laid out on a tight grid over the Cleveland urban core. At this
+// latitude one mile is about 0.0145° of latitude and 0.0193° of longitude;
+// the grid spacing is chosen so the average pairwise distance is on the
+// order of one mile, matching the paper.
+var cuyahogaDistricts = []namedPoint{
+	{"District 01", 41.4898, -81.7050},
+	{"District 02", 41.4898, -81.6935},
+	{"District 03", 41.4898, -81.6820},
+	{"District 04", 41.4898, -81.6705},
+	{"District 05", 41.4985, -81.7050},
+	{"District 06", 41.4985, -81.6935},
+	{"District 07", 41.4985, -81.6820},
+	{"District 08", 41.4985, -81.6705},
+	{"District 09", 41.5072, -81.7050},
+	{"District 10", 41.5072, -81.6935},
+	{"District 11", 41.5072, -81.6820},
+	{"District 12", 41.5072, -81.6705},
+	{"District 13", 41.5159, -81.7050},
+	{"District 14", 41.5159, -81.6935},
+	{"District 15", 41.5159, -81.6820},
+}
+
+// slugify lowercases a name and replaces spaces with dashes, producing the
+// ID component for a location.
+func slugify(name string) string {
+	return strings.ReplaceAll(strings.ToLower(name), " ", "-")
+}
+
+// StudyLocations returns the full 59-vantage-point dataset of the paper
+// (22 national + 22 state + 15 county), each with a deterministic synthetic
+// demographic profile.
+func StudyLocations() []Location {
+	out := make([]Location, 0, len(stateCentroids)+len(ohioCountyCentroids)+len(cuyahogaDistricts))
+	add := func(prefix string, g Granularity, pts []namedPoint) {
+		for _, np := range pts {
+			id := fmt.Sprintf("%s/%s", prefix, slugify(np.name))
+			out = append(out, Location{
+				ID:           id,
+				Name:         np.name,
+				Granularity:  g,
+				Point:        Point{Lat: np.lat, Lon: np.lon},
+				Demographics: SynthesizeDemographics(id),
+			})
+		}
+	}
+	add("state", National, stateCentroids)
+	add("county", State, ohioCountyCentroids)
+	add("district", County, cuyahogaDistricts)
+	return out
+}
+
+// StudyDataset returns StudyLocations wrapped in a validated Dataset.
+// It panics on error because the embedded tables are compile-time constants;
+// a failure indicates a bug in the tables themselves.
+func StudyDataset() *Dataset {
+	d, err := NewDataset(StudyLocations())
+	if err != nil {
+		panic("geo: invalid embedded study dataset: " + err.Error())
+	}
+	return d
+}

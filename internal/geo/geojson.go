@@ -1,0 +1,52 @@
+package geo
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// GeoJSON export of the vantage-point dataset, for visualizing the study
+// geometry in any mapping tool.
+
+// geoJSONFeature is a GeoJSON Feature with Point geometry.
+type geoJSONFeature struct {
+	Type       string         `json:"type"`
+	Geometry   geoJSONPoint   `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type geoJSONPoint struct {
+	Type        string     `json:"type"`
+	Coordinates [2]float64 `json:"coordinates"` // lon, lat per the spec
+}
+
+type geoJSONCollection struct {
+	Type     string           `json:"type"`
+	Features []geoJSONFeature `json:"features"`
+}
+
+// GeoJSON serializes the dataset as a GeoJSON FeatureCollection. Each
+// location becomes a Point feature carrying its ID, name, and granularity;
+// demographics are omitted (they are synthetic and would dwarf the file).
+func (d *Dataset) GeoJSON() ([]byte, error) {
+	coll := geoJSONCollection{Type: "FeatureCollection"}
+	for _, l := range d.All() {
+		coll.Features = append(coll.Features, geoJSONFeature{
+			Type: "Feature",
+			Geometry: geoJSONPoint{
+				Type:        "Point",
+				Coordinates: [2]float64{l.Point.Lon, l.Point.Lat},
+			},
+			Properties: map[string]any{
+				"id":          l.ID,
+				"name":        l.Name,
+				"granularity": l.Granularity.Short(),
+			},
+		})
+	}
+	b, err := json.MarshalIndent(coll, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("geo: marshal geojson: %w", err)
+	}
+	return b, nil
+}

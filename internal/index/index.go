@@ -1,0 +1,225 @@
+// Package index implements the retrieval substrate for the Web vertical: a
+// tokenizer and an in-memory inverted index with TF-IDF scoring. The engine
+// queries it for candidate documents and then applies its own
+// personalization and authority layers on top — mirroring the separation
+// between retrieval and ranking in production engines.
+package index
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"geoserp/internal/webcorpus"
+)
+
+// stopwords are dropped during tokenization.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "the": true, "of": true, "in": true, "on": true,
+	"for": true, "to": true, "and": true, "or": true, "is": true, "at": true,
+	"by": true, "with": true, "near": true, "from": true, "as": true,
+}
+
+// Tokenize lowercases s, splits on non-alphanumerics, and drops stopwords
+// and empty tokens. It is the single tokenization used for both documents
+// and queries.
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		if !stopwords[tok] {
+			out = append(out, tok)
+		}
+	}
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// posting records one document's weight for a token.
+type posting struct {
+	docID  int32
+	weight float32
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	// Doc is the matched document.
+	Doc webcorpus.Doc
+	// Score is the TF-IDF relevance (higher is better).
+	Score float64
+}
+
+// Index is an in-memory inverted index. Add all documents first, then call
+// Freeze; Search may then be used concurrently.
+type Index struct {
+	mu       sync.RWMutex
+	frozen   bool
+	docs     []webcorpus.Doc
+	postings map[string][]posting
+	docNorm  []float64 // per-doc weight norm for length normalization
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{postings: make(map[string][]posting)}
+}
+
+// fieldWeights control how strongly each document field counts.
+const (
+	titleWeight   = 3.0
+	topicWeight   = 2.0
+	snippetWeight = 1.0
+)
+
+// Add indexes a document. It panics if the index is frozen — adding after
+// freeze is a programming error, not a data condition.
+func (ix *Index) Add(d webcorpus.Doc) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.frozen {
+		panic("index: Add after Freeze")
+	}
+	id := int32(len(ix.docs))
+	ix.docs = append(ix.docs, d)
+
+	weights := make(map[string]float64)
+	for _, t := range Tokenize(d.Title) {
+		weights[t] += titleWeight
+	}
+	for _, t := range Tokenize(strings.ReplaceAll(d.Topic, "-", " ")) {
+		weights[t] += topicWeight
+	}
+	for _, t := range Tokenize(d.Snippet) {
+		weights[t] += snippetWeight
+	}
+	// Iterate tokens in sorted order: map order would make the float
+	// accumulation of the norm (and the posting-list layout) vary from
+	// run to run, and a 1-ULP norm difference is enough to flip
+	// near-tied rankings between otherwise identical engines.
+	tokens := make([]string, 0, len(weights))
+	for t := range weights {
+		tokens = append(tokens, t)
+	}
+	sort.Strings(tokens)
+	var norm float64
+	for _, t := range tokens {
+		// Sub-linear tf damping keeps keyword-stuffed long-tail pages
+		// from swamping authoritative short titles.
+		w := 1 + math.Log(weights[t])
+		ix.postings[t] = append(ix.postings[t], posting{docID: id, weight: float32(w)})
+		norm += w * w
+	}
+	ix.docNorm = append(ix.docNorm, math.Sqrt(norm))
+}
+
+// AddAll indexes a batch of documents.
+func (ix *Index) AddAll(docs []webcorpus.Doc) {
+	for _, d := range docs {
+		ix.Add(d)
+	}
+}
+
+// Freeze finalizes the index for concurrent searching.
+func (ix *Index) Freeze() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.frozen = true
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Search returns the top-k documents for the query by TF-IDF cosine score.
+// Ties are broken by URL so results are deterministic.
+func (ix *Index) Search(query string, k int) []Hit {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if k <= 0 {
+		return nil
+	}
+	qTokens := Tokenize(query)
+	if len(qTokens) == 0 {
+		return nil
+	}
+	n := float64(len(ix.docs))
+	scores := make(map[int32]float64)
+	matched := make(map[int32]int)
+	for _, t := range qTokens {
+		plist := ix.postings[t]
+		if len(plist) == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(len(plist)))
+		for _, p := range plist {
+			scores[p.docID] += idf * float64(p.weight)
+			matched[p.docID]++
+		}
+	}
+	if len(scores) == 0 {
+		return nil
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		// Require at least half the query tokens to match; a one-token
+		// graze against a multi-word query is noise, not relevance.
+		if matched[id]*2 < len(qTokens) {
+			continue
+		}
+		norm := ix.docNorm[id]
+		if norm == 0 {
+			continue
+		}
+		// Coverage bonus: documents matching every query token beat
+		// partial matches even when the partial match is term-dense.
+		coverage := float64(matched[id]) / float64(len(qTokens))
+		hits = append(hits, Hit{
+			Doc:   ix.docs[id],
+			Score: (s / norm) * (0.5 + 0.5*coverage) * coverage,
+		})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.URL < hits[j].Doc.URL
+	})
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Vocabulary returns the number of distinct tokens in the index.
+func (ix *Index) Vocabulary() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// BuildFromWeb constructs and freezes an index over every document in w.
+func BuildFromWeb(w *webcorpus.Web) *Index {
+	ix := New()
+	for _, topic := range w.Topics() {
+		ix.AddAll(w.Docs(topic))
+	}
+	ix.Freeze()
+	return ix
+}

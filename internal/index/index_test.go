@@ -1,0 +1,197 @@
+package index
+
+import (
+	"strings"
+	"testing"
+
+	"geoserp/internal/queries"
+	"geoserp/internal/webcorpus"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Coffee", []string{"coffee"}},
+		{"High School", []string{"high", "school"}},
+		{"Is Global Warming Real", []string{"global", "warming", "real"}},
+		{"Chick-fil-A!", []string{"chick", "fil"}},
+		{"", nil},
+		{"the of and", nil},
+		{"KFC 2015", []string{"kfc", "2015"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func doc(url, title, snippet, topic string) webcorpus.Doc {
+	return webcorpus.Doc{URL: url, Title: title, Snippet: snippet, Topic: topic, Authority: 0.5}
+}
+
+func TestSearchBasicRelevance(t *testing.T) {
+	ix := New()
+	ix.Add(doc("https://a/", "Coffee House Guide", "All about coffee.", "coffee"))
+	ix.Add(doc("https://b/", "Tea Emporium", "All about tea.", "tea"))
+	ix.Add(doc("https://c/", "Coffee and Tea", "Both beverages.", "beverages"))
+	ix.Freeze()
+	hits := ix.Search("coffee", 10)
+	if len(hits) != 2 {
+		t.Fatalf("hits = %d, want 2", len(hits))
+	}
+	if hits[0].Doc.URL != "https://a/" {
+		t.Fatalf("top hit = %s, want https://a/", hits[0].Doc.URL)
+	}
+}
+
+func TestSearchMultiTokenPrecision(t *testing.T) {
+	ix := New()
+	ix.Add(doc("https://hs/", "Lincoln High School", "A public high school.", "high-school"))
+	ix.Add(doc("https://s/", "Lincoln School", "A public school.", "school"))
+	ix.Add(doc("https://h/", "High Tower", "A very high tower.", "tower"))
+	ix.Freeze()
+	hits := ix.Search("high school", 10)
+	if len(hits) == 0 || hits[0].Doc.URL != "https://hs/" {
+		t.Fatalf("top hit for 'high school' = %+v", hits)
+	}
+	// Full-coverage docs must outrank half-coverage docs.
+	for _, h := range hits[1:] {
+		if h.Score >= hits[0].Score {
+			t.Fatalf("partial match outranked full match: %+v", hits)
+		}
+	}
+}
+
+func TestSearchHalfCoverageFilter(t *testing.T) {
+	ix := New()
+	ix.Add(doc("https://x/", "Warming Trends", "Warming only.", "x"))
+	ix.Freeze()
+	// One of three meaningful tokens matches -> filtered out.
+	if hits := ix.Search("global warming hoax debate", 10); len(hits) != 0 {
+		t.Fatalf("low-coverage doc returned: %+v", hits)
+	}
+}
+
+func TestSearchEmptyAndDegenerate(t *testing.T) {
+	ix := New()
+	ix.Add(doc("https://a/", "Coffee", "Coffee.", "coffee"))
+	ix.Freeze()
+	if hits := ix.Search("", 10); hits != nil {
+		t.Fatalf("empty query returned %v", hits)
+	}
+	if hits := ix.Search("the of", 10); hits != nil {
+		t.Fatalf("stopword query returned %v", hits)
+	}
+	if hits := ix.Search("coffee", 0); hits != nil {
+		t.Fatalf("k=0 returned %v", hits)
+	}
+	if hits := ix.Search("zzzzz", 10); hits != nil {
+		t.Fatalf("no-match query returned %v", hits)
+	}
+}
+
+func TestSearchKLimit(t *testing.T) {
+	ix := New()
+	for i := 0; i < 20; i++ {
+		ix.Add(doc("https://d/"+strings.Repeat("x", i+1), "Coffee Page", "About coffee.", "coffee"))
+	}
+	ix.Freeze()
+	if hits := ix.Search("coffee", 5); len(hits) != 5 {
+		t.Fatalf("k=5 returned %d hits", len(hits))
+	}
+}
+
+func TestSearchDeterministicTieBreak(t *testing.T) {
+	build := func() *Index {
+		ix := New()
+		ix.Add(doc("https://b/", "Coffee", "Coffee.", "coffee"))
+		ix.Add(doc("https://a/", "Coffee", "Coffee.", "coffee"))
+		ix.Freeze()
+		return ix
+	}
+	h1 := build().Search("coffee", 10)
+	h2 := build().Search("coffee", 10)
+	for i := range h1 {
+		if h1[i].Doc.URL != h2[i].Doc.URL {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+	if h1[0].Doc.URL != "https://a/" {
+		t.Fatalf("ties not broken by URL: %v", h1[0].Doc.URL)
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	ix := New()
+	ix.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add after Freeze did not panic")
+		}
+	}()
+	ix.Add(doc("https://a/", "x", "y", "z"))
+}
+
+func TestBuildFromWebCoversCorpus(t *testing.T) {
+	w := webcorpus.NewWeb(1, queries.StudyCorpus(), webcorpus.DefaultRegions())
+	ix := BuildFromWeb(w)
+	if ix.Len() != w.Size() {
+		t.Fatalf("index has %d docs, web has %d", ix.Len(), w.Size())
+	}
+	if ix.Vocabulary() == 0 {
+		t.Fatal("empty vocabulary")
+	}
+	// Every study query must retrieve at least 5 documents, and the top
+	// hit must be on-topic.
+	for _, q := range queries.StudyCorpus().All() {
+		hits := ix.Search(q.Term, 30)
+		if len(hits) < 5 {
+			t.Fatalf("query %q retrieved only %d docs", q.Term, len(hits))
+		}
+	}
+}
+
+func TestBuildFromWebTopicalPrecision(t *testing.T) {
+	w := webcorpus.NewWeb(1, queries.StudyCorpus(), webcorpus.DefaultRegions())
+	ix := BuildFromWeb(w)
+	// For distinctive queries the top hits should be about that topic.
+	for _, term := range []string{"Starbucks", "Barack Obama", "Gay Marriage", "Fracking"} {
+		q, _ := queries.StudyCorpus().ByTerm(term)
+		hits := ix.Search(term, 5)
+		onTopic := 0
+		for _, h := range hits {
+			if h.Doc.Topic == q.ID() {
+				onTopic++
+			}
+		}
+		if onTopic < 3 {
+			t.Fatalf("query %q: only %d/5 top hits on topic %q", term, onTopic, q.ID())
+		}
+	}
+}
+
+func TestSearchConcurrentAfterFreeze(t *testing.T) {
+	w := webcorpus.NewWeb(1, queries.StudyCorpus(), webcorpus.DefaultRegions())
+	ix := BuildFromWeb(w)
+	done := make(chan bool, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 50; j++ {
+				ix.Search("coffee shop", 10)
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"geoserp/internal/serp"
+)
+
+func TestJaccardBasics(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"x"}, nil, 0},
+		{[]string{"a", "b"}, []string{"a", "b"}, 1},
+		{[]string{"a", "b"}, []string{"b", "a"}, 1}, // order-insensitive
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3.0},
+		{[]string{"a"}, []string{"b"}, 0},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, 1}, // duplicates collapse
+	}
+	for i, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("case %d: Jaccard = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(a, b []string) bool {
+		j := Jaccard(a, b)
+		if j < 0 || j > 1 {
+			return false
+		}
+		// Symmetry and self-identity.
+		return j == Jaccard(b, a) && Jaccard(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"a"}, nil, 1},
+		{nil, []string{"a", "b"}, 2},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "x", "c"}, 1},
+		{[]string{"a", "b"}, []string{"b", "a"}, 2},           // swap = 2 ops (no transposition)
+		{[]string{"a", "b", "c"}, []string{"b", "c", "d"}, 2}, // shift + append
+		{[]string{"a", "b", "c", "d"}, []string{"d", "c", "b", "a"}, 4},
+	}
+	for i, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Fatalf("case %d: EditDistance = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b []string) bool {
+		// Bound lengths to keep the DP fast under quick.
+		if len(a) > 30 {
+			a = a[:30]
+		}
+		if len(b) > 30 {
+			b = b[:30]
+		}
+		d := EditDistance(a, b)
+		if d != EditDistance(b, a) {
+			return false
+		}
+		if EditDistance(a, a) != 0 {
+			return false
+		}
+		// d is bounded by max(len) and at least |len(a)-len(b)|.
+		lo := len(a) - len(b)
+		if lo < 0 {
+			lo = -lo
+		}
+		hi := len(a)
+		if len(b) > hi {
+			hi = len(b)
+		}
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDistanceTriangle(t *testing.T) {
+	f := func(a, b, c []string) bool {
+		trim := func(x []string) []string {
+			if len(x) > 15 {
+				return x[:15]
+			}
+			return x
+		}
+		a, b, c = trim(a), trim(b), trim(c)
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func page(cards ...serp.Card) *serp.Page {
+	return &serp.Page{Query: "q", Cards: cards}
+}
+
+func organic(url string) serp.Card {
+	return serp.Card{Type: serp.Organic, Results: []serp.Result{{URL: url, Title: url}}}
+}
+
+func meta(t serp.CardType, urls ...string) serp.Card {
+	c := serp.Card{Type: t}
+	for _, u := range urls {
+		c.Results = append(c.Results, serp.Result{URL: u, Title: u})
+	}
+	return c
+}
+
+func TestComparePages(t *testing.T) {
+	a := page(organic("1"), meta(serp.Maps, "m1", "m2"), organic("2"))
+	b := page(organic("1"), meta(serp.Maps, "m1", "m3"), organic("2"))
+	cmp := ComparePages(a, b)
+	if cmp.EditDistance != 1 {
+		t.Fatalf("edit = %d, want 1", cmp.EditDistance)
+	}
+	// links: {1,m1,m2,2} vs {1,m1,m3,2}: inter 3, union 5.
+	if math.Abs(cmp.Jaccard-0.6) > 1e-12 {
+		t.Fatalf("jaccard = %v, want 0.6", cmp.Jaccard)
+	}
+}
+
+func TestCompareByTypeAndBreakdown(t *testing.T) {
+	a := page(organic("1"), meta(serp.Maps, "m1", "m2"), meta(serp.News, "n1"), organic("2"))
+	b := page(organic("1"), meta(serp.Maps, "m3", "m4"), meta(serp.News, "n1"), organic("3"))
+	if cmp := CompareByType(a, b, serp.Maps); cmp.EditDistance != 2 || cmp.Jaccard != 0 {
+		t.Fatalf("maps cmp = %+v", cmp)
+	}
+	if cmp := CompareByType(a, b, serp.News); cmp.EditDistance != 0 || cmp.Jaccard != 1 {
+		t.Fatalf("news cmp = %+v", cmp)
+	}
+	bd := BreakdownPages(a, b)
+	if bd.Maps != 2 || bd.News != 0 || bd.Other != 1 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+	if bd.All == 0 {
+		t.Fatal("All should be nonzero")
+	}
+	if math.Abs(bd.MapsShare()-2.0/3.0) > 1e-12 {
+		t.Fatalf("MapsShare = %v", bd.MapsShare())
+	}
+	if bd.NewsShare() != 0 {
+		t.Fatalf("NewsShare = %v", bd.NewsShare())
+	}
+}
+
+func TestBreakdownNoChanges(t *testing.T) {
+	a := page(organic("1"))
+	bd := BreakdownPages(a, a)
+	if bd.All != 0 || bd.MapsShare() != 0 || bd.NewsShare() != 0 {
+		t.Fatalf("self breakdown = %+v", bd)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	a := page(organic("1"), organic("2"))
+	b := page(organic("1"), organic("2"))
+	c := page(organic("2"), organic("1"))
+	d := page(organic("1"))
+	if !Identical(a, b) {
+		t.Fatal("equal pages not identical")
+	}
+	if Identical(a, c) {
+		t.Fatal("reordered pages identical")
+	}
+	if Identical(a, d) {
+		t.Fatal("different-length pages identical")
+	}
+}
+
+func TestEditDistanceLargeListsPerf(t *testing.T) {
+	// 22 links per page is the paper's max; make sure a much larger
+	// comparison is still instant (guards against accidental exponential
+	// implementations).
+	var a, b []string
+	for i := 0; i < 500; i++ {
+		a = append(a, fmt.Sprint("u", i))
+		b = append(b, fmt.Sprint("u", i+250))
+	}
+	if d := EditDistance(a, b); d != 500 {
+		t.Fatalf("distance = %d, want 500", d)
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import "math"
+
+// This file extends the paper's two metrics with rank-aware comparisons.
+// Edit distance conflates two different phenomena — results being
+// *replaced* and results being *reordered* — which the paper teases apart
+// informally ("the Jaccard index shows that 18-34% of the search results
+// vary ... while the edit distance shows that 6-10 URLs are presented in a
+// different order"). Kendall's tau quantifies the reordering of shared
+// results directly, and rank-biased overlap (RBO; Webber et al. 2010)
+// gives a single top-weighted similarity, appropriate for search pages
+// where rank 1 matters far more than rank 15.
+
+// KendallTau returns Kendall's rank correlation between the orderings of
+// the URLs common to both lists: +1 when shared results appear in the same
+// relative order, -1 when fully reversed. Lists sharing fewer than two
+// URLs return 1 (no observable reordering). Duplicate URLs use their first
+// occurrence.
+func KendallTau(a, b []string) float64 {
+	posA := make(map[string]int, len(a))
+	for i, u := range a {
+		if _, dup := posA[u]; !dup {
+			posA[u] = i
+		}
+	}
+	type pairPos struct{ ra, rb int }
+	var shared []pairPos
+	seen := make(map[string]bool, len(b))
+	for j, u := range b {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if i, ok := posA[u]; ok {
+			shared = append(shared, pairPos{ra: i, rb: j})
+		}
+	}
+	n := len(shared)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := shared[i].ra - shared[j].ra
+			db := shared[i].rb - shared[j].rb
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	total := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(total)
+}
+
+// RBO returns the extrapolated rank-biased overlap of the two lists with
+// persistence parameter p in (0, 1). Higher p weights deeper ranks more;
+// the conventional choice p = 0.9 gives the first ten ranks ~86% of the
+// weight. Identical lists score 1, disjoint lists 0. Invalid p panics —
+// it is a programming error, not a data condition.
+func RBO(a, b []string, p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("metrics: RBO persistence must be in (0, 1)")
+	}
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	k := len(a)
+	if len(b) > k {
+		k = len(b)
+	}
+	seenA := make(map[string]bool, len(a))
+	seenB := make(map[string]bool, len(b))
+	sum := 0.0
+	weight := 1.0 // p^(d-1)
+	var lastAgreement float64
+	for d := 1; d <= k; d++ {
+		if d <= len(a) {
+			seenA[a[d-1]] = true
+		}
+		if d <= len(b) {
+			seenB[b[d-1]] = true
+		}
+		agreement := float64(intersectionSize(seenA, seenB)) / float64(d)
+		lastAgreement = agreement
+		sum += weight * agreement
+		weight *= p
+	}
+	// Extrapolate the tail assuming agreement stays at its final value.
+	return (1-p)*sum + math.Pow(p, float64(k))*lastAgreement
+}
+
+func intersectionSize(a, b map[string]bool) int {
+	n := 0
+	for u := range a {
+		if b[u] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKendallTauBasics(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 1},
+		{[]string{"a", "b", "c"}, []string{"c", "b", "a"}, -1},
+		{[]string{"a", "b"}, []string{"x", "y"}, 1},                             // no shared pairs
+		{[]string{"a"}, []string{"a"}, 1},                                       // single shared
+		{nil, nil, 1},                                                           // empty
+		{[]string{"a", "b", "c", "d"}, []string{"a", "b", "d", "c"}, 2.0 / 3.0}, // one discordant pair of 6
+	}
+	for i, c := range cases {
+		if got := KendallTau(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("case %d: tau = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestKendallTauIgnoresNonShared(t *testing.T) {
+	// Shared items a,b,c in same order; unshared items interleaved.
+	a := []string{"a", "x1", "b", "x2", "c"}
+	b := []string{"y1", "a", "b", "y2", "c", "y3"}
+	if got := KendallTau(a, b); got != 1 {
+		t.Fatalf("tau = %v, want 1", got)
+	}
+}
+
+func TestKendallTauProperties(t *testing.T) {
+	f := func(a, b []string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		tau := KendallTau(a, b)
+		if tau < -1-1e-9 || tau > 1+1e-9 {
+			return false
+		}
+		// Symmetry and self-agreement.
+		return math.Abs(tau-KendallTau(b, a)) < 1e-9 && KendallTau(a, a) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBOBasics(t *testing.T) {
+	same := []string{"a", "b", "c", "d"}
+	if got := RBO(same, same, 0.9); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("identical RBO = %v, want 1", got)
+	}
+	disjoint := RBO([]string{"a", "b"}, []string{"x", "y"}, 0.9)
+	if disjoint != 0 {
+		t.Fatalf("disjoint RBO = %v, want 0", disjoint)
+	}
+	if got := RBO(nil, nil, 0.9); got != 1 {
+		t.Fatalf("empty RBO = %v, want 1", got)
+	}
+}
+
+func TestRBOTopWeighted(t *testing.T) {
+	base := []string{"a", "b", "c", "d", "e"}
+	// Changing the top result must hurt more than changing the bottom one.
+	topChanged := []string{"X", "b", "c", "d", "e"}
+	bottomChanged := []string{"a", "b", "c", "d", "X"}
+	top := RBO(base, topChanged, 0.9)
+	bottom := RBO(base, bottomChanged, 0.9)
+	if top >= bottom {
+		t.Fatalf("top change RBO %v >= bottom change RBO %v", top, bottom)
+	}
+}
+
+func TestRBOPersistenceEffect(t *testing.T) {
+	a := []string{"a", "b", "c", "d", "e", "f"}
+	b := []string{"a", "b", "x", "y", "z", "w"}
+	// With small p (top-heavy) the shared top-2 dominate; with large p the
+	// disjoint tail drags the score down.
+	shallow := RBO(a, b, 0.5)
+	deep := RBO(a, b, 0.95)
+	if shallow <= deep {
+		t.Fatalf("p=0.5 RBO %v <= p=0.95 RBO %v", shallow, deep)
+	}
+}
+
+func TestRBOProperties(t *testing.T) {
+	f := func(a, b []string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		r := RBO(a, b, 0.9)
+		if r < -1e-9 || r > 1+1e-9 {
+			return false
+		}
+		return math.Abs(r-RBO(b, a, 0.9)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBOPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RBO(p=%v) did not panic", p)
+				}
+			}()
+			RBO([]string{"a"}, []string{"a"}, p)
+		}()
+	}
+}
+
+func TestRBOUnevenLengths(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"a", "b", "c", "d", "e", "f"}
+	r := RBO(a, b, 0.9)
+	if r <= 0 || r >= 1 {
+		t.Fatalf("uneven RBO = %v, want in (0,1)", r)
+	}
+	// The shorter list as a prefix must beat a shuffled long list.
+	shuffled := []string{"f", "e", "d", "c", "b", "a"}
+	if r2 := RBO(a, shuffled, 0.9); r2 >= r {
+		t.Fatalf("prefix RBO %v <= shuffled RBO %v", r, r2)
+	}
+}

@@ -1,0 +1,262 @@
+// Package plot renders simple, dependency-free SVG charts — grouped bar
+// charts with error bars and multi-series line charts — sufficient to
+// regenerate the paper's figures as images. The output is plain SVG 1.1
+// markup built with strings; tests validate it with encoding/xml.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart geometry shared by both chart types.
+const (
+	chartWidth   = 760
+	chartHeight  = 420
+	marginLeft   = 70
+	marginRight  = 30
+	marginTop    = 50
+	marginBottom = 90
+)
+
+// palette gives series/groups distinguishable fills.
+var palette = []string{
+	"#4878CF", "#EE854A", "#6ACC65", "#D65F5F",
+	"#956CB4", "#8C613C", "#DC7EC0", "#797979",
+}
+
+// esc escapes a string for SVG text nodes and attributes.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// BarGroup is one x-axis position of a grouped bar chart.
+type BarGroup struct {
+	// Label is the x-axis label.
+	Label string
+	// Values holds one bar height per series.
+	Values []float64
+	// Errors holds optional symmetric error-bar half-heights (nil or
+	// same length as Values).
+	Errors []float64
+}
+
+// BarChartSpec describes a grouped bar chart.
+type BarChartSpec struct {
+	Title  string
+	YLabel string
+	// Series names, one per bar within each group.
+	Series []string
+	Groups []BarGroup
+	// Baselines draws horizontal reference lines (e.g. noise floors).
+	Baselines []float64
+}
+
+// BarChart renders the spec as an SVG document.
+func BarChart(spec BarChartSpec) string {
+	maxY := 0.0
+	for _, g := range spec.Groups {
+		for i, v := range g.Values {
+			e := 0.0
+			if i < len(g.Errors) {
+				e = g.Errors[i]
+			}
+			if v+e > maxY {
+				maxY = v + e
+			}
+		}
+	}
+	for _, b := range spec.Baselines {
+		if b > maxY {
+			maxY = b
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+
+	var b strings.Builder
+	header(&b, spec.Title, spec.YLabel, maxY)
+
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	nGroups := len(spec.Groups)
+	if nGroups == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	groupW := plotW / float64(nGroups)
+	nSeries := len(spec.Series)
+	if nSeries == 0 {
+		nSeries = 1
+	}
+	barW := groupW * 0.8 / float64(nSeries)
+
+	y := func(v float64) float64 {
+		return float64(marginTop) + plotH*(1-v/maxY)
+	}
+
+	for gi, g := range spec.Groups {
+		x0 := float64(marginLeft) + groupW*float64(gi) + groupW*0.1
+		for si, v := range g.Values {
+			x := x0 + barW*float64(si)
+			h := plotH * v / maxY
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y(v), barW*0.92, h, palette[si%len(palette)])
+			if si < len(g.Errors) && g.Errors[si] > 0 {
+				cx := x + barW*0.46
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333" stroke-width="1.2"/>`+"\n",
+					cx, y(v+g.Errors[si]), cx, y(math.Max(0, v-g.Errors[si])))
+			}
+		}
+		// Group label, rotated when long.
+		lx := float64(marginLeft) + groupW*(float64(gi)+0.5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			lx, chartHeight-marginBottom+18, lx, chartHeight-marginBottom+18, esc(g.Label))
+	}
+
+	for _, base := range spec.Baselines {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#000" stroke-width="1.5" stroke-dasharray="6,3"/>`+"\n",
+			marginLeft, y(base), chartWidth-marginRight, y(base))
+	}
+
+	legend(&b, spec.Series)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// LineSeries is one line of a line chart.
+type LineSeries struct {
+	Name string
+	// Values are y-values at each x position (NaN skips a point).
+	Values []float64
+	// Emphasize draws the series thicker and red (the paper's noise
+	// line in Figure 8).
+	Emphasize bool
+}
+
+// LineChartSpec describes a multi-series line chart over categorical x
+// positions.
+type LineChartSpec struct {
+	Title  string
+	YLabel string
+	XLabel string
+	// XLabels are the positions' labels.
+	XLabels []string
+	Series  []LineSeries
+}
+
+// LineChart renders the spec as an SVG document.
+func LineChart(spec LineChartSpec) string {
+	maxY := 0.0
+	for _, s := range spec.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+
+	var b strings.Builder
+	header(&b, spec.Title, spec.YLabel, maxY)
+
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	n := len(spec.XLabels)
+	if n == 0 {
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+	xAt := func(i int) float64 {
+		if n == 1 {
+			return float64(marginLeft) + plotW/2
+		}
+		return float64(marginLeft) + plotW*float64(i)/float64(n-1)
+	}
+	yAt := func(v float64) float64 {
+		return float64(marginTop) + plotH*(1-v/maxY)
+	}
+
+	// X labels (thinned when crowded).
+	step := 1
+	if n > 16 {
+		step = n / 16
+	}
+	for i := 0; i < n; i += step {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="10" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			xAt(i), chartHeight-marginBottom+16, xAt(i), chartHeight-marginBottom+16, esc(spec.XLabels[i]))
+	}
+
+	var names []string
+	for si, s := range spec.Series {
+		color := palette[si%len(palette)]
+		width := 1.6
+		if s.Emphasize {
+			color = "#CC0000"
+			width = 3
+		}
+		var pts []string
+		for i, v := range s.Values {
+			if i >= n || math.IsNaN(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xAt(i), yAt(v)))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			strings.Join(pts, " "), color, width)
+		names = append(names, s.Name)
+	}
+	if len(names) <= 8 {
+		legend(&b, names)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// header emits the SVG prologue: canvas, title, axes, y ticks.
+func header(b *strings.Builder, title, yLabel string, maxY float64) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartWidth, chartHeight)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" font-weight="bold">%s</text>`+"\n",
+		marginLeft, esc(title))
+	// Axes.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginLeft, marginTop, marginLeft, chartHeight-marginBottom)
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		marginLeft, chartHeight-marginBottom, chartWidth-marginRight, chartHeight-marginBottom)
+	// Y label.
+	fmt.Fprintf(b, `<text x="16" y="%d" font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		(marginTop+chartHeight-marginBottom)/2, (marginTop+chartHeight-marginBottom)/2, esc(yLabel))
+	// Y ticks: 5 round intervals.
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	for i := 0; i <= 5; i++ {
+		v := maxY * float64(i) / 5
+		y := float64(marginTop) + plotH*(1-float64(i)/5)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%.2f</text>`+"\n",
+			marginLeft-6, y+3, v)
+	}
+}
+
+// legend emits a legend row under the title.
+func legend(b *strings.Builder, names []string) {
+	x := marginLeft
+	for i, name := range names {
+		fmt.Fprintf(b, `<rect x="%d" y="32" width="10" height="10" fill="%s"/>`+"\n",
+			x, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="41" font-size="11">%s</text>`+"\n", x+14, esc(name))
+		x += 14 + 8*len(name) + 20
+	}
+}

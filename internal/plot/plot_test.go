@@ -1,0 +1,139 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+// assertWellFormed parses the SVG with encoding/xml.
+func assertWellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func sampleBars() BarChartSpec {
+	return BarChartSpec{
+		Title:  "Figure 2: noise",
+		YLabel: "Avg. Edit Distance",
+		Series: []string{"Politicians", "Controversial", "Local"},
+		Groups: []BarGroup{
+			{Label: "County (Cuyahoga)", Values: []float64{0.5, 1.2, 4.3}, Errors: []float64{0.9, 1.4, 2.7}},
+			{Label: "State (Ohio)", Values: []float64{0.5, 1.2, 4.3}, Errors: []float64{0.9, 1.4, 2.6}},
+			{Label: "National (USA)", Values: []float64{0.6, 1.2, 4.2}, Errors: []float64{1.0, 1.4, 2.6}},
+		},
+		Baselines: []float64{4.0},
+	}
+}
+
+func TestBarChartStructure(t *testing.T) {
+	svg := BarChart(sampleBars())
+	assertWellFormed(t, svg)
+	// 9 bars + white background + 3 legend swatches = 13 rects.
+	if got := strings.Count(svg, "<rect"); got != 13 {
+		t.Fatalf("rect count = %d, want 13", got)
+	}
+	// Error bars: 9 lines with stroke-width 1.2, plus axes/grid/baseline.
+	if got := strings.Count(svg, `stroke-width="1.2"`); got != 9 {
+		t.Fatalf("error bars = %d, want 9", got)
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Fatal("baseline missing")
+	}
+	for _, want := range []string{"Figure 2: noise", "County (Cuyahoga)", "Politicians"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	assertWellFormed(t, BarChart(BarChartSpec{Title: "empty"}))
+}
+
+func TestBarChartEscaping(t *testing.T) {
+	spec := BarChartSpec{
+		Title:  `A <b>"title"</b> & more`,
+		Series: []string{"S&P"},
+		Groups: []BarGroup{{Label: "<x>", Values: []float64{1}}},
+	}
+	svg := BarChart(spec)
+	assertWellFormed(t, svg)
+	if strings.Contains(svg, "<b>") {
+		t.Fatal("unescaped markup in output")
+	}
+}
+
+func TestLineChartStructure(t *testing.T) {
+	spec := LineChartSpec{
+		Title:   "Figure 8",
+		YLabel:  "Avg. Edit Distance",
+		XLabels: []string{"day1", "day2", "day3", "day4", "day5"},
+		Series: []LineSeries{
+			{Name: "noise", Values: []float64{4, 4.1, 4, 4.2, 4}, Emphasize: true},
+			{Name: "district-02", Values: []float64{6, 6.1, 5.9, 6, 6.2}},
+			{Name: "district-03", Values: []float64{7, 7.2, 7.1, 7, 7.1}},
+		},
+	}
+	svg := LineChart(spec)
+	assertWellFormed(t, svg)
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Fatalf("polylines = %d, want 3", got)
+	}
+	if !strings.Contains(svg, "#CC0000") {
+		t.Fatal("emphasized series not highlighted")
+	}
+	if !strings.Contains(svg, "day3") {
+		t.Fatal("x labels missing")
+	}
+}
+
+func TestLineChartSkipsNaN(t *testing.T) {
+	spec := LineChartSpec{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []LineSeries{{Name: "s", Values: []float64{1, math.NaN(), 2}}},
+	}
+	svg := LineChart(spec)
+	assertWellFormed(t, svg)
+	if !strings.Contains(svg, "<polyline") {
+		t.Fatal("series with NaN dropped entirely")
+	}
+	// The polyline must have exactly two points.
+	start := strings.Index(svg, `points="`) + len(`points="`)
+	end := strings.Index(svg[start:], `"`)
+	if pts := strings.Fields(svg[start : start+end]); len(pts) != 2 {
+		t.Fatalf("points = %v, want 2", pts)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	assertWellFormed(t, LineChart(LineChartSpec{Title: "empty"}))
+	assertWellFormed(t, LineChart(LineChartSpec{Title: "no series", XLabels: []string{"a"}}))
+}
+
+func TestLineChartManyLabelsThinned(t *testing.T) {
+	labels := make([]string, 33)
+	vals := make([]float64, 33)
+	for i := range labels {
+		labels[i] = strings.Repeat("t", 3)
+		vals[i] = float64(i)
+	}
+	spec := LineChartSpec{XLabels: labels, Series: []LineSeries{{Name: "s", Values: vals}}}
+	svg := LineChart(spec)
+	assertWellFormed(t, svg)
+	// 33 labels at step 2 → ~17 text labels (plus axis/y labels). Ensure
+	// fewer than 33 rotated label nodes.
+	if got := strings.Count(svg, "rotate(-35"); got >= 33 {
+		t.Fatalf("labels not thinned: %d", got)
+	}
+}

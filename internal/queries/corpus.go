@@ -1,0 +1,352 @@
+package queries
+
+// This file embeds the concrete 240-term study corpus (§2.1):
+//
+//   - 33 local terms — the exact terms on the x-axes of Figures 3, 4 and 6.
+//   - 87 controversial terms — the Table 1 examples, the three terms §3.2
+//     singles out ("health", "republican party", "politics"), "abortion"
+//     (named in the paper's bullet list), and era-appropriate expansions to
+//     reach the paper's count of 87.
+//   - 120 politicians — 11 Cuyahoga County Council members, 53 Ohio
+//     House/Senate members, all 18 US House/Senate members from Ohio,
+//     36 non-Ohio members of Congress, Joe Biden, and Barack Obama.
+//
+// The US-Congress-from-Ohio names are the real 114th-Congress delegation.
+// The county-board and state-legislature names are synthetic but realistic
+// (the synthetic web corpus generates pages for exactly these names), since
+// the study's findings depend on the *scope* of the office, not the
+// individual. "Bill Johnson" and "Tim Ryan" are flagged as common names,
+// which the paper identifies as the source of their elevated
+// personalization.
+
+// localBrandTerms are chain brands; the paper observes these typically do
+// not yield Maps cards and are comparatively quiet.
+var localBrandTerms = []string{
+	"Chipotle",
+	"Starbucks",
+	"Dairy Queen",
+	"Mcdonalds",
+	"Subway",
+	"Burger King",
+	"KFC",
+	"Wendy's",
+	"Chick-fil-a",
+}
+
+// localGenericTerms are generic establishment types; these are the noisy,
+// heavily personalized end of Figures 3 and 6.
+var localGenericTerms = []string{
+	"Post Office",
+	"Polling Place",
+	"Train",
+	"University",
+	"Sushi",
+	"Football",
+	"Bank",
+	"Burger",
+	"Rail",
+	"Coffee",
+	"Restaurant",
+	"Park",
+	"Fast Food",
+	"Police Station",
+	"Bus",
+	"School",
+	"Fire Station",
+	"Airport",
+	"Hospital",
+	"College",
+	"Station",
+	"High School",
+	"Elementary School",
+	"Middle School",
+}
+
+// controversialTerms: the first 18 entries are Table 1 verbatim.
+var controversialTerms = []string{
+	"Progressive Tax",
+	"Impose A Flat Tax",
+	"End Medicaid",
+	"Affordable Health And Care Act",
+	"Fluoridate Water",
+	"Stem Cell Research",
+	"Andrew Wakefield Vindicated",
+	"Autism Caused By Vaccines",
+	"US Government Loses AAA Bond Rate",
+	"Is Global Warming Real",
+	"Man Made Global Warming Hoax",
+	"Nuclear Power Plants",
+	"Offshore Drilling",
+	"Genetically Modified Organisms",
+	"Late Term Abortion",
+	"Barack Obama Birth Certificate",
+	"Impeach Barack Obama",
+	"Gay Marriage",
+	// Terms named elsewhere in the paper's analysis.
+	"Health",
+	"Republican Party",
+	"Politics",
+	"Abortion",
+	// Era-appropriate expansion to the paper's count of 87.
+	"Gun Control",
+	"Second Amendment",
+	"Death Penalty",
+	"Minimum Wage",
+	"Immigration Reform",
+	"Border Security",
+	"Climate Change",
+	"Renewable Energy",
+	"Fracking",
+	"Keystone Pipeline",
+	"Net Neutrality",
+	"NSA Surveillance",
+	"Edward Snowden",
+	"Patriot Act",
+	"Obamacare",
+	"Single Payer Healthcare",
+	"Legalize Marijuana",
+	"Medical Marijuana",
+	"War On Drugs",
+	"Mass Incarceration",
+	"Police Brutality",
+	"Affirmative Action",
+	"School Vouchers",
+	"Common Core",
+	"Charter Schools",
+	"Right To Work",
+	"Labor Unions",
+	"Social Security Reform",
+	"Welfare Reform",
+	"Food Stamps",
+	"Income Inequality",
+	"Wall Street Bailout",
+	"Too Big To Fail",
+	"Federal Reserve Audit",
+	"Debt Ceiling",
+	"Government Shutdown",
+	"Term Limits",
+	"Electoral College",
+	"Voter ID Laws",
+	"Gerrymandering",
+	"Campaign Finance Reform",
+	"Citizens United",
+	"Supreme Court Nominations",
+	"Religious Freedom Act",
+	"Separation Of Church And State",
+	"Creationism In Schools",
+	"Evolution Debate",
+	"Sex Education",
+	"Planned Parenthood",
+	"Contraception Mandate",
+	"Assisted Suicide",
+	"Euthanasia",
+	"Animal Testing",
+	"Factory Farming",
+	"Vaccination Exemptions",
+	"Flu Vaccine Safety",
+	"Chemtrails",
+	"Iran Nuclear Deal",
+	"Israel Palestine Conflict",
+	"Syrian Refugees",
+	"ISIS Threat",
+	"Drone Strikes",
+	"Guantanamo Bay",
+	"Torture Report",
+	"Military Spending",
+}
+
+// countyBoardNames are the 11 Cuyahoga County Council seats (synthetic).
+var countyBoardNames = []string{
+	"Margaret Kowalski",
+	"Daryl Whitfield",
+	"Rosa Delgado",
+	"Stanley Novak",
+	"Patricia Okafor",
+	"Leonard Brzezinski",
+	"Yvette Carrington",
+	"Marcus Halloran",
+	"Sofia Petrov",
+	"Gerald Umansky",
+	"Deborah Katz",
+}
+
+// ohioLegislatureNames are 53 Ohio House and Senate members (synthetic).
+var ohioLegislatureNames = []string{
+	"Alan Pruitt",
+	"Brenda Stallworth",
+	"Carl Jennings",
+	"Denise Albrecht",
+	"Edgar Valdez",
+	"Felicia Monroe",
+	"Gordon Hatfield",
+	"Harriet Osei",
+	"Ivan Kovacs",
+	"Janet Fairbanks",
+	"Kyle Demarco",
+	"Lorraine Bishop",
+	"Miles Thackeray",
+	"Nina Castellano",
+	"Oscar Lindqvist",
+	"Paula Venable",
+	"Quentin Marsh",
+	"Rita Dombrowski",
+	"Samuel Igwe",
+	"Teresa Lockhart",
+	"Ulysses Grant Parker",
+	"Vivian Chu",
+	"Walter Sandoval",
+	"Ximena Reyes",
+	"Yusuf Haddad",
+	"Zachary Pemberton",
+	"Adele Fontaine",
+	"Bernard Kwiatkowski",
+	"Cynthia Marbury",
+	"Dominic Ferraro",
+	"Eleanor Voss",
+	"Franklin Dubois",
+	"Gloria Nakamura",
+	"Howard Beckett",
+	"Irene Salazar",
+	"Jerome Whitaker",
+	"Kathleen O'Rourke",
+	"Lamar Hutchins",
+	"Monica Straub",
+	"Nathaniel Greer",
+	"Olivia Pennington",
+	"Preston Caldwell",
+	"Ramona Villanueva",
+	"Spencer Holloway",
+	"Tabitha Mercer",
+	"Ursula Bergstrom",
+	"Vernon Applewhite",
+	"Wanda Kirkpatrick",
+	"Xavier Dunmore",
+	"Yolanda Brewster",
+	"Zeke Ramsdell",
+	"Audrey Falkner",
+	"Byron Castellanos",
+}
+
+// usCongressOhio is the real Ohio delegation to the 114th Congress:
+// 16 House members plus Senators Brown and Portman.
+var usCongressOhio = []string{
+	"Sherrod Brown",
+	"Rob Portman",
+	"Steve Chabot",
+	"Brad Wenstrup",
+	"Joyce Beatty",
+	"Jim Jordan",
+	"Bob Latta",
+	"Bill Johnson",
+	"Bob Gibbs",
+	"John Boehner",
+	"Marcy Kaptur",
+	"Mike Turner",
+	"Marcia Fudge",
+	"Pat Tiberi",
+	"Tim Ryan",
+	"Dave Joyce",
+	"Steve Stivers",
+	"Jim Renacci",
+}
+
+// commonNames flags the ambiguous politician names called out in §3.2.
+var commonNames = map[string]bool{
+	"Bill Johnson": true,
+	"Tim Ryan":     true,
+	"Mike Turner":  true,
+}
+
+// usCongressOther are 36 members of the 114th Congress not from Ohio.
+var usCongressOther = []string{
+	"Nancy Pelosi",
+	"Paul Ryan",
+	"Mitch McConnell",
+	"Harry Reid",
+	"Elizabeth Warren",
+	"Bernie Sanders",
+	"John McCain",
+	"Ted Cruz",
+	"Marco Rubio",
+	"Rand Paul",
+	"Chuck Schumer",
+	"Dianne Feinstein",
+	"Lindsey Graham",
+	"Kirsten Gillibrand",
+	"Cory Booker",
+	"Al Franken",
+	"Amy Klobuchar",
+	"Patty Murray",
+	"Ron Wyden",
+	"Jeff Flake",
+	"Kelly Ayotte",
+	"Susan Collins",
+	"Joe Manchin",
+	"Claire McCaskill",
+	"Jon Tester",
+	"Tom Cotton",
+	"Steve Scalise",
+	"Kevin McCarthy",
+	"Jim Clyburn",
+	"Trey Gowdy",
+	"Jason Chaffetz",
+	"Debbie Wasserman Schultz",
+	"Tulsi Gabbard",
+	"Adam Schiff",
+	"Devin Nunes",
+	"Maxine Waters",
+}
+
+// nationalFigures per §2.1.
+var nationalFigures = []string{
+	"Joe Biden",
+	"Barack Obama",
+}
+
+// StudyQueries returns the full 240-query corpus.
+func StudyQueries() []Query {
+	var out []Query
+	for _, t := range localBrandTerms {
+		out = append(out, Query{Term: t, Category: Local, Brand: true})
+	}
+	for _, t := range localGenericTerms {
+		out = append(out, Query{Term: t, Category: Local})
+	}
+	for _, t := range controversialTerms {
+		out = append(out, Query{Term: t, Category: Controversial})
+	}
+	addPol := func(names []string, scope PoliticianScope) {
+		for _, n := range names {
+			out = append(out, Query{
+				Term:       n,
+				Category:   Politician,
+				Scope:      scope,
+				CommonName: commonNames[n],
+			})
+		}
+	}
+	addPol(countyBoardNames, ScopeCountyBoard)
+	addPol(ohioLegislatureNames, ScopeStateLegislature)
+	addPol(usCongressOhio, ScopeUSCongressOhio)
+	addPol(usCongressOther, ScopeUSCongressOther)
+	addPol(nationalFigures, ScopeNationalFigure)
+	return out
+}
+
+// StudyCorpus returns StudyQueries wrapped in a validated Corpus. It panics
+// on error because the tables are compile-time constants.
+func StudyCorpus() *Corpus {
+	c, err := NewCorpus(StudyQueries())
+	if err != nil {
+		panic("queries: invalid embedded corpus: " + err.Error())
+	}
+	return c
+}
+
+// Table1Terms returns the 18 controversial example terms exactly as printed
+// in the paper's Table 1.
+func Table1Terms() []string {
+	out := make([]string, 18)
+	copy(out, controversialTerms[:18])
+	return out
+}

@@ -1,0 +1,223 @@
+// Package queries defines the 240-term query corpus of the study (§2.1):
+// 33 local terms, 87 controversial terms, and 120 politician names, together
+// with the attributes the analysis needs (brand vs. generic local terms,
+// politician scope, common-name ambiguity).
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category is the paper's three-way query taxonomy.
+type Category int
+
+const (
+	// Local queries name physical establishments and public services
+	// ("bank", "hospital", "KFC"). The paper treats them as an upper
+	// bound on location-based personalization.
+	Local Category = iota
+	// Controversial queries are news- or politics-related issues
+	// (Table 1). Location-based personalization of these would be
+	// evidence of a geolocal Filter Bubble.
+	Controversial
+	// Politician queries are names of office-holders at county, state,
+	// and national scope.
+	Politician
+)
+
+// Categories lists all categories in the order the paper's figures use.
+var Categories = []Category{Politician, Controversial, Local}
+
+// String returns the paper's label for the category.
+func (c Category) String() string {
+	switch c {
+	case Local:
+		return "Local"
+	case Controversial:
+		return "Controversial"
+	case Politician:
+		return "Politicians"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Short returns a compact machine-friendly label.
+func (c Category) Short() string {
+	switch c {
+	case Local:
+		return "local"
+	case Controversial:
+		return "controversial"
+	case Politician:
+		return "politician"
+	default:
+		return fmt.Sprintf("c%d", int(c))
+	}
+}
+
+// ParseCategory converts a Short label back to a Category.
+func ParseCategory(s string) (Category, error) {
+	switch s {
+	case "local":
+		return Local, nil
+	case "controversial":
+		return Controversial, nil
+	case "politician":
+		return Politician, nil
+	}
+	return 0, fmt.Errorf("queries: unknown category %q", s)
+}
+
+// PoliticianScope distinguishes the five politician sub-groups of §2.1.
+type PoliticianScope int
+
+const (
+	// ScopeNone marks non-politician queries.
+	ScopeNone PoliticianScope = iota
+	// ScopeCountyBoard: members of the Cuyahoga County Council.
+	ScopeCountyBoard
+	// ScopeStateLegislature: members of the Ohio House and Senate.
+	ScopeStateLegislature
+	// ScopeUSCongressOhio: US House and Senate members from Ohio.
+	ScopeUSCongressOhio
+	// ScopeUSCongressOther: US House and Senate members not from Ohio.
+	ScopeUSCongressOther
+	// ScopeNationalFigure: Joe Biden and Barack Obama.
+	ScopeNationalFigure
+)
+
+// String returns a human-readable scope label.
+func (s PoliticianScope) String() string {
+	switch s {
+	case ScopeNone:
+		return "none"
+	case ScopeCountyBoard:
+		return "county-board"
+	case ScopeStateLegislature:
+		return "state-legislature"
+	case ScopeUSCongressOhio:
+		return "us-congress-ohio"
+	case ScopeUSCongressOther:
+		return "us-congress-other"
+	case ScopeNationalFigure:
+		return "national-figure"
+	default:
+		return fmt.Sprintf("scope%d", int(s))
+	}
+}
+
+// Query is a single search term plus the attributes the analysis layer
+// conditions on.
+type Query struct {
+	// Term is the text typed into the search box.
+	Term string `json:"term"`
+	// Category is the paper's taxonomy bucket.
+	Category Category `json:"category"`
+	// Brand marks local terms that are chain brand names ("Starbucks")
+	// rather than generic establishment types ("school"). The paper
+	// observes that brands are less noisy and less personalized, and do
+	// not receive Maps cards.
+	Brand bool `json:"brand,omitempty"`
+	// Scope is the politician sub-group (ScopeNone otherwise).
+	Scope PoliticianScope `json:"scope,omitempty"`
+	// CommonName marks politician names shared by many people
+	// ("Bill Johnson", "Tim Ryan"); the paper attributes their elevated
+	// personalization to ambiguity.
+	CommonName bool `json:"common_name,omitempty"`
+}
+
+// ID returns a stable slug for the query, usable in URLs and file names.
+func (q Query) ID() string {
+	s := strings.ToLower(q.Term)
+	s = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r == ' ', r == '-', r == '\'':
+			return '-'
+		default:
+			return -1
+		}
+	}, s)
+	for strings.Contains(s, "--") {
+		s = strings.ReplaceAll(s, "--", "-")
+	}
+	return strings.Trim(s, "-")
+}
+
+// Corpus is the full validated query set.
+type Corpus struct {
+	all    []Query
+	byTerm map[string]Query
+}
+
+// NewCorpus validates and indexes a query list: terms must be unique and
+// non-empty, and politician attributes consistent with categories.
+func NewCorpus(qs []Query) (*Corpus, error) {
+	c := &Corpus{byTerm: make(map[string]Query, len(qs))}
+	for _, q := range qs {
+		if strings.TrimSpace(q.Term) == "" {
+			return nil, fmt.Errorf("queries: empty term")
+		}
+		if _, dup := c.byTerm[q.Term]; dup {
+			return nil, fmt.Errorf("queries: duplicate term %q", q.Term)
+		}
+		if (q.Category == Politician) != (q.Scope != ScopeNone) {
+			return nil, fmt.Errorf("queries: term %q has category %v but scope %v",
+				q.Term, q.Category, q.Scope)
+		}
+		if q.Brand && q.Category != Local {
+			return nil, fmt.Errorf("queries: non-local term %q marked as brand", q.Term)
+		}
+		c.byTerm[q.Term] = q
+		c.all = append(c.all, q)
+	}
+	sort.Slice(c.all, func(i, j int) bool { return c.all[i].Term < c.all[j].Term })
+	return c, nil
+}
+
+// All returns every query, sorted by term. The slice must not be mutated.
+func (c *Corpus) All() []Query { return c.all }
+
+// Len returns the corpus size.
+func (c *Corpus) Len() int { return len(c.all) }
+
+// ByTerm looks up a query by its exact term.
+func (c *Corpus) ByTerm(term string) (Query, bool) {
+	q, ok := c.byTerm[term]
+	return q, ok
+}
+
+// Category returns the queries in the given category, sorted by term.
+func (c *Corpus) Category(cat Category) []Query {
+	var out []Query
+	for _, q := range c.all {
+		if q.Category == cat {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Scope returns the politician queries with the given scope.
+func (c *Corpus) Scope(s PoliticianScope) []Query {
+	var out []Query
+	for _, q := range c.all {
+		if q.Scope == s {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Terms returns the bare term strings of qs, preserving order.
+func Terms(qs []Query) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.Term
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStudyCorpusCounts(t *testing.T) {
+	c := StudyCorpus()
+	if got := c.Len(); got != 240 {
+		t.Fatalf("corpus size = %d, want 240", got)
+	}
+	if got := len(c.Category(Local)); got != 33 {
+		t.Fatalf("local terms = %d, want 33", got)
+	}
+	if got := len(c.Category(Controversial)); got != 87 {
+		t.Fatalf("controversial terms = %d, want 87", got)
+	}
+	if got := len(c.Category(Politician)); got != 120 {
+		t.Fatalf("politician terms = %d, want 120", got)
+	}
+}
+
+func TestPoliticianScopeCounts(t *testing.T) {
+	c := StudyCorpus()
+	cases := []struct {
+		scope PoliticianScope
+		want  int
+	}{
+		{ScopeCountyBoard, 11},
+		{ScopeStateLegislature, 53},
+		{ScopeUSCongressOhio, 18},
+		{ScopeUSCongressOther, 36},
+		{ScopeNationalFigure, 2},
+	}
+	for _, cse := range cases {
+		if got := len(c.Scope(cse.scope)); got != cse.want {
+			t.Fatalf("scope %v has %d queries, want %d", cse.scope, got, cse.want)
+		}
+	}
+}
+
+func TestBrandSplit(t *testing.T) {
+	c := StudyCorpus()
+	brands := 0
+	for _, q := range c.Category(Local) {
+		if q.Brand {
+			brands++
+		}
+	}
+	if brands != 9 {
+		t.Fatalf("brand terms = %d, want 9", brands)
+	}
+	// Spot checks from the paper's figures.
+	for _, term := range []string{"Starbucks", "KFC", "Chick-fil-a"} {
+		q, ok := c.ByTerm(term)
+		if !ok || !q.Brand {
+			t.Fatalf("%q should be a brand local term (ok=%v, q=%+v)", term, ok, q)
+		}
+	}
+	for _, term := range []string{"School", "Post Office", "Airport"} {
+		q, ok := c.ByTerm(term)
+		if !ok || q.Brand {
+			t.Fatalf("%q should be a generic local term (ok=%v, q=%+v)", term, ok, q)
+		}
+	}
+}
+
+func TestTable1Terms(t *testing.T) {
+	terms := Table1Terms()
+	if len(terms) != 18 {
+		t.Fatalf("Table 1 has %d terms, want 18", len(terms))
+	}
+	want := map[string]bool{
+		"Gay Marriage":                 true,
+		"Progressive Tax":              true,
+		"Impeach Barack Obama":         true,
+		"Stem Cell Research":           true,
+		"Autism Caused By Vaccines":    true,
+		"Man Made Global Warming Hoax": true,
+	}
+	found := 0
+	for _, term := range terms {
+		if want[term] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("Table 1 spot check found %d/%d expected terms", found, len(want))
+	}
+	c := StudyCorpus()
+	for _, term := range terms {
+		q, ok := c.ByTerm(term)
+		if !ok || q.Category != Controversial {
+			t.Fatalf("Table 1 term %q missing or miscategorized", term)
+		}
+	}
+}
+
+func TestCommonNamesFlagged(t *testing.T) {
+	c := StudyCorpus()
+	for _, name := range []string{"Bill Johnson", "Tim Ryan"} {
+		q, ok := c.ByTerm(name)
+		if !ok {
+			t.Fatalf("missing politician %q", name)
+		}
+		if !q.CommonName {
+			t.Fatalf("%q not flagged as common name", name)
+		}
+		if q.Scope != ScopeUSCongressOhio {
+			t.Fatalf("%q scope = %v, want ScopeUSCongressOhio", name, q.Scope)
+		}
+	}
+	q, _ := c.ByTerm("Barack Obama")
+	if q.CommonName {
+		t.Fatal("Barack Obama flagged as common name")
+	}
+	if q.Scope != ScopeNationalFigure {
+		t.Fatalf("Barack Obama scope = %v", q.Scope)
+	}
+}
+
+func TestQueryID(t *testing.T) {
+	cases := map[string]string{
+		"Chick-fil-a":            "chick-fil-a",
+		"Wendy's":                "wendy-s",
+		"Post Office":            "post-office",
+		"Barack Obama":           "barack-obama",
+		"Is Global Warming Real": "is-global-warming-real",
+	}
+	for term, want := range cases {
+		q := Query{Term: term}
+		if got := q.ID(); got != want {
+			t.Fatalf("ID(%q) = %q, want %q", term, got, want)
+		}
+	}
+}
+
+func TestQueryIDsUnique(t *testing.T) {
+	c := StudyCorpus()
+	seen := make(map[string]string)
+	for _, q := range c.All() {
+		id := q.ID()
+		if id == "" {
+			t.Fatalf("query %q has empty ID", q.Term)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("queries %q and %q share ID %q", prev, q.Term, id)
+		}
+		seen[id] = q.Term
+	}
+}
+
+func TestNewCorpusValidation(t *testing.T) {
+	if _, err := NewCorpus([]Query{{Term: "  "}}); err == nil {
+		t.Fatal("empty term accepted")
+	}
+	if _, err := NewCorpus([]Query{
+		{Term: "x", Category: Local},
+		{Term: "x", Category: Local},
+	}); err == nil {
+		t.Fatal("duplicate term accepted")
+	}
+	if _, err := NewCorpus([]Query{{Term: "x", Category: Politician}}); err == nil {
+		t.Fatal("politician without scope accepted")
+	}
+	if _, err := NewCorpus([]Query{{Term: "x", Category: Local, Scope: ScopeCountyBoard}}); err == nil {
+		t.Fatal("local query with politician scope accepted")
+	}
+	if _, err := NewCorpus([]Query{{Term: "x", Category: Controversial, Brand: true}}); err == nil {
+		t.Fatal("controversial brand accepted")
+	}
+}
+
+func TestCorpusOrderingAndLookup(t *testing.T) {
+	c := StudyCorpus()
+	all := c.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Term >= all[i].Term {
+			t.Fatalf("All() not sorted at %d: %q >= %q", i, all[i-1].Term, all[i].Term)
+		}
+	}
+	if _, ok := c.ByTerm("definitely not a query"); ok {
+		t.Fatal("ByTerm returned ok for missing term")
+	}
+}
+
+func TestCategoryLabels(t *testing.T) {
+	cases := map[Category][2]string{
+		Local:         {"Local", "local"},
+		Controversial: {"Controversial", "controversial"},
+		Politician:    {"Politicians", "politician"},
+	}
+	for cat, want := range cases {
+		if cat.String() != want[0] || cat.Short() != want[1] {
+			t.Fatalf("labels for %d = %q/%q, want %q/%q",
+				cat, cat.String(), cat.Short(), want[0], want[1])
+		}
+		back, err := ParseCategory(cat.Short())
+		if err != nil || back != cat {
+			t.Fatalf("ParseCategory(%q) = %v, %v", cat.Short(), back, err)
+		}
+	}
+	if _, err := ParseCategory("bogus"); err == nil {
+		t.Fatal("ParseCategory accepted junk")
+	}
+	if Category(42).String() == "" || PoliticianScope(42).String() == "" {
+		t.Fatal("unknown enums have empty labels")
+	}
+}
+
+func TestTermsHelper(t *testing.T) {
+	qs := []Query{{Term: "b"}, {Term: "a"}}
+	got := Terms(qs)
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("Terms = %v", got)
+	}
+}
+
+func TestScopeStrings(t *testing.T) {
+	scopes := []PoliticianScope{
+		ScopeNone, ScopeCountyBoard, ScopeStateLegislature,
+		ScopeUSCongressOhio, ScopeUSCongressOther, ScopeNationalFigure,
+	}
+	seen := make(map[string]bool)
+	for _, s := range scopes {
+		label := s.String()
+		if label == "" || strings.Contains(label, " ") {
+			t.Fatalf("scope %d label %q", s, label)
+		}
+		if seen[label] {
+			t.Fatalf("duplicate scope label %q", label)
+		}
+		seen[label] = true
+	}
+}

@@ -1,0 +1,169 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/stats"
+	"geoserp/internal/storage"
+)
+
+// This file renders the follow-up analyses the paper proposes in §5 —
+// location clustering, domain-level content analysis, and the continuous
+// personalization-vs-distance curve.
+
+// Clusters renders the location-clustering analysis (the paper's Figure 8a
+// observation that some county locations receive near-identical results).
+func Clusters(granularity string, clusters []analysis.Cluster, threshold float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Location clusters at %s granularity (link threshold %.2f):\n", granularity, threshold)
+	b.WriteString(strings.Repeat("-", 66) + "\n")
+	for i, c := range clusters {
+		fmt.Fprintf(&b, "cluster %d (%d locations, intra-dist %.2f):\n", i+1, len(c.Locations), c.MeanIntraDist)
+		for _, loc := range c.Locations {
+			fmt.Fprintf(&b, "    %s\n", loc)
+		}
+	}
+	if len(clusters) == 0 {
+		b.WriteString("  (no locations)\n")
+	}
+	return b.String()
+}
+
+// ClustersCSV exports the clustering as a table.
+func ClustersCSV(granularity string, clusters []analysis.Cluster) *storage.Table {
+	t := &storage.Table{Header: []string{"granularity", "cluster", "location", "intra_dist"}}
+	for i, c := range clusters {
+		for _, loc := range c.Locations {
+			t.AddRow(granularity, fmt.Sprint(i+1), loc, fmtF(c.MeanIntraDist))
+		}
+	}
+	return t
+}
+
+// DomainBias renders the content analysis: the most location-biased
+// domains.
+func DomainBias(rows []analysis.DomainBias, limit int) string {
+	var b strings.Builder
+	b.WriteString("Content analysis (§5 follow-up): domains served unevenly across locations.\n")
+	fmt.Fprintf(&b, "%-44s %10s %8s  %s\n", "domain", "presence", "spread", "top location")
+	b.WriteString(strings.Repeat("-", 92) + "\n")
+	for i, r := range rows {
+		if limit > 0 && i >= limit {
+			fmt.Fprintf(&b, "  … %d more\n", len(rows)-limit)
+			break
+		}
+		fmt.Fprintf(&b, "%-44s %10s %8s  %s (%.2f)\n",
+			r.Domain, fmtF(r.MeanPresence), fmtF(r.Spread), r.TopLocation, r.TopPresence)
+	}
+	return b.String()
+}
+
+// DomainBiasCSV exports the content analysis.
+func DomainBiasCSV(rows []analysis.DomainBias) *storage.Table {
+	t := &storage.Table{Header: []string{"domain", "mean_presence", "spread", "top_location", "top_presence"}}
+	for _, r := range rows {
+		t.AddRow(r.Domain, fmtF(r.MeanPresence), fmtF(r.Spread), r.TopLocation, fmtF(r.TopPresence))
+	}
+	return t
+}
+
+// ScopeBreakdown renders the politician-scope analysis (§2.1's open
+// question: how are officials treated inside vs outside their home
+// territory?).
+func ScopeBreakdown(cells []analysis.ScopeCell) string {
+	var b strings.Builder
+	b.WriteString("Politician personalization by office scope (§2.1 follow-up):\n")
+	fmt.Fprintf(&b, "%-20s %-22s %10s %10s %12s %6s\n",
+		"scope", "granularity", "edit", "jaccard", "noise_edit", "n")
+	b.WriteString(strings.Repeat("-", 86) + "\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-20s %-22s %10s %10s %12s %6d\n",
+			c.Scope, c.Granularity,
+			fmtF(c.Edit.Mean), fmtF(c.Jaccard.Mean), fmtF(c.NoiseEdit), c.Edit.N)
+	}
+	return b.String()
+}
+
+// ScopeBreakdownCSV exports the scope analysis.
+func ScopeBreakdownCSV(cells []analysis.ScopeCell) *storage.Table {
+	t := &storage.Table{Header: []string{"scope", "granularity", "edit_mean", "jaccard_mean", "noise_edit", "n"}}
+	for _, c := range cells {
+		t.AddRow(c.Scope, c.Granularity, fmtF(c.Edit.Mean), fmtF(c.Jaccard.Mean),
+			fmtF(c.NoiseEdit), fmt.Sprint(c.Edit.N))
+	}
+	return t
+}
+
+// CommonNames renders the name-ambiguity contrast (the paper's "Bill
+// Johnson"/"Tim Ryan" observation).
+func CommonNames(cells []analysis.CommonNameCell) string {
+	var b strings.Builder
+	b.WriteString("Common-name ambiguity: ambiguous politician names vs the rest (§3.2):\n")
+	fmt.Fprintf(&b, "%-22s %14s %14s\n", "granularity", "common edit", "others edit")
+	b.WriteString(strings.Repeat("-", 54) + "\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-22s %14s %14s\n", c.Granularity, fmtF(c.CommonEdit), fmtF(c.OtherEdit))
+	}
+	return b.String()
+}
+
+// DistanceDecay renders the continuous personalization-vs-distance curve.
+func DistanceDecay(bins []analysis.DecayBin, fit stats.Linear) string {
+	var b strings.Builder
+	b.WriteString("Personalization vs distance (continuous; geometric distance bins):\n")
+	fmt.Fprintf(&b, "%16s %12s %12s %8s  %s\n", "distance", "edit", "jaccard", "n", "")
+	b.WriteString(strings.Repeat("-", 66) + "\n")
+	for _, bin := range bins {
+		bar := ""
+		if bin.Edit.Mean > 0 {
+			n := int(bin.Edit.Mean)
+			if n > 30 {
+				n = 30
+			}
+			bar = strings.Repeat("#", n)
+		}
+		fmt.Fprintf(&b, "%6.0f-%-6.0fkm %12s %12s %8d  %s\n",
+			bin.LoKm, bin.HiKm, fmtF(bin.Edit.Mean), fmtF(bin.Jaccard.Mean), bin.Edit.N, bar)
+	}
+	fmt.Fprintf(&b, "fit: edit ≈ %.2f·log10(km) + %.2f  (R²=%.2f)\n", fit.Slope, fit.Intercept, fit.R2)
+	return b.String()
+}
+
+// DistanceDecayCSV exports the decay curve.
+func DistanceDecayCSV(bins []analysis.DecayBin) *storage.Table {
+	t := &storage.Table{Header: []string{"lo_km", "hi_km", "edit_mean", "jaccard_mean", "n"}}
+	for _, bin := range bins {
+		t.AddRow(fmt.Sprintf("%.0f", bin.LoKm), fmt.Sprintf("%.0f", bin.HiKm),
+			fmtF(bin.Edit.Mean), fmtF(bin.Jaccard.Mean), fmt.Sprint(bin.Edit.N))
+	}
+	return t
+}
+
+// Reordering renders the composition-vs-reordering decomposition built on
+// Kendall's tau and RBO.
+func Reordering(cells []analysis.ReorderCell) string {
+	var b strings.Builder
+	b.WriteString("Composition vs reordering (Kendall tau / RBO decomposition):\n")
+	fmt.Fprintf(&b, "%-14s %-22s %12s %12s %10s\n",
+		"category", "granularity", "composition", "reordering", "rbo")
+	b.WriteString(strings.Repeat("-", 76) + "\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-14s %-22s %12s %12s %10s\n",
+			c.Category, c.Granularity,
+			fmtF(c.Composition.Mean), fmtF(c.Reordering.Mean), fmtF(c.RBO.Mean))
+	}
+	b.WriteString("(composition = 1-Jaccard; reordering = normalized Kendall disagreement of shared results)\n")
+	return b.String()
+}
+
+// ReorderingCSV exports the decomposition.
+func ReorderingCSV(cells []analysis.ReorderCell) *storage.Table {
+	t := &storage.Table{Header: []string{"category", "granularity", "composition", "reordering", "rbo"}}
+	for _, c := range cells {
+		t.AddRow(c.Category, c.Granularity,
+			fmtF(c.Composition.Mean), fmtF(c.Reordering.Mean), fmtF(c.RBO.Mean))
+	}
+	return t
+}

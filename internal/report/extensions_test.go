@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/stats"
+)
+
+func TestClustersRendering(t *testing.T) {
+	clusters := []analysis.Cluster{
+		{Locations: []string{"d/1", "d/2"}, MeanIntraDist: 0.5},
+		{Locations: []string{"d/3"}},
+	}
+	out := Clusters("county", clusters, 4.5)
+	for _, want := range []string{"county", "4.50", "cluster 1 (2 locations", "d/3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(Clusters("county", nil, 1), "(no locations)") {
+		t.Fatal("empty clusters not rendered")
+	}
+	tbl := ClustersCSV("county", clusters)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestDomainBiasRendering(t *testing.T) {
+	rows := []analysis.DomainBias{
+		{Domain: "ohio.localguide.example", MeanPresence: 0.3, Spread: 0.9, TopLocation: "county/cuyahoga", TopPresence: 0.95},
+		{Domain: "encyclopedia.example", MeanPresence: 1.0, Spread: 0.0, TopLocation: "county/athens", TopPresence: 1.0},
+	}
+	out := DomainBias(rows, 0)
+	if !strings.Contains(out, "ohio.localguide.example") || !strings.Contains(out, "0.900") {
+		t.Fatalf("out = %s", out)
+	}
+	limited := DomainBias(rows, 1)
+	if !strings.Contains(limited, "… 1 more") {
+		t.Fatalf("limit not applied: %s", limited)
+	}
+	if tbl := DomainBiasCSV(rows); len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestDistanceDecayRendering(t *testing.T) {
+	bins := []analysis.DecayBin{
+		{LoKm: 1, HiKm: 2, Edit: stats.Summary{N: 4, Mean: 2}, Jaccard: stats.Summary{N: 4, Mean: 0.9}},
+		{LoKm: 256, HiKm: 512, Edit: stats.Summary{N: 9, Mean: 9.5}, Jaccard: stats.Summary{N: 9, Mean: 0.5}},
+	}
+	fit := stats.Linear{Slope: 2.5, Intercept: 1.2, R2: 0.8}
+	out := DistanceDecay(bins, fit)
+	for _, want := range []string{"2.50·log10", "256-512", "9.500", "#########"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if tbl := DistanceDecayCSV(bins); len(tbl.Rows) != 2 || tbl.Rows[1][0] != "256" {
+		t.Fatalf("csv = %+v", DistanceDecayCSV(bins).Rows)
+	}
+}

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/geo"
+	"geoserp/internal/queries"
+)
+
+// HTMLSection is one block of the self-contained HTML report: a heading,
+// the text rendering of a table/figure, and (optionally) its SVG image.
+type HTMLSection struct {
+	Heading string
+	PreText string
+	// SVG is inlined verbatim (it is produced by internal/plot, not user
+	// input).
+	SVG template.HTML
+}
+
+// HTMLReport is the input to RenderHTML.
+type HTMLReport struct {
+	Title    string
+	Subtitle string
+	Sections []HTMLSection
+}
+
+var htmlTemplate = template.Must(template.New("report").Parse(`<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+ body { font-family: Georgia, serif; max-width: 880px; margin: 2em auto; color: #222; }
+ h1 { font-size: 1.6em; border-bottom: 2px solid #444; padding-bottom: 0.3em; }
+ h2 { font-size: 1.2em; margin-top: 2em; }
+ pre { background: #f7f7f4; padding: 1em; overflow-x: auto; font-size: 12px; line-height: 1.35; }
+ .subtitle { color: #666; font-style: italic; }
+ figure { margin: 1em 0; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p class="subtitle">{{.Subtitle}}</p>
+{{range .Sections}}
+<h2>{{.Heading}}</h2>
+{{if .SVG}}<figure>{{.SVG}}</figure>{{end}}
+{{if .PreText}}<pre>{{.PreText}}</pre>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// RenderHTML renders the report document.
+func RenderHTML(r HTMLReport) (string, error) {
+	var b strings.Builder
+	if err := htmlTemplate.Execute(&b, r); err != nil {
+		return "", fmt.Errorf("report: render html: %w", err)
+	}
+	return b.String(), nil
+}
+
+// BuildHTMLReport assembles the full study report — every table and
+// figure, the scorecard, and the demographics analysis — from a dataset.
+func BuildHTMLReport(d *analysis.Dataset, locs *geo.Dataset) HTMLReport {
+	r := HTMLReport{
+		Title: "Location, Location, Location — reproduction report",
+		Subtitle: "Kliman-Silver, Hannák, Lazer, Wilson, Mislove (IMC 2015), " +
+			"reproduced against the geoserp synthetic engine.",
+	}
+	add := func(heading, pre string, svg string) {
+		r.Sections = append(r.Sections, HTMLSection{
+			Heading: heading,
+			PreText: pre,
+			SVG:     template.HTML(svg),
+		})
+	}
+
+	add("Fidelity scorecard", Scorecard(d.Scorecard()), "")
+	add("Table 1 — controversial search terms", Table1(queries.Table1Terms()), "")
+
+	noise := d.NoiseByGranularity()
+	add("Figure 2 — noise levels", Figure2(noise), Figure2SVG(noise))
+
+	noiseTerms := d.NoisePerTerm("local")
+	add("Figure 3 — per-term noise (local)", Figure3(noiseTerms), Figure3SVG(noiseTerms))
+
+	attr := d.NoiseByResultType("local", "county")
+	add("Figure 4 — noise by result type", Figure4(attr), Figure4SVG(attr))
+
+	pers := d.PersonalizationByGranularity()
+	add("Figure 5 — personalization", Figure5(pers), Figure5SVG(pers))
+
+	persTerms := d.PersonalizationPerTerm("local")
+	add("Figure 6 — per-term personalization (local)", Figure6(persTerms), Figure6SVG(persTerms))
+
+	breakdown := d.PersonalizationByResultType()
+	add("Figure 7 — personalization by result type", Figure7(breakdown), Figure7SVG(breakdown))
+
+	series := d.ConsistencyOverTime("local")
+	add("Figure 8 — consistency over time", Figure8(series), "")
+	for _, s := range series {
+		add(fmt.Sprintf("Figure 8 (%s)", displayGranularity(s.Granularity)), "", Figure8SVG(s))
+	}
+
+	add("Demographics (§3.2)", Demographics(d.DemographicCorrelations(locs, "local")), "")
+
+	bins, fit := d.DistanceDecay(locs, "local")
+	add("Personalization vs distance", DistanceDecay(bins, fit), DistanceDecaySVG(bins))
+
+	return r
+}

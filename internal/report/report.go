@@ -1,0 +1,275 @@
+// Package report renders the analysis layer's outputs as the paper's
+// tables and figures: aligned text for terminals and storage.Table values
+// for CSV export. Every figure of the paper has a Figure*N* function here
+// and a matching Figure*N*CSV.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/storage"
+)
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Table1 renders the paper's Table 1: example controversial search terms.
+func Table1(terms []string) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Example controversial search terms.\n")
+	b.WriteString(strings.Repeat("-", 44) + "\n")
+	for _, t := range terms {
+		fmt.Fprintf(&b, "  %s\n", t)
+	}
+	return b.String()
+}
+
+// Figure2 renders average noise levels across query types and
+// granularities (Jaccard and edit distance, with standard deviations).
+func Figure2(cells []analysis.NoiseCell) string {
+	var b strings.Builder
+	b.WriteString("Figure 2: Average noise levels across query types and granularities.\n")
+	fmt.Fprintf(&b, "%-22s %-14s %10s %8s %10s %8s %6s\n",
+		"granularity", "category", "jaccard", "±sd", "edit", "±sd", "n")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-22s %-14s %10s %8s %10s %8s %6d\n",
+			c.Granularity, c.Category,
+			fmtF(c.Jaccard.Mean), fmtF(c.Jaccard.StdDev),
+			fmtF(c.Edit.Mean), fmtF(c.Edit.StdDev), c.Edit.N)
+	}
+	return b.String()
+}
+
+// Figure2CSV exports Figure 2 as a table.
+func Figure2CSV(cells []analysis.NoiseCell) *storage.Table {
+	t := &storage.Table{Header: []string{
+		"granularity", "category", "jaccard_mean", "jaccard_sd", "edit_mean", "edit_sd", "n"}}
+	for _, c := range cells {
+		t.AddRow(c.Granularity, c.Category,
+			fmtF(c.Jaccard.Mean), fmtF(c.Jaccard.StdDev),
+			fmtF(c.Edit.Mean), fmtF(c.Edit.StdDev), fmt.Sprint(c.Edit.N))
+	}
+	return t
+}
+
+// granularityCols is the column order for per-term figures.
+var granularityCols = []string{"county", "state", "national"}
+
+// perTerm renders Figures 3 and 6 (per-term lines across granularities).
+func perTerm(title string, terms []analysis.TermSeries) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "term", "county", "state", "national")
+	b.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, ts := range terms {
+		fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", ts.Term,
+			fmtF(ts.EditByGranularity["county"]),
+			fmtF(ts.EditByGranularity["state"]),
+			fmtF(ts.EditByGranularity["national"]))
+	}
+	return b.String()
+}
+
+// Figure3 renders per-term noise for local queries.
+func Figure3(terms []analysis.TermSeries) string {
+	return perTerm("Figure 3: Noise levels for local queries across three granularities (avg edit distance).", terms)
+}
+
+// Figure6 renders per-term personalization for local queries.
+func Figure6(terms []analysis.TermSeries) string {
+	return perTerm("Figure 6: Personalization of each search term for local queries (avg edit distance).", terms)
+}
+
+// perTermCSV exports a per-term figure.
+func perTermCSV(terms []analysis.TermSeries) *storage.Table {
+	t := &storage.Table{Header: []string{"term", "county", "state", "national"}}
+	for _, ts := range terms {
+		row := []string{ts.Term}
+		for _, g := range granularityCols {
+			row = append(row, fmtF(ts.EditByGranularity[g]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure3CSV exports Figure 3.
+func Figure3CSV(terms []analysis.TermSeries) *storage.Table { return perTermCSV(terms) }
+
+// Figure6CSV exports Figure 6.
+func Figure6CSV(terms []analysis.TermSeries) *storage.Table { return perTermCSV(terms) }
+
+// Figure4 renders the noise attribution by result type for local queries.
+func Figure4(attr []analysis.TypeAttribution) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Amount of noise caused by different types of search results (local queries, county).\n")
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "term", "all", "maps", "news")
+	b.WriteString(strings.Repeat("-", 62) + "\n")
+	for _, a := range attr {
+		fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", a.Term, fmtF(a.All), fmtF(a.Maps), fmtF(a.News))
+	}
+	return b.String()
+}
+
+// Figure4CSV exports Figure 4.
+func Figure4CSV(attr []analysis.TypeAttribution) *storage.Table {
+	t := &storage.Table{Header: []string{"term", "all", "maps", "news"}}
+	for _, a := range attr {
+		t.AddRow(a.Term, fmtF(a.All), fmtF(a.Maps), fmtF(a.News))
+	}
+	return t
+}
+
+// Figure5 renders average personalization with noise floors.
+func Figure5(cells []analysis.PersonalizationCell) string {
+	var b strings.Builder
+	b.WriteString("Figure 5: Average personalization across query types and granularities\n")
+	b.WriteString("(black bars = the matching noise floors from Figure 2).\n")
+	fmt.Fprintf(&b, "%-22s %-14s %10s %10s %12s %12s %6s\n",
+		"granularity", "category", "jaccard", "edit", "noise_jacc", "noise_edit", "n")
+	b.WriteString(strings.Repeat("-", 92) + "\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-22s %-14s %10s %10s %12s %12s %6d\n",
+			c.Granularity, c.Category,
+			fmtF(c.Jaccard.Mean), fmtF(c.Edit.Mean),
+			fmtF(c.NoiseJaccard), fmtF(c.NoiseEdit), c.Edit.N)
+	}
+	return b.String()
+}
+
+// Figure5CSV exports Figure 5.
+func Figure5CSV(cells []analysis.PersonalizationCell) *storage.Table {
+	t := &storage.Table{Header: []string{
+		"granularity", "category", "jaccard_mean", "edit_mean", "noise_jaccard", "noise_edit", "n"}}
+	for _, c := range cells {
+		t.AddRow(c.Granularity, c.Category,
+			fmtF(c.Jaccard.Mean), fmtF(c.Edit.Mean),
+			fmtF(c.NoiseJaccard), fmtF(c.NoiseEdit), fmt.Sprint(c.Edit.N))
+	}
+	return t
+}
+
+// Figure7 renders the personalization decomposition by result type.
+func Figure7(cells []analysis.BreakdownCell) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Amount of personalization caused by different types of search results.\n")
+	fmt.Fprintf(&b, "%-14s %-22s %8s %8s %8s %8s %10s %10s\n",
+		"category", "granularity", "all", "maps", "news", "other", "maps_share", "news_share")
+	b.WriteString(strings.Repeat("-", 96) + "\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%-14s %-22s %8s %8s %8s %8s %10s %10s\n",
+			c.Category, c.Granularity,
+			fmtF(c.All), fmtF(c.Maps), fmtF(c.News), fmtF(c.Other),
+			fmtF(c.MapsShare()), fmtF(c.NewsShare()))
+	}
+	return b.String()
+}
+
+// Figure7CSV exports Figure 7.
+func Figure7CSV(cells []analysis.BreakdownCell) *storage.Table {
+	t := &storage.Table{Header: []string{
+		"category", "granularity", "all", "maps", "news", "other", "maps_share", "news_share"}}
+	for _, c := range cells {
+		t.AddRow(c.Category, c.Granularity,
+			fmtF(c.All), fmtF(c.Maps), fmtF(c.News), fmtF(c.Other),
+			fmtF(c.MapsShare()), fmtF(c.NewsShare()))
+	}
+	return t
+}
+
+// Figure8 renders the day-by-day consistency series, one panel per
+// granularity: the noise floor (the paper's red line) and each location's
+// per-day average edit distance against the baseline.
+func Figure8(series []analysis.ConsistencySeries) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Personalization of locations compared to a baseline, per day\n")
+	b.WriteString("(noise = the baseline's treatment/control distance, the paper's red line).\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "\n[%s] baseline=%s\n", s.Granularity, s.Baseline)
+		fmt.Fprintf(&b, "%-28s", "series")
+		for _, d := range s.Days {
+			fmt.Fprintf(&b, " day%-7d", d+1)
+		}
+		b.WriteString("\n" + strings.Repeat("-", 28+11*len(s.Days)) + "\n")
+		fmt.Fprintf(&b, "%-28s", "noise (control)")
+		for _, v := range s.NoiseFloor {
+			fmt.Fprintf(&b, " %-10s", fmtF(v))
+		}
+		b.WriteString("\n")
+		for _, loc := range sortedLocations(s) {
+			fmt.Fprintf(&b, "%-28s", loc)
+			for _, v := range s.PerLocation[loc] {
+				fmt.Fprintf(&b, " %-10s", fmtF(v))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func sortedLocations(s analysis.ConsistencySeries) []string {
+	out := make([]string, 0, len(s.PerLocation))
+	for loc := range s.PerLocation {
+		out = append(out, loc)
+	}
+	// Keep a stable order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Figure8CSV exports Figure 8 (long form: granularity, series, day, value).
+func Figure8CSV(series []analysis.ConsistencySeries) *storage.Table {
+	t := &storage.Table{Header: []string{"granularity", "series", "day", "edit_mean"}}
+	for _, s := range series {
+		for i, d := range s.Days {
+			t.AddRow(s.Granularity, "noise", fmt.Sprint(d+1), fmtF(s.NoiseFloor[i]))
+		}
+		for _, loc := range sortedLocations(s) {
+			for i, d := range s.Days {
+				t.AddRow(s.Granularity, loc, fmt.Sprint(d+1), fmtF(s.PerLocation[loc][i]))
+			}
+		}
+	}
+	return t
+}
+
+// Validation renders the §2.2 GPS-vs-IP experiment summary.
+func Validation(res analysis.ValidationResult) string {
+	var b strings.Builder
+	b.WriteString("Validation (§2.2): identical queries, fixed GPS, many vantage IPs.\n")
+	fmt.Fprintf(&b, "  terms compared:          %d\n", res.Terms)
+	fmt.Fprintf(&b, "  vantage-pair comparisons: %d\n", res.Comparisons)
+	fmt.Fprintf(&b, "  mean result overlap:     %.1f%%  (paper: 94%% of results identical)\n",
+		res.MeanResultOverlap*100)
+	fmt.Fprintf(&b, "  identical full pages:    %.1f%%\n", res.FractionIdenticalPages*100)
+	return b.String()
+}
+
+// Demographics renders the §3.2 demographics-correlation table.
+func Demographics(rows []analysis.FeatureCorrelation) string {
+	var b strings.Builder
+	b.WriteString("Demographics (§3.2): correlation of pairwise feature deltas vs result distance.\n")
+	fmt.Fprintf(&b, "%-24s %10s %10s %6s\n", "feature", "pearson", "spearman", "n")
+	b.WriteString(strings.Repeat("-", 54) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10s %10s %6d\n", r.Feature, fmtF(r.Pearson), fmtF(r.Spearman), r.N)
+	}
+	b.WriteString("(paper's finding: no feature explains result clustering — all |r| small)\n")
+	return b.String()
+}
+
+// DemographicsCSV exports the demographics table.
+func DemographicsCSV(rows []analysis.FeatureCorrelation) *storage.Table {
+	t := &storage.Table{Header: []string{"feature", "pearson", "spearman", "n"}}
+	for _, r := range rows {
+		t.AddRow(r.Feature, fmtF(r.Pearson), fmtF(r.Spearman), fmt.Sprint(r.N))
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/stats"
+)
+
+func sampleNoise() []analysis.NoiseCell {
+	return []analysis.NoiseCell{
+		{Granularity: "county", Category: "local",
+			Jaccard: stats.Summary{N: 10, Mean: 0.92, StdDev: 0.05},
+			Edit:    stats.Summary{N: 10, Mean: 3.4, StdDev: 1.2}},
+		{Granularity: "state", Category: "politician",
+			Jaccard: stats.Summary{N: 8, Mean: 0.99, StdDev: 0.01},
+			Edit:    stats.Summary{N: 8, Mean: 0.4, StdDev: 0.3}},
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	out := Figure2(sampleNoise())
+	for _, want := range []string{"Figure 2", "county", "local", "0.920", "3.400"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure2 output missing %q:\n%s", want, out)
+		}
+	}
+	tbl := Figure2CSV(sampleNoise())
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("csv rows = %d", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "county,local,0.920") {
+		t.Fatalf("csv = %s", buf.String())
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1([]string{"Gay Marriage", "Progressive Tax"})
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Gay Marriage") {
+		t.Fatalf("out = %s", out)
+	}
+}
+
+func TestPerTermFigures(t *testing.T) {
+	terms := []analysis.TermSeries{
+		{Term: "Starbucks", EditByGranularity: map[string]float64{"county": 1, "state": 2, "national": 3}},
+		{Term: "School", EditByGranularity: map[string]float64{"county": 4, "state": 8, "national": 12}},
+	}
+	f3 := Figure3(terms)
+	f6 := Figure6(terms)
+	if !strings.Contains(f3, "Figure 3") || !strings.Contains(f6, "Figure 6") {
+		t.Fatal("figure titles missing")
+	}
+	if !strings.Contains(f3, "Starbucks") || !strings.Contains(f3, "12.000") {
+		t.Fatalf("f3 = %s", f3)
+	}
+	if tbl := Figure3CSV(terms); len(tbl.Rows) != 2 || tbl.Rows[1][3] != "12.000" {
+		t.Fatalf("csv = %+v", tbl.Rows)
+	}
+	if tbl := Figure6CSV(terms); len(tbl.Rows) != 2 {
+		t.Fatalf("csv rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	attr := []analysis.TypeAttribution{{Term: "School", All: 4, Maps: 1, News: 0}}
+	out := Figure4(attr)
+	if !strings.Contains(out, "School") || !strings.Contains(out, "4.000") {
+		t.Fatalf("out = %s", out)
+	}
+	if tbl := Figure4CSV(attr); tbl.Rows[0][1] != "4.000" {
+		t.Fatalf("csv = %+v", tbl.Rows)
+	}
+}
+
+func TestFigure5Rendering(t *testing.T) {
+	cells := []analysis.PersonalizationCell{{
+		Granularity: "national", Category: "local",
+		Jaccard:      stats.Summary{N: 5, Mean: 0.55},
+		Edit:         stats.Summary{N: 5, Mean: 8.9},
+		NoiseJaccard: 0.91, NoiseEdit: 4.0,
+	}}
+	out := Figure5(cells)
+	for _, want := range []string{"Figure 5", "national", "8.900", "4.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+	if tbl := Figure5CSV(cells); tbl.Rows[0][3] != "8.900" {
+		t.Fatalf("csv = %+v", tbl.Rows)
+	}
+}
+
+func TestFigure7Rendering(t *testing.T) {
+	cells := []analysis.BreakdownCell{{
+		Category: "local", Granularity: "state",
+		All: 7, Maps: 2, News: 0, Other: 4,
+	}}
+	out := Figure7(cells)
+	if !strings.Contains(out, "0.333") { // maps share 2/6
+		t.Fatalf("maps share missing: %s", out)
+	}
+	if tbl := Figure7CSV(cells); tbl.Rows[0][6] != "0.333" {
+		t.Fatalf("csv = %+v", tbl.Rows)
+	}
+}
+
+func TestFigure8Rendering(t *testing.T) {
+	series := []analysis.ConsistencySeries{{
+		Granularity: "county",
+		Baseline:    "district/district-01",
+		Days:        []int{0, 1},
+		NoiseFloor:  []float64{3.0, 3.1},
+		PerLocation: map[string][]float64{
+			"district/district-02": {5.0, 5.2},
+			"district/district-03": {4.0, 4.1},
+		},
+	}}
+	out := Figure8(series)
+	for _, want := range []string{"Figure 8", "baseline=district/district-01",
+		"noise (control)", "district/district-02", "5.200"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	tbl := Figure8CSV(series)
+	// 2 noise rows + 2 locations × 2 days.
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("csv rows = %d", len(tbl.Rows))
+	}
+	// Locations must come out sorted.
+	if tbl.Rows[2][1] != "district/district-02" {
+		t.Fatalf("rows = %+v", tbl.Rows)
+	}
+}
+
+func TestValidationAndDemographics(t *testing.T) {
+	res := analysis.ValidationResult{
+		Terms: 6, Comparisons: 66, MeanResultOverlap: 0.94, FractionIdenticalPages: 0.5,
+	}
+	out := Validation(res)
+	if !strings.Contains(out, "94.0%") {
+		t.Fatalf("out = %s", out)
+	}
+	rows := []analysis.FeatureCorrelation{
+		{Feature: "distance_miles", Pearson: 0.12, Spearman: 0.10, N: 105},
+		{Feature: "median_income", Pearson: -0.03, Spearman: -0.02, N: 105},
+	}
+	dout := Demographics(rows)
+	if !strings.Contains(dout, "median_income") || !strings.Contains(dout, "-0.030") {
+		t.Fatalf("dout = %s", dout)
+	}
+	if tbl := DemographicsCSV(rows); len(tbl.Rows) != 2 {
+		t.Fatalf("csv rows = %d", len(tbl.Rows))
+	}
+}

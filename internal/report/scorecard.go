@@ -1,0 +1,27 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"geoserp/internal/analysis"
+)
+
+// Scorecard renders the fidelity scorecard: one PASS/FAIL line per paper
+// claim, with the measured values.
+func Scorecard(checks []analysis.Check) string {
+	var b strings.Builder
+	b.WriteString("Fidelity scorecard: the paper's findings vs this dataset.\n")
+	b.WriteString(strings.Repeat("=", 74) + "\n")
+	pass := 0
+	for _, c := range checks {
+		mark := "FAIL"
+		if c.Pass {
+			mark = "PASS"
+			pass++
+		}
+		fmt.Fprintf(&b, "[%s] %s\n       %s\n", mark, c.Claim, c.Detail)
+	}
+	fmt.Fprintf(&b, "%d/%d claims reproduced\n", pass, len(checks))
+	return b.String()
+}

@@ -1,0 +1,244 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/plot"
+)
+
+// This file renders the paper's figures as SVG images (cmd/analyze -svg).
+// Each function mirrors the corresponding text renderer in report.go.
+
+// displayGranularity maps short labels to the paper's axis labels.
+func displayGranularity(g string) string {
+	switch g {
+	case "county":
+		return "County (Cuyahoga)"
+	case "state":
+		return "State (Ohio)"
+	case "national":
+		return "National (USA)"
+	}
+	return g
+}
+
+// displayCategory maps short labels to the paper's legend labels.
+func displayCategory(c string) string {
+	switch c {
+	case "politician":
+		return "Politicians"
+	case "controversial":
+		return "Controversial"
+	case "local":
+		return "Local"
+	}
+	return c
+}
+
+// Figure2SVG renders the noise bars (edit-distance panel of Figure 2).
+func Figure2SVG(cells []analysis.NoiseCell) string {
+	return noiseBars("Figure 2: Average noise levels across query types and granularities",
+		cells, func(c analysis.NoiseCell) (float64, float64) {
+			return c.Edit.Mean, c.Edit.StdDev
+		}, "Avg. Edit Distance")
+}
+
+// Figure2JaccardSVG renders the Jaccard panel of Figure 2.
+func Figure2JaccardSVG(cells []analysis.NoiseCell) string {
+	return noiseBars("Figure 2 (Jaccard panel): Average noise levels",
+		cells, func(c analysis.NoiseCell) (float64, float64) {
+			return c.Jaccard.Mean, c.Jaccard.StdDev
+		}, "Avg. Jaccard Index")
+}
+
+func noiseBars(title string, cells []analysis.NoiseCell, pick func(analysis.NoiseCell) (float64, float64), ylabel string) string {
+	byGran := map[string]map[string]analysis.NoiseCell{}
+	var granOrder, catOrder []string
+	seenG, seenC := map[string]bool{}, map[string]bool{}
+	for _, c := range cells {
+		if byGran[c.Granularity] == nil {
+			byGran[c.Granularity] = map[string]analysis.NoiseCell{}
+		}
+		byGran[c.Granularity][c.Category] = c
+		if !seenG[c.Granularity] {
+			seenG[c.Granularity] = true
+			granOrder = append(granOrder, c.Granularity)
+		}
+		if !seenC[c.Category] {
+			seenC[c.Category] = true
+			catOrder = append(catOrder, c.Category)
+		}
+	}
+	spec := plot.BarChartSpec{Title: title, YLabel: ylabel}
+	for _, cat := range catOrder {
+		spec.Series = append(spec.Series, displayCategory(cat))
+	}
+	for _, g := range granOrder {
+		grp := plot.BarGroup{Label: displayGranularity(g)}
+		for _, cat := range catOrder {
+			v, e := pick(byGran[g][cat])
+			grp.Values = append(grp.Values, v)
+			grp.Errors = append(grp.Errors, e)
+		}
+		spec.Groups = append(spec.Groups, grp)
+	}
+	return plot.BarChart(spec)
+}
+
+// Figure5SVG renders the personalization bars with the mean noise floor as
+// a dashed reference line (the paper's black bars).
+func Figure5SVG(cells []analysis.PersonalizationCell) string {
+	byGran := map[string]map[string]analysis.PersonalizationCell{}
+	var granOrder, catOrder []string
+	seenG, seenC := map[string]bool{}, map[string]bool{}
+	var noiseSum float64
+	for _, c := range cells {
+		if byGran[c.Granularity] == nil {
+			byGran[c.Granularity] = map[string]analysis.PersonalizationCell{}
+		}
+		byGran[c.Granularity][c.Category] = c
+		noiseSum += c.NoiseEdit
+		if !seenG[c.Granularity] {
+			seenG[c.Granularity] = true
+			granOrder = append(granOrder, c.Granularity)
+		}
+		if !seenC[c.Category] {
+			seenC[c.Category] = true
+			catOrder = append(catOrder, c.Category)
+		}
+	}
+	spec := plot.BarChartSpec{
+		Title:  "Figure 5: Average personalization across query types and granularities",
+		YLabel: "Avg. Edit Distance",
+	}
+	for _, cat := range catOrder {
+		spec.Series = append(spec.Series, displayCategory(cat))
+	}
+	for _, g := range granOrder {
+		grp := plot.BarGroup{Label: displayGranularity(g)}
+		for _, cat := range catOrder {
+			c := byGran[g][cat]
+			grp.Values = append(grp.Values, c.Edit.Mean)
+			grp.Errors = append(grp.Errors, c.Edit.StdDev)
+		}
+		spec.Groups = append(spec.Groups, grp)
+	}
+	if len(cells) > 0 {
+		spec.Baselines = []float64{noiseSum / float64(len(cells))}
+	}
+	return plot.BarChart(spec)
+}
+
+// perTermSVG renders Figures 3 and 6: per-term lines at three granularities.
+func perTermSVG(title string, terms []analysis.TermSeries) string {
+	spec := plot.LineChartSpec{
+		Title:  title,
+		YLabel: "Avg. Edit Distance",
+		XLabel: "term",
+	}
+	grans := []string{"county", "state", "national"}
+	series := make([]plot.LineSeries, len(grans))
+	for i, g := range grans {
+		series[i] = plot.LineSeries{Name: displayGranularity(g)}
+	}
+	for _, ts := range terms {
+		spec.XLabels = append(spec.XLabels, ts.Term)
+		for i, g := range grans {
+			v, ok := ts.EditByGranularity[g]
+			if !ok {
+				v = math.NaN()
+			}
+			series[i].Values = append(series[i].Values, v)
+		}
+	}
+	spec.Series = series
+	return plot.LineChart(spec)
+}
+
+// Figure3SVG renders per-term noise for local queries.
+func Figure3SVG(terms []analysis.TermSeries) string {
+	return perTermSVG("Figure 3: Noise levels for local queries", terms)
+}
+
+// Figure6SVG renders per-term personalization for local queries.
+func Figure6SVG(terms []analysis.TermSeries) string {
+	return perTermSVG("Figure 6: Personalization of each local search term", terms)
+}
+
+// Figure4SVG renders noise attribution by result type for local queries.
+func Figure4SVG(attr []analysis.TypeAttribution) string {
+	spec := plot.LineChartSpec{
+		Title:  "Figure 4: Noise caused by different types of search results (local, county)",
+		YLabel: "Avg. Edit Distance",
+	}
+	all := plot.LineSeries{Name: "All"}
+	maps := plot.LineSeries{Name: "Maps"}
+	news := plot.LineSeries{Name: "News"}
+	for _, a := range attr {
+		spec.XLabels = append(spec.XLabels, a.Term)
+		all.Values = append(all.Values, a.All)
+		maps.Values = append(maps.Values, a.Maps)
+		news.Values = append(news.Values, a.News)
+	}
+	spec.Series = []plot.LineSeries{all, maps, news}
+	return plot.LineChart(spec)
+}
+
+// Figure7SVG renders the personalization type decomposition as grouped bars.
+func Figure7SVG(cells []analysis.BreakdownCell) string {
+	spec := plot.BarChartSpec{
+		Title:  "Figure 7: Personalization caused by different types of search results",
+		YLabel: "Avg. Edit Distance",
+		Series: []string{"Maps", "News", "Other"},
+	}
+	for _, c := range cells {
+		spec.Groups = append(spec.Groups, plot.BarGroup{
+			Label:  fmt.Sprintf("%s / %s", displayCategory(c.Category), displayGranularity(c.Granularity)),
+			Values: []float64{c.Maps, c.News, c.Other},
+		})
+	}
+	return plot.BarChart(spec)
+}
+
+// Figure8SVG renders one consistency panel (per granularity) as a line
+// chart: the red noise line plus every location's day-by-day series.
+func Figure8SVG(s analysis.ConsistencySeries) string {
+	spec := plot.LineChartSpec{
+		Title: fmt.Sprintf("Figure 8 (%s): personalization vs baseline %s over days",
+			displayGranularity(s.Granularity), s.Baseline),
+		YLabel: "Avg. Edit Distance",
+	}
+	for _, d := range s.Days {
+		spec.XLabels = append(spec.XLabels, fmt.Sprintf("day %d", d+1))
+	}
+	spec.Series = append(spec.Series, plot.LineSeries{
+		Name: "noise (control)", Values: s.NoiseFloor, Emphasize: true,
+	})
+	locs := make([]string, 0, len(s.PerLocation))
+	for loc := range s.PerLocation {
+		locs = append(locs, loc)
+	}
+	sort.Strings(locs)
+	for _, loc := range locs {
+		spec.Series = append(spec.Series, plot.LineSeries{Name: loc, Values: s.PerLocation[loc]})
+	}
+	return plot.LineChart(spec)
+}
+
+// DistanceDecaySVG renders the continuous distance curve.
+func DistanceDecaySVG(bins []analysis.DecayBin) string {
+	spec := plot.LineChartSpec{
+		Title:  "Personalization vs distance",
+		YLabel: "Avg. Edit Distance",
+	}
+	s := plot.LineSeries{Name: "edit distance"}
+	for _, b := range bins {
+		spec.XLabels = append(spec.XLabels, fmt.Sprintf("%.0f-%.0fkm", b.LoKm, b.HiKm))
+		s.Values = append(s.Values, b.Edit.Mean)
+	}
+	spec.Series = []plot.LineSeries{s}
+	return plot.LineChart(spec)
+}

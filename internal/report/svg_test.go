@@ -1,0 +1,100 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"geoserp/internal/analysis"
+	"geoserp/internal/stats"
+)
+
+func assertSVG(t *testing.T, svg string, wants ...string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+	for _, w := range wants {
+		if !strings.Contains(svg, w) {
+			t.Fatalf("SVG missing %q", w)
+		}
+	}
+}
+
+func TestFigure2SVG(t *testing.T) {
+	cells := sampleNoise()
+	assertSVG(t, Figure2SVG(cells), "Figure 2", "County (Cuyahoga)", "Local", "<rect")
+	assertSVG(t, Figure2JaccardSVG(cells), "Jaccard")
+}
+
+func TestFigure5SVG(t *testing.T) {
+	cells := []analysis.PersonalizationCell{
+		{Granularity: "county", Category: "local",
+			Edit: stats.Summary{Mean: 6.7, StdDev: 2.1}, NoiseEdit: 4.3},
+		{Granularity: "national", Category: "local",
+			Edit: stats.Summary{Mean: 9.2, StdDev: 2.4}, NoiseEdit: 4.2},
+	}
+	svg := Figure5SVG(cells)
+	assertSVG(t, svg, "Figure 5", "stroke-dasharray", "National (USA)")
+}
+
+func TestFigure3And6SVG(t *testing.T) {
+	terms := []analysis.TermSeries{
+		{Term: "Starbucks", EditByGranularity: map[string]float64{"county": 1, "state": 2, "national": 3}},
+		{Term: "School", EditByGranularity: map[string]float64{"county": 4, "national": 12}}, // missing state → NaN skip
+	}
+	assertSVG(t, Figure3SVG(terms), "Figure 3", "Starbucks", "<polyline")
+	assertSVG(t, Figure6SVG(terms), "Figure 6", "School")
+}
+
+func TestFigure4SVG(t *testing.T) {
+	attr := []analysis.TypeAttribution{
+		{Term: "Airport", All: 2.4, Maps: 1.0, News: 0},
+		{Term: "Bank", All: 6.6, Maps: 1.3, News: 0},
+	}
+	svg := Figure4SVG(attr)
+	assertSVG(t, svg, "Figure 4", "Airport", "Maps")
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Fatalf("polylines = %d, want 3 (All/Maps/News)", got)
+	}
+}
+
+func TestFigure7SVG(t *testing.T) {
+	cells := []analysis.BreakdownCell{
+		{Category: "local", Granularity: "state", Maps: 2.4, News: 0, Other: 5.5},
+	}
+	assertSVG(t, Figure7SVG(cells), "Figure 7", "Local / State (Ohio)")
+}
+
+func TestFigure8SVG(t *testing.T) {
+	s := analysis.ConsistencySeries{
+		Granularity: "county",
+		Baseline:    "district/district-01",
+		Days:        []int{0, 1, 2},
+		NoiseFloor:  []float64{4.1, 4.3, 4.0},
+		PerLocation: map[string][]float64{
+			"district/district-02": {6, 6.1, 6.2},
+			"district/district-03": {7, 7.1, 7.2},
+		},
+	}
+	svg := Figure8SVG(s)
+	assertSVG(t, svg, "Figure 8", "day 2", "#CC0000")
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Fatalf("polylines = %d, want 3", got)
+	}
+}
+
+func TestDistanceDecaySVG(t *testing.T) {
+	bins := []analysis.DecayBin{
+		{LoKm: 1, HiKm: 2, Edit: stats.Summary{Mean: 6.3}},
+		{LoKm: 2, HiKm: 4, Edit: stats.Summary{Mean: 7.3}},
+	}
+	assertSVG(t, DistanceDecaySVG(bins), "distance", "1-2km")
+}

@@ -1,0 +1,198 @@
+// Package serp models pages of mobile search results the way the paper's
+// crawler saw them: a vertical stack of "cards", where a card is either a
+// single organic result, a Maps meta-result listing several nearby places,
+// or an "In the News" meta-result listing several articles.
+//
+// The package owns both directions of the wire format: the server renders a
+// Page to mobile HTML, and the crawler parses that HTML back into a Page
+// (the equivalent of the study's PhantomJS parsing of Google's markup). It
+// also implements the paper's link-extraction rule (§2.2): take the first
+// link of every card, except Maps and News cards, from which every link is
+// taken — yielding the 12–22 links per page the analysis compares.
+package serp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// CardType distinguishes the three card families the paper analyzes.
+type CardType int
+
+const (
+	// Organic is a typical single-result card.
+	Organic CardType = iota
+	// Maps is a map meta-card listing nearby places.
+	Maps
+	// News is an "In the News" meta-card listing articles.
+	News
+)
+
+// CardTypes lists all card types.
+var CardTypes = []CardType{Organic, Maps, News}
+
+// String returns the wire label for the card type.
+func (t CardType) String() string {
+	switch t {
+	case Organic:
+		return "organic"
+	case Maps:
+		return "maps"
+	case News:
+		return "news"
+	default:
+		return fmt.Sprintf("cardtype%d", int(t))
+	}
+}
+
+// ParseCardType converts a wire label back to a CardType.
+func ParseCardType(s string) (CardType, error) {
+	switch s {
+	case "organic":
+		return Organic, nil
+	case "maps":
+		return Maps, nil
+	case "news":
+		return News, nil
+	}
+	return 0, fmt.Errorf("serp: unknown card type %q", s)
+}
+
+// MarshalJSON encodes the card type as its wire label.
+func (t CardType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a wire label.
+func (t *CardType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	ct, err := ParseCardType(s)
+	if err != nil {
+		return err
+	}
+	*t = ct
+	return nil
+}
+
+// Result is one link on a card.
+type Result struct {
+	URL   string `json:"url"`
+	Title string `json:"title"`
+}
+
+// Card is one card on the page.
+type Card struct {
+	Type    CardType `json:"type"`
+	Results []Result `json:"results"`
+}
+
+// Page is one page of search results, as served (or as parsed back).
+type Page struct {
+	// Query is the search term.
+	Query string `json:"query"`
+	// Location is the location the engine personalized for, in
+	// "lat,lon" form — Google Search reports the user's precise location
+	// at the bottom of the page, which the paper used to verify its GPS
+	// spoofing worked.
+	Location string `json:"location"`
+	// Datacenter identifies the replica that served the page.
+	Datacenter string `json:"datacenter,omitempty"`
+	// Day is the simulation day the page was served (0-based).
+	Day int `json:"day"`
+	// Cards is the card stack, top to bottom.
+	Cards []Card `json:"cards"`
+}
+
+// Links applies the paper's extraction rule and returns the page's link
+// list in rank order: the first link of each Organic card, every link of
+// each Maps or News card.
+func (p *Page) Links() []string {
+	var out []string
+	for _, c := range p.Cards {
+		if len(c.Results) == 0 {
+			continue
+		}
+		switch c.Type {
+		case Maps, News:
+			for _, r := range c.Results {
+				out = append(out, r.URL)
+			}
+		default:
+			out = append(out, c.Results[0].URL)
+		}
+	}
+	return out
+}
+
+// LinksOfType is Links restricted to cards of one type; the analysis uses
+// it to attribute noise and personalization to Maps vs News vs "other"
+// results (Figures 4 and 7).
+func (p *Page) LinksOfType(t CardType) []string {
+	var out []string
+	for _, c := range p.Cards {
+		if c.Type != t || len(c.Results) == 0 {
+			continue
+		}
+		switch c.Type {
+		case Maps, News:
+			for _, r := range c.Results {
+				out = append(out, r.URL)
+			}
+		default:
+			out = append(out, c.Results[0].URL)
+		}
+	}
+	return out
+}
+
+// LinkCount returns the number of links the extraction rule yields.
+func (p *Page) LinkCount() int { return len(p.Links()) }
+
+// CardCount returns the number of cards of type t.
+func (p *Page) CardCount(t CardType) int {
+	n := 0
+	for _, c := range p.Cards {
+		if c.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks structural sanity: non-empty query, every card non-empty,
+// meta-cards only of known types.
+func (p *Page) Validate() error {
+	if strings.TrimSpace(p.Query) == "" {
+		return fmt.Errorf("serp: page has empty query")
+	}
+	for i, c := range p.Cards {
+		if len(c.Results) == 0 {
+			return fmt.Errorf("serp: card %d (%s) has no results", i, c.Type)
+		}
+		for j, r := range c.Results {
+			if r.URL == "" {
+				return fmt.Errorf("serp: card %d result %d has empty URL", i, j)
+			}
+		}
+		if c.Type == Organic && len(c.Results) != 1 {
+			return fmt.Errorf("serp: organic card %d has %d results, want 1", i, len(c.Results))
+		}
+	}
+	return nil
+}
+
+// MarshalPage encodes a page as JSON (the storage format).
+func MarshalPage(p *Page) ([]byte, error) { return json.Marshal(p) }
+
+// UnmarshalPage decodes a JSON page.
+func UnmarshalPage(b []byte) (*Page, error) {
+	var p Page
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, fmt.Errorf("serp: decode page: %w", err)
+	}
+	return &p, nil
+}

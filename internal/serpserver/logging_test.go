@@ -1,0 +1,70 @@
+package serpserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/simclock"
+)
+
+func TestAccessLogging(t *testing.T) {
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := engine.DefaultConfig()
+	cfg.RateBurst = 1 << 20
+	cfg.RatePerMinute = 1 << 20
+	var mu sync.Mutex
+	var lines []string
+	h := NewHandler(engine.New(cfg, clk), WithAccessLog(func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}))
+
+	req := httptest.NewRequest("GET", "/search?q=Coffee&ll=41.5,-81.7", nil)
+	req.RemoteAddr = "192.0.2.10:5555"
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	bad := httptest.NewRequest("GET", "/search?q=&ll=41.5,-81.7", nil)
+	bad.RemoteAddr = "192.0.2.10:5555"
+	h.ServeHTTP(httptest.NewRecorder(), bad)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("log lines = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "status=200") || !strings.Contains(lines[0], "ip=192.0.2.10") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "status=400") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+}
+
+func TestStatsPerDatacenter(t *testing.T) {
+	h := testHandler(t, func(cfg *engine.Config) { cfg.Datacenters = 3 })
+	for _, dc := range []string{"dc-0", "dc-1", "dc-1"} {
+		w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7", map[string]string{DatacenterHeader: dc})
+		if w.Code != http.StatusOK {
+			t.Fatalf("status = %d", w.Code)
+		}
+	}
+	w := get(t, h, "/statz", nil)
+	var st Stats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ServedByDatacenter["dc-0"] != 1 || st.ServedByDatacenter["dc-1"] != 2 {
+		t.Fatalf("per-DC stats = %v", st.ServedByDatacenter)
+	}
+	if st.Served != 3 {
+		t.Fatalf("served = %d", st.Served)
+	}
+}

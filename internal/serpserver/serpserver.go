@@ -1,0 +1,277 @@
+// Package serpserver exposes the synthetic engine over HTTP as the mobile
+// search endpoint the crawler scrapes. The wire contract mirrors what the
+// study depended on:
+//
+//	GET /search?q=<term>&ll=<lat>,<lon>[&format=json]
+//
+// where ll is the coordinate the client's (spoofed) Geolocation API
+// reported. The handler reads the session cookie (search-history
+// personalization), honours X-Datacenter pinning (the study's static DNS
+// mapping), attributes the request to a client IP (X-Forwarded-For from
+// the crawl machines, else the socket address), and returns the mobile
+// card HTML — or 429 when the per-IP rate limiter trips.
+package serpserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/geo"
+	"geoserp/internal/serp"
+)
+
+// SessionCookie is the cookie carrying the session ID.
+const SessionCookie = "SID"
+
+// DatacenterHeader pins a request to a named replica, emulating a client
+// that statically resolved the service hostname to one datacenter.
+const DatacenterHeader = "X-Datacenter"
+
+// Handler is the HTTP front end over an Engine.
+type Handler struct {
+	eng      *engine.Engine
+	mux      *http.ServeMux
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	sessions atomic.Uint64
+	// logf, when set, receives one access-log line per request.
+	logf func(format string, args ...any)
+}
+
+// HandlerOption configures a Handler.
+type HandlerOption func(*Handler)
+
+// WithAccessLog installs an access logger (e.g. log.Printf). Each request
+// produces one line: method, path, client IP, status, and duration.
+func WithAccessLog(logf func(format string, args ...any)) HandlerOption {
+	return func(h *Handler) { h.logf = logf }
+}
+
+// NewHandler builds the front end.
+func NewHandler(eng *engine.Engine, opts ...HandlerOption) *Handler {
+	h := &Handler{eng: eng, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(h)
+	}
+	h.mux.HandleFunc("GET /search", h.handleSearch)
+	h.mux.HandleFunc("GET /healthz", h.handleHealth)
+	h.mux.HandleFunc("GET /statz", h.handleStats)
+	return h
+}
+
+// statusRecorder captures the response status for access logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	if h.logf == nil {
+		h.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	h.mux.ServeHTTP(rec, r)
+	h.logf("%s %s ip=%s status=%d dur=%s",
+		r.Method, r.URL.Path, clientIP(r), rec.status, time.Since(start).Round(time.Microsecond))
+}
+
+// isDesktopUA conservatively detects desktop browsers: a known desktop
+// platform token without a mobile token. Unknown or ambiguous user agents
+// get the mobile surface (the study's default).
+func isDesktopUA(ua string) bool {
+	if strings.Contains(ua, "Mobile") || strings.Contains(ua, "iPhone") ||
+		strings.Contains(ua, "Android") || strings.Contains(ua, "iPad") {
+		return false
+	}
+	return strings.Contains(ua, "Windows NT") ||
+		strings.Contains(ua, "Macintosh") ||
+		strings.Contains(ua, "X11")
+}
+
+// clientIP attributes the request to a source address: the first
+// X-Forwarded-For hop when present (the crawl machines identify themselves
+// this way), otherwise the socket's remote host.
+func clientIP(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		first := strings.TrimSpace(strings.Split(xff, ",")[0])
+		if first != "" {
+			return first
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		h.errors.Add(1)
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+
+	// The ll parameter models the coordinate the MOBILE page obtains from
+	// the JavaScript Geolocation API. The desktop surface has no such
+	// pathway — its only location signal is the IP address — which is
+	// precisely why the study targeted mobile (§2.2) while prior work,
+	// limited to desktop, could only study IP geolocation.
+	desktop := isDesktopUA(r.UserAgent())
+	var gps *geo.Point
+	if ll := r.URL.Query().Get("ll"); ll != "" && !desktop {
+		pt, err := geo.ParsePoint(ll)
+		if err != nil {
+			h.errors.Add(1)
+			http.Error(w, "malformed ll parameter", http.StatusBadRequest)
+			return
+		}
+		gps = &pt
+	}
+
+	// Visitors without a session cookie are minted one, the way real
+	// engines tag first-time visitors; a crawler that clears cookies
+	// after every query therefore gets a fresh, history-free session
+	// each time (the study's browser-state control, §2.2).
+	session := ""
+	if c, err := r.Cookie(SessionCookie); err == nil && c.Value != "" {
+		session = c.Value
+	} else {
+		session = fmt.Sprintf("sid-%d", h.sessions.Add(1))
+	}
+
+	req := engine.Request{
+		Query:      q,
+		GPS:        gps,
+		ClientIP:   clientIP(r),
+		SessionID:  session,
+		Datacenter: r.Header.Get(DatacenterHeader),
+		UserAgent:  r.UserAgent(),
+	}
+	resp, err := h.eng.Search(req)
+	switch {
+	case errors.Is(err, engine.ErrRateLimited):
+		h.errors.Add(1)
+		w.Header().Set("Retry-After", "60")
+		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, engine.ErrEmptyQuery):
+		h.errors.Add(1)
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	case err != nil:
+		h.errors.Add(1)
+		http.Error(w, "internal error", http.StatusInternalServerError)
+		return
+	}
+
+	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: session, Path: "/"})
+	w.Header().Set("X-Served-By", resp.Datacenter)
+
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp.Page); err != nil {
+			h.errors.Add(1)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if desktop {
+		fmt.Fprint(w, serp.RenderDesktopHTML(resp.Page))
+		return
+	}
+	fmt.Fprint(w, serp.RenderHTML(resp.Page))
+}
+
+func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the payload of /statz.
+type Stats struct {
+	Requests           uint64            `json:"requests"`
+	Errors             uint64            `json:"errors"`
+	Served             uint64            `json:"served"`
+	RateLimited        uint64            `json:"rate_limited"`
+	Day                int               `json:"day"`
+	ServedByDatacenter map[string]uint64 `json:"served_by_datacenter"`
+}
+
+func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(Stats{
+		Requests:           h.requests.Load(),
+		Errors:             h.errors.Load(),
+		Served:             h.eng.Served(),
+		RateLimited:        h.eng.RateLimited(),
+		Day:                h.eng.Day(),
+		ServedByDatacenter: h.eng.ServedByDatacenter(),
+	})
+}
+
+// Server wraps Handler in a managed net/http server with graceful
+// shutdown, for cmd/serpd and the examples.
+type Server struct {
+	httpSrv *http.Server
+	lis     net.Listener
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and returns a ready-to-Serve
+// server.
+func Listen(addr string, h *Handler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serpserver: listen %s: %w", addr, err)
+	}
+	return &Server{
+		httpSrv: &http.Server{
+			Handler:           h,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		lis: lis,
+	}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Serve blocks serving requests until Shutdown (or a fatal error).
+func (s *Server) Serve() error {
+	err := s.httpSrv.Serve(s.lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Start serves in a background goroutine and returns immediately.
+func (s *Server) Start() {
+	go func() { _ = s.Serve() }()
+}
+
+// Shutdown drains connections and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}

@@ -1,0 +1,167 @@
+// Package simclock provides a virtual clock so that the crawl campaigns —
+// which in the paper span 30 days of wall-clock time with 11-minute waits
+// between queries — can execute in milliseconds while preserving lock-step
+// semantics (every treatment of a search term fires at the same instant)
+// and time-dependent engine behaviour (the 10-minute search-history window,
+// day-by-day consistency analysis).
+//
+// Two implementations are provided: Manual, which only moves when Advance is
+// called, and the real-time clock returned by Wall for code that genuinely
+// wants wall time. Components accept the Clock interface so tests and the
+// crawler can substitute a Manual clock.
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the engine and the crawler. Implementations must
+// be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks the caller until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Wall returns a Clock backed by real time.
+func Wall() Clock { return wallClock{} }
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time        { return time.Now() }
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Manual is a virtual clock that only moves when Advance (or Run) is called.
+// Goroutines blocked in Sleep are released, in deadline order, as the clock
+// passes their wake-up instants.
+//
+// The zero value is not usable; construct with NewManual.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	sleeper []*sleeper // sorted by deadline
+	waiting sync.Cond  // broadcast whenever the sleeper set changes
+}
+
+type sleeper struct {
+	deadline time.Time
+	ch       chan struct{}
+}
+
+// NewManual returns a Manual clock starting at the given instant.
+func NewManual(start time.Time) *Manual {
+	m := &Manual{now: start}
+	m.waiting.L = &m.mu
+	return m
+}
+
+// Now returns the current virtual instant.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep blocks until the virtual clock has advanced by d. A non-positive d
+// returns immediately.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	s := &sleeper{deadline: m.now.Add(d), ch: make(chan struct{})}
+	m.insertLocked(s)
+	m.waiting.Broadcast()
+	m.mu.Unlock()
+	<-s.ch
+}
+
+// insertLocked adds s keeping the sleeper slice sorted by deadline.
+func (m *Manual) insertLocked(s *sleeper) {
+	i := sort.Search(len(m.sleeper), func(i int) bool {
+		return m.sleeper[i].deadline.After(s.deadline)
+	})
+	m.sleeper = append(m.sleeper, nil)
+	copy(m.sleeper[i+1:], m.sleeper[i:])
+	m.sleeper[i] = s
+}
+
+// Advance moves the clock forward by d, releasing — in deadline order — every
+// sleeper whose deadline is reached. Advance sets the clock to each
+// intermediate deadline before releasing the sleeper blocked on it, so a
+// released goroutine observing Now sees exactly its wake-up instant or later.
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for len(m.sleeper) > 0 && !m.sleeper[0].deadline.After(target) {
+		s := m.sleeper[0]
+		m.sleeper = m.sleeper[1:]
+		m.now = s.deadline
+		close(s.ch)
+	}
+	m.now = target
+	m.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to instant t (no-op if t is not after Now).
+func (m *Manual) AdvanceTo(t time.Time) {
+	m.mu.Lock()
+	d := t.Sub(m.now)
+	m.mu.Unlock()
+	m.Advance(d)
+}
+
+// Sleepers returns the number of goroutines currently blocked in Sleep.
+// It is primarily useful to drivers that want to advance the clock only
+// once all workers have parked (see WaitForSleepers).
+func (m *Manual) Sleepers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sleeper)
+}
+
+// WaitForSleepers blocks until at least n goroutines are parked in Sleep.
+// It lets a driver implement the "advance once everyone is waiting" pattern
+// without polling.
+func (m *Manual) WaitForSleepers(n int) {
+	m.mu.Lock()
+	for len(m.sleeper) < n {
+		m.waiting.Wait()
+	}
+	m.mu.Unlock()
+}
+
+// NextDeadline reports the earliest pending sleeper deadline. ok is false
+// when no goroutine is sleeping.
+func (m *Manual) NextDeadline() (t time.Time, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sleeper) == 0 {
+		return time.Time{}, false
+	}
+	return m.sleeper[0].deadline, true
+}
+
+// RunUntilIdle repeatedly advances the clock to the next pending deadline
+// until no sleepers remain. It is used by drivers that have launched a known
+// set of workers and want virtual time to free-run to completion. The
+// settle function is called between hops to let the driver wait for workers
+// to re-park (pass nil to skip).
+func (m *Manual) RunUntilIdle(settle func()) {
+	for {
+		next, ok := m.NextDeadline()
+		if !ok {
+			return
+		}
+		m.AdvanceTo(next)
+		if settle != nil {
+			settle()
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package simclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestWallClock(t *testing.T) {
+	c := Wall()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall().Now() = %v outside [%v, %v]", got, before, after)
+	}
+	start := time.Now()
+	c.Sleep(time.Millisecond)
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("Wall().Sleep(1ms) returned after %v", elapsed)
+	}
+}
+
+func TestManualNowAndAdvance(t *testing.T) {
+	m := NewManual(epoch)
+	if !m.Now().Equal(epoch) {
+		t.Fatalf("Now = %v, want %v", m.Now(), epoch)
+	}
+	m.Advance(11 * time.Minute)
+	if want := epoch.Add(11 * time.Minute); !m.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", m.Now(), want)
+	}
+	// Negative advance is a no-op.
+	m.Advance(-time.Hour)
+	if want := epoch.Add(11 * time.Minute); !m.Now().Equal(want) {
+		t.Fatalf("Now after negative advance = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestManualSleepReleasesAtDeadline(t *testing.T) {
+	m := NewManual(epoch)
+	done := make(chan time.Time, 1)
+	go func() {
+		m.Sleep(10 * time.Minute)
+		done <- m.Now()
+	}()
+	m.WaitForSleepers(1)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	m.Advance(10 * time.Minute)
+	woke := <-done
+	if woke.Before(epoch.Add(10 * time.Minute)) {
+		t.Fatalf("woke at %v, want >= %v", woke, epoch.Add(10*time.Minute))
+	}
+}
+
+func TestManualSleepNonPositive(t *testing.T) {
+	m := NewManual(epoch)
+	doneZero := make(chan struct{})
+	go func() {
+		m.Sleep(0)
+		m.Sleep(-time.Second)
+		close(doneZero)
+	}()
+	select {
+	case <-doneZero:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep(<=0) blocked")
+	}
+}
+
+func TestManualReleasesInDeadlineOrder(t *testing.T) {
+	m := NewManual(epoch)
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	durations := []time.Duration{30 * time.Minute, 10 * time.Minute, 20 * time.Minute}
+	for i, d := range durations {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			m.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	m.WaitForSleepers(3)
+	// Advance stepwise so each wake is observed before the next deadline
+	// fires; a single large Advance would release all three channels at
+	// once and the goroutine scheduler could record them in any order.
+	for remaining := 2; remaining >= 0; remaining-- {
+		m.Advance(10 * time.Minute)
+		for m.Sleepers() > remaining {
+			time.Sleep(time.Millisecond)
+		}
+		// Wait until the woken goroutine has recorded itself.
+		for {
+			mu.Lock()
+			n := len(order)
+			mu.Unlock()
+			if n >= 3-remaining {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	// Sleeper 1 (10m) must wake before 2 (20m) before 0 (30m).
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestManualPartialAdvance(t *testing.T) {
+	m := NewManual(epoch)
+	var woke atomic.Int32
+	var wg sync.WaitGroup
+	for _, d := range []time.Duration{5 * time.Minute, 15 * time.Minute} {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			m.Sleep(d)
+			woke.Add(1)
+		}(d)
+	}
+	m.WaitForSleepers(2)
+	m.Advance(10 * time.Minute)
+	// Only the 5-minute sleeper should have woken.
+	deadlineCheck := time.After(2 * time.Second)
+	for woke.Load() < 1 {
+		select {
+		case <-deadlineCheck:
+			t.Fatal("first sleeper never woke")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if n := m.Sleepers(); n != 1 {
+		t.Fatalf("Sleepers = %d, want 1", n)
+	}
+	m.Advance(10 * time.Minute)
+	wg.Wait()
+	if woke.Load() != 2 {
+		t.Fatalf("woke = %d, want 2", woke.Load())
+	}
+}
+
+func TestManualAdvanceTo(t *testing.T) {
+	m := NewManual(epoch)
+	target := epoch.Add(3 * time.Hour)
+	m.AdvanceTo(target)
+	if !m.Now().Equal(target) {
+		t.Fatalf("Now = %v, want %v", m.Now(), target)
+	}
+	// AdvanceTo into the past is a no-op.
+	m.AdvanceTo(epoch)
+	if !m.Now().Equal(target) {
+		t.Fatalf("Now after past AdvanceTo = %v, want %v", m.Now(), target)
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	m := NewManual(epoch)
+	if _, ok := m.NextDeadline(); ok {
+		t.Fatal("NextDeadline ok with no sleepers")
+	}
+	go m.Sleep(7 * time.Minute)
+	m.WaitForSleepers(1)
+	d, ok := m.NextDeadline()
+	if !ok || !d.Equal(epoch.Add(7*time.Minute)) {
+		t.Fatalf("NextDeadline = %v,%v want %v,true", d, ok, epoch.Add(7*time.Minute))
+	}
+	m.Advance(7 * time.Minute)
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	m := NewManual(epoch)
+	const workers = 8
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for i := 1; i <= workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Sleep(time.Duration(i) * time.Minute)
+			total.Add(1)
+		}(i)
+	}
+	m.WaitForSleepers(workers)
+	m.RunUntilIdle(nil)
+	wg.Wait()
+	if total.Load() != workers {
+		t.Fatalf("total woken = %d, want %d", total.Load(), workers)
+	}
+	if want := epoch.Add(workers * time.Minute); !m.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestManualConcurrentSleepAdvanceStress(t *testing.T) {
+	m := NewManual(epoch)
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				m.Sleep(time.Duration(i%7+1) * time.Second)
+			}
+		}(i)
+	}
+	fin := make(chan struct{})
+	go func() { wg.Wait(); close(fin) }()
+	for {
+		select {
+		case <-fin:
+			return
+		default:
+			m.Advance(time.Second)
+		}
+	}
+}
+
+func TestRunUntilIdleWithSettle(t *testing.T) {
+	m := NewManual(epoch)
+	var settles atomic.Int32
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Sleep(time.Duration(i) * time.Minute)
+		}(i)
+	}
+	m.WaitForSleepers(3)
+	m.RunUntilIdle(func() { settles.Add(1) })
+	wg.Wait()
+	if settles.Load() == 0 {
+		t.Fatal("settle callback never invoked")
+	}
+	if m.Sleepers() != 0 {
+		t.Fatalf("sleepers remain: %d", m.Sleepers())
+	}
+}

@@ -1,0 +1,49 @@
+package stats
+
+import "sort"
+
+// Bootstrap resampling for confidence intervals on the figure means. The
+// paper reports standard-deviation error bars; bootstrap CIs are the
+// modern complement when distributions are skewed (local-query noise very
+// much is). The resampler is self-contained (SplitMix64) so the package
+// stays dependency-free and results are reproducible from the seed.
+
+// bootRNG is a minimal SplitMix64 generator for resampling.
+type bootRNG struct{ state uint64 }
+
+func (r *bootRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *bootRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// BootstrapCI returns the (lo, hi) percentile bootstrap confidence
+// interval for the mean of xs at the given confidence level (e.g. 0.95),
+// using iters resamples seeded deterministically by seed. Degenerate
+// inputs (empty xs, iters < 1, confidence outside (0,1)) return (0, 0).
+func BootstrapCI(xs []float64, iters int, confidence float64, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 || iters < 1 || confidence <= 0 || confidence >= 1 {
+		return 0, 0
+	}
+	rng := &bootRNG{state: seed}
+	means := make([]float64, iters)
+	for i := 0; i < iters; i++ {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[rng.intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	loIdx := int(alpha * float64(iters))
+	hiIdx := int((1 - alpha) * float64(iters))
+	if hiIdx >= iters {
+		hiIdx = iters - 1
+	}
+	return means[loIdx], means[hiIdx]
+}

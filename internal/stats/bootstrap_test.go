@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapCIBracketsTheMean(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	lo, hi := BootstrapCI(xs, 2000, 0.95, 42)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Fatalf("CI [%v, %v] does not bracket mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	// A tighter confidence level gives a narrower interval.
+	lo80, hi80 := BootstrapCI(xs, 2000, 0.80, 42)
+	if hi80-lo80 >= hi-lo {
+		t.Fatalf("80%% CI [%v,%v] not narrower than 95%% [%v,%v]", lo80, hi80, lo, hi)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	lo1, hi1 := BootstrapCI(xs, 500, 0.95, 7)
+	lo2, hi2 := BootstrapCI(xs, 500, 0.95, 7)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("same seed gave different CIs")
+	}
+	lo3, _ := BootstrapCI(xs, 500, 0.95, 8)
+	if lo3 == lo1 {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}
+
+func TestBootstrapCIConstantData(t *testing.T) {
+	xs := []float64{3, 3, 3, 3}
+	lo, hi := BootstrapCI(xs, 200, 0.95, 1)
+	if lo != 3 || hi != 3 {
+		t.Fatalf("constant data CI = [%v, %v], want [3, 3]", lo, hi)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	if lo, hi := BootstrapCI(nil, 100, 0.95, 1); lo != 0 || hi != 0 {
+		t.Fatal("empty input")
+	}
+	if lo, hi := BootstrapCI([]float64{1}, 0, 0.95, 1); lo != 0 || hi != 0 {
+		t.Fatal("zero iters")
+	}
+	if lo, hi := BootstrapCI([]float64{1}, 100, 1.5, 1); lo != 0 || hi != 0 {
+		t.Fatal("bad confidence")
+	}
+	if lo, hi := BootstrapCI([]float64{1}, 100, 0, 1); lo != 0 || hi != 0 {
+		t.Fatal("zero confidence")
+	}
+}
+
+func TestBootstrapCICoverage(t *testing.T) {
+	// Rough coverage check: for samples from a known population, the 95%
+	// CI should usually contain the true mean. Run 40 trials with a
+	// deterministic data generator and expect >= 80% coverage (loose
+	// band; this is a smoke test, not a statistics proof).
+	gen := &bootRNG{state: 99}
+	covered := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 50)
+		for i := range xs {
+			// Uniform [0, 10): population mean 5.
+			xs[i] = float64(gen.next()%10000) / 1000
+		}
+		lo, hi := BootstrapCI(xs, 500, 0.95, uint64(trial))
+		if lo <= 5 && 5 <= hi {
+			covered++
+		}
+	}
+	if covered < trials*8/10 {
+		t.Fatalf("CI covered the true mean in only %d/%d trials", covered, trials)
+	}
+	_ = math.Pi
+}

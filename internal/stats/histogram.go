@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over a closed interval, used by
+// the analysis layer to characterize the distribution of pairwise similarity
+// scores (e.g. the validation experiment's "94% of result pages identical").
+type Histogram struct {
+	lo, hi   float64
+	bins     []int
+	under    int
+	over     int
+	total    int
+	binWidth float64
+}
+
+// NewHistogram creates a histogram over [lo, hi] with n equal-width bins.
+// It panics if n < 1 or hi <= lo; both indicate a programming error at the
+// call site rather than bad data.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram interval is empty")
+	}
+	return &Histogram{
+		lo:       lo,
+		hi:       hi,
+		bins:     make([]int, n),
+		binWidth: (hi - lo) / float64(n),
+	}
+}
+
+// Add records x. Values outside [lo, hi] are tallied in the underflow or
+// overflow counters rather than dropped.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x > h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / h.binWidth)
+		if i == len(h.bins) { // x == hi lands in the last bin
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the number of samples in bin i.
+func (h *Histogram) Count(i int) int { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// Total returns the total number of samples recorded, including overflow
+// and underflow.
+func (h *Histogram) Total() int { return h.total }
+
+// BinRange returns the half-open interval [lo, hi) covered by bin i
+// (the final bin is closed).
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	lo = h.lo + float64(i)*h.binWidth
+	return lo, lo + h.binWidth
+}
+
+// FractionAtLeast returns the fraction of all samples with value >= x.
+// Overflow samples count as >= x; underflow samples do not.
+func (h *Histogram) FractionAtLeast(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	count := h.over
+	for i := range h.bins {
+		lo, _ := h.BinRange(i)
+		if lo >= x {
+			count += h.bins[i]
+		}
+	}
+	return float64(count) / float64(h.total)
+}
+
+// String renders a compact ASCII sketch of the histogram, one line per bin.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 0
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range h.bins {
+		lo, hi := h.BinRange(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%6.3f, %6.3f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(&b, "underflow=%d overflow=%d\n", h.under, h.over)
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, eps float64, name string) {
+	t.Helper()
+	if math.Abs(got-want) > eps {
+		t.Fatalf("%s = %v, want %v (±%v)", name, got, want, eps)
+	}
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		approx(t, Mean(c.in), c.want, 1e-12, "Mean")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	approx(t, Variance(nil), 0, 0, "Variance(nil)")
+	approx(t, Variance([]float64{3}), 0, 0, "Variance(single)")
+	// Known sample variance: {2,4,4,4,5,5,7,9} has mean 5, sum sq dev 32,
+	// sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "Variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "StdDev")
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	approx(t, Min(xs), -2, 0, "Min")
+	approx(t, Max(xs), 7, 0, "Max")
+	approx(t, Min(nil), 0, 0, "Min(nil)")
+	approx(t, Max(nil), 0, 0, "Max(nil)")
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	approx(t, Median([]float64{1, 3, 2}), 2, 1e-12, "Median odd")
+	approx(t, Median([]float64{1, 2, 3, 4}), 2.5, 1e-12, "Median even")
+	approx(t, Percentile([]float64{10, 20, 30, 40, 50}, 0), 10, 1e-12, "P0")
+	approx(t, Percentile([]float64{10, 20, 30, 40, 50}, 100), 50, 1e-12, "P100")
+	approx(t, Percentile([]float64{10, 20, 30, 40, 50}, 25), 20, 1e-12, "P25")
+	approx(t, Percentile([]float64{10, 20}, 50), 15, 1e-12, "P50 interp")
+	// Clamping out-of-range p.
+	approx(t, Percentile([]float64{1, 2}, -5), 1, 1e-12, "P clamp low")
+	approx(t, Percentile([]float64{1, 2}, 150), 2, 1e-12, "P clamp high")
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Fatalf("N = %d, want 5", s.N)
+	}
+	approx(t, s.Mean, 3, 1e-12, "Summary.Mean")
+	approx(t, s.Median, 3, 1e-12, "Summary.Median")
+	approx(t, s.Min, 1, 0, "Summary.Min")
+	approx(t, s.Max, 5, 0, "Summary.Max")
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	approx(t, Pearson(xs, ys), 1, 1e-12, "Pearson perfect +")
+	neg := []float64{10, 8, 6, 4, 2}
+	approx(t, Pearson(xs, neg), -1, 1e-12, "Pearson perfect -")
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	approx(t, Pearson([]float64{1, 2}, []float64{1}), 0, 0, "length mismatch")
+	approx(t, Pearson([]float64{1}, []float64{1}), 0, 0, "too short")
+	approx(t, Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}), 0, 0, "zero x variance")
+	approx(t, Pearson([]float64{1, 2, 3}, []float64{4, 4, 4}), 0, 0, "zero y variance")
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// A monotone nonlinear relation has Spearman 1 but Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	approx(t, Spearman(xs, ys), 1, 1e-12, "Spearman monotone")
+	if p := Pearson(xs, ys); p >= 1 {
+		t.Fatalf("Pearson of nonlinear relation = %v, want < 1", p)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		approx(t, got[i], want[i], 1e-12, "Ranks")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 2x + 1
+	fit := LinearFit(xs, ys)
+	approx(t, fit.Slope, 2, 1e-12, "Slope")
+	approx(t, fit.Intercept, 1, 1e-12, "Intercept")
+	approx(t, fit.R2, 1, 1e-12, "R2")
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if fit := LinearFit([]float64{1, 1}, []float64{2, 3}); fit.Slope != 0 || fit.R2 != 0 {
+		t.Fatalf("zero-variance fit = %+v, want zero value", fit)
+	}
+	if fit := LinearFit([]float64{1}, []float64{2}); fit != (Linear{}) {
+		t.Fatalf("short fit = %+v, want zero value", fit)
+	}
+}
+
+// Property: Pearson is always within [-1, 1] and symmetric.
+func TestPearsonProperties(t *testing.T) {
+	f := func(pairs []struct{ X, Y float64 }) bool {
+		xs := make([]float64, 0, len(pairs))
+		ys := make([]float64, 0, len(pairs))
+		for _, p := range pairs {
+			if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+				continue
+			}
+			// Keep magnitudes sane to avoid float overflow in sums of squares.
+			xs = append(xs, math.Mod(p.X, 1e6))
+			ys = append(ys, math.Mod(p.Y, 1e6))
+		}
+		r := Pearson(xs, ys)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			return false
+		}
+		return math.Abs(r-Pearson(ys, xs)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean is within [min, max], stddev is non-negative.
+func TestSummaryProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e9))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ranks are a permutation-invariant transform; sum of ranks is
+// n(n+1)/2 regardless of ties.
+func TestRanksSumProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		ranks := Ranks(xs)
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		n := float64(len(xs))
+		return math.Abs(sum-n*(n+1)/2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

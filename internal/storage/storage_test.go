@@ -1,0 +1,206 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"geoserp/internal/serp"
+)
+
+func sampleObs(term string, role Role) Observation {
+	return Observation{
+		Term:        term,
+		Category:    "local",
+		Granularity: "county",
+		LocationID:  "district/district-01",
+		Role:        role,
+		Day:         2,
+		MachineIP:   "10.44.7.3",
+		Datacenter:  "dc-0",
+		FetchedAt:   time.Date(2015, 6, 3, 12, 0, 0, 0, time.UTC),
+		Page: &serp.Page{
+			Query:    term,
+			Location: "41.499300,-81.694400",
+			Cards: []serp.Card{
+				{Type: serp.Organic, Results: []serp.Result{{URL: "https://a/", Title: "A"}}},
+				{Type: serp.Maps, Results: []serp.Result{
+					{URL: "https://m1/", Title: "M1"},
+					{URL: "https://m2/", Title: "M2"},
+				}},
+			},
+		},
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	obs := []Observation{sampleObs("Coffee", Treatment), sampleObs("Coffee", Control)}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Fatalf("lines = %d, want 2", got)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("read %d observations", len(back))
+	}
+	if back[0].Term != "Coffee" || back[0].Role != Treatment || back[1].Role != Control {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back[0].Page.LinkCount() != 3 {
+		t.Fatalf("page link count = %d", back[0].Page.LinkCount())
+	}
+	if !back[0].FetchedAt.Equal(obs[0].FetchedAt) {
+		t.Fatalf("time mismatch: %v", back[0].FetchedAt)
+	}
+}
+
+func TestReadJSONLSkipsBlankAndRejectsGarbage(t *testing.T) {
+	obs, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(obs) != 0 {
+		t.Fatalf("blank stream: %v %v", obs, err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{not json}\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.jsonl")
+	obs := []Observation{sampleObs("School", Treatment)}
+	if err := SaveJSONL(path, obs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Term != "School" {
+		t.Fatalf("loaded %+v", back)
+	}
+	if _, err := LoadJSONL(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestObservationValidate(t *testing.T) {
+	good := sampleObs("Coffee", Treatment)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Term = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty term accepted")
+	}
+	bad = good
+	bad.Role = "spectator"
+	if bad.Validate() == nil {
+		t.Fatal("bad role accepted")
+	}
+	bad = good
+	bad.LocationID = ""
+	if bad.Validate() == nil {
+		t.Fatal("missing location accepted")
+	}
+	bad = good
+	bad.Page = nil
+	if bad.Validate() == nil {
+		t.Fatal("missing page accepted")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Header: []string{"granularity", "jaccard", "edit"}}
+	tb.AddRow("county", "0.85", "4.1")
+	tb.AddRow("state", "0.65", "7.4")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "granularity,jaccard,edit" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "state,0.65,7.4" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestTableRowWidthPanics(t *testing.T) {
+	tb := Table{Header: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row accepted")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableSaveCSV(t *testing.T) {
+	tb := Table{Header: []string{"x"}}
+	tb.AddRow("1")
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := tb.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSONL(path)
+	if err == nil && len(back) > 0 {
+		t.Fatal("CSV parsed as JSONL?")
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "obs.jsonl.gz")
+	obs := []Observation{sampleObs("Coffee", Treatment), sampleObs("Bank", Control)}
+	if err := SaveJSONL(path, obs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Term != "Coffee" || back[1].Term != "Bank" {
+		t.Fatalf("round-trip = %+v", back)
+	}
+	// Compressed file must actually be gzip (magic bytes) and smaller
+	// than the plain encoding.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("file is not gzip")
+	}
+	plain := filepath.Join(dir, "obs.jsonl")
+	if err := SaveJSONL(plain, obs); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := os.Stat(plain)
+	if int64(len(raw)) >= info.Size() {
+		t.Fatalf("gzip (%d) not smaller than plain (%d)", len(raw), info.Size())
+	}
+}
+
+func TestLoadJSONLGzipCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl.gz")
+	if err := os.WriteFile(path, []byte("not gzip at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadJSONL(path); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package webcorpus synthesizes the web that the search engine indexes and
+// serves. It stands in for the real web the paper's crawler observed through
+// Google Search, and is organized — like a production engine's backends —
+// into three verticals:
+//
+//   - Web:    static documents (official sites, encyclopedias, directories,
+//     government and campaign pages, namesake profiles).
+//   - Places: a geo-generative business directory that deterministically
+//     populates the map with establishments, the backend for Maps
+//     cards and for location-ranked organic results.
+//   - News:   a time-dependent wire of national and regional articles, the
+//     backend for "In the News" cards.
+//
+// Everything is generated deterministically from a root seed, so two engine
+// replicas constructed with the same seed serve the same web (the noise the
+// paper measures comes from the engine layer, not from the corpus).
+package webcorpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DocKind classifies a static web document. The engine's ranker uses the
+// kind to assign base authority, and the analysis layer never sees it —
+// exactly like the real study, which could only observe URLs.
+type DocKind int
+
+const (
+	// KindOfficial is a brand's or institution's own site.
+	KindOfficial DocKind = iota
+	// KindEncyclopedia is a reference article (wikipedia-like).
+	KindEncyclopedia
+	// KindDirectory is a national listing/review site page.
+	KindDirectory
+	// KindGov is a government page.
+	KindGov
+	// KindCampaign is a politician's campaign site.
+	KindCampaign
+	// KindProfile is a social or professional profile page.
+	KindProfile
+	// KindAdvocacy is an issue-advocacy page for controversial topics.
+	KindAdvocacy
+	// KindBlog is commentary/long-tail content.
+	KindBlog
+)
+
+// String returns a short label for the kind.
+func (k DocKind) String() string {
+	switch k {
+	case KindOfficial:
+		return "official"
+	case KindEncyclopedia:
+		return "encyclopedia"
+	case KindDirectory:
+		return "directory"
+	case KindGov:
+		return "gov"
+	case KindCampaign:
+		return "campaign"
+	case KindProfile:
+		return "profile"
+	case KindAdvocacy:
+		return "advocacy"
+	case KindBlog:
+		return "blog"
+	default:
+		return fmt.Sprintf("kind%d", int(k))
+	}
+}
+
+// Doc is a static web document in the Web vertical.
+type Doc struct {
+	// URL uniquely identifies the document.
+	URL string
+	// Title is the page title shown on result cards.
+	Title string
+	// Snippet is the short abstract shown under the title.
+	Snippet string
+	// Kind drives base authority in the ranker.
+	Kind DocKind
+	// Topic is the query ID this document is primarily about.
+	Topic string
+	// Authority is the query-independent base score in [0, 1].
+	Authority float64
+	// Region is the state slug this document is tied to ("ohio"), or ""
+	// for nationally relevant documents. Region-matching documents get a
+	// mild boost for queries issued from that region — one of the two
+	// mechanisms (with Places) behind location personalization of
+	// "typical" results.
+	Region string
+}
+
+// slug lowercases s and maps runs of non-alphanumerics to single dashes.
+func slug(s string) string {
+	var b strings.Builder
+	lastDash := true // trim leading dashes
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "-")
+}
