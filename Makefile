@@ -1,8 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test bench repro repro-full examples clean
+.PHONY: all build vet test check bench repro repro-full examples clean
 
 all: build vet test
+
+# check is the CI gate: vet, build, and the full suite under the race
+# detector (the telemetry layer is lock-free by design — prove it).
+check:
+	go vet ./...
+	go build ./...
+	go test -race ./...
 
 build:
 	go build ./...

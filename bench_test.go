@@ -10,6 +10,7 @@ package geoserp
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
 	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
 
 	"time"
 )
@@ -340,6 +342,112 @@ func BenchmarkReportSVG(b *testing.B) {
 		}
 		if svg := report.Figure3SVG(terms); len(svg) == 0 {
 			b.Fatal("empty svg")
+		}
+	}
+}
+
+// ---- telemetry hot path ----
+
+// The telemetry layer sits on the engine's and server's per-request path,
+// so its primitives must be effectively free: single atomic ops, no
+// allocations, no locks held across observation.
+
+// BenchmarkTelemetryCounterInc measures the bare counter increment — the
+// cost added to every served request.
+func BenchmarkTelemetryCounterInc(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryCounterVecWith measures the labelled-counter fast path
+// (existing child: one RLock map hit + atomic add).
+func BenchmarkTelemetryCounterVecWith(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	v := reg.CounterVec("bench_by_code_total", "bench", "code")
+	v.With("200") // pre-create the child, as the serving path does
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.With("200").Inc()
+	}
+}
+
+// BenchmarkTelemetryHistogramObserve measures one latency observation
+// (linear bucket scan + two atomics).
+func BenchmarkTelemetryHistogramObserve(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("bench_seconds", "bench", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}
+
+// BenchmarkTelemetryCounterParallel measures counter contention at
+// engine-parallel request rates.
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("bench_total", "bench")
+	v := reg.CounterVec("bench_by_code_total", "bench", "code")
+	h := reg.Histogram("bench_seconds", "bench", nil)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+			v.With("200").Inc()
+			h.Observe(0.001)
+		}
+	})
+}
+
+// BenchmarkTelemetryPrometheusRender measures one /metricsz scrape over a
+// registry shaped like serpd's (a scrape must not perturb serving).
+func BenchmarkTelemetryPrometheusRender(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("engine_served_total", "x").Add(12345)
+	v := reg.CounterVec("serpd_http_responses_total", "x", "code")
+	for _, code := range []string{"200", "400", "404", "429"} {
+		v.With(code).Add(100)
+	}
+	dc := reg.CounterVec("engine_requests_total", "x", "datacenter")
+	for i := 0; i < 3; i++ {
+		dc.With(fmt.Sprintf("dc-%d", i)).Add(50)
+	}
+	h := reg.Histogram("serpd_http_request_duration_seconds", "x", nil)
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) / 10000)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestTelemetryHotPathZeroAlloc pins the zero-allocation guarantee of the
+// per-request instrument path at the integration level: if any of these
+// allocates, every engine search and HTTP request pays it.
+func TestTelemetryHotPathZeroAlloc(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("zero_total", "x")
+	v := reg.CounterVec("zero_by_code_total", "x", "code")
+	v.With("200")
+	h := reg.Histogram("zero_seconds", "x", nil)
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"CounterVec.With":   func() { v.With("200").Inc() },
+		"Histogram.Observe": func() { h.Observe(0.002) },
+	} {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s allocates %.0f per op, want 0", name, allocs)
 		}
 	}
 }

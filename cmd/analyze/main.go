@@ -9,8 +9,9 @@ package main
 
 import (
 	"flag"
-	"log"
 	"os"
+
+	"geoserp/internal/telemetry"
 )
 
 func main() {
@@ -21,9 +22,11 @@ func main() {
 	flag.StringVar(&opts.SVGDir, "svg", "", "directory to export SVG figure images into")
 	flag.StringVar(&opts.HTMLPath, "html", "", "write a single self-contained HTML report to this path")
 	flag.BoolVar(&opts.Extended, "extended", false, "also run the §5 follow-up analyses (clusters, domain bias, distance decay)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 
 	if err := runAnalyze(opts, os.Stdout); err != nil {
-		log.Fatalf("analyze: %v", err)
+		telemetry.NewLogger(os.Stderr, *logFormat).Error("analyze failed", "err", err)
+		os.Exit(1)
 	}
 }

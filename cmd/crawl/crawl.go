@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"geoserp/internal/crawler"
@@ -11,6 +12,7 @@ import (
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
 	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
 )
 
 // options collects the crawl command's inputs.
@@ -35,8 +37,10 @@ type options struct {
 	// CorpusPath loads a custom query corpus (JSON) instead of the
 	// study's 240 terms (in-process mode).
 	CorpusPath string
-	// Logf receives progress lines (nil = silent).
-	Logf func(format string, args ...any)
+	// Logger receives structured progress records (nil = silent). At
+	// Debug level it also gets one record per fetch with the minted
+	// trace ID.
+	Logger *slog.Logger
 }
 
 // runCrawl executes the campaign and writes the observations; it returns
@@ -45,9 +49,9 @@ func runCrawl(opts options) (int, error) {
 	if opts.Out == "" {
 		return 0, fmt.Errorf("crawl: output path must be set")
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	corpus := queries.StudyCorpus()
 	if opts.CorpusPath != "" {
@@ -85,8 +89,10 @@ func runCrawl(opts options) (int, error) {
 		{Name: "politicians", Terms: take(corpus.Category(queries.Politician)), Granularities: geo.Granularities, Days: days},
 	}
 
+	reg := telemetry.NewRegistry()
 	var obs []storage.Observation
 	var err error
+	var cr *crawler.Crawler
 	if opts.Server == "" {
 		clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
 		ecfg := engine.DefaultConfig()
@@ -99,20 +105,20 @@ func runCrawl(opts options) (int, error) {
 			return 0, lerr
 		}
 		srv.Start()
-		logf("crawl: in-process engine at %s", srv.URL())
-		cr, cerr := crawler.New(ccfg, clk, srv.URL(), ds, corpus)
-		if cerr != nil {
-			return 0, cerr
+		logger.Info("in-process engine ready", "url", srv.URL())
+		cr, err = crawler.New(ccfg, clk, srv.URL(), ds, corpus)
+		if err != nil {
+			return 0, err
 		}
-		cr.Progress = func(s string) { logf("crawl: %s", s) }
+		cr.Logger, cr.Telemetry = logger, reg
 		obs, err = cr.RunCampaignVirtual(clk, phases)
 	} else {
-		logf("crawl: targeting live server %s (wall-clock waits apply!)", opts.Server)
-		cr, cerr := crawler.New(ccfg, simclock.Wall(), opts.Server, ds, corpus)
-		if cerr != nil {
-			return 0, cerr
+		logger.Info("targeting live server (wall-clock waits apply)", "server", opts.Server)
+		cr, err = crawler.New(ccfg, simclock.Wall(), opts.Server, ds, corpus)
+		if err != nil {
+			return 0, err
 		}
-		cr.Progress = func(s string) { logf("crawl: %s", s) }
+		cr.Logger, cr.Telemetry = logger, reg
 		obs, err = cr.RunCampaign(phases)
 	}
 	if err != nil {
@@ -121,5 +127,18 @@ func runCrawl(opts options) (int, error) {
 	if err := storage.SaveJSONL(opts.Out, obs); err != nil {
 		return 0, fmt.Errorf("crawl: save: %w", err)
 	}
+	logTelemetrySummary(logger, reg, len(obs))
 	return len(obs), nil
+}
+
+// logTelemetrySummary emits the campaign's end-of-run counters — the same
+// numbers a live /metricsz scrape would show — as one structured record.
+func logTelemetrySummary(logger *slog.Logger, reg *telemetry.Registry, nObs int) {
+	logger.Info("campaign telemetry",
+		"observations", nObs,
+		"queries_issued", reg.Counter("crawler_queries_total", "").Value(),
+		"terms_completed", reg.Counter("crawler_terms_completed_total", "").Value(),
+		"fetches", reg.Counter("browser_fetches_total", "").Value(),
+		"rate_limited_429s", reg.Counter("browser_rate_limited_total", "").Value(),
+		"retries", reg.Counter("browser_retries_total", "").Value())
 }

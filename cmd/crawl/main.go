@@ -11,14 +11,19 @@
 // crawler really does wait 11 minutes between queries):
 //
 //	crawl -server http://127.0.0.1:8080 -terms 2 -days 1 -out live.jsonl
+//
+// Progress is logged as structured records (-log-format json for JSON);
+// -v additionally logs every fetch with its minted trace ID, which joins
+// the record to serpd's access log and the stored observation.
 package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
+
+	"geoserp/internal/telemetry"
 )
 
 func main() {
@@ -32,14 +37,24 @@ func main() {
 	flag.StringVar(&opts.PinnedDatacenter, "datacenter", "dc-0", "pinned datacenter ('' = unpinned)")
 	flag.DurationVar(&opts.Wait, "wait", 11*time.Minute, "spacing between successive terms")
 	flag.StringVar(&opts.CorpusPath, "corpus", "", "custom query corpus JSON (default: the study's 240 terms)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	verbose := flag.Bool("v", false, "debug logging: one record per fetch with its trace ID")
 	flag.Parse()
-	opts.Logf = log.Printf
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(telemetry.NewLogHandler(os.Stderr, *logFormat, level))
+	opts.Logger = logger
 
 	start := time.Now()
 	n, err := runCrawl(opts)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("crawl failed", "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "crawl: wrote %d observations to %s in %v\n",
-		n, opts.Out, time.Since(start).Round(time.Millisecond))
+	logger.Info("crawl complete",
+		"observations", n, "out", opts.Out,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
 }

@@ -14,8 +14,9 @@ package main
 
 import (
 	"flag"
-	"log"
 	"os"
+
+	"geoserp/internal/telemetry"
 )
 
 func main() {
@@ -30,10 +31,13 @@ func main() {
 	flag.Uint64Var(&opts.Seed, "seed", 1, "engine seed")
 	flag.BoolVar(&opts.Extended, "extended", false, "also run the §5 follow-up analyses (clusters, domain bias, distance decay)")
 	flag.IntVar(&opts.Validators, "validators", 50, "vantage machines for the validation experiment")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
-	opts.Logf = log.Printf
+	logger := telemetry.NewLogger(os.Stderr, *logFormat)
+	opts.Logger = logger
 
 	if err := runRepro(opts, os.Stdout); err != nil {
-		log.Fatalf("repro: %v", err)
+		logger.Error("repro failed", "err", err)
+		os.Exit(1)
 	}
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"time"
 
 	"geoserp"
@@ -35,15 +36,17 @@ type options struct {
 	Extended bool
 	// Validators is the vantage count for the validation experiment.
 	Validators int
-	// Logf receives progress lines (nil = silent).
-	Logf func(format string, args ...any)
+	// Logger receives structured progress records on stderr (nil =
+	// silent). The report artifacts on w are unaffected: telemetry never
+	// touches stdout, so repro output stays byte-for-byte deterministic.
+	Logger *slog.Logger
 }
 
 // runRepro reproduces the paper, writing every artifact to w.
 func runRepro(opts options, w io.Writer) error {
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	if opts.Validators <= 0 {
 		opts.Validators = 50
@@ -86,20 +89,21 @@ func runRepro(opts options, w io.Writer) error {
 	if !opts.Full {
 		phases = study.ScaledPhases(opts.TermsPerCategory, opts.Days)
 	}
-	study.Crawler.Progress = func(s string) { logf("repro: %s", s) }
+	study.Crawler.Logger = logger
 	start := time.Now()
 	obs, err := study.RunPhases(phases)
 	if err != nil {
 		return fmt.Errorf("repro: campaign: %w", err)
 	}
-	logf("repro: campaign complete: %d observations in %v",
-		len(obs), time.Since(start).Round(time.Millisecond))
+	logger.Info("campaign complete",
+		"observations", len(obs),
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
 
 	if opts.Save != "" {
 		if err := storage.SaveJSONL(opts.Save, obs); err != nil {
 			return fmt.Errorf("repro: save: %w", err)
 		}
-		logf("repro: raw observations saved to %s", opts.Save)
+		logger.Info("raw observations saved", "path", opts.Save)
 	}
 
 	d, err := analysis.NewDataset(obs)

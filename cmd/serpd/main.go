@@ -4,24 +4,30 @@
 //
 // Usage:
 //
-//	serpd [-addr 127.0.0.1:8080] [-seed 1] [-datacenters 3] [-rate-burst 30] [-verbose]
+//	serpd [-addr 127.0.0.1:8080] [-seed 1] [-datacenters 3] [-rate-burst 30]
+//	      [-verbose] [-log-format text|json] [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
 //	GET /search?q=<term>&ll=<lat>,<lon>[&format=json]
 //	GET /healthz
-//	GET /statz
+//	GET /statz         JSON counters (backward-compatible shape)
+//	GET /metricsz      Prometheus text exposition
+//
+// With -pprof-addr, the net/http/pprof endpoints are served on a separate
+// listener under /debug/pprof/.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	"geoserp/internal/telemetry"
 )
 
 func main() {
@@ -34,34 +40,52 @@ func main() {
 	flag.Float64Var(&opts.RatePerMin, "rate-per-minute", 10, "per-IP sustained requests per minute")
 	flag.BoolVar(&opts.Quiet, "quiet", false, "disable all noise mechanisms (deterministic serving)")
 	flag.StringVar(&opts.CorpusPath, "corpus", "", "custom query corpus JSON (default: the study's 240 terms)")
+	flag.StringVar(&opts.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stderr, *logFormat)
 	if *verbose {
-		opts.Logf = log.Printf
+		opts.Logger = logger
 	}
 
 	srv, eng, err := buildServer(opts)
 	if err != nil {
-		log.Fatalf("serpd: %v", err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("serpd: serving synthetic search on %s (seed=%d, datacenters=%d)",
-		srv.URL(), opts.Seed, opts.Datacenters)
-	log.Printf("serpd: try %s/search?q=Coffee&ll=41.4993,-81.6944", srv.URL())
+	logger.Info("serving synthetic search",
+		"url", srv.URL(), "seed", opts.Seed, "datacenters", opts.Datacenters)
+	logger.Info("endpoints ready",
+		"try", srv.URL()+"/search?q=Coffee&ll=41.4993,-81.6944",
+		"metrics", srv.URL()+"/metricsz")
+
+	if opts.PprofAddr != "" {
+		pprofSrv, pprofAddr, perr := startPprof(opts.PprofAddr)
+		if perr != nil {
+			logger.Error("pprof startup failed", "err", perr)
+			os.Exit(1)
+		}
+		defer pprofSrv.Close()
+		logger.Info("pprof enabled", "addr", "http://"+pprofAddr+"/debug/pprof/")
+	}
 
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, syscall.SIGINT, syscall.SIGTERM)
 	go func() {
 		if err := srv.Serve(); err != nil {
-			log.Printf("serpd: serve: %v", err)
+			logger.Error("serve", "err", err)
 		}
 	}()
 	<-done
 	fmt.Fprintln(os.Stderr)
-	log.Printf("serpd: shutting down (%d pages served, %d rate-limited)",
-		eng.Served(), eng.RateLimited())
+	logger.Info("shutting down",
+		"served", eng.Served(), "rate_limited", eng.RateLimited())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatalf("serpd: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
+		os.Exit(1)
 	}
 }

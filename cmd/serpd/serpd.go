@@ -1,10 +1,16 @@
 package main
 
 import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+
 	"geoserp/internal/engine"
 	"geoserp/internal/queries"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
 )
 
 // options collects the serpd command's inputs.
@@ -19,11 +25,16 @@ type options struct {
 	// CorpusPath loads a custom query corpus (JSON) instead of the
 	// study's 240 terms.
 	CorpusPath string
-	// Logf, when set, receives access-log lines.
-	Logf func(format string, args ...any)
+	// Logger, when set, receives one structured access-log record per
+	// request.
+	Logger *slog.Logger
+	// PprofAddr, when set, serves net/http/pprof on a separate listener.
+	PprofAddr string
 }
 
 // buildServer constructs the engine and a bound (not yet serving) server.
+// Engine and HTTP front end share one telemetry registry, exposed at
+// /metricsz on the returned server.
 func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 	cfg := engine.DefaultConfig()
 	if opts.Seed != 0 {
@@ -49,23 +60,36 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 		cfg.BucketWeightSpread = 0
 		cfg.ReplicaSkew = 0
 	}
-	var eng *engine.Engine
+	reg := telemetry.NewRegistry()
+	eopts := []engine.Option{engine.WithTelemetry(reg)}
 	if opts.CorpusPath != "" {
 		corpus, err := queries.LoadCorpus(opts.CorpusPath)
 		if err != nil {
 			return nil, nil, err
 		}
-		eng = engine.NewCustom(cfg, simclock.Wall(), engine.WithCorpus(corpus))
-	} else {
-		eng = engine.New(cfg, simclock.Wall())
+		eopts = append(eopts, engine.WithCorpus(corpus))
 	}
+	eng := engine.NewCustom(cfg, simclock.Wall(), eopts...)
 	var hopts []serpserver.HandlerOption
-	if opts.Logf != nil {
-		hopts = append(hopts, serpserver.WithAccessLog(opts.Logf))
+	if opts.Logger != nil {
+		hopts = append(hopts, serpserver.WithLogger(opts.Logger))
 	}
 	srv, err := serpserver.Listen(opts.Addr, serpserver.NewHandler(eng, hopts...))
 	if err != nil {
 		return nil, nil, err
 	}
 	return srv, eng, nil
+}
+
+// startPprof binds addr and serves the net/http/pprof endpoints on it in
+// the background, returning the server for shutdown. Profiling gets its
+// own listener so it never shares a port with production traffic.
+func startPprof(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("pprof: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: telemetry.PprofMux()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
 }

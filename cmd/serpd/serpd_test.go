@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"geoserp/internal/serp"
+	"geoserp/internal/telemetry"
 )
 
 func TestBuildServerAndServe(t *testing.T) {
@@ -71,12 +74,10 @@ func TestBuildServerQuietModeDeterministic(t *testing.T) {
 }
 
 func TestBuildServerAccessLog(t *testing.T) {
-	var lines []string
+	var buf syncBuffer
 	srv, _, err := buildServer(options{Addr: "127.0.0.1:0",
 		RateBurst: 1000, RatePerMin: 100000,
-		Logf: func(format string, args ...any) {
-			lines = append(lines, format)
-		}})
+		Logger: telemetry.NewLogger(&buf, "text")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,8 +88,70 @@ func TestBuildServerAccessLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if len(lines) != 1 || !strings.Contains(lines[0], "status=") {
-		t.Fatalf("access log lines = %v", lines)
+	if out := buf.String(); !strings.Contains(out, "status=200") || !strings.Contains(out, "path=/healthz") {
+		t.Fatalf("access log = %q", out)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the access log is written
+// from the server goroutine while the test reads it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestMetricszAndPprofEndpoints(t *testing.T) {
+	srv, _, err := buildServer(options{Addr: "127.0.0.1:0",
+		RateBurst: 1000, RatePerMin: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get(srv.URL() + "/search?q=Coffee&ll=41.4993,-81.6944")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL() + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{"serpd_http_requests_total", "engine_served_total 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metricsz missing %q:\n%s", want, out)
+		}
+	}
+
+	pprofSrv, pprofAddr, err := startPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pprofSrv.Close()
+	resp, err = http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", resp.StatusCode)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"geoserp/internal/geo"
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
 )
 
 // ErrRateLimited is returned when the engine answers 429.
@@ -75,6 +76,18 @@ type Browser struct {
 	lastDC    string
 	transport http.RoundTripper
 
+	// traceID, when set, is sent as the X-Trace-Id header on every
+	// fetch so the server's access log and the stored page record can
+	// be joined back to this request.
+	traceID     string
+	lastTraceID string
+
+	// Telemetry counters, shared with the crawler's registry when set
+	// (nil without WithTelemetry — the zero-cost default).
+	fetchCtr     *telemetry.Counter
+	rateLimitCtr *telemetry.Counter
+	retryCtr     *telemetry.Counter
+
 	// Retry policy for 429 responses.
 	maxAttempts int
 	backoff     time.Duration
@@ -124,6 +137,17 @@ func WithRetry(attempts int, backoff time.Duration) Option {
 // campaigns pass the campaign clock).
 func WithClock(clk simclock.Clock) Option {
 	return func(b *Browser) { b.clock = clk }
+}
+
+// WithTelemetry reports the browser's fetches, observed 429s, and retries
+// through a shared registry — the crawler passes its own so a campaign's
+// /metricsz-style snapshot covers the whole pool.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(b *Browser) {
+		b.fetchCtr = reg.Counter("browser_fetches_total", "Result pages fetched across the browser pool.")
+		b.rateLimitCtr = reg.Counter("browser_rate_limited_total", "429 responses observed across the browser pool.")
+		b.retryCtr = reg.Counter("browser_retries_total", "Rate-limited fetches that were retried.")
+	}
 }
 
 // New creates a browser pointed at the search service base URL.
@@ -187,6 +211,15 @@ func (b *Browser) Retries() int { return b.retries }
 // the X-Served-By header).
 func (b *Browser) LastDatacenter() string { return b.lastDC }
 
+// SetTraceID installs the trace ID sent as X-Trace-Id on subsequent
+// fetches ("" stops sending the header). The crawler mints one per query
+// before each fetch.
+func (b *Browser) SetTraceID(id string) { b.traceID = id }
+
+// LastTraceID reports the trace ID the server confirmed on the previous
+// page ("" when the request was untraced).
+func (b *Browser) LastTraceID() string { return b.lastTraceID }
+
 // Search executes a query and parses the first page of results, retrying
 // rate-limited fetches per the WithRetry policy.
 func (b *Browser) Search(term string) (*serp.Page, error) {
@@ -204,6 +237,9 @@ func (b *Browser) Search(term string) (*serp.Page, error) {
 			return nil, lastErr
 		}
 		b.retries++
+		if b.retryCtr != nil {
+			b.retryCtr.Inc()
+		}
 		if b.backoff > 0 {
 			b.clock.Sleep(time.Duration(attempt) * b.backoff)
 		}
@@ -237,6 +273,9 @@ func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
 	if b.pinnedDC != "" {
 		req.Header.Set("X-Datacenter", b.pinnedDC)
 	}
+	if b.traceID != "" {
+		req.Header.Set(telemetry.TraceHeader, b.traceID)
+	}
 
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -251,6 +290,9 @@ func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
 	case http.StatusOK:
 		// fall through
 	case http.StatusTooManyRequests:
+		if b.rateLimitCtr != nil {
+			b.rateLimitCtr.Inc()
+		}
 		return nil, fmt.Errorf("%w (retry-after %s)", ErrRateLimited, resp.Header.Get("Retry-After"))
 	default:
 		return nil, fmt.Errorf("browser: server returned %d: %s", resp.StatusCode, truncate(string(body), 120))
@@ -260,7 +302,17 @@ func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
 		return nil, fmt.Errorf("browser: parse results: %w", err)
 	}
 	b.fetches++
+	if b.fetchCtr != nil {
+		b.fetchCtr.Inc()
+	}
 	b.lastDC = resp.Header.Get("X-Served-By")
+	// The HTML surface does not carry the trace; the header echo does.
+	// Attach it to the parsed record so storage keeps the join key.
+	b.lastTraceID = resp.Header.Get(telemetry.TraceHeader)
+	if b.lastTraceID == "" {
+		b.lastTraceID = b.traceID
+	}
+	page.TraceID = b.lastTraceID
 	return page, nil
 }
 

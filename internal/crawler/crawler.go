@@ -9,6 +9,7 @@ package crawler
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
 	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
 )
 
 // Config describes the crawl infrastructure.
@@ -96,6 +98,42 @@ type Crawler struct {
 	// Progress is called (if set) after each term sweep with a short
 	// status line.
 	Progress func(string)
+	// Logger, when set, receives structured progress records (Info) and
+	// one per-fetch record with the minted trace ID (Debug).
+	Logger *slog.Logger
+	// Telemetry is the registry the campaign reports through: per-phase
+	// progress counters, the lock-step round-duration histogram, and
+	// the browser pool's fetch/429/retry counters. Lazily created when
+	// nil; set it to share one registry with the rest of a process.
+	Telemetry *telemetry.Registry
+
+	inst *crawlInstruments
+}
+
+// crawlInstruments are the crawler's registered metrics.
+type crawlInstruments struct {
+	queries  *telemetry.Counter   // crawler_queries_total
+	terms    *telemetry.Counter   // crawler_terms_completed_total
+	limited  *telemetry.Counter   // browser_rate_limited_total (shared with the pool)
+	roundDur *telemetry.Histogram // crawler_round_duration_seconds
+}
+
+// instruments lazily registers the crawler's metrics. Called from the
+// scheduling goroutine only.
+func (c *Crawler) instruments() *crawlInstruments {
+	if c.inst == nil {
+		if c.Telemetry == nil {
+			c.Telemetry = telemetry.NewRegistry()
+		}
+		c.inst = &crawlInstruments{
+			queries: c.Telemetry.Counter("crawler_queries_total", "Queries issued across all vantages and roles."),
+			terms:   c.Telemetry.Counter("crawler_terms_completed_total", "Lock-step term sweeps completed."),
+			limited: c.Telemetry.Counter("browser_rate_limited_total", "429 responses observed across the browser pool."),
+			roundDur: c.Telemetry.Histogram("crawler_round_duration_seconds",
+				"Wall-clock time of one lock-step round (every vantage, treatment and control).", nil),
+		}
+	}
+	return c.inst
 }
 
 // New builds a crawler. The clock must be the same clock the engine uses
@@ -135,12 +173,14 @@ type vantage struct {
 // set, spreading them across the machine pool so no single IP carries
 // enough load to trip the engine's rate limiter.
 func (c *Crawler) newVantages(locs []geo.Location) ([]vantage, error) {
+	c.instruments() // ensure c.Telemetry exists for the browser pool
 	machines := c.MachineIPs()
 	out := make([]vantage, 0, len(locs))
 	for i, loc := range locs {
 		mkBrowser := func(slot int) (*browser.Browser, error) {
 			opts := []browser.Option{
 				browser.WithSourceIP(machines[slot%len(machines)]),
+				browser.WithTelemetry(c.Telemetry),
 			}
 			if c.cfg.PinnedDatacenter != "" {
 				opts = append(opts, browser.WithPinnedDatacenter(c.cfg.PinnedDatacenter))
@@ -201,7 +241,7 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("crawler: phase %q cancelled: %w", p.Name, err)
 				}
-				obs, err := c.sweepTerm(q, g, day, vans)
+				obs, err := c.sweepTerm(p.Name, q, g, day, vans)
 				if err != nil {
 					return nil, err
 				}
@@ -218,6 +258,18 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 			if c.Progress != nil {
 				c.Progress(fmt.Sprintf("phase %s: %s day %d/%d done (%d observations)",
 					p.Name, g.Short(), day+1, p.Days, len(all)))
+			}
+			if c.Logger != nil {
+				inst := c.instruments()
+				c.Logger.Info("phase day complete",
+					"phase", p.Name,
+					"granularity", g.Short(),
+					"day", day+1,
+					"days", p.Days,
+					"terms_completed", inst.terms.Value(),
+					"queries_issued", inst.queries.Value(),
+					"rate_limited_429s", inst.limited.Value(),
+					"observations", len(all))
 			}
 		}
 	}
@@ -275,19 +327,32 @@ func (c *Crawler) RunCampaignContext(ctx context.Context, phases []Phase) ([]sto
 
 // sweepTerm issues the query from every vantage — treatment and control —
 // in lock-step: all fetches run concurrently at the same (virtual) instant.
-func (c *Crawler) sweepTerm(q queries.Query, g geo.Granularity, day int, vans []vantage) ([]storage.Observation, error) {
+// Each fetch carries a trace ID minted deterministically from its
+// experimental coordinates, so repro campaigns stay byte-for-byte
+// reproducible while every stored page joins back to its request.
+func (c *Crawler) sweepTerm(phase string, q queries.Query, g geo.Granularity, day int, vans []vantage) ([]storage.Observation, error) {
+	inst := c.instruments()
 	results := make(chan fetchResult, len(vans)*2)
 	var wg sync.WaitGroup
 	now := c.clock.Now()
+	roundStart := time.Now()
 	for _, v := range vans {
 		for _, role := range []storage.Role{storage.Treatment, storage.Control} {
 			b := v.treatment
 			if role == storage.Control {
 				b = v.control
 			}
+			trace := telemetry.MintTraceID(0, phase, g.Short(), fmt.Sprint(day), q.Term, v.loc.ID, string(role))
 			wg.Add(1)
-			go func(v vantage, role storage.Role, b *browser.Browser) {
+			go func(v vantage, role storage.Role, b *browser.Browser, trace string) {
 				defer wg.Done()
+				inst.queries.Inc()
+				if c.Logger != nil {
+					c.Logger.Debug("fetch",
+						"trace", trace, "phase", phase, "term", q.Term,
+						"location", v.loc.ID, "role", string(role), "day", day)
+				}
+				b.SetTraceID(trace)
 				page, err := b.Search(q.Term)
 				if c.cfg.ClearCookies {
 					b.ClearCookies()
@@ -305,14 +370,17 @@ func (c *Crawler) sweepTerm(q queries.Query, g geo.Granularity, day int, vans []
 					Day:         day,
 					MachineIP:   b.SourceIP(),
 					Datacenter:  page.Datacenter,
+					TraceID:     page.TraceID,
 					FetchedAt:   now,
 					Page:        page,
 				}}
-			}(v, role, b)
+			}(v, role, b, trace)
 		}
 	}
 	wg.Wait()
 	close(results)
+	inst.roundDur.ObserveSince(roundStart)
+	inst.terms.Inc()
 
 	out := make([]storage.Observation, 0, len(vans)*2)
 	for r := range results {
@@ -335,12 +403,14 @@ func (c *Crawler) RunValidation(terms []queries.Query, gps geo.Point, nVantage i
 	if nVantage <= 0 {
 		return nil, fmt.Errorf("crawler: need at least one vantage")
 	}
+	c.instruments() // ensure c.Telemetry exists for the browser pool
 	browsers := make([]*browser.Browser, nVantage)
 	for i := range browsers {
 		// Spread vantages across distinct /8s, like PlanetLab sites at
 		// different universities.
 		ip := fmt.Sprintf("%d.%d.10.7", 11+(i*5)%200, (i*13)%250)
-		b, err := browser.New(c.baseURL, browser.WithSourceIP(ip))
+		b, err := browser.New(c.baseURL, browser.WithSourceIP(ip),
+			browser.WithTelemetry(c.Telemetry))
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ import (
 	"geoserp/internal/queries"
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
 	"geoserp/internal/webcorpus"
 )
 
@@ -98,12 +99,43 @@ type Engine struct {
 	limiter   *rateLimiter
 	ipgeo     *ipGeolocator
 	dcNames   []string
-	reqCount  atomic.Uint64
-	served    atomic.Uint64
-	limited   atomic.Uint64
-	// servedByDC counts pages served per replica, index-aligned with
-	// dcNames.
-	servedByDC []atomic.Uint64
+	// reqCount drives per-request randomness (bucket draw, jitter); it
+	// stays an engine-internal atomic so observability can never perturb
+	// the noise model.
+	reqCount atomic.Uint64
+	tel      *telemetry.Registry
+	inst     instruments
+}
+
+// instruments are the engine's registered metrics, pre-resolved at
+// construction so the Search hot path touches only atomics.
+type instruments struct {
+	served  *telemetry.Counter
+	limited *telemetry.Counter
+	// dcCounters are the engine_requests_total children, index-aligned
+	// with dcNames.
+	requestsByDC *telemetry.CounterVec
+	dcCounters   []*telemetry.Counter
+	rankDur      *telemetry.Histogram
+	historyDur   *telemetry.Histogram
+	ratelimitDur *telemetry.Histogram
+}
+
+// newInstruments registers the engine's metric families on reg.
+func newInstruments(reg *telemetry.Registry, dcNames []string) instruments {
+	inst := instruments{
+		served:       reg.Counter("engine_served_total", "Pages served."),
+		limited:      reg.Counter("engine_ratelimited_total", "Requests rejected by the per-IP rate limiter."),
+		requestsByDC: reg.CounterVec("engine_requests_total", "Requests served, by datacenter replica.", "datacenter"),
+		rankDur:      reg.Histogram("engine_rank_duration_seconds", "Wall-clock time scoring and assembling the result page.", nil),
+		historyDur:   reg.Histogram("engine_history_lookup_duration_seconds", "Wall-clock time of the session-history lookup.", nil),
+		ratelimitDur: reg.Histogram("engine_ratelimit_check_duration_seconds", "Wall-clock time of the rate-limiter check.", nil),
+	}
+	inst.dcCounters = make([]*telemetry.Counter, len(dcNames))
+	for i, name := range dcNames {
+		inst.dcCounters[i] = inst.requestsByDC.With(name)
+	}
+	return inst
 }
 
 // New builds an engine over the study corpus: the full 240-query web, the
@@ -133,19 +165,24 @@ func (e *Engine) Day() int {
 }
 
 // Served returns how many pages the engine has served.
-func (e *Engine) Served() uint64 { return e.served.Load() }
+func (e *Engine) Served() uint64 { return e.inst.served.Value() }
 
 // RateLimited returns how many requests were rejected by the limiter.
-func (e *Engine) RateLimited() uint64 { return e.limited.Load() }
+func (e *Engine) RateLimited() uint64 { return e.inst.limited.Value() }
 
 // ServedByDatacenter returns per-replica serve counts.
 func (e *Engine) ServedByDatacenter() map[string]uint64 {
 	out := make(map[string]uint64, len(e.dcNames))
 	for i, name := range e.dcNames {
-		out[name] = e.servedByDC[i].Load()
+		out[name] = e.inst.dcCounters[i].Value()
 	}
 	return out
 }
+
+// Telemetry returns the engine's metrics registry. The serpserver handler
+// exposes it at /metricsz; callers wanting one registry across engine and
+// HTTP front end pass theirs via WithTelemetry.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.tel }
 
 // dcIndex returns the index of a replica name (-1 if unknown).
 func (e *Engine) dcIndex(name string) int {
@@ -254,8 +291,14 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		return nil, ErrEmptyQuery
 	}
 	now := e.clock.Now()
-	if !e.limiter.allow(req.ClientIP, now) {
-		e.limited.Add(1)
+	// Stage timers use the wall clock, not e.clock: under virtual time
+	// the simulated clock measures campaign schedule, while these
+	// histograms measure how long the hardware actually took.
+	rlStart := time.Now()
+	allowed := e.limiter.allow(req.ClientIP, now)
+	e.inst.ratelimitDur.ObserveSince(rlStart)
+	if !allowed {
+		e.inst.limited.Inc()
 		return nil, ErrRateLimited
 	}
 
@@ -303,8 +346,12 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	bp := e.bucket(bucketNo, baseMapsProb)
 	authMult, regionMult := e.dcSkew(dc)
 
+	histStart := time.Now()
 	recent := e.history.recent(req.SessionID, now)
+	e.inst.historyDur.ObserveSince(histStart)
 	jitter := func(sigma float64) float64 { return rrng.Norm() * sigma }
+
+	rankStart := time.Now()
 
 	// --- Web vertical ---
 	hits := e.idx.Search(req.Query, 48)
@@ -467,10 +514,11 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		page.Cards = append(page.Cards, *newsCard)
 	}
 
+	e.inst.rankDur.ObserveSince(rankStart)
 	e.history.record(req.SessionID, topic, now)
-	e.served.Add(1)
+	e.inst.served.Inc()
 	if i := e.dcIndex(dc); i >= 0 {
-		e.servedByDC[i].Add(1)
+		e.inst.dcCounters[i].Inc()
 	}
 	return &Response{
 		Page:           page,

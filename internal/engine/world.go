@@ -2,12 +2,12 @@ package engine
 
 import (
 	"strings"
-	"sync/atomic"
 
 	"geoserp/internal/geo"
 	"geoserp/internal/index"
 	"geoserp/internal/queries"
 	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
 	"geoserp/internal/webcorpus"
 )
 
@@ -47,6 +47,7 @@ type worldSpec struct {
 	corpus     *queries.Corpus
 	regions    []RegionInfo
 	placeKinds []webcorpus.PlaceKind
+	tel        *telemetry.Registry
 }
 
 // WithCorpus substitutes the query corpus (and therefore the static web
@@ -64,6 +65,13 @@ func WithRegions(rs []RegionInfo) Option {
 // queries (keys must match local queries' IDs for them to draw places).
 func WithPlaceKinds(ks []webcorpus.PlaceKind) Option {
 	return func(w *worldSpec) { w.placeKinds = ks }
+}
+
+// WithTelemetry registers the engine's metrics on an existing registry so
+// one /metricsz endpoint can expose the engine and its HTTP front end
+// together. Without it the engine creates a private registry.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(w *worldSpec) { w.tel = reg }
 }
 
 // NewCustom builds an engine over a caller-defined world. Defaults match
@@ -93,21 +101,27 @@ func NewCustom(cfg Config, clock simclock.Clock, opts ...Option) *Engine {
 		dcNames[i] = dcName(i)
 	}
 
+	tel := spec.tel
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
+
 	return &Engine{
-		cfg:        cfg,
-		clock:      clock,
-		epoch:      clock.Now(),
-		corpus:     spec.corpus,
-		web:        web,
-		places:     webcorpus.NewPlacesCustom(cfg.Seed, spec.placeKinds),
-		news:       webcorpus.NewNewsWire(cfg.Seed, regions),
-		idx:        index.BuildFromWeb(web),
-		regions:    regions,
-		regionPts:  regionPts,
-		history:    newHistoryStore(cfg.HistoryWindow),
-		limiter:    newRateLimiter(cfg.RateBurst, cfg.RatePerMinute),
-		ipgeo:      newIPGeolocator(cfg.Seed, cfg.IPGeoErrorKm),
-		dcNames:    dcNames,
-		servedByDC: make([]atomic.Uint64, len(dcNames)),
+		cfg:       cfg,
+		clock:     clock,
+		epoch:     clock.Now(),
+		corpus:    spec.corpus,
+		web:       web,
+		places:    webcorpus.NewPlacesCustom(cfg.Seed, spec.placeKinds),
+		news:      webcorpus.NewNewsWire(cfg.Seed, regions),
+		idx:       index.BuildFromWeb(web),
+		regions:   regions,
+		regionPts: regionPts,
+		history:   newHistoryStore(cfg.HistoryWindow),
+		limiter:   newRateLimiter(cfg.RateBurst, cfg.RatePerMinute),
+		ipgeo:     newIPGeolocator(cfg.Seed, cfg.IPGeoErrorKm),
+		dcNames:   dcNames,
+		tel:       tel,
+		inst:      newInstruments(tel, dcNames),
 	}
 }

@@ -101,6 +101,12 @@ type Page struct {
 	Location string `json:"location"`
 	// Datacenter identifies the replica that served the page.
 	Datacenter string `json:"datacenter,omitempty"`
+	// TraceID is the request's telemetry trace ID, propagated from the
+	// crawler via the X-Trace-Id header and kept with the stored record
+	// so a divergent result can be joined back to the exact request,
+	// machine, and serving decision that produced it. Empty for
+	// untraced requests.
+	TraceID string `json:"trace_id,omitempty"`
 	// Day is the simulation day the page was served (0-based).
 	Day int `json:"day"`
 	// Cards is the card stack, top to bottom.

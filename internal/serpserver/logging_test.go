@@ -1,17 +1,18 @@
 package serpserver
 
 import (
+	"bytes"
 	"encoding/json"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync"
 	"testing"
 	"time"
 
 	"geoserp/internal/engine"
 	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
 )
 
 func TestAccessLogging(t *testing.T) {
@@ -19,32 +20,50 @@ func TestAccessLogging(t *testing.T) {
 	cfg := engine.DefaultConfig()
 	cfg.RateBurst = 1 << 20
 	cfg.RatePerMinute = 1 << 20
-	var mu sync.Mutex
-	var lines []string
-	h := NewHandler(engine.New(cfg, clk), WithAccessLog(func(format string, args ...any) {
-		mu.Lock()
-		lines = append(lines, fmt.Sprintf(format, args...))
-		mu.Unlock()
-	}))
+	var buf bytes.Buffer
+	h := NewHandler(engine.New(cfg, clk),
+		WithLogger(slog.New(telemetry.NewLogHandler(&buf, "text", slog.LevelInfo))))
 
 	req := httptest.NewRequest("GET", "/search?q=Coffee&ll=41.5,-81.7", nil)
 	req.RemoteAddr = "192.0.2.10:5555"
+	req.Header.Set(telemetry.TraceHeader, "deadbeef00000001")
 	h.ServeHTTP(httptest.NewRecorder(), req)
 
 	bad := httptest.NewRequest("GET", "/search?q=&ll=41.5,-81.7", nil)
 	bad.RemoteAddr = "192.0.2.10:5555"
 	h.ServeHTTP(httptest.NewRecorder(), bad)
 
-	mu.Lock()
-	defer mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != 2 {
-		t.Fatalf("log lines = %d, want 2", len(lines))
+		t.Fatalf("log lines = %d, want 2:\n%s", len(lines), buf.String())
 	}
 	if !strings.Contains(lines[0], "status=200") || !strings.Contains(lines[0], "ip=192.0.2.10") {
 		t.Fatalf("line 0 = %q", lines[0])
 	}
+	if !strings.Contains(lines[0], "trace=deadbeef00000001") {
+		t.Fatalf("line 0 missing trace ID: %q", lines[0])
+	}
 	if !strings.Contains(lines[1], "status=400") {
 		t.Fatalf("line 1 = %q", lines[1])
+	}
+}
+
+func TestAccessLoggingJSONFormat(t *testing.T) {
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := engine.DefaultConfig()
+	cfg.RateBurst = 1 << 20
+	cfg.RatePerMinute = 1 << 20
+	var buf bytes.Buffer
+	h := NewHandler(engine.New(cfg, clk),
+		WithLogger(slog.New(telemetry.NewLogHandler(&buf, "json", slog.LevelInfo))))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("access log is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["path"] != "/healthz" || rec["status"] != float64(200) {
+		t.Fatalf("JSON record = %v", rec)
 	}
 }
 

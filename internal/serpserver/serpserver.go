@@ -17,15 +17,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"geoserp/internal/engine"
 	"geoserp/internal/geo"
 	"geoserp/internal/serp"
+	"geoserp/internal/telemetry"
 )
 
 // SessionCookie is the cookie carrying the session ID.
@@ -35,61 +37,120 @@ const SessionCookie = "SID"
 // that statically resolved the service hostname to one datacenter.
 const DatacenterHeader = "X-Datacenter"
 
-// Handler is the HTTP front end over an Engine.
+// Handler is the HTTP front end over an Engine. It reports through the
+// engine's telemetry registry (exposed at /metricsz) and, when a logger is
+// installed, emits one structured access-log line per request.
 type Handler struct {
-	eng      *engine.Engine
-	mux      *http.ServeMux
-	requests atomic.Uint64
-	errors   atomic.Uint64
-	sessions atomic.Uint64
-	// logf, when set, receives one access-log line per request.
-	logf func(format string, args ...any)
+	eng    *engine.Engine
+	mux    *http.ServeMux
+	tel    *telemetry.Registry
+	logger *slog.Logger
+	inst   httpInstruments
+}
+
+// httpInstruments are the handler's registered metrics.
+type httpInstruments struct {
+	requests *telemetry.Counter    // serpd_http_requests_total
+	errors   *telemetry.Counter    // serpd_http_errors_total
+	sessions *telemetry.Counter    // serpd_sessions_minted_total
+	byCode   *telemetry.CounterVec // serpd_http_responses_total{code}
+	byCard   *telemetry.CounterVec // serpd_cards_served_total{type}
+	duration *telemetry.Histogram  // serpd_http_request_duration_seconds
 }
 
 // HandlerOption configures a Handler.
 type HandlerOption func(*Handler)
 
-// WithAccessLog installs an access logger (e.g. log.Printf). Each request
-// produces one line: method, path, client IP, status, and duration.
-func WithAccessLog(logf func(format string, args ...any)) HandlerOption {
-	return func(h *Handler) { h.logf = logf }
+// WithLogger installs a structured access logger: one record per request
+// with method, path, client IP, status, duration, and trace ID.
+func WithLogger(l *slog.Logger) HandlerOption {
+	return func(h *Handler) { h.logger = l }
 }
 
-// NewHandler builds the front end.
+// NewHandler builds the front end. Its metrics live on the engine's
+// telemetry registry, so constructing the engine with
+// engine.WithTelemetry(reg) makes /metricsz expose both layers from one
+// registry.
 func NewHandler(eng *engine.Engine, opts ...HandlerOption) *Handler {
-	h := &Handler{eng: eng, mux: http.NewServeMux()}
+	h := &Handler{eng: eng, mux: http.NewServeMux(), tel: eng.Telemetry()}
 	for _, o := range opts {
 		o(h)
+	}
+	h.inst = httpInstruments{
+		requests: h.tel.Counter("serpd_http_requests_total", "HTTP requests received."),
+		errors:   h.tel.Counter("serpd_http_errors_total", "Requests answered with an error status."),
+		sessions: h.tel.Counter("serpd_sessions_minted_total", "Fresh session cookies minted for cookieless visitors."),
+		byCode:   h.tel.CounterVec("serpd_http_responses_total", "HTTP responses, by status code.", "code"),
+		byCard:   h.tel.CounterVec("serpd_cards_served_total", "Cards on served result pages, by card type.", "type"),
+		duration: h.tel.Histogram("serpd_http_request_duration_seconds", "Wall-clock HTTP request handling time.", nil),
 	}
 	h.mux.HandleFunc("GET /search", h.handleSearch)
 	h.mux.HandleFunc("GET /healthz", h.handleHealth)
 	h.mux.HandleFunc("GET /statz", h.handleStats)
+	h.mux.Handle("GET /metricsz", h.tel.MetricsHandler())
 	return h
 }
 
-// statusRecorder captures the response status for access logging.
+// Telemetry returns the registry backing /metricsz and /statz.
+func (h *Handler) Telemetry() *telemetry.Registry { return h.tel }
+
+// statusRecorder captures the response status for access logging and the
+// per-status-code counter. A handler that writes a body without calling
+// WriteHeader — or never writes at all — is recorded as 200, matching
+// net/http's implicit behaviour.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
+	if r.status == 0 {
+		r.status = code
+	}
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Status returns the recorded status, defaulting to 200 when the handler
+// never wrote one.
+func (r *statusRecorder) Status() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.requests.Add(1)
-	if h.logf == nil {
-		h.mux.ServeHTTP(w, r)
-		return
+	h.inst.requests.Inc()
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace != "" {
+		// Echo the trace so clients can attach it to the stored page
+		// record, completing the crawler → wire → log → storage chain.
+		w.Header().Set(telemetry.TraceHeader, trace)
+		r = r.WithContext(telemetry.WithTraceID(r.Context(), trace))
 	}
-	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	rec := &statusRecorder{ResponseWriter: w}
 	start := time.Now()
 	h.mux.ServeHTTP(rec, r)
-	h.logf("%s %s ip=%s status=%d dur=%s",
-		r.Method, r.URL.Path, clientIP(r), rec.status, time.Since(start).Round(time.Microsecond))
+	dur := time.Since(start)
+	h.inst.duration.Observe(dur.Seconds())
+	h.inst.byCode.With(strconv.Itoa(rec.Status())).Inc()
+	if h.logger != nil {
+		h.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"ip", clientIP(r),
+			"status", rec.Status(),
+			"dur", dur.Round(time.Microsecond).String(),
+			"trace", trace)
+	}
 }
 
 // isDesktopUA conservatively detects desktop browsers: a known desktop
@@ -125,7 +186,7 @@ func clientIP(r *http.Request) string {
 func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if strings.TrimSpace(q) == "" {
-		h.errors.Add(1)
+		h.inst.errors.Inc()
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
 		return
 	}
@@ -140,7 +201,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if ll := r.URL.Query().Get("ll"); ll != "" && !desktop {
 		pt, err := geo.ParsePoint(ll)
 		if err != nil {
-			h.errors.Add(1)
+			h.inst.errors.Inc()
 			http.Error(w, "malformed ll parameter", http.StatusBadRequest)
 			return
 		}
@@ -155,7 +216,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if c, err := r.Cookie(SessionCookie); err == nil && c.Value != "" {
 		session = c.Value
 	} else {
-		session = fmt.Sprintf("sid-%d", h.sessions.Add(1))
+		session = fmt.Sprintf("sid-%d", h.inst.sessions.Inc())
 	}
 
 	req := engine.Request{
@@ -169,18 +230,23 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp, err := h.eng.Search(req)
 	switch {
 	case errors.Is(err, engine.ErrRateLimited):
-		h.errors.Add(1)
+		h.inst.errors.Inc()
 		w.Header().Set("Retry-After", "60")
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
 	case errors.Is(err, engine.ErrEmptyQuery):
-		h.errors.Add(1)
+		h.inst.errors.Inc()
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	case err != nil:
-		h.errors.Add(1)
+		h.inst.errors.Inc()
 		http.Error(w, "internal error", http.StatusInternalServerError)
 		return
+	}
+
+	resp.Page.TraceID = telemetry.TraceID(r.Context())
+	for _, c := range resp.Page.Cards {
+		h.inst.byCard.With(c.Type.String()).Inc()
 	}
 
 	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: session, Path: "/"})
@@ -189,7 +255,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(resp.Page); err != nil {
-			h.errors.Add(1)
+			h.inst.errors.Inc()
 		}
 		return
 	}
@@ -206,10 +272,13 @@ func (h *Handler) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// Stats is the payload of /statz.
+// Stats is the payload of /statz. The JSON shape predates the telemetry
+// registry and is kept backward-compatible; the values are now read from
+// the registry (the same numbers /metricsz exposes).
 type Stats struct {
 	Requests           uint64            `json:"requests"`
 	Errors             uint64            `json:"errors"`
+	Sessions           uint64            `json:"sessions"`
 	Served             uint64            `json:"served"`
 	RateLimited        uint64            `json:"rate_limited"`
 	Day                int               `json:"day"`
@@ -219,8 +288,9 @@ type Stats struct {
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(Stats{
-		Requests:           h.requests.Load(),
-		Errors:             h.errors.Load(),
+		Requests:           h.inst.requests.Value(),
+		Errors:             h.inst.errors.Value(),
+		Sessions:           h.inst.sessions.Value(),
 		Served:             h.eng.Served(),
 		RateLimited:        h.eng.RateLimited(),
 		Day:                h.eng.Day(),

@@ -48,6 +48,10 @@ type Observation struct {
 	MachineIP string `json:"machine_ip"`
 	// Datacenter is the replica that served the page.
 	Datacenter string `json:"datacenter,omitempty"`
+	// TraceID is the telemetry trace ID the crawler minted for this
+	// query (also kept on Page.TraceID); it joins the stored record to
+	// the crawler's and server's log lines. Empty for untraced crawls.
+	TraceID string `json:"trace_id,omitempty"`
 	// FetchedAt is the (virtual) fetch time.
 	FetchedAt time.Time `json:"fetched_at"`
 	// Page is the parsed result page.

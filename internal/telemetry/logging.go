@@ -1,0 +1,22 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogHandler builds the slog handler every cmd/ binary shares: logfmt
+// text for terminals, JSON lines when format is "json" (the shape log
+// shippers want). Unknown formats fall back to text.
+func NewLogHandler(w io.Writer, format string, level slog.Leveler) slog.Handler {
+	opts := &slog.HandlerOptions{Level: level}
+	if format == "json" {
+		return slog.NewJSONHandler(w, opts)
+	}
+	return slog.NewTextHandler(w, opts)
+}
+
+// NewLogger wraps NewLogHandler in a *slog.Logger at Info level.
+func NewLogger(w io.Writer, format string) *slog.Logger {
+	return slog.New(NewLogHandler(w, format, slog.LevelInfo))
+}

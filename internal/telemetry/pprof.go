@@ -1,0 +1,20 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux exposing the standard net/http/pprof endpoints
+// under /debug/pprof/. Serving it is opt-in (serpd's -pprof-addr flag)
+// and on a separate listener, so profiling never shares a port with
+// production traffic.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

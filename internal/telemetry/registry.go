@@ -1,0 +1,366 @@
+// Package telemetry is the repo's observability substrate: a stdlib-only
+// metrics registry (counters, gauges, fixed-bucket histograms) with a
+// Prometheus text-exposition renderer, deterministic trace-ID minting for
+// reproducible campaigns, shared log/slog handler setup for the cmd/
+// binaries, and a net/http/pprof mux for opt-in profiling.
+//
+// The paper's methodology is an attribution exercise — separating real
+// location personalization from noise requires knowing which machine,
+// browser, datacenter, and rate-limit decision produced each SERP — so the
+// crawler, browser, serpserver, and engine all report through this
+// package. The hot-path operations (Counter.Inc, Counter.Add,
+// Histogram.Observe, CounterVec.With on an existing child) are
+// lock-free/allocation-free so instrumentation never becomes the
+// bottleneck it is supposed to find.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default histogram bounds (seconds) for
+// request/stage latencies: sub-millisecond in-process stages through
+// multi-second remote fetches.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metricKind discriminates the family types in a Registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterVec
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric with its help text.
+type family struct {
+	name string
+	help string
+	kind metricKind
+	m    any
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration methods are idempotent: asking for an
+// existing name returns the existing metric (and panics if the kind
+// differs, which is a programming error). A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the existing family of the given name, panicking when it
+// was registered with a different kind.
+func (r *Registry) lookup(name string, kind metricKind) (*family, bool) {
+	f, ok := r.families[name]
+	if !ok {
+		return nil, false
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)",
+			name, kind, f.kind))
+	}
+	return f, true
+}
+
+// Counter registers (or returns) a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.lookup(name, kindCounter); ok {
+		return f.m.(*Counter)
+	}
+	c := &Counter{}
+	r.families[name] = &family{name: name, help: help, kind: kindCounter, m: c}
+	return c
+}
+
+// CounterVec registers (or returns) a counter family with one label
+// dimension — the shape every labelled metric in this repo needs (status
+// code, card type, datacenter).
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.lookup(name, kindCounterVec); ok {
+		v := f.m.(*CounterVec)
+		if v.label != label {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with label %q (was %q)",
+				name, label, v.label))
+		}
+		return v
+	}
+	v := &CounterVec{label: label, children: make(map[string]*Counter)}
+	r.families[name] = &family{name: name, help: help, kind: kindCounterVec, m: v}
+	return v
+}
+
+// Gauge registers (or returns) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.lookup(name, kindGauge); ok {
+		return f.m.(*Gauge)
+	}
+	g := &Gauge{}
+	r.families[name] = &family{name: name, help: help, kind: kindGauge, m: g}
+	return g
+}
+
+// Histogram registers (or returns) a histogram with the given upper
+// bounds (ascending; +Inf is implicit). A nil buckets slice uses
+// DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.lookup(name, kindHistogram); ok {
+		return f.m.(*Histogram)
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.families[name] = &family{name: name, help: help, kind: kindHistogram, m: h}
+	return h
+}
+
+// Counter is a monotonically increasing uint64. Inc and Add are lock-free
+// and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one and returns the new value (usable as a sequence number).
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Add adds n and returns the new value.
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// CounterVec is a family of counters distinguished by one label value.
+type CounterVec struct {
+	label    string
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for a label value, creating it on first
+// use. The lookup for an existing child takes a read lock and performs no
+// allocation, so hot paths may call With inline; pre-resolving the child
+// once is still marginally faster.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.children[value] = c
+	return c
+}
+
+// Values snapshots every child as label value → count.
+func (v *CounterVec) Values() map[string]uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]uint64, len(v.children))
+	for k, c := range v.children {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// Total sums every child.
+func (v *CounterVec) Total() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var t uint64
+	for _, c := range v.children {
+		t += c.Value()
+	}
+	return t
+}
+
+// Gauge is a settable float64 value (queue depth, worker count, config).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by delta (CAS loop, lock-free).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observe is lock-free
+// and allocation-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: the bucket list is short (≤ ~16) and in cache, which
+	// beats a binary search's branch misses at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the wall-clock seconds elapsed since start — the
+// stage-timer idiom: defer h.ObserveSince(time.Now()).
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4), families and labelled series in sorted order so
+// output is stable for tests and diffs.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		switch m := f.m.(type) {
+		case *Counter:
+			fmt.Fprintf(&b, "%s %d\n", f.name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(m.Value()))
+		case *CounterVec:
+			vals := m.Values()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", f.name, m.label, escapeLabel(k), vals[k])
+			}
+		case *Histogram:
+			var cum uint64
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", f.name, formatFloat(bound), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, m.Count())
+			fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(m.Sum()))
+			fmt.Fprintf(&b, "%s_count %d\n", f.name, m.Count())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MetricsHandler returns an http.Handler serving WritePrometheus with the
+// text exposition content type — mount it at /metricsz.
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

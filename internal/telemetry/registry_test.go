@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("requests_total", "Requests.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := reg.Counter("requests_total", "ignored"); again != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+
+	v := reg.CounterVec("by_code_total", "By code.", "code")
+	v.With("200").Add(3)
+	v.With("429").Inc()
+	if got := v.Values(); got["200"] != 3 || got["429"] != 1 {
+		t.Fatalf("vec values = %v", got)
+	}
+	if v.Total() != 4 {
+		t.Fatalf("vec total = %d", v.Total())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x", "")
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("depth", "Queue depth.")
+	g.Set(3)
+	g.Add(2.5)
+	if g.Value() != 5.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	g.Add(-5.5)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.5+5; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`lat_bucket{le="0.01"} 1`,
+		`lat_bucket{le="0.1"} 2`,
+		`lat_bucket{le="1"} 3`,
+		`lat_bucket{le="+Inf"} 4`,
+		`lat_count 4`,
+		"# TYPE lat histogram",
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("render missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestWritePrometheusStableAndEscaped(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "Second.").Inc()
+	reg.Counter("a_total", "First.").Inc()
+	v := reg.CounterVec("l_total", "Labelled.", "who")
+	v.With(`we"ird\value`).Inc()
+
+	var one, two strings.Builder
+	reg.WritePrometheus(&one)
+	reg.WritePrometheus(&two)
+	if one.String() != two.String() {
+		t.Fatal("render is not stable")
+	}
+	out := one.String()
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Fatal("families not sorted by name")
+	}
+	if !strings.Contains(out, `l_total{who="we\"ird\\value"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "Hits.").Add(7)
+	w := httptest.NewRecorder()
+	reg.MetricsHandler().ServeHTTP(w, httptest.NewRequest("GET", "/metricsz", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(w.Body.String(), "hits_total 7") {
+		t.Fatalf("body = %q", w.Body.String())
+	}
+}
+
+func TestConcurrentHotPath(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	v := reg.CounterVec("v_total", "", "k")
+	h := reg.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				v.With("x").Inc()
+				h.Observe(float64(j) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || v.With("x").Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d v=%d h=%d", c.Value(), v.With("x").Value(), h.Count())
+	}
+}
+
+func TestCounterPathZeroAlloc(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	v := reg.CounterVec("v_total", "", "k")
+	v.With("200") // materialize the child outside the measured loop
+	h := reg.Histogram("h", "", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { v.With("200").Inc() }); n != 0 {
+		t.Fatalf("CounterVec.With(existing).Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+
+	"geoserp/internal/detrand"
+)
+
+// TraceHeader is the HTTP header carrying the request's trace ID: the
+// crawler mints one per query, the browser sends it, the serpserver echoes
+// it back and logs it, and the stored page record keeps it — so a
+// divergent result in the analysis can be joined back to the exact request
+// that produced it.
+const TraceHeader = "X-Trace-Id"
+
+// MintTraceID derives a 16-hex-digit trace ID from a seed and a stable key
+// (e.g. phase, granularity, day, term, location, role). Minting through
+// detrand rather than a random source keeps repro campaigns byte-for-byte
+// reproducible while still spreading IDs uniformly.
+func MintTraceID(seed uint64, parts ...string) string {
+	rng := detrand.NewKeyed(seed, append([]string{"trace"}, parts...)...)
+	return fmt.Sprintf("%016x", rng.Uint64())
+}
+
+// ctxKey is the private context key type for trace IDs.
+type ctxKey struct{}
+
+// WithTraceID returns a context carrying the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// TraceID extracts the trace ID from a context ("" when absent).
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

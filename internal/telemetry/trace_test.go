@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"context"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+)
+
+func TestMintTraceIDDeterministic(t *testing.T) {
+	a := MintTraceID(1, "phase", "term", "loc")
+	b := MintTraceID(1, "phase", "term", "loc")
+	if a != b {
+		t.Fatalf("same key minted different IDs: %s vs %s", a, b)
+	}
+	if a == MintTraceID(1, "phase", "term", "other") {
+		t.Fatal("different keys minted the same ID")
+	}
+	if a == MintTraceID(2, "phase", "term", "loc") {
+		t.Fatal("different seeds minted the same ID")
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(a) {
+		t.Fatalf("trace ID %q is not 16 hex digits", a)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("empty context carries a trace ID")
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if TraceID(ctx) != "abc123" {
+		t.Fatalf("trace ID = %q", TraceID(ctx))
+	}
+}
+
+func TestPprofMuxServes(t *testing.T) {
+	w := httptest.NewRecorder()
+	PprofMux().ServeHTTP(w, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if w.Code != 200 {
+		t.Fatalf("pprof index status = %d", w.Code)
+	}
+	if w.Body.Len() == 0 {
+		t.Fatal("pprof index empty")
+	}
+}
