@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check bench repro repro-full examples clean
+.PHONY: all build vet test check chaos bench repro repro-full examples clean
 
 all: build vet test
 
@@ -10,6 +10,13 @@ check:
 	go vet ./...
 	go build ./...
 	go test -race ./...
+
+# chaos runs the fault-injection suite under the race detector: chaos
+# transport/middleware, retry classification, failure budgets, and
+# checkpoint resume (see docs/RELIABILITY.md).
+chaos:
+	go test -race -run 'Chaos|Retry|FailSoft|FailureBudget|Resume|Transient|SearchContext' \
+		./internal/browser/ ./internal/crawler/ ./internal/serpserver/
 
 build:
 	go build ./...

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"log/slog"
+	"os"
 	"time"
 
 	"geoserp/internal/crawler"
@@ -37,6 +38,19 @@ type options struct {
 	// CorpusPath loads a custom query corpus (JSON) instead of the
 	// study's 240 terms (in-process mode).
 	CorpusPath string
+	// Retries is the total fetch attempts per query (1 = no retries).
+	Retries int
+	// RetryBackoff is the linear backoff base between attempts.
+	RetryBackoff time.Duration
+	// FetchTimeout bounds each fetch attempt (0 = browser default).
+	FetchTimeout time.Duration
+	// FailureBudget is the per-round fraction of fetches allowed to fail
+	// after retries before the campaign aborts (0 = strict).
+	FailureBudget float64
+	// Checkpoint is the campaign cursor path ("" derives Out + ".ckpt").
+	Checkpoint string
+	// Resume restarts from an existing checkpoint instead of from zero.
+	Resume bool
 	// Logger receives structured progress records (nil = silent). At
 	// Debug level it also gets one record per fetch with the minted
 	// trace ID.
@@ -71,6 +85,10 @@ func runCrawl(opts options) (int, error) {
 	if opts.Wait > 0 {
 		ccfg.WaitBetweenTerms = opts.Wait
 	}
+	ccfg.RetryAttempts = opts.Retries
+	ccfg.RetryBackoff = opts.RetryBackoff
+	ccfg.FetchTimeout = opts.FetchTimeout
+	ccfg.FailureBudget = opts.FailureBudget
 
 	take := func(qs []queries.Query) []queries.Query {
 		if opts.TermsPerCategory > 0 && len(qs) > opts.TermsPerCategory {
@@ -88,6 +106,15 @@ func runCrawl(opts options) (int, error) {
 		{Name: "local+controversial", Terms: lc, Granularities: geo.Granularities, Days: days},
 		{Name: "politicians", Terms: take(corpus.Category(queries.Politician)), Granularities: geo.Granularities, Days: days},
 	}
+
+	// The campaign checkpoints after every completed term sweep: the
+	// cursor goes to ckptPath, partial observations accumulate beside the
+	// final output. Both files are removed once the campaign lands.
+	ckptPath := opts.Checkpoint
+	if ckptPath == "" {
+		ckptPath = opts.Out + ".ckpt"
+	}
+	partialPath := opts.Out + ".partial"
 
 	reg := telemetry.NewRegistry()
 	var obs []storage.Observation
@@ -111,6 +138,9 @@ func runCrawl(opts options) (int, error) {
 			return 0, err
 		}
 		cr.Logger, cr.Telemetry = logger, reg
+		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
+			return 0, err
+		}
 		obs, err = cr.RunCampaignVirtual(clk, phases)
 	} else {
 		logger.Info("targeting live server (wall-clock waits apply)", "server", opts.Server)
@@ -119,16 +149,39 @@ func runCrawl(opts options) (int, error) {
 			return 0, err
 		}
 		cr.Logger, cr.Telemetry = logger, reg
+		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
+			return 0, err
+		}
 		obs, err = cr.RunCampaign(phases)
 	}
 	if err != nil {
-		return 0, fmt.Errorf("crawl: campaign: %w", err)
+		return 0, fmt.Errorf("crawl: campaign (restartable with -resume): %w", err)
 	}
 	if err := storage.SaveJSONL(opts.Out, obs); err != nil {
 		return 0, fmt.Errorf("crawl: save: %w", err)
 	}
+	// The full output landed; the crash-recovery state is now redundant.
+	os.Remove(ckptPath)
+	os.Remove(partialPath)
 	logTelemetrySummary(logger, reg, len(obs))
 	return len(obs), nil
+}
+
+// setupCheckpoint arms campaign checkpointing: -resume picks up an
+// existing cursor, a fresh run clears any stale one first so it cannot be
+// honoured by accident.
+func setupCheckpoint(cr *crawler.Crawler, opts options, ckptPath, partialPath string, logger *slog.Logger) error {
+	if opts.Resume {
+		if err := cr.Resume(ckptPath, partialPath); err != nil {
+			return err
+		}
+		logger.Info("resuming from checkpoint", "checkpoint", ckptPath, "partial", partialPath)
+		return nil
+	}
+	os.Remove(ckptPath)
+	os.Remove(partialPath)
+	cr.EnableCheckpoint(ckptPath, partialPath)
+	return nil
 }
 
 // logTelemetrySummary emits the campaign's end-of-run counters — the same
@@ -140,5 +193,7 @@ func logTelemetrySummary(logger *slog.Logger, reg *telemetry.Registry, nObs int)
 		"terms_completed", reg.Counter("crawler_terms_completed_total", "").Value(),
 		"fetches", reg.Counter("browser_fetches_total", "").Value(),
 		"rate_limited_429s", reg.Counter("browser_rate_limited_total", "").Value(),
-		"retries", reg.Counter("browser_retries_total", "").Value())
+		"retries", reg.Counter("browser_retries_total", "").Value(),
+		"fetch_failures", reg.CounterVec("crawler_fetch_failures_total", "", "phase").Total(),
+		"fetch_retries", reg.CounterVec("crawler_fetch_retries_total", "", "phase").Total())
 }

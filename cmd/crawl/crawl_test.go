@@ -42,6 +42,63 @@ func TestRunCrawlInProcess(t *testing.T) {
 	}
 }
 
+func TestRunCrawlCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{
+		Out:              filepath.Join(dir, "a.jsonl"),
+		TermsPerCategory: 1,
+		Days:             1,
+		Machines:         44,
+		Seed:             7,
+		PinnedDatacenter: "dc-0",
+		Wait:             11 * time.Minute,
+	}
+	if _, err := runCrawl(opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, leftover := range []string{opts.Out + ".ckpt", opts.Out + ".partial"} {
+		if _, err := os.Stat(leftover); err == nil {
+			t.Fatalf("%s survived a successful campaign", leftover)
+		}
+	}
+	ref, err := os.ReadFile(opts.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A stale cursor from some earlier run must not steer a fresh campaign.
+	stale := opts
+	stale.Out = filepath.Join(dir, "b.jsonl")
+	if err := os.WriteFile(stale.Out+".ckpt", []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCrawl(stale); err != nil {
+		t.Fatalf("fresh run tripped over stale checkpoint: %v", err)
+	}
+	got, err := os.ReadFile(stale.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(ref) {
+		t.Fatal("fresh run with stale checkpoint diverged from reference")
+	}
+
+	// -resume with no cursor on disk is just a fresh run.
+	resumed := stale
+	resumed.Out = filepath.Join(dir, "c.jsonl")
+	resumed.Resume = true
+	if _, err := runCrawl(resumed); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(resumed.Out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(ref) {
+		t.Fatal("-resume without a checkpoint diverged from a fresh run")
+	}
+}
+
 func TestRunCrawlValidation(t *testing.T) {
 	if _, err := runCrawl(options{Out: ""}); err == nil {
 		t.Fatal("empty output path accepted")

@@ -12,6 +12,15 @@
 //
 //	crawl -server http://127.0.0.1:8080 -terms 2 -days 1 -out live.jsonl
 //
+// Campaigns are fail-soft: fetches retry with linear backoff (-retries,
+// -retry-backoff, -fetch-timeout), and a sweep tolerates failures up to
+// -failure-budget, recording them as failed observations instead of
+// aborting. Progress is checkpointed after every completed term sweep;
+// a killed campaign restarts from the cursor with -resume:
+//
+//	crawl -out campaign.jsonl            # writes campaign.jsonl.ckpt as it goes
+//	crawl -out campaign.jsonl -resume    # picks up where the last run stopped
+//
 // Progress is logged as structured records (-log-format json for JSON);
 // -v additionally logs every fetch with its minted trace ID, which joins
 // the record to serpd's access log and the stored observation.
@@ -37,6 +46,12 @@ func main() {
 	flag.StringVar(&opts.PinnedDatacenter, "datacenter", "dc-0", "pinned datacenter ('' = unpinned)")
 	flag.DurationVar(&opts.Wait, "wait", 11*time.Minute, "spacing between successive terms")
 	flag.StringVar(&opts.CorpusPath, "corpus", "", "custom query corpus JSON (default: the study's 240 terms)")
+	flag.IntVar(&opts.Retries, "retries", 3, "fetch attempts per query (1 = no retries)")
+	flag.DurationVar(&opts.RetryBackoff, "retry-backoff", 30*time.Second, "linear backoff base between fetch attempts")
+	flag.DurationVar(&opts.FetchTimeout, "fetch-timeout", 30*time.Second, "per-attempt fetch timeout")
+	flag.Float64Var(&opts.FailureBudget, "failure-budget", 0.05, "fraction of a term sweep allowed to fail after retries before aborting (0 = strict)")
+	flag.StringVar(&opts.Checkpoint, "checkpoint", "", "campaign cursor path (default: <out>.ckpt)")
+	flag.BoolVar(&opts.Resume, "resume", false, "restart from the last completed term sweep in -checkpoint")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("v", false, "debug logging: one record per fetch with its trace ID")
 	flag.Parse()

@@ -85,6 +85,45 @@ func TestRunReproScaledEverything(t *testing.T) {
 	}
 }
 
+// TestRunReproIsByteDeterministic is the repro contract: two runs with the
+// same seed print byte-identical artifacts. Request noise is keyed on the
+// minted trace ID, so goroutine scheduling and request arrival order
+// cannot perturb the output.
+func TestRunReproIsByteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	run := func() string {
+		var buf strings.Builder
+		err := runRepro(options{
+			TermsPerCategory: 2,
+			Days:             1,
+			Validators:       6,
+			Seed:             42,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		line := 1
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("outputs diverge at byte %d (line %d)", i, line)
+			}
+			if a[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("outputs differ in length: %d vs %d bytes", len(a), len(b))
+	}
+	if !strings.Contains(a, "Figure 2") {
+		t.Fatal("determinism run produced no figures")
+	}
+}
+
 func TestRunReproSingleFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign is slow")

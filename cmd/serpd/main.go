@@ -6,6 +6,12 @@
 //
 //	serpd [-addr 127.0.0.1:8080] [-seed 1] [-datacenters 3] [-rate-burst 30]
 //	      [-verbose] [-log-format text|json] [-pprof-addr 127.0.0.1:6060]
+//	      [-chaos-abort-rate 0] [-chaos-5xx-rate 0] [-chaos-truncate-rate 0]
+//	      [-chaos-latency 0] [-chaos-seed 1]
+//
+// The -chaos-* flags make /search deliberately unreliable (fault
+// injection) so crawler deployments can rehearse retries, failure budgets,
+// and checkpoint resume against a real wire.
 //
 // Endpoints:
 //
@@ -41,6 +47,11 @@ func main() {
 	flag.BoolVar(&opts.Quiet, "quiet", false, "disable all noise mechanisms (deterministic serving)")
 	flag.StringVar(&opts.CorpusPath, "corpus", "", "custom query corpus JSON (default: the study's 240 terms)")
 	flag.StringVar(&opts.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
+	flag.Uint64Var(&opts.Chaos.Seed, "chaos-seed", 1, "seed for fault-injection draws")
+	flag.Float64Var(&opts.Chaos.AbortRate, "chaos-abort-rate", 0, "probability a /search connection is severed before responding")
+	flag.Float64Var(&opts.Chaos.ServerErrorRate, "chaos-5xx-rate", 0, "probability a /search request is answered 500")
+	flag.Float64Var(&opts.Chaos.TruncateRate, "chaos-truncate-rate", 0, "probability a /search response body is cut off mid-stream")
+	flag.DurationVar(&opts.Chaos.Latency, "chaos-latency", 0, "extra latency added to every /search request")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")
 	flag.Parse()

@@ -30,6 +30,9 @@ type options struct {
 	Logger *slog.Logger
 	// PprofAddr, when set, serves net/http/pprof on a separate listener.
 	PprofAddr string
+	// Chaos configures deliberate fault injection on /search (the
+	// -chaos-* flags); zero value disables it.
+	Chaos serpserver.ChaosConfig
 }
 
 // buildServer constructs the engine and a bound (not yet serving) server.
@@ -74,7 +77,12 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 	if opts.Logger != nil {
 		hopts = append(hopts, serpserver.WithLogger(opts.Logger))
 	}
-	srv, err := serpserver.Listen(opts.Addr, serpserver.NewHandler(eng, hopts...))
+	handler := serpserver.NewHandler(eng, hopts...)
+	var root http.Handler = handler
+	if opts.Chaos.Enabled() {
+		root = serpserver.WithChaos(opts.Chaos, handler)
+	}
+	srv, err := serpserver.Listen(opts.Addr, root)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -203,23 +203,16 @@ func (s *Study) RunValidation(terms []Query, gps Point, vantages int) (Validatio
 		err   error
 	}
 	done := make(chan result, 1)
+	stop := make(chan struct{})
 	go func() {
 		pages, err := s.Crawler.RunValidation(terms, gps, vantages)
 		done <- result{pages, err}
+		close(stop)
 	}()
-	for {
-		select {
-		case r := <-done:
-			if r.err != nil {
-				return ValidationResult{}, r.err
-			}
-			return analysis.ValidateGPSOverIP(r.pages), nil
-		default:
-			if next, ok := s.Clock.NextDeadline(); ok {
-				s.Clock.AdvanceTo(next)
-			} else {
-				time.Sleep(100 * time.Microsecond)
-			}
-		}
+	s.Clock.DriveUntil(stop)
+	r := <-done
+	if r.err != nil {
+		return ValidationResult{}, r.err
 	}
+	return analysis.ValidateGPSOverIP(r.pages), nil
 }

@@ -106,6 +106,31 @@ func TestNewDatasetRejectsDuplicates(t *testing.T) {
 	}
 }
 
+func TestNewDatasetSkipsFailedObservations(t *testing.T) {
+	failed := obs("Coffee", "local", "county", "d/2", storage.Control, 0, page("a"))
+	failed.Page = nil
+	failed.Failed = true
+	failed.Err = "browser: fetch: connection reset"
+	data := []storage.Observation{
+		obs("Coffee", "local", "county", "d/1", storage.Treatment, 0, page("a", "b")),
+		obs("Coffee", "local", "county", "d/1", storage.Control, 0, page("a", "b")),
+		failed,
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pairs() != 1 {
+		t.Fatalf("pairs = %d, want 1 (failed slot must not be indexed)", d.Pairs())
+	}
+	if d.Failed() != 1 {
+		t.Fatalf("failed = %d, want 1", d.Failed())
+	}
+	if got := d.Locations("county"); len(got) != 1 || got[0] != "d/1" {
+		t.Fatalf("locations = %v, want [d/1]", got)
+	}
+}
+
 func TestNewDatasetRejectsInvalidObservation(t *testing.T) {
 	bad := obs("Coffee", "local", "county", "d/1", storage.Treatment, 0, page("a"))
 	bad.Page = nil

@@ -41,11 +41,15 @@ type Dataset struct {
 	termsByCategory map[string][]string
 	// locationsByGranularity maps granularity → sorted location IDs.
 	locationsByGranularity map[string][]string
+	// failed counts observations excluded because their fetch failed.
+	failed int
 }
 
 // NewDataset indexes observations. Both roles must be present for a slot
 // to participate in noise estimation; treatment-only slots still join the
-// personalization comparisons.
+// personalization comparisons. Failed observations (fail-soft crawls
+// record them instead of aborting) carry no page and are skipped; Failed()
+// reports how many were dropped.
 func NewDataset(obs []storage.Observation) (*Dataset, error) {
 	d := &Dataset{
 		pairs:                  make(map[obsKey]*pair, len(obs)/2),
@@ -62,6 +66,10 @@ func NewDataset(obs []storage.Observation) (*Dataset, error) {
 		o := &obs[i]
 		if err := o.Validate(); err != nil {
 			return nil, fmt.Errorf("analysis: observation %d: %w", i, err)
+		}
+		if o.Failed {
+			d.failed++
+			continue
 		}
 		k := obsKey{o.Granularity, o.Term, o.Day, o.LocationID}
 		p := d.pairs[k]
@@ -137,6 +145,9 @@ func (d *Dataset) Locations(granularity string) []string {
 
 // Pairs returns the number of indexed slots.
 func (d *Dataset) Pairs() int { return len(d.pairs) }
+
+// Failed returns the number of failed observations dropped at indexing.
+func (d *Dataset) Failed() int { return d.failed }
 
 // lookup returns the slot for a key, if present.
 func (d *Dataset) lookup(g, term string, day int, loc string) (*pair, bool) {

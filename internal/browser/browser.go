@@ -11,6 +11,7 @@
 package browser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +19,7 @@ import (
 	"net/http/cookiejar"
 	"net/url"
 	"time"
+	"unicode/utf8"
 
 	"geoserp/internal/geo"
 	"geoserp/internal/serp"
@@ -27,6 +29,26 @@ import (
 
 // ErrRateLimited is returned when the engine answers 429.
 var ErrRateLimited = errors.New("browser: rate limited by server")
+
+// ErrTransient marks fetch failures that are plausibly temporary — transport
+// errors, 5xx responses, truncated or unparsable bodies — and therefore worth
+// retrying under the WithRetry policy. Client-side mistakes (4xx other than
+// 429) are permanent: retrying a malformed query would never succeed.
+var ErrTransient = errors.New("browser: transient fetch failure")
+
+// IsTransient reports whether err is worth retrying: either an explicit
+// transient failure or a rate-limit response.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrRateLimited)
+}
+
+// transientErr tags an error as transient without altering its message.
+type transientErr struct{ err error }
+
+func (e transientErr) Error() string   { return e.err.Error() }
+func (e transientErr) Unwrap() []error { return []error{e.err, ErrTransient} }
+
+func markTransient(err error) error { return transientErr{err: err} }
 
 // Fingerprint is the browser identity presented on every request. The
 // study configured all treatments identically so fingerprints could not
@@ -88,10 +110,15 @@ type Browser struct {
 	rateLimitCtr *telemetry.Counter
 	retryCtr     *telemetry.Counter
 
-	// Retry policy for 429 responses.
+	// Retry policy for transient failures (429s, 5xx, transport errors).
 	maxAttempts int
 	backoff     time.Duration
+	timeout     time.Duration
 	clock       simclock.Clock
+
+	// optErr records the first invalid Option; New reports it instead of
+	// silently running with a half-applied policy.
+	optErr error
 }
 
 // Option configures a Browser.
@@ -121,15 +148,37 @@ func WithTransport(rt http.RoundTripper) Option {
 	return func(b *Browser) { b.transport = rt }
 }
 
-// WithRetry makes Search retry rate-limited (429) fetches up to attempts
-// total tries with linear backoff between them. The study sidestepped rate
-// limits with its 44-machine pool; smaller deployments want this instead.
+// WithRetry makes Search retry transient failures (rate limits, 5xx
+// responses, transport and read errors) up to attempts total tries with
+// linear backoff between them. The study sidestepped rate limits with its
+// 44-machine pool; campaigns against a flaky service want this instead.
+// attempts must be positive and backoff non-negative; New rejects the
+// browser otherwise.
 func WithRetry(attempts int, backoff time.Duration) Option {
 	return func(b *Browser) {
-		if attempts > 0 {
-			b.maxAttempts = attempts
+		if attempts <= 0 {
+			b.optErr = fmt.Errorf("browser: WithRetry attempts must be positive, got %d", attempts)
+			return
 		}
+		if backoff < 0 {
+			b.optErr = fmt.Errorf("browser: WithRetry backoff must be non-negative, got %s", backoff)
+			return
+		}
+		b.maxAttempts = attempts
 		b.backoff = backoff
+	}
+}
+
+// WithTimeout bounds each fetch attempt (default 30s). The bound is wall
+// time — it protects against a hung socket, which virtual clocks cannot
+// model.
+func WithTimeout(d time.Duration) Option {
+	return func(b *Browser) {
+		if d <= 0 {
+			b.optErr = fmt.Errorf("browser: WithTimeout duration must be positive, got %s", d)
+			return
+		}
+		b.timeout = d
 	}
 }
 
@@ -146,7 +195,7 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(b *Browser) {
 		b.fetchCtr = reg.Counter("browser_fetches_total", "Result pages fetched across the browser pool.")
 		b.rateLimitCtr = reg.Counter("browser_rate_limited_total", "429 responses observed across the browser pool.")
-		b.retryCtr = reg.Counter("browser_retries_total", "Rate-limited fetches that were retried.")
+		b.retryCtr = reg.Counter("browser_retries_total", "Failed fetches that were retried.")
 	}
 }
 
@@ -159,9 +208,12 @@ func New(baseURL string, opts ...Option) (*Browser, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("browser: base URL %q must be absolute", baseURL)
 	}
-	b := &Browser{base: u, fp: IOSSafari8(), maxAttempts: 1, clock: simclock.Wall()}
+	b := &Browser{base: u, fp: IOSSafari8(), maxAttempts: 1, timeout: 30 * time.Second, clock: simclock.Wall()}
 	for _, o := range opts {
 		o(b)
+	}
+	if b.optErr != nil {
+		return nil, b.optErr
 	}
 	jar, err := cookiejar.New(nil)
 	if err != nil {
@@ -169,7 +221,7 @@ func New(baseURL string, opts ...Option) (*Browser, error) {
 	}
 	b.client = &http.Client{
 		Jar:     jar,
-		Timeout: 30 * time.Second,
+		Timeout: b.timeout,
 	}
 	if b.transport != nil {
 		b.client.Transport = b.transport
@@ -204,7 +256,7 @@ func (b *Browser) Fetches() int { return b.fetches }
 // to ("" when unset).
 func (b *Browser) SourceIP() string { return b.sourceIP }
 
-// Retries returns how many rate-limited fetches were retried.
+// Retries returns how many failed fetches were retried.
 func (b *Browser) Retries() int { return b.retries }
 
 // LastDatacenter reports the replica that served the previous page (from
@@ -221,19 +273,29 @@ func (b *Browser) SetTraceID(id string) { b.traceID = id }
 func (b *Browser) LastTraceID() string { return b.lastTraceID }
 
 // Search executes a query and parses the first page of results, retrying
-// rate-limited fetches per the WithRetry policy.
+// transient failures per the WithRetry policy.
 func (b *Browser) Search(term string) (*serp.Page, error) {
+	return b.SearchContext(context.Background(), term)
+}
+
+// SearchContext is Search with cancellation: the fetch aborts as soon as
+// ctx is done, and a cancelled context is never retried — the campaign is
+// shutting down, not the network flaking.
+func (b *Browser) SearchContext(ctx context.Context, term string) (*serp.Page, error) {
 	if term == "" {
 		return nil, fmt.Errorf("browser: empty search term")
 	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		page, err := b.fetchOnce(term)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		page, err := b.fetchOnce(ctx, term)
 		if err == nil {
 			return page, nil
 		}
 		lastErr = err
-		if !errors.Is(err, ErrRateLimited) || attempt >= b.maxAttempts {
+		if ctx.Err() != nil || !IsTransient(err) || attempt >= b.maxAttempts {
 			return nil, lastErr
 		}
 		b.retries++
@@ -247,7 +309,7 @@ func (b *Browser) Search(term string) (*serp.Page, error) {
 }
 
 // fetchOnce performs a single fetch+parse.
-func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
+func (b *Browser) fetchOnce(ctx context.Context, term string) (*serp.Page, error) {
 	u := *b.base
 	u.Path = "/search"
 	q := url.Values{}
@@ -257,7 +319,7 @@ func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
 	}
 	u.RawQuery = q.Encode()
 
-	req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
 		return nil, fmt.Errorf("browser: build request: %w", err)
 	}
@@ -279,27 +341,40 @@ func (b *Browser) fetchOnce(term string) (*serp.Page, error) {
 
 	resp, err := b.client.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("browser: fetch: %w", err)
+		// Transport failures are transient — unless the context itself was
+		// cancelled, in which case retrying would only fail the same way.
+		ferr := fmt.Errorf("browser: fetch: %w", err)
+		if ctx.Err() != nil {
+			return nil, ferr
+		}
+		return nil, markTransient(ferr)
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
-		return nil, fmt.Errorf("browser: read body: %w", err)
+		// A connection dropped mid-body; the next attempt may complete.
+		return nil, markTransient(fmt.Errorf("browser: read body: %w", err))
 	}
-	switch resp.StatusCode {
-	case http.StatusOK:
+	switch {
+	case resp.StatusCode == http.StatusOK:
 		// fall through
-	case http.StatusTooManyRequests:
+	case resp.StatusCode == http.StatusTooManyRequests:
 		if b.rateLimitCtr != nil {
 			b.rateLimitCtr.Inc()
 		}
 		return nil, fmt.Errorf("%w (retry-after %s)", ErrRateLimited, resp.Header.Get("Retry-After"))
+	case resp.StatusCode >= 500:
+		// Server-side faults are the canonical transient failure.
+		return nil, markTransient(fmt.Errorf("browser: server returned %d: %s", resp.StatusCode, truncate(string(body), 120)))
 	default:
+		// Remaining 4xx: the request itself is wrong; retrying cannot help.
 		return nil, fmt.Errorf("browser: server returned %d: %s", resp.StatusCode, truncate(string(body), 120))
 	}
 	page, err := serp.ParseAnyHTML(string(body))
 	if err != nil {
-		return nil, fmt.Errorf("browser: parse results: %w", err)
+		// An unparsable page usually means a truncated or garbled response,
+		// not a structurally different engine — retry it.
+		return nil, markTransient(fmt.Errorf("browser: parse results: %w", err))
 	}
 	b.fetches++
 	if b.fetchCtr != nil {
@@ -325,9 +400,14 @@ func (b *Browser) SearchAndReset(term string) (*serp.Page, error) {
 	return page, err
 }
 
+// truncate shortens s to at most n bytes plus an ellipsis, cutting on a
+// rune boundary so multi-byte UTF-8 sequences are never split mid-rune.
 func truncate(s string, n int) string {
 	if len(s) <= n {
 		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
 	}
 	return s[:n] + "..."
 }

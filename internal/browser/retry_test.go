@@ -105,11 +105,11 @@ func TestNoRetryByDefault(t *testing.T) {
 	}
 }
 
-func TestRetryDoesNotMaskOtherErrors(t *testing.T) {
+func TestRetryDoesNotMaskPermanentErrors(t *testing.T) {
 	var count atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		count.Add(1)
-		http.Error(w, "boom", http.StatusInternalServerError)
+		http.Error(w, "no such page", http.StatusNotFound)
 	}))
 	defer srv.Close()
 	b, err := New(srv.URL, WithRetry(5, 0))
@@ -117,9 +117,75 @@ func TestRetryDoesNotMaskOtherErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, serr := b.Search("x"); serr == nil {
-		t.Fatal("500 accepted")
+		t.Fatal("404 accepted")
+	} else if IsTransient(serr) {
+		t.Fatalf("404 classified transient: %v", serr)
 	}
 	if got := count.Load(); got != 1 {
-		t.Fatalf("500s retried: %d requests", got)
+		t.Fatalf("404s retried: %d requests", got)
+	}
+}
+
+func TestRetryCoversServerErrors(t *testing.T) {
+	var count atomic.Int64
+	page := &serp.Page{
+		Query:    "x",
+		Location: "1.000000,2.000000",
+		Cards: []serp.Card{{
+			Type:    serp.Organic,
+			Results: []serp.Result{{URL: "https://a/", Title: "A"}},
+		}},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if count.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, serp.RenderHTML(page))
+	}))
+	defer srv.Close()
+	b, err := New(srv.URL, WithRetry(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, serr := b.Search("x"); serr != nil {
+		t.Fatalf("search failed despite retries: %v", serr)
+	}
+	if got := count.Load(); got != 3 {
+		t.Fatalf("requests = %d, want 3", got)
+	}
+	if b.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", b.Retries())
+	}
+}
+
+func TestRetryExhaustedErrorIsTransient(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	b, err := New(srv.URL, WithRetry(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serr := b.Search("x")
+	if serr == nil {
+		t.Fatal("persistent 500s accepted")
+	}
+	// The crawler's failure accounting keys on this classification.
+	if !IsTransient(serr) {
+		t.Fatalf("exhausted-retries error lost its transient mark: %v", serr)
+	}
+}
+
+func TestWithRetryRejectsInvalidPolicy(t *testing.T) {
+	if _, err := New("http://example.test", WithRetry(0, time.Second)); err == nil {
+		t.Fatal("WithRetry(0, ...) accepted")
+	}
+	if _, err := New("http://example.test", WithRetry(3, -time.Second)); err == nil {
+		t.Fatal("negative backoff accepted")
+	}
+	if _, err := New("http://example.test", WithTimeout(0)); err == nil {
+		t.Fatal("WithTimeout(0) accepted")
 	}
 }

@@ -1,0 +1,92 @@
+package crawler
+
+import (
+	"fmt"
+	"time"
+
+	"geoserp/internal/storage"
+)
+
+// checkpointState tracks campaign progress persistence. The cursor is a
+// count of completed term sweeps in the campaign's deterministic iteration
+// order (phase → granularity → day → term); on resume the crawler replays
+// that order, fast-forwarding over the first ck.Sweeps sweeps and serving
+// their observations from the partial observation file.
+type checkpointState struct {
+	path    string
+	obsPath string
+	ck      storage.Checkpoint
+	// seen counts sweep slots passed this run (skipped or executed).
+	seen int
+	// prior holds the recovered observations grouped by phase name.
+	prior map[string][]storage.Observation
+}
+
+// skipping reports whether the next sweep slot is already covered by the
+// loaded checkpoint.
+func (cs *checkpointState) skipping() bool { return cs.seen < cs.ck.Sweeps }
+
+// record persists one completed sweep: its observations are appended to the
+// observation file first, then the cursor is atomically advanced. A crash
+// between the two leaves extra observation records past the cursor, which
+// resume discards and re-fetches — never the reverse, a cursor claiming
+// records that were not written.
+func (cs *checkpointState) record(phase, gran string, day int, term string, obs []storage.Observation) error {
+	if err := storage.AppendJSONL(cs.obsPath, obs); err != nil {
+		return fmt.Errorf("crawler: checkpoint observations: %w", err)
+	}
+	cs.seen++
+	cs.ck.Sweeps = cs.seen
+	cs.ck.Observations += len(obs)
+	cs.ck.Phase = phase
+	cs.ck.Granularity = gran
+	cs.ck.Day = day
+	cs.ck.Term = term
+	cs.ck.UpdatedAt = time.Now().UTC()
+	if err := storage.SaveCheckpoint(cs.path, cs.ck); err != nil {
+		return fmt.Errorf("crawler: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// EnableCheckpoint makes campaign runs persist progress: after every
+// completed term sweep the sweep's observations are appended to obsPath and
+// the cursor at path is atomically updated. A killed campaign can then be
+// restarted with Resume and loses at most the sweep that was in flight.
+func (c *Crawler) EnableCheckpoint(path, obsPath string) {
+	c.ckpt = &checkpointState{
+		path:    path,
+		obsPath: obsPath,
+		prior:   make(map[string][]storage.Observation),
+	}
+}
+
+// Resume enables checkpointing and, when a checkpoint exists at path, loads
+// it: completed sweeps will be fast-forwarded and their observations
+// recovered from obsPath instead of re-fetched. A missing checkpoint means
+// a fresh start. The observation file is truncated to exactly the records
+// the cursor acknowledges, dropping any sweep that was torn by the crash.
+func (c *Crawler) Resume(path, obsPath string) error {
+	ck, ok, err := storage.LoadCheckpoint(path)
+	if err != nil {
+		return fmt.Errorf("crawler: resume: %w", err)
+	}
+	c.EnableCheckpoint(path, obsPath)
+	if !ok {
+		return nil
+	}
+	obs, err := storage.LoadCheckpointObservations(obsPath, ck)
+	if err != nil {
+		return fmt.Errorf("crawler: resume: %w", err)
+	}
+	// Rewrite the file to the acknowledged prefix so subsequent appends
+	// continue from a state the cursor agrees with.
+	if err := storage.SaveJSONL(obsPath, obs); err != nil {
+		return fmt.Errorf("crawler: resume: truncate observations: %w", err)
+	}
+	c.ckpt.ck = ck
+	for _, o := range obs {
+		c.ckpt.prior[o.Phase] = append(c.ckpt.prior[o.Phase], o)
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"net/http"
 	"sort"
 	"sync"
 	"time"
@@ -40,6 +41,22 @@ type Config struct {
 	// query (the study's protocol; disable only for methodology
 	// experiments).
 	ClearCookies bool
+	// RetryAttempts is the total tries per fetch (browser.WithRetry
+	// semantics). 0 or 1 means a single attempt; negative is rejected.
+	RetryAttempts int
+	// RetryBackoff is the linear backoff base between retry attempts,
+	// slept on the campaign clock — virtual-time campaigns absorb it
+	// instantly.
+	RetryBackoff time.Duration
+	// FetchTimeout bounds each fetch attempt in wall time (0 keeps the
+	// browser's 30s default).
+	FetchTimeout time.Duration
+	// FailureBudget is the fraction of fetches in one lock-step round
+	// allowed to fail — after retries are exhausted — before the phase
+	// aborts. Failures inside the budget are recorded as Failed
+	// observations and the campaign continues; 0 keeps the strict
+	// historical behaviour where any failure aborts the phase.
+	FailureBudget float64
 }
 
 // DefaultConfig mirrors the study's infrastructure.
@@ -50,6 +67,8 @@ func DefaultConfig() Config {
 		WaitBetweenTerms: 11 * time.Minute,
 		PinnedDatacenter: "dc-0",
 		ClearCookies:     true,
+		RetryAttempts:    3,
+		RetryBackoff:     30 * time.Second,
 	}
 }
 
@@ -106,16 +125,23 @@ type Crawler struct {
 	// the browser pool's fetch/429/retry counters. Lazily created when
 	// nil; set it to share one registry with the rest of a process.
 	Telemetry *telemetry.Registry
+	// Transport, when set, is installed in every browser the crawler
+	// builds. Fault-injection tests pass a browser.ChaosTransport here;
+	// production leaves it nil.
+	Transport http.RoundTripper
 
 	inst *crawlInstruments
+	ckpt *checkpointState
 }
 
 // crawlInstruments are the crawler's registered metrics.
 type crawlInstruments struct {
-	queries  *telemetry.Counter   // crawler_queries_total
-	terms    *telemetry.Counter   // crawler_terms_completed_total
-	limited  *telemetry.Counter   // browser_rate_limited_total (shared with the pool)
-	roundDur *telemetry.Histogram // crawler_round_duration_seconds
+	queries       *telemetry.Counter    // crawler_queries_total
+	terms         *telemetry.Counter    // crawler_terms_completed_total
+	limited       *telemetry.Counter    // browser_rate_limited_total (shared with the pool)
+	roundDur      *telemetry.Histogram  // crawler_round_duration_seconds
+	fetchFailures *telemetry.CounterVec // crawler_fetch_failures_total{phase}
+	fetchRetries  *telemetry.CounterVec // crawler_fetch_retries_total{phase}
 }
 
 // instruments lazily registers the crawler's metrics. Called from the
@@ -131,6 +157,10 @@ func (c *Crawler) instruments() *crawlInstruments {
 			limited: c.Telemetry.Counter("browser_rate_limited_total", "429 responses observed across the browser pool."),
 			roundDur: c.Telemetry.Histogram("crawler_round_duration_seconds",
 				"Wall-clock time of one lock-step round (every vantage, treatment and control).", nil),
+			fetchFailures: c.Telemetry.CounterVec("crawler_fetch_failures_total",
+				"Fetches that still failed after the retry policy, by phase.", "phase"),
+			fetchRetries: c.Telemetry.CounterVec("crawler_fetch_retries_total",
+				"Fetch retry attempts across the browser pool, by phase.", "phase"),
 		}
 	}
 	return c.inst
@@ -148,6 +178,15 @@ func New(cfg Config, clk simclock.Clock, baseURL string, ds *geo.Dataset, corpus
 	}
 	if baseURL == "" {
 		return nil, fmt.Errorf("crawler: base URL must be set")
+	}
+	if cfg.RetryAttempts < 0 {
+		return nil, fmt.Errorf("crawler: negative retry attempts %d", cfg.RetryAttempts)
+	}
+	if cfg.RetryBackoff < 0 {
+		return nil, fmt.Errorf("crawler: negative retry backoff %s", cfg.RetryBackoff)
+	}
+	if cfg.FailureBudget < 0 || cfg.FailureBudget > 1 {
+		return nil, fmt.Errorf("crawler: failure budget %v outside [0, 1]", cfg.FailureBudget)
 	}
 	return &Crawler{cfg: cfg, clock: clk, baseURL: baseURL, ds: ds, corpus: corpus}, nil
 }
@@ -185,6 +224,7 @@ func (c *Crawler) newVantages(locs []geo.Location) ([]vantage, error) {
 			if c.cfg.PinnedDatacenter != "" {
 				opts = append(opts, browser.WithPinnedDatacenter(c.cfg.PinnedDatacenter))
 			}
+			opts = append(opts, c.reliabilityOptions()...)
 			b, err := browser.New(c.baseURL, opts...)
 			if err != nil {
 				return nil, err
@@ -205,10 +245,30 @@ func (c *Crawler) newVantages(locs []geo.Location) ([]vantage, error) {
 	return out, nil
 }
 
+// reliabilityOptions translates the crawl config's retry policy into
+// browser options shared by every browser the crawler builds. Retries back
+// off on the campaign clock, so virtual-time campaigns replay a 30-second
+// backoff instantly while wall-clock deployments genuinely wait.
+func (c *Crawler) reliabilityOptions() []browser.Option {
+	var opts []browser.Option
+	if c.cfg.RetryAttempts > 0 {
+		opts = append(opts, browser.WithRetry(c.cfg.RetryAttempts, c.cfg.RetryBackoff))
+	}
+	if c.cfg.FetchTimeout > 0 {
+		opts = append(opts, browser.WithTimeout(c.cfg.FetchTimeout))
+	}
+	if c.Transport != nil {
+		opts = append(opts, browser.WithTransport(c.Transport))
+	}
+	opts = append(opts, browser.WithClock(c.clock))
+	return opts
+}
+
 // fetchResult carries one worker's outcome back to the scheduler.
 type fetchResult struct {
-	obs storage.Observation
-	err error
+	obs     storage.Observation
+	err     error
+	retries int
 }
 
 // RunPhase executes one phase and returns every captured observation,
@@ -226,6 +286,13 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 		return nil, fmt.Errorf("crawler: phase %q has no days", p.Name)
 	}
 	var all []storage.Observation
+	if c.ckpt != nil {
+		// Observations recovered from the checkpoint file slot in ahead of
+		// anything fetched this run; the final sort interleaves them
+		// exactly as an uninterrupted campaign would have produced them.
+		all = append(all, c.ckpt.prior[p.Name]...)
+	}
+	_, manualClock := c.clock.(*simclock.Manual)
 	for _, g := range p.Granularities {
 		locs := c.ds.At(g)
 		if len(locs) == 0 {
@@ -237,22 +304,43 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 		}
 		for day := 0; day < p.Days; day++ {
 			dayStart := c.clock.Now()
+			executedThisDay := false
 			for _, q := range p.Terms {
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("crawler: phase %q cancelled: %w", p.Name, err)
 				}
-				obs, err := c.sweepTerm(p.Name, q, g, day, vans)
+				if c.ckpt != nil && c.ckpt.skipping() {
+					// Fast-forward over a sweep the checkpoint already
+					// holds. Under a virtual clock the inter-term wait is
+					// still slept so the resumed campaign's timeline — and
+					// with it the engine's day counter — replays exactly;
+					// under a wall clock re-waiting would cost real hours
+					// for nothing.
+					c.ckpt.seen++
+					if manualClock {
+						c.clock.Sleep(c.cfg.WaitBetweenTerms)
+					}
+					continue
+				}
+				executedThisDay = true
+				obs, err := c.sweepTerm(ctx, p.Name, q, g, day, vans)
 				if err != nil {
 					return nil, err
 				}
 				all = append(all, obs...)
+				if c.ckpt != nil {
+					if err := c.ckpt.record(p.Name, g.Short(), day, q.Term, obs); err != nil {
+						return nil, err
+					}
+				}
 				// 11-minute lock-step spacing before the next term.
 				c.clock.Sleep(c.cfg.WaitBetweenTerms)
 			}
 			// Park until the next day boundary so the crawl's "day d"
 			// labels coincide with the engine's day counter (news
-			// rotation, Fig 8's day-by-day series).
-			if rem := 24*time.Hour - c.clock.Now().Sub(dayStart); rem > 0 {
+			// rotation, Fig 8's day-by-day series). A wall-clock resume
+			// skips the park for days it never touched.
+			if rem := 24*time.Hour - c.clock.Now().Sub(dayStart); rem > 0 && (manualClock || executedThisDay) {
 				c.clock.Sleep(rem)
 			}
 			if c.Progress != nil {
@@ -283,28 +371,30 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 // lock-step semantics are preserved exactly, only the idle waiting is
 // elided.
 func (c *Crawler) RunCampaignVirtual(clk *simclock.Manual, phases []Phase) ([]storage.Observation, error) {
+	return c.RunCampaignVirtualContext(context.Background(), clk, phases)
+}
+
+// RunCampaignVirtualContext is RunCampaignVirtual with cancellation. The
+// clock keeps driving until the campaign goroutine has fully unwound, so a
+// cancelled campaign never strands workers parked in virtual sleeps.
+func (c *Crawler) RunCampaignVirtualContext(ctx context.Context, clk *simclock.Manual, phases []Phase) ([]storage.Observation, error) {
 	type result struct {
 		obs []storage.Observation
 		err error
 	}
 	done := make(chan result, 1)
+	stop := make(chan struct{})
 	go func() {
-		obs, err := c.RunCampaign(phases)
+		obs, err := c.RunCampaignContext(ctx, phases)
 		done <- result{obs, err}
+		close(stop)
 	}()
-	for {
-		select {
-		case r := <-done:
-			return r.obs, r.err
-		default:
-			if next, ok := clk.NextDeadline(); ok {
-				clk.AdvanceTo(next)
-			} else {
-				// Fetches are in flight; yield briefly.
-				time.Sleep(100 * time.Microsecond)
-			}
-		}
-	}
+	// Block-free driving: hop to each pending deadline, park between
+	// sleeps. No polling loop — the driver burns no core while fetches
+	// are in flight.
+	clk.DriveUntil(stop)
+	r := <-done
+	return r.obs, r.err
 }
 
 // RunCampaign executes every phase in order.
@@ -330,7 +420,13 @@ func (c *Crawler) RunCampaignContext(ctx context.Context, phases []Phase) ([]sto
 // Each fetch carries a trace ID minted deterministically from its
 // experimental coordinates, so repro campaigns stay byte-for-byte
 // reproducible while every stored page joins back to its request.
-func (c *Crawler) sweepTerm(phase string, q queries.Query, g geo.Granularity, day int, vans []vantage) ([]storage.Observation, error) {
+//
+// The sweep is fail-soft: a fetch that still fails after the retry policy
+// becomes a Failed observation — slot recorded, page absent — instead of
+// aborting the phase, as long as the round's failures stay within
+// Config.FailureBudget. Cancellation is different from failure: once ctx is
+// done the sweep returns the context's error without charging the budget.
+func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, g geo.Granularity, day int, vans []vantage) ([]storage.Observation, error) {
 	inst := c.instruments()
 	results := make(chan fetchResult, len(vans)*2)
 	var wg sync.WaitGroup
@@ -353,15 +449,13 @@ func (c *Crawler) sweepTerm(phase string, q queries.Query, g geo.Granularity, da
 						"location", v.loc.ID, "role", string(role), "day", day)
 				}
 				b.SetTraceID(trace)
-				page, err := b.Search(q.Term)
+				retriesBefore := b.Retries()
+				page, err := b.SearchContext(ctx, q.Term)
 				if c.cfg.ClearCookies {
 					b.ClearCookies()
 				}
-				if err != nil {
-					results <- fetchResult{err: fmt.Errorf("crawler: %s %s %q: %w", v.loc.ID, role, q.Term, err)}
-					return
-				}
-				results <- fetchResult{obs: storage.Observation{
+				obs := storage.Observation{
+					Phase:       phase,
 					Term:        q.Term,
 					Category:    q.Category.Short(),
 					Granularity: g.Short(),
@@ -369,26 +463,61 @@ func (c *Crawler) sweepTerm(phase string, q queries.Query, g geo.Granularity, da
 					Role:        role,
 					Day:         day,
 					MachineIP:   b.SourceIP(),
-					Datacenter:  page.Datacenter,
-					TraceID:     page.TraceID,
+					TraceID:     trace,
 					FetchedAt:   now,
-					Page:        page,
-				}}
+				}
+				if err != nil {
+					obs.Failed = true
+					obs.Err = err.Error()
+					results <- fetchResult{
+						obs:     obs,
+						err:     fmt.Errorf("crawler: %s %s %q: %w", v.loc.ID, role, q.Term, err),
+						retries: b.Retries() - retriesBefore,
+					}
+					return
+				}
+				obs.Datacenter = page.Datacenter
+				obs.TraceID = page.TraceID
+				obs.Page = page
+				results <- fetchResult{obs: obs, retries: b.Retries() - retriesBefore}
 			}(v, role, b, trace)
 		}
 	}
 	wg.Wait()
 	close(results)
 	inst.roundDur.ObserveSince(roundStart)
-	inst.terms.Inc()
+
+	// Shutdown, not flakiness: report the cancellation itself.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("crawler: sweep %q cancelled: %w", q.Term, err)
+	}
 
 	out := make([]storage.Observation, 0, len(vans)*2)
+	failed := 0
+	var firstErr error
 	for r := range results {
+		if r.retries > 0 {
+			inst.fetchRetries.With(phase).Add(uint64(r.retries))
+		}
 		if r.err != nil {
-			return nil, r.err
+			failed++
+			inst.fetchFailures.With(phase).Inc()
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if c.Logger != nil {
+				c.Logger.Warn("fetch failed", "trace", r.obs.TraceID, "phase", phase,
+					"term", q.Term, "location", r.obs.LocationID, "role", string(r.obs.Role),
+					"day", day, "err", r.obs.Err)
+			}
 		}
 		out = append(out, r.obs)
 	}
+	if budget := int(c.cfg.FailureBudget * float64(len(vans)*2)); failed > budget {
+		return nil, fmt.Errorf("crawler: %d/%d fetches failed (budget %d): %w",
+			failed, len(vans)*2, budget, firstErr)
+	}
+	inst.terms.Inc()
 	return out, nil
 }
 
@@ -409,8 +538,11 @@ func (c *Crawler) RunValidation(terms []queries.Query, gps geo.Point, nVantage i
 		// Spread vantages across distinct /8s, like PlanetLab sites at
 		// different universities.
 		ip := fmt.Sprintf("%d.%d.10.7", 11+(i*5)%200, (i*13)%250)
-		b, err := browser.New(c.baseURL, browser.WithSourceIP(ip),
-			browser.WithTelemetry(c.Telemetry))
+		opts := append([]browser.Option{
+			browser.WithSourceIP(ip),
+			browser.WithTelemetry(c.Telemetry),
+		}, c.reliabilityOptions()...)
+		b, err := browser.New(c.baseURL, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -426,6 +558,10 @@ func (c *Crawler) RunValidation(terms []queries.Query, gps geo.Point, nVantage i
 			wg.Add(1)
 			go func(i int, b *browser.Browser) {
 				defer wg.Done()
+				// Trace-keyed like campaign fetches, so the validation
+				// pages — printed first by cmd/repro — are reproducible
+				// regardless of goroutine arrival order.
+				b.SetTraceID(telemetry.MintTraceID(0, "validation", q.Term, fmt.Sprint(i)))
 				p, err := b.Search(q.Term)
 				if c.cfg.ClearCookies {
 					b.ClearCookies()

@@ -199,8 +199,11 @@ func TestMachineSpreadAvoidsRateLimits(t *testing.T) {
 		t.Fatalf("campaign tripped the rate limiter: %v", err)
 	}
 	// Sanity: a single-machine crawler with the same limiter fails.
+	// Retries are disabled: with backoff on the virtual clock the limiter
+	// would refill and mask the overload this test exists to observe.
 	cfg := DefaultConfig()
 	cfg.Machines = 1
+	cfg.RetryAttempts = 1
 	clk2 := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
 	eng2 := engine.New(engine.DefaultConfig(), clk2)
 	srv2 := httptest.NewServer(serpserver.NewHandler(eng2))
@@ -229,18 +232,7 @@ func driveClock(clk *simclock.Manual, fn func()) {
 		defer close(done)
 		fn()
 	}()
-	for {
-		select {
-		case <-done:
-			return
-		default:
-			if next, ok := clk.NextDeadline(); ok {
-				clk.AdvanceTo(next)
-			} else {
-				time.Sleep(100 * time.Microsecond)
-			}
-		}
-	}
+	clk.DriveUntil(done)
 }
 
 func TestRunValidationGPSDominates(t *testing.T) {

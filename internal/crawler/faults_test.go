@@ -41,7 +41,11 @@ func faultRig(t *testing.T, every int64, status int) (*simclock.Manual, *Crawler
 		status: status,
 	})
 	t.Cleanup(srv.Close)
-	cr, err := New(DefaultConfig(), clk, srv.URL, geo.StudyDataset(), queries.StudyCorpus())
+	// Single-attempt, zero-budget config: these tests pin the strict
+	// failure surface, before retries or the failure budget soften it.
+	cfg := DefaultConfig()
+	cfg.RetryAttempts = 1
+	cr, err := New(cfg, clk, srv.URL, geo.StudyDataset(), queries.StudyCorpus())
 	if err != nil {
 		t.Fatal(err)
 	}

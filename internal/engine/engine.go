@@ -54,6 +54,11 @@ type Request struct {
 	// UserAgent is recorded but — matching the paper's finding that
 	// browser/OS do not trigger personalization — never affects results.
 	UserAgent string
+	// TraceID is the client-supplied X-Trace-Id ("" = untraced). When set
+	// it keys the request's noise draws, making traced campaigns
+	// byte-for-byte reproducible regardless of arrival order; untraced
+	// traffic falls back to an arrival-order sequence number.
+	TraceID string
 }
 
 // Response is a served page plus the serving metadata the study could not
@@ -323,16 +328,24 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	class, topic := e.classify(req.Query)
 
 	// Per-request randomness: bucket assignment and score jitter. Two
-	// simultaneous identical requests draw different sequence numbers,
+	// simultaneous identical requests draw distinct keys — distinct trace
+	// IDs when the client traces its traffic (treatment and control mint
+	// different roles into theirs), distinct sequence numbers otherwise —
 	// which is the engine-side noise the paper measures with
-	// treatment/control pairs.
+	// treatment/control pairs. Keying on the trace ID rather than the
+	// arrival order makes traced campaigns reproducible: concurrent fetch
+	// interleaving no longer feeds the noise model.
 	seqNo := e.reqCount.Add(1)
 	if seqNo%4096 == 0 {
 		// Amortized cleanup of abandoned one-shot sessions (crawlers
 		// that clear cookies never revisit theirs).
 		e.history.pruneExpired(now)
 	}
-	rrng := detrand.NewKeyed(e.cfg.Seed, "request", fmt.Sprint(seqNo))
+	noiseKey := req.TraceID
+	if noiseKey == "" {
+		noiseKey = fmt.Sprint(seqNo)
+	}
+	rrng := detrand.NewKeyed(e.cfg.Seed, "request", noiseKey)
 	baseMapsProb, baseNewsProb := 0.0, 0.0
 	switch class {
 	case classLocalGeneric:

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"geoserp/internal/geo"
+	"geoserp/internal/simclock"
+)
+
+func traceTestEngine() *Engine {
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := DefaultConfig()
+	cfg.RateBurst = 1 << 30
+	cfg.RatePerMinute = 1 << 30
+	return New(cfg, clk)
+}
+
+// TestTraceKeyedNoiseIsOrderIndependent: the repro-determinism contract —
+// a traced request's noise draws depend only on its trace ID, never on how
+// many requests the engine served before it.
+func TestTraceKeyedNoiseIsOrderIndependent(t *testing.T) {
+	gps := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	req := Request{Query: "Coffee", GPS: &gps, ClientIP: "10.0.0.1", Datacenter: "dc-0", TraceID: "00c0ffee00c0ffee"}
+
+	e1 := traceTestEngine()
+	r1, err := e1.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same engine config, but 100 interleaved untraced requests first: the
+	// sequence counter is far ahead when the traced request arrives.
+	e2 := traceTestEngine()
+	for i := 0; i < 100; i++ {
+		other := Request{Query: "Pizza", GPS: &gps, ClientIP: fmt.Sprintf("10.0.1.%d", i%250)}
+		if _, err := e2.Search(other); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r2, err := e2.Search(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Bucket != r2.Bucket {
+		t.Fatalf("bucket draw depends on arrival order: %d vs %d", r1.Bucket, r2.Bucket)
+	}
+	if !reflect.DeepEqual(r1.Page, r2.Page) {
+		t.Fatal("traced page depends on arrival order")
+	}
+}
+
+// TestDistinctTracesStillDrawNoise: treatment and control mint distinct
+// trace IDs, and those distinct keys must keep producing the independent
+// noise draws the treatment/control design measures.
+func TestDistinctTracesStillDrawNoise(t *testing.T) {
+	e := traceTestEngine()
+	gps := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	differed := false
+	for i := 0; i < 12 && !differed; i++ {
+		mk := func(role string) *Response {
+			r, err := e.Search(Request{
+				Query: "Coffee", GPS: &gps, ClientIP: "10.0.0.1", Datacenter: "dc-0",
+				TraceID: fmt.Sprintf("t-%d-%s", i, role),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		tr, ctl := mk("treatment"), mk("control")
+		if tr.Bucket != ctl.Bucket || !reflect.DeepEqual(tr.Page, ctl.Page) {
+			differed = true
+		}
+	}
+	if !differed {
+		t.Fatal("12 treatment/control pairs drew identical noise — trace keying killed the noise model")
+	}
+}
+
+// TestUntracedRequestsKeepSequenceNoise: legacy untraced traffic still
+// draws per-arrival noise (the pre-trace behaviour).
+func TestUntracedRequestsKeepSequenceNoise(t *testing.T) {
+	e := traceTestEngine()
+	gps := geo.Point{Lat: 41.4993, Lon: -81.6944}
+	differed := false
+	req := Request{Query: "Coffee", GPS: &gps, ClientIP: "10.0.0.1", Datacenter: "dc-0"}
+	var prev *Response
+	for i := 0; i < 12 && !differed; i++ {
+		r, err := e.Search(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && (r.Bucket != prev.Bucket || !reflect.DeepEqual(r.Page, prev.Page)) {
+			differed = true
+		}
+		prev = r
+	}
+	if !differed {
+		t.Fatal("12 successive untraced requests drew identical noise")
+	}
+}

@@ -1,0 +1,158 @@
+package serpserver
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoserp/internal/detrand"
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+// ChaosConfig describes server-side fault injection: serpd can be asked to
+// misbehave deliberately (the -chaos-* flags) so crawler deployments can
+// rehearse their fail-soft behaviour against a real wire. Faults only hit
+// /search — health, stats, and metrics endpoints stay reliable so the
+// injected failures remain observable.
+//
+// Draws are keyed on the request's trace ID plus a per-trace attempt
+// counter (global sequence number for untraced traffic), making a chaos
+// run with a fixed seed exactly reproducible.
+type ChaosConfig struct {
+	// Seed keys every fault draw.
+	Seed uint64
+	// AbortRate is the probability the connection is severed before any
+	// response bytes are written — the client sees a transport error.
+	AbortRate float64
+	// ServerErrorRate is the probability the request is answered 500.
+	ServerErrorRate float64
+	// TruncateRate is the probability the response body is cut off
+	// half-way, with a Content-Length promising the full page.
+	TruncateRate float64
+	// Latency, when positive, delays every affected request (slept on
+	// Clock, so virtual-time rigs absorb it).
+	Latency time.Duration
+	// Clock times the injected latency; defaults to the wall clock.
+	Clock simclock.Clock
+}
+
+// Enabled reports whether any fault is configured.
+func (c ChaosConfig) Enabled() bool {
+	return c.AbortRate > 0 || c.ServerErrorRate > 0 || c.TruncateRate > 0 || c.Latency > 0
+}
+
+// chaosMiddleware injects faults in front of next.
+type chaosMiddleware struct {
+	cfg  ChaosConfig
+	next http.Handler
+	ctr  *telemetry.CounterVec // serpd_chaos_injected_total{kind}
+
+	mu       sync.Mutex
+	attempts map[string]int
+	seq      atomic.Uint64
+}
+
+// WithChaos wraps a handler with fault injection per cfg. The injected
+// fault counts are exposed through reg (the handler's own registry) as
+// serpd_chaos_injected_total{kind}.
+func WithChaos(cfg ChaosConfig, h *Handler) http.Handler {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Wall()
+	}
+	return &chaosMiddleware{
+		cfg:  cfg,
+		next: h,
+		ctr: h.Telemetry().CounterVec("serpd_chaos_injected_total",
+			"Faults deliberately injected by the chaos middleware, by kind.", "kind"),
+		attempts: make(map[string]int),
+	}
+}
+
+func (c *chaosMiddleware) attemptKey(r *http.Request) string {
+	trace := r.Header.Get(telemetry.TraceHeader)
+	if trace == "" {
+		return fmt.Sprintf("seq-%d", c.seq.Add(1))
+	}
+	c.mu.Lock()
+	c.attempts[trace]++
+	n := c.attempts[trace]
+	c.mu.Unlock()
+	return fmt.Sprintf("%s-%d", trace, n)
+}
+
+func (c *chaosMiddleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/search" {
+		c.next.ServeHTTP(w, r)
+		return
+	}
+	rng := detrand.NewKeyed(c.cfg.Seed, "serpd-chaos", c.attemptKey(r))
+	if c.cfg.Latency > 0 {
+		c.cfg.Clock.Sleep(c.cfg.Latency)
+	}
+	switch {
+	case rng.Bool(c.cfg.AbortRate):
+		c.ctr.With("abort").Inc()
+		// Sever the connection without a response: net/http treats this
+		// panic as a deliberate abort, and the client sees a transport
+		// error.
+		panic(http.ErrAbortHandler)
+	case rng.Bool(c.cfg.ServerErrorRate):
+		c.ctr.With("5xx").Inc()
+		http.Error(w, "chaos: injected server error", http.StatusInternalServerError)
+	case rng.Bool(c.cfg.TruncateRate):
+		c.ctr.With("truncate").Inc()
+		// Render the full response into a buffer, promise its full length,
+		// deliver half, then abort — the client observes a mid-body cut,
+		// not a short-but-complete page.
+		var buf bytes.Buffer
+		bw := &bufferedResponse{header: make(http.Header), body: &buf}
+		c.next.ServeHTTP(bw, r)
+		for k, vs := range bw.header {
+			w.Header()[k] = vs
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.WriteHeader(bw.status())
+		w.Write(buf.Bytes()[:buf.Len()/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	default:
+		c.next.ServeHTTP(w, r)
+	}
+}
+
+// bufferedResponse captures a handler's full response for the truncation
+// fault.
+type bufferedResponse struct {
+	header     http.Header
+	body       *bytes.Buffer
+	statusCode int
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.statusCode == 0 {
+		b.statusCode = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.statusCode == 0 {
+		b.statusCode = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) status() int {
+	if b.statusCode == 0 {
+		return http.StatusOK
+	}
+	return b.statusCode
+}

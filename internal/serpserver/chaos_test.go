@@ -1,0 +1,114 @@
+package serpserver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/simclock"
+)
+
+func chaosServer(t *testing.T, cfg ChaosConfig) (*httptest.Server, *Handler) {
+	t.Helper()
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	ecfg := engine.DefaultConfig()
+	ecfg.RateBurst = 1 << 30
+	ecfg.RatePerMinute = 1 << 30
+	h := NewHandler(engine.New(ecfg, clk))
+	srv := httptest.NewServer(WithChaos(cfg, h))
+	t.Cleanup(srv.Close)
+	return srv, h
+}
+
+func searchOnce(t *testing.T, srv *httptest.Server, trace string) (status int, body []byte, err error) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/search?q=Coffee&ll=41.499300,-81.694400", nil)
+	if trace != "" {
+		req.Header.Set("X-Trace-Id", trace)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, rerr
+}
+
+func TestChaosAbortSeversConnection(t *testing.T) {
+	srv, h := chaosServer(t, ChaosConfig{Seed: 1, AbortRate: 1})
+	_, _, err := searchOnce(t, srv, "t-abort")
+	if err == nil {
+		t.Fatal("aborted request returned a response")
+	}
+	if got := h.Telemetry().CounterVec("serpd_chaos_injected_total", "", "kind").With("abort").Value(); got == 0 {
+		t.Fatal("abort injection not counted")
+	}
+}
+
+func TestChaosServerErrorAnswers500(t *testing.T) {
+	srv, _ := chaosServer(t, ChaosConfig{Seed: 1, ServerErrorRate: 1})
+	status, _, err := searchOnce(t, srv, "t-5xx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", status)
+	}
+}
+
+func TestChaosTruncationCutsBody(t *testing.T) {
+	srv, _ := chaosServer(t, ChaosConfig{Seed: 1, TruncateRate: 1})
+	_, _, err := searchOnce(t, srv, "t-cut")
+	if err == nil {
+		t.Fatal("truncated response read cleanly")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestChaosSparesOtherEndpoints(t *testing.T) {
+	srv, _ := chaosServer(t, ChaosConfig{Seed: 1, AbortRate: 1, ServerErrorRate: 1, TruncateRate: 1})
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz hit by chaos: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+}
+
+func TestChaosFaultsAreTraceKeyed(t *testing.T) {
+	observe := func() []bool {
+		srv, _ := chaosServer(t, ChaosConfig{Seed: 11, ServerErrorRate: 0.4})
+		var outcomes []bool
+		for i := 0; i < 30; i++ {
+			status, _, err := searchOnce(t, srv, fmt.Sprintf("trace-%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			outcomes = append(outcomes, status == http.StatusOK)
+		}
+		return outcomes
+	}
+	a, b := observe(), observe()
+	mixed := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace-%d drew different faults across runs", i)
+		}
+		if a[i] != a[0] {
+			mixed = true
+		}
+	}
+	if !mixed {
+		t.Fatal("all outcomes identical at a 40% rate; draws not varying by trace")
+	}
+}

@@ -226,6 +226,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		SessionID:  session,
 		Datacenter: r.Header.Get(DatacenterHeader),
 		UserAgent:  r.UserAgent(),
+		TraceID:    telemetry.TraceID(r.Context()),
 	}
 	resp, err := h.eng.Search(req)
 	switch {
@@ -306,8 +307,8 @@ type Server struct {
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and returns a ready-to-Serve
-// server.
-func Listen(addr string, h *Handler) (*Server, error) {
+// server. h is usually a *Handler, optionally wrapped (WithChaos).
+func Listen(addr string, h http.Handler) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serpserver: listen %s: %w", addr, err)

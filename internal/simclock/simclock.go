@@ -44,6 +44,10 @@ type Manual struct {
 	now     time.Time
 	sleeper []*sleeper // sorted by deadline
 	waiting sync.Cond  // broadcast whenever the sleeper set changes
+	// arrived receives a token whenever a new sleeper parks; buffered so
+	// a pending signal is never lost while the driver is advancing. See
+	// SleeperArrived.
+	arrived chan struct{}
 }
 
 type sleeper struct {
@@ -53,7 +57,7 @@ type sleeper struct {
 
 // NewManual returns a Manual clock starting at the given instant.
 func NewManual(start time.Time) *Manual {
-	m := &Manual{now: start}
+	m := &Manual{now: start, arrived: make(chan struct{}, 1)}
 	m.waiting.L = &m.mu
 	return m
 }
@@ -87,6 +91,10 @@ func (m *Manual) insertLocked(s *sleeper) {
 	m.sleeper = append(m.sleeper, nil)
 	copy(m.sleeper[i+1:], m.sleeper[i:])
 	m.sleeper[i] = s
+	select {
+	case m.arrived <- struct{}{}:
+	default: // a signal is already pending; one token is enough
+	}
 }
 
 // Advance moves the clock forward by d, releasing — in deadline order — every
@@ -146,6 +154,42 @@ func (m *Manual) NextDeadline() (t time.Time, ok bool) {
 		return time.Time{}, false
 	}
 	return m.sleeper[0].deadline, true
+}
+
+// SleeperArrived returns a channel that receives a token when a goroutine
+// parks in Sleep. The channel is buffered (capacity one), so a signal sent
+// while the driver is busy advancing is held rather than lost; a stale
+// token only costs the driver one extra NextDeadline check. Drivers use it
+// to block — instead of busy-polling — while workers are off doing real
+// (wall-clock) work between virtual sleeps.
+func (m *Manual) SleeperArrived() <-chan struct{} { return m.arrived }
+
+// DriveUntil advances virtual time until done is closed (or receives).
+// Whenever a sleeper is pending, the clock hops to its deadline; when none
+// is, the driver blocks until either a new sleeper parks or done fires —
+// no polling, no burned core. This is the campaign-driver loop: start the
+// campaign in a goroutine, close done when it returns, and DriveUntil
+// elides every idle wait while the workers' real fetch work proceeds at
+// hardware speed.
+func (m *Manual) DriveUntil(done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if next, ok := m.NextDeadline(); ok {
+			m.AdvanceTo(next)
+			continue
+		}
+		// No sleeper: workers are mid-fetch (or finishing). Block until
+		// one parks or the campaign completes.
+		select {
+		case <-done:
+			return
+		case <-m.arrived:
+		}
+	}
 }
 
 // RunUntilIdle repeatedly advances the clock to the next pending deadline

@@ -253,3 +253,58 @@ func TestRunUntilIdleWithSettle(t *testing.T) {
 		t.Fatalf("sleepers remain: %d", m.Sleepers())
 	}
 }
+
+func TestDriveUntilElidesSleeps(t *testing.T) {
+	m := NewManual(epoch)
+	done := make(chan struct{})
+	var rounds atomic.Int64
+	go func() {
+		defer close(done)
+		// A worker that alternates real (instant) work with long virtual
+		// sleeps — the crawler's shape. DriveUntil must complete all of it
+		// without wall-clock waiting.
+		for i := 0; i < 50; i++ {
+			m.Sleep(11 * time.Minute)
+			rounds.Add(1)
+		}
+	}()
+	start := time.Now()
+	m.DriveUntil(done)
+	if got := rounds.Load(); got != 50 {
+		t.Fatalf("rounds = %d, want 50", got)
+	}
+	if want := epoch.Add(50 * 11 * time.Minute); !m.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", m.Now(), want)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("DriveUntil took %v for 50 virtual sleeps", elapsed)
+	}
+}
+
+func TestDriveUntilBlocksWithoutSpinning(t *testing.T) {
+	m := NewManual(epoch)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Real work with no virtual sleep registered yet: the driver has
+		// nothing to advance and must park on the arrival channel rather
+		// than spin.
+		time.Sleep(50 * time.Millisecond)
+		m.Sleep(time.Hour)
+	}()
+	m.DriveUntil(done)
+	if want := epoch.Add(time.Hour); !m.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestSleeperArrivedSignals(t *testing.T) {
+	m := NewManual(epoch)
+	go m.Sleep(time.Minute)
+	select {
+	case <-m.SleeperArrived():
+	case <-time.After(2 * time.Second):
+		t.Fatal("no arrival signal for a parked sleeper")
+	}
+	m.Advance(time.Minute)
+}

@@ -32,6 +32,9 @@ const (
 
 // Observation is one captured result page with its experimental context.
 type Observation struct {
+	// Phase labels the campaign phase the observation belongs to ("" for
+	// crawls predating phase labelling).
+	Phase string `json:"phase,omitempty"`
 	// Term is the query term.
 	Term string `json:"term"`
 	// Category is the query category (queries.Category.Short()).
@@ -54,11 +57,20 @@ type Observation struct {
 	TraceID string `json:"trace_id,omitempty"`
 	// FetchedAt is the (virtual) fetch time.
 	FetchedAt time.Time `json:"fetched_at"`
-	// Page is the parsed result page.
-	Page *serp.Page `json:"page"`
+	// Page is the parsed result page (nil when Failed).
+	Page *serp.Page `json:"page,omitempty"`
+	// Failed marks a fetch that still failed after the retry policy was
+	// exhausted. The slot is recorded — the paper's crawls likewise kept
+	// note of corrupted SERPs instead of aborting a multi-day phase — but
+	// carries no Page; analysis skips it.
+	Failed bool `json:"failed,omitempty"`
+	// Err is the final fetch error for a Failed observation.
+	Err string `json:"err,omitempty"`
 }
 
-// Validate checks the observation is structurally complete.
+// Validate checks the observation is structurally complete. A Failed
+// observation must carry its error and no page; a successful one must
+// carry a valid page.
 func (o *Observation) Validate() error {
 	switch {
 	case o.Term == "":
@@ -67,7 +79,17 @@ func (o *Observation) Validate() error {
 		return fmt.Errorf("storage: observation has bad role %q", o.Role)
 	case o.LocationID == "":
 		return fmt.Errorf("storage: observation missing location")
-	case o.Page == nil:
+	}
+	if o.Failed {
+		if o.Err == "" {
+			return fmt.Errorf("storage: failed observation missing error")
+		}
+		if o.Page != nil {
+			return fmt.Errorf("storage: failed observation carries a page")
+		}
+		return nil
+	}
+	if o.Page == nil {
 		return fmt.Errorf("storage: observation missing page")
 	}
 	return o.Page.Validate()
@@ -126,6 +148,25 @@ func SaveJSONL(path string, obs []Observation) error {
 			return fmt.Errorf("storage: gzip %s: %w", path, err)
 		}
 	} else if err := WriteJSONL(f, obs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// AppendJSONL appends observations to a plain-JSONL file, creating it if
+// needed. This is the checkpoint write path: each completed term sweep is
+// flushed as it finishes, so a killed campaign loses at most one sweep.
+// Gzip paths are rejected — gzip streams cannot be append-extended.
+func AppendJSONL(path string, obs []Observation) error {
+	if strings.HasSuffix(path, ".gz") {
+		return fmt.Errorf("storage: cannot append to gzip file %s", path)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: append %s: %w", path, err)
+	}
+	if err := WriteJSONL(f, obs); err != nil {
+		f.Close()
 		return err
 	}
 	return f.Close()
