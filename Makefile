@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check chaos bench repro repro-full examples clean
+.PHONY: all build vet test check chaos bench bench-json repro repro-full examples clean
 
 all: build vet test
 
@@ -33,6 +33,15 @@ test-output:
 bench:
 	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
+# bench-json runs the benchmarks and writes machine-readable results to
+# BENCH_core.json (name -> ns/op, B/op, allocs/op; sorted keys, so
+# successive runs diff cleanly). Override BENCHTIME for a quick smoke:
+#   make bench-json BENCHTIME=10x
+BENCHTIME ?= 1s
+bench-json:
+	go test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... 2>&1 | tee bench_output.txt
+	go run ./cmd/benchjson -in bench_output.txt -out BENCH_core.json
+
 repro:
 	go run ./cmd/repro
 
@@ -48,4 +57,4 @@ examples:
 	go run ./examples/ipmethodology
 
 clean:
-	rm -f campaign.jsonl test_output.txt bench_output.txt
+	rm -f campaign.jsonl test_output.txt bench_output.txt BENCH_core.json trace.json

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark's parsed measurements. Fields mirror the
+// units testing.B reports; metrics the run did not emit are zero.
+type BenchResult struct {
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is heap bytes allocated per operation (-benchmem).
+	BytesPerOp float64 `json:"bytes_per_op"`
+	// AllocsPerOp is heap allocations per operation (-benchmem).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// MBPerSec is throughput, when the benchmark calls b.SetBytes.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// parseBench reads `go test -bench` output and returns name → result.
+// Benchmark names are normalized by stripping the -GOMAXPROCS suffix
+// ("BenchmarkSpan-8" → "BenchmarkSpan") so the JSON keys are stable
+// across machines; sub-benchmark paths are kept intact. Non-benchmark
+// lines (PASS, ok, goos/goarch headers) are ignored. A benchmark that
+// appears more than once (e.g. -count>1) keeps its last measurement.
+func parseBench(r io.Reader) (map[string]BenchResult, error) {
+	out := make(map[string]BenchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: name, iterations, value, unit.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // a test named Benchmark*, not a measurement line
+		}
+		res := BenchResult{Iterations: iters}
+		// The rest of the line is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			case "MB/s":
+				res.MBPerSec = v
+			}
+		}
+		out[normalizeBenchName(fields[0])] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: read: %w", err)
+	}
+	return out, nil
+}
+
+// normalizeBenchName strips the trailing -GOMAXPROCS from a benchmark
+// name, leaving sub-benchmark path segments untouched.
+func normalizeBenchName(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// writeBenchJSON renders the results with sorted keys and a trailing
+// newline — stable output for diffing successive CI runs.
+func writeBenchJSON(w io.Writer, results map[string]BenchResult) error {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// encoding/json sorts map keys too, but building the document by
+	// hand keeps per-entry indentation under our control.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		entry, err := json.Marshal(results[n])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, entry)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: geoserp/internal/telemetry
+cpu: Example CPU @ 2.40GHz
+BenchmarkSpan-8          	 3607344	       330.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSpanWithSnapshot-8	   21212	     56011 ns/op	   98304 B/op	       3 allocs/op
+BenchmarkHash/short-8    	12345678	        95.2 ns/op	     210.5 MB/s
+PASS
+ok  	geoserp/internal/telemetry	4.5s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	span := got["BenchmarkSpan"]
+	if span.Iterations != 3607344 || span.NsPerOp != 330.6 || span.AllocsPerOp != 0 {
+		t.Fatalf("BenchmarkSpan = %+v", span)
+	}
+	snap := got["BenchmarkSpanWithSnapshot"]
+	if snap.BytesPerOp != 98304 || snap.AllocsPerOp != 3 {
+		t.Fatalf("BenchmarkSpanWithSnapshot = %+v", snap)
+	}
+	// Sub-benchmark names keep their path; only -GOMAXPROCS is stripped.
+	hash := got["BenchmarkHash/short"]
+	if hash.MBPerSec != 210.5 {
+		t.Fatalf("BenchmarkHash/short = %+v", hash)
+	}
+}
+
+func TestParseBenchRejectsGarbageValues(t *testing.T) {
+	_, err := parseBench(strings.NewReader("BenchmarkX-8 100 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("garbage value accepted")
+	}
+}
+
+func TestWriteBenchJSONStableAndSorted(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b strings.Builder
+	if err := writeBenchJSON(&a, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchJSON(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("output not deterministic")
+	}
+	out := a.String()
+	if strings.Index(out, "BenchmarkHash/short") > strings.Index(out, "BenchmarkSpan") {
+		t.Fatalf("keys not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, `"ns_per_op":330.6`) {
+		t.Fatalf("missing ns_per_op:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Fatal("missing trailing newline")
+	}
+}
+
+func TestNormalizeBenchName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSpan-8":        "BenchmarkSpan",
+		"BenchmarkSpan":          "BenchmarkSpan",
+		"BenchmarkHash/short-16": "BenchmarkHash/short",
+		"BenchmarkOdd-name":      "BenchmarkOdd-name", // suffix not numeric
+	} {
+		if got := normalizeBenchName(in); got != want {
+			t.Fatalf("normalizeBenchName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

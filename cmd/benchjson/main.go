@@ -1,0 +1,60 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document mapping benchmark name → measurements, for machine
+// consumption (CI trend tracking, regression gates).
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_core.json
+//	benchjson -in bench_output.txt -out BENCH_core.json
+//
+// Names are normalized by stripping the -GOMAXPROCS suffix so keys are
+// stable across machines; keys are sorted so successive runs diff
+// cleanly. `make bench-json` wires this into the repo's workflow.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"flag"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON output path (default: stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines in input"))
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := writeBenchJSON(w, results); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

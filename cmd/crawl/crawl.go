@@ -51,6 +51,17 @@ type options struct {
 	Checkpoint string
 	// Resume restarts from an existing checkpoint instead of from zero.
 	Resume bool
+	// TraceOut, when set, writes the campaign timeline (campaign, phase,
+	// sweep, fetch-attempt, server, and engine-stage spans) as a Chrome
+	// trace-event JSON file loadable in Perfetto or chrome://tracing.
+	TraceOut string
+	// TraceCapacity bounds the span ring buffer (0 = a campaign-sized
+	// default). Spans beyond it evict the oldest.
+	TraceCapacity int
+	// MetricsOut, when set, writes a final Prometheus text-format metrics
+	// snapshot at campaign end — the same numbers a live /metricsz scrape
+	// would have shown.
+	MetricsOut string
 	// Logger receives structured progress records (nil = silent). At
 	// Debug level it also gets one record per fetch with the minted
 	// trace ID.
@@ -120,14 +131,22 @@ func runCrawl(opts options) (int, error) {
 	var obs []storage.Observation
 	var err error
 	var cr *crawler.Crawler
+	var spans *telemetry.SpanRecorder
 	if opts.Server == "" {
 		clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+		spans = newCampaignRecorder(opts, clk)
 		ecfg := engine.DefaultConfig()
 		if opts.Seed != 0 {
 			ecfg.Seed = opts.Seed
 		}
-		eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus))
-		srv, lerr := serpserver.Listen("127.0.0.1:0", serpserver.NewHandler(eng))
+		// Engine, server, and crawler share one registry, so -metrics-out
+		// snapshots the whole stack — engine stage histograms included.
+		eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus), engine.WithTelemetry(reg))
+		var handlerOpts []serpserver.HandlerOption
+		if spans != nil {
+			handlerOpts = append(handlerOpts, serpserver.WithSpans(spans))
+		}
+		srv, lerr := serpserver.Listen("127.0.0.1:0", serpserver.NewHandler(eng, handlerOpts...))
 		if lerr != nil {
 			return 0, lerr
 		}
@@ -137,18 +156,19 @@ func runCrawl(opts options) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		cr.Logger, cr.Telemetry = logger, reg
+		cr.Logger, cr.Telemetry, cr.Spans = logger, reg, spans
 		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
 			return 0, err
 		}
 		obs, err = cr.RunCampaignVirtual(clk, phases)
 	} else {
 		logger.Info("targeting live server (wall-clock waits apply)", "server", opts.Server)
+		spans = newCampaignRecorder(opts, simclock.Wall())
 		cr, err = crawler.New(ccfg, simclock.Wall(), opts.Server, ds, corpus)
 		if err != nil {
 			return 0, err
 		}
-		cr.Logger, cr.Telemetry = logger, reg
+		cr.Logger, cr.Telemetry, cr.Spans = logger, reg, spans
 		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
 			return 0, err
 		}
@@ -163,8 +183,61 @@ func runCrawl(opts options) (int, error) {
 	// The full output landed; the crash-recovery state is now redundant.
 	os.Remove(ckptPath)
 	os.Remove(partialPath)
+	if opts.TraceOut != "" {
+		if err := writeTraceFile(opts.TraceOut, spans); err != nil {
+			return 0, err
+		}
+		logger.Info("campaign trace written", "path", opts.TraceOut, "spans", spans.Len())
+	}
+	if opts.MetricsOut != "" {
+		if err := writeMetricsFile(opts.MetricsOut, reg); err != nil {
+			return 0, err
+		}
+		logger.Info("metrics snapshot written", "path", opts.MetricsOut)
+	}
 	logTelemetrySummary(logger, reg, len(obs))
 	return len(obs), nil
+}
+
+// newCampaignRecorder builds the span ring for -trace-out (nil when
+// tracing is off). The default capacity is campaign-sized: large enough
+// that scaled-down runs never wrap, so the written timeline is complete
+// and byte-deterministic.
+func newCampaignRecorder(opts options, clk simclock.Clock) *telemetry.SpanRecorder {
+	if opts.TraceOut == "" {
+		return nil
+	}
+	capacity := opts.TraceCapacity
+	if capacity <= 0 {
+		capacity = 1 << 17
+	}
+	return telemetry.NewSpanRecorder(capacity, clk)
+}
+
+// writeTraceFile dumps the recorded spans in Chrome trace-event format.
+func writeTraceFile(path string, spans *telemetry.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("crawl: trace out: %w", err)
+	}
+	if err := telemetry.WriteChromeTrace(f, spans.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("crawl: write trace: %w", err)
+	}
+	return f.Close()
+}
+
+// writeMetricsFile dumps the registry in Prometheus text format.
+func writeMetricsFile(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("crawl: metrics out: %w", err)
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("crawl: write metrics: %w", err)
+	}
+	return f.Close()
 }
 
 // setupCheckpoint arms campaign checkpointing: -resume picks up an

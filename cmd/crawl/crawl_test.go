@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -157,5 +159,66 @@ func TestRunCrawlCustomCorpus(t *testing.T) {
 	}
 	if _, err := runCrawl(options{Out: out, CorpusPath: filepath.Join(dir, "missing.json"), Days: 1}); err == nil {
 		t.Fatal("missing corpus accepted")
+	}
+}
+
+// TestRunCrawlObservabilityArtifacts: -trace-out and -metrics-out land
+// beside the data — a valid Chrome trace with the full span hierarchy,
+// and a Prometheus snapshot carrying the campaign counters.
+func TestRunCrawlObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	promPath := filepath.Join(dir, "snapshot.prom")
+	_, err := runCrawl(options{
+		Out:              filepath.Join(dir, "campaign.jsonl"),
+		TermsPerCategory: 1,
+		Days:             1,
+		Machines:         44,
+		Seed:             1,
+		Wait:             11 * time.Minute,
+		TraceOut:         tracePath,
+		MetricsOut:       promPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{
+		"crawler.campaign", "crawler.phase", "crawler.sweep",
+		"browser.fetch", "serpd.request", "engine.rerank",
+	} {
+		if !names[want] {
+			t.Fatalf("trace missing %q spans", want)
+		}
+	}
+
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"crawler_queries_total", "browser_fetches_total",
+		"engine_stage_duration_seconds_bucket{stage=\"rerank\"",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("metrics snapshot missing %q:\n%s", want, prom)
+		}
 	}
 }

@@ -24,6 +24,14 @@
 // Progress is logged as structured records (-log-format json for JSON);
 // -v additionally logs every fetch with its minted trace ID, which joins
 // the record to serpd's access log and the stored observation.
+//
+// Observability artifacts can land beside the data: -trace-out writes the
+// campaign timeline (campaign → phase → sweep spans plus per-attempt fetch,
+// server, and engine-stage spans) as a Chrome trace-event file for
+// Perfetto/chrome://tracing, and -metrics-out writes a final Prometheus
+// text snapshot of the campaign's counters:
+//
+//	crawl -terms 2 -days 1 -out small.jsonl -trace-out trace.json -metrics-out snapshot.prom
 package main
 
 import (
@@ -52,6 +60,9 @@ func main() {
 	flag.Float64Var(&opts.FailureBudget, "failure-budget", 0.05, "fraction of a term sweep allowed to fail after retries before aborting (0 = strict)")
 	flag.StringVar(&opts.Checkpoint, "checkpoint", "", "campaign cursor path (default: <out>.ckpt)")
 	flag.BoolVar(&opts.Resume, "resume", false, "restart from the last completed term sweep in -checkpoint")
+	flag.StringVar(&opts.TraceOut, "trace-out", "", "write the campaign timeline as Chrome trace-event JSON (Perfetto / chrome://tracing)")
+	flag.IntVar(&opts.TraceCapacity, "trace-capacity", 0, "span ring capacity for -trace-out (0 = campaign-sized default)")
+	flag.StringVar(&opts.MetricsOut, "metrics-out", "", "write a final Prometheus text metrics snapshot at campaign end")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("v", false, "debug logging: one record per fetch with its trace ID")
 	flag.Parse()

@@ -10,6 +10,9 @@
 //	repro -experiment demographics
 //	repro -extended            # + clusters, domain bias, distance decay
 //	repro -save campaign.jsonl # also persist the raw observations
+//	repro -trace-out trace.json # + the campaign timeline for Perfetto;
+//	                            # virtual-clock spans make the file
+//	                            # byte-identical across same-seed runs
 package main
 
 import (
@@ -31,6 +34,8 @@ func main() {
 	flag.Uint64Var(&opts.Seed, "seed", 1, "engine seed")
 	flag.BoolVar(&opts.Extended, "extended", false, "also run the §5 follow-up analyses (clusters, domain bias, distance decay)")
 	flag.IntVar(&opts.Validators, "validators", 50, "vantage machines for the validation experiment")
+	flag.StringVar(&opts.TraceOut, "trace-out", "", "write the campaign timeline as Chrome trace-event JSON (byte-identical across same-seed runs)")
+	flag.IntVar(&opts.TraceCapacity, "trace-capacity", 0, "span ring capacity for -trace-out (0 = campaign-sized default)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
 	logger := telemetry.NewLogger(os.Stderr, *logFormat)

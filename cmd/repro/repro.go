@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"os"
 	"time"
 
 	"geoserp"
@@ -36,6 +37,14 @@ type options struct {
 	Extended bool
 	// Validators is the vantage count for the validation experiment.
 	Validators int
+	// TraceOut, when set, writes the campaign timeline (campaign, phase,
+	// sweep, fetch-attempt, server, and engine-stage spans) as a Chrome
+	// trace-event JSON file. Spans are timed on the study's virtual
+	// clock, so the file is byte-identical across same-seed runs.
+	TraceOut string
+	// TraceCapacity bounds the span ring for -trace-out (0 = a
+	// campaign-sized default).
+	TraceCapacity int
 	// Logger receives structured progress records on stderr (nil =
 	// silent). The report artifacts on w are unaffected: telemetry never
 	// touches stdout, so repro output stays byte-for-byte deterministic.
@@ -59,11 +68,29 @@ func runRepro(opts options, w io.Writer) error {
 	if opts.Seed != 0 {
 		cfg.Engine.Seed = opts.Seed
 	}
+	if opts.TraceOut != "" {
+		cfg.TraceCapacity = opts.TraceCapacity
+		if cfg.TraceCapacity <= 0 {
+			cfg.TraceCapacity = 1 << 17
+		}
+	}
 	study, err := geoserp.NewStudy(cfg)
 	if err != nil {
 		return err
 	}
 	defer study.Close()
+	if opts.TraceOut != "" {
+		// Written on every exit path — a -figure or -experiment run still
+		// leaves a (smaller) timeline behind.
+		defer func() {
+			if werr := writeTraceFile(opts.TraceOut, study.Spans); werr != nil {
+				logger.Error("trace write failed", "err", werr)
+			} else {
+				logger.Info("campaign trace written",
+					"path", opts.TraceOut, "spans", study.Spans.Len())
+			}
+		}()
+	}
 
 	if opts.Table == 1 && opts.Figure == 0 && opts.Experiment == "" {
 		fmt.Fprintln(w, report.Table1(geoserp.Table1Terms()))
@@ -165,4 +192,19 @@ func runRepro(opts options, w io.Writer) error {
 		fmt.Fprintln(w, report.DistanceDecay(bins, fit))
 	}
 	return nil
+}
+
+// writeTraceFile dumps the study's recorded spans in Chrome trace-event
+// format. Span times come from the virtual clock, so two runs at the
+// same seed produce byte-identical files.
+func writeTraceFile(path string, spans *geoserp.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("repro: trace out: %w", err)
+	}
+	if err := geoserp.WriteChromeTrace(f, spans.Snapshot()); err != nil {
+		f.Close()
+		return fmt.Errorf("repro: write trace: %w", err)
+	}
+	return f.Close()
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -139,5 +142,73 @@ func TestRunReproSingleFigure(t *testing.T) {
 	}
 	if strings.Contains(out, "Figure 2:") || strings.Contains(out, "Fidelity") {
 		t.Fatal("unrequested artifacts printed")
+	}
+}
+
+// TestRunReproTraceOutIsByteDeterministic extends the repro contract to
+// the -trace-out artifact: spans are timed on the study's virtual clock
+// and span IDs are minted from stable keys, so two same-seed runs write
+// byte-identical Chrome trace files.
+func TestRunReproTraceOutIsByteDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	run := func(path string) []byte {
+		var buf strings.Builder
+		err := runRepro(options{
+			TermsPerCategory: 2,
+			Days:             1,
+			Validators:       6,
+			Seed:             42,
+			TraceOut:         path,
+		}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	dir := t.TempDir()
+	a := run(filepath.Join(dir, "a.json"))
+	b := run(filepath.Join(dir, "b.json"))
+	if !bytes.Equal(a, b) {
+		line := 1
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				t.Fatalf("trace files diverge at byte %d (line %d)", i, line)
+			}
+			if a[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("trace files differ in length: %d vs %d bytes", len(a), len(b))
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	for _, want := range []string{
+		"crawler.campaign", "crawler.phase", "crawler.sweep",
+		"crawler.validation", "browser.fetch", "serpd.request",
+		"engine.parse", "engine.retrieve", "engine.rerank", "engine.assemble",
+	} {
+		if !names[want] {
+			t.Fatalf("trace has no %q span; span names: %v", want, names)
+		}
 	}
 }

@@ -19,6 +19,8 @@
 //	GET /healthz
 //	GET /statz         JSON counters (backward-compatible shape)
 //	GET /metricsz      Prometheus text exposition
+//	GET /tracez        recent request spans (JSON; ?format=html for a
+//	                   browsable view, ?limit=N to cap traces)
 //
 // With -pprof-addr, the net/http/pprof endpoints are served on a separate
 // listener under /debug/pprof/.
@@ -52,6 +54,7 @@ func main() {
 	flag.Float64Var(&opts.Chaos.ServerErrorRate, "chaos-5xx-rate", 0, "probability a /search request is answered 500")
 	flag.Float64Var(&opts.Chaos.TruncateRate, "chaos-truncate-rate", 0, "probability a /search response body is cut off mid-stream")
 	flag.DurationVar(&opts.Chaos.Latency, "chaos-latency", 0, "extra latency added to every /search request")
+	flag.IntVar(&opts.TracezCapacity, "tracez-capacity", telemetry.DefaultSpanCapacity, "span ring capacity behind GET /tracez (0 disables tracing)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")
 	flag.Parse()

@@ -33,6 +33,9 @@ type options struct {
 	// Chaos configures deliberate fault injection on /search (the
 	// -chaos-* flags); zero value disables it.
 	Chaos serpserver.ChaosConfig
+	// TracezCapacity bounds the span ring behind GET /tracez (<=0
+	// disables request tracing and the endpoint).
+	TracezCapacity int
 }
 
 // buildServer constructs the engine and a bound (not yet serving) server.
@@ -76,6 +79,10 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 	var hopts []serpserver.HandlerOption
 	if opts.Logger != nil {
 		hopts = append(hopts, serpserver.WithLogger(opts.Logger))
+	}
+	if opts.TracezCapacity > 0 {
+		hopts = append(hopts,
+			serpserver.WithSpans(telemetry.NewSpanRecorder(opts.TracezCapacity, simclock.Wall())))
 	}
 	handler := serpserver.NewHandler(eng, hopts...)
 	var root http.Handler = handler

@@ -3,6 +3,7 @@ package geoserp
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"geoserp/internal/analysis"
@@ -14,6 +15,7 @@ import (
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
 	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
 )
 
 // Re-exported core types: the public API surface mirrors the paper's
@@ -46,7 +48,18 @@ type (
 	FeatureCorrelation = analysis.FeatureCorrelation
 	// ValidationResult summarizes the GPS-vs-IP experiment.
 	ValidationResult = analysis.ValidationResult
+	// SpanRecorder is the bounded ring buffer collecting finished spans.
+	SpanRecorder = telemetry.SpanRecorder
+	// SpanRecord is one finished span as read back from a recorder.
+	SpanRecord = telemetry.SpanRecord
 )
+
+// WriteChromeTrace renders recorded spans in Chrome trace-event format
+// (loadable in Perfetto or chrome://tracing); byte-deterministic for a
+// deterministic span set.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	return telemetry.WriteChromeTrace(w, spans)
+}
 
 // Granularity constants, fine to coarse.
 const (
@@ -100,6 +113,12 @@ type StudyConfig struct {
 	// Epoch is the virtual day-0 instant (default 2015-06-01 UTC, the
 	// season of the paper's data collection).
 	Epoch time.Time
+	// TraceCapacity, when positive, turns on span recording: NewStudy
+	// builds a SpanRecorder of this capacity on the study's virtual
+	// clock (so the recorded timeline is deterministic) and exposes it
+	// as Study.Spans. Export it with WriteChromeTrace — cmd/repro's
+	// -trace-out does exactly that.
+	TraceCapacity int
 }
 
 // DefaultStudyConfig returns the full-fidelity study setup.
@@ -122,6 +141,9 @@ type Study struct {
 	Engine *engine.Engine
 	// Crawler is the measurement harness.
 	Crawler *crawler.Crawler
+	// Spans is the study's span timeline (nil unless
+	// StudyConfig.TraceCapacity was positive).
+	Spans *SpanRecorder
 
 	server *serpserver.Server
 }
@@ -137,7 +159,13 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 	clk := simclock.NewManual(cfg.Epoch)
 	eng := engine.New(cfg.Engine, clk)
-	srv, err := serpserver.Listen(cfg.ListenAddr, serpserver.NewHandler(eng))
+	var spans *telemetry.SpanRecorder
+	var handlerOpts []serpserver.HandlerOption
+	if cfg.TraceCapacity > 0 {
+		spans = telemetry.NewSpanRecorder(cfg.TraceCapacity, clk)
+		handlerOpts = append(handlerOpts, serpserver.WithSpans(spans))
+	}
+	srv, err := serpserver.Listen(cfg.ListenAddr, serpserver.NewHandler(eng, handlerOpts...))
 	if err != nil {
 		return nil, fmt.Errorf("geoserp: %w", err)
 	}
@@ -147,7 +175,8 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		srv.Shutdown(context.Background())
 		return nil, fmt.Errorf("geoserp: %w", err)
 	}
-	return &Study{Clock: clk, Engine: eng, Crawler: cr, server: srv}, nil
+	cr.Spans = spans
+	return &Study{Clock: clk, Engine: eng, Crawler: cr, Spans: spans, server: srv}, nil
 }
 
 // ServerURL returns the in-process SERP server's base URL.

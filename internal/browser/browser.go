@@ -110,6 +110,11 @@ type Browser struct {
 	rateLimitCtr *telemetry.Counter
 	retryCtr     *telemetry.Counter
 
+	// spans, when set, records one "browser.fetch" span per attempt so
+	// retry backoff and per-attempt outcomes are visible on the campaign
+	// timeline (nil without WithSpans — the zero-cost default).
+	spans *telemetry.SpanRecorder
+
 	// Retry policy for transient failures (429s, 5xx, transport errors).
 	maxAttempts int
 	backoff     time.Duration
@@ -199,6 +204,13 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 	}
 }
 
+// WithSpans records one client span per fetch attempt on rec. Each
+// attempt also advertises its number via the X-Trace-Attempt header so the
+// server's spans distinguish retries of the same trace.
+func WithSpans(rec *telemetry.SpanRecorder) Option {
+	return func(b *Browser) { b.spans = rec }
+}
+
 // New creates a browser pointed at the search service base URL.
 func New(baseURL string, opts ...Option) (*Browser, error) {
 	u, err := url.Parse(baseURL)
@@ -285,31 +297,77 @@ func (b *Browser) SearchContext(ctx context.Context, term string) (*serp.Page, e
 	if term == "" {
 		return nil, fmt.Errorf("browser: empty search term")
 	}
+	// Under a virtual clock, hold the driver while the fetch's real I/O
+	// is in flight: every clock read inside the attempt — client, server,
+	// and engine span timestamps — then lands on the deterministic instant
+	// the attempt started at, not wherever the clock hopped to mid-wire.
+	// A dispatcher that already holds (the crawler) passes its hold via
+	// ctx; otherwise the browser manages its own.
+	held := simclock.HeldFrom(ctx)
+	if held == nil {
+		if h := simclock.HolderOf(b.clock); h != nil {
+			h.Hold()
+			defer h.Release()
+			held = h
+			ctx = simclock.WithHeld(ctx, h)
+		}
+	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		page, err := b.fetchOnce(ctx, term)
+		// One client span per attempt: retries of a trace appear as
+		// sibling spans whose gaps are the backoff sleeps.
+		var span *telemetry.Span
+		if b.spans != nil {
+			span = b.spans.StartRootSeq(b.traceID, "browser.fetch", attempt)
+			span.SetAttr("term", term)
+			span.SetAttr("attempt", fmt.Sprint(attempt))
+		}
+		page, err := b.fetchOnce(ctx, term, attempt)
 		if err == nil {
+			if span != nil {
+				span.SetAttr("outcome", "ok")
+				span.End()
+			}
 			return page, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil || !IsTransient(err) || attempt >= b.maxAttempts {
+			if span != nil {
+				span.SetAttr("outcome", "error")
+				span.SetAttr("err", errAttr(err))
+				span.End()
+			}
 			return nil, lastErr
 		}
 		b.retries++
 		if b.retryCtr != nil {
 			b.retryCtr.Inc()
 		}
-		if b.backoff > 0 {
-			b.clock.Sleep(time.Duration(attempt) * b.backoff)
+		sleep := time.Duration(attempt) * b.backoff
+		if span != nil {
+			span.SetAttr("outcome", "retry")
+			span.SetAttr("err", errAttr(err))
+			if sleep > 0 {
+				span.SetAttr("backoff", sleep.String())
+			}
+			span.End()
+		}
+		if sleep > 0 {
+			if held != nil {
+				held.SleepHeld(sleep)
+			} else {
+				b.clock.Sleep(sleep)
+			}
 		}
 	}
 }
 
-// fetchOnce performs a single fetch+parse.
-func (b *Browser) fetchOnce(ctx context.Context, term string) (*serp.Page, error) {
+// fetchOnce performs a single fetch+parse. attempt is the 1-based try
+// number, advertised to the server so its spans key each retry distinctly.
+func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int) (*serp.Page, error) {
 	u := *b.base
 	u.Path = "/search"
 	q := url.Values{}
@@ -337,6 +395,7 @@ func (b *Browser) fetchOnce(ctx context.Context, term string) (*serp.Page, error
 	}
 	if b.traceID != "" {
 		req.Header.Set(telemetry.TraceHeader, b.traceID)
+		req.Header.Set(telemetry.AttemptHeader, fmt.Sprint(attempt))
 	}
 
 	resp, err := b.client.Do(req)
@@ -398,6 +457,18 @@ func (b *Browser) SearchAndReset(term string) (*serp.Page, error) {
 	page, err := b.Search(term)
 	b.ClearCookies()
 	return page, err
+}
+
+// errAttr renders err for a span attribute. URL errors are unwrapped to
+// their transport cause first: the wrapped form embeds the full request
+// URL — including the server's ephemeral port — which would make
+// otherwise-deterministic campaign timelines differ across runs.
+func errAttr(err error) string {
+	var uerr *url.Error
+	if errors.As(err, &uerr) {
+		return truncate(uerr.Err.Error(), 120)
+	}
+	return truncate(err.Error(), 120)
 }
 
 // truncate shortens s to at most n bytes plus an ellipsis, cutting on a

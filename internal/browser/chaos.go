@@ -90,7 +90,14 @@ func (c *ChaosTransport) attemptKey(req *http.Request) string {
 func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	rng := detrand.NewKeyed(c.cfg.Seed, "chaos", c.attemptKey(req))
 	if c.cfg.Latency > 0 {
-		c.cfg.Clock.Sleep(c.cfg.Latency)
+		// A caller holding a virtual clock (see simclock.Holder) must
+		// sleep through SleepHeld, or the driver it is holding off would
+		// never advance past this very sleep.
+		if h := simclock.HeldFrom(req.Context()); h != nil {
+			h.SleepHeld(c.cfg.Latency)
+		} else {
+			c.cfg.Clock.Sleep(c.cfg.Latency)
+		}
 	}
 	if rng.Bool(c.cfg.ErrorRate) {
 		c.injected.Add(1)

@@ -129,6 +129,12 @@ type Crawler struct {
 	// builds. Fault-injection tests pass a browser.ChaosTransport here;
 	// production leaves it nil.
 	Transport http.RoundTripper
+	// Spans, when set, records the campaign timeline: one span per
+	// campaign, phase, and term sweep (nested), plus one "browser.fetch"
+	// span per fetch attempt across the pool. Campaigns on a Manual clock
+	// record a deterministic timeline; cmd/crawl and cmd/repro write it
+	// out in Chrome trace-event format via -trace-out.
+	Spans *telemetry.SpanRecorder
 
 	inst *crawlInstruments
 	ckpt *checkpointState
@@ -260,8 +266,27 @@ func (c *Crawler) reliabilityOptions() []browser.Option {
 	if c.Transport != nil {
 		opts = append(opts, browser.WithTransport(c.Transport))
 	}
+	if c.Spans != nil {
+		opts = append(opts, browser.WithSpans(c.Spans))
+	}
 	opts = append(opts, browser.WithClock(c.clock))
 	return opts
+}
+
+// startSpan opens a span on the campaign recorder: a child of the span
+// already on ctx when there is one, else a root of the campaign trace.
+// A crawler without Spans gets nil no-op spans throughout.
+func (c *Crawler) startSpan(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	if c.Spans == nil {
+		return ctx, nil
+	}
+	if telemetry.SpanRecorderFrom(ctx) == nil {
+		ctx = telemetry.WithSpanRecorder(ctx, c.Spans)
+	}
+	if telemetry.TraceID(ctx) == "" {
+		ctx = telemetry.WithTraceID(ctx, telemetry.MintTraceID(0, "campaign"))
+	}
+	return telemetry.StartSpan(ctx, name)
 }
 
 // fetchResult carries one worker's outcome back to the scheduler.
@@ -285,6 +310,10 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 	if p.Days <= 0 {
 		return nil, fmt.Errorf("crawler: phase %q has no days", p.Name)
 	}
+	ctx, span := c.startSpan(ctx, "crawler.phase")
+	span.SetAttr("phase", p.Name)
+	span.SetAttr("days", fmt.Sprint(p.Days))
+	defer span.End()
 	var all []storage.Observation
 	if c.ckpt != nil {
 		// Observations recovered from the checkpoint file slot in ahead of
@@ -404,6 +433,9 @@ func (c *Crawler) RunCampaign(phases []Phase) ([]storage.Observation, error) {
 
 // RunCampaignContext is RunCampaign with cancellation.
 func (c *Crawler) RunCampaignContext(ctx context.Context, phases []Phase) ([]storage.Observation, error) {
+	ctx, span := c.startSpan(ctx, "crawler.campaign")
+	span.SetAttr("phases", fmt.Sprint(len(phases)))
+	defer span.End()
 	var all []storage.Observation
 	for _, p := range phases {
 		obs, err := c.RunPhaseContext(ctx, p)
@@ -428,10 +460,21 @@ func (c *Crawler) RunCampaignContext(ctx context.Context, phases []Phase) ([]sto
 // done the sweep returns the context's error without charging the budget.
 func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, g geo.Granularity, day int, vans []vantage) ([]storage.Observation, error) {
 	inst := c.instruments()
+	ctx, span := c.startSpan(ctx, "crawler.sweep")
+	span.SetAttr("term", q.Term)
+	span.SetAttr("granularity", g.Short())
+	span.SetAttr("day", fmt.Sprint(day))
+	defer span.End()
 	results := make(chan fetchResult, len(vans)*2)
 	var wg sync.WaitGroup
 	now := c.clock.Now()
 	roundStart := time.Now()
+	// Hold the virtual clock per worker from *before* launch: the driver
+	// may not hop to a parked retry deadline while any fetch in this round
+	// is still runnable but not yet on the wire. Workers release on exit;
+	// backoff sleeps inside SearchContext go through SleepHeld.
+	holder := simclock.HolderOf(c.clock)
+	fetchCtx := simclock.WithHeld(ctx, holder)
 	for _, v := range vans {
 		for _, role := range []storage.Role{storage.Treatment, storage.Control} {
 			b := v.treatment
@@ -440,8 +483,14 @@ func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, 
 			}
 			trace := telemetry.MintTraceID(0, phase, g.Short(), fmt.Sprint(day), q.Term, v.loc.ID, string(role))
 			wg.Add(1)
+			if holder != nil {
+				holder.Hold()
+			}
 			go func(v vantage, role storage.Role, b *browser.Browser, trace string) {
 				defer wg.Done()
+				if holder != nil {
+					defer holder.Release()
+				}
 				inst.queries.Inc()
 				if c.Logger != nil {
 					c.Logger.Debug("fetch",
@@ -450,7 +499,7 @@ func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, 
 				}
 				b.SetTraceID(trace)
 				retriesBefore := b.Retries()
-				page, err := b.SearchContext(ctx, q.Term)
+				page, err := b.SearchContext(fetchCtx, q.Term)
 				if c.cfg.ClearCookies {
 					b.ClearCookies()
 				}
@@ -533,6 +582,10 @@ func (c *Crawler) RunValidation(terms []queries.Query, gps geo.Point, nVantage i
 		return nil, fmt.Errorf("crawler: need at least one vantage")
 	}
 	c.instruments() // ensure c.Telemetry exists for the browser pool
+	_, span := c.startSpan(context.Background(), "crawler.validation")
+	span.SetAttr("vantages", fmt.Sprint(nVantage))
+	span.SetAttr("terms", fmt.Sprint(len(terms)))
+	defer span.End()
 	browsers := make([]*browser.Browser, nVantage)
 	for i := range browsers {
 		// Spread vantages across distinct /8s, like PlanetLab sites at
@@ -554,15 +607,23 @@ func (c *Crawler) RunValidation(terms []queries.Query, gps geo.Point, nVantage i
 		pages := make([]*serp.Page, nVantage)
 		errs := make([]error, nVantage)
 		var wg sync.WaitGroup
+		holder := simclock.HolderOf(c.clock)
+		fetchCtx := simclock.WithHeld(context.Background(), holder)
 		for i, b := range browsers {
 			wg.Add(1)
+			if holder != nil {
+				holder.Hold()
+			}
 			go func(i int, b *browser.Browser) {
 				defer wg.Done()
+				if holder != nil {
+					defer holder.Release()
+				}
 				// Trace-keyed like campaign fetches, so the validation
 				// pages — printed first by cmd/repro — are reproducible
 				// regardless of goroutine arrival order.
 				b.SetTraceID(telemetry.MintTraceID(0, "validation", q.Term, fmt.Sprint(i)))
-				p, err := b.Search(q.Term)
+				p, err := b.SearchContext(fetchCtx, q.Term)
 				if c.cfg.ClearCookies {
 					b.ClearCookies()
 				}

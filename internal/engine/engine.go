@@ -59,6 +59,11 @@ type Request struct {
 	// byte-for-byte reproducible regardless of arrival order; untraced
 	// traffic falls back to an arrival-order sequence number.
 	TraceID string
+	// Span, when non-nil, is the caller's server span; Search hangs one
+	// child span per ranking stage off it (parse, noise, history,
+	// retrieve, rerank, assemble) so a divergent card can be attributed to
+	// the stage that produced it. A nil Span costs only nil checks.
+	Span *telemetry.Span
 }
 
 // Response is a served page plus the serving metadata the study could not
@@ -124,6 +129,14 @@ type instruments struct {
 	rankDur      *telemetry.Histogram
 	historyDur   *telemetry.Histogram
 	ratelimitDur *telemetry.Histogram
+	// stage holds the engine_stage_duration_seconds children, one per
+	// ranking stage, pre-resolved so Search never takes the vec's lock.
+	stageParse    *telemetry.Histogram
+	stageNoise    *telemetry.Histogram
+	stageHistory  *telemetry.Histogram
+	stageRetrieve *telemetry.Histogram
+	stageRerank   *telemetry.Histogram
+	stageAssemble *telemetry.Histogram
 }
 
 // newInstruments registers the engine's metric families on reg.
@@ -140,6 +153,14 @@ func newInstruments(reg *telemetry.Registry, dcNames []string) instruments {
 	for i, name := range dcNames {
 		inst.dcCounters[i] = inst.requestsByDC.With(name)
 	}
+	stages := reg.HistogramVec("engine_stage_duration_seconds",
+		"Wall-clock time per ranking stage (matches the engine.* span names).", "stage", nil)
+	inst.stageParse = stages.With("parse")
+	inst.stageNoise = stages.With("noise")
+	inst.stageHistory = stages.With("history")
+	inst.stageRetrieve = stages.With("retrieve")
+	inst.stageRerank = stages.With("rerank")
+	inst.stageAssemble = stages.With("assemble")
 	return inst
 }
 
@@ -307,6 +328,10 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		return nil, ErrRateLimited
 	}
 
+	// --- Stage: parse (replica routing, location resolution, intent) ---
+	parseSpan := req.Span.StartChild("engine.parse")
+	parseStart := time.Now()
+
 	// Replica routing: pinned, or hashed from the client IP the way
 	// anycast DNS would spread clients.
 	dc := req.Datacenter
@@ -326,6 +351,11 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	day := e.Day()
 
 	class, topic := e.classify(req.Query)
+	e.inst.stageParse.ObserveSince(parseStart)
+	parseSpan.SetAttr("datacenter", dc)
+	parseSpan.SetAttr("location_source", source)
+	parseSpan.SetAttr("region", qRegion)
+	parseSpan.End()
 
 	// Per-request randomness: bucket assignment and score jitter. Two
 	// simultaneous identical requests draw distinct keys — distinct trace
@@ -335,6 +365,8 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	// treatment/control pairs. Keying on the trace ID rather than the
 	// arrival order makes traced campaigns reproducible: concurrent fetch
 	// interleaving no longer feeds the noise model.
+	noiseSpan := req.Span.StartChild("engine.noise")
+	noiseStart := time.Now()
 	seqNo := e.reqCount.Add(1)
 	if seqNo%4096 == 0 {
 		// Amortized cleanup of abandoned one-shot sessions (crawlers
@@ -358,16 +390,33 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	bucketNo := rrng.Intn(e.cfg.Buckets)
 	bp := e.bucket(bucketNo, baseMapsProb)
 	authMult, regionMult := e.dcSkew(dc)
+	e.inst.stageNoise.ObserveSince(noiseStart)
+	if noiseSpan != nil { // attr formatting allocates; skip it untraced
+		noiseSpan.SetAttr("bucket", fmt.Sprint(bucketNo))
+	}
+	noiseSpan.End()
 
+	histSpan := req.Span.StartChild("engine.history")
 	histStart := time.Now()
 	recent := e.history.recent(req.SessionID, now)
 	e.inst.historyDur.ObserveSince(histStart)
+	e.inst.stageHistory.ObserveSince(histStart)
+	histSpan.End()
 	jitter := func(sigma float64) float64 { return rrng.Norm() * sigma }
 
 	rankStart := time.Now()
 
 	// --- Web vertical ---
+	retrieveSpan := req.Span.StartChild("engine.retrieve")
+	retrieveStart := time.Now()
 	hits := e.idx.Search(req.Query, 48)
+	e.inst.stageRetrieve.ObserveSince(retrieveStart)
+	if retrieveSpan != nil {
+		retrieveSpan.SetAttr("hits", fmt.Sprint(len(hits)))
+	}
+	retrieveSpan.End()
+	rerankSpan := req.Span.StartChild("engine.rerank")
+	rerankStart := time.Now()
 	var cands []candidate
 	maxRel := 0.0
 	for _, h := range hits {
@@ -471,7 +520,15 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		}
 	}
 
+	e.inst.stageRerank.ObserveSince(rerankStart)
+	if rerankSpan != nil {
+		rerankSpan.SetAttr("candidates", fmt.Sprint(len(cands)))
+	}
+	rerankSpan.End()
+
 	// --- Assembly ---
+	assembleSpan := req.Span.StartChild("engine.assemble")
+	assembleStart := time.Now()
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score
@@ -526,6 +583,11 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	if newsCard != nil {
 		page.Cards = append(page.Cards, *newsCard)
 	}
+	e.inst.stageAssemble.ObserveSince(assembleStart)
+	if assembleSpan != nil {
+		assembleSpan.SetAttr("cards", fmt.Sprint(len(page.Cards)))
+	}
+	assembleSpan.End()
 
 	e.inst.rankDur.ObserveSince(rankStart)
 	e.history.record(req.SessionID, topic, now)

@@ -2,6 +2,7 @@ package serpserver
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -48,18 +49,33 @@ func (c ChaosConfig) Enabled() bool {
 
 // chaosMiddleware injects faults in front of next.
 type chaosMiddleware struct {
-	cfg  ChaosConfig
-	next http.Handler
-	ctr  *telemetry.CounterVec // serpd_chaos_injected_total{kind}
+	cfg   ChaosConfig
+	next  http.Handler
+	ctr   *telemetry.CounterVec // serpd_chaos_injected_total{kind}
+	spans *telemetry.SpanRecorder
 
 	mu       sync.Mutex
 	attempts map[string]int
 	seq      atomic.Uint64
 }
 
+// chaosNoteKey carries the injected-fault kind to the handler's request
+// span when the handler still runs (the truncate fault renders the full
+// page before the cut, so the fault is only visible as an attribute).
+type chaosNoteKey struct{}
+
+// chaosNote returns the fault kind the chaos middleware noted on the
+// context ("" when none).
+func chaosNote(ctx context.Context) string {
+	kind, _ := ctx.Value(chaosNoteKey{}).(string)
+	return kind
+}
+
 // WithChaos wraps a handler with fault injection per cfg. The injected
 // fault counts are exposed through reg (the handler's own registry) as
-// serpd_chaos_injected_total{kind}.
+// serpd_chaos_injected_total{kind}; when the handler records spans, faults
+// that short-circuit it (abort, 5xx) are recorded as "serpd.chaos" spans
+// so the timeline still explains the client-visible failure.
 func WithChaos(cfg ChaosConfig, h *Handler) http.Handler {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Wall()
@@ -69,20 +85,35 @@ func WithChaos(cfg ChaosConfig, h *Handler) http.Handler {
 		next: h,
 		ctr: h.Telemetry().CounterVec("serpd_chaos_injected_total",
 			"Faults deliberately injected by the chaos middleware, by kind.", "kind"),
+		spans:    h.spans,
 		attempts: make(map[string]int),
 	}
 }
 
-func (c *chaosMiddleware) attemptKey(r *http.Request) string {
-	trace := r.Header.Get(telemetry.TraceHeader)
+// attempt identifies one /search arrival: its trace ID ("" untraced), its
+// 1-based per-trace attempt number (a global sequence number untraced),
+// and the key that feeds the fault draws.
+func (c *chaosMiddleware) attempt(r *http.Request) (trace string, n int, key string) {
+	trace = r.Header.Get(telemetry.TraceHeader)
 	if trace == "" {
-		return fmt.Sprintf("seq-%d", c.seq.Add(1))
+		n = int(c.seq.Add(1))
+		return "", n, fmt.Sprintf("seq-%d", n)
 	}
 	c.mu.Lock()
 	c.attempts[trace]++
-	n := c.attempts[trace]
+	n = c.attempts[trace]
 	c.mu.Unlock()
-	return fmt.Sprintf("%s-%d", trace, n)
+	return trace, n, fmt.Sprintf("%s-%d", trace, n)
+}
+
+// chaosSpan records an injected fault that short-circuits the handler.
+func (c *chaosMiddleware) chaosSpan(trace string, n int, kind string) {
+	if c.spans == nil {
+		return
+	}
+	s := c.spans.StartRootSeq(trace, "serpd.chaos", n)
+	s.SetAttr("kind", kind)
+	s.End()
 }
 
 func (c *chaosMiddleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -90,28 +121,33 @@ func (c *chaosMiddleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		c.next.ServeHTTP(w, r)
 		return
 	}
-	rng := detrand.NewKeyed(c.cfg.Seed, "serpd-chaos", c.attemptKey(r))
+	trace, n, key := c.attempt(r)
+	rng := detrand.NewKeyed(c.cfg.Seed, "serpd-chaos", key)
 	if c.cfg.Latency > 0 {
 		c.cfg.Clock.Sleep(c.cfg.Latency)
 	}
 	switch {
 	case rng.Bool(c.cfg.AbortRate):
 		c.ctr.With("abort").Inc()
+		c.chaosSpan(trace, n, "abort")
 		// Sever the connection without a response: net/http treats this
 		// panic as a deliberate abort, and the client sees a transport
 		// error.
 		panic(http.ErrAbortHandler)
 	case rng.Bool(c.cfg.ServerErrorRate):
 		c.ctr.With("5xx").Inc()
+		c.chaosSpan(trace, n, "5xx")
 		http.Error(w, "chaos: injected server error", http.StatusInternalServerError)
 	case rng.Bool(c.cfg.TruncateRate):
 		c.ctr.With("truncate").Inc()
 		// Render the full response into a buffer, promise its full length,
 		// deliver half, then abort — the client observes a mid-body cut,
-		// not a short-but-complete page.
+		// not a short-but-complete page. The handler runs normally, so its
+		// own span carries the fault as a chaos=truncate attribute.
 		var buf bytes.Buffer
 		bw := &bufferedResponse{header: make(http.Header), body: &buf}
-		c.next.ServeHTTP(bw, r)
+		c.next.ServeHTTP(bw, r.WithContext(
+			context.WithValue(r.Context(), chaosNoteKey{}, "truncate")))
 		for k, vs := range bw.header {
 			w.Header()[k] = vs
 		}

@@ -45,6 +45,7 @@ type Handler struct {
 	mux    *http.ServeMux
 	tel    *telemetry.Registry
 	logger *slog.Logger
+	spans  *telemetry.SpanRecorder
 	inst   httpInstruments
 }
 
@@ -65,6 +66,15 @@ type HandlerOption func(*Handler)
 // with method, path, client IP, status, duration, and trace ID.
 func WithLogger(l *slog.Logger) HandlerOption {
 	return func(h *Handler) { h.logger = l }
+}
+
+// WithSpans installs a span recorder: every /search request gets a
+// "serpd.request" span (keyed off the incoming X-Trace-Id and
+// X-Trace-Attempt headers, so retried fetches get distinct spans) with the
+// engine's stage spans as children, and the handler mounts GET /tracez
+// over the recorder.
+func WithSpans(rec *telemetry.SpanRecorder) HandlerOption {
+	return func(h *Handler) { h.spans = rec }
 }
 
 // NewHandler builds the front end. Its metrics live on the engine's
@@ -88,6 +98,9 @@ func NewHandler(eng *engine.Engine, opts ...HandlerOption) *Handler {
 	h.mux.HandleFunc("GET /healthz", h.handleHealth)
 	h.mux.HandleFunc("GET /statz", h.handleStats)
 	h.mux.Handle("GET /metricsz", h.tel.MetricsHandler())
+	if h.spans != nil {
+		h.mux.Handle("GET /tracez", telemetry.TracezHandler(h.spans))
+	}
 	return h
 }
 
@@ -137,11 +150,39 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r = r.WithContext(telemetry.WithTraceID(r.Context(), trace))
 	}
 	rec := &statusRecorder{ResponseWriter: w}
+	var span *telemetry.Span
+	if h.spans != nil && r.URL.Path == "/search" {
+		// One server span per fetch attempt: the attempt header folds into
+		// the span ID, so each retry of a trace is a distinct span even
+		// though trace ID and span name repeat.
+		attempt := 0
+		if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				attempt = n
+			}
+		}
+		span = h.spans.StartRootSeq(trace, "serpd.request", attempt)
+		r = r.WithContext(telemetry.WithSpan(
+			telemetry.WithSpanRecorder(r.Context(), h.spans), span))
+	}
 	start := time.Now()
 	h.mux.ServeHTTP(rec, r)
 	dur := time.Since(start)
 	h.inst.duration.Observe(dur.Seconds())
 	h.inst.byCode.With(strconv.Itoa(rec.Status())).Inc()
+	if span != nil {
+		span.SetAttr("status", strconv.Itoa(rec.Status()))
+		if rec.Status() == http.StatusTooManyRequests {
+			span.SetAttr("ratelimited", "true")
+		}
+		if dc := rec.Header().Get("X-Served-By"); dc != "" {
+			span.SetAttr("datacenter", dc)
+		}
+		if kind := chaosNote(r.Context()); kind != "" {
+			span.SetAttr("chaos", kind)
+		}
+		span.End()
+	}
 	if h.logger != nil {
 		h.logger.Info("request",
 			"method", r.Method,
@@ -227,6 +268,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Datacenter: r.Header.Get(DatacenterHeader),
 		UserAgent:  r.UserAgent(),
 		TraceID:    telemetry.TraceID(r.Context()),
+		Span:       telemetry.SpanFrom(r.Context()),
 	}
 	resp, err := h.eng.Search(req)
 	switch {

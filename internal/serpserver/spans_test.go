@@ -1,0 +1,135 @@
+package serpserver
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+func spanHandler(t *testing.T, mutate func(*engine.Config), extra ...HandlerOption) (*Handler, *telemetry.SpanRecorder) {
+	t.Helper()
+	clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
+	cfg := engine.DefaultConfig()
+	cfg.RateBurst = 1 << 20
+	cfg.RatePerMinute = 1 << 20
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rec := telemetry.NewSpanRecorder(256, clk)
+	opts := append([]HandlerOption{WithSpans(rec)}, extra...)
+	return NewHandler(engine.New(cfg, clk), opts...), rec
+}
+
+// TestRequestSpanRecorded: a traced /search leaves one "serpd.request"
+// span carrying the request's trace ID, status, and serving datacenter,
+// with the engine stage spans parented under it.
+func TestRequestSpanRecorded(t *testing.T) {
+	h, rec := spanHandler(t, nil)
+	w := get(t, h, "/search?q=Coffee&ll=41.4993,-81.6944", map[string]string{
+		telemetry.TraceHeader: "cafe0123cafe0123",
+	})
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var reqSpan *telemetry.SpanRecord
+	stages := 0
+	for _, s := range rec.Snapshot() {
+		s := s
+		if s.TraceID != "cafe0123cafe0123" {
+			t.Fatalf("span %s minted under trace %q", s.Name, s.TraceID)
+		}
+		switch {
+		case s.Name == "serpd.request":
+			reqSpan = &s
+		case len(s.Name) > 7 && s.Name[:7] == "engine.":
+			stages++
+		}
+	}
+	if reqSpan == nil {
+		t.Fatal("no serpd.request span recorded")
+	}
+	if got := reqSpan.Attr("status"); got != "200" {
+		t.Fatalf("status attr = %q", got)
+	}
+	if reqSpan.Attr("datacenter") == "" {
+		t.Fatal("request span missing datacenter attr")
+	}
+	if stages < 5 {
+		t.Fatalf("engine stage spans = %d, want >= 5 (parse/noise/retrieve/rerank/assemble)", stages)
+	}
+	for _, s := range rec.Snapshot() {
+		if s.Name == "engine.parse" && s.ParentID != reqSpan.SpanID {
+			t.Fatal("engine.parse not parented under serpd.request")
+		}
+	}
+}
+
+// TestTracezMountedWithSpans: the /tracez endpoint exists exactly when a
+// recorder is configured.
+func TestTracezMountedWithSpans(t *testing.T) {
+	h, _ := spanHandler(t, nil)
+	get(t, h, "/search?q=Coffee&ll=41.5,-81.7", map[string]string{
+		telemetry.TraceHeader: "beef0123beef0123",
+	})
+	w := get(t, h, "/tracez", nil)
+	if w.Code != 200 {
+		t.Fatalf("/tracez status = %d", w.Code)
+	}
+	var body struct {
+		Capacity int `json:"capacity"`
+		Traces   []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/tracez is not JSON: %v", err)
+	}
+	if body.Capacity != 256 || len(body.Traces) == 0 {
+		t.Fatalf("tracez = %+v", body)
+	}
+	if body.Traces[0].TraceID != "beef0123beef0123" {
+		t.Fatalf("trace id = %q", body.Traces[0].TraceID)
+	}
+
+	// Without a recorder, the endpoint does not exist.
+	bare := testHandler(t, nil)
+	if w := get(t, bare, "/tracez", nil); w.Code != 404 {
+		t.Fatalf("/tracez without spans = %d, want 404", w.Code)
+	}
+}
+
+// TestChaosDecisionsAttributedInSpans: injected faults are visible in the
+// span stream — a 500 shows up as a "serpd.chaos" span keyed to the same
+// trace, so a slow or failed fetch can be attributed server-side.
+func TestChaosDecisionsAttributedInSpans(t *testing.T) {
+	h, rec := spanHandler(t, nil)
+	chaos := WithChaos(ChaosConfig{Seed: 3, ServerErrorRate: 1}, h)
+	srv := httptest.NewServer(chaos)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/search?q=Coffee&ll=41.5,-81.7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status = %d, want injected 500", resp.StatusCode)
+	}
+	found := false
+	for _, s := range rec.Snapshot() {
+		if s.Name == "serpd.chaos" {
+			found = true
+			if got := s.Attr("kind"); got != "5xx" {
+				t.Fatalf("chaos span kind = %q, want 5xx", got)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no serpd.chaos span for an injected 500")
+	}
+}

@@ -12,6 +12,7 @@
 package simclock
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -48,17 +49,27 @@ type Manual struct {
 	// a pending signal is never lost while the driver is advancing. See
 	// SleeperArrived.
 	arrived chan struct{}
+	// holds counts workers doing real (wall-clock) work that virtual
+	// time must not hop past; see Hold. idle is broadcast when it
+	// reaches zero.
+	holds int
+	idle  sync.Cond
 }
 
 type sleeper struct {
 	deadline time.Time
 	ch       chan struct{}
+	// rehold re-acquires a hold at the wake-up instant, atomically with
+	// the release — the worker resumes already holding, so the driver
+	// cannot hop again before it parks or finishes. See SleepHeld.
+	rehold bool
 }
 
 // NewManual returns a Manual clock starting at the given instant.
 func NewManual(start time.Time) *Manual {
 	m := &Manual{now: start, arrived: make(chan struct{}, 1)}
 	m.waiting.L = &m.mu
+	m.idle.L = &m.mu
 	return m
 }
 
@@ -97,6 +108,116 @@ func (m *Manual) insertLocked(s *sleeper) {
 	}
 }
 
+// Holder is the hold/quiesce surface of a clock whose driver must not
+// advance virtual time past in-flight real work. Manual implements it;
+// use HolderOf to discover it behind the Clock interface.
+//
+// The protocol: a worker (or its dispatcher, before launching it) calls
+// Hold, does its real work — HTTP fetches, parsing — and calls Release
+// when done. Drivers (DriveUntil, RunUntilIdle) advance the clock only
+// while no holds are out, so a virtual timestamp taken mid-work is the
+// instant the work logically started at, not whatever the clock hopped
+// to while the I/O was in flight. Without holds, span timelines and any
+// other mid-flight clock reads become racy: the driver may hop to a
+// parked sleeper's deadline while another worker's fetch is still on the
+// wire.
+type Holder interface {
+	// Hold defers clock advancement until the matching Release.
+	Hold()
+	// Release undoes one Hold.
+	Release()
+	// SleepHeld is Sleep for a holding worker: it releases the hold for
+	// the duration (so the driver can advance) and re-acquires it at the
+	// wake-up instant, atomically — the driver cannot hop past the wake
+	// time before the worker resumes.
+	SleepHeld(d time.Duration)
+}
+
+// HolderOf returns clk's Holder when it has one (Manual does), nil
+// otherwise (Wall: real time cannot be held).
+func HolderOf(clk Clock) Holder {
+	h, _ := clk.(Holder)
+	return h
+}
+
+type heldKey struct{}
+
+// WithHeld records in ctx that the caller runs under h.Hold(), so nested
+// code that must sleep on the clock (e.g. an injected-latency transport)
+// can find the hold and use SleepHeld instead of deadlocking the driver.
+// A nil h returns ctx unchanged.
+func WithHeld(ctx context.Context, h Holder) context.Context {
+	if h == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, heldKey{}, h)
+}
+
+// HeldFrom returns the Holder recorded by WithHeld, or nil.
+func HeldFrom(ctx context.Context) Holder {
+	h, _ := ctx.Value(heldKey{}).(Holder)
+	return h
+}
+
+// Hold marks the caller (or a worker it is about to launch) as doing
+// real work; drivers will not advance the clock until Release.
+func (m *Manual) Hold() {
+	m.mu.Lock()
+	m.holds++
+	m.mu.Unlock()
+}
+
+// Release undoes one Hold, waking any driver waiting to advance.
+func (m *Manual) Release() {
+	m.mu.Lock()
+	if m.holds > 0 {
+		m.holds--
+	}
+	if m.holds == 0 {
+		m.idle.Broadcast()
+	}
+	m.mu.Unlock()
+}
+
+// SleepHeld releases one hold, sleeps d on the virtual clock, and
+// re-acquires the hold atomically at the wake-up instant (inside the
+// Advance that releases the sleeper), so the driver cannot hop past the
+// wake time before the worker runs again. A non-positive d keeps the
+// hold and returns immediately.
+func (m *Manual) SleepHeld(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	if m.holds > 0 {
+		m.holds--
+	}
+	if m.holds == 0 {
+		m.idle.Broadcast()
+	}
+	s := &sleeper{deadline: m.now.Add(d), ch: make(chan struct{}), rehold: true}
+	m.insertLocked(s)
+	m.waiting.Broadcast()
+	m.mu.Unlock()
+	<-s.ch
+}
+
+// Holds reports the number of holds currently out.
+func (m *Manual) Holds() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.holds
+}
+
+// quiesce blocks until no holds are out.
+func (m *Manual) quiesce() {
+	m.mu.Lock()
+	for m.holds > 0 {
+		m.idle.Wait()
+	}
+	m.mu.Unlock()
+}
+
 // Advance moves the clock forward by d, releasing — in deadline order — every
 // sleeper whose deadline is reached. Advance sets the clock to each
 // intermediate deadline before releasing the sleeper blocked on it, so a
@@ -111,6 +232,9 @@ func (m *Manual) Advance(d time.Duration) {
 		s := m.sleeper[0]
 		m.sleeper = m.sleeper[1:]
 		m.now = s.deadline
+		if s.rehold {
+			m.holds++
+		}
 		close(s.ch)
 	}
 	m.now = target
@@ -178,8 +302,14 @@ func (m *Manual) DriveUntil(done <-chan struct{}) {
 			return
 		default:
 		}
-		if next, ok := m.NextDeadline(); ok {
-			m.AdvanceTo(next)
+		if _, ok := m.NextDeadline(); ok {
+			// Let in-flight real work finish before hopping (see Holder),
+			// then re-read the earliest deadline: a worker that was mid-
+			// fetch may have parked an earlier one while we waited.
+			m.quiesce()
+			if next, ok := m.NextDeadline(); ok {
+				m.AdvanceTo(next)
+			}
 			continue
 		}
 		// No sleeper: workers are mid-fetch (or finishing). Block until
@@ -202,6 +332,10 @@ func (m *Manual) RunUntilIdle(settle func()) {
 		next, ok := m.NextDeadline()
 		if !ok {
 			return
+		}
+		m.quiesce()
+		if n2, ok2 := m.NextDeadline(); ok2 && n2.Before(next) {
+			next = n2
 		}
 		m.AdvanceTo(next)
 		if settle != nil {

@@ -308,3 +308,84 @@ func TestSleeperArrivedSignals(t *testing.T) {
 	}
 	m.Advance(time.Minute)
 }
+
+// TestHoldBlocksDriver pins the quiesce protocol: with a hold out, the
+// driver must not hop to a parked sleeper's deadline; the hop happens
+// only after Release.
+func TestHoldBlocksDriver(t *testing.T) {
+	m := NewManual(epoch)
+	m.Hold()
+	go m.Sleep(time.Minute) // parks a deadline the driver wants to hop to
+	<-m.SleeperArrived()
+
+	done := make(chan struct{})
+	go func() {
+		// Give the driver a beat to (wrongly) advance, then check.
+		time.Sleep(50 * time.Millisecond)
+		if !m.Now().Equal(epoch) {
+			t.Error("driver advanced past an out hold")
+		}
+		m.Release()
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	m.DriveUntil(done)
+	if want := epoch.Add(time.Minute); !m.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v after release", m.Now(), want)
+	}
+}
+
+// TestSleepHeldReacquiresAtWake checks the atomic re-hold: a worker in
+// SleepHeld wakes up already holding, so the driver cannot hop past the
+// wake instant before the worker parks again.
+func TestSleepHeldReacquiresAtWake(t *testing.T) {
+	m := NewManual(epoch)
+	m.Hold()
+	woke := make(chan struct{})
+	go func() {
+		m.SleepHeld(time.Minute)
+		close(woke)
+	}()
+	<-m.SleeperArrived()
+	if m.Holds() != 0 {
+		t.Fatalf("holds = %d during SleepHeld, want 0", m.Holds())
+	}
+	m.Advance(time.Minute)
+	<-woke
+	if m.Holds() != 1 {
+		t.Fatalf("holds = %d after wake, want 1 (re-acquired)", m.Holds())
+	}
+	// A second sleeper parks; the driver must now wait for the worker.
+	go m.Sleep(time.Minute)
+	<-m.SleeperArrived()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		if !m.Now().Equal(epoch.Add(time.Minute)) {
+			t.Error("driver hopped past a re-acquired hold")
+		}
+		m.Release()
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	m.DriveUntil(done)
+	if want := epoch.Add(2 * time.Minute); !m.Now().Equal(want) {
+		t.Fatalf("clock = %v, want %v", m.Now(), want)
+	}
+}
+
+// TestHolderOfDiscovery: Manual exposes the Holder surface, Wall does not.
+func TestHolderOfDiscovery(t *testing.T) {
+	if HolderOf(NewManual(epoch)) == nil {
+		t.Fatal("Manual is not discovered as a Holder")
+	}
+	if HolderOf(Wall()) != nil {
+		t.Fatal("Wall pretends to be holdable")
+	}
+	// Release without Hold is a clamped no-op, not a corrupted counter.
+	m := NewManual(epoch)
+	m.Release()
+	if m.Holds() != 0 {
+		t.Fatalf("holds = %d after spurious release", m.Holds())
+	}
+}

@@ -43,6 +43,7 @@ const (
 	kindCounterVec
 	kindGauge
 	kindHistogram
+	kindHistogramVec
 )
 
 func (k metricKind) String() string {
@@ -51,7 +52,7 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
-	case kindHistogram:
+	case kindHistogram, kindHistogramVec:
 		return "histogram"
 	}
 	return "untyped"
@@ -159,6 +160,35 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 	r.families[name] = &family{name: name, help: help, kind: kindHistogram, m: h}
 	return h
+}
+
+// HistogramVec registers (or returns) a histogram family with one label
+// dimension (the stage-latency shape: one histogram per engine stage). A
+// nil buckets slice uses DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.lookup(name, kindHistogramVec); ok {
+		v := f.m.(*HistogramVec)
+		if v.label != label {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with label %q (was %q)",
+				name, label, v.label))
+		}
+		return v
+	}
+	if buckets == nil {
+		buckets = DefLatencyBuckets
+	}
+	bounds := make([]float64, len(buckets))
+	copy(bounds, buckets)
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
+		}
+	}
+	v := &HistogramVec{label: label, bounds: bounds, children: make(map[string]*Histogram)}
+	r.families[name] = &family{name: name, help: help, kind: kindHistogramVec, m: v}
+	return v
 }
 
 // Counter is a monotonically increasing uint64. Inc and Add are lock-free
@@ -288,6 +318,35 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// HistogramVec is a family of histograms distinguished by one label value,
+// all sharing the same bucket bounds.
+type HistogramVec struct {
+	label    string
+	bounds   []float64
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for a label value, creating it on first
+// use. As with CounterVec.With, the existing-child lookup is
+// allocation-free, but hot paths should pre-resolve the child once.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[value]; ok {
+		return h
+	}
+	h = &Histogram{bounds: v.bounds, counts: make([]atomic.Uint64, len(v.bounds)+1)}
+	v.children[value] = h
+	return h
+}
+
 // escapeLabel escapes a label value per the exposition format.
 func escapeLabel(v string) string {
 	if !strings.ContainsAny(v, `\"`+"\n") {
@@ -350,6 +409,27 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, m.Count())
 			fmt.Fprintf(&b, "%s_sum %s\n", f.name, formatFloat(m.Sum()))
 			fmt.Fprintf(&b, "%s_count %d\n", f.name, m.Count())
+		case *HistogramVec:
+			m.mu.RLock()
+			keys := make([]string, 0, len(m.children))
+			for k := range m.children {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				h := m.children[k]
+				lv := escapeLabel(k)
+				var cum uint64
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket{%s=\"%s\",le=%q} %d\n",
+						f.name, m.label, lv, formatFloat(bound), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket{%s=\"%s\",le=\"+Inf\"} %d\n", f.name, m.label, lv, h.Count())
+				fmt.Fprintf(&b, "%s_sum{%s=\"%s\"} %s\n", f.name, m.label, lv, formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count{%s=\"%s\"} %d\n", f.name, m.label, lv, h.Count())
+			}
+			m.mu.RUnlock()
 		}
 	}
 	_, err := io.WriteString(w, b.String())

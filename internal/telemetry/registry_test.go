@@ -86,6 +86,55 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("stage_seconds", "Per-stage latency.", "stage", []float64{0.01, 0.1})
+	v.With("rerank").Observe(0.005)
+	v.With("rerank").Observe(0.05)
+	v.With("assemble").Observe(5)
+	if again := reg.HistogramVec("stage_seconds", "", "stage", nil); again != v {
+		t.Fatal("re-registration did not return the existing vec")
+	}
+	if v.With("rerank").Count() != 2 || v.With("assemble").Count() != 1 {
+		t.Fatalf("counts: rerank=%d assemble=%d",
+			v.With("rerank").Count(), v.With("assemble").Count())
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		"# TYPE stage_seconds histogram",
+		`stage_seconds_bucket{stage="rerank",le="0.01"} 1`,
+		`stage_seconds_bucket{stage="rerank",le="0.1"} 2`,
+		`stage_seconds_bucket{stage="rerank",le="+Inf"} 2`,
+		`stage_seconds_count{stage="rerank"} 2`,
+		`stage_seconds_bucket{stage="assemble",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="assemble"} 5`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("render missing %q:\n%s", line, out)
+		}
+	}
+	// Label values sorted for stable output.
+	if strings.Index(out, `stage="assemble"`) > strings.Index(out, `stage="rerank"`) {
+		t.Fatal("histogram vec label values not sorted")
+	}
+}
+
+func TestHistogramVecLabelMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.HistogramVec("x_seconds", "", "stage", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label mismatch did not panic")
+		}
+	}()
+	reg.HistogramVec("x_seconds", "", "phase", nil)
+}
+
 func TestWritePrometheusStableAndEscaped(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("b_total", "Second.").Inc()

@@ -1,0 +1,438 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoserp/internal/simclock"
+)
+
+// The span layer gives the flat trace IDs of MintTraceID internal
+// structure: a Span is one timed operation (a fetch attempt, an engine
+// ranking stage, a whole campaign phase) with a name, key/value attributes,
+// and a parent — so "this page took 800ms" decomposes into "30ms engine,
+// 60ms chaos latency, two retries of 350ms backoff".
+//
+// Three properties matter for this repo:
+//
+//   - Determinism. Span IDs are minted from stable keys (trace ID, name,
+//     parent, sequence) — never from randomness or memory addresses — and
+//     timestamps come from an injected simclock.Clock. Under a Manual
+//     clock a campaign's recorded timeline is byte-for-byte identical
+//     across runs at the same seed.
+//   - Bounded memory. Finished spans land in a fixed-capacity ring buffer
+//     (SpanRecorder); a long-lived serpd keeps the N most recent spans and
+//     never grows without bound.
+//   - Zero-alloc hot path. StartRoot/StartChild/SetAttr/End allocate
+//     nothing in steady state: live spans come from a sync.Pool, attributes
+//     live in a fixed-size array, and recording copies the span by value
+//     into a preallocated ring slot (pinned by TestSpanHotPathZeroAlloc).
+//
+// Every Span and SpanRecorder method is nil-receiver safe, so
+// instrumented code never guards: an untraced request pays only nil checks.
+
+// AttemptHeader carries the client's 1-based fetch attempt number beside
+// TraceHeader. The server folds it into its span IDs so each retry of a
+// trace produces a distinct, deterministic server span.
+const AttemptHeader = "X-Trace-Attempt"
+
+// MaxSpanAttrs is the attribute capacity of one span; SetAttr drops
+// attributes beyond it (recorded in the span's "attrs_dropped" count).
+const MaxSpanAttrs = 8
+
+// Attr is one span attribute.
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Span is one in-flight timed operation. Obtain one from
+// SpanRecorder.StartRoot (or StartSpan with a context), optionally attach
+// attributes and children, then call End exactly once; the span is
+// recorded and recycled, and must not be touched afterwards. A nil *Span
+// is a valid no-op span.
+type Span struct {
+	rec      *SpanRecorder
+	traceID  string
+	name     string
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+	childSeq uint32 // via atomic; children started concurrently stay safe
+	dropped  uint32
+	nattrs   int
+	attrs    [MaxSpanAttrs]Attr
+}
+
+// TraceID returns the trace the span belongs to ("" for a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// SetAttr attaches a key/value attribute. Attributes beyond MaxSpanAttrs
+// are dropped (counted, surfaced as "attrs_dropped" in the record).
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	if s.nattrs >= MaxSpanAttrs {
+		s.dropped++
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Val: val}
+	s.nattrs++
+}
+
+// StartChild starts a child span. Child IDs mix the parent's ID with a
+// per-parent sequence number, so sequentially created children are
+// deterministic; concurrent operations should instead be roots of their
+// own traces (as fetch attempts are), since arrival order would leak into
+// the sequence.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	seq := atomic.AddUint32(&s.childSeq, 1)
+	c := s.rec.getSpan()
+	c.traceID = s.traceID
+	c.name = name
+	c.parentID = s.spanID
+	c.spanID = mintSpanID(s.traceID, name, s.spanID, uint64(seq))
+	c.start = s.rec.clock.Now()
+	return c
+}
+
+// End stamps the span's end time on the recorder's clock and commits it to
+// the ring buffer. The span must not be used after End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.record(s, s.rec.clock.Now())
+}
+
+// SpanRecord is one finished span as read back from a recorder — the
+// export shape for /tracez JSON and the Chrome trace writer. IDs are
+// 16-hex-digit strings; ParentID is empty for roots.
+type SpanRecord struct {
+	TraceID  string    `json:"trace_id"`
+	SpanID   string    `json:"span_id"`
+	ParentID string    `json:"parent_id,omitempty"`
+	Name     string    `json:"name"`
+	Start    time.Time `json:"start"`
+	End      time.Time `json:"end"`
+	Attrs    []Attr    `json:"attrs,omitempty"`
+}
+
+// Dur returns the span's duration.
+func (r SpanRecord) Dur() time.Duration { return r.End.Sub(r.Start) }
+
+// Attr returns the value of the named attribute ("" when absent).
+func (r SpanRecord) Attr(key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+// spanSlot is the by-value ring representation of a finished span.
+type spanSlot struct {
+	traceID  string
+	name     string
+	spanID   uint64
+	parentID uint64
+	start    time.Time
+	end      time.Time
+	dropped  uint32
+	nattrs   int
+	attrs    [MaxSpanAttrs]Attr
+}
+
+// SpanRecorder collects finished spans into a bounded ring buffer: once
+// capacity is reached the oldest span is overwritten. It is safe for
+// concurrent use, and a nil *SpanRecorder is a valid no-op recorder.
+type SpanRecorder struct {
+	clock simclock.Clock
+	cap   int
+	pool  sync.Pool
+
+	mu    sync.Mutex
+	slots []spanSlot
+	next  int    // overwrite cursor once len(slots) == cap
+	total uint64 // lifetime spans recorded
+}
+
+// DefaultSpanCapacity is the ring size when NewSpanRecorder is given a
+// non-positive capacity.
+const DefaultSpanCapacity = 4096
+
+// NewSpanRecorder returns a recorder keeping the most recent capacity
+// spans (DefaultSpanCapacity when capacity <= 0), timing them on clock
+// (wall clock when nil). Virtual-time campaigns pass their Manual clock so
+// recorded timelines are deterministic.
+func NewSpanRecorder(capacity int, clock simclock.Clock) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	if clock == nil {
+		clock = simclock.Wall()
+	}
+	r := &SpanRecorder{clock: clock, cap: capacity}
+	r.pool.New = func() any { return new(Span) }
+	return r
+}
+
+// Capacity returns the ring size.
+func (r *SpanRecorder) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// Len returns how many spans the ring currently holds.
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// Total returns how many spans have ever been recorded (including those
+// the ring has since dropped).
+func (r *SpanRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// getSpan leases a reset *Span from the pool.
+func (r *SpanRecorder) getSpan() *Span {
+	s := r.pool.Get().(*Span)
+	s.rec = r
+	s.parentID = 0
+	s.childSeq = 0
+	s.dropped = 0
+	s.nattrs = 0
+	return s
+}
+
+// StartRoot starts a root span of the given trace. Equivalent to
+// StartRootSeq with seq 0 — use StartRootSeq when the same (trace, name)
+// pair can legitimately recur (retry attempts) so each occurrence mints a
+// distinct ID.
+func (r *SpanRecorder) StartRoot(traceID, name string) *Span {
+	return r.StartRootSeq(traceID, name, 0)
+}
+
+// StartRootSeq starts a root span whose ID is minted deterministically
+// from (traceID, name, seq). A nil recorder returns a nil (no-op) span.
+func (r *SpanRecorder) StartRootSeq(traceID, name string, seq int) *Span {
+	if r == nil {
+		return nil
+	}
+	s := r.getSpan()
+	s.traceID = traceID
+	s.name = name
+	s.spanID = mintSpanID(traceID, name, 0, uint64(seq))
+	s.start = r.clock.Now()
+	return s
+}
+
+// record commits s to the ring and recycles it.
+func (r *SpanRecorder) record(s *Span, end time.Time) {
+	r.mu.Lock()
+	var slot *spanSlot
+	if len(r.slots) < r.cap {
+		r.slots = append(r.slots, spanSlot{})
+		slot = &r.slots[len(r.slots)-1]
+	} else {
+		slot = &r.slots[r.next]
+		r.next++
+		if r.next == r.cap {
+			r.next = 0
+		}
+	}
+	slot.traceID = s.traceID
+	slot.name = s.name
+	slot.spanID = s.spanID
+	slot.parentID = s.parentID
+	slot.start = s.start
+	slot.end = end
+	slot.dropped = s.dropped
+	slot.nattrs = s.nattrs
+	slot.attrs = s.attrs
+	r.total++
+	r.mu.Unlock()
+	s.rec = nil
+	r.pool.Put(s)
+}
+
+// Snapshot returns the ring's spans, oldest first, as export records.
+// Arrival order is not deterministic under concurrency; deterministic
+// consumers (WriteChromeTrace) sort by stable keys.
+func (r *SpanRecorder) Snapshot() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, 0, len(r.slots))
+	emit := func(sl *spanSlot) {
+		rec := SpanRecord{
+			TraceID: sl.traceID,
+			SpanID:  formatSpanID(sl.spanID),
+			Name:    sl.name,
+			Start:   sl.start,
+			End:     sl.end,
+		}
+		if sl.parentID != 0 {
+			rec.ParentID = formatSpanID(sl.parentID)
+		}
+		n := sl.nattrs
+		if n > 0 || sl.dropped > 0 {
+			rec.Attrs = make([]Attr, n, n+1)
+			copy(rec.Attrs, sl.attrs[:n])
+			if sl.dropped > 0 {
+				rec.Attrs = append(rec.Attrs, Attr{Key: "attrs_dropped", Val: itoa(int(sl.dropped))})
+			}
+		}
+		out = append(out, rec)
+	}
+	if len(r.slots) == r.cap {
+		for i := r.next; i < len(r.slots); i++ {
+			emit(&r.slots[i])
+		}
+		for i := 0; i < r.next; i++ {
+			emit(&r.slots[i])
+		}
+	} else {
+		for i := range r.slots {
+			emit(&r.slots[i])
+		}
+	}
+	return out
+}
+
+// ---- deterministic span-ID minting ----
+
+// hashKey is FNV-1a over traceID and name with the same 0x1f separator
+// detrand.Hash uses, hand-rolled so the hot path never converts strings to
+// byte slices (which would allocate).
+func hashKey(traceID, name string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(traceID); i++ {
+		h ^= uint64(traceID[i])
+		h *= prime64
+	}
+	h ^= 0x1f
+	h *= prime64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= 0x1f
+	h *= prime64
+	return h
+}
+
+// mintSpanID derives a span ID from stable keys via a SplitMix64 finalize.
+// Zero is reserved to mean "no parent", so minted IDs avoid it.
+func mintSpanID(traceID, name string, parent, seq uint64) uint64 {
+	z := hashKey(traceID, name) ^ parent ^ (seq+1)*0x9e3779b97f4a7c15
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// formatSpanID renders an ID as 16 hex digits without fmt (Snapshot is a
+// read path, but keeping it cheap keeps /tracez scrape-safe).
+func formatSpanID(id uint64) string {
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hex[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// itoa is a minimal non-negative integer formatter.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// ---- context plumbing ----
+
+type recorderCtxKey struct{}
+type spanCtxKey struct{}
+
+// WithSpanRecorder returns a context carrying the recorder, making
+// StartSpan usable by code that only sees the context.
+func WithSpanRecorder(ctx context.Context, r *SpanRecorder) context.Context {
+	return context.WithValue(ctx, recorderCtxKey{}, r)
+}
+
+// SpanRecorderFrom extracts the context's recorder (nil when absent).
+func SpanRecorderFrom(ctx context.Context) *SpanRecorder {
+	r, _ := ctx.Value(recorderCtxKey{}).(*SpanRecorder)
+	return r
+}
+
+// WithSpan returns a context carrying the span as the current span.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFrom extracts the context's current span (nil when absent).
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a span named name: a child of the context's current
+// span when one is set, else a root on the context's recorder keyed by the
+// context's trace ID, else a no-op nil span. The returned context carries
+// the new span, so nested StartSpan calls build the tree naturally.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := SpanFrom(ctx); parent != nil {
+		s := parent.StartChild(name)
+		return WithSpan(ctx, s), s
+	}
+	if r := SpanRecorderFrom(ctx); r != nil {
+		s := r.StartRoot(TraceID(ctx), name)
+		return WithSpan(ctx, s), s
+	}
+	return ctx, nil
+}

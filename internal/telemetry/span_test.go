@@ -1,0 +1,390 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geoserp/internal/simclock"
+)
+
+var testEpoch = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestSpanParentChildStructure(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(16, clk)
+
+	root := rec.StartRoot("trace01", "crawler.sweep")
+	root.SetAttr("term", "gay marriage")
+	clk.Advance(time.Millisecond)
+	child := root.StartChild("browser.fetch")
+	clk.Advance(2 * time.Millisecond)
+	grand := child.StartChild("engine.rerank")
+	clk.Advance(time.Millisecond)
+	grand.End()
+	child.End()
+	clk.Advance(time.Millisecond)
+	root.End()
+
+	got := rec.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(got))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range got {
+		byName[s.Name] = s
+	}
+	r, c, g := byName["crawler.sweep"], byName["browser.fetch"], byName["engine.rerank"]
+	if r.ParentID != "" {
+		t.Fatalf("root has parent %q", r.ParentID)
+	}
+	if c.ParentID != r.SpanID || g.ParentID != c.SpanID {
+		t.Fatalf("parent chain broken: root=%s child.parent=%s grand.parent=%s child=%s",
+			r.SpanID, c.ParentID, g.ParentID, c.SpanID)
+	}
+	if r.TraceID != "trace01" || c.TraceID != "trace01" || g.TraceID != "trace01" {
+		t.Fatal("children did not inherit the trace ID")
+	}
+	if r.Dur() != 5*time.Millisecond || c.Dur() != 3*time.Millisecond || g.Dur() != time.Millisecond {
+		t.Fatalf("durations: root=%v child=%v grand=%v", r.Dur(), c.Dur(), g.Dur())
+	}
+	if r.Attr("term") != "gay marriage" {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+}
+
+func TestSpanRingIsBounded(t *testing.T) {
+	rec := NewSpanRecorder(4, simclock.NewManual(testEpoch))
+	for i := 0; i < 10; i++ {
+		rec.StartRootSeq("t", "op", i).End()
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("ring holds %d, want 4", rec.Len())
+	}
+	if rec.Total() != 10 {
+		t.Fatalf("total = %d, want 10", rec.Total())
+	}
+	// The survivors must be the four most recent, oldest first.
+	got := rec.Snapshot()
+	want := []string{
+		formatSpanID(mintSpanID("t", "op", 0, 6)),
+		formatSpanID(mintSpanID("t", "op", 0, 7)),
+		formatSpanID(mintSpanID("t", "op", 0, 8)),
+		formatSpanID(mintSpanID("t", "op", 0, 9)),
+	}
+	for i, s := range got {
+		if s.SpanID != want[i] {
+			t.Fatalf("slot %d = %s, want %s", i, s.SpanID, want[i])
+		}
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var rec *SpanRecorder
+	s := rec.StartRoot("t", "op")
+	if s != nil {
+		t.Fatal("nil recorder returned a live span")
+	}
+	// All of these must be no-ops, not panics.
+	s.SetAttr("k", "v")
+	c := s.StartChild("child")
+	c.SetAttr("k", "v")
+	c.End()
+	s.End()
+	if s.TraceID() != "" {
+		t.Fatal("nil span has a trace ID")
+	}
+	if rec.Snapshot() != nil || rec.Len() != 0 || rec.Total() != 0 || rec.Capacity() != 0 {
+		t.Fatal("nil recorder is not empty")
+	}
+
+	// A context with neither span nor recorder yields a no-op span.
+	ctx, sp := StartSpan(context.Background(), "op")
+	if sp != nil {
+		t.Fatal("bare context produced a live span")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("bare context carries a span")
+	}
+}
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	mk := func() (string, string) {
+		rec := NewSpanRecorder(8, simclock.NewManual(testEpoch))
+		root := rec.StartRoot("tr", "a")
+		child := root.StartChild("b")
+		child.End()
+		root.End()
+		ss := rec.Snapshot()
+		return ss[0].SpanID, ss[1].SpanID
+	}
+	c1, r1 := mk()
+	c2, r2 := mk()
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("IDs differ across identical runs: %s/%s vs %s/%s", c1, r1, c2, r2)
+	}
+	// Distinct seq (retry attempts) mint distinct root IDs.
+	rec := NewSpanRecorder(8, simclock.NewManual(testEpoch))
+	a := rec.StartRootSeq("tr", "browser.fetch", 1)
+	b := rec.StartRootSeq("tr", "browser.fetch", 2)
+	if a.spanID == b.spanID {
+		t.Fatal("different attempts minted the same span ID")
+	}
+	a.End()
+	b.End()
+}
+
+func TestSpanAttrOverflowCounted(t *testing.T) {
+	rec := NewSpanRecorder(4, simclock.NewManual(testEpoch))
+	s := rec.StartRoot("t", "op")
+	for i := 0; i < MaxSpanAttrs+3; i++ {
+		s.SetAttr("k"+itoa(i), "v")
+	}
+	s.End()
+	got := rec.Snapshot()[0]
+	if len(got.Attrs) != MaxSpanAttrs+1 {
+		t.Fatalf("got %d attrs, want %d + dropped marker", len(got.Attrs), MaxSpanAttrs)
+	}
+	if got.Attr("attrs_dropped") != "3" {
+		t.Fatalf("attrs_dropped = %q, want 3", got.Attr("attrs_dropped"))
+	}
+}
+
+func TestStartSpanContextPlumbing(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(8, clk)
+	ctx := WithTraceID(WithSpanRecorder(context.Background(), rec), "deadbeef00000001")
+
+	if SpanRecorderFrom(ctx) != rec {
+		t.Fatal("recorder not carried by context")
+	}
+	ctx, root := StartSpan(ctx, "serpd.request")
+	if root == nil {
+		t.Fatal("StartSpan with recorder returned nil")
+	}
+	if root.TraceID() != "deadbeef00000001" {
+		t.Fatalf("root trace = %q", root.TraceID())
+	}
+	_, child := StartSpan(ctx, "engine.rerank")
+	child.End()
+	root.End()
+
+	ss := rec.Snapshot()
+	if len(ss) != 2 {
+		t.Fatalf("recorded %d spans", len(ss))
+	}
+	if ss[0].Name != "engine.rerank" || ss[0].ParentID != ss[1].SpanID {
+		t.Fatalf("child span not parented to ctx span: %+v / %+v", ss[0], ss[1])
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder(64, simclock.NewManual(testEpoch))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s := rec.StartRootSeq("t"+itoa(worker), "op", j)
+				s.SetAttr("j", itoa(j))
+				s.StartChild("inner").End()
+				s.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if rec.Total() != 8*200*2 {
+		t.Fatalf("total = %d, want %d", rec.Total(), 8*200*2)
+	}
+	if rec.Len() != 64 {
+		t.Fatalf("len = %d, want 64", rec.Len())
+	}
+}
+
+func TestWriteChromeTraceValidAndDeterministic(t *testing.T) {
+	build := func() string {
+		clk := simclock.NewManual(testEpoch)
+		rec := NewSpanRecorder(32, clk)
+		for _, tr := range []string{"tracea", "traceb"} {
+			root := rec.StartRoot(tr, "crawler.sweep")
+			clk.Advance(time.Millisecond)
+			c := root.StartChild("browser.fetch")
+			c.SetAttr("attempt", "1")
+			clk.Advance(3 * time.Millisecond)
+			c.End()
+			root.End()
+		}
+		var b strings.Builder
+		if err := WriteChromeTrace(&b, rec.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("trace output not byte-identical:\n%s\n----\n%s", a, b)
+	}
+
+	// Valid JSON in the Chrome trace-event envelope.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Name string         `json:"name"`
+			Ts   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(a), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, a)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Ts == nil || ev.Dur == nil {
+				t.Fatalf("complete event missing ts/dur: %+v", ev)
+			}
+			if ev.Args["trace_id"] == nil || ev.Args["span_id"] == nil {
+				t.Fatalf("complete event missing span identity: %+v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 4 {
+		t.Fatalf("got %d metadata + %d complete events, want 2 + 4", meta, complete)
+	}
+	if !strings.Contains(a, `"attempt":"1"`) {
+		t.Fatal("span attribute missing from args")
+	}
+}
+
+func TestTracezHandler(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(32, clk)
+	for i := 0; i < 3; i++ {
+		root := rec.StartRoot("trace"+itoa(i), "serpd.request")
+		clk.Advance(time.Millisecond)
+		root.StartChild("engine.rerank").End()
+		root.End()
+	}
+	h := TracezHandler(rec)
+
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez", nil))
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var doc struct {
+		Capacity int    `json:"capacity"`
+		Total    uint64 `json:"total_recorded"`
+		Traces   []struct {
+			TraceID string       `json:"trace_id"`
+			Spans   []SpanRecord `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Capacity != 32 || doc.Total != 6 || len(doc.Traces) != 3 {
+		t.Fatalf("capacity=%d total=%d traces=%d", doc.Capacity, doc.Total, len(doc.Traces))
+	}
+	// Most recent trace first, root before child inside each trace.
+	if doc.Traces[0].TraceID != "trace2" {
+		t.Fatalf("first trace = %s, want trace2", doc.Traces[0].TraceID)
+	}
+	tr := doc.Traces[0]
+	if len(tr.Spans) != 2 || tr.Spans[0].Name != "serpd.request" ||
+		tr.Spans[1].ParentID != tr.Spans[0].SpanID {
+		t.Fatalf("trace structure wrong: %+v", tr.Spans)
+	}
+
+	// limit caps the trace count.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez?limit=1", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Traces) != 1 {
+		t.Fatalf("limit=1 returned %d traces", len(doc.Traces))
+	}
+
+	// HTML rendering.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez?format=html", nil))
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("html content type = %q", ct)
+	}
+	body := w.Body.String()
+	if !strings.Contains(body, "trace2") || !strings.Contains(body, "engine.rerank") {
+		t.Fatalf("html body missing traces:\n%s", body)
+	}
+
+	// Bad limit rejected.
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/tracez?limit=potato", nil))
+	if w.Code != 400 {
+		t.Fatalf("bad limit status = %d", w.Code)
+	}
+}
+
+// TestSpanHotPathZeroAlloc pins the recorder's hot path — start, attrs,
+// child, end — at zero allocations per span in steady state.
+func TestSpanHotPathZeroAlloc(t *testing.T) {
+	rec := NewSpanRecorder(256, simclock.NewManual(testEpoch))
+	// Warm the pool and fill the ring so the measured loop reuses slots.
+	for i := 0; i < 512; i++ {
+		rec.StartRoot("warmup", "op").End()
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		s := rec.StartRoot("deadbeef00000001", "serpd.request")
+		s.SetAttr("status", "200")
+		s.SetAttr("datacenter", "dc-east")
+		c := s.StartChild("engine.rerank")
+		c.End()
+		s.End()
+	}); n != 0 {
+		t.Fatalf("span hot path allocates %v/op, want 0", n)
+	}
+}
+
+// BenchmarkSpan is the acceptance benchmark: the recorder hot path must
+// report 0 allocs/op under -benchmem.
+func BenchmarkSpan(b *testing.B) {
+	rec := NewSpanRecorder(4096, simclock.NewManual(testEpoch))
+	for i := 0; i < 4096; i++ { // fill the ring: measure steady state
+		rec.StartRoot("warmup", "op").End()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rec.StartRoot("deadbeef00000001", "serpd.request")
+		s.SetAttr("status", "200")
+		c := s.StartChild("engine.rerank")
+		c.End()
+		s.End()
+	}
+}
+
+func BenchmarkSpanWithSnapshot(b *testing.B) {
+	rec := NewSpanRecorder(1024, simclock.NewManual(testEpoch))
+	for i := 0; i < 2048; i++ {
+		rec.StartRootSeq("t", "op", i).End()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rec.Snapshot()
+	}
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"regexp"
 	"testing"
@@ -21,6 +22,38 @@ func TestMintTraceIDDeterministic(t *testing.T) {
 	}
 	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(a) {
 		t.Fatalf("trace ID %q is not 16 hex digits", a)
+	}
+}
+
+// TestMintTraceIDCrossPhaseUnique pins the campaign-wide uniqueness
+// property the crawler relies on: every (phase, granularity, day, term,
+// location, role) tuple a campaign mints must get its own trace ID, or two
+// different requests would share noise keys and span timelines.
+func TestMintTraceIDCrossPhaseUnique(t *testing.T) {
+	seen := make(map[string]string)
+	for _, phase := range []string{"state", "city", "validation"} {
+		for _, gran := range []string{"st", "ci"} {
+			for day := 0; day < 3; day++ {
+				for _, term := range []string{"gay marriage", "obamacare", "walmart"} {
+					for _, loc := range []string{"US-TX", "US-MA", "US-OH"} {
+						for _, role := range []string{"control", "treatment"} {
+							key := phase + "/" + gran + "/" + fmt.Sprint(day) + "/" + term + "/" + loc + "/" + role
+							id := MintTraceID(0, phase, gran, fmt.Sprint(day), term, loc, role)
+							if prev, dup := seen[id]; dup {
+								t.Fatalf("trace ID %s collides: %s and %s", id, prev, key)
+							}
+							seen[id] = key
+							if id != MintTraceID(0, phase, gran, fmt.Sprint(day), term, loc, role) {
+								t.Fatalf("re-mint of %s differs", key)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != 3*2*3*3*3*2 {
+		t.Fatalf("minted %d IDs, want %d", len(seen), 3*2*3*3*3*2)
 	}
 }
 

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TraceView is one trace as served by /tracez: its spans sorted
+// parent-before-child (start, then tree depth, then span ID).
+type TraceView struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// TracezSnapshot groups the recorder's spans into per-trace views, most
+// recently finished trace first — the shape /tracez serves.
+func TracezSnapshot(rec *SpanRecorder, limit int) []TraceView {
+	spans := rec.Snapshot()
+	byTrace := make(map[string][]SpanRecord)
+	order := make([]string, 0, 16)
+	for _, s := range spans {
+		if _, ok := byTrace[s.TraceID]; !ok {
+			order = append(order, s.TraceID)
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+	// Most recently touched trace first: the ring is oldest-first, so walk
+	// first-appearance order backwards.
+	views := make([]TraceView, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		if limit > 0 && len(views) >= limit {
+			break
+		}
+		tr := order[i]
+		ss := byTrace[tr]
+		depth := spanDepths(ss)
+		sort.SliceStable(ss, func(a, b int) bool {
+			x, y := ss[a], ss[b]
+			if !x.Start.Equal(y.Start) {
+				return x.Start.Before(y.Start)
+			}
+			if dx, dy := depth[x.SpanID], depth[y.SpanID]; dx != dy {
+				return dx < dy
+			}
+			return x.SpanID < y.SpanID
+		})
+		views = append(views, TraceView{TraceID: tr, Spans: ss})
+	}
+	return views
+}
+
+// spanDepths maps span ID → distance from its trace root.
+func spanDepths(spans []SpanRecord) map[string]int {
+	parent := make(map[string]string, len(spans))
+	for _, s := range spans {
+		parent[s.SpanID] = s.ParentID
+	}
+	depth := make(map[string]int, len(spans))
+	for _, s := range spans {
+		d, id := 0, s.SpanID
+		for parent[id] != "" && d < len(spans) {
+			id = parent[id]
+			d++
+		}
+		depth[s.SpanID] = d
+	}
+	return depth
+}
+
+// TracezHandler serves the recorder's recent traces: JSON by default (or
+// with ?format=json), a minimal HTML list with ?format=html or when the
+// client prefers text/html. ?limit=N caps the number of traces returned.
+func TracezHandler(rec *SpanRecorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		views := TracezSnapshot(rec, limit)
+		format := r.URL.Query().Get("format")
+		if format == "" && strings.Contains(r.Header.Get("Accept"), "text/html") {
+			format = "html"
+		}
+		if format == "html" {
+			writeTracezHTML(w, rec, views)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Capacity int         `json:"capacity"`
+			Total    uint64      `json:"total_recorded"`
+			Traces   []TraceView `json:"traces"`
+		}{rec.Capacity(), rec.Total(), views})
+	})
+}
+
+func writeTracezHTML(w http.ResponseWriter, rec *SpanRecorder, views []TraceView) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<!doctype html><title>tracez</title>" +
+		"<style>body{font-family:monospace}li{list-style:none}</style>" +
+		"<h1>tracez</h1>")
+	fmt.Fprintf(&b, "<p>%d spans held (capacity %d, %d recorded in total)</p>",
+		rec.Len(), rec.Capacity(), rec.Total())
+	for _, v := range views {
+		d := spanDepths(v.Spans)
+		fmt.Fprintf(&b, "<h2>trace %s</h2><ul>", html.EscapeString(v.TraceID))
+		for _, s := range v.Spans {
+			pad := strings.Repeat("&nbsp;", 4*d[s.SpanID])
+			fmt.Fprintf(&b, "<li>%s%s · %s · %s", pad,
+				html.EscapeString(s.Name), s.Dur(), s.SpanID[:8])
+			for _, a := range s.Attrs {
+				fmt.Fprintf(&b, " · %s=%s",
+					html.EscapeString(a.Key), html.EscapeString(a.Val))
+			}
+			b.WriteString("</li>")
+		}
+		b.WriteString("</ul>")
+	}
+	fmt.Fprint(w, b.String())
+}
