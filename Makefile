@@ -1,15 +1,24 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check chaos bench bench-json repro repro-full examples clean
+.PHONY: all build vet test check lint chaos bench bench-json repro repro-full examples clean
 
 all: build vet test
 
-# check is the CI gate: vet, build, and the full suite under the race
-# detector (the telemetry layer is lock-free by design — prove it).
-check:
-	go vet ./...
+# check is the CI gate: formatting, vet, the project linter, build, and
+# the full suite under the race detector (the telemetry layer is
+# lock-free by design — prove it).
+check: lint
 	go build ./...
 	go test -race ./...
+
+# lint runs gofmt, go vet, and geoserplint — the project analyzer that
+# machine-enforces the determinism, clock, and span invariants
+# (docs/LINTING.md). Any finding, or any stale //lint:allow, fails.
+lint:
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	go vet ./...
+	go run ./cmd/geoserplint ./...
 
 # chaos runs the fault-injection suite under the race detector: chaos
 # transport/middleware, retry classification, failure budgets, and

@@ -160,7 +160,15 @@ func runCrawl(opts options) (int, error) {
 		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
 			return 0, err
 		}
+		campaignStart := clk.Now()
 		obs, err = cr.RunCampaignVirtual(clk, phases)
+		if err == nil {
+			// The virtual elapsed time is the campaign's simulated schedule
+			// (e.g. "30 days"), not how long the hardware took — main logs
+			// the wall-clock elapsed separately.
+			logger.Info("virtual campaign complete",
+				"virtual_elapsed", clk.Now().Sub(campaignStart).String())
+		}
 	} else {
 		logger.Info("targeting live server (wall-clock waits apply)", "server", opts.Server)
 		spans = newCampaignRecorder(opts, simclock.Wall())

@@ -40,6 +40,7 @@ import (
 	"os"
 	"time"
 
+	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
 
@@ -74,7 +75,8 @@ func main() {
 	logger := slog.New(telemetry.NewLogHandler(os.Stderr, *logFormat, level))
 	opts.Logger = logger
 
-	start := time.Now()
+	wall := simclock.Wall()
+	start := wall.Now()
 	n, err := runCrawl(opts)
 	if err != nil {
 		logger.Error("crawl failed", "err", err)
@@ -82,5 +84,5 @@ func main() {
 	}
 	logger.Info("crawl complete",
 		"observations", n, "out", opts.Out,
-		"elapsed", time.Since(start).Round(time.Millisecond).String())
+		"elapsed", wall.Now().Sub(start).Round(time.Millisecond).String())
 }

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"os/exec"
+	"testing"
+
+	"geoserp/internal/lint"
+)
+
+// TestMergedTreeClean is the merge gate in test form: the full analyzer
+// suite over the whole module must produce zero diagnostics and zero
+// unused allows, exactly as `make lint` / CI require.
+func TestMergedTreeClean(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go binary unavailable: %v", err)
+	}
+	diags, err := lint.Run(lint.Options{Dir: "../.."})
+	if err != nil {
+		t.Fatalf("lint.Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

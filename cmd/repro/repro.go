@@ -5,7 +5,6 @@ import (
 	"io"
 	"log/slog"
 	"os"
-	"time"
 
 	"geoserp"
 
@@ -117,14 +116,16 @@ func runRepro(opts options, w io.Writer) error {
 		phases = study.ScaledPhases(opts.TermsPerCategory, opts.Days)
 	}
 	study.Crawler.Logger = logger
-	start := time.Now()
+	start := study.Clock.Now()
 	obs, err := study.RunPhases(phases)
 	if err != nil {
 		return fmt.Errorf("repro: campaign: %w", err)
 	}
 	logger.Info("campaign complete",
 		"observations", len(obs),
-		"elapsed", time.Since(start).Round(time.Millisecond).String())
+		// The study runs under virtual time, so this is the simulated
+		// campaign schedule (days, not hardware seconds).
+		"virtual_elapsed", study.Clock.Now().Sub(start).String())
 
 	if opts.Save != "" {
 		if err := storage.SaveJSONL(opts.Save, obs); err != nil {

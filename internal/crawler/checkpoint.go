@@ -2,8 +2,8 @@ package crawler
 
 import (
 	"fmt"
-	"time"
 
+	"geoserp/internal/simclock"
 	"geoserp/internal/storage"
 )
 
@@ -15,7 +15,11 @@ import (
 type checkpointState struct {
 	path    string
 	obsPath string
-	ck      storage.Checkpoint
+	// clk stamps UpdatedAt from the campaign clock, so checkpoints written
+	// under virtual time are byte-identical across a run and its resumed
+	// re-run (the resume byte-exactness test covers the file itself).
+	clk simclock.Clock
+	ck  storage.Checkpoint
 	// seen counts sweep slots passed this run (skipped or executed).
 	seen int
 	// prior holds the recovered observations grouped by phase name.
@@ -42,7 +46,7 @@ func (cs *checkpointState) record(phase, gran string, day int, term string, obs 
 	cs.ck.Granularity = gran
 	cs.ck.Day = day
 	cs.ck.Term = term
-	cs.ck.UpdatedAt = time.Now().UTC()
+	cs.ck.UpdatedAt = cs.clk.Now().UTC()
 	if err := storage.SaveCheckpoint(cs.path, cs.ck); err != nil {
 		return fmt.Errorf("crawler: save checkpoint: %w", err)
 	}
@@ -57,6 +61,7 @@ func (c *Crawler) EnableCheckpoint(path, obsPath string) {
 	c.ckpt = &checkpointState{
 		path:    path,
 		obsPath: obsPath,
+		clk:     c.clock,
 		prior:   make(map[string][]storage.Observation),
 	}
 }

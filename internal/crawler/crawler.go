@@ -138,6 +138,10 @@ type Crawler struct {
 
 	inst *crawlInstruments
 	ckpt *checkpointState
+	// wall times lock-step rounds for the round-duration histogram: the
+	// campaign clock may be virtual, but the histogram reports how long
+	// the hardware took.
+	wall simclock.Clock
 }
 
 // crawlInstruments are the crawler's registered metrics.
@@ -194,7 +198,7 @@ func New(cfg Config, clk simclock.Clock, baseURL string, ds *geo.Dataset, corpus
 	if cfg.FailureBudget < 0 || cfg.FailureBudget > 1 {
 		return nil, fmt.Errorf("crawler: failure budget %v outside [0, 1]", cfg.FailureBudget)
 	}
-	return &Crawler{cfg: cfg, clock: clk, baseURL: baseURL, ds: ds, corpus: corpus}, nil
+	return &Crawler{cfg: cfg, clock: clk, baseURL: baseURL, ds: ds, corpus: corpus, wall: simclock.Wall()}, nil
 }
 
 // MachineIPs returns the crawl machines' addresses: .1 through .N in the
@@ -468,7 +472,7 @@ func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, 
 	results := make(chan fetchResult, len(vans)*2)
 	var wg sync.WaitGroup
 	now := c.clock.Now()
-	roundStart := time.Now()
+	roundStart := c.wall.Now()
 	// Hold the virtual clock per worker from *before* launch: the driver
 	// may not hop to a parked retry deadline while any fetch in this round
 	// is still runnable but not yet on the wire. Workers release on exit;

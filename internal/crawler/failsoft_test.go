@@ -1,10 +1,12 @@
 package crawler
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -143,34 +145,58 @@ func marshalObs(t *testing.T, obs []storage.Observation) string {
 	return string(data)
 }
 
+// interruptedRun executes the phase with checkpointing on and cancels at
+// the first progress report, returning the checkpoint file's bytes.
+func interruptedRun(t *testing.T, phase Phase, ckptPath, obsPath string) []byte {
+	t.Helper()
+	clk, cr := resumeRig(t)
+	cr.EnableCheckpoint(ckptPath, obsPath)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cr.Progress = func(string) { cancel() } // first day-complete report kills the run
+	if _, err := cr.RunCampaignVirtualContext(ctx, clk, []Phase{phase}); err == nil {
+		t.Fatal("cancelled campaign reported success")
+	}
+	data, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatalf("read checkpoint after interrupted run: %v", err)
+	}
+	return data
+}
+
 func TestResumeReproducesUninterruptedCampaign(t *testing.T) {
 	phase := smallPhase(2, geo.County, 2)
+	dir := t.TempDir()
 
-	// Reference: the uninterrupted campaign.
+	// Reference: the uninterrupted campaign, checkpointing as it goes so
+	// its final cursor file can be compared with the resumed run's.
+	refCkpt := filepath.Join(dir, "reference.ckpt")
 	clkRef, crRef := resumeRig(t)
+	crRef.EnableCheckpoint(refCkpt, filepath.Join(dir, "reference.partial.jsonl"))
 	want, err := crRef.RunCampaignVirtual(clkRef, []Phase{phase})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Interrupted run: checkpointing on, cancelled after the first day.
-	dir := t.TempDir()
 	ckptPath := filepath.Join(dir, "campaign.ckpt")
 	obsPath := filepath.Join(dir, "campaign.partial.jsonl")
-	clk1, cr1 := resumeRig(t)
-	cr1.EnableCheckpoint(ckptPath, obsPath)
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	cr1.Progress = func(string) { cancel() } // first day-complete report kills the run
-	if _, err := cr1.RunCampaignVirtualContext(ctx, clk1, []Phase{phase}); err == nil {
-		t.Fatal("cancelled campaign reported success")
-	}
+	ckBytes := interruptedRun(t, phase, ckptPath, obsPath)
 	ck, ok, err := storage.LoadCheckpoint(ckptPath)
 	if err != nil || !ok {
 		t.Fatalf("no checkpoint after interrupted run: ok=%v err=%v", ok, err)
 	}
 	if ck.Sweeps != 2 || ck.Day != 0 {
 		t.Fatalf("checkpoint cursor %+v, want 2 day-0 sweeps", ck)
+	}
+
+	// A second, identically interrupted run writes a byte-identical
+	// checkpoint file: UpdatedAt comes from the campaign clock, not the
+	// machine's, so the cursor itself is deterministic.
+	ckBytes2 := interruptedRun(t, phase,
+		filepath.Join(dir, "campaign2.ckpt"), filepath.Join(dir, "campaign2.partial.jsonl"))
+	if !bytes.Equal(ckBytes, ckBytes2) {
+		t.Fatalf("identically interrupted runs wrote different checkpoint files:\n%s\nvs\n%s", ckBytes, ckBytes2)
 	}
 
 	// Resumed run: a brand-new crawler against a brand-new engine.
@@ -195,6 +221,19 @@ func TestResumeReproducesUninterruptedCampaign(t *testing.T) {
 	// The resumed run only re-fetched days it had not completed.
 	if ck2, ok, err := storage.LoadCheckpoint(ckptPath); err != nil || !ok || ck2.Sweeps != 4 {
 		t.Fatalf("final checkpoint %+v ok=%v err=%v, want 4 sweeps", ck2, ok, err)
+	}
+	// And its final cursor file is byte-identical to the uninterrupted
+	// run's: the crash-and-resume left no trace even in the metadata.
+	finalRef, err := os.ReadFile(refCkpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalResumed, err := os.ReadFile(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(finalRef, finalResumed) {
+		t.Fatalf("resumed run's final checkpoint differs from the uninterrupted run's:\n%s\nvs\n%s", finalResumed, finalRef)
 	}
 }
 

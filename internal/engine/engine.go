@@ -93,8 +93,13 @@ const (
 
 // Engine is the synthetic search service. It is safe for concurrent use.
 type Engine struct {
-	cfg     Config
-	clock   simclock.Clock
+	cfg   Config
+	clock simclock.Clock
+	// wall times the stage histograms: they measure how long the hardware
+	// actually took, independent of whatever virtual schedule clock is
+	// simulating. Injected (rather than calling time.Now directly) so all
+	// time flows through the simclock API — geoserplint enforces this.
+	wall    simclock.Clock
 	epoch   time.Time
 	corpus  *queries.Corpus
 	web     *webcorpus.Web
@@ -317,10 +322,10 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		return nil, ErrEmptyQuery
 	}
 	now := e.clock.Now()
-	// Stage timers use the wall clock, not e.clock: under virtual time
-	// the simulated clock measures campaign schedule, while these
-	// histograms measure how long the hardware actually took.
-	rlStart := time.Now()
+	// Stage timers use e.wall, not e.clock: under virtual time the
+	// simulated clock measures campaign schedule, while these histograms
+	// measure how long the hardware actually took.
+	rlStart := e.wall.Now()
 	allowed := e.limiter.allow(req.ClientIP, now)
 	e.inst.ratelimitDur.ObserveSince(rlStart)
 	if !allowed {
@@ -330,7 +335,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 
 	// --- Stage: parse (replica routing, location resolution, intent) ---
 	parseSpan := req.Span.StartChild("engine.parse")
-	parseStart := time.Now()
+	parseStart := e.wall.Now()
 
 	// Replica routing: pinned, or hashed from the client IP the way
 	// anycast DNS would spread clients.
@@ -366,7 +371,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	// arrival order makes traced campaigns reproducible: concurrent fetch
 	// interleaving no longer feeds the noise model.
 	noiseSpan := req.Span.StartChild("engine.noise")
-	noiseStart := time.Now()
+	noiseStart := e.wall.Now()
 	seqNo := e.reqCount.Add(1)
 	if seqNo%4096 == 0 {
 		// Amortized cleanup of abandoned one-shot sessions (crawlers
@@ -397,18 +402,18 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	noiseSpan.End()
 
 	histSpan := req.Span.StartChild("engine.history")
-	histStart := time.Now()
+	histStart := e.wall.Now()
 	recent := e.history.recent(req.SessionID, now)
 	e.inst.historyDur.ObserveSince(histStart)
 	e.inst.stageHistory.ObserveSince(histStart)
 	histSpan.End()
 	jitter := func(sigma float64) float64 { return rrng.Norm() * sigma }
 
-	rankStart := time.Now()
+	rankStart := e.wall.Now()
 
 	// --- Web vertical ---
 	retrieveSpan := req.Span.StartChild("engine.retrieve")
-	retrieveStart := time.Now()
+	retrieveStart := e.wall.Now()
 	hits := e.idx.Search(req.Query, 48)
 	e.inst.stageRetrieve.ObserveSince(retrieveStart)
 	if retrieveSpan != nil {
@@ -416,7 +421,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	}
 	retrieveSpan.End()
 	rerankSpan := req.Span.StartChild("engine.rerank")
-	rerankStart := time.Now()
+	rerankStart := e.wall.Now()
 	var cands []candidate
 	maxRel := 0.0
 	for _, h := range hits {
@@ -528,7 +533,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 
 	// --- Assembly ---
 	assembleSpan := req.Span.StartChild("engine.assemble")
-	assembleStart := time.Now()
+	assembleStart := e.wall.Now()
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score

@@ -109,6 +109,7 @@ func NewCustom(cfg Config, clock simclock.Clock, opts ...Option) *Engine {
 	return &Engine{
 		cfg:       cfg,
 		clock:     clock,
+		wall:      simclock.Wall(),
 		epoch:     clock.Now(),
 		corpus:    spec.corpus,
 		web:       web,

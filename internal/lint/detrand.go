@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// detrandScoped are the module-relative packages whose behaviour feeds the
+// paper's measurements. Inside them, every stochastic choice must come
+// from detrand so the whole study replays from a single root seed.
+var detrandScoped = []string{
+	"internal/engine",
+	"internal/webcorpus",
+	"internal/serp",
+	"internal/serpserver",
+	"internal/crawler",
+	"internal/browser",
+}
+
+// detrandForbidden are the stdlib randomness sources that would splice
+// unseeded (or globally seeded) noise into deterministic packages.
+var detrandForbidden = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+var detrandAnalyzer = &Analyzer{
+	Name: "detrand",
+	Doc: "forbids math/rand, math/rand/v2, and crypto/rand imports in deterministic packages; " +
+		"randomness must come from detrand.NewKeyed",
+	run: runDetrand,
+}
+
+func runDetrand(p *Pass, f *ast.File) {
+	inScope := false
+	for _, rel := range detrandScoped {
+		if p.InScope(rel) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, im := range f.Imports {
+		path := strings.Trim(im.Path.Value, `"`)
+		if !detrandForbidden[path] {
+			continue
+		}
+		p.Reportf(im.Pos(),
+			"derive randomness with detrand.NewKeyed(seed, parts...) so the noise stream replays from the root seed",
+			"import of %s in deterministic package %s", path, p.Path)
+	}
+}

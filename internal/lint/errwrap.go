@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errwrapScoped are the module-relative packages whose errors feed retry
+// classification (browser.IsTransient walks the %w chain via errors.As).
+// An error formatted with %v or %s inside them is flattened to text: the
+// transient marker is lost, a retryable 503 becomes permanent, and the
+// campaign's failure budget is charged for noise that one retry would
+// have absorbed.
+var errwrapScoped = []string{
+	"internal/browser",
+	"internal/crawler",
+}
+
+var errwrapAnalyzer = &Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf in retry-classified packages must wrap error operands with %w " +
+		"so transient/permanent classification survives",
+	run: runErrwrap,
+}
+
+func runErrwrap(p *Pass, f *ast.File) {
+	inScope := false
+	for _, rel := range errwrapScoped {
+		if p.InScope(rel) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := p.resolvePkgSel(f, sel)
+		if !ok || path != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := formatVerbs(format)
+		for i, verb := range verbs {
+			argIdx := 1 + i
+			if argIdx >= len(call.Args) || verb == 'w' {
+				continue
+			}
+			arg := call.Args[argIdx]
+			if !p.isErrorArg(arg) {
+				continue
+			}
+			p.Reportf(arg.Pos(),
+				"use %w so errors.Is/As — and the browser's transient/permanent retry classification — still see the cause",
+				"error operand formatted with %%%c loses the wrapped cause", verb)
+		}
+		return true
+	})
+}
+
+// formatVerbs returns the verb rune for each operand the format string
+// consumes, in order ('*' width/precision operands appear as '*').
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// Width.
+		for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+			}
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || (format[i] >= '0' && format[i] <= '9')) {
+				if format[i] == '*' {
+					verbs = append(verbs, '*')
+				}
+				i++
+			}
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+			i++
+		}
+	}
+	return verbs
+}
+
+// isErrorArg reports whether arg carries an error. Typed mode asks the
+// type checker; syntactic mode falls back to the naming convention (an
+// identifier or selector called err / *Err).
+func (p *Pass) isErrorArg(arg ast.Expr) bool {
+	if p.Info != nil {
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+		if !ok {
+			return false
+		}
+		return types.Implements(tv.Type, errType)
+	}
+	name := ""
+	switch e := arg.(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return false
+	}
+	return name == "err" || name == "error" ||
+		strings.HasSuffix(name, "Err") || strings.HasSuffix(name, "err")
+}

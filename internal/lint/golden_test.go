@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden harness mirrors analysistest's conventions without the
+// x/tools dependency: every file under testdata/<dir> is parsed
+// syntactically, the named analyzers run over the package, and each
+// diagnostic must be matched by a `// want "regex"` comment on its line
+// (regexes match against "analyzer: message"). A `//lintpkg:<path>`
+// comment fakes the package's import path, so scoped analyzers can be
+// placed inside (or outside) their scope without real packages.
+
+// goldenDirs maps each testdata directory to the analyzers it runs.
+var goldenDirs = map[string][]string{
+	"wallclock": {"wallclock"},
+	"detrand":   {"detrand"},
+	"detrandok": {"detrand"},
+	"rngkey":    {"rngkey"},
+	"spanend":   {"spanend"},
+	"errwrap":   {"errwrap"},
+}
+
+func TestGolden(t *testing.T) {
+	for dir, only := range goldenDirs {
+		t.Run(dir, func(t *testing.T) {
+			diags, fset, files := runTestdata(t, dir, only)
+			wants := collectWants(t, fset, files)
+			for _, d := range diags {
+				rendered := d.Analyzer + ": " + d.Message
+				if !wants.match(d.Pos, rendered) {
+					t.Errorf("%s:%d: unexpected diagnostic %q", d.Pos.Filename, d.Pos.Line, rendered)
+				}
+			}
+			wants.reportUnmatched(t)
+		})
+	}
+}
+
+// TestAllowAudit checks the //lint:allow bookkeeping itself: the audit
+// reports at the comment's own line, where a trailing want-comment cannot
+// sit, so expectations are explicit here instead of in the file.
+func TestAllowAudit(t *testing.T) {
+	diags, _, _ := runTestdata(t, "allow", []string{"wallclock"})
+	expected := []string{
+		`unused //lint:allow wallclock`,
+		`unknown analyzer "nosuch" in //lint:allow`,
+		`//lint:allow wallclock needs a reason`,
+	}
+	if len(diags) != len(expected) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(expected), renderAll(diags))
+	}
+	for _, want := range expected {
+		found := false
+		for _, d := range diags {
+			if d.Analyzer == "allow" && strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic containing %q:\n%s", want, renderAll(diags))
+		}
+	}
+}
+
+func renderAll(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}
+
+// runTestdata parses testdata/<dir> and runs the named analyzers over it
+// in syntactic mode.
+func runTestdata(t *testing.T, dir string, only []string) ([]Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := ParseDir(fset, filepath.Join("testdata", dir))
+	if err != nil {
+		t.Fatalf("parse testdata/%s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("testdata/%s holds no Go files", dir)
+	}
+	runner := NewRunner("geoserp", fset)
+	runner.Only = only
+	runner.CheckPackage(lintPkgPath(files, "geoserp/lintdata/"+dir), files, nil)
+	return runner.Finish(), fset, files
+}
+
+// lintPkgPath returns the //lintpkg: directive's path, if any file carries
+// one, else the fallback.
+func lintPkgPath(files []*ast.File, fallback string) string {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//lintpkg:"); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return fallback
+}
+
+// wantExp is one // want expectation, consumed by at most one diagnostic.
+type wantExp struct {
+	pos  token.Position
+	re   *regexp.Regexp
+	used bool
+}
+
+type wantSet struct {
+	byLine map[string][]*wantExp // "file:line" -> expectations
+}
+
+func (w *wantSet) match(pos token.Position, rendered string) bool {
+	key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+	for _, e := range w.byLine[key] {
+		if !e.used && e.re.MatchString(rendered) {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, es := range w.byLine {
+		for _, e := range es {
+			if !e.used {
+				t.Errorf("%s:%d: no diagnostic matched want %q", e.pos.Filename, e.pos.Line, e.re)
+			}
+		}
+	}
+}
+
+// collectWants indexes every `// want "re" ["re" ...]` comment by its line.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	w := &wantSet{byLine: make(map[string][]*wantExp)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest = strings.TrimSpace(rest)
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: unquote %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regex %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+					w.byLine[key] = append(w.byLine[key], &wantExp{pos: pos, re: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return w
+}

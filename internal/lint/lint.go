@@ -1,0 +1,361 @@
+// Package lint implements geoserplint, the repo's project-specific static
+// analyzer. Every headline claim of this reproduction — byte-identical
+// repro output, resume-byte-exact campaigns, byte-identical Chrome traces —
+// rests on three invariants that no general-purpose linter knows about:
+//
+//   - all randomness flows through detrand.NewKeyed with a unique stream
+//     key per call site,
+//   - all time flows through an injected simclock.Clock,
+//   - every telemetry span that is started is ended, and retry-classified
+//     errors survive wrapping.
+//
+// The analyzers here machine-enforce those invariants so a stray
+// time.Now() or math/rand import cannot silently reintroduce the
+// uncontrolled noise the paper's methodology is designed to exclude.
+//
+// The package is stdlib-only (go/ast, go/parser, go/types, go/token).
+// Packages are analyzed in one of two modes: typed, where a *types.Info
+// from a full type-check makes name resolution exact, and syntactic,
+// where per-file import tables approximate it (used for _test.go files
+// and the golden-file harness, which must stay hermetic).
+//
+// The only escape hatch is an explicit annotation on the offending line
+// (or the line directly above):
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The reason is mandatory, and an allow comment that suppresses nothing
+// is itself a diagnostic — stale annotations cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it, a
+// message, and a fix hint.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+	Hint     string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	if d.Hint != "" {
+		s += " (" + d.Hint + ")"
+	}
+	return s
+}
+
+// Analyzer is one invariant checker. run is invoked once per file of each
+// analyzed package; finish (optional) runs after every package has been
+// seen, for cross-package invariants like rngkey's collision check.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:allow.
+	Name string
+	// Doc is a one-line description shown by geoserplint -list.
+	Doc string
+	// SkipTestFiles exempts _test.go files (wallclock: tests may use real
+	// time; spanend: tests deliberately leak spans to exercise the ring).
+	SkipTestFiles bool
+	run           func(p *Pass, f *ast.File)
+	finish        func(r *Runner)
+}
+
+// Analyzers returns the full analyzer suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		wallclockAnalyzer,
+		detrandAnalyzer,
+		rngkeyAnalyzer,
+		spanendAnalyzer,
+		errwrapAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the suite's names, for validating //lint:allow.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Pass carries one package's worth of analysis state to an analyzer.
+type Pass struct {
+	// Fset resolves positions for every file in the pass.
+	Fset *token.FileSet
+	// Path is the package's import path ("geoserp/internal/engine").
+	Path string
+	// Module is the module path ("geoserp"); analyzer package scopes are
+	// module-relative so testdata can fake paths without hardcoding.
+	Module string
+	// Info is the type-check result; nil in syntactic mode.
+	Info *types.Info
+	// Files are the package files under analysis.
+	Files []*ast.File
+
+	runner  *Runner
+	current *Analyzer
+	imports map[*ast.File]map[string]string // file -> local name -> import path
+}
+
+// Reportf emits a diagnostic at pos for the running analyzer, subject to
+// //lint:allow suppression.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	p.runner.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.current.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Hint:     hint,
+	})
+}
+
+// InScope reports whether the pass's package is the module-relative
+// package rel or nested below it.
+func (p *Pass) InScope(rel string) bool {
+	full := p.Module + "/" + rel
+	return p.Path == full || strings.HasPrefix(p.Path, full+"/")
+}
+
+// importTable returns f's local-name -> import-path map, built lazily.
+func (p *Pass) importTable(f *ast.File) map[string]string {
+	if t, ok := p.imports[f]; ok {
+		return t
+	}
+	t := make(map[string]string, len(f.Imports))
+	for _, im := range f.Imports {
+		path := strings.Trim(im.Path.Value, `"`)
+		name := ""
+		if im.Name != nil {
+			name = im.Name.Name
+		} else {
+			// Default local name: the last path element, with the repo's
+			// relevant special case (math/rand/v2 imports as "rand").
+			name = path[strings.LastIndex(path, "/")+1:]
+			if name == "v2" {
+				base := strings.TrimSuffix(path, "/v2")
+				name = base[strings.LastIndex(base, "/")+1:]
+			}
+		}
+		if name != "." && name != "_" {
+			t[name] = path
+		}
+	}
+	p.imports[f] = t
+	return t
+}
+
+// resolvePkgSel resolves a selector expression pkg.Name where pkg is a
+// package identifier, returning the import path and selected name. In
+// typed mode resolution is exact (a shadowing local variable will not
+// match); in syntactic mode the file's import table is consulted.
+func (p *Pass) resolvePkgSel(f *ast.File, sel *ast.SelectorExpr) (path, name string, ok bool) {
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	if p.Info != nil {
+		pn, isPkg := p.Info.Uses[id].(*types.PkgName)
+		if !isPkg {
+			return "", "", false
+		}
+		return pn.Imported().Path(), sel.Sel.Name, true
+	}
+	path, found := p.importTable(f)[id.Name]
+	if !found {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// isTestFile reports whether f came from a _test.go file.
+func (p *Pass) isTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// ---- allow comments ----
+
+// allowEntry is one parsed //lint:allow comment.
+type allowEntry struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+	bad      string // non-empty: malformed (the diagnostic message)
+}
+
+const allowPrefix = "//lint:allow"
+
+// scanAllows indexes every //lint:allow comment in f by line.
+func (r *Runner) scanAllows(fset *token.FileSet, f *ast.File) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+			e := &allowEntry{pos: fset.Position(c.Pos())}
+			switch {
+			case len(fields) == 0:
+				e.bad = "malformed //lint:allow: missing analyzer name"
+			case !known[fields[0]]:
+				e.bad = fmt.Sprintf("unknown analyzer %q in //lint:allow", fields[0])
+			case len(fields) < 2:
+				e.analyzer = fields[0]
+				e.bad = fmt.Sprintf("//lint:allow %s needs a reason", fields[0])
+			default:
+				e.analyzer = fields[0]
+				e.reason = strings.Join(fields[1:], " ")
+			}
+			key := e.pos.Filename
+			if r.allows[key] == nil {
+				r.allows[key] = make(map[int][]*allowEntry)
+			}
+			r.allows[key][e.pos.Line] = append(r.allows[key][e.pos.Line], e)
+		}
+	}
+}
+
+// ---- runner ----
+
+// Runner drives the analyzer suite over a set of packages and accumulates
+// diagnostics. Use NewRunner, feed packages via CheckPackage, then call
+// Finish exactly once.
+type Runner struct {
+	// Module is the module path scopes are resolved against.
+	Module string
+	// Fset must be shared by every package fed to CheckPackage.
+	Fset *token.FileSet
+	// Only, when non-empty, restricts the suite to the named analyzers
+	// (the golden harness runs one analyzer per testdata directory).
+	Only []string
+
+	diags    []Diagnostic
+	allows   map[string]map[int][]*allowEntry // filename -> line -> entries
+	rngSites map[string][]rngSite
+	seen     map[string]bool // files already scanned for allows
+}
+
+// NewRunner returns a Runner for the given module rooted at fset.
+func NewRunner(module string, fset *token.FileSet) *Runner {
+	return &Runner{
+		Module:   module,
+		Fset:     fset,
+		allows:   make(map[string]map[int][]*allowEntry),
+		rngSites: make(map[string][]rngSite),
+		seen:     make(map[string]bool),
+	}
+}
+
+func (r *Runner) enabled(a *Analyzer) bool {
+	if len(r.Only) == 0 {
+		return true
+	}
+	for _, n := range r.Only {
+		if n == a.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckPackage runs the suite over one package's files. Pass info from a
+// full type-check for exact resolution, or nil for syntactic mode.
+func (r *Runner) CheckPackage(importPath string, files []*ast.File, info *types.Info) {
+	p := &Pass{
+		Fset:    r.Fset,
+		Path:    importPath,
+		Module:  r.Module,
+		Info:    info,
+		Files:   files,
+		runner:  r,
+		imports: make(map[*ast.File]map[string]string),
+	}
+	for _, f := range files {
+		name := r.Fset.Position(f.Pos()).Filename
+		if !r.seen[name] {
+			r.seen[name] = true
+			r.scanAllows(r.Fset, f)
+		}
+		for _, a := range Analyzers() {
+			if !r.enabled(a) || (a.SkipTestFiles && p.isTestFile(f)) {
+				continue
+			}
+			p.current = a
+			a.run(p, f)
+		}
+	}
+}
+
+// report records d unless a matching //lint:allow on the same line or the
+// line directly above suppresses it.
+func (r *Runner) report(d Diagnostic) {
+	if byLine, ok := r.allows[d.Pos.Filename]; ok {
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, e := range byLine[line] {
+				if e.bad == "" && e.analyzer == d.Analyzer {
+					e.used = true
+					return
+				}
+			}
+		}
+	}
+	r.diags = append(r.diags, d)
+}
+
+// Finish runs cross-package finalizers and the allow-comment audit, and
+// returns every diagnostic sorted by position.
+func (r *Runner) Finish() []Diagnostic {
+	for _, a := range Analyzers() {
+		if a.finish != nil && r.enabled(a) {
+			a.finish(r)
+		}
+	}
+	for _, byLine := range r.allows {
+		for _, entries := range byLine {
+			for _, e := range entries {
+				switch {
+				case e.bad != "":
+					r.diags = append(r.diags, Diagnostic{
+						Pos: e.pos, Analyzer: "allow", Message: e.bad,
+						Hint: "format: //lint:allow <analyzer> <reason>",
+					})
+				case !e.used:
+					r.diags = append(r.diags, Diagnostic{
+						Pos: e.pos, Analyzer: "allow",
+						Message: fmt.Sprintf("unused //lint:allow %s (it suppresses no diagnostic)", e.analyzer),
+						Hint:    "delete the stale annotation",
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(r.diags, func(i, j int) bool {
+		a, b := r.diags[i], r.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return r.diags
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Options configures a typed analysis run over the module.
+type Options struct {
+	// Dir is where `go list` runs ("" = current directory; must be inside
+	// the module).
+	Dir string
+	// Patterns are go package patterns; default ["./..."].
+	Patterns []string
+	// SkipTests drops _test.go files from the run entirely. By default
+	// test files are analyzed syntactically with the analyzers that apply
+	// to them (detrand, rngkey, errwrap).
+	SkipTests bool
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	Module       *struct{ Path string }
+}
+
+// Run loads every package matching opts.Patterns with full type
+// information — export data for all dependencies comes from
+// `go list -export`, so no source re-checking of the stdlib is needed —
+// runs the analyzer suite, and returns the surviving diagnostics.
+func Run(opts Options) ([]Diagnostic, error) {
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
+	}
+	pkgs, err := goList(opts.Dir, opts.Patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exportFor := make(map[string]string, len(pkgs))
+	var targets []*listedPkg
+	module := ""
+	for _, pk := range pkgs {
+		if pk.Export != "" {
+			exportFor[pk.ImportPath] = pk.Export
+		}
+		if pk.Standard || pk.DepOnly || pk.Module == nil {
+			continue
+		}
+		targets = append(targets, pk)
+		if module == "" {
+			module = pk.Module.Path
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no packages matched %v", opts.Patterns)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	runner := NewRunner(module, fset)
+
+	for _, pk := range targets {
+		files, err := parsePkgFiles(fset, pk.Dir, pk.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) > 0 {
+			info := &types.Info{
+				Types: make(map[ast.Expr]types.TypeAndValue),
+				Uses:  make(map[*ast.Ident]types.Object),
+				Defs:  make(map[*ast.Ident]types.Object),
+			}
+			cfg := types.Config{Importer: imp}
+			if _, err := cfg.Check(pk.ImportPath, fset, files, info); err != nil {
+				return nil, fmt.Errorf("lint: type-check %s: %w", pk.ImportPath, err)
+			}
+			runner.CheckPackage(pk.ImportPath, files, info)
+		}
+		if opts.SkipTests {
+			continue
+		}
+		// Test files are analyzed syntactically: they are not part of the
+		// export graph, and the analyzers that apply to them resolve
+		// imports from the file's own import table.
+		testFiles, err := parsePkgFiles(fset, pk.Dir, append(append([]string{}, pk.TestGoFiles...), pk.XTestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		if len(testFiles) > 0 {
+			runner.CheckPackage(pk.ImportPath, testFiles, nil)
+		}
+	}
+	return runner.Finish(), nil
+}
+
+// goList shells out to `go list -export -deps -json`, which both resolves
+// the module's package graph and materializes export data for every
+// dependency (stdlib included) in the build cache.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, strings.TrimSpace(stderr.String()))
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listedPkg
+	for {
+		var pk listedPkg
+		if err := dec.Decode(&pk); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &pk)
+	}
+	return pkgs, nil
+}
+
+// parsePkgFiles parses the named files (with comments, for //lint:allow).
+func parsePkgFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ParseDir parses every .go file in dir syntactically (no type-check) —
+// the hermetic path used by the golden-file harness.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return parsePkgFiles(fset, dir, names)
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"sort"
+	"strconv"
+)
+
+// rngkey checks that no two detrand.NewKeyed call sites share the same
+// constant key prefix. NewKeyed(seed, parts...) seeds a stream from a hash
+// of its parts; two sites whose leading constant parts coincide can
+// collide on their dynamic remainder, correlating noise streams the
+// analysis treats as independent (a Maps-presence flip and a news-rotation
+// draw moving in lockstep would masquerade as personalization).
+//
+// The leading run of constant string arguments is the stream name; sites
+// with no constant prefix (fully dynamic or spread calls) are skipped.
+var rngkeyAnalyzer = &Analyzer{
+	Name: "rngkey",
+	Doc: "rejects duplicate constant key prefixes across detrand.NewKeyed call sites; " +
+		"a collision would correlate supposedly independent noise streams",
+	run:    runRngkey,
+	finish: finishRngkey,
+}
+
+// rngSite is one recorded NewKeyed call site.
+type rngSite struct {
+	pos token.Position
+}
+
+func runRngkey(p *Pass, f *ast.File) {
+	detrandPath := p.Module + "/internal/detrand"
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := p.resolvePkgSel(f, sel)
+		if !ok || path != detrandPath || name != "NewKeyed" {
+			return true
+		}
+		prefix := p.constPrefix(call)
+		if prefix == "" {
+			return true
+		}
+		p.runner.rngSites[prefix] = append(p.runner.rngSites[prefix],
+			rngSite{pos: p.Fset.Position(call.Pos())})
+		return true
+	})
+}
+
+// constPrefix joins the leading constant string arguments of a NewKeyed
+// call (after the seed) with the same 0x1f separator detrand.Hash uses, so
+// prefixes compare exactly as the hash would see them.
+func (p *Pass) constPrefix(call *ast.CallExpr) string {
+	if len(call.Args) < 2 {
+		return ""
+	}
+	var parts []string
+	for _, arg := range call.Args[1:] {
+		s, ok := p.constString(arg)
+		if !ok {
+			break
+		}
+		parts = append(parts, s)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	out := ""
+	for i, s := range parts {
+		if i > 0 {
+			out += "\x1f"
+		}
+		out += s
+	}
+	return out
+}
+
+// constString evaluates arg as a compile-time string constant. Typed mode
+// sees named constants and concatenations; syntactic mode only literals.
+func (p *Pass) constString(arg ast.Expr) (string, bool) {
+	if p.Info != nil {
+		if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+			return constant.StringVal(tv.Value), true
+		}
+		return "", false
+	}
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// finishRngkey compares the collected sites: the first (in position order)
+// owns its prefix; every later site sharing it is flagged.
+func finishRngkey(r *Runner) {
+	for prefix, sites := range r.rngSites {
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool {
+			a, b := sites[i].pos, sites[j].pos
+			if a.Filename != b.Filename {
+				return a.Filename < b.Filename
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Column < b.Column
+		})
+		first := sites[0].pos
+		for _, s := range sites[1:] {
+			r.report(Diagnostic{
+				Pos:      s.pos,
+				Analyzer: "rngkey",
+				Message: fmt.Sprintf("detrand.NewKeyed key prefix %s duplicates the stream opened at %s:%d",
+					printableKey(prefix), first.Filename, first.Line),
+				Hint: "give each call site a unique leading key string so noise streams stay independent",
+			})
+		}
+	}
+}
+
+// printableKey renders a prefix for diagnostics, showing the separator
+// between parts as '/'.
+func printableKey(prefix string) string {
+	out := ""
+	for _, r := range prefix {
+		if r == '\x1f' {
+			out += "/"
+		} else {
+			out += string(r)
+		}
+	}
+	return strconv.Quote(out)
+}

@@ -1,0 +1,19 @@
+// Package allowdata exercises the //lint:allow audit: a used allow
+// suppresses its diagnostic silently, while unused, unknown-analyzer, and
+// reasonless allows are themselves diagnostics (checked by TestAllowAudit
+// with explicit expectations, since the audit reports at the comment's own
+// line where a trailing want-comment cannot sit).
+package allowdata
+
+import "time"
+
+// edge's allow is used: it suppresses the wallclock diagnostic on its line.
+func edge() time.Time {
+	return time.Now() //lint:allow wallclock process-edge timestamp outside any campaign
+}
+
+//lint:allow wallclock nothing on this line violates anything
+
+//lint:allow nosuch this analyzer does not exist
+
+//lint:allow wallclock

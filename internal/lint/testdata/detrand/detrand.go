@@ -1,0 +1,20 @@
+//lintpkg:geoserp/internal/engine
+
+// Package detranddata seeds detrand violations: the //lintpkg directive
+// above places it inside a deterministic package, where stdlib randomness
+// imports are forbidden regardless of how they are named.
+package detranddata
+
+import (
+	mrand "math/rand" // want "detrand: import of math/rand in deterministic package geoserp/internal/engine"
+
+	crand "crypto/rand" //lint:allow detrand key material for a non-measured admin token
+
+	"math/rand/v2" // want "detrand: import of math/rand/v2 in deterministic package geoserp/internal/engine"
+)
+
+func draw() (int, int) {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return mrand.Int(), rand.Int()
+}

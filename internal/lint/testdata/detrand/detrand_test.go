@@ -1,0 +1,11 @@
+//lintpkg:geoserp/internal/engine
+
+package detranddata
+
+import "math/rand" // want "detrand: import of math/rand in deterministic package geoserp/internal/engine"
+
+// detrand applies to test files too: a deterministic package's tests that
+// shuffle with math/rand would themselves be flaky.
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,8 @@
+// Package detrandok is the detrand negative case: it carries no //lintpkg
+// directive, so it sits outside the deterministic scope and may import
+// stdlib randomness freely.
+package detrandok
+
+import "math/rand"
+
+func jitter() float64 { return rand.Float64() }

@@ -1,0 +1,34 @@
+//lintpkg:geoserp/internal/browser
+
+// Package errwrapdata seeds errwrap violations: inside retry-classified
+// packages, fmt.Errorf must wrap error operands with %w so errors.As can
+// still find the transient/permanent marker.
+package errwrapdata
+
+import "fmt"
+
+// flattened loses the cause: %v renders the error to text.
+func flattened(url string, err error) error {
+	return fmt.Errorf("fetch %s: %v", url, err) // want "errwrap: error operand formatted with %v loses the wrapped cause"
+}
+
+// stringified is just as lossy with %s.
+func stringified(err error) error {
+	return fmt.Errorf("checkpoint: %s", err) // want "errwrap: error operand formatted with %s loses the wrapped cause"
+}
+
+// wrapped is the correct shape: %w preserves the chain.
+func wrapped(url string, err error) error {
+	return fmt.Errorf("fetch %s: %w", url, err)
+}
+
+// nonError formats ordinary values; nothing to wrap.
+func nonError(status int, url string) error {
+	return fmt.Errorf("status %d from %s", status, url)
+}
+
+// allowed flattens deliberately: this message crosses a process boundary
+// where the chain cannot survive anyway.
+func allowed(err error) error {
+	return fmt.Errorf("remote: %v", err) //lint:allow errwrap message crosses a process boundary, the chain cannot survive
+}

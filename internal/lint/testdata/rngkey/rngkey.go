@@ -1,0 +1,24 @@
+//lintpkg:geoserp/internal/webcorpus
+
+// Package rngkeydata seeds rngkey violations: two NewKeyed call sites
+// sharing a constant key prefix are a stream collision; distinct prefixes
+// and fully dynamic keys are not.
+package rngkeydata
+
+import "geoserp/internal/detrand"
+
+func streams(seed uint64, trace string) {
+	_ = detrand.NewKeyed(seed, "request", trace)
+	_ = detrand.NewKeyed(seed, "request", trace) // want "rngkey: detrand.NewKeyed key prefix \"request\" duplicates the stream opened at"
+
+	// A distinct leading key is an independent stream.
+	_ = detrand.NewKeyed(seed, "newsrotation", trace)
+
+	// No constant prefix: the key is entirely dynamic, so the analyzer has
+	// nothing to compare and skips the site.
+	_ = detrand.NewKeyed(seed, trace)
+
+	// The collision below is deliberate and annotated.
+	_ = detrand.NewKeyed(seed, "harness", trace)
+	_ = detrand.NewKeyed(seed, "harness", trace) //lint:allow rngkey deliberate collision exercising the harness
+}

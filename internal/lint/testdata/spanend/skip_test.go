@@ -1,0 +1,8 @@
+package spanenddata
+
+// Test files are exempt from spanend: tests deliberately leak spans to
+// exercise ring eviction. No diagnostic is expected here.
+func leakForEviction() {
+	s := rec.StartChild("evicted")
+	_ = s
+}

@@ -1,0 +1,85 @@
+// Package spanenddata seeds spanend violations against a stub span API
+// that mirrors telemetry's shape (the harness runs syntactically, so the
+// method names are what the analyzer keys on).
+package spanenddata
+
+type span struct{}
+
+func (*span) End() {}
+
+type recorder struct{}
+
+func (*recorder) StartChild(name string) *span { return nil }
+
+func startSpan(name string) (int, *span) { return 0, nil }
+
+var rec recorder
+
+func work() {}
+
+// discarded never binds the span at all.
+func discarded() {
+	rec.StartChild("op") // want "spanend: started span is discarded; it can never be ended"
+}
+
+// blank binds the span to _, which is equally unendable.
+func blank() {
+	_ = rec.StartChild("op") // want "spanend: started span is assigned to _; it can never be ended"
+}
+
+// leaked starts a span and falls off the end of the function.
+func leaked() {
+	s := rec.StartChild("op") // want "spanend: span \"s\" is never ended"
+}
+
+// tupleLeaked exercises the (ctx, span) helper form: the second result is
+// the span, and it is never ended.
+func tupleLeaked() {
+	ctx, s := startSpan("op") // want "spanend: span \"s\" is never ended"
+	_ = ctx
+}
+
+// branchLeak ends the span on the fallthrough path but not before the
+// early return.
+func branchLeak(cond bool) {
+	s := rec.StartChild("op") // want "spanend: span \"s\" is not ended on all paths"
+	if cond {
+		return
+	}
+	s.End()
+}
+
+// deferred is the canonical correct shape: End is deferred immediately,
+// so every path is covered.
+func deferred(cond bool) {
+	s := rec.StartChild("op")
+	defer s.End()
+	if cond {
+		return
+	}
+	work()
+}
+
+// guarded is the conditional-tracing shape: the span may be nil, and the
+// nil-guarded End covers the live path (End is nil-safe on the other).
+func guarded(on bool) {
+	var s *span
+	if on {
+		s = rec.StartChild("op")
+	}
+	work()
+	if s != nil {
+		s.End()
+	}
+}
+
+// escapes hands the span to its caller, whose responsibility it becomes.
+func escapes() *span {
+	s := rec.StartChild("op")
+	return s
+}
+
+// allowed leaks deliberately: ring-eviction tests need an unended span.
+func allowed() {
+	s := rec.StartChild("op") //lint:allow spanend deliberate leak exercising the recorder ring
+}

@@ -1,0 +1,35 @@
+// Package wallclockdata seeds wallclock violations for the golden harness:
+// direct reads of the process clock are flagged, simclock-friendly idioms
+// and pure time-arithmetic are not, and //lint:allow is the escape hatch.
+package wallclockdata
+
+import "time"
+
+// bad reads the process clock directly.
+func bad() time.Time {
+	return time.Now() // want "wallclock: time.Now reads the process wall clock outside internal/simclock"
+}
+
+// badSleep schedules against the process clock.
+func badSleep() {
+	time.Sleep(time.Second) // want "wallclock: time.Sleep reads the process wall clock outside internal/simclock"
+}
+
+// badTicker builds a wall-clock ticker.
+func badTicker() {
+	t := time.NewTicker(time.Minute) // want "wallclock: time.NewTicker reads the process wall clock outside internal/simclock"
+	t.Stop()
+}
+
+// good only does time arithmetic: constructing instants and durations
+// never reads the clock.
+func good() time.Time {
+	epoch := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	return epoch.Add(11 * time.Minute)
+}
+
+// allowed is the sanctioned escape hatch: the annotation names the
+// analyzer and carries a reason.
+func allowed() time.Time {
+	return time.Now() //lint:allow wallclock process-edge timestamp outside any campaign
+}

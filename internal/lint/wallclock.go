@@ -1,0 +1,49 @@
+package lint
+
+import "go/ast"
+
+// wallclockForbidden are the package-level time functions that read or
+// schedule against the process wall clock. Anything touching them outside
+// internal/simclock bypasses the injected Clock, so virtual-time campaigns
+// stop being deterministic.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+var wallclockAnalyzer = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Sleep/Since/After/Tick and friends outside internal/simclock; " +
+		"all time must flow through an injected simclock.Clock",
+	SkipTestFiles: true,
+	run:           runWallclock,
+}
+
+func runWallclock(p *Pass, f *ast.File) {
+	// simclock is the one place allowed to touch real time: Wall() is the
+	// sanctioned bridge, and callers inject it as a Clock.
+	if p.InScope("internal/simclock") {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := p.resolvePkgSel(f, sel)
+		if !ok || path != "time" || !wallclockForbidden[name] {
+			return true
+		}
+		p.Reportf(sel.Pos(),
+			"inject a simclock.Clock (simclock.Wall() at the process edge) so virtual-time runs stay deterministic",
+			"time.%s reads the process wall clock outside internal/simclock", name)
+		return true
+	})
+}

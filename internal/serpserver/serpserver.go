@@ -27,6 +27,7 @@ import (
 	"geoserp/internal/engine"
 	"geoserp/internal/geo"
 	"geoserp/internal/serp"
+	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
 
@@ -46,7 +47,11 @@ type Handler struct {
 	tel    *telemetry.Registry
 	logger *slog.Logger
 	spans  *telemetry.SpanRecorder
-	inst   httpInstruments
+	// wall times request handling for the duration histogram and access
+	// log: those measure real hardware latency regardless of the virtual
+	// campaign clock driving the engine.
+	wall simclock.Clock
+	inst httpInstruments
 }
 
 // httpInstruments are the handler's registered metrics.
@@ -82,7 +87,7 @@ func WithSpans(rec *telemetry.SpanRecorder) HandlerOption {
 // engine.WithTelemetry(reg) makes /metricsz expose both layers from one
 // registry.
 func NewHandler(eng *engine.Engine, opts ...HandlerOption) *Handler {
-	h := &Handler{eng: eng, mux: http.NewServeMux(), tel: eng.Telemetry()}
+	h := &Handler{eng: eng, mux: http.NewServeMux(), tel: eng.Telemetry(), wall: simclock.Wall()}
 	for _, o := range opts {
 		o(h)
 	}
@@ -165,9 +170,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r = r.WithContext(telemetry.WithSpan(
 			telemetry.WithSpanRecorder(r.Context(), h.spans), span))
 	}
-	start := time.Now()
+	start := h.wall.Now()
 	h.mux.ServeHTTP(rec, r)
-	dur := time.Since(start)
+	dur := h.wall.Now().Sub(start)
 	h.inst.duration.Observe(dur.Seconds())
 	h.inst.byCode.With(strconv.Itoa(rec.Status())).Inc()
 	if span != nil {

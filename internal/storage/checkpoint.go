@@ -36,7 +36,9 @@ type Checkpoint struct {
 	Granularity string `json:"granularity,omitempty"`
 	Day         int    `json:"day,omitempty"`
 	Term        string `json:"term,omitempty"`
-	// UpdatedAt is the wall-clock time the checkpoint was written.
+	// UpdatedAt is the campaign-clock time the checkpoint was written —
+	// virtual under a Manual clock, so resumed virtual-time runs produce
+	// byte-identical checkpoint files.
 	UpdatedAt time.Time `json:"updated_at"`
 }
 
