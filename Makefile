@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check lint chaos bench bench-json repro repro-full examples clean
+.PHONY: all build vet test check lint chaos soak bench bench-json repro repro-full examples clean
 
 all: build vet test
 
@@ -19,6 +19,14 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go vet ./...
 	go run ./cmd/geoserplint ./...
+
+# soak runs the chaos soak harness under the race detector: a virtual-time
+# campaign against an admission-controlled server through a multi-phase
+# fault schedule, asserting the overload-resilience invariants (no
+# deadlock, breakers re-close, shed fraction within budget, zero terminal
+# failures) and writing the full span timeline to soak-trace.json.
+soak:
+	go run -race ./cmd/soak -trace-out soak-trace.json
 
 # chaos runs the fault-injection suite under the race detector: chaos
 # transport/middleware, retry classification, failure budgets, and
@@ -66,4 +74,4 @@ examples:
 	go run ./examples/ipmethodology
 
 clean:
-	rm -f campaign.jsonl test_output.txt bench_output.txt BENCH_core.json trace.json
+	rm -f campaign.jsonl test_output.txt bench_output.txt BENCH_core.json trace.json soak-trace.json

@@ -47,6 +47,19 @@ type options struct {
 	// FailureBudget is the per-round fraction of fetches allowed to fail
 	// after retries before the campaign aborts (0 = strict).
 	FailureBudget float64
+	// ShedBudget is the per-round fraction of fetches allowed to end shed
+	// by server admission control (0 = strict).
+	ShedBudget float64
+	// BreakerThreshold arms the per-browser circuit breaker (0 = off).
+	BreakerThreshold int
+	// BreakerCooldown is the breaker's open-state dwell.
+	BreakerCooldown time.Duration
+	// Deadline, when positive, is each fetch's end-to-end budget,
+	// propagated to the server as an absolute X-Deadline-Ms instant.
+	Deadline time.Duration
+	// MaxBody caps how many response-body bytes a browser reads
+	// (0 = browser default); oversized pages fail permanently.
+	MaxBody int64
 	// Checkpoint is the campaign cursor path ("" derives Out + ".ckpt").
 	Checkpoint string
 	// Resume restarts from an existing checkpoint instead of from zero.
@@ -100,6 +113,11 @@ func runCrawl(opts options) (int, error) {
 	ccfg.RetryBackoff = opts.RetryBackoff
 	ccfg.FetchTimeout = opts.FetchTimeout
 	ccfg.FailureBudget = opts.FailureBudget
+	ccfg.ShedBudget = opts.ShedBudget
+	ccfg.BreakerThreshold = opts.BreakerThreshold
+	ccfg.BreakerCooldown = opts.BreakerCooldown
+	ccfg.DeadlineBudget = opts.Deadline
+	ccfg.MaxBodyBytes = opts.MaxBody
 
 	take := func(qs []queries.Query) []queries.Query {
 		if opts.TermsPerCategory > 0 && len(qs) > opts.TermsPerCategory {
@@ -276,5 +294,6 @@ func logTelemetrySummary(logger *slog.Logger, reg *telemetry.Registry, nObs int)
 		"rate_limited_429s", reg.Counter("browser_rate_limited_total", "").Value(),
 		"retries", reg.Counter("browser_retries_total", "").Value(),
 		"fetch_failures", reg.CounterVec("crawler_fetch_failures_total", "", "phase").Total(),
-		"fetch_retries", reg.CounterVec("crawler_fetch_retries_total", "", "phase").Total())
+		"fetch_retries", reg.CounterVec("crawler_fetch_retries_total", "", "phase").Total(),
+		"fetch_shed", reg.CounterVec("crawler_fetch_shed_total", "", "phase").Total())
 }

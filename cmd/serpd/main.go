@@ -8,10 +8,16 @@
 //	      [-verbose] [-log-format text|json] [-pprof-addr 127.0.0.1:6060]
 //	      [-chaos-abort-rate 0] [-chaos-5xx-rate 0] [-chaos-truncate-rate 0]
 //	      [-chaos-latency 0] [-chaos-seed 1]
+//	      [-max-inflight 0] [-queue-depth 0] [-admission-service-time 1s]
 //
 // The -chaos-* flags make /search deliberately unreliable (fault
 // injection) so crawler deployments can rehearse retries, failure budgets,
 // and checkpoint resume against a real wire.
+//
+// The -max-inflight and -queue-depth flags arm admission control: at most
+// max-inflight /search requests execute at once, queue-depth more wait in
+// FIFO order, and the rest are shed with 503 plus a Retry-After hint
+// derived from the backlog and -admission-service-time.
 //
 // Endpoints:
 //
@@ -54,6 +60,9 @@ func main() {
 	flag.Float64Var(&opts.Chaos.ServerErrorRate, "chaos-5xx-rate", 0, "probability a /search request is answered 500")
 	flag.Float64Var(&opts.Chaos.TruncateRate, "chaos-truncate-rate", 0, "probability a /search response body is cut off mid-stream")
 	flag.DurationVar(&opts.Chaos.Latency, "chaos-latency", 0, "extra latency added to every /search request")
+	flag.IntVar(&opts.Admission.MaxInflight, "max-inflight", 0, "max concurrent /search requests admitted (0 disables admission control)")
+	flag.IntVar(&opts.Admission.QueueDepth, "queue-depth", 0, "how many /search requests may queue for an admission slot")
+	flag.DurationVar(&opts.Admission.ServiceTime, "admission-service-time", time.Second, "per-request service-time estimate behind Retry-After hints")
 	flag.IntVar(&opts.TracezCapacity, "tracez-capacity", telemetry.DefaultSpanCapacity, "span ring capacity behind GET /tracez (0 disables tracing)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")

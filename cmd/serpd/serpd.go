@@ -33,6 +33,10 @@ type options struct {
 	// Chaos configures deliberate fault injection on /search (the
 	// -chaos-* flags); zero value disables it.
 	Chaos serpserver.ChaosConfig
+	// Admission configures the /search concurrency gate (the
+	// -max-inflight and -queue-depth flags); zero value admits
+	// everything.
+	Admission serpserver.AdmissionConfig
 	// TracezCapacity bounds the span ring behind GET /tracez (<=0
 	// disables request tracing and the endpoint).
 	TracezCapacity int
@@ -88,6 +92,11 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 	var root http.Handler = handler
 	if opts.Chaos.Enabled() {
 		root = serpserver.WithChaos(opts.Chaos, handler)
+	}
+	if opts.Admission.Enabled() {
+		// Admission wraps outermost so even chaos-injected work cannot
+		// bypass the concurrency gate.
+		root = serpserver.WithAdmission(opts.Admission, handler, root)
 	}
 	srv, err := serpserver.Listen(opts.Addr, root)
 	if err != nil {

@@ -1,0 +1,115 @@
+// Command soak is the chaos soak harness: it runs a virtual-time crawl
+// campaign against an in-process engine throttled by admission control
+// while a seeded, multi-phase fault schedule (calm, error burst, latency
+// spike, recovery) batters the wire — then asserts the overload-resilience
+// invariants held:
+//
+//   - the rig never deadlocks (a wall-clock watchdog crashes a wedged run);
+//   - the admission gate sheds under overload, within the shed budget;
+//   - every circuit-breaker trip is matched by a re-close once faults clear;
+//   - no fetch fails terminally: retries, Retry-After backoff, and breaker
+//     cooldowns recover every fault inside its lock-step round.
+//
+// Usage:
+//
+//	soak [-seed 1] [-terms 4] [-max-inflight 4] [-queue-depth 8]
+//	     [-retries 20] [-breaker-threshold 3] [-breaker-cooldown 45s]
+//	     [-deadline 10m] [-shed-fraction-budget 0.75] [-watchdog 4m]
+//	     [-out obs.jsonl] [-trace-out soak-trace.json]
+//
+// The campaign's observations can be written with -out, and -trace-out
+// dumps the full span timeline (admission sheds included) in Chrome
+// trace-event format. Exit status is non-zero when any invariant fails.
+//
+// Same-seed soak runs produce byte-identical observation output; the
+// package's test runs the harness twice and enforces it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+func main() {
+	opts := defaultSoakOptions()
+	flag.Uint64Var(&opts.Seed, "seed", opts.Seed, "seed for the engine and the fault schedule")
+	flag.IntVar(&opts.Terms, "terms", opts.Terms, "terms in the soak phase")
+	flag.DurationVar(&opts.Wait, "wait", opts.Wait, "lock-step slot width between terms")
+	flag.IntVar(&opts.MaxInflight, "max-inflight", opts.MaxInflight, "admission gate concurrency bound")
+	flag.IntVar(&opts.QueueDepth, "queue-depth", opts.QueueDepth, "admission gate queue depth")
+	flag.DurationVar(&opts.ServiceTime, "service-time", opts.ServiceTime, "per-request service estimate behind Retry-After hints")
+	flag.DurationVar(&opts.ServiceLatency, "service-latency", opts.ServiceLatency, "wall-clock latency injected per admitted request so the gate saturates")
+	flag.IntVar(&opts.Retries, "retries", opts.Retries, "fetch attempts per query")
+	flag.DurationVar(&opts.RetryBackoff, "retry-backoff", opts.RetryBackoff, "linear backoff base between attempts")
+	flag.IntVar(&opts.BreakerThreshold, "breaker-threshold", opts.BreakerThreshold, "consecutive failures that open a browser's breaker")
+	flag.DurationVar(&opts.BreakerCooldown, "breaker-cooldown", opts.BreakerCooldown, "breaker open-state dwell")
+	flag.DurationVar(&opts.Deadline, "deadline", opts.Deadline, "end-to-end fetch deadline propagated to the server")
+	flag.Float64Var(&opts.ShedFractionBudget, "shed-fraction-budget", opts.ShedFractionBudget, "max tolerated fraction of admission decisions ending in a shed")
+	flag.DurationVar(&opts.Watchdog, "watchdog", opts.Watchdog, "wall-clock deadline after which the run counts as deadlocked (0 = off)")
+	out := flag.String("out", "", "write the campaign observations as JSONL")
+	traceOut := flag.String("trace-out", "", "write the soak timeline as Chrome trace-event JSON")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	verbose := flag.Bool("v", false, "debug logging: one record per fetch")
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(telemetry.NewLogHandler(os.Stderr, *logFormat, level))
+	opts.Logger = logger
+	if *traceOut != "" {
+		opts.TraceCapacity = 1 << 17
+	}
+
+	wall := simclock.Wall()
+	start := wall.Now()
+	sum, err := runSoak(opts)
+	if sum != nil {
+		logger.Info("soak complete",
+			"observations", sum.Observations,
+			"failed", sum.FailedObs,
+			"shed_observations", sum.ShedObs,
+			"admitted", sum.Admitted,
+			"shed_by_reason", fmt.Sprint(sum.ShedByReason),
+			"shed_fraction", fmt.Sprintf("%.3f", sum.ShedFraction),
+			"breaker_open", sum.BreakerOpen,
+			"breaker_reopen", sum.BreakerReopen,
+			"breaker_close", sum.BreakerClose,
+			"faults_injected", sum.FaultsDrawn,
+			"retries", sum.Retries,
+			"virtual_elapsed", sum.VirtualTime.String(),
+			"wall_elapsed", wall.Now().Sub(start).Round(time.Millisecond).String())
+	}
+	if err != nil {
+		logger.Error("soak failed", "err", err)
+		os.Exit(1)
+	}
+	if *out != "" && sum != nil {
+		if werr := os.WriteFile(*out, sum.JSONL, 0o644); werr != nil {
+			logger.Error("write observations", "err", werr)
+			os.Exit(1)
+		}
+		logger.Info("observations written", "path", *out, "bytes", len(sum.JSONL))
+	}
+	if *traceOut != "" && sum != nil && sum.Spans != nil {
+		f, cerr := os.Create(*traceOut)
+		if cerr == nil {
+			cerr = telemetry.WriteChromeTrace(f, sum.Spans.Snapshot())
+			if closeErr := f.Close(); cerr == nil {
+				cerr = closeErr
+			}
+		}
+		if cerr != nil {
+			logger.Error("write trace", "err", cerr)
+			os.Exit(1)
+		}
+		logger.Info("soak trace written", "path", *traceOut, "spans", sum.Spans.Len())
+	}
+}

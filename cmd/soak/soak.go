@@ -1,0 +1,362 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"geoserp/internal/browser"
+	"geoserp/internal/crawler"
+	"geoserp/internal/engine"
+	"geoserp/internal/geo"
+	"geoserp/internal/queries"
+	"geoserp/internal/serpserver"
+	"geoserp/internal/simclock"
+	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
+)
+
+// soakOptions parameterize one soak run. The defaults are deliberately
+// hostile: a district-granularity sweep throws 30 concurrent fetches at a
+// server that admits 4 and queues 8, so every single round overloads the
+// gate, while the fault schedule walks through error bursts and latency
+// spikes day by day.
+type soakOptions struct {
+	Seed  uint64
+	Terms int           // terms in the soak phase
+	Wait  time.Duration // lock-step slot width
+
+	MaxInflight int
+	QueueDepth  int
+	ServiceTime time.Duration
+	// ServiceLatency is a WALL-clock sleep injected into every admitted
+	// /search request (via the server's chaos middleware) so requests
+	// genuinely occupy their admission slot for a while. Without it the
+	// synthetic engine answers in microseconds and a 30-wide burst never
+	// overlaps 12-deep in real time, so the gate would never shed. Wall
+	// rather than virtual latency on purpose: a handler sleeping on the
+	// campaign clock while its clients hold that clock would deadlock
+	// the rig.
+	ServiceLatency time.Duration
+
+	Retries          int
+	RetryBackoff     time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	Deadline         time.Duration
+
+	// ShedFractionBudget is the largest tolerated fraction of admission
+	// decisions that ended in a shed (the "shed fraction within budget"
+	// soak invariant).
+	ShedFractionBudget float64
+	// Watchdog is the wall-clock time after which a still-running soak is
+	// declared deadlocked (the "no deadlock" invariant); 0 disables it.
+	Watchdog time.Duration
+
+	Logger *slog.Logger
+	// TraceCapacity sizes the span ring when a trace artifact is wanted
+	// (0 = no span recording).
+	TraceCapacity int
+}
+
+func defaultSoakOptions() soakOptions {
+	return soakOptions{
+		Seed:           1,
+		Terms:          4,
+		Wait:           11 * time.Minute,
+		MaxInflight:    4,
+		QueueDepth:     8,
+		ServiceTime:    500 * time.Millisecond,
+		ServiceLatency: 10 * time.Millisecond,
+		// 20 attempts with 1s linear backoff plus 45s breaker cooldowns
+		// keeps the worst-case fetch under ~8 virtual minutes — inside
+		// both the 10-minute deadline and the 11-minute slot, so faults
+		// are recovered within the round they struck.
+		Retries:            20,
+		RetryBackoff:       time.Second,
+		BreakerThreshold:   3,
+		BreakerCooldown:    45 * time.Second,
+		Deadline:           10 * time.Minute,
+		ShedFractionBudget: 0.75,
+		Watchdog:           4 * time.Minute,
+	}
+}
+
+// soakEpoch anchors the virtual campaign; one day per fault phase.
+var soakEpoch = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// soakPhases is the seeded multi-phase fault schedule, one entry per
+// virtual day: a calm baseline, an error burst that trips circuit
+// breakers, a latency spike, and a final calm day that proves every
+// breaker re-closes once the faults clear.
+func soakPhases(seed uint64, clk simclock.Clock) []browser.ChaosConfig {
+	return []browser.ChaosConfig{
+		{}, // day 0: calm — overload only
+		{Seed: seed, ErrorRate: 0.3, ServerErrorRate: 0.3, Clock: clk}, // day 1: error burst
+		{Seed: seed, Latency: 3 * time.Second, Clock: clk},             // day 2: latency spike
+		{}, // day 3: calm — recovery
+	}
+}
+
+// phasedTransport switches between per-day chaos transports on the virtual
+// clock, modelling a fault landscape that changes over the campaign.
+type phasedTransport struct {
+	clk    simclock.Clock
+	epoch  time.Time
+	phases []http.RoundTripper
+}
+
+func newPhasedTransport(seed uint64, clk simclock.Clock) *phasedTransport {
+	base := &http.Transport{}
+	cfgs := soakPhases(seed, clk)
+	phases := make([]http.RoundTripper, len(cfgs))
+	for i, cfg := range cfgs {
+		if cfg == (browser.ChaosConfig{}) {
+			phases[i] = base
+			continue
+		}
+		phases[i] = browser.NewChaosTransport(cfg, base)
+	}
+	return &phasedTransport{clk: clk, epoch: soakEpoch, phases: phases}
+}
+
+func (p *phasedTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	day := int(p.clk.Now().Sub(p.epoch) / (24 * time.Hour))
+	if day < 0 {
+		day = 0
+	}
+	if day >= len(p.phases) {
+		day = len(p.phases) - 1
+	}
+	return p.phases[day].RoundTrip(req)
+}
+
+// injected sums the faults every phase transport injected.
+func (p *phasedTransport) injected() uint64 {
+	var n uint64
+	for _, rt := range p.phases {
+		if ct, ok := rt.(*browser.ChaosTransport); ok {
+			n += ct.Injected()
+		}
+	}
+	return n
+}
+
+// soakSummary is what one run measured; JSONL holds the campaign's
+// observations exactly as cmd/crawl would have written them, the payload
+// the determinism test byte-compares across same-seed runs.
+type soakSummary struct {
+	Observations  int
+	FailedObs     int
+	ShedObs       int
+	Admitted      uint64
+	ShedByReason  map[string]uint64
+	ShedFraction  float64
+	BreakerOpen   uint64
+	BreakerReopen uint64
+	BreakerClose  uint64
+	FaultsDrawn   uint64
+	Retries       uint64
+	VirtualTime   time.Duration
+	JSONL         []byte
+	Spans         *telemetry.SpanRecorder
+}
+
+// runSoak executes the chaos soak: a virtual-time campaign against an
+// in-process engine behind admission control, with the client-side fault
+// schedule in soakPhases. It returns the summary plus an error naming
+// every violated invariant.
+func runSoak(opts soakOptions) (*soakSummary, error) {
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+
+	if opts.Watchdog > 0 {
+		// The no-deadlock invariant, enforced by construction: a soak
+		// that outlives the watchdog in WALL time (virtual campaigns
+		// finish in seconds) has wedged the clock/admission/retry
+		// machinery, and the watchdog crashes the run so CI reports it
+		// instead of hanging.
+		finished := make(chan struct{})
+		defer close(finished)
+		fired := make(chan struct{})
+		go func() {
+			simclock.Wall().Sleep(opts.Watchdog)
+			close(fired)
+		}()
+		go func() {
+			select {
+			case <-finished:
+			case <-fired:
+				panic(fmt.Sprintf("soak: wall-clock watchdog fired after %s — the rig deadlocked", opts.Watchdog))
+			}
+		}()
+	}
+
+	clk := simclock.NewManual(soakEpoch)
+	reg := telemetry.NewRegistry()
+	corpus := queries.StudyCorpus()
+
+	var spans *telemetry.SpanRecorder
+	if opts.TraceCapacity > 0 {
+		spans = telemetry.NewSpanRecorder(opts.TraceCapacity, clk)
+	}
+
+	ecfg := engine.DefaultConfig()
+	if opts.Seed != 0 {
+		ecfg.Seed = opts.Seed
+	}
+	eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus), engine.WithTelemetry(reg))
+	var hopts []serpserver.HandlerOption
+	if spans != nil {
+		hopts = append(hopts, serpserver.WithSpans(spans))
+	}
+	handler := serpserver.NewHandler(eng, hopts...)
+	var inner http.Handler = handler
+	if opts.ServiceLatency > 0 {
+		inner = serpserver.WithChaos(serpserver.ChaosConfig{
+			Seed:    opts.Seed,
+			Latency: opts.ServiceLatency,
+			Clock:   simclock.Wall(),
+		}, handler)
+	}
+	root := serpserver.WithAdmission(serpserver.AdmissionConfig{
+		MaxInflight: opts.MaxInflight,
+		QueueDepth:  opts.QueueDepth,
+		ServiceTime: opts.ServiceTime,
+		Clock:       clk,
+	}, handler, inner)
+	srv, err := serpserver.Listen("127.0.0.1:0", root)
+	if err != nil {
+		return nil, err
+	}
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	transport := newPhasedTransport(opts.Seed, clk)
+	ccfg := crawler.DefaultConfig()
+	ccfg.WaitBetweenTerms = opts.Wait
+	ccfg.RetryAttempts = opts.Retries
+	ccfg.RetryBackoff = opts.RetryBackoff
+	ccfg.BreakerThreshold = opts.BreakerThreshold
+	ccfg.BreakerCooldown = opts.BreakerCooldown
+	ccfg.DeadlineBudget = opts.Deadline
+	// Fail-soft budgets so a pathological round is recorded rather than
+	// aborting the soak; the invariants below still demand zero terminal
+	// failures.
+	ccfg.FailureBudget = 0.25
+	ccfg.ShedBudget = 0.5
+	cr, err := crawler.New(ccfg, clk, srv.URL(), geo.StudyDataset(), corpus)
+	if err != nil {
+		return nil, err
+	}
+	cr.Logger, cr.Telemetry, cr.Spans, cr.Transport = logger, reg, spans, transport
+
+	terms := corpus.Category(queries.Local)
+	if opts.Terms > 0 && len(terms) > opts.Terms {
+		terms = terms[:opts.Terms]
+	}
+	phase := crawler.Phase{
+		Name:  "soak",
+		Terms: terms,
+		// District granularity: 15 vantages x (treatment + control) = 30
+		// concurrent fetches per round against MaxInflight+QueueDepth
+		// slots — sustained overload by design.
+		Granularities: []geo.Granularity{geo.County},
+		Days:          len(soakPhases(opts.Seed, clk)),
+	}
+
+	start := clk.Now()
+	obs, err := cr.RunCampaignVirtual(clk, []crawler.Phase{phase})
+	if err != nil {
+		return nil, fmt.Errorf("soak: campaign: %w", err)
+	}
+
+	sum := &soakSummary{
+		Observations: len(obs),
+		Admitted:     reg.Counter("serpd_admission_admitted_total", "").Value(),
+		ShedByReason: reg.CounterVec("serpd_admission_shed_total", "", "reason").Values(),
+		FaultsDrawn:  transport.injected(),
+		Retries:      reg.Counter("browser_retries_total", "").Value(),
+		VirtualTime:  clk.Now().Sub(start),
+		Spans:        spans,
+	}
+	for _, o := range obs {
+		if o.Failed {
+			sum.FailedObs++
+		}
+		if o.Shed {
+			sum.ShedObs++
+		}
+	}
+	breakers := reg.CounterVec("browser_breaker_transitions_total", "", "transition").Values()
+	sum.BreakerOpen = breakers["open"]
+	sum.BreakerReopen = breakers["reopen"]
+	sum.BreakerClose = breakers["close"]
+	var shedTotal uint64
+	for _, n := range sum.ShedByReason {
+		shedTotal += n
+	}
+	if decisions := sum.Admitted + shedTotal; decisions > 0 {
+		sum.ShedFraction = float64(shedTotal) / float64(decisions)
+	}
+	var buf bytes.Buffer
+	if err := storage.WriteJSONL(&buf, obs); err != nil {
+		return nil, fmt.Errorf("soak: encode observations: %w", err)
+	}
+	sum.JSONL = buf.Bytes()
+
+	return sum, checkInvariants(opts, sum)
+}
+
+// checkInvariants validates the soak's postconditions, returning one error
+// naming every violation (nil when the run held up).
+func checkInvariants(opts soakOptions, sum *soakSummary) error {
+	var bad []string
+	vantages := len(geo.StudyDataset().At(geo.County))
+	expected := opts.Terms * vantages * 2 * len(soakPhases(opts.Seed, nil))
+	if sum.Observations != expected {
+		bad = append(bad, fmt.Sprintf("observations: got %d, want %d (no slot may be dropped)", sum.Observations, expected))
+	}
+	if sum.FailedObs != 0 || sum.ShedObs != 0 {
+		// Shed-exempt retries must drain every overload wave and the
+		// retry budget must outlast every fault phase; a terminal failure
+		// means recovery machinery gave up inside a round.
+		bad = append(bad, fmt.Sprintf("terminal failures: %d failed, %d shed observations (want 0/0)", sum.FailedObs, sum.ShedObs))
+	}
+	if shedTotal := sum.ShedByReason[shedQueueFullLabel]; shedTotal == 0 {
+		bad = append(bad, "admission gate never shed on a full queue despite sustained overload")
+	}
+	if sum.ShedFraction > opts.ShedFractionBudget {
+		bad = append(bad, fmt.Sprintf("shed fraction %.3f above budget %.3f", sum.ShedFraction, opts.ShedFractionBudget))
+	}
+	if sum.BreakerOpen == 0 {
+		bad = append(bad, "no breaker ever opened despite the error-burst day")
+	}
+	if sum.BreakerOpen != sum.BreakerClose {
+		// Every trip must be matched by a re-close once faults clear
+		// (reopens are half-open probe failures, counted separately, so
+		// the trip/close ledger balances exactly at quiescence).
+		bad = append(bad, fmt.Sprintf("breaker ledger unbalanced: %d opens vs %d closes (%d reopens)", sum.BreakerOpen, sum.BreakerClose, sum.BreakerReopen))
+	}
+	if sum.FaultsDrawn == 0 {
+		bad = append(bad, "fault schedule injected nothing — the soak tested fair weather")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("soak: %d invariant(s) violated:\n  - %s", len(bad), strings.Join(bad, "\n  - "))
+	}
+	return nil
+}
+
+// shedQueueFullLabel mirrors the serpserver's queue_full shed reason; kept
+// as a local constant so the soak binary states its expectation explicitly.
+const shedQueueFullLabel = "queue_full"

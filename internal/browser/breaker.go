@@ -1,0 +1,110 @@
+package browser
+
+import (
+	"time"
+)
+
+// Breaker states. The machine is the classic three-state circuit breaker:
+// closed (traffic flows, consecutive failures are counted), open (traffic
+// fails fast until a cooldown elapses), half-open (one probe is allowed
+// through; success closes the breaker, failure reopens it).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Transition labels reported through the browser_breaker_transitions_total
+// metric. "open" counts trips from closed, "reopen" failed half-open
+// probes; at quiescence (every endpoint healthy again) open == close, which
+// the soak harness asserts.
+const (
+	breakerTransOpen     = "open"
+	breakerTransReopen   = "reopen"
+	breakerTransHalfOpen = "half_open"
+	breakerTransClose    = "close"
+)
+
+// breaker is a per-endpoint circuit breaker. It is driven entirely by the
+// campaign clock instants its owner passes in — it never reads a clock
+// itself — so under a Manual clock its transitions are a pure function of
+// the (deterministic) failure sequence, and same-seed chaos runs replay
+// identical breaker timelines. Like Browser itself it is not safe for
+// concurrent use.
+type breaker struct {
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open-state dwell before a half-open probe
+
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // instant of the most recent trip
+
+	// onTransition, when set, observes every state change (metric hook).
+	onTransition func(label string)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+func (br *breaker) transition(state int, label string) {
+	br.state = state
+	if br.onTransition != nil {
+		br.onTransition(label)
+	}
+}
+
+// allow reports whether a request may be issued at instant now. While the
+// breaker is open and the cooldown has not elapsed it returns ok=false with
+// the remaining wait; once the cooldown passes the breaker moves to
+// half-open and admits a single probe.
+func (br *breaker) allow(now time.Time) (wait time.Duration, ok bool) {
+	if br.state != breakerOpen {
+		return 0, true
+	}
+	if remaining := br.openedAt.Add(br.cooldown).Sub(now); remaining > 0 {
+		return remaining, false
+	}
+	br.transition(breakerHalfOpen, breakerTransHalfOpen)
+	return 0, true
+}
+
+// success records a request that completed. A half-open probe succeeding
+// closes the breaker; in the closed state it resets the failure streak.
+func (br *breaker) success() {
+	if br.state == breakerHalfOpen {
+		br.transition(breakerClosed, breakerTransClose)
+	}
+	br.failures = 0
+}
+
+// failure records a breaker-eligible failure at instant now: transport
+// errors, 5xx, and unparsable pages. Explicit server pushback — 429s and
+// 503 sheds, where the server is alive and named a wait — must not be fed
+// here: the breaker guards against an endpoint that stopped answering
+// usefully, not one asking for patience.
+func (br *breaker) failure(now time.Time) {
+	switch br.state {
+	case breakerHalfOpen:
+		br.openedAt = now
+		br.transition(breakerOpen, breakerTransReopen)
+	case breakerClosed:
+		br.failures++
+		if br.failures >= br.threshold {
+			br.openedAt = now
+			br.transition(breakerOpen, breakerTransOpen)
+		}
+	}
+}
+
+// stateName renders the state for spans, errors, and BreakerState.
+func (br *breaker) stateName() string {
+	switch br.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"net/url"
+	"strconv"
+	"strings"
 	"time"
 	"unicode/utf8"
 
@@ -29,6 +31,29 @@ import (
 
 // ErrRateLimited is returned when the engine answers 429.
 var ErrRateLimited = errors.New("browser: rate limited by server")
+
+// ErrShed is returned when the server sheds the request under overload
+// (a 503, typically with a Retry-After from serpserver's admission gate).
+// Sheds are transient — the server explicitly asked the client to come
+// back — but they are budgeted separately from genuine failures: they do
+// not consume WithRetry attempts (a bounded number of Retry-After waves is
+// allowed instead, see WithShedRetries) and they do not trip the circuit
+// breaker, because an overloaded-but-honest server is not a broken one.
+var ErrShed = errors.New("browser: request shed by server")
+
+// ErrCircuitOpen is returned when the per-endpoint circuit breaker
+// (WithBreaker) is open and the retry policy cannot wait out the cooldown.
+var ErrCircuitOpen = errors.New("browser: circuit breaker open")
+
+// ErrBodyTooLarge marks a response body that exceeded the WithMaxBodySize
+// cap. Oversize bodies are permanent failures: the page would overflow the
+// cap on every retry, so retrying only hammers the server.
+var ErrBodyTooLarge = errors.New("browser: response body exceeds size cap")
+
+// IsShed reports whether err came from the server shedding load (503).
+// The crawler charges these against its ShedBudget rather than its
+// FailureBudget.
+func IsShed(err error) bool { return errors.Is(err, ErrShed) }
 
 // ErrTransient marks fetch failures that are plausibly temporary — transport
 // errors, 5xx responses, truncated or unparsable bodies — and therefore worth
@@ -49,6 +74,57 @@ func (e transientErr) Error() string   { return e.err.Error() }
 func (e transientErr) Unwrap() []error { return []error{e.err, ErrTransient} }
 
 func markTransient(err error) error { return transientErr{err: err} }
+
+// shedErr tags an error as a server-side load shed (transient, but
+// budgeted separately from failures).
+type shedErr struct{ err error }
+
+func (e shedErr) Error() string   { return e.err.Error() }
+func (e shedErr) Unwrap() []error { return []error{e.err, ErrShed, ErrTransient} }
+
+func markShed(err error) error { return shedErr{err: err} }
+
+// retryAfterErr carries a server-named wait (the Retry-After header)
+// alongside the error it annotates, so the retry loop can honour the
+// server's request instead of its own linear policy.
+type retryAfterErr struct {
+	err   error
+	after time.Duration
+}
+
+func (e retryAfterErr) Error() string { return e.err.Error() }
+func (e retryAfterErr) Unwrap() error { return e.err }
+
+// withRetryAfter annotates err with a server-named wait; a non-positive
+// wait leaves err untouched.
+func withRetryAfter(err error, after time.Duration) error {
+	if after <= 0 {
+		return err
+	}
+	return retryAfterErr{err: err, after: after}
+}
+
+// RetryAfter extracts the server-named wait from an error chain (the
+// parsed Retry-After of a 429 or 503 response). ok is false when the
+// server named none.
+func RetryAfter(err error) (time.Duration, bool) {
+	var r retryAfterErr
+	if errors.As(err, &r) {
+		return r.after, true
+	}
+	return 0, false
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value — the only
+// form the servers here emit. HTTP-date forms and garbage yield 0 (no
+// named wait).
+func parseRetryAfter(v string) time.Duration {
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return time.Duration(n) * time.Second
+}
 
 // Fingerprint is the browser identity presented on every request. The
 // study configured all treatments identically so fingerprints could not
@@ -109,6 +185,8 @@ type Browser struct {
 	fetchCtr     *telemetry.Counter
 	rateLimitCtr *telemetry.Counter
 	retryCtr     *telemetry.Counter
+	shedCtr      *telemetry.Counter
+	breakerCtr   *telemetry.CounterVec
 
 	// spans, when set, records one "browser.fetch" span per attempt so
 	// retry backoff and per-attempt outcomes are visible on the campaign
@@ -120,6 +198,22 @@ type Browser struct {
 	backoff     time.Duration
 	timeout     time.Duration
 	clock       simclock.Clock
+
+	// maxBody caps how many response-body bytes a fetch will read; an
+	// oversize body is a permanent ErrBodyTooLarge failure.
+	maxBody int64
+	// shedRetryLimit bounds how many 503-shed Retry-After waves one Search
+	// rides out before giving up (sheds do not consume maxAttempts).
+	shedRetryLimit int
+	// deadlineBudget, when positive, gives every Search an absolute
+	// deadline on the campaign clock, sent to the server as X-Deadline-Ms
+	// and honoured by the retry loop.
+	deadlineBudget time.Duration
+	// Per-endpoint circuit breakers, armed by WithBreaker (nil threshold
+	// disables). Browsers are single-threaded, so no locking.
+	brkThreshold int
+	brkCooldown  time.Duration
+	breakers     map[string]*breaker
 
 	// optErr records the first invalid Option; New reports it instead of
 	// silently running with a half-applied policy.
@@ -159,6 +253,12 @@ func WithTransport(rt http.RoundTripper) Option {
 // 44-machine pool; campaigns against a flaky service want this instead.
 // attempts must be positive and backoff non-negative; New rejects the
 // browser otherwise.
+//
+// Two refinements override the linear policy: a server that names a wait
+// (Retry-After on a 429 or 503) is honoured exactly, and 503 sheds do not
+// consume attempts at all — they are bounded by WithShedRetries instead,
+// so an overloaded server asking for patience cannot exhaust the failure
+// budget of a healthy request.
 func WithRetry(attempts int, backoff time.Duration) Option {
 	return func(b *Browser) {
 		if attempts <= 0 {
@@ -193,6 +293,73 @@ func WithClock(clk simclock.Clock) Option {
 	return func(b *Browser) { b.clock = clk }
 }
 
+// WithMaxBodySize caps how many bytes of a response body a fetch will read
+// (default 4 MiB). A body exceeding the cap is a permanent
+// ErrBodyTooLarge failure — it would overflow on every retry — so the
+// retry policy gives up immediately instead of re-downloading it.
+func WithMaxBodySize(n int64) Option {
+	return func(b *Browser) {
+		if n <= 0 {
+			b.optErr = fmt.Errorf("browser: WithMaxBodySize cap must be positive, got %d", n)
+			return
+		}
+		b.maxBody = n
+	}
+}
+
+// WithShedRetries bounds how many 503-shed Retry-After waves one Search
+// rides out before returning the shed error (default 8). Sheds are exempt
+// from the WithRetry attempt budget — the server named a wait, and
+// honouring it is flow control, not failure — so this separate cap is what
+// guarantees termination under sustained overload. 0 makes sheds
+// terminal on the first 503.
+func WithShedRetries(n int) Option {
+	return func(b *Browser) {
+		if n < 0 {
+			b.optErr = fmt.Errorf("browser: WithShedRetries count must be non-negative, got %d", n)
+			return
+		}
+		b.shedRetryLimit = n
+	}
+}
+
+// WithDeadline gives every Search a deadline budget on the campaign
+// clock. The absolute deadline is advertised to the server as
+// X-Deadline-Ms — letting its admission gate shed the request up front and
+// its engine abandon doomed work mid-stage — and the retry loop stops
+// scheduling attempts that could not start before it.
+func WithDeadline(d time.Duration) Option {
+	return func(b *Browser) {
+		if d <= 0 {
+			b.optErr = fmt.Errorf("browser: WithDeadline budget must be positive, got %s", d)
+			return
+		}
+		b.deadlineBudget = d
+	}
+}
+
+// WithBreaker arms a per-endpoint circuit breaker: threshold consecutive
+// breaker-eligible failures (transport errors, 5xx, unparsable pages —
+// not 429s or 503 sheds, which are explicit pushback) open the breaker,
+// fetches then fail fast for cooldown, after which a single half-open
+// probe decides between closing it and re-opening. All timing is on the
+// campaign clock, so same-seed chaos campaigns replay identical breaker
+// timelines.
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(b *Browser) {
+		if threshold <= 0 {
+			b.optErr = fmt.Errorf("browser: WithBreaker threshold must be positive, got %d", threshold)
+			return
+		}
+		if cooldown <= 0 {
+			b.optErr = fmt.Errorf("browser: WithBreaker cooldown must be positive, got %s", cooldown)
+			return
+		}
+		b.brkThreshold = threshold
+		b.brkCooldown = cooldown
+	}
+}
+
 // WithTelemetry reports the browser's fetches, observed 429s, and retries
 // through a shared registry — the crawler passes its own so a campaign's
 // /metricsz-style snapshot covers the whole pool.
@@ -201,6 +368,9 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 		b.fetchCtr = reg.Counter("browser_fetches_total", "Result pages fetched across the browser pool.")
 		b.rateLimitCtr = reg.Counter("browser_rate_limited_total", "429 responses observed across the browser pool.")
 		b.retryCtr = reg.Counter("browser_retries_total", "Failed fetches that were retried.")
+		b.shedCtr = reg.Counter("browser_shed_total", "503 shed responses observed across the browser pool.")
+		b.breakerCtr = reg.CounterVec("browser_breaker_transitions_total",
+			"Circuit-breaker state transitions across the browser pool, by transition.", "transition")
 	}
 }
 
@@ -220,7 +390,10 @@ func New(baseURL string, opts ...Option) (*Browser, error) {
 	if u.Scheme == "" || u.Host == "" {
 		return nil, fmt.Errorf("browser: base URL %q must be absolute", baseURL)
 	}
-	b := &Browser{base: u, fp: IOSSafari8(), maxAttempts: 1, timeout: 30 * time.Second, clock: simclock.Wall()}
+	b := &Browser{
+		base: u, fp: IOSSafari8(), maxAttempts: 1, timeout: 30 * time.Second,
+		clock: simclock.Wall(), maxBody: 4 << 20, shedRetryLimit: 8,
+	}
 	for _, o := range opts {
 		o(b)
 	}
@@ -312,10 +485,38 @@ func (b *Browser) SearchContext(ctx context.Context, term string) (*serp.Page, e
 			ctx = simclock.WithHeld(ctx, h)
 		}
 	}
+	// Absolute per-query deadline, advertised on every attempt and
+	// honoured by the retry loop (zero when WithDeadline is off).
+	var deadline time.Time
+	if b.deadlineBudget > 0 {
+		deadline = b.clock.Now().Add(b.deadlineBudget)
+	}
+	brk := b.breakerFor(b.base.Host + "/search")
 	var lastErr error
+	// failures counts attempt-consuming outcomes (429s, 5xx, transport and
+	// parse errors) against maxAttempts; sheds counts 503 Retry-After
+	// waves against shedRetryLimit. attempt numbers every loop turn and is
+	// what the wire header and spans carry.
+	failures, sheds := 0, 0
 	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if brk != nil {
+			if wait, ok := brk.allow(b.clock.Now()); !ok {
+				oerr := withRetryAfter(markTransient(fmt.Errorf("%w (retry in %s)", ErrCircuitOpen, wait)), wait)
+				if b.maxAttempts <= 1 {
+					// No retry policy: fail fast rather than block a
+					// single-shot caller for the whole cooldown.
+					return nil, oerr
+				}
+				if !deadline.IsZero() && b.clock.Now().Add(wait).After(deadline) {
+					return nil, fmt.Errorf("browser: deadline would pass waiting out the open breaker: %w", oerr)
+				}
+				lastErr = oerr
+				b.sleepOn(held, wait)
+				continue
+			}
 		}
 		// One client span per attempt: retries of a trace appear as
 		// sibling spans whose gaps are the backoff sleeps.
@@ -325,8 +526,11 @@ func (b *Browser) SearchContext(ctx context.Context, term string) (*serp.Page, e
 			span.SetAttr("term", term)
 			span.SetAttr("attempt", fmt.Sprint(attempt))
 		}
-		page, err := b.fetchOnce(ctx, term, attempt)
+		page, err := b.fetchOnce(ctx, term, attempt, deadline)
 		if err == nil {
+			if brk != nil {
+				brk.success()
+			}
 			if span != nil {
 				span.SetAttr("outcome", "ok")
 				span.End()
@@ -334,7 +538,21 @@ func (b *Browser) SearchContext(ctx context.Context, term string) (*serp.Page, e
 			return page, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil || !IsTransient(err) || attempt >= b.maxAttempts {
+		shed := IsShed(err)
+		if shed {
+			sheds++
+		} else {
+			failures++
+			// Explicit pushback (429) does not trip the breaker — the
+			// server is alive and asked for patience; unexplained transient
+			// failures do.
+			if brk != nil && IsTransient(err) && !errors.Is(err, ErrRateLimited) {
+				brk.failure(b.clock.Now())
+			}
+		}
+		terminal := ctx.Err() != nil || !IsTransient(err) || b.maxAttempts <= 1 ||
+			(!shed && failures >= b.maxAttempts) || (shed && sheds > b.shedRetryLimit)
+		if terminal {
 			if span != nil {
 				span.SetAttr("outcome", "error")
 				span.SetAttr("err", errAttr(err))
@@ -346,28 +564,90 @@ func (b *Browser) SearchContext(ctx context.Context, term string) (*serp.Page, e
 		if b.retryCtr != nil {
 			b.retryCtr.Inc()
 		}
-		sleep := time.Duration(attempt) * b.backoff
+		// Linear backoff by default; a server-named Retry-After overrides
+		// it exactly.
+		sleep := time.Duration(failures) * b.backoff
+		if shed {
+			sleep = time.Duration(sheds) * b.backoff
+		}
+		if ra, ok := RetryAfter(err); ok {
+			sleep = ra
+		}
+		if !deadline.IsZero() && b.clock.Now().Add(sleep).After(deadline) {
+			if span != nil {
+				span.SetAttr("outcome", "error")
+				span.SetAttr("err", errAttr(err))
+				span.End()
+			}
+			return nil, fmt.Errorf("browser: deadline would pass before the next attempt: %w", lastErr)
+		}
 		if span != nil {
 			span.SetAttr("outcome", "retry")
+			if shed {
+				span.SetAttr("outcome", "shed")
+			}
 			span.SetAttr("err", errAttr(err))
 			if sleep > 0 {
 				span.SetAttr("backoff", sleep.String())
 			}
 			span.End()
 		}
-		if sleep > 0 {
-			if held != nil {
-				held.SleepHeld(sleep)
-			} else {
-				b.clock.Sleep(sleep)
-			}
-		}
+		b.sleepOn(held, sleep)
 	}
 }
 
+// sleepOn parks for d on the campaign clock, through the holder when the
+// caller is holding a virtual clock (see SearchContext).
+func (b *Browser) sleepOn(held simclock.Holder, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if held != nil {
+		held.SleepHeld(d)
+	} else {
+		b.clock.Sleep(d)
+	}
+}
+
+// breakerFor lazily builds the circuit breaker guarding endpoint (nil when
+// WithBreaker is off).
+func (b *Browser) breakerFor(endpoint string) *breaker {
+	if b.brkThreshold <= 0 {
+		return nil
+	}
+	if b.breakers == nil {
+		b.breakers = make(map[string]*breaker)
+	}
+	br := b.breakers[endpoint]
+	if br == nil {
+		br = newBreaker(b.brkThreshold, b.brkCooldown)
+		if b.breakerCtr != nil {
+			br.onTransition = func(label string) { b.breakerCtr.With(label).Inc() }
+		}
+		b.breakers[endpoint] = br
+	}
+	return br
+}
+
+// BreakerState reports the search endpoint's circuit-breaker state
+// ("closed", "open", "half-open"), or "" when WithBreaker is not
+// configured.
+func (b *Browser) BreakerState() string {
+	if b.brkThreshold <= 0 {
+		return ""
+	}
+	br := b.breakers[b.base.Host+"/search"]
+	if br == nil {
+		return "closed"
+	}
+	return br.stateName()
+}
+
 // fetchOnce performs a single fetch+parse. attempt is the 1-based try
-// number, advertised to the server so its spans key each retry distinctly.
-func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int) (*serp.Page, error) {
+// number, advertised to the server so its spans key each retry distinctly;
+// a non-zero deadline is advertised as X-Deadline-Ms so the server can
+// shed or abandon work that cannot finish in time.
+func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int, deadline time.Time) (*serp.Page, error) {
 	u := *b.base
 	u.Path = "/search"
 	q := url.Values{}
@@ -397,6 +677,9 @@ func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int) (*ser
 		req.Header.Set(telemetry.TraceHeader, b.traceID)
 		req.Header.Set(telemetry.AttemptHeader, fmt.Sprint(attempt))
 	}
+	if !deadline.IsZero() {
+		req.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(deadline.UnixMilli(), 10))
+	}
 
 	resp, err := b.client.Do(req)
 	if err != nil {
@@ -409,7 +692,9 @@ func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int) (*ser
 		return nil, markTransient(ferr)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	// Read at most one byte past the cap: enough to tell an oversize body
+	// from one that exactly fits, without ever buffering more than the cap.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, b.maxBody+1))
 	if err != nil {
 		// A connection dropped mid-body; the next attempt may complete.
 		return nil, markTransient(fmt.Errorf("browser: read body: %w", err))
@@ -421,13 +706,26 @@ func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int) (*ser
 		if b.rateLimitCtr != nil {
 			b.rateLimitCtr.Inc()
 		}
-		return nil, fmt.Errorf("%w (retry-after %s)", ErrRateLimited, resp.Header.Get("Retry-After"))
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+		return nil, withRetryAfter(fmt.Errorf("%w (retry-after %s)", ErrRateLimited, resp.Header.Get("Retry-After")), ra)
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// The server shed the request under overload (admission gate or
+		// deadline abandonment). Transient, but budgeted as a shed: honour
+		// its Retry-After instead of charging the failure budget.
+		if b.shedCtr != nil {
+			b.shedCtr.Inc()
+		}
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+		return nil, withRetryAfter(markShed(fmt.Errorf("browser: server shed request (503): %s", truncate(string(body), 120))), ra)
 	case resp.StatusCode >= 500:
 		// Server-side faults are the canonical transient failure.
 		return nil, markTransient(fmt.Errorf("browser: server returned %d: %s", resp.StatusCode, truncate(string(body), 120)))
 	default:
 		// Remaining 4xx: the request itself is wrong; retrying cannot help.
 		return nil, fmt.Errorf("browser: server returned %d: %s", resp.StatusCode, truncate(string(body), 120))
+	}
+	if int64(len(body)) > b.maxBody {
+		return nil, fmt.Errorf("%w: page exceeds the %d-byte cap", ErrBodyTooLarge, b.maxBody)
 	}
 	page, err := serp.ParseAnyHTML(string(body))
 	if err != nil {

@@ -55,8 +55,33 @@ type Config struct {
 	// allowed to fail — after retries are exhausted — before the phase
 	// aborts. Failures inside the budget are recorded as Failed
 	// observations and the campaign continues; 0 keeps the strict
-	// historical behaviour where any failure aborts the phase.
+	// historical behaviour where any failure aborts the phase. Fetches
+	// the server shed under admission control are charged to ShedBudget
+	// instead — being told "not now" is a different signal from a broken
+	// fetch.
 	FailureBudget float64
+	// ShedBudget is the fraction of fetches in one round allowed to end
+	// shed (503 after the browser's shed-retry policy gave up). 0 aborts
+	// on any terminal shed — the right default when the server is
+	// expected to keep up with the campaign.
+	ShedBudget float64
+	// BreakerThreshold, when positive, arms a per-browser circuit
+	// breaker: that many consecutive failed attempts against the search
+	// endpoint fail fast for BreakerCooldown before a probe is let
+	// through. 0 leaves the breaker off.
+	BreakerThreshold int
+	// BreakerCooldown is the open-state dwell; required positive when
+	// BreakerThreshold is set.
+	BreakerCooldown time.Duration
+	// DeadlineBudget, when positive, gives every fetch an absolute
+	// deadline that far ahead on the campaign clock, propagated to the
+	// server (X-Deadline-Ms) so it can shed or abandon doomed work. 0
+	// propagates no deadline.
+	DeadlineBudget time.Duration
+	// MaxBodyBytes, when positive, caps how much of a response body a
+	// browser will read; oversized pages fail permanently (no retry). 0
+	// keeps the browser's default cap.
+	MaxBodyBytes int64
 }
 
 // DefaultConfig mirrors the study's infrastructure.
@@ -152,6 +177,7 @@ type crawlInstruments struct {
 	roundDur      *telemetry.Histogram  // crawler_round_duration_seconds
 	fetchFailures *telemetry.CounterVec // crawler_fetch_failures_total{phase}
 	fetchRetries  *telemetry.CounterVec // crawler_fetch_retries_total{phase}
+	fetchShed     *telemetry.CounterVec // crawler_fetch_shed_total{phase}
 }
 
 // instruments lazily registers the crawler's metrics. Called from the
@@ -171,6 +197,8 @@ func (c *Crawler) instruments() *crawlInstruments {
 				"Fetches that still failed after the retry policy, by phase.", "phase"),
 			fetchRetries: c.Telemetry.CounterVec("crawler_fetch_retries_total",
 				"Fetch retry attempts across the browser pool, by phase.", "phase"),
+			fetchShed: c.Telemetry.CounterVec("crawler_fetch_shed_total",
+				"Fetches that ended shed by server admission control, by phase.", "phase"),
 		}
 	}
 	return c.inst
@@ -197,6 +225,21 @@ func New(cfg Config, clk simclock.Clock, baseURL string, ds *geo.Dataset, corpus
 	}
 	if cfg.FailureBudget < 0 || cfg.FailureBudget > 1 {
 		return nil, fmt.Errorf("crawler: failure budget %v outside [0, 1]", cfg.FailureBudget)
+	}
+	if cfg.ShedBudget < 0 || cfg.ShedBudget > 1 {
+		return nil, fmt.Errorf("crawler: shed budget %v outside [0, 1]", cfg.ShedBudget)
+	}
+	if cfg.BreakerThreshold < 0 {
+		return nil, fmt.Errorf("crawler: negative breaker threshold %d", cfg.BreakerThreshold)
+	}
+	if cfg.BreakerThreshold > 0 && cfg.BreakerCooldown <= 0 {
+		return nil, fmt.Errorf("crawler: breaker threshold %d needs a positive cooldown", cfg.BreakerThreshold)
+	}
+	if cfg.DeadlineBudget < 0 {
+		return nil, fmt.Errorf("crawler: negative deadline budget %s", cfg.DeadlineBudget)
+	}
+	if cfg.MaxBodyBytes < 0 {
+		return nil, fmt.Errorf("crawler: negative body cap %d", cfg.MaxBodyBytes)
 	}
 	return &Crawler{cfg: cfg, clock: clk, baseURL: baseURL, ds: ds, corpus: corpus, wall: simclock.Wall()}, nil
 }
@@ -267,6 +310,15 @@ func (c *Crawler) reliabilityOptions() []browser.Option {
 	if c.cfg.FetchTimeout > 0 {
 		opts = append(opts, browser.WithTimeout(c.cfg.FetchTimeout))
 	}
+	if c.cfg.BreakerThreshold > 0 {
+		opts = append(opts, browser.WithBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown))
+	}
+	if c.cfg.DeadlineBudget > 0 {
+		opts = append(opts, browser.WithDeadline(c.cfg.DeadlineBudget))
+	}
+	if c.cfg.MaxBodyBytes > 0 {
+		opts = append(opts, browser.WithMaxBodySize(c.cfg.MaxBodyBytes))
+	}
 	if c.Transport != nil {
 		opts = append(opts, browser.WithTransport(c.Transport))
 	}
@@ -275,6 +327,15 @@ func (c *Crawler) reliabilityOptions() []browser.Option {
 	}
 	opts = append(opts, browser.WithClock(c.clock))
 	return opts
+}
+
+// sleepUntil parks the scheduler until an absolute instant on the campaign
+// clock, doing nothing when the instant has already passed (a sweep that
+// overran its slot starts the next one immediately).
+func (c *Crawler) sleepUntil(t time.Time) {
+	if d := t.Sub(c.clock.Now()); d > 0 {
+		c.clock.Sleep(d)
+	}
 }
 
 // startSpan opens a span on the campaign recorder: a child of the span
@@ -297,6 +358,7 @@ func (c *Crawler) startSpan(ctx context.Context, name string) (context.Context, 
 type fetchResult struct {
 	obs     storage.Observation
 	err     error
+	shed    bool // err is a terminal server shed, charged to ShedBudget
 	retries int
 }
 
@@ -338,20 +400,30 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 		for day := 0; day < p.Days; day++ {
 			dayStart := c.clock.Now()
 			executedThisDay := false
-			for _, q := range p.Terms {
+			for ti, q := range p.Terms {
 				if err := ctx.Err(); err != nil {
 					return nil, fmt.Errorf("crawler: phase %q cancelled: %w", p.Name, err)
 				}
+				// The lock-step schedule is ABSOLUTE: sweep i+1 starts at
+				// dayStart + (i+1)*WaitBetweenTerms regardless of how much
+				// (virtual) time sweep i burned on retries, Retry-After
+				// waits, or breaker cooldowns. Sleeping a relative
+				// WaitBetweenTerms instead would let in-round recovery work
+				// push every later sweep's timestamps — and the engine's
+				// history/day state — off schedule, breaking byte-for-byte
+				// reproducibility whenever a fault schedule perturbs one
+				// round. The study's cron-style firing behaves the same way.
+				nextSlot := dayStart.Add(time.Duration(ti+1) * c.cfg.WaitBetweenTerms)
 				if c.ckpt != nil && c.ckpt.skipping() {
 					// Fast-forward over a sweep the checkpoint already
-					// holds. Under a virtual clock the inter-term wait is
-					// still slept so the resumed campaign's timeline — and
-					// with it the engine's day counter — replays exactly;
-					// under a wall clock re-waiting would cost real hours
-					// for nothing.
+					// holds. Under a virtual clock the slot is still slept
+					// out so the resumed campaign's timeline — and with it
+					// the engine's day counter — replays exactly; under a
+					// wall clock re-waiting would cost real hours for
+					// nothing.
 					c.ckpt.seen++
 					if manualClock {
-						c.clock.Sleep(c.cfg.WaitBetweenTerms)
+						c.sleepUntil(nextSlot)
 					}
 					continue
 				}
@@ -366,8 +438,9 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 						return nil, err
 					}
 				}
-				// 11-minute lock-step spacing before the next term.
-				c.clock.Sleep(c.cfg.WaitBetweenTerms)
+				// Park until the next term's slot (11 minutes after this
+				// one began, in the study).
+				c.sleepUntil(nextSlot)
 			}
 			// Park until the next day boundary so the crawl's "day d"
 			// labels coincide with the engine's day counter (news
@@ -522,9 +595,11 @@ func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, 
 				if err != nil {
 					obs.Failed = true
 					obs.Err = err.Error()
+					obs.Shed = browser.IsShed(err)
 					results <- fetchResult{
 						obs:     obs,
 						err:     fmt.Errorf("crawler: %s %s %q: %w", v.loc.ID, role, q.Term, err),
+						shed:    obs.Shed,
 						retries: b.Retries() - retriesBefore,
 					}
 					return
@@ -546,29 +621,46 @@ func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, 
 	}
 
 	out := make([]storage.Observation, 0, len(vans)*2)
-	failed := 0
-	var firstErr error
+	failed, shed := 0, 0
+	var firstErr, firstShedErr error
 	for r := range results {
 		if r.retries > 0 {
 			inst.fetchRetries.With(phase).Add(uint64(r.retries))
 		}
 		if r.err != nil {
-			failed++
-			inst.fetchFailures.With(phase).Inc()
-			if firstErr == nil {
-				firstErr = r.err
+			// Sheds and failures are charged to separate budgets: a 503
+			// under admission control means the server chose not to serve,
+			// which an operator tolerates (or not) independently of broken
+			// fetches.
+			if r.shed {
+				shed++
+				inst.fetchShed.With(phase).Inc()
+				if firstShedErr == nil {
+					firstShedErr = r.err
+				}
+			} else {
+				failed++
+				inst.fetchFailures.With(phase).Inc()
+				if firstErr == nil {
+					firstErr = r.err
+				}
 			}
 			if c.Logger != nil {
 				c.Logger.Warn("fetch failed", "trace", r.obs.TraceID, "phase", phase,
 					"term", q.Term, "location", r.obs.LocationID, "role", string(r.obs.Role),
-					"day", day, "err", r.obs.Err)
+					"day", day, "shed", r.shed, "err", r.obs.Err)
 			}
 		}
 		out = append(out, r.obs)
 	}
-	if budget := int(c.cfg.FailureBudget * float64(len(vans)*2)); failed > budget {
+	total := len(vans) * 2
+	if budget := int(c.cfg.FailureBudget * float64(total)); failed > budget {
 		return nil, fmt.Errorf("crawler: %d/%d fetches failed (budget %d): %w",
-			failed, len(vans)*2, budget, firstErr)
+			failed, total, budget, firstErr)
+	}
+	if budget := int(c.cfg.ShedBudget * float64(total)); shed > budget {
+		return nil, fmt.Errorf("crawler: %d/%d fetches shed by the server (budget %d): %w",
+			shed, total, budget, firstShedErr)
 	}
 	inst.terms.Inc()
 	return out, nil

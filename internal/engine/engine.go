@@ -34,6 +34,13 @@ var ErrRateLimited = errors.New("engine: rate limited")
 // ErrEmptyQuery is returned for blank queries.
 var ErrEmptyQuery = errors.New("engine: empty query")
 
+// ErrDeadlineExceeded is returned when a request's propagated deadline
+// (Request.Deadline, from the client's X-Deadline-Ms header) passes before
+// the page is assembled. The engine checks between ranking stages so
+// doomed work is abandoned mid-flight instead of finishing a page the
+// client has already given up on.
+var ErrDeadlineExceeded = errors.New("engine: request deadline exceeded")
+
 // Request is one search request as the engine sees it.
 type Request struct {
 	// Query is the search term.
@@ -64,6 +71,11 @@ type Request struct {
 	// retrieve, rerank, assemble) so a divergent card can be attributed to
 	// the stage that produced it. A nil Span costs only nil checks.
 	Span *telemetry.Span
+	// Deadline, when non-zero, is the absolute instant (on the engine's
+	// clock domain) by which the client needs the page. Search abandons
+	// work between stages once it passes, returning ErrDeadlineExceeded.
+	// The serpserver handler fills it from X-Deadline-Ms.
+	Deadline time.Time
 }
 
 // Response is a served page plus the serving metadata the study could not
@@ -142,6 +154,9 @@ type instruments struct {
 	stageRetrieve *telemetry.Histogram
 	stageRerank   *telemetry.Histogram
 	stageAssemble *telemetry.Histogram
+	// deadlineAbandoned counts requests abandoned mid-stage because their
+	// propagated deadline passed (engine_deadline_abandoned_total).
+	deadlineAbandoned *telemetry.Counter
 }
 
 // newInstruments registers the engine's metric families on reg.
@@ -153,6 +168,8 @@ func newInstruments(reg *telemetry.Registry, dcNames []string) instruments {
 		rankDur:      reg.Histogram("engine_rank_duration_seconds", "Wall-clock time scoring and assembling the result page.", nil),
 		historyDur:   reg.Histogram("engine_history_lookup_duration_seconds", "Wall-clock time of the session-history lookup.", nil),
 		ratelimitDur: reg.Histogram("engine_ratelimit_check_duration_seconds", "Wall-clock time of the rate-limiter check.", nil),
+		deadlineAbandoned: reg.Counter("engine_deadline_abandoned_total",
+			"Requests abandoned between ranking stages because their propagated deadline passed."),
 	}
 	inst.dcCounters = make([]*telemetry.Counter, len(dcNames))
 	for i, name := range dcNames {
@@ -332,6 +349,11 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		e.inst.limited.Inc()
 		return nil, ErrRateLimited
 	}
+	// Deadline checks run between stages — never while a stage span is
+	// open — so an abandoned request still leaves a well-formed timeline.
+	if e.pastDeadline(req.Deadline) {
+		return nil, ErrDeadlineExceeded
+	}
 
 	// --- Stage: parse (replica routing, location resolution, intent) ---
 	parseSpan := req.Span.StartChild("engine.parse")
@@ -361,6 +383,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	parseSpan.SetAttr("location_source", source)
 	parseSpan.SetAttr("region", qRegion)
 	parseSpan.End()
+	if e.pastDeadline(req.Deadline) {
+		return nil, ErrDeadlineExceeded
+	}
 
 	// Per-request randomness: bucket assignment and score jitter. Two
 	// simultaneous identical requests draw distinct keys — distinct trace
@@ -407,6 +432,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	e.inst.historyDur.ObserveSince(histStart)
 	e.inst.stageHistory.ObserveSince(histStart)
 	histSpan.End()
+	if e.pastDeadline(req.Deadline) {
+		return nil, ErrDeadlineExceeded
+	}
 	jitter := func(sigma float64) float64 { return rrng.Norm() * sigma }
 
 	rankStart := e.wall.Now()
@@ -530,6 +558,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		rerankSpan.SetAttr("candidates", fmt.Sprint(len(cands)))
 	}
 	rerankSpan.End()
+	if e.pastDeadline(req.Deadline) {
+		return nil, ErrDeadlineExceeded
+	}
 
 	// --- Assembly ---
 	assembleSpan := req.Span.StartChild("engine.assemble")
@@ -607,6 +638,17 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		Location:       loc,
 		LocationSource: source,
 	}, nil
+}
+
+// pastDeadline reports whether a propagated deadline has passed on the
+// engine's clock, counting the abandonment when it has. A zero deadline
+// (no X-Deadline-Ms header) never passes.
+func (e *Engine) pastDeadline(deadline time.Time) bool {
+	if deadline.IsZero() || !e.clock.Now().After(deadline) {
+		return false
+	}
+	e.inst.deadlineAbandoned.Inc()
+	return true
 }
 
 // placeCandidates returns scored place-backed candidates near loc, best

@@ -90,16 +90,36 @@ func WithChaos(cfg ChaosConfig, h *Handler) http.Handler {
 	}
 }
 
+// maxTrackedTraces bounds the legacy per-trace attempt map: once it holds
+// this many traces it is reset wholesale. The bound only matters for
+// traced clients that omit X-Trace-Attempt; the repo's browser always
+// sends it, so campaign-length runs never grow the map at all.
+const maxTrackedTraces = 4096
+
 // attempt identifies one /search arrival: its trace ID ("" untraced), its
 // 1-based per-trace attempt number (a global sequence number untraced),
-// and the key that feeds the fault draws.
+// and the key that feeds the fault draws. The attempt number is read from
+// the X-Trace-Attempt header the browser sends with every try — a
+// growth-free, arrival-order-independent key; header-less traced requests
+// fall back to a bounded counting map.
 func (c *chaosMiddleware) attempt(r *http.Request) (trace string, n int, key string) {
 	trace = r.Header.Get(telemetry.TraceHeader)
 	if trace == "" {
 		n = int(c.seq.Add(1))
 		return "", n, fmt.Sprintf("seq-%d", n)
 	}
+	if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+		if an, err := strconv.Atoi(v); err == nil && an > 0 {
+			return trace, an, fmt.Sprintf("%s-%d", trace, an)
+		}
+	}
 	c.mu.Lock()
+	if len(c.attempts) >= maxTrackedTraces {
+		// Resetting restarts attempt numbering for in-flight traces, which
+		// at worst replays a fault — acceptable for the legacy path, and
+		// far better than one map entry per trace for a whole campaign.
+		clear(c.attempts)
+	}
 	c.attempts[trace]++
 	n = c.attempts[trace]
 	c.mu.Unlock()

@@ -274,6 +274,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		UserAgent:  r.UserAgent(),
 		TraceID:    telemetry.TraceID(r.Context()),
 		Span:       telemetry.SpanFrom(r.Context()),
+		Deadline:   parseDeadline(r),
 	}
 	resp, err := h.eng.Search(req)
 	switch {
@@ -281,6 +282,15 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		h.inst.errors.Inc()
 		w.Header().Set("Retry-After", "60")
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, engine.ErrDeadlineExceeded):
+		// The client's propagated deadline passed mid-pipeline and the
+		// engine abandoned the request. Answer as a shed: by the time the
+		// client backs off and retries, the deadline verdict is its own to
+		// make.
+		h.inst.errors.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "deadline exceeded, request abandoned", http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, engine.ErrEmptyQuery):
 		h.inst.errors.Inc()

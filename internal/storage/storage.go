@@ -66,6 +66,12 @@ type Observation struct {
 	Failed bool `json:"failed,omitempty"`
 	// Err is the final fetch error for a Failed observation.
 	Err string `json:"err,omitempty"`
+	// Shed marks a Failed observation whose final error was the server
+	// shedding load (503 under admission control) rather than a broken
+	// fetch. Analysis treats both as missing data, but capacity planning
+	// wants them apart: a shed page was the server's choice, not the
+	// network's.
+	Shed bool `json:"shed,omitempty"`
 }
 
 // Validate checks the observation is structurally complete. A Failed
@@ -88,6 +94,9 @@ func (o *Observation) Validate() error {
 			return fmt.Errorf("storage: failed observation carries a page")
 		}
 		return nil
+	}
+	if o.Shed {
+		return fmt.Errorf("storage: shed observation not marked failed")
 	}
 	if o.Page == nil {
 		return fmt.Errorf("storage: observation missing page")

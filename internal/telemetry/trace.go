@@ -14,6 +14,15 @@ import (
 // that produced it.
 const TraceHeader = "X-Trace-Id"
 
+// DeadlineHeader carries the client's absolute request deadline as unix
+// milliseconds. Client and server share a clock domain — the campaign
+// clock in-process, wall time in live deployments — so an absolute
+// instant survives queueing delays that a relative budget would not.
+// Servers use it to shed requests that cannot be admitted in time and to
+// abandon doomed work mid-stage instead of finishing a page nobody will
+// read.
+const DeadlineHeader = "X-Deadline-Ms"
+
 // MintTraceID derives a 16-hex-digit trace ID from a seed and a stable key
 // (e.g. phase, granularity, day, term, location, role). Minting through
 // detrand rather than a random source keeps repro campaigns byte-for-byte
