@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check lint chaos soak bench bench-json repro repro-full examples clean
+.PHONY: all build vet test check lint chaos soak bench bench-json bench-check repro repro-full examples clean
 
 all: build vet test
 
@@ -59,6 +59,20 @@ bench-json:
 	go test -bench=. -benchmem -benchtime=$(BENCHTIME) -run='^$$' ./... 2>&1 | tee bench_output.txt
 	go run ./cmd/benchjson -in bench_output.txt -out BENCH_core.json
 
+# bench-check is the benchmark regression gate: it re-runs the benchmarks
+# briefly and fails when any allocs/op or B/op exceeds the committed
+# BENCH_core.json baseline beyond tolerance. Allocation metrics are
+# machine-independent, so the committed baseline holds on any hardware;
+# wall-time gating stays opt-in (benchjson -check-ns). After an
+# intentional perf change, regenerate the baseline with `make bench-json`
+# and commit the diff. 1000x keeps one-time setup well amortized (at 100x
+# the RunParallel benchmarks over-report allocs/op) while staying much
+# quicker than the baseline's 1s-per-benchmark run.
+CHECK_BENCHTIME ?= 1000x
+bench-check:
+	go test -bench=. -benchmem -benchtime=$(CHECK_BENCHTIME) -run='^$$' ./... 2>&1 | tee bench_check_output.txt
+	go run ./cmd/benchjson -in bench_check_output.txt -check BENCH_core.json
+
 repro:
 	go run ./cmd/repro
 
@@ -74,4 +88,4 @@ examples:
 	go run ./examples/ipmethodology
 
 clean:
-	rm -f campaign.jsonl test_output.txt bench_output.txt BENCH_core.json trace.json soak-trace.json
+	rm -f campaign.jsonl test_output.txt bench_output.txt bench_check_output.txt trace.json soak-trace.json

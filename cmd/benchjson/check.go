@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// checkOptions tune the benchmark regression gate. The default gate
+// reads only allocs/op and B/op — both machine-independent, so a
+// committed baseline stays valid across laptops and CI runners —
+// while wall-time (ns/op) gating is opt-in for same-hardware setups.
+type checkOptions struct {
+	// Tolerance is the multiplicative headroom: a current measurement may
+	// exceed its baseline by this fraction before the gate trips.
+	Tolerance float64
+	// AllocSlack and ByteSlack are absolute allowances added on top of
+	// the multiplicative headroom, so near-zero baselines don't make the
+	// gate hair-trigger (2 → 3 allocs/op is slack, not a 50% regression).
+	AllocSlack float64
+	ByteSlack  float64
+	// CheckNs additionally gates ns/op with NsTolerance, meaningful only
+	// when baseline and run share comparable hardware.
+	CheckNs     bool
+	NsTolerance float64
+}
+
+// readBaseline loads a benchjson document written by writeBenchJSON.
+func readBaseline(path string) (map[string]BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: baseline: %w", err)
+	}
+	var out map[string]BenchResult
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("benchjson: baseline %s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: baseline %s is empty", path)
+	}
+	return out, nil
+}
+
+// checkBench compares a run against the baseline and returns one message
+// per violated bound, sorted by benchmark name. A benchmark present in
+// the baseline but absent from the run is itself a violation — a renamed
+// or deleted benchmark must regenerate the baseline, not silently escape
+// the gate. Benchmarks new in the run pass freely.
+func checkBench(baseline, current map[string]BenchResult, opts checkOptions) []string {
+	names := make([]string, 0, len(baseline))
+	for n := range baseline {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	exceeds := func(cur, base, tol, slack float64) bool {
+		return cur > base*(1+tol)+slack
+	}
+	var bad []string
+	for _, name := range names {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline but missing from this run (renamed or deleted? regenerate with `make bench-json`)", name))
+			continue
+		}
+		if exceeds(cur.AllocsPerOp, base.AllocsPerOp, opts.Tolerance, opts.AllocSlack) {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op regressed: %.1f vs baseline %.1f (tolerance +%.0f%% +%.0f)",
+				name, cur.AllocsPerOp, base.AllocsPerOp, opts.Tolerance*100, opts.AllocSlack))
+		}
+		if exceeds(cur.BytesPerOp, base.BytesPerOp, opts.Tolerance, opts.ByteSlack) {
+			bad = append(bad, fmt.Sprintf("%s: B/op regressed: %.0f vs baseline %.0f (tolerance +%.0f%% +%.0f)",
+				name, cur.BytesPerOp, base.BytesPerOp, opts.Tolerance*100, opts.ByteSlack))
+		}
+		if opts.CheckNs && exceeds(cur.NsPerOp, base.NsPerOp, opts.NsTolerance, 0) {
+			bad = append(bad, fmt.Sprintf("%s: ns/op regressed: %.0f vs baseline %.0f (tolerance +%.0f%%)",
+				name, cur.NsPerOp, base.NsPerOp, opts.NsTolerance*100))
+		}
+	}
+	return bad
+}

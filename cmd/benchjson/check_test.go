@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateOpts() checkOptions {
+	return checkOptions{Tolerance: 0.25, AllocSlack: 8, ByteSlack: 2048}
+}
+
+func TestCheckBenchWithinBounds(t *testing.T) {
+	baseline := map[string]BenchResult{
+		"BenchmarkA": {AllocsPerOp: 100, BytesPerOp: 10000, NsPerOp: 500},
+		"BenchmarkB": {AllocsPerOp: 2, BytesPerOp: 64, NsPerOp: 50},
+	}
+	current := map[string]BenchResult{
+		// +25% tolerance admits 125; slack admits tiny jumps on tiny bases.
+		"BenchmarkA":        {AllocsPerOp: 120, BytesPerOp: 12000, NsPerOp: 9999},
+		"BenchmarkB":        {AllocsPerOp: 3, BytesPerOp: 80, NsPerOp: 9999},
+		"BenchmarkNewcomer": {AllocsPerOp: 1 << 20}, // new benchmarks pass freely
+	}
+	if bad := checkBench(baseline, current, gateOpts()); len(bad) != 0 {
+		t.Fatalf("violations on a healthy run: %v", bad)
+	}
+}
+
+func TestCheckBenchFlagsAllocRegression(t *testing.T) {
+	baseline := map[string]BenchResult{"BenchmarkA": {AllocsPerOp: 100, BytesPerOp: 1000}}
+	current := map[string]BenchResult{"BenchmarkA": {AllocsPerOp: 200, BytesPerOp: 1000}}
+	bad := checkBench(baseline, current, gateOpts())
+	if len(bad) != 1 || !strings.Contains(bad[0], "allocs/op") {
+		t.Fatalf("violations = %v, want one allocs/op message", bad)
+	}
+}
+
+func TestCheckBenchFlagsByteRegression(t *testing.T) {
+	baseline := map[string]BenchResult{"BenchmarkA": {AllocsPerOp: 10, BytesPerOp: 100000}}
+	current := map[string]BenchResult{"BenchmarkA": {AllocsPerOp: 10, BytesPerOp: 200000}}
+	bad := checkBench(baseline, current, gateOpts())
+	if len(bad) != 1 || !strings.Contains(bad[0], "B/op") {
+		t.Fatalf("violations = %v, want one B/op message", bad)
+	}
+}
+
+func TestCheckBenchFlagsMissingBenchmark(t *testing.T) {
+	baseline := map[string]BenchResult{"BenchmarkGone": {AllocsPerOp: 1}}
+	bad := checkBench(baseline, map[string]BenchResult{"BenchmarkOther": {}}, gateOpts())
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("violations = %v, want one missing-benchmark message", bad)
+	}
+}
+
+func TestCheckBenchNsOptIn(t *testing.T) {
+	baseline := map[string]BenchResult{"BenchmarkA": {NsPerOp: 100}}
+	current := map[string]BenchResult{"BenchmarkA": {NsPerOp: 1000}}
+	if bad := checkBench(baseline, current, gateOpts()); len(bad) != 0 {
+		t.Fatalf("ns/op gated without opt-in: %v", bad)
+	}
+	opts := gateOpts()
+	opts.CheckNs, opts.NsTolerance = true, 0.5
+	bad := checkBench(baseline, current, opts)
+	if len(bad) != 1 || !strings.Contains(bad[0], "ns/op") {
+		t.Fatalf("violations = %v, want one ns/op message", bad)
+	}
+}
+
+func TestCheckBenchViolationsSortedByName(t *testing.T) {
+	baseline := map[string]BenchResult{
+		"BenchmarkZ": {AllocsPerOp: 1},
+		"BenchmarkA": {AllocsPerOp: 1},
+	}
+	current := map[string]BenchResult{
+		"BenchmarkZ": {AllocsPerOp: 1000},
+		"BenchmarkA": {AllocsPerOp: 1000},
+	}
+	bad := checkBench(baseline, current, gateOpts())
+	if len(bad) != 2 || !strings.HasPrefix(bad[0], "BenchmarkA") || !strings.HasPrefix(bad[1], "BenchmarkZ") {
+		t.Fatalf("violations not name-sorted: %v", bad)
+	}
+}
+
+func TestReadBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	results := map[string]BenchResult{
+		"BenchmarkA": {Iterations: 10, NsPerOp: 1.5, BytesPerOp: 32, AllocsPerOp: 2},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBenchJSON(f, results); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkA"] != results["BenchmarkA"] {
+		t.Fatalf("round trip: %+v vs %+v", got["BenchmarkA"], results["BenchmarkA"])
+	}
+}
+
+func TestReadBaselineErrors(t *testing.T) {
+	if _, err := readBaseline(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBaseline(empty); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -8,6 +8,16 @@
 // Names are normalized by stripping the -GOMAXPROCS suffix so keys are
 // stable across machines; keys are sorted so successive runs diff
 // cleanly. `make bench-json` wires this into the repo's workflow.
+//
+// With -check it becomes a regression gate instead: the parsed run is
+// compared against a committed baseline and the process exits non-zero
+// when any benchmark's allocs/op or B/op exceeds the baseline beyond
+// tolerance. Allocation metrics are deterministic per code version, so
+// the gate holds across machines; ns/op gating is opt-in via -check-ns:
+//
+//	benchjson -in bench_output.txt -check BENCH_core.json
+//
+// `make bench-check` wires this into CI.
 package main
 
 import (
@@ -21,6 +31,12 @@ import (
 func main() {
 	in := flag.String("in", "", "bench output file (default: stdin)")
 	out := flag.String("out", "", "JSON output path (default: stdout)")
+	check := flag.String("check", "", "baseline JSON to gate this run against (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.25, "fractional headroom over baseline allocs/op and B/op")
+	allocSlack := flag.Float64("alloc-slack", 8, "absolute allocs/op allowance on top of -tolerance")
+	byteSlack := flag.Float64("byte-slack", 2048, "absolute B/op allowance on top of -tolerance")
+	checkNs := flag.Bool("check-ns", false, "also gate ns/op (requires hardware comparable to the baseline's)")
+	nsTolerance := flag.Float64("ns-tolerance", 0.5, "fractional ns/op headroom when -check-ns is set")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -38,6 +54,29 @@ func main() {
 	}
 	if len(results) == 0 {
 		fatal(fmt.Errorf("benchjson: no benchmark lines in input"))
+	}
+	if *check != "" {
+		baseline, err := readBaseline(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if bad := checkBench(baseline, results, checkOptions{
+			Tolerance:   *tolerance,
+			AllocSlack:  *allocSlack,
+			ByteSlack:   *byteSlack,
+			CheckNs:     *checkNs,
+			NsTolerance: *nsTolerance,
+		}); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) against %s:\n", len(bad), *check)
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "  - %s\n", msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within baseline bounds (%s)\n", len(results), *check)
+		if *out == "" {
+			return
+		}
 	}
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -1,17 +1,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"os"
 	"time"
 
+	"geoserp/internal/analysis"
 	"geoserp/internal/crawler"
 	"geoserp/internal/engine"
 	"geoserp/internal/geo"
 	"geoserp/internal/queries"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
+	"geoserp/internal/statz"
 	"geoserp/internal/storage"
 	"geoserp/internal/telemetry"
 )
@@ -75,6 +78,18 @@ type options struct {
 	// snapshot at campaign end — the same numbers a live /metricsz scrape
 	// would have shown.
 	MetricsOut string
+	// StatzAddr, when set, serves the live audit surface (/statz,
+	// /metricsz, and — with -trace-out — /tracez) on that address for the
+	// duration of the campaign.
+	StatzAddr string
+	// StatzOut, when set, writes the final /statz snapshot JSON at
+	// campaign end. Setting it also enables streaming aggregation even
+	// without a listen address.
+	StatzOut string
+	// DriftThreshold arms the stream's sweep-over-sweep drift tracker
+	// (0 = off): a scope whose running personalization mean moves further
+	// than this from its anchor emits a drift event.
+	DriftThreshold float64
 	// Logger receives structured progress records (nil = silent). At
 	// Debug level it also gets one record per fetch with the minted
 	// trace ID.
@@ -150,6 +165,8 @@ func runCrawl(opts options) (int, error) {
 	var err error
 	var cr *crawler.Crawler
 	var spans *telemetry.SpanRecorder
+	var stz *statzRuntime
+	defer func() { stz.stop() }()
 	if opts.Server == "" {
 		clk := simclock.NewManual(time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC))
 		spans = newCampaignRecorder(opts, clk)
@@ -178,6 +195,9 @@ func runCrawl(opts options) (int, error) {
 		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
 			return 0, err
 		}
+		if stz, err = setupStatz(cr, opts, clk, reg, spans, logger); err != nil {
+			return 0, err
+		}
 		campaignStart := clk.Now()
 		obs, err = cr.RunCampaignVirtual(clk, phases)
 		if err == nil {
@@ -196,6 +216,9 @@ func runCrawl(opts options) (int, error) {
 		}
 		cr.Logger, cr.Telemetry, cr.Spans = logger, reg, spans
 		if err := setupCheckpoint(cr, opts, ckptPath, partialPath, logger); err != nil {
+			return 0, err
+		}
+		if stz, err = setupStatz(cr, opts, simclock.Wall(), reg, spans, logger); err != nil {
 			return 0, err
 		}
 		obs, err = cr.RunCampaign(phases)
@@ -221,16 +244,22 @@ func runCrawl(opts options) (int, error) {
 		}
 		logger.Info("metrics snapshot written", "path", opts.MetricsOut)
 	}
+	if opts.StatzOut != "" {
+		if err := stz.writeFinal(opts.StatzOut); err != nil {
+			return 0, err
+		}
+		logger.Info("statz snapshot written", "path", opts.StatzOut)
+	}
 	logTelemetrySummary(logger, reg, len(obs))
 	return len(obs), nil
 }
 
-// newCampaignRecorder builds the span ring for -trace-out (nil when
-// tracing is off). The default capacity is campaign-sized: large enough
-// that scaled-down runs never wrap, so the written timeline is complete
-// and byte-deterministic.
+// newCampaignRecorder builds the span ring for -trace-out and the live
+// audit surface's /tracez (nil when both are off). The default capacity
+// is campaign-sized: large enough that scaled-down runs never wrap, so
+// the written timeline is complete and byte-deterministic.
 func newCampaignRecorder(opts options, clk simclock.Clock) *telemetry.SpanRecorder {
-	if opts.TraceOut == "" {
+	if opts.TraceOut == "" && opts.StatzAddr == "" {
 		return nil
 	}
 	capacity := opts.TraceCapacity
@@ -264,6 +293,69 @@ func writeMetricsFile(path string, reg *telemetry.Registry) error {
 		return fmt.Errorf("crawl: write metrics: %w", err)
 	}
 	return f.Close()
+}
+
+// statzRuntime holds the live audit surface attached to a campaign: the
+// streaming aggregator (as the crawler's sweep sink) and, when
+// -statz-addr is set, the HTTP server exposing it.
+type statzRuntime struct {
+	rec *statz.Recorder
+	srv *serpserver.Server
+	clk simclock.Clock
+}
+
+// setupStatz attaches the streaming aggregator and, when requested, the
+// live audit endpoint. It returns nil (a no-op runtime) when neither
+// -statz-addr nor -statz-out asked for one.
+func setupStatz(cr *crawler.Crawler, opts options, clk simclock.Clock, reg *telemetry.Registry, spans *telemetry.SpanRecorder, logger *slog.Logger) (*statzRuntime, error) {
+	if opts.StatzAddr == "" && opts.StatzOut == "" {
+		return nil, nil
+	}
+	stream := analysis.NewStream(
+		analysis.WithDriftThreshold(opts.DriftThreshold),
+		analysis.WithStreamTelemetry(reg),
+		analysis.WithStreamSpans(spans),
+	)
+	rec := statz.NewRecorder(stream, statz.WithProgress(cr.ProgressState))
+	cr.Sink = rec
+	rt := &statzRuntime{rec: rec, clk: clk}
+	if opts.StatzAddr != "" {
+		srv, err := serpserver.Listen(opts.StatzAddr, statz.Mux(rec, clk.Now, reg, spans))
+		if err != nil {
+			return nil, fmt.Errorf("crawl: statz listen: %w", err)
+		}
+		srv.Start()
+		rt.srv = srv
+		logger.Info("live audit endpoint ready", "url", srv.URL()+"/statz")
+	}
+	return rt, nil
+}
+
+// stop drains the statz server, if one is listening. Safe on a nil
+// runtime so error paths can defer it unconditionally.
+func (rt *statzRuntime) stop() {
+	if rt == nil || rt.srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	rt.srv.Shutdown(ctx)
+	rt.srv = nil
+}
+
+// writeFinal writes the end-of-campaign snapshot for -statz-out.
+func (rt *statzRuntime) writeFinal(path string) error {
+	if rt == nil {
+		return nil
+	}
+	data, err := rt.rec.SnapshotJSON(rt.clk.Now())
+	if err != nil {
+		return fmt.Errorf("crawl: statz snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("crawl: statz out: %w", err)
+	}
+	return nil
 }
 
 // setupCheckpoint arms campaign checkpointing: -resume picks up an

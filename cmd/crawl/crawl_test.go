@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"geoserp/internal/statz"
 	"geoserp/internal/storage"
 )
 
@@ -159,6 +160,71 @@ func TestRunCrawlCustomCorpus(t *testing.T) {
 	}
 	if _, err := runCrawl(options{Out: out, CorpusPath: filepath.Join(dir, "missing.json"), Days: 1}); err == nil {
 		t.Fatal("missing corpus accepted")
+	}
+}
+
+// TestRunCrawlStatzDeterminism: the -statz-out snapshot is a deterministic
+// artifact of (seed, campaign shape). Two same-seed runs — one also serving
+// the live /statz surface, one headless — must write byte-identical
+// snapshots: serving the audit endpoint during the campaign cannot perturb
+// the campaign itself. The snapshot carries the build block and a finished
+// campaign progress summary.
+func TestRunCrawlStatzDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	base := options{
+		TermsPerCategory: 1,
+		Days:             2,
+		Machines:         44,
+		Seed:             3,
+		PinnedDatacenter: "dc-0",
+		Wait:             11 * time.Minute,
+		DriftThreshold:   0.5,
+	}
+
+	live := base
+	live.Out = filepath.Join(dir, "a.jsonl")
+	live.StatzOut = filepath.Join(dir, "a-statz.json")
+	live.StatzAddr = "127.0.0.1:0"
+	if _, err := runCrawl(live); err != nil {
+		t.Fatal(err)
+	}
+	headless := base
+	headless.Out = filepath.Join(dir, "b.jsonl")
+	headless.StatzOut = filepath.Join(dir, "b-statz.json")
+	if _, err := runCrawl(headless); err != nil {
+		t.Fatal(err)
+	}
+
+	aj, err := os.ReadFile(live.StatzOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := os.ReadFile(headless.StatzOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatalf("same-seed statz snapshots differ (%d vs %d bytes)", len(aj), len(bj))
+	}
+
+	var snap statz.Snapshot
+	if err := json.Unmarshal(aj, &snap); err != nil {
+		t.Fatalf("statz snapshot unparseable: %v", err)
+	}
+	if snap.Build.GoVersion == "" {
+		t.Error("statz snapshot missing build.go_version")
+	}
+	if snap.Sweep == 0 || snap.Stream.Sweeps != snap.Sweep {
+		t.Errorf("snapshot sweep=%d stream.sweeps=%d, want matching non-zero", snap.Sweep, snap.Stream.Sweeps)
+	}
+	if snap.Campaign == nil || snap.Campaign.SweepsDone != snap.Campaign.SweepsTotal || snap.Campaign.SweepsTotal == 0 {
+		t.Errorf("campaign block = %+v, want finished plan", snap.Campaign)
+	}
+	if len(snap.Stream.Scorecard) == 0 {
+		t.Error("statz snapshot carries no scorecard claims")
+	}
+	if len(snap.Errors) != 0 {
+		t.Errorf("statz snapshot recorded ingest errors: %v", snap.Errors)
 	}
 }
 

@@ -32,6 +32,15 @@
 // text snapshot of the campaign's counters:
 //
 //	crawl -terms 2 -days 1 -out small.jsonl -trace-out trace.json -metrics-out snapshot.prom
+//
+// A running campaign can be audited live: -statz-addr serves /statz — a
+// streaming scorecard snapshot (JSON, or HTML for browsers) recomputed at
+// every completed sweep, with ?sweep=N replaying earlier snapshots —
+// plus /metricsz and (with -trace-out) /tracez. -statz-out writes the
+// final snapshot beside the data, and -drift-threshold arms the
+// sweep-over-sweep drift tracker:
+//
+//	crawl -terms 3 -days 1 -out small.jsonl -statz-addr 127.0.0.1:9090 -statz-out statz.json
 package main
 
 import (
@@ -69,6 +78,9 @@ func main() {
 	flag.StringVar(&opts.TraceOut, "trace-out", "", "write the campaign timeline as Chrome trace-event JSON (Perfetto / chrome://tracing)")
 	flag.IntVar(&opts.TraceCapacity, "trace-capacity", 0, "span ring capacity for -trace-out (0 = campaign-sized default)")
 	flag.StringVar(&opts.MetricsOut, "metrics-out", "", "write a final Prometheus text metrics snapshot at campaign end")
+	flag.StringVar(&opts.StatzAddr, "statz-addr", "", "serve the live audit surface (/statz, /metricsz, /tracez) on this address during the campaign")
+	flag.StringVar(&opts.StatzOut, "statz-out", "", "write the final /statz snapshot JSON at campaign end")
+	flag.Float64Var(&opts.DriftThreshold, "drift-threshold", 0, "sweep-over-sweep personalization drift that emits a drift event (0 = off)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("v", false, "debug logging: one record per fetch with its trace ID")
 	flag.Parse()

@@ -8,7 +8,10 @@
 //   - the admission gate sheds under overload, within the shed budget;
 //   - every circuit-breaker trip is matched by a re-close once faults clear;
 //   - no fetch fails terminally: retries, Retry-After backoff, and breaker
-//     cooldowns recover every fault inside its lock-step round.
+//     cooldowns recover every fault inside its lock-step round;
+//   - the live /statz audit surface, polled from a wall-clock goroutine
+//     for the whole campaign, always parses and its streaming scorecard
+//     exactly matches the batch pipeline's verdicts at campaign end.
 //
 // Usage:
 //
@@ -84,6 +87,8 @@ func main() {
 			"breaker_close", sum.BreakerClose,
 			"faults_injected", sum.FaultsDrawn,
 			"retries", sum.Retries,
+			"statz_polls", sum.StatzPolls,
+			"statz_poll_errors", sum.StatzPollErrors,
 			"virtual_elapsed", sum.VirtualTime.String(),
 			"wall_elapsed", wall.Now().Sub(start).Round(time.Millisecond).String())
 	}

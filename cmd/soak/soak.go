@@ -3,12 +3,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"geoserp/internal/analysis"
 	"geoserp/internal/browser"
 	"geoserp/internal/crawler"
 	"geoserp/internal/engine"
@@ -16,6 +21,7 @@ import (
 	"geoserp/internal/queries"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
+	"geoserp/internal/statz"
 	"geoserp/internal/storage"
 	"geoserp/internal/telemetry"
 )
@@ -164,6 +170,17 @@ type soakSummary struct {
 	VirtualTime   time.Duration
 	JSONL         []byte
 	Spans         *telemetry.SpanRecorder
+	// StatzJSON is the final /statz snapshot — like JSONL, it must be
+	// byte-identical across same-seed runs.
+	StatzJSON []byte
+	// StatzPolls / StatzPollErrors tally the wall-clock goroutine that
+	// hammered the live /statz endpoint while the campaign ran; the
+	// invariants demand it was exercised and never served garbage.
+	StatzPolls      uint64
+	StatzPollErrors uint64
+	// ParityViolation is non-empty when the streaming scorecard diverged
+	// from the batch pipeline's verdicts on the same observations.
+	ParityViolation string
 }
 
 // runSoak executes the chaos soak: a virtual-time campaign against an
@@ -261,6 +278,55 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 	}
 	cr.Logger, cr.Telemetry, cr.Spans, cr.Transport = logger, reg, spans, transport
 
+	// The live audit surface rides along on every soak: the streaming
+	// aggregator ingests sweeps as the crawler's sink while a wall-clock
+	// goroutine hammers /statz concurrently, so the endpoint is exercised
+	// under overload and under -race.
+	stream := analysis.NewStream(
+		analysis.WithDriftThreshold(0.5),
+		analysis.WithStreamTelemetry(reg),
+		analysis.WithStreamSpans(spans),
+	)
+	srec := statz.NewRecorder(stream, statz.WithProgress(cr.ProgressState))
+	cr.Sink = srec
+	statzSrv, err := serpserver.Listen("127.0.0.1:0", statz.Mux(srec, clk.Now, reg, spans))
+	if err != nil {
+		return nil, fmt.Errorf("soak: statz listen: %w", err)
+	}
+	statzSrv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		statzSrv.Shutdown(ctx)
+	}()
+
+	var statzPolls, statzPollErrs atomic.Uint64
+	pollStop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		for {
+			select {
+			case <-pollStop:
+				return
+			default:
+			}
+			statzPolls.Add(1)
+			resp, perr := http.Get(statzSrv.URL() + "/statz")
+			if perr != nil {
+				statzPollErrs.Add(1)
+			} else {
+				var snap statz.Snapshot
+				if derr := json.NewDecoder(resp.Body).Decode(&snap); derr != nil {
+					statzPollErrs.Add(1)
+				}
+				resp.Body.Close()
+			}
+			simclock.Wall().Sleep(5 * time.Millisecond)
+		}
+	}()
+
 	terms := corpus.Category(queries.Local)
 	if opts.Terms > 0 && len(terms) > opts.Terms {
 		terms = terms[:opts.Terms]
@@ -277,6 +343,8 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 
 	start := clk.Now()
 	obs, err := cr.RunCampaignVirtual(clk, []crawler.Phase{phase})
+	close(pollStop)
+	pollWG.Wait()
 	if err != nil {
 		return nil, fmt.Errorf("soak: campaign: %w", err)
 	}
@@ -315,6 +383,21 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 	}
 	sum.JSONL = buf.Bytes()
 
+	sum.StatzPolls = statzPolls.Load()
+	sum.StatzPollErrors = statzPollErrs.Load()
+	sum.StatzJSON, err = srec.SnapshotJSON(clk.Now())
+	if err != nil {
+		return nil, fmt.Errorf("soak: statz snapshot: %w", err)
+	}
+	// Streaming/batch parity: the scorecard aggregated sweep-by-sweep
+	// while the campaign ran must equal the batch pipeline's verdicts on
+	// the final observations exactly.
+	if ds, derr := analysis.NewDataset(obs); derr != nil {
+		sum.ParityViolation = fmt.Sprintf("batch dataset: %v", derr)
+	} else if batch, live := ds.Scorecard(), stream.Scorecard(); !reflect.DeepEqual(batch, live) {
+		sum.ParityViolation = fmt.Sprintf("streaming scorecard diverged from batch: %v vs %v", live, batch)
+	}
+
 	return sum, checkInvariants(opts, sum)
 }
 
@@ -350,6 +433,15 @@ func checkInvariants(opts soakOptions, sum *soakSummary) error {
 	}
 	if sum.FaultsDrawn == 0 {
 		bad = append(bad, "fault schedule injected nothing — the soak tested fair weather")
+	}
+	if sum.StatzPolls == 0 {
+		bad = append(bad, "live /statz endpoint was never polled — the audit surface went untested")
+	}
+	if sum.StatzPollErrors > 0 {
+		bad = append(bad, fmt.Sprintf("live /statz served unparseable responses: %d of %d polls", sum.StatzPollErrors, sum.StatzPolls))
+	}
+	if sum.ParityViolation != "" {
+		bad = append(bad, fmt.Sprintf("streaming/batch parity: %s", sum.ParityViolation))
 	}
 	if len(bad) > 0 {
 		return fmt.Errorf("soak: %d invariant(s) violated:\n  - %s", len(bad), strings.Join(bad, "\n  - "))

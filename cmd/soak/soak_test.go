@@ -29,6 +29,13 @@ func TestSoakInvariantsAndDeterminism(t *testing.T) {
 		t.Fatalf("same-seed soak runs diverged: %d vs %d JSONL bytes",
 			len(first.JSONL), len(second.JSONL))
 	}
+	// The final /statz snapshot is keyed to the virtual clock, never wall
+	// time, so it must be byte-identical across same-seed runs even though
+	// each run polled the live endpoint on its own wall-clock cadence.
+	if !bytes.Equal(first.StatzJSON, second.StatzJSON) {
+		t.Fatalf("same-seed soak runs served different final /statz snapshots:\n%s\nvs\n%s",
+			first.StatzJSON, second.StatzJSON)
+	}
 
 	opts.Seed = 7
 	other, err := runSoak(opts)

@@ -14,22 +14,7 @@ var CategoryOrder = []string{"politician", "controversial", "local"}
 // orderedCategories returns the dataset's categories in figure order, with
 // any extras appended alphabetically.
 func (d *Dataset) orderedCategories() []string {
-	var out []string
-	seen := map[string]bool{}
-	for _, c := range CategoryOrder {
-		for _, have := range d.categories {
-			if have == c {
-				out = append(out, c)
-				seen[c] = true
-			}
-		}
-	}
-	for _, have := range d.categories {
-		if !seen[have] {
-			out = append(out, have)
-		}
-	}
-	return out
+	return orderWith(CategoryOrder, d.categories)
 }
 
 // GranularityOrder is the fine-to-coarse x-axis order of Figures 2 and 5.
@@ -38,19 +23,28 @@ var GranularityOrder = []string{"county", "state", "national"}
 // orderedGranularities returns the dataset's granularities in figure
 // order.
 func (d *Dataset) orderedGranularities() []string {
+	return orderWith(GranularityOrder, d.granularities)
+}
+
+// orderWith arranges the (sorted, duplicate-free) labels in `have` by the
+// figure order `order`, appending labels the order does not mention in
+// their original (alphabetical) position. Both Dataset and Stream iterate
+// their cells through it, so batch and streaming output line up row for
+// row.
+func orderWith(order, have []string) []string {
 	var out []string
 	seen := map[string]bool{}
-	for _, g := range GranularityOrder {
-		for _, have := range d.granularities {
-			if have == g {
-				out = append(out, g)
-				seen[g] = true
+	for _, want := range order {
+		for _, h := range have {
+			if h == want {
+				out = append(out, want)
+				seen[want] = true
 			}
 		}
 	}
-	for _, have := range d.granularities {
-		if !seen[have] {
-			out = append(out, have)
+	for _, h := range have {
+		if !seen[h] {
+			out = append(out, h)
 		}
 	}
 	return out

@@ -6,29 +6,49 @@ import "fmt"
 // the paper evaluated against a dataset.
 type Check struct {
 	// Claim names the paper finding being checked.
-	Claim string
+	Claim string `json:"claim"`
 	// Pass reports whether the dataset exhibits it.
-	Pass bool
+	Pass bool `json:"pass"`
 	// Detail carries the measured values behind the verdict.
-	Detail string
+	Detail string `json:"detail"`
+}
+
+// ScorecardSource is the figure surface the scorecard reads: the five
+// reproductions whose means decide the paper's headline claims. Both the
+// batch *Dataset and the streaming *Stream implement it, which is what
+// makes the streaming/batch parity invariant checkable — the same
+// ScorecardFrom body runs over either.
+type ScorecardSource interface {
+	NoiseByGranularity() []NoiseCell
+	PersonalizationByGranularity() []PersonalizationCell
+	PersonalizationPerTerm(category string) []TermSeries
+	PersonalizationByResultType() []BreakdownCell
+	ConsistencyOverTime(category string) []ConsistencySeries
 }
 
 // Scorecard evaluates the paper's headline findings against the dataset
 // and returns one Check per claim. It is the programmatic counterpart of
 // EXPERIMENTS.md: run any crawl — full, scaled, reseeded, or against a
 // live engine — through it to see which of the paper's findings hold.
-func (d *Dataset) Scorecard() []Check {
+func (d *Dataset) Scorecard() []Check { return ScorecardFrom(d) }
+
+// ScorecardFrom evaluates the paper's headline findings against any
+// scorecard source — the batch dataset or a streaming aggregator mid- or
+// post-campaign. Every claim reads only edit-distance means, which both
+// sources compute exactly (integer sums), so verdicts and details agree
+// to the byte between them.
+func ScorecardFrom(src ScorecardSource) []Check {
 	var out []Check
 	add := func(claim string, pass bool, format string, args ...any) {
 		out = append(out, Check{Claim: claim, Pass: pass, Detail: fmt.Sprintf(format, args...)})
 	}
 
 	noise := map[[2]string]NoiseCell{}
-	for _, c := range d.NoiseByGranularity() {
+	for _, c := range src.NoiseByGranularity() {
 		noise[[2]string{c.Granularity, c.Category}] = c
 	}
 	pers := map[[2]string]PersonalizationCell{}
-	for _, c := range d.PersonalizationByGranularity() {
+	for _, c := range src.PersonalizationByGranularity() {
 		pers[[2]string{c.Granularity, c.Category}] = c
 	}
 	has := func(g, c string) bool {
@@ -86,7 +106,7 @@ func (d *Dataset) Scorecard() []Check {
 	// Claim 5 (Figs 3/6): brand local terms are quieter and less
 	// personalized than generic ones — approximated here by comparing the
 	// extremes of the sorted per-term series.
-	if terms := d.PersonalizationPerTerm("local"); len(terms) >= 4 {
+	if terms := src.PersonalizationPerTerm("local"); len(terms) >= 4 {
 		lo := terms[0].EditByGranularity["national"]
 		hi := terms[len(terms)-1].EditByGranularity["national"]
 		add("per-term local personalization varies widely (Fig 6)",
@@ -96,7 +116,7 @@ func (d *Dataset) Scorecard() []Check {
 
 	// Claim 6 (Fig 7): Maps explain only a minority of local
 	// personalization; most changes hit typical results.
-	for _, c := range d.PersonalizationByResultType() {
+	for _, c := range src.PersonalizationByResultType() {
 		if c.Category == "local" && c.Granularity == "state" {
 			add("Maps are a minority share of local personalization (Fig 7, paper: 18-27%)",
 				c.MapsShare() > 0.05 && c.MapsShare() < 0.5 && c.Other > c.Maps,
@@ -110,7 +130,7 @@ func (d *Dataset) Scorecard() []Check {
 	}
 
 	// Claim 7 (Fig 8): personalization is stable over time.
-	for _, s := range d.ConsistencyOverTime("local") {
+	for _, s := range src.ConsistencyOverTime("local") {
 		if len(s.Days) < 2 {
 			continue
 		}

@@ -1,0 +1,699 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"geoserp/internal/metrics"
+	"geoserp/internal/serp"
+	"geoserp/internal/stats"
+	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
+)
+
+// Stream is the one-pass, bounded-memory counterpart of Dataset: it folds
+// completed lock-step sweeps into per-scope running aggregates as a
+// campaign executes, instead of indexing every observation and comparing
+// all pairs at the end. Memory is O(scopes), not O(observations) — the
+// shape million-user continuous audits need (ROADMAP item 5).
+//
+// Parity with the batch path is exact where it matters: every scorecard
+// claim reads only edit-distance means, and edit distances are small
+// integers, so the stream keeps integer sums whose float64 means are
+// bit-identical to the batch stats.Mean/stats.Summarize results. Jaccard
+// statistics are folded through Welford accumulators (stats.Accumulator)
+// and agree with the batch means only to floating-point accumulation
+// order; they are display statistics, not scorecard inputs.
+//
+// One documented divergence: the Figure 8 consistency baseline. The batch
+// dataset picks the lexicographically first location that succeeded at
+// least once over the whole campaign; the stream must commit before the
+// campaign ends, so it picks the lexicographically first location of the
+// granularity's configured vantage set at its first sweep. The two differ
+// only when that location fails every single sweep of the campaign.
+//
+// Stream is not internally synchronized: IngestSweep and the read methods
+// must be externally serialized (the statz handler wraps it in a mutex;
+// the crawler feeds it from the single scheduling goroutine).
+type Stream struct {
+	driftThreshold float64
+	reg            *telemetry.Registry
+	spans          *telemetry.SpanRecorder
+	inst           *streamInstruments
+
+	// Seen-value sets mirror NewDataset's: only successful observations
+	// register, so the skip-failed rule carries over to the streamed
+	// enumerations.
+	granularities map[string]bool
+	categories    map[string]bool
+	days          map[int]bool
+	terms         map[string]map[string]bool
+	locs          map[string]map[string]bool
+
+	sweeps       int
+	observations int
+	failed       int
+	shed         int
+	pairs        uint64
+
+	noise     map[scopeKey]*editAgg
+	pers      map[scopeKey]*editAgg
+	persTerm  map[streamTermKey]*editAgg
+	breakdown map[scopeKey]*breakdownAgg
+	consNoise map[streamDayKey]*intAgg
+	consLoc   map[streamLocDayKey]*intAgg
+	// baseline fixes each granularity's Figure 8 reference location at
+	// that granularity's first sweep.
+	baseline map[string]string
+
+	anchor map[scopeKey]float64
+	drift  []DriftEvent
+}
+
+// scopeKey addresses one (granularity, category) aggregation cell.
+type scopeKey struct {
+	granularity string
+	category    string
+}
+
+type streamTermKey struct {
+	granularity string
+	category    string
+	term        string
+}
+
+type streamDayKey struct {
+	granularity string
+	category    string
+	day         int
+}
+
+type streamLocDayKey struct {
+	granularity string
+	category    string
+	day         int
+	location    string
+}
+
+// editAgg folds one scope's pairwise comparisons: an exact integer
+// edit-distance sum (the scorecard's input), Welford accumulators for the
+// display statistics, and the rank-delta counters (how many pairs were
+// identical, merely reordered, or content-changed).
+type editAgg struct {
+	n         int
+	editSum   uint64
+	edit      stats.Accumulator
+	jaccard   stats.Accumulator
+	identical uint64
+	reordered uint64
+	changed   uint64
+}
+
+func (a *editAgg) add(cmp metrics.Comparison) {
+	a.n++
+	a.editSum += uint64(cmp.EditDistance)
+	a.edit.Add(float64(cmp.EditDistance))
+	a.jaccard.Add(cmp.Jaccard)
+	switch {
+	case cmp.EditDistance == 0:
+		a.identical++
+	case cmp.Jaccard == 1:
+		a.reordered++
+	default:
+		a.changed++
+	}
+}
+
+// mean is the exact edit-distance mean: a float64 quotient of an integer
+// sum, bit-identical to the batch path's sequential float sum of the same
+// integer-valued samples.
+func (a *editAgg) mean() float64 {
+	if a == nil || a.n == 0 {
+		return 0
+	}
+	return float64(a.editSum) / float64(a.n)
+}
+
+// editSummary renders the aggregate as a stats.Summary. Mean (and hence
+// Median, which the online form approximates by the mean) is the exact
+// integer-sum mean; StdDev comes from the Welford accumulator.
+func (a *editAgg) editSummary() stats.Summary {
+	s := a.edit.Summary()
+	s.Mean = a.mean()
+	s.Median = s.Mean
+	return s
+}
+
+// breakdownAgg folds BreakdownPages results with integer sums, keeping
+// the Figure 7 card-type means exact.
+type breakdownAgg struct {
+	n     int
+	all   uint64
+	maps  uint64
+	news  uint64
+	other uint64
+}
+
+// intAgg is an exact running mean over integer samples.
+type intAgg struct {
+	n   int
+	sum uint64
+}
+
+func (a *intAgg) add(v int) {
+	a.n++
+	a.sum += uint64(v)
+}
+
+func (a *intAgg) mean() float64 {
+	if a == nil || a.n == 0 {
+		return 0
+	}
+	return float64(a.sum) / float64(a.n)
+}
+
+// DriftEvent records one sweep-over-sweep drift detection: a scope's
+// running personalization mean moved beyond the configured threshold
+// since its last anchor.
+type DriftEvent struct {
+	Granularity string `json:"granularity"`
+	Category    string `json:"category"`
+	// Sweep is the 0-based campaign sweep index that moved the mean.
+	Sweep int `json:"sweep"`
+	// At is the campaign-clock instant the sweep completed (never wall
+	// time, so same-seed campaigns drift identically).
+	At   time.Time `json:"at"`
+	From float64   `json:"from"`
+	To   float64   `json:"to"`
+}
+
+// StreamOption configures a Stream.
+type StreamOption func(*Stream)
+
+// WithDriftThreshold arms the drift tracker: after each sweep, any scope
+// whose running personalization edit mean moved more than t away from its
+// last anchor records a DriftEvent (plus a metric and a span). 0 disables
+// tracking.
+func WithDriftThreshold(t float64) StreamOption {
+	return func(s *Stream) { s.driftThreshold = t }
+}
+
+// WithStreamTelemetry makes the stream report through reg (sweep, pair,
+// and drift counters). A nil reg is ignored; a stream without one lazily
+// creates its own private registry.
+func WithStreamTelemetry(reg *telemetry.Registry) StreamOption {
+	return func(s *Stream) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
+}
+
+// WithStreamSpans makes drift detections record a "stream.drift" span on
+// rec. A nil rec is ignored (no spans).
+func WithStreamSpans(rec *telemetry.SpanRecorder) StreamOption {
+	return func(s *Stream) {
+		if rec != nil {
+			s.spans = rec
+		}
+	}
+}
+
+// NewStream builds an empty streaming aggregator.
+func NewStream(opts ...StreamOption) *Stream {
+	s := &Stream{
+		granularities: map[string]bool{},
+		categories:    map[string]bool{},
+		days:          map[int]bool{},
+		terms:         map[string]map[string]bool{},
+		locs:          map[string]map[string]bool{},
+		noise:         map[scopeKey]*editAgg{},
+		pers:          map[scopeKey]*editAgg{},
+		persTerm:      map[streamTermKey]*editAgg{},
+		breakdown:     map[scopeKey]*breakdownAgg{},
+		consNoise:     map[streamDayKey]*intAgg{},
+		consLoc:       map[streamLocDayKey]*intAgg{},
+		baseline:      map[string]string{},
+		anchor:        map[scopeKey]float64{},
+		drift:         []DriftEvent{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// streamInstruments are the stream's registered metrics.
+type streamInstruments struct {
+	sweeps  *telemetry.Counter    // stream_sweeps_ingested_total
+	obs     *telemetry.Counter    // stream_observations_ingested_total
+	failed  *telemetry.Counter    // stream_failed_observations_total
+	pairs   *telemetry.Counter    // stream_pairs_compared_total
+	driftEv *telemetry.CounterVec // stream_drift_events_total{scope}
+}
+
+func (s *Stream) instruments() *streamInstruments {
+	if s.inst == nil {
+		if s.reg == nil {
+			s.reg = telemetry.NewRegistry()
+		}
+		s.inst = &streamInstruments{
+			sweeps: s.reg.Counter("stream_sweeps_ingested_total", "Completed term sweeps folded into the streaming aggregator."),
+			obs:    s.reg.Counter("stream_observations_ingested_total", "Observations folded into the streaming aggregator."),
+			failed: s.reg.Counter("stream_failed_observations_total", "Failed observations skipped by the streaming aggregator."),
+			pairs:  s.reg.Counter("stream_pairs_compared_total", "Cross-location page pairs compared by the streaming aggregator."),
+			driftEv: s.reg.CounterVec("stream_drift_events_total",
+				"Scope running means that moved beyond the drift threshold, by granularity/category scope.", "scope"),
+		}
+	}
+	return s.inst
+}
+
+// IngestSweep folds one completed lock-step sweep — every vantage's
+// treatment and control for a single (granularity, term, day) — into the
+// running aggregates. at is the campaign-clock instant the sweep
+// completed; it only stamps drift events.
+//
+// Observation order within the sweep does not matter: the fold
+// canonicalizes to sorted-location order internally, so fetch-arrival
+// nondeterminism cannot leak into the aggregates.
+func (s *Stream) IngestSweep(at time.Time, obs []storage.Observation) error {
+	if len(obs) == 0 {
+		return fmt.Errorf("analysis: stream: empty sweep")
+	}
+	g, term, day, cat := obs[0].Granularity, obs[0].Term, obs[0].Day, obs[0].Category
+
+	type slot struct {
+		treatment *serp.Page
+		control   *serp.Page
+	}
+	slots := map[string]*slot{}
+	locSet := map[string]bool{}
+	for i := range obs {
+		o := &obs[i]
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("analysis: stream: sweep observation %d: %w", i, err)
+		}
+		if o.Granularity != g || o.Term != term || o.Day != day || o.Category != cat {
+			return fmt.Errorf("analysis: stream: sweep mixes (%s %s %q day %d) with (%s %s %q day %d)",
+				g, cat, term, day, o.Granularity, o.Category, o.Term, o.Day)
+		}
+		locSet[o.LocationID] = true
+		if o.Failed {
+			s.failed++
+			if o.Shed {
+				s.shed++
+			}
+			continue
+		}
+		sl := slots[o.LocationID]
+		if sl == nil {
+			sl = &slot{}
+			slots[o.LocationID] = sl
+		}
+		switch o.Role {
+		case storage.Treatment:
+			if sl.treatment != nil {
+				return fmt.Errorf("analysis: stream: duplicate treatment for %s %q day %d at %s", g, term, day, o.LocationID)
+			}
+			sl.treatment = o.Page
+		case storage.Control:
+			if sl.control != nil {
+				return fmt.Errorf("analysis: stream: duplicate control for %s %q day %d at %s", g, term, day, o.LocationID)
+			}
+			sl.control = o.Page
+		}
+		s.granularities[g] = true
+		s.categories[cat] = true
+		s.days[day] = true
+		if s.terms[cat] == nil {
+			s.terms[cat] = map[string]bool{}
+		}
+		s.terms[cat][term] = true
+		if s.locs[g] == nil {
+			s.locs[g] = map[string]bool{}
+		}
+		s.locs[g][o.LocationID] = true
+	}
+	s.observations += len(obs)
+	sweep := s.sweeps
+	s.sweeps++
+
+	// Commit the consistency baseline at the granularity's first sweep:
+	// the lexicographically first configured vantage (failed observations
+	// still name their location, so the full set is visible here).
+	if _, ok := s.baseline[g]; !ok {
+		s.baseline[g] = sortedKeys(locSet)[0]
+	}
+	bl := s.baseline[g]
+
+	sk := scopeKey{g, cat}
+	locs := sortedKeys(locSet)
+	var withTreatment []string
+	for _, loc := range locs {
+		sl := slots[loc]
+		if sl == nil {
+			continue
+		}
+		if sl.treatment != nil {
+			withTreatment = append(withTreatment, loc)
+		}
+		if sl.treatment != nil && sl.control != nil {
+			cmp := metrics.ComparePages(sl.treatment, sl.control)
+			getOrNew(s.noise, sk).add(cmp)
+			if loc == bl {
+				getOrNew(s.consNoise, streamDayKey{g, cat, day}).add(cmp.EditDistance)
+			}
+		}
+	}
+	tk := streamTermKey{g, cat, term}
+	for i := 0; i < len(withTreatment); i++ {
+		for j := i + 1; j < len(withTreatment); j++ {
+			ti, tj := slots[withTreatment[i]].treatment, slots[withTreatment[j]].treatment
+			cmp := metrics.ComparePages(ti, tj)
+			bd := metrics.BreakdownPages(ti, tj)
+			getOrNew(s.pers, sk).add(cmp)
+			getOrNew(s.persTerm, tk).add(cmp)
+			b := getOrNew(s.breakdown, sk)
+			b.n++
+			b.all += uint64(bd.All)
+			b.maps += uint64(bd.Maps)
+			b.news += uint64(bd.News)
+			b.other += uint64(bd.Other)
+			s.pairs++
+			if withTreatment[i] == bl {
+				getOrNew(s.consLoc, streamLocDayKey{g, cat, day, withTreatment[j]}).add(cmp.EditDistance)
+			}
+		}
+	}
+
+	s.trackDrift(sk, sweep, at)
+
+	inst := s.instruments()
+	inst.sweeps.Inc()
+	inst.obs.Add(uint64(len(obs)))
+	for i := range obs {
+		if obs[i].Failed {
+			inst.failed.Inc()
+		}
+	}
+	inst.pairs.Add(uint64(len(withTreatment)) * uint64(len(withTreatment)-1) / 2)
+	return nil
+}
+
+// getOrNew returns m[k], allocating a zero value on first touch.
+func getOrNew[K comparable, V any](m map[K]*V, k K) *V {
+	v := m[k]
+	if v == nil {
+		v = new(V)
+		m[k] = v
+	}
+	return v
+}
+
+// trackDrift compares the touched scope's running personalization mean
+// against its last anchor and records a drift event — list entry, metric,
+// and span — when it moved beyond the threshold.
+func (s *Stream) trackDrift(sk scopeKey, sweep int, at time.Time) {
+	if s.driftThreshold <= 0 {
+		return
+	}
+	a := s.pers[sk]
+	if a == nil || a.n == 0 {
+		return
+	}
+	m := a.mean()
+	anchor, ok := s.anchor[sk]
+	if !ok {
+		s.anchor[sk] = m
+		return
+	}
+	if diff := m - anchor; diff <= s.driftThreshold && -diff <= s.driftThreshold {
+		return
+	}
+	s.anchor[sk] = m
+	s.drift = append(s.drift, DriftEvent{
+		Granularity: sk.granularity,
+		Category:    sk.category,
+		Sweep:       sweep,
+		At:          at,
+		From:        anchor,
+		To:          m,
+	})
+	s.instruments().driftEv.With(sk.granularity + "/" + sk.category).Inc()
+	if s.spans != nil {
+		sp := s.spans.StartRoot(
+			telemetry.MintTraceID(0, "stream", "drift", sk.granularity, sk.category, fmt.Sprint(sweep)),
+			"stream.drift")
+		sp.SetAttr("granularity", sk.granularity)
+		sp.SetAttr("category", sk.category)
+		sp.SetAttr("sweep", fmt.Sprint(sweep))
+		sp.SetAttr("from", fmt.Sprintf("%.4f", anchor))
+		sp.SetAttr("to", fmt.Sprintf("%.4f", m))
+		sp.End()
+	}
+}
+
+// Sweeps returns the number of sweeps ingested.
+func (s *Stream) Sweeps() int { return s.sweeps }
+
+// Observations returns the number of observations ingested, failed ones
+// included.
+func (s *Stream) Observations() int { return s.observations }
+
+// Failed returns the number of failed observations skipped, mirroring
+// Dataset.Failed.
+func (s *Stream) Failed() int { return s.failed }
+
+// Shed returns how many of the failed observations were server sheds.
+func (s *Stream) Shed() int { return s.shed }
+
+// PairsCompared returns the number of cross-location page pairs folded.
+func (s *Stream) PairsCompared() uint64 { return s.pairs }
+
+// Drift returns the recorded drift events, oldest first.
+func (s *Stream) Drift() []DriftEvent {
+	return append([]DriftEvent{}, s.drift...)
+}
+
+func (s *Stream) orderedGranularities() []string {
+	return orderWith(GranularityOrder, sortedKeys(s.granularities))
+}
+
+func (s *Stream) orderedCategories() []string {
+	return orderWith(CategoryOrder, sortedKeys(s.categories))
+}
+
+// NoiseByGranularity is the streaming Figure 2: one cell per (granularity,
+// category) with at least one treatment/control pair. Edit means are exact;
+// Jaccard statistics are Welford approximations.
+func (s *Stream) NoiseByGranularity() []NoiseCell {
+	var out []NoiseCell
+	for _, g := range s.orderedGranularities() {
+		for _, cat := range s.orderedCategories() {
+			a := s.noise[scopeKey{g, cat}]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			out = append(out, NoiseCell{
+				Granularity: g,
+				Category:    cat,
+				Jaccard:     a.jaccard.Summary(),
+				Edit:        a.editSummary(),
+			})
+		}
+	}
+	return out
+}
+
+// PersonalizationByGranularity is the streaming Figure 5, with the noise
+// floors attached exactly as the batch path attaches them.
+func (s *Stream) PersonalizationByGranularity() []PersonalizationCell {
+	var out []PersonalizationCell
+	for _, g := range s.orderedGranularities() {
+		for _, cat := range s.orderedCategories() {
+			sk := scopeKey{g, cat}
+			a := s.pers[sk]
+			if a == nil || a.n == 0 {
+				continue
+			}
+			cell := PersonalizationCell{
+				Granularity: g,
+				Category:    cat,
+				Jaccard:     a.jaccard.Summary(),
+				Edit:        a.editSummary(),
+			}
+			if n := s.noise[sk]; n != nil && n.n > 0 {
+				cell.NoiseJaccard = n.jaccard.Mean()
+				cell.NoiseEdit = n.mean()
+			}
+			out = append(out, cell)
+		}
+	}
+	return out
+}
+
+// PersonalizationPerTerm is the streaming Figure 6, sorted by the
+// national-granularity values like the batch path.
+func (s *Stream) PersonalizationPerTerm(category string) []TermSeries {
+	var out []TermSeries
+	for _, term := range sortedKeys(s.terms[category]) {
+		ts := TermSeries{
+			Term:                 term,
+			EditByGranularity:    map[string]float64{},
+			JaccardByGranularity: map[string]float64{},
+		}
+		for _, g := range s.orderedGranularities() {
+			if a := s.persTerm[streamTermKey{g, category, term}]; a != nil && a.n > 0 {
+				ts.EditByGranularity[g] = a.mean()
+				ts.JaccardByGranularity[g] = a.jaccard.Mean()
+			}
+		}
+		out = append(out, ts)
+	}
+	sortTermSeries(out, "national")
+	return out
+}
+
+// PersonalizationByResultType is the streaming Figure 7; the card-type
+// means are exact integer-sum means.
+func (s *Stream) PersonalizationByResultType() []BreakdownCell {
+	var out []BreakdownCell
+	for _, cat := range s.orderedCategories() {
+		for _, g := range s.orderedGranularities() {
+			b := s.breakdown[scopeKey{g, cat}]
+			if b == nil || b.n == 0 {
+				continue
+			}
+			n := float64(b.n)
+			out = append(out, BreakdownCell{
+				Category:    cat,
+				Granularity: g,
+				All:         float64(b.all) / n,
+				Maps:        float64(b.maps) / n,
+				News:        float64(b.news) / n,
+				Other:       float64(b.other) / n,
+			})
+		}
+	}
+	return out
+}
+
+// ConsistencyOverTime is the streaming Figure 8. The per-day sums were
+// accumulated against the stream's committed baseline (see the type
+// comment); the emitted Baseline is the batch-compatible first observed
+// location, which coincides with it whenever the committed baseline
+// succeeded at least once.
+func (s *Stream) ConsistencyOverTime(category string) []ConsistencySeries {
+	days := make([]int, 0, len(s.days))
+	for d := range s.days {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	var out []ConsistencySeries
+	for _, g := range s.orderedGranularities() {
+		locs := sortedKeys(s.locs[g])
+		if len(locs) < 2 {
+			continue
+		}
+		series := ConsistencySeries{
+			Granularity: g,
+			Baseline:    locs[0],
+			Days:        append([]int{}, days...),
+			PerLocation: map[string][]float64{},
+		}
+		for _, day := range days {
+			series.NoiseFloor = append(series.NoiseFloor, s.consNoise[streamDayKey{g, category, day}].mean())
+			for _, loc := range locs[1:] {
+				series.PerLocation[loc] = append(series.PerLocation[loc],
+					s.consLoc[streamLocDayKey{g, category, day, loc}].mean())
+			}
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+// Scorecard evaluates the paper's claims against the running aggregates.
+// At campaign end it equals the batch Dataset.Scorecard exactly (the
+// streaming/batch parity invariant, test-enforced).
+func (s *Stream) Scorecard() []Check { return ScorecardFrom(s) }
+
+// ScopeSummary is one row of the live scorecard's scope table: the
+// running aggregates for a (granularity, category) cell.
+type ScopeSummary struct {
+	Granularity string `json:"granularity"`
+	Category    string `json:"category"`
+	// Noise statistics (treatment vs simultaneous control).
+	NoisePairs       int     `json:"noise_pairs"`
+	NoiseEditMean    float64 `json:"noise_edit_mean"`
+	NoiseJaccardMean float64 `json:"noise_jaccard_mean"`
+	// Personalization statistics (cross-location treatment pairs).
+	PersonalizationPairs       int     `json:"personalization_pairs"`
+	PersonalizationEditMean    float64 `json:"personalization_edit_mean"`
+	PersonalizationEditStdDev  float64 `json:"personalization_edit_stddev"`
+	PersonalizationJaccardMean float64 `json:"personalization_jaccard_mean"`
+	// Rank-delta counters over the personalization pairs.
+	IdenticalPairs      uint64 `json:"identical_pairs"`
+	ReorderedPairs      uint64 `json:"reordered_pairs"`
+	ContentChangedPairs uint64 `json:"content_changed_pairs"`
+}
+
+// StreamSnapshot is the stream's full serializable state summary — the
+// "stream" block of a /statz snapshot.
+type StreamSnapshot struct {
+	Sweeps        int            `json:"sweeps"`
+	Observations  int            `json:"observations"`
+	Failed        int            `json:"failed"`
+	Shed          int            `json:"shed"`
+	PairsCompared uint64         `json:"pairs_compared"`
+	Scorecard     []Check        `json:"scorecard"`
+	Scopes        []ScopeSummary `json:"scopes"`
+	Drift         []DriftEvent   `json:"drift"`
+}
+
+// Snapshot summarizes the stream's current state. The output is a pure
+// function of the ingested sweeps, so same-seed campaigns snapshot
+// byte-identically at equivalent virtual times.
+func (s *Stream) Snapshot() StreamSnapshot {
+	snap := StreamSnapshot{
+		Sweeps:        s.sweeps,
+		Observations:  s.observations,
+		Failed:        s.failed,
+		Shed:          s.shed,
+		PairsCompared: s.pairs,
+		Scorecard:     s.Scorecard(),
+		Scopes:        []ScopeSummary{},
+		Drift:         s.Drift(),
+	}
+	if snap.Scorecard == nil {
+		snap.Scorecard = []Check{}
+	}
+	for _, g := range s.orderedGranularities() {
+		for _, cat := range s.orderedCategories() {
+			sk := scopeKey{g, cat}
+			n, p := s.noise[sk], s.pers[sk]
+			if (n == nil || n.n == 0) && (p == nil || p.n == 0) {
+				continue
+			}
+			row := ScopeSummary{Granularity: g, Category: cat}
+			if n != nil && n.n > 0 {
+				row.NoisePairs = n.n
+				row.NoiseEditMean = n.mean()
+				row.NoiseJaccardMean = n.jaccard.Mean()
+			}
+			if p != nil && p.n > 0 {
+				row.PersonalizationPairs = p.n
+				row.PersonalizationEditMean = p.mean()
+				row.PersonalizationEditStdDev = p.edit.StdDev()
+				row.PersonalizationJaccardMean = p.jaccard.Mean()
+				row.IdenticalPairs = p.identical
+				row.ReorderedPairs = p.reordered
+				row.ContentChangedPairs = p.changed
+			}
+			snap.Scopes = append(snap.Scopes, row)
+		}
+	}
+	return snap
+}

@@ -1,0 +1,487 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"geoserp/internal/serp"
+	"geoserp/internal/storage"
+	"geoserp/internal/telemetry"
+)
+
+// sweepAt is the campaign-clock stamp for synthetic sweeps; the exact
+// value is irrelevant to the aggregates (it only stamps drift events).
+func sweepAt(i int) time.Time {
+	return time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(i) * time.Hour)
+}
+
+// ingestAll groups a batch-shaped observation list into lock-step sweeps
+// — one (granularity, term, day) at a time, in deterministic order — and
+// feeds them to the stream, mimicking how the crawler's sink sees a
+// campaign.
+func ingestAll(t *testing.T, s *Stream, data []storage.Observation) {
+	t.Helper()
+	type key struct {
+		g    string
+		term string
+		day  int
+	}
+	var order []key
+	sweeps := map[key][]storage.Observation{}
+	for _, o := range data {
+		k := key{o.Granularity, o.Term, o.Day}
+		if _, ok := sweeps[k]; !ok {
+			order = append(order, k)
+		}
+		sweeps[k] = append(sweeps[k], o)
+	}
+	for i, k := range order {
+		if err := s.IngestSweep(sweepAt(i), sweeps[k]); err != nil {
+			t.Fatalf("IngestSweep %v: %v", k, err)
+		}
+	}
+}
+
+// campaignFixture synthesizes a deterministic multi-granularity,
+// multi-category, multi-day campaign with enough structure to exercise
+// every figure: varying pages per (term, location, day), maps cards on
+// local terms, and a sprinkling of failed observations when withFailures
+// is set. No randomness — page contents are index arithmetic.
+func campaignFixture(withFailures bool) []storage.Observation {
+	pool := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	var out []storage.Observation
+	cats := []struct {
+		name  string
+		terms []string
+	}{
+		{"local", []string{"Coffee", "Dentist", "Library", "Pizza"}},
+		{"controversial", []string{"Abortion", "Guns", "Taxes", "Vaccines"}},
+	}
+	grans := []struct {
+		name string
+		locs []string
+	}{
+		{"county", []string{"c/1", "c/2", "c/3"}},
+		{"state", []string{"s/1", "s/2", "s/3"}},
+		{"national", []string{"n/1", "n/2", "n/3"}},
+	}
+	idx := 0
+	for _, g := range grans {
+		for day := 0; day < 2; day++ {
+			for ci, cat := range cats {
+				for ti, term := range cat.terms {
+					for li, loc := range g.locs {
+						// A stable page per (granularity, category, term,
+						// location, day): rotate through the link pool so
+						// nearby vantages overlap but differ.
+						start := (ci*7 + ti*3 + li*2 + day) % len(pool)
+						links := []string{pool[start], pool[(start+1)%len(pool)], pool[(start+2)%len(pool)]}
+						var pg *serp.Page
+						if cat.name == "local" && li%2 == 1 {
+							pg = mapsPage([]string{"m-" + loc}, links...)
+						} else {
+							pg = page(links...)
+						}
+						for _, role := range []storage.Role{storage.Treatment, storage.Control} {
+							o := obs(term, cat.name, g.name, loc, role, day, pg)
+							idx++
+							if withFailures && idx%13 == 0 {
+								o.Page = nil
+								o.Failed = true
+								o.Err = "browser: fetch: synthetic fault"
+							}
+							out = append(out, o)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// assertStreamBatchParity checks the tentpole invariant: the streaming
+// scorecard — and every exact edit-distance mean feeding it — equals the
+// batch pipeline's output on the same observations.
+func assertStreamBatchParity(t *testing.T, d *Dataset, s *Stream) {
+	t.Helper()
+	batch, live := d.Scorecard(), s.Scorecard()
+	if !reflect.DeepEqual(batch, live) {
+		t.Fatalf("scorecard parity broken:\nbatch: %+v\nstream: %+v", batch, live)
+	}
+	if len(batch) == 0 {
+		t.Fatal("scorecard is empty — the fixture exercised no claims")
+	}
+
+	bn, sn := d.NoiseByGranularity(), s.NoiseByGranularity()
+	if len(bn) != len(sn) {
+		t.Fatalf("noise cells: batch %d vs stream %d", len(bn), len(sn))
+	}
+	for i := range bn {
+		if bn[i].Granularity != sn[i].Granularity || bn[i].Category != sn[i].Category {
+			t.Fatalf("noise cell %d: batch (%s,%s) vs stream (%s,%s)",
+				i, bn[i].Granularity, bn[i].Category, sn[i].Granularity, sn[i].Category)
+		}
+		if bn[i].Edit.Mean != sn[i].Edit.Mean {
+			t.Fatalf("noise %s/%s edit mean: batch %v vs stream %v (must be bit-identical)",
+				bn[i].Granularity, bn[i].Category, bn[i].Edit.Mean, sn[i].Edit.Mean)
+		}
+	}
+	bp, sp := d.PersonalizationByGranularity(), s.PersonalizationByGranularity()
+	if len(bp) != len(sp) {
+		t.Fatalf("personalization cells: batch %d vs stream %d", len(bp), len(sp))
+	}
+	for i := range bp {
+		if bp[i].Edit.Mean != sp[i].Edit.Mean || bp[i].NoiseEdit != sp[i].NoiseEdit {
+			t.Fatalf("personalization %s/%s: batch mean %v floor %v vs stream mean %v floor %v",
+				bp[i].Granularity, bp[i].Category,
+				bp[i].Edit.Mean, bp[i].NoiseEdit, sp[i].Edit.Mean, sp[i].NoiseEdit)
+		}
+	}
+	for _, cat := range []string{"local", "controversial"} {
+		bt, st := d.PersonalizationPerTerm(cat), s.PersonalizationPerTerm(cat)
+		if len(bt) != len(st) {
+			t.Fatalf("per-term %s: batch %d vs stream %d", cat, len(bt), len(st))
+		}
+		for i := range bt {
+			if bt[i].Term != st[i].Term || !reflect.DeepEqual(bt[i].EditByGranularity, st[i].EditByGranularity) {
+				t.Fatalf("per-term %s[%d]: batch %q %v vs stream %q %v",
+					cat, i, bt[i].Term, bt[i].EditByGranularity, st[i].Term, st[i].EditByGranularity)
+			}
+		}
+	}
+	bb, sb := d.PersonalizationByResultType(), s.PersonalizationByResultType()
+	if !reflect.DeepEqual(bb, sb) {
+		t.Fatalf("result-type breakdown: batch %+v vs stream %+v", bb, sb)
+	}
+	for _, cat := range []string{"local", "controversial"} {
+		bc, sc := d.ConsistencyOverTime(cat), s.ConsistencyOverTime(cat)
+		if !reflect.DeepEqual(bc, sc) {
+			t.Fatalf("consistency %s: batch %+v vs stream %+v", cat, bc, sc)
+		}
+	}
+}
+
+func TestStreamMatchesBatchOnCampaignFixture(t *testing.T) {
+	data := campaignFixture(false)
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream()
+	ingestAll(t, s, data)
+	assertStreamBatchParity(t, d, s)
+	if s.Failed() != 0 || s.Shed() != 0 {
+		t.Fatalf("failed/shed = %d/%d, want 0/0", s.Failed(), s.Shed())
+	}
+	if s.Observations() != len(data) {
+		t.Fatalf("observations = %d, want %d", s.Observations(), len(data))
+	}
+}
+
+func TestStreamMatchesBatchWithFailedObservations(t *testing.T) {
+	data := campaignFixture(true)
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream()
+	ingestAll(t, s, data)
+	if s.Failed() == 0 {
+		t.Fatal("fixture injected no failures — the skip-failed rule went untested")
+	}
+	if s.Failed() != d.Failed() {
+		t.Fatalf("failed: stream %d vs batch %d", s.Failed(), d.Failed())
+	}
+	assertStreamBatchParity(t, d, s)
+}
+
+func TestStreamOrderInsensitiveWithinSweep(t *testing.T) {
+	data := campaignFixture(false)
+	a, b := NewStream(), NewStream()
+	ingestAll(t, a, data)
+	// Same sweeps, observations reversed within each — models
+	// fetch-arrival nondeterminism inside a lock-step round.
+	type key struct {
+		g    string
+		term string
+		day  int
+	}
+	var order []key
+	sweeps := map[key][]storage.Observation{}
+	for _, o := range data {
+		k := key{o.Granularity, o.Term, o.Day}
+		if _, ok := sweeps[k]; !ok {
+			order = append(order, k)
+		}
+		sweeps[k] = append(sweeps[k], o)
+	}
+	for i, k := range order {
+		sw := sweeps[k]
+		rev := make([]storage.Observation, len(sw))
+		for j := range sw {
+			rev[len(sw)-1-j] = sw[j]
+		}
+		if err := b.IngestSweep(sweepAt(i), rev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aj, _ := json.Marshal(a.Snapshot())
+	bj, _ := json.Marshal(b.Snapshot())
+	if string(aj) != string(bj) {
+		t.Fatalf("snapshot depends on in-sweep observation order:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+func TestStreamSnapshotByteDeterminism(t *testing.T) {
+	data := campaignFixture(true)
+	a, b := NewStream(WithDriftThreshold(0.5)), NewStream(WithDriftThreshold(0.5))
+	ingestAll(t, a, data)
+	ingestAll(t, b, data)
+	aj, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("same ingestion produced different snapshot bytes")
+	}
+}
+
+func TestStreamEmptySnapshotHasNonNilSlices(t *testing.T) {
+	data, err := json.Marshal(NewStream().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"scorecard", "scopes", "drift"} {
+		if _, ok := m[field].([]any); !ok {
+			t.Fatalf("%s = %v, want JSON array (never null)", field, m[field])
+		}
+	}
+}
+
+func TestStreamIngestRejectsMalformedSweeps(t *testing.T) {
+	s := NewStream()
+	if err := s.IngestSweep(sweepAt(0), nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	mixed := []storage.Observation{
+		obs("Coffee", "local", "county", "c/1", storage.Treatment, 0, page("a")),
+		obs("Tea", "local", "county", "c/1", storage.Treatment, 0, page("a")),
+	}
+	if err := s.IngestSweep(sweepAt(0), mixed); err == nil {
+		t.Fatal("mixed-term sweep accepted")
+	}
+	dup := []storage.Observation{
+		obs("Coffee", "local", "county", "c/1", storage.Treatment, 0, page("a")),
+		obs("Coffee", "local", "county", "c/1", storage.Treatment, 0, page("b")),
+	}
+	if err := s.IngestSweep(sweepAt(0), dup); err == nil {
+		t.Fatal("duplicate treatment accepted")
+	}
+	bad := obs("Coffee", "local", "county", "c/1", storage.Treatment, 0, page("a"))
+	bad.Page = nil
+	if err := s.IngestSweep(sweepAt(0), []storage.Observation{bad}); err == nil {
+		t.Fatal("invalid observation accepted")
+	}
+	if s.Sweeps() != 0 {
+		t.Fatalf("rejected sweeps still counted: %d", s.Sweeps())
+	}
+}
+
+func TestStreamDriftTracking(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	spans := telemetry.NewSpanRecorder(64, fakeClock{})
+	s := NewStream(WithDriftThreshold(1.0), WithStreamTelemetry(reg), WithStreamSpans(spans))
+
+	sweep := func(i int, links ...string) []storage.Observation {
+		p1 := page(links...)
+		p2 := page("z1", "z2", "z3") // the far vantage never changes
+		return []storage.Observation{
+			obs("Coffee", "local", "county", "c/1", storage.Treatment, i, p1),
+			obs("Coffee", "local", "county", "c/1", storage.Control, i, p1),
+			obs("Coffee", "local", "county", "c/2", storage.Treatment, i, p2),
+			obs("Coffee", "local", "county", "c/2", storage.Control, i, p2),
+		}
+	}
+	// Sweep 0 anchors the scope (identical treatments: mean 0, no event).
+	if err := s.IngestSweep(sweepAt(0), sweep(0, "z1", "z2", "z3")); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Drift()) != 0 {
+		t.Fatalf("first sweep produced a drift event: %+v", s.Drift())
+	}
+	// Sweep 1 swings the running mean far past the threshold.
+	if err := s.IngestSweep(sweepAt(1), sweep(1, "q1", "q2", "q3")); err != nil {
+		t.Fatal(err)
+	}
+	events := s.Drift()
+	if len(events) != 1 {
+		t.Fatalf("drift events = %d, want 1: %+v", len(events), events)
+	}
+	ev := events[0]
+	if ev.Granularity != "county" || ev.Category != "local" || ev.Sweep != 1 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if !ev.At.Equal(sweepAt(1)) {
+		t.Fatalf("event stamped %v, want campaign-clock %v", ev.At, sweepAt(1))
+	}
+	if ev.To <= ev.From {
+		t.Fatalf("event did not move up: %+v", ev)
+	}
+	if got := reg.CounterVec("stream_drift_events_total", "", "scope").Values()["county/local"]; got != 1 {
+		t.Fatalf("drift metric = %d, want 1", got)
+	}
+	found := false
+	for _, v := range telemetry.TracezSnapshot(spans, 0) {
+		for _, sp := range v.Spans {
+			if sp.Name == "stream.drift" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no stream.drift span recorded")
+	}
+}
+
+// fakeClock satisfies the span recorder's clock with a fixed instant;
+// drift spans only need a stamp, not progression.
+type fakeClock struct{}
+
+func (fakeClock) Now() time.Time      { return sweepAt(0) }
+func (fakeClock) Sleep(time.Duration) {}
+func (fakeClock) After(time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- sweepAt(0)
+	return ch
+}
+
+// TestStreamScorecardSourceCoverage pins the interface: both pipelines
+// must keep satisfying ScorecardSource, or the parity invariant silently
+// loses its meaning.
+var (
+	_ ScorecardSource = (*Dataset)(nil)
+	_ ScorecardSource = (*Stream)(nil)
+)
+
+func TestStreamIncrementalScorecardIsWellFormed(t *testing.T) {
+	// Mid-campaign snapshots must be valid (fewer claims, never garbage):
+	// ingest the fixture sweep by sweep and scorecard after each.
+	data := campaignFixture(false)
+	s := NewStream()
+	type key struct {
+		g    string
+		term string
+		day  int
+	}
+	var order []key
+	sweeps := map[key][]storage.Observation{}
+	for _, o := range data {
+		k := key{o.Granularity, o.Term, o.Day}
+		if _, ok := sweeps[k]; !ok {
+			order = append(order, k)
+		}
+		sweeps[k] = append(sweeps[k], o)
+	}
+	prevClaims := 0
+	for i, k := range order {
+		if err := s.IngestSweep(sweepAt(i), sweeps[k]); err != nil {
+			t.Fatal(err)
+		}
+		checks := s.Scorecard()
+		for _, c := range checks {
+			if c.Claim == "" || c.Detail == "" {
+				t.Fatalf("sweep %d: malformed check %+v", i, c)
+			}
+		}
+		if len(checks) < prevClaims {
+			// Claims only accumulate as scopes fill in; they never vanish.
+			t.Fatalf("sweep %d: claims shrank from %d to %d", i, prevClaims, len(checks))
+		}
+		prevClaims = len(checks)
+	}
+	if prevClaims == 0 {
+		t.Fatal("campaign fixture never produced a scorecard claim")
+	}
+}
+
+func TestStreamMetricsCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := NewStream(WithStreamTelemetry(reg))
+	data := campaignFixture(true)
+	ingestAll(t, s, data)
+	if got := reg.Counter("stream_sweeps_ingested_total", "").Value(); got != uint64(s.Sweeps()) {
+		t.Fatalf("sweep counter = %d, want %d", got, s.Sweeps())
+	}
+	if got := reg.Counter("stream_observations_ingested_total", "").Value(); got != uint64(s.Observations()) {
+		t.Fatalf("obs counter = %d, want %d", got, s.Observations())
+	}
+	if got := reg.Counter("stream_failed_observations_total", "").Value(); got != uint64(s.Failed()) {
+		t.Fatalf("failed counter = %d, want %d", got, s.Failed())
+	}
+	if got := reg.Counter("stream_pairs_compared_total", "").Value(); got != s.PairsCompared() {
+		t.Fatalf("pairs counter = %d, want %d", got, s.PairsCompared())
+	}
+}
+
+func TestStreamBaselineDivergenceDocumentedCase(t *testing.T) {
+	// The one documented streaming/batch divergence: the consistency
+	// baseline location fails every sweep of the campaign. The stream
+	// committed to it up front (it is configured), the batch path skips
+	// it (it never succeeded). Everything else still agrees.
+	mk := func(loc string, role storage.Role, day int, fail bool, links ...string) storage.Observation {
+		o := obs("Coffee", "local", "county", loc, role, day, page(links...))
+		if fail {
+			o.Page = nil
+			o.Failed = true
+			o.Err = "browser: fetch: down all campaign"
+		}
+		return o
+	}
+	var data []storage.Observation
+	for day := 0; day < 2; day++ {
+		data = append(data,
+			mk("c/1", storage.Treatment, day, true),
+			mk("c/1", storage.Control, day, true),
+			mk("c/2", storage.Treatment, day, false, "a", "b"),
+			mk("c/2", storage.Control, day, false, "a", "b"),
+			mk("c/3", storage.Treatment, day, false, "a", "c"),
+			mk("c/3", storage.Control, day, false, "a", "c"),
+		)
+	}
+	d, err := NewDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStream()
+	ingestAll(t, s, data)
+	bc, sc := d.ConsistencyOverTime("local"), s.ConsistencyOverTime("local")
+	if len(bc) != 1 || len(sc) != 1 {
+		t.Fatalf("series: batch %d stream %d", len(bc), len(sc))
+	}
+	// Both report the same Baseline label (first successful location)...
+	if bc[0].Baseline != sc[0].Baseline {
+		t.Fatalf("baseline label: batch %q vs stream %q", bc[0].Baseline, sc[0].Baseline)
+	}
+	// ...but the stream anchored its sums on the dead configured vantage,
+	// so its noise floor is empty-mean zero while batch measured c/2.
+	if fmt.Sprint(bc[0].NoiseFloor) == fmt.Sprint(sc[0].NoiseFloor) {
+		t.Log("note: baselines happened to coincide; divergence not exercised")
+	}
+	// The scorecard itself is still immune: its consistency claim reads
+	// per-location spreads, which exist either way.
+	if !reflect.DeepEqual(d.Scorecard(), s.Scorecard()) {
+		t.Fatal("scorecard diverged on the documented baseline edge case")
+	}
+}

@@ -24,6 +24,23 @@ type checkpointState struct {
 	seen int
 	// prior holds the recovered observations grouped by phase name.
 	prior map[string][]storage.Observation
+	// priorBySweep indexes the same recovered observations by sweep slot,
+	// so skipped sweeps can be replayed to the crawler's SweepSink.
+	priorBySweep map[sweepSlot][]storage.Observation
+}
+
+// sweepSlot identifies one term sweep in the campaign's deterministic
+// iteration order.
+type sweepSlot struct {
+	phase       string
+	granularity string
+	day         int
+	term        string
+}
+
+// priorFor returns the recovered observations of one checkpointed sweep.
+func (cs *checkpointState) priorFor(phase, gran string, day int, term string) []storage.Observation {
+	return cs.priorBySweep[sweepSlot{phase, gran, day, term}]
 }
 
 // skipping reports whether the next sweep slot is already covered by the
@@ -59,10 +76,11 @@ func (cs *checkpointState) record(phase, gran string, day int, term string, obs 
 // restarted with Resume and loses at most the sweep that was in flight.
 func (c *Crawler) EnableCheckpoint(path, obsPath string) {
 	c.ckpt = &checkpointState{
-		path:    path,
-		obsPath: obsPath,
-		clk:     c.clock,
-		prior:   make(map[string][]storage.Observation),
+		path:         path,
+		obsPath:      obsPath,
+		clk:          c.clock,
+		prior:        make(map[string][]storage.Observation),
+		priorBySweep: make(map[sweepSlot][]storage.Observation),
 	}
 }
 
@@ -92,6 +110,8 @@ func (c *Crawler) Resume(path, obsPath string) error {
 	c.ckpt.ck = ck
 	for _, o := range obs {
 		c.ckpt.prior[o.Phase] = append(c.ckpt.prior[o.Phase], o)
+		slot := sweepSlot{o.Phase, o.Granularity, o.Day, o.Term}
+		c.ckpt.priorBySweep[slot] = append(c.ckpt.priorBySweep[slot], o)
 	}
 	return nil
 }

@@ -160,9 +160,21 @@ type Crawler struct {
 	// record a deterministic timeline; cmd/crawl and cmd/repro write it
 	// out in Chrome trace-event format via -trace-out.
 	Spans *telemetry.SpanRecorder
+	// Sink, when set, receives every completed term sweep — executed or
+	// recovered from a checkpoint — from the scheduling goroutine, in
+	// campaign order. This is how the streaming analysis layer (and its
+	// /statz surface) watches a campaign converge; see internal/statz.
+	Sink SweepSink
 
 	inst *crawlInstruments
 	ckpt *checkpointState
+	// progMu guards prog: the scheduler updates it per sweep, the /statz
+	// handler reads it from request goroutines.
+	progMu sync.Mutex
+	prog   ProgressSnapshot
+	// planned marks that RunCampaignContext already sized the progress
+	// plan, so nested RunPhaseContext calls don't re-plan per phase.
+	planned bool
 	// wall times lock-step rounds for the round-duration histogram: the
 	// campaign clock may be virtual, but the histogram reports how long
 	// the hardware took.
@@ -380,6 +392,11 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 	span.SetAttr("phase", p.Name)
 	span.SetAttr("days", fmt.Sprint(p.Days))
 	defer span.End()
+	if !c.planned {
+		// A standalone phase run plans just itself; campaigns plan the
+		// whole phase list up front in RunCampaignContext.
+		c.planCampaign([]Phase{p})
+	}
 	var all []storage.Observation
 	if c.ckpt != nil {
 		// Observations recovered from the checkpoint file slot in ahead of
@@ -420,8 +437,12 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 					// out so the resumed campaign's timeline — and with it
 					// the engine's day counter — replays exactly; under a
 					// wall clock re-waiting would cost real hours for
-					// nothing.
+					// nothing. The recovered observations still flow to the
+					// sink: a resumed campaign's streaming scorecard must
+					// cover the sweeps it did not re-fetch.
 					c.ckpt.seen++
+					c.notifySweep(p.Name, g, day, q.Term,
+						c.ckpt.priorFor(p.Name, g.Short(), day, q.Term), true)
 					if manualClock {
 						c.sleepUntil(nextSlot)
 					}
@@ -438,6 +459,7 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 						return nil, err
 					}
 				}
+				c.notifySweep(p.Name, g, day, q.Term, obs, false)
 				// Park until the next term's slot (11 minutes after this
 				// one began, in the study).
 				c.sleepUntil(nextSlot)
@@ -513,6 +535,9 @@ func (c *Crawler) RunCampaignContext(ctx context.Context, phases []Phase) ([]sto
 	ctx, span := c.startSpan(ctx, "crawler.campaign")
 	span.SetAttr("phases", fmt.Sprint(len(phases)))
 	defer span.End()
+	c.planCampaign(phases)
+	c.planned = true
+	defer func() { c.planned = false }()
 	var all []storage.Observation
 	for _, p := range phases {
 		obs, err := c.RunPhaseContext(ctx, p)
@@ -663,6 +688,11 @@ func (c *Crawler) sweepTerm(ctx context.Context, phase string, q queries.Query, 
 			shed, total, budget, firstShedErr)
 	}
 	inst.terms.Inc()
+	// Fetches land on the results channel in completion order, which the
+	// scheduler decides. Canonicalize before the sweep is checkpointed or
+	// handed to a SweepSink: recovered and re-executed sweeps must replay
+	// byte-identically across runs.
+	sortObservations(out)
 	return out, nil
 }
 

@@ -341,11 +341,14 @@ type Stats struct {
 	RateLimited        uint64            `json:"rate_limited"`
 	Day                int               `json:"day"`
 	ServedByDatacenter map[string]uint64 `json:"served_by_datacenter"`
+	// Build identifies the binary: toolchain, VCS revision, dirty flag.
+	Build telemetry.Build `json:"build"`
 }
 
 func (h *Handler) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(Stats{
+		Build:              telemetry.ReadBuild(),
 		Requests:           h.inst.requests.Value(),
 		Errors:             h.inst.errors.Value(),
 		Sessions:           h.inst.sessions.Value(),

@@ -28,7 +28,7 @@ func TestStatzJSONKeysUnchanged(t *testing.T) {
 	}
 	for _, key := range []string{
 		"requests", "errors", "sessions",
-		"served", "rate_limited", "day", "served_by_datacenter",
+		"served", "rate_limited", "day", "served_by_datacenter", "build",
 	} {
 		if _, ok := raw[key]; !ok {
 			t.Errorf("/statz missing key %q", key)
@@ -37,6 +37,11 @@ func TestStatzJSONKeysUnchanged(t *testing.T) {
 	var st Stats
 	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
 		t.Fatal(err)
+	}
+	// The build block identifies the binary serving the audit surface; the
+	// Go version is the one field present even without VCS stamping.
+	if st.Build.GoVersion == "" {
+		t.Error("/statz build block missing go_version")
 	}
 	// Two requests so far: /search and this /statz is not yet counted in
 	// its own snapshot — the search plus the statz request itself race

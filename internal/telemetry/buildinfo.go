@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies the binary serving an observability endpoint: the Go
+// toolchain it was compiled with and, when the module was built from a VCS
+// checkout, the revision it was built at. Embedding it in live snapshots
+// lets an auditor tie a scorecard to the exact code that produced it.
+type Build struct {
+	// GoVersion is the toolchain that compiled the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, empty when built outside a
+	// checkout (e.g. from a source tarball or `go test` cache).
+	Revision string `json:"revision,omitempty"`
+	// Time is the commit timestamp in RFC 3339, empty when unknown.
+	Time string `json:"time,omitempty"`
+	// Dirty reports uncommitted changes in the build's working tree.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+// ReadBuild returns the running binary's build identity. The result is
+// computed once from runtime/debug.ReadBuildInfo and cached; it is
+// constant for the life of the process.
+var ReadBuild = sync.OnceValue(func() Build {
+	b := Build{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+})
