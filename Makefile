@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check lint chaos soak bench bench-json bench-check repro repro-full examples clean
+.PHONY: all build vet test check lint chaos soak soak-mono bench bench-json bench-check repro repro-full examples clean
 
 all: build vet test
 
@@ -20,12 +20,20 @@ lint:
 	go vet ./...
 	go run ./cmd/geoserplint ./...
 
-# soak runs the chaos soak harness under the race detector: a virtual-time
-# campaign against an admission-controlled server through a multi-phase
-# fault schedule, asserting the overload-resilience invariants (no
-# deadlock, breakers re-close, shed fraction within budget, zero terminal
-# failures) and writing the full span timeline to soak-trace.json.
+# soak runs the chaos soak harness under the race detector against the
+# full cluster topology — a serprouter-style coordinator scatter-gathering
+# over 3 in-process shard nodes — through a multi-phase fault schedule
+# that includes a whole-day shard-0 outage, asserting the
+# overload-resilience invariants (no deadlock, breakers re-close, shed
+# fraction within budget, zero terminal failures) plus the
+# graded-degradation invariants (partial pages during the outage, zero
+# unavailability, router breaker ledger balanced), and writing the full
+# span timeline to soak-trace.json. `make soak-mono` keeps the original
+# single-node rig.
 soak:
+	go run -race ./cmd/soak -cluster-shards 3 -trace-out soak-trace.json
+
+soak-mono:
 	go run -race ./cmd/soak -trace-out soak-trace.json
 
 # chaos runs the fault-injection suite under the race detector: chaos

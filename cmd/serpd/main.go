@@ -19,6 +19,14 @@
 // FIFO order, and the rest are shed with 503 plus a Retry-After hint
 // derived from the backlog and -admission-service-time.
 //
+// With -shard-count N (and -shard-id K), serpd runs as one retrieval
+// shard of an N-node cluster instead of a full engine: it regenerates the
+// deterministic corpus from -seed, keeps the document slice the
+// consistent-hash ring assigns shard K, and serves GET /shard/search for
+// a cmd/serprouter coordinator to scatter-gather. The chaos, admission,
+// and tracez flags apply to the shard endpoint unchanged; engine flags
+// (-datacenters, -rate-burst, ...) are ignored in shard mode.
+//
 // Endpoints:
 //
 //	GET /search?q=<term>&ll=<lat>,<lon>[&format=json]
@@ -41,6 +49,9 @@ import (
 	"syscall"
 	"time"
 
+	"geoserp/internal/engine"
+	"geoserp/internal/router"
+	"geoserp/internal/serpserver"
 	"geoserp/internal/telemetry"
 )
 
@@ -64,6 +75,9 @@ func main() {
 	flag.IntVar(&opts.Admission.QueueDepth, "queue-depth", 0, "how many /search requests may queue for an admission slot")
 	flag.DurationVar(&opts.Admission.ServiceTime, "admission-service-time", time.Second, "per-request service-time estimate behind Retry-After hints")
 	flag.IntVar(&opts.TracezCapacity, "tracez-capacity", telemetry.DefaultSpanCapacity, "span ring capacity behind GET /tracez (0 disables tracing)")
+	flag.IntVar(&opts.ShardCount, "shard-count", 0, "run as one shard of an N-shard cluster instead of a full engine (0 disables shard mode)")
+	flag.IntVar(&opts.ShardID, "shard-id", 0, "this node's shard ID (0-based, requires -shard-count)")
+	flag.IntVar(&opts.RingReplicas, "ring-replicas", 0, "consistent-hash virtual nodes per shard (0 selects the default; all cluster nodes must agree)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")
 	flag.Parse()
@@ -73,16 +87,36 @@ func main() {
 		opts.Logger = logger
 	}
 
-	srv, eng, err := buildServer(opts)
+	var (
+		srv *serpserver.Server
+		eng *engine.Engine
+		err error
+	)
+	if opts.ShardCount > 0 {
+		var sh *router.ShardHandler
+		srv, sh, err = buildShardServer(opts)
+		if err == nil {
+			logger.Info("serving retrieval shard",
+				"url", srv.URL(), "seed", opts.Seed,
+				"shard", opts.ShardID, "of", opts.ShardCount, "docs", sh.Docs())
+			logger.Info("endpoints ready",
+				"try", srv.URL()+"/shard/search?q=Coffee&k=5",
+				"metrics", srv.URL()+"/metricsz")
+		}
+	} else {
+		srv, eng, err = buildServer(opts)
+		if err == nil {
+			logger.Info("serving synthetic search",
+				"url", srv.URL(), "seed", opts.Seed, "datacenters", opts.Datacenters)
+			logger.Info("endpoints ready",
+				"try", srv.URL()+"/search?q=Coffee&ll=41.4993,-81.6944",
+				"metrics", srv.URL()+"/metricsz")
+		}
+	}
 	if err != nil {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
-	logger.Info("serving synthetic search",
-		"url", srv.URL(), "seed", opts.Seed, "datacenters", opts.Datacenters)
-	logger.Info("endpoints ready",
-		"try", srv.URL()+"/search?q=Coffee&ll=41.4993,-81.6944",
-		"metrics", srv.URL()+"/metricsz")
 
 	if opts.PprofAddr != "" {
 		pprofSrv, pprofAddr, perr := startPprof(opts.PprofAddr)
@@ -103,8 +137,12 @@ func main() {
 	}()
 	<-done
 	fmt.Fprintln(os.Stderr)
-	logger.Info("shutting down",
-		"served", eng.Served(), "rate_limited", eng.RateLimited())
+	if eng != nil {
+		logger.Info("shutting down",
+			"served", eng.Served(), "rate_limited", eng.RateLimited())
+	} else {
+		logger.Info("shutting down")
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"geoserp/internal/engine"
 	"geoserp/internal/queries"
+	"geoserp/internal/router"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
@@ -40,6 +41,17 @@ type options struct {
 	// TracezCapacity bounds the span ring behind GET /tracez (<=0
 	// disables request tracing and the endpoint).
 	TracezCapacity int
+	// ShardCount > 0 switches serpd into shard-node mode: instead of a
+	// full engine it serves GET /shard/search over its slice of a
+	// ShardCount-way document partition, for a cmd/serprouter coordinator
+	// to scatter-gather. ShardID selects which slice (0-based). Chaos,
+	// admission, and tracez flags apply to the shard endpoint unchanged.
+	ShardCount int
+	ShardID    int
+	// RingReplicas is the consistent-hash ring's virtual-node count per
+	// shard; every node of one cluster (and its router) must agree on it.
+	// <= 0 selects router.DefaultReplicas.
+	RingReplicas int
 }
 
 // buildServer constructs the engine and a bound (not yet serving) server.
@@ -103,6 +115,51 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 		return nil, nil, err
 	}
 	return srv, eng, nil
+}
+
+// buildShardServer constructs a shard node: the deterministic corpus is
+// regenerated from the seed, the consistent-hash ring assigns this node
+// its document slice (with full-corpus IDF statistics, so per-shard scores
+// are bit-identical to a monolith's), and the /shard/search endpoint is
+// wrapped in the same chaos and admission middleware a full serpd gets.
+func buildShardServer(opts options) (*serpserver.Server, *router.ShardHandler, error) {
+	if opts.ShardID < 0 || opts.ShardID >= opts.ShardCount {
+		return nil, nil, fmt.Errorf("shard-id %d out of range for shard-count %d", opts.ShardID, opts.ShardCount)
+	}
+	seed := uint64(1)
+	if opts.Seed != 0 {
+		seed = opts.Seed
+	}
+	var corpus *queries.Corpus
+	if opts.CorpusPath != "" {
+		c, err := queries.LoadCorpus(opts.CorpusPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		corpus = c
+	}
+	view := router.BuildShardIndex(seed, corpus, opts.ShardID, opts.ShardCount, opts.RingReplicas)
+
+	reg := telemetry.NewRegistry()
+	var spans *telemetry.SpanRecorder
+	shOpts := []router.ShardOption{router.WithShardTelemetry(reg)}
+	if opts.TracezCapacity > 0 {
+		spans = telemetry.NewSpanRecorder(opts.TracezCapacity, simclock.Wall())
+		shOpts = append(shOpts, router.WithShardSpans(spans))
+	}
+	sh := router.NewShardHandler(opts.ShardID, view, shOpts...)
+	var root http.Handler = sh
+	if opts.Chaos.Enabled() {
+		root = serpserver.NewChaos(opts.Chaos, reg, spans, root)
+	}
+	if opts.Admission.Enabled() {
+		root = serpserver.NewAdmission(opts.Admission, reg, spans, root)
+	}
+	srv, err := serpserver.Listen(opts.Addr, root)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, sh, nil
 }
 
 // startPprof binds addr and serves the net/http/pprof endpoints on it in

@@ -160,3 +160,46 @@ func TestBuildServerBadAddr(t *testing.T) {
 		t.Fatal("bad address accepted")
 	}
 }
+
+// TestBuildShardServer exercises serpd's shard mode end to end: the node
+// serves its partition over /shard/search with the standard operability
+// endpoints, and rejects an out-of-range shard ID at startup.
+func TestBuildShardServer(t *testing.T) {
+	srv, sh, err := buildShardServer(options{
+		Addr: "127.0.0.1:0", Seed: 7, ShardID: 1, ShardCount: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Shutdown(context.Background())
+	if sh.Docs() == 0 {
+		t.Fatal("shard owns no documents")
+	}
+
+	resp, err := http.Get(srv.URL() + "/shard/search?q=coffee&k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard search status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "\"shard\":1") {
+		t.Fatalf("shard response missing shard id: %s", body)
+	}
+
+	resp, err = http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	if _, _, err := buildShardServer(options{Addr: "127.0.0.1:0", ShardID: 3, ShardCount: 3}); err == nil {
+		t.Fatal("out-of-range shard ID accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/queries"
+	"geoserp/internal/router"
+	"geoserp/internal/serpserver"
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+// options collects the serprouter command's inputs.
+type options struct {
+	Addr string
+	// Shards is the comma-separated list of shard base URLs, in shard-ID
+	// order ("http://127.0.0.1:9001,http://127.0.0.1:9002"). The order
+	// must match the -shard-id assignment the shard serpd processes were
+	// started with, and every node must share -seed.
+	Shards string
+	Seed   uint64
+	// Engine shape (the coordinator runs the full engine minus the local
+	// index: Places, News, personalization, noise, rate limiting).
+	Datacenters int
+	Buckets     int
+	RateBurst   int
+	RatePerMin  float64
+	Quiet       bool
+	CorpusPath  string
+	Logger      *slog.Logger
+	PprofAddr   string
+	// Admission configures the router's own /search concurrency gate.
+	Admission serpserver.AdmissionConfig
+	// TracezCapacity bounds the span ring behind GET /tracez (<=0
+	// disables request tracing and the endpoint).
+	TracezCapacity int
+	// ShardTimeout bounds one shard fan-out request; <= 0 disables the
+	// per-shard timeout.
+	ShardTimeout time.Duration
+	// BreakerThreshold / BreakerCooldown configure the per-shard circuit
+	// breakers (threshold <= 0 disables them).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+}
+
+// splitShards parses the -shards list.
+func splitShards(s string) ([]string, error) {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("shard URL %q: must start with http:// or https://", u)
+		}
+		out = append(out, strings.TrimRight(u, "/"))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shard URLs given (-shards)")
+	}
+	return out, nil
+}
+
+// buildServer constructs the coordinator: a scatter-gather client over the
+// shard URLs, a full engine using it as the retrieval backend, and the
+// standard serpd HTTP front end (so crawlers cannot tell a router from a
+// monolith except via the X-Serp-Partial degradation marker).
+func buildServer(opts options) (*serpserver.Server, *engine.Engine, *router.Client, error) {
+	shards, err := splitShards(opts.Shards)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	cfg := engine.DefaultConfig()
+	if opts.Seed != 0 {
+		cfg.Seed = opts.Seed
+	}
+	if opts.Datacenters > 0 {
+		cfg.Datacenters = opts.Datacenters
+	}
+	if opts.Buckets > 0 {
+		cfg.Buckets = opts.Buckets
+	}
+	if opts.RateBurst > 0 {
+		cfg.RateBurst = opts.RateBurst
+	}
+	if opts.RatePerMin > 0 {
+		cfg.RatePerMinute = opts.RatePerMin
+	}
+	if opts.Quiet {
+		cfg.WebJitterSigma = 0
+		cfg.PlaceJitterSigma = 0
+		cfg.NewsJitterSigma = 0
+		cfg.Buckets = 1
+		cfg.BucketWeightSpread = 0
+		cfg.ReplicaSkew = 0
+	}
+
+	reg := telemetry.NewRegistry()
+	client := router.NewClient(router.ClientConfig{
+		Shards:           shards,
+		Timeout:          opts.ShardTimeout,
+		BreakerThreshold: opts.BreakerThreshold,
+		BreakerCooldown:  opts.BreakerCooldown,
+	}, reg)
+
+	eopts := []engine.Option{engine.WithTelemetry(reg), engine.WithRetriever(client)}
+	if opts.CorpusPath != "" {
+		corpus, cerr := queries.LoadCorpus(opts.CorpusPath)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		eopts = append(eopts, engine.WithCorpus(corpus))
+	}
+	eng := engine.NewCustom(cfg, simclock.Wall(), eopts...)
+
+	var hopts []serpserver.HandlerOption
+	if opts.Logger != nil {
+		hopts = append(hopts, serpserver.WithLogger(opts.Logger))
+	}
+	var spans *telemetry.SpanRecorder
+	if opts.TracezCapacity > 0 {
+		spans = telemetry.NewSpanRecorder(opts.TracezCapacity, simclock.Wall())
+		hopts = append(hopts, serpserver.WithSpans(spans))
+	}
+	handler := serpserver.NewHandler(eng, hopts...)
+	var root http.Handler = handler
+	if opts.Admission.Enabled() {
+		root = serpserver.WithAdmission(opts.Admission, handler, root)
+	}
+	srv, err := serpserver.Listen(opts.Addr, root)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return srv, eng, client, nil
+}
+
+// startPprof binds addr and serves the net/http/pprof endpoints on it in
+// the background, returning the server for shutdown. Profiling gets its
+// own listener so it never shares a port with production traffic.
+func startPprof(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("pprof: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: telemetry.PprofMux()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -18,7 +18,14 @@
 //	soak [-seed 1] [-terms 4] [-max-inflight 4] [-queue-depth 8]
 //	     [-retries 20] [-breaker-threshold 3] [-breaker-cooldown 45s]
 //	     [-deadline 10m] [-shed-fraction-budget 0.75] [-watchdog 4m]
-//	     [-out obs.jsonl] [-trace-out soak-trace.json]
+//	     [-cluster-shards 3] [-out obs.jsonl] [-trace-out soak-trace.json]
+//
+// With -cluster-shards N the soak targets the full sharded topology — a
+// serprouter-style coordinator scatter-gathering over N in-process shard
+// nodes — and additionally injects a deterministic shard-0 outage for the
+// whole error-burst day, asserting graded degradation: pages go partial,
+// never unavailable, the router breaker trips and re-closes, and same-seed
+// runs stay byte-identical.
 //
 // The campaign's observations can be written with -out, and -trace-out
 // dumps the full span timeline (admission sheds included) in Chrome
@@ -53,6 +60,7 @@ func main() {
 	flag.IntVar(&opts.BreakerThreshold, "breaker-threshold", opts.BreakerThreshold, "consecutive failures that open a browser's breaker")
 	flag.DurationVar(&opts.BreakerCooldown, "breaker-cooldown", opts.BreakerCooldown, "breaker open-state dwell")
 	flag.DurationVar(&opts.Deadline, "deadline", opts.Deadline, "end-to-end fetch deadline propagated to the server")
+	flag.IntVar(&opts.ClusterShards, "cluster-shards", opts.ClusterShards, "soak a sharded cluster (router + N shard nodes) instead of a monolith; 0 = monolith")
 	flag.Float64Var(&opts.ShedFractionBudget, "shed-fraction-budget", opts.ShedFractionBudget, "max tolerated fraction of admission decisions ending in a shed")
 	flag.DurationVar(&opts.Watchdog, "watchdog", opts.Watchdog, "wall-clock deadline after which the run counts as deadlocked (0 = off)")
 	out := flag.String("out", "", "write the campaign observations as JSONL")
@@ -87,6 +95,13 @@ func main() {
 			"breaker_close", sum.BreakerClose,
 			"faults_injected", sum.FaultsDrawn,
 			"retries", sum.Retries,
+			"router_retrievals", sum.RouterRetrievals,
+			"router_partial", sum.RouterPartial,
+			"router_unavailable", sum.RouterUnavailable,
+			"router_outcomes", fmt.Sprint(sum.RouterOutcomes),
+			"router_breaker_open", sum.RouterBreakerOpen,
+			"router_breaker_reopen", sum.RouterBreakerReopen,
+			"router_breaker_close", sum.RouterBreakerClose,
 			"statz_polls", sum.StatzPolls,
 			"statz_poll_errors", sum.StatzPollErrors,
 			"virtual_elapsed", sum.VirtualTime.String(),

@@ -19,6 +19,7 @@ import (
 	"geoserp/internal/engine"
 	"geoserp/internal/geo"
 	"geoserp/internal/queries"
+	"geoserp/internal/router"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
 	"geoserp/internal/statz"
@@ -54,6 +55,16 @@ type soakOptions struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	Deadline         time.Duration
+
+	// ClusterShards > 0 runs the soak against the full sharded cluster
+	// instead of a monolithic engine: a serprouter-style coordinator
+	// scatter-gathering over that many in-process shard nodes, each
+	// behind its own admission gate. Shard 0 suffers a deterministic
+	// outage (500s) for the whole error-burst virtual day, so the soak
+	// additionally proves graded degradation: pages during the outage are
+	// partial — never errors — the router's breaker for shard 0 trips and
+	// re-closes, and no retrieval ever goes fully unavailable.
+	ClusterShards int
 
 	// ShedFractionBudget is the largest tolerated fraction of admission
 	// decisions that ended in a shed (the "shed fraction within budget"
@@ -181,6 +192,15 @@ type soakSummary struct {
 	// ParityViolation is non-empty when the streaming scorecard diverged
 	// from the batch pipeline's verdicts on the same observations.
 	ParityViolation string
+
+	// Cluster-mode tallies (zero in monolith soaks).
+	RouterRetrievals    uint64            // scatter-gather rounds issued
+	RouterPartial       uint64            // rounds merged from fewer than all shards
+	RouterUnavailable   uint64            // rounds where no shard contributed
+	RouterOutcomes      map[string]uint64 // per-shard fan-out outcomes
+	RouterBreakerOpen   uint64
+	RouterBreakerClose  uint64
+	RouterBreakerReopen uint64
 }
 
 // runSoak executes the chaos soak: a virtual-time campaign against an
@@ -228,12 +248,45 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 	if opts.Seed != 0 {
 		ecfg.Seed = opts.Seed
 	}
-	eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus), engine.WithTelemetry(reg))
-	var hopts []serpserver.HandlerOption
-	if spans != nil {
-		hopts = append(hopts, serpserver.WithSpans(spans))
+	var handler *serpserver.Handler
+	if opts.ClusterShards > 0 {
+		// Cluster topology: router + N shard nodes. Shard admission is
+		// deliberately generous — the gate is in the serving chain (its
+		// code path runs on every retrieval) but never queues or sheds,
+		// because a shard shed would depend on wall-clock overlap of
+		// concurrent fan-outs and break the byte-determinism invariant.
+		// The tight 4/8 gate stays at the router, where sheds surface as
+		// deterministic crawler retries.
+		cl := router.NewLocalCluster(router.ClusterConfig{
+			Shards: opts.ClusterShards,
+			Engine: ecfg,
+			Clock:  clk,
+			ShardAdmission: serpserver.AdmissionConfig{
+				MaxInflight: 64,
+				QueueDepth:  64,
+				ServiceTime: opts.ServiceTime,
+				Clock:       clk,
+			},
+			ShardMiddleware: func(shard int, next http.Handler) http.Handler {
+				if shard != 0 {
+					return next
+				}
+				return &shardOutage{clk: clk, next: next}
+			},
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerCooldown:  opts.BreakerCooldown,
+			Registry:         reg,
+			RouterSpans:      spans,
+		})
+		handler = cl.Handler
+	} else {
+		eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus), engine.WithTelemetry(reg))
+		var hopts []serpserver.HandlerOption
+		if spans != nil {
+			hopts = append(hopts, serpserver.WithSpans(spans))
+		}
+		handler = serpserver.NewHandler(eng, hopts...)
 	}
-	handler := serpserver.NewHandler(eng, hopts...)
 	var inner http.Handler = handler
 	if opts.ServiceLatency > 0 {
 		inner = serpserver.WithChaos(serpserver.ChaosConfig{
@@ -370,6 +423,16 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 	sum.BreakerOpen = breakers["open"]
 	sum.BreakerReopen = breakers["reopen"]
 	sum.BreakerClose = breakers["close"]
+	if opts.ClusterShards > 0 {
+		sum.RouterRetrievals = reg.Counter("router_retrievals_total", "").Value()
+		sum.RouterPartial = reg.Counter("router_partial_results_total", "").Value()
+		sum.RouterUnavailable = reg.Counter("router_unavailable_total", "").Value()
+		sum.RouterOutcomes = reg.CounterVec("router_shard_requests_total", "", "outcome").Values()
+		rb := reg.CounterVec("router_breaker_transitions_total", "", "event").Values()
+		sum.RouterBreakerOpen = rb["open"]
+		sum.RouterBreakerReopen = rb["reopen"]
+		sum.RouterBreakerClose = rb["close"]
+	}
 	var shedTotal uint64
 	for _, n := range sum.ShedByReason {
 		shedTotal += n
@@ -443,6 +506,29 @@ func checkInvariants(opts soakOptions, sum *soakSummary) error {
 	if sum.ParityViolation != "" {
 		bad = append(bad, fmt.Sprintf("streaming/batch parity: %s", sum.ParityViolation))
 	}
+	if opts.ClusterShards > 0 {
+		// Graded degradation: the shard-0 outage day must surface as
+		// partial pages — never as unavailability — and the router's
+		// breaker ledger must balance once the shard heals.
+		if sum.RouterPartial == 0 {
+			bad = append(bad, "no retrieval went partial despite the shard-outage day")
+		}
+		if sum.RouterPartial >= sum.RouterRetrievals {
+			bad = append(bad, fmt.Sprintf("degradation unbounded: %d of %d retrievals partial (healthy days must merge complete)", sum.RouterPartial, sum.RouterRetrievals))
+		}
+		if sum.RouterUnavailable != 0 {
+			bad = append(bad, fmt.Sprintf("%d retrievals found no shard at all (want 0: healthy shards must keep answering)", sum.RouterUnavailable))
+		}
+		if sum.RouterOutcomes["ok"] == 0 || sum.RouterOutcomes["error"] == 0 || sum.RouterOutcomes["breaker_open"] == 0 {
+			bad = append(bad, fmt.Sprintf("shard fan-out outcome mix degenerate: %v (want ok, error, and breaker_open all exercised)", sum.RouterOutcomes))
+		}
+		if sum.RouterBreakerOpen == 0 {
+			bad = append(bad, "router breaker never tripped despite the shard-outage day")
+		}
+		if sum.RouterBreakerOpen != sum.RouterBreakerClose {
+			bad = append(bad, fmt.Sprintf("router breaker ledger unbalanced: %d opens vs %d closes (%d reopens)", sum.RouterBreakerOpen, sum.RouterBreakerClose, sum.RouterBreakerReopen))
+		}
+	}
 	if len(bad) > 0 {
 		return fmt.Errorf("soak: %d invariant(s) violated:\n  - %s", len(bad), strings.Join(bad, "\n  - "))
 	}
@@ -452,3 +538,23 @@ func checkInvariants(opts soakOptions, sum *soakSummary) error {
 // shedQueueFullLabel mirrors the serpserver's queue_full shed reason; kept
 // as a local constant so the soak binary states its expectation explicitly.
 const shedQueueFullLabel = "queue_full"
+
+// shardOutage kills one shard's retrieval for the whole error-burst
+// virtual day (day 1 of the fault schedule): every /shard/search answers
+// 500 while the day lasts, then the shard heals on its own. The outage is
+// a pure function of the campaign clock, so same-seed runs degrade — and
+// recover — identically. Operability endpoints stay up; only retrieval
+// goes dark, exactly like a node whose index wedged.
+type shardOutage struct {
+	clk  simclock.Clock
+	next http.Handler
+}
+
+func (s *shardOutage) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	day := int(s.clk.Now().Sub(soakEpoch) / (24 * time.Hour))
+	if day == 1 && r.URL.Path == router.SearchPath {
+		http.Error(w, "soak: injected shard outage", http.StatusInternalServerError)
+		return
+	}
+	s.next.ServeHTTP(w, r)
+}

@@ -46,3 +46,47 @@ func TestSoakInvariantsAndDeterminism(t *testing.T) {
 		t.Fatal("different seeds produced identical observations — the determinism check is vacuous")
 	}
 }
+
+// TestClusterSoakInvariantsAndDeterminism runs the soak against the full
+// sharded topology (router + 3 shard nodes, shard 0 dark for the whole
+// error-burst day) twice with the same seed: both runs must hold every
+// monolith invariant PLUS the graded-degradation invariants (partial pages
+// during the outage, zero unavailability, balanced router breaker ledger)
+// and still write byte-identical observations — merge determinism under
+// concurrency, degradation, overload, and -race all at once.
+func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster chaos soak takes a few wall-clock seconds")
+	}
+	opts := defaultSoakOptions()
+	opts.Terms = 2
+	opts.ClusterShards = 3
+
+	first, err := runSoak(opts)
+	if err != nil {
+		t.Fatalf("first cluster soak run violated invariants: %v", err)
+	}
+	if first.RouterRetrievals == 0 {
+		t.Fatal("cluster soak issued no scatter-gather rounds")
+	}
+	second, err := runSoak(opts)
+	if err != nil {
+		t.Fatalf("second cluster soak run violated invariants: %v", err)
+	}
+	if !bytes.Equal(first.JSONL, second.JSONL) {
+		t.Fatalf("same-seed cluster soak runs diverged: %d vs %d JSONL bytes",
+			len(first.JSONL), len(second.JSONL))
+	}
+	if !bytes.Equal(first.StatzJSON, second.StatzJSON) {
+		t.Fatalf("same-seed cluster soak runs served different final /statz snapshots:\n%s\nvs\n%s",
+			first.StatzJSON, second.StatzJSON)
+	}
+	// The router's degradation bookkeeping must itself be deterministic:
+	// the outage window is a pure function of the campaign clock.
+	if first.RouterPartial != second.RouterPartial ||
+		first.RouterUnavailable != second.RouterUnavailable {
+		t.Fatalf("cluster degradation tallies diverged across same-seed runs: partial %d vs %d, unavailable %d vs %d",
+			first.RouterPartial, second.RouterPartial,
+			first.RouterUnavailable, second.RouterUnavailable)
+	}
+}

@@ -181,8 +181,9 @@ type DriftEvent struct {
 	Category    string `json:"category"`
 	// Sweep is the 0-based campaign sweep index that moved the mean.
 	Sweep int `json:"sweep"`
-	// At is the campaign-clock instant the sweep completed (never wall
-	// time, so same-seed campaigns drift identically).
+	// At is the campaign-clock instant of the sweep's lock-step slot
+	// (never wall time, and never the completion instant — the slot
+	// schedule is absolute, so same-seed campaigns drift identically).
 	At   time.Time `json:"at"`
 	From float64   `json:"from"`
 	To   float64   `json:"to"`

@@ -430,6 +430,7 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 				// history/day state — off schedule, breaking byte-for-byte
 				// reproducibility whenever a fault schedule perturbs one
 				// round. The study's cron-style firing behaves the same way.
+				slotStart := dayStart.Add(time.Duration(ti) * c.cfg.WaitBetweenTerms)
 				nextSlot := dayStart.Add(time.Duration(ti+1) * c.cfg.WaitBetweenTerms)
 				if c.ckpt != nil && c.ckpt.skipping() {
 					// Fast-forward over a sweep the checkpoint already
@@ -441,7 +442,7 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 					// sink: a resumed campaign's streaming scorecard must
 					// cover the sweeps it did not re-fetch.
 					c.ckpt.seen++
-					c.notifySweep(p.Name, g, day, q.Term,
+					c.notifySweep(p.Name, g, day, q.Term, slotStart,
 						c.ckpt.priorFor(p.Name, g.Short(), day, q.Term), true)
 					if manualClock {
 						c.sleepUntil(nextSlot)
@@ -459,7 +460,7 @@ func (c *Crawler) RunPhaseContext(ctx context.Context, p Phase) ([]storage.Obser
 						return nil, err
 					}
 				}
-				c.notifySweep(p.Name, g, day, q.Term, obs, false)
+				c.notifySweep(p.Name, g, day, q.Term, slotStart, obs, false)
 				// Park until the next term's slot (11 minutes after this
 				// one began, in the study).
 				c.sleepUntil(nextSlot)

@@ -19,8 +19,15 @@ type SweepInfo struct {
 	// phases, granularities, and days in the campaign's deterministic
 	// iteration order.
 	Sweep int `json:"sweep"`
-	// At is the campaign-clock instant the sweep completed. Under a
-	// Manual clock it is deterministic, never wall time.
+	// At is the campaign-clock instant the sweep's lock-step slot was
+	// scheduled — the same instant every observation in the sweep carries
+	// as FetchedAt. The slot instant, not the completion instant: how far
+	// a sweep's retry tail ran past its slot depends on wall-clock
+	// scheduling (which concurrent fetches the admission gate shed, and
+	// therefore which chaos draws their retries hit), so stamping
+	// completion would make otherwise byte-identical same-seed campaign
+	// timelines diverge. The schedule is absolute, so the slot instant is
+	// deterministic under a Manual clock, never wall time.
 	At time.Time `json:"at"`
 	// Recovered marks a sweep served from a resume checkpoint instead of
 	// fetched this run.
@@ -95,8 +102,9 @@ func (c *Crawler) planCampaign(phases []Phase) {
 }
 
 // notifySweep advances the progress state for one completed sweep and
-// forwards it to the sink (outside the progress lock).
-func (c *Crawler) notifySweep(phase string, g geo.Granularity, day int, term string, obs []storage.Observation, recovered bool) {
+// forwards it to the sink (outside the progress lock). at is the sweep's
+// absolute slot instant from the lock-step schedule (see SweepInfo.At).
+func (c *Crawler) notifySweep(phase string, g geo.Granularity, day int, term string, at time.Time, obs []storage.Observation, recovered bool) {
 	c.progMu.Lock()
 	info := SweepInfo{
 		Phase:       phase,
@@ -104,7 +112,7 @@ func (c *Crawler) notifySweep(phase string, g geo.Granularity, day int, term str
 		Term:        term,
 		Day:         day,
 		Sweep:       c.prog.SweepsDone,
-		At:          c.clock.Now(),
+		At:          at,
 		Recovered:   recovered,
 	}
 	c.prog.SweepsDone++

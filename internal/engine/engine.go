@@ -20,7 +20,6 @@ import (
 
 	"geoserp/internal/detrand"
 	"geoserp/internal/geo"
-	"geoserp/internal/index"
 	"geoserp/internal/queries"
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
@@ -90,6 +89,10 @@ type Response struct {
 	Location geo.Point
 	// LocationSource is "gps" or "ip".
 	LocationSource string
+	// Partial reports that the web vertical was assembled from an
+	// incomplete retrieval backend (some cluster shards unavailable); the
+	// HTTP front end surfaces it as the X-Serp-Partial header.
+	Partial bool
 }
 
 // queryClass is the engine's internal query-intent taxonomy.
@@ -111,14 +114,17 @@ type Engine struct {
 	// actually took, independent of whatever virtual schedule clock is
 	// simulating. Injected (rather than calling time.Now directly) so all
 	// time flows through the simclock API — geoserplint enforces this.
-	wall    simclock.Clock
-	epoch   time.Time
-	corpus  *queries.Corpus
-	web     *webcorpus.Web
-	places  *webcorpus.Places
-	news    *webcorpus.NewsWire
-	idx     *index.Index
-	regions []webcorpus.Region
+	wall   simclock.Clock
+	epoch  time.Time
+	corpus *queries.Corpus
+	web    *webcorpus.Web
+	places *webcorpus.Places
+	news   *webcorpus.NewsWire
+	// retriever answers the web vertical: the local inverted index by
+	// default, a scatter-gather client over shard nodes in the cluster
+	// router (WithRetriever).
+	retriever Retriever
+	regions   []webcorpus.Region
 	// regionPts maps region slug to its centroid for coarse reverse
 	// geocoding of the query coordinate.
 	regionPts map[string]geo.Point
@@ -157,6 +163,9 @@ type instruments struct {
 	// deadlineAbandoned counts requests abandoned mid-stage because their
 	// propagated deadline passed (engine_deadline_abandoned_total).
 	deadlineAbandoned *telemetry.Counter
+	// retrievePartial counts pages assembled from an incomplete
+	// retrieval backend (engine_retrieve_partial_total).
+	retrievePartial *telemetry.Counter
 }
 
 // newInstruments registers the engine's metric families on reg.
@@ -170,6 +179,8 @@ func newInstruments(reg *telemetry.Registry, dcNames []string) instruments {
 		ratelimitDur: reg.Histogram("engine_ratelimit_check_duration_seconds", "Wall-clock time of the rate-limiter check.", nil),
 		deadlineAbandoned: reg.Counter("engine_deadline_abandoned_total",
 			"Requests abandoned between ranking stages because their propagated deadline passed."),
+		retrievePartial: reg.Counter("engine_retrieve_partial_total",
+			"Pages assembled from an incomplete retrieval backend (cluster shards unavailable)."),
 	}
 	inst.dcCounters = make([]*telemetry.Counter, len(dcNames))
 	for i, name := range dcNames {
@@ -442,12 +453,33 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	// --- Web vertical ---
 	retrieveSpan := req.Span.StartChild("engine.retrieve")
 	retrieveStart := e.wall.Now()
-	hits := e.idx.Search(req.Query, 48)
+	ret, retErr := e.retriever.Retrieve(RetrieveRequest{
+		Query:    req.Query,
+		K:        48,
+		TraceID:  req.TraceID,
+		Deadline: req.Deadline,
+		Span:     retrieveSpan,
+	})
 	e.inst.stageRetrieve.ObserveSince(retrieveStart)
 	if retrieveSpan != nil {
-		retrieveSpan.SetAttr("hits", fmt.Sprint(len(hits)))
+		retrieveSpan.SetAttr("hits", fmt.Sprint(len(ret.Hits)))
+		if ret.Partial {
+			retrieveSpan.SetAttr("partial", "true")
+		}
+		if retErr != nil {
+			retrieveSpan.SetAttr("error", retErr.Error())
+		}
 	}
 	retrieveSpan.End()
+	if retErr != nil {
+		// A total backend failure is unanswerable; a PARTIAL one was
+		// already folded into ret.Hits and degrades the page instead.
+		return nil, retErr
+	}
+	hits := ret.Hits
+	if ret.Partial {
+		e.inst.retrievePartial.Inc()
+	}
 	rerankSpan := req.Span.StartChild("engine.rerank")
 	rerankStart := e.wall.Now()
 	var cands []candidate
@@ -637,6 +669,7 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		Datacenter:     dc,
 		Location:       loc,
 		LocationSource: source,
+		Partial:        ret.Partial,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -74,6 +75,56 @@ func TestRateLimiterRefillCap(t *testing.T) {
 	}
 	if r.clients() != 1 {
 		t.Fatalf("clients = %d", r.clients())
+	}
+}
+
+// TestRateLimiterEvictsIdleBuckets is the regression test for the
+// unbounded per-IP map: a large rotating-IP sweep (each client hits the
+// engine once and never returns, the shape of a 10^4+-user campaign) must
+// not accumulate one bucket per IP forever. Buckets idle long enough to
+// have refilled completely are indistinguishable from fresh ones and are
+// evicted, so the map stays bounded by the recently-active set.
+func TestRateLimiterEvictsIdleBuckets(t *testing.T) {
+	r := newRateLimiter(5, 60) // refill-complete after 5s idle
+	now := t0
+	maxClients := 0
+	const sweep = 10_000
+	for i := 0; i < sweep; i++ {
+		ip := fmt.Sprintf("10.%d.%d.%d", i>>16, (i>>8)&0xff, i&0xff)
+		if !r.allow(ip, now) {
+			t.Fatalf("fresh IP %s rejected", ip)
+		}
+		if c := r.clients(); c > maxClients {
+			maxClients = c
+		}
+		now = now.Add(time.Second) // one new client per second
+	}
+	// With a 5s refill window and one fresh IP per second, only a handful
+	// of buckets are ever live between sweeps; anywhere near the sweep
+	// size means the leak is back.
+	if maxClients > 32 {
+		t.Fatalf("limiter tracked up to %d clients across a %d-IP sweep; eviction is not bounding the map", maxClients, sweep)
+	}
+	if final := r.clients(); final > 32 {
+		t.Fatalf("limiter still tracking %d clients after the sweep", final)
+	}
+
+	// Eviction must not change admission behavior: an IP that drained its
+	// burst and comes back before refill is still limited...
+	r2 := newRateLimiter(2, 60)
+	base := t0
+	r2.allow("b", base)
+	r2.allow("b", base)
+	if r2.allow("b", base.Add(500*time.Millisecond)) {
+		t.Fatal("drained bucket allowed before refill")
+	}
+	// ...while one that comes back after a full refill gets exactly a
+	// fresh burst, whether its bucket was evicted or retained.
+	if !r2.allow("b", base.Add(time.Minute)) || !r2.allow("b", base.Add(time.Minute)) {
+		t.Fatal("refilled client rejected")
+	}
+	if r2.allow("b", base.Add(time.Minute)) {
+		t.Fatal("evicted-and-recreated bucket granted more than one burst")
 	}
 }
 

@@ -13,6 +13,15 @@ type rateLimiter struct {
 	burst   float64
 	perSec  float64
 	buckets map[string]*tokenBucket
+	// refillFull is how long an idle bucket takes to refill completely.
+	// A bucket idle that long is indistinguishable from a fresh one, so
+	// it can be evicted without changing any admission decision — the
+	// fix for the unbounded per-IP map growth that leaked one bucket per
+	// client forever across 10^4-10^6-user campaigns.
+	refillFull time.Duration
+	// lastSweep is when the eviction pass last ran; sweeps are amortized
+	// to at most one map scan per refill interval.
+	lastSweep time.Time
 }
 
 type tokenBucket struct {
@@ -21,11 +30,15 @@ type tokenBucket struct {
 }
 
 func newRateLimiter(burst int, perMinute float64) *rateLimiter {
-	return &rateLimiter{
+	r := &rateLimiter{
 		burst:   float64(burst),
 		perSec:  perMinute / 60,
 		buckets: make(map[string]*tokenBucket),
 	}
+	if r.perSec > 0 {
+		r.refillFull = time.Duration(r.burst / r.perSec * float64(time.Second))
+	}
+	return r
 }
 
 // allow reports whether a request from ip at time now is within budget,
@@ -36,6 +49,7 @@ func (r *rateLimiter) allow(ip string, now time.Time) bool {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.maybeEvict(now)
 	b, ok := r.buckets[ip]
 	if !ok {
 		b = &tokenBucket{tokens: r.burst, last: now}
@@ -54,6 +68,32 @@ func (r *rateLimiter) allow(ip string, now time.Time) bool {
 	}
 	b.tokens--
 	return true
+}
+
+// maybeEvict drops buckets that have been idle for at least a full refill
+// interval: such a bucket is back at full burst, so evicting it is
+// behaviorally identical to keeping it and the map stays bounded by the
+// number of IPs active within the last window. Called under r.mu; scans
+// at most once per refill interval so the amortized cost per request is
+// O(1). Eviction decisions are per-entry and order-independent, so map
+// iteration order cannot perturb admission behavior.
+func (r *rateLimiter) maybeEvict(now time.Time) {
+	if r.refillFull <= 0 {
+		return
+	}
+	if r.lastSweep.IsZero() {
+		r.lastSweep = now
+		return
+	}
+	if now.Sub(r.lastSweep) < r.refillFull {
+		return
+	}
+	r.lastSweep = now
+	for ip, b := range r.buckets {
+		if now.Sub(b.last) >= r.refillFull {
+			delete(r.buckets, ip)
+		}
+	}
 }
 
 // clients reports how many distinct IPs the limiter is tracking.

@@ -48,6 +48,7 @@ type worldSpec struct {
 	regions    []RegionInfo
 	placeKinds []webcorpus.PlaceKind
 	tel        *telemetry.Registry
+	retriever  Retriever
 }
 
 // WithCorpus substitutes the query corpus (and therefore the static web
@@ -72,6 +73,15 @@ func WithPlaceKinds(ks []webcorpus.PlaceKind) Option {
 // together. Without it the engine creates a private registry.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(w *worldSpec) { w.tel = reg }
+}
+
+// WithRetriever substitutes the web-vertical retrieval backend — the
+// cluster router passes its scatter-gather client here, turning the
+// engine into the coordinator of a multi-node SERP cluster. The engine
+// then skips building its own inverted index (the shards hold the
+// postings); Places, News, and all personalization layers stay local.
+func WithRetriever(r Retriever) Option {
+	return func(w *worldSpec) { w.retriever = r }
 }
 
 // NewCustom builds an engine over a caller-defined world. Defaults match
@@ -106,6 +116,11 @@ func NewCustom(cfg Config, clock simclock.Clock, opts ...Option) *Engine {
 		tel = telemetry.NewRegistry()
 	}
 
+	retriever := spec.retriever
+	if retriever == nil {
+		retriever = localRetriever{idx: index.BuildFromWeb(web)}
+	}
+
 	return &Engine{
 		cfg:       cfg,
 		clock:     clock,
@@ -115,7 +130,7 @@ func NewCustom(cfg Config, clock simclock.Clock, opts ...Option) *Engine {
 		web:       web,
 		places:    webcorpus.NewPlacesCustom(cfg.Seed, spec.placeKinds),
 		news:      webcorpus.NewNewsWire(cfg.Seed, regions),
-		idx:       index.BuildFromWeb(web),
+		retriever: retriever,
 		regions:   regions,
 		regionPts: regionPts,
 		history:   newHistoryStore(cfg.HistoryWindow),

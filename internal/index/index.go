@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unicode"
 
 	"geoserp/internal/webcorpus"
 )
@@ -21,9 +22,12 @@ var stopwords = map[string]bool{
 	"by": true, "with": true, "near": true, "from": true, "as": true,
 }
 
-// Tokenize lowercases s, splits on non-alphanumerics, and drops stopwords
-// and empty tokens. It is the single tokenization used for both documents
-// and queries.
+// Tokenize lowercases s, splits on non-letter/non-digit runes, and drops
+// stopwords and empty tokens. It is the single tokenization used for both
+// documents and queries. Letters are recognized by Unicode class, not the
+// ASCII range, so accented place and business names in custom worlds
+// ("Café", "Zürich") survive as whole tokens instead of being split into
+// garbage at every accent.
 func Tokenize(s string) []string {
 	var out []string
 	var cur strings.Builder
@@ -37,10 +41,10 @@ func Tokenize(s string) []string {
 			out = append(out, tok)
 		}
 	}
-	for _, r := range strings.ToLower(s) {
+	for _, r := range s {
 		switch {
-		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
-			cur.WriteRune(r)
+		case unicode.IsLetter(r), unicode.IsDigit(r):
+			cur.WriteRune(unicode.ToLower(r))
 		default:
 			flush()
 		}
@@ -71,6 +75,16 @@ type Index struct {
 	docs     []webcorpus.Doc
 	postings map[string][]posting
 	docNorm  []float64 // per-doc weight norm for length normalization
+	// df, when non-nil, marks this index as a document-partitioned shard
+	// view (see Shard): it carries the FULL corpus's per-token document
+	// frequencies while postings holds only the shard's documents, so IDF
+	// — and therefore every score — is identical to the unsharded
+	// index's. nDocs likewise preserves the full corpus size.
+	df    map[string]int
+	nDocs int
+	// ownedDocs is the number of documents a shard view actually serves
+	// (its partition size); unused in a full index.
+	ownedDocs int
 }
 
 // New returns an empty index.
@@ -140,10 +154,14 @@ func (ix *Index) Freeze() {
 	ix.frozen = true
 }
 
-// Len returns the number of indexed documents.
+// Len returns the number of searchable documents: the partition size in a
+// shard view, the corpus size otherwise.
 func (ix *Index) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.df != nil {
+		return ix.ownedDocs
+	}
 	return len(ix.docs)
 }
 
@@ -155,19 +173,25 @@ func (ix *Index) Search(query string, k int) []Hit {
 	if k <= 0 {
 		return nil
 	}
-	qTokens := Tokenize(query)
+	// Query tokens are deduplicated before scoring: coverage means
+	// distinct-terms-matched / distinct-terms-queried. Without the dedupe
+	// a repeated term accumulated IDF once per occurrence and inflated
+	// the coverage ratio past 1.0, so "pizza pizza" ranked single-term
+	// documents as if they covered a two-term query in full.
+	qTokens := distinct(Tokenize(query))
 	if len(qTokens) == 0 {
 		return nil
 	}
-	n := float64(len(ix.docs))
+	n := float64(ix.numDocs())
 	scores := make(map[int32]float64)
 	matched := make(map[int32]int)
 	for _, t := range qTokens {
 		plist := ix.postings[t]
-		if len(plist) == 0 {
+		docFreq := ix.docFreq(t, len(plist))
+		if docFreq == 0 {
 			continue
 		}
-		idf := math.Log(1 + n/float64(len(plist)))
+		idf := math.Log(1 + n/float64(docFreq))
 		for _, p := range plist {
 			scores[p.docID] += idf * float64(p.weight)
 			matched[p.docID]++
@@ -195,16 +219,46 @@ func (ix *Index) Search(query string, k int) []Hit {
 			Score: (s / norm) * (0.5 + 0.5*coverage) * coverage,
 		})
 	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
+	return MergeHits(hits, k)
+}
+
+// distinct removes duplicate tokens, preserving first-occurrence order (so
+// float accumulation order — and therefore scores — is a function of the
+// query string alone).
+func distinct(tokens []string) []string {
+	out := tokens[:0]
+	for _, t := range tokens {
+		dup := false
+		for _, prev := range out {
+			if prev == t {
+				dup = true
+				break
+			}
 		}
-		return hits[i].Doc.URL < hits[j].Doc.URL
-	})
-	if len(hits) > k {
-		hits = hits[:k]
+		if !dup {
+			out = append(out, t)
+		}
 	}
-	return hits
+	return out
+}
+
+// numDocs returns the corpus size used for IDF: the full corpus's even in
+// a shard view.
+func (ix *Index) numDocs() int {
+	if ix.df != nil {
+		return ix.nDocs
+	}
+	return len(ix.docs)
+}
+
+// docFreq returns the IDF denominator for a token: the full corpus's
+// document frequency in a shard view, the local posting-list length
+// otherwise.
+func (ix *Index) docFreq(t string, plistLen int) int {
+	if ix.df != nil {
+		return ix.df[t]
+	}
+	return plistLen
 }
 
 // Vocabulary returns the number of distinct tokens in the index.
@@ -212,6 +266,75 @@ func (ix *Index) Vocabulary() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return len(ix.postings)
+}
+
+// Shard returns a document-partitioned view of a frozen index: posting
+// lists keep only the documents the owns predicate claims, while the IDF
+// denominators and per-document norms remain those of the FULL index.
+// Scores computed by different shards of the same corpus are therefore
+// globally comparable, and the union of every shard's Search results
+// reproduces the unsharded ranking bit for bit — the property the SERP
+// cluster's scatter-gather merge relies on for byte-identical pages at
+// any shard count. The view shares the parent's document table; it panics
+// if the index is not frozen.
+func (ix *Index) Shard(owns func(d webcorpus.Doc) bool) *Index {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if !ix.frozen {
+		panic("index: Shard before Freeze")
+	}
+	shard := &Index{
+		frozen:   true,
+		docs:     ix.docs,
+		docNorm:  ix.docNorm,
+		postings: make(map[string][]posting),
+		df:       make(map[string]int, len(ix.postings)),
+		nDocs:    ix.numDocs(),
+	}
+	// Which docs the shard owns is decided once per document, not per
+	// posting, so a retained document keeps its full token profile (its
+	// matched-term counts — and so its coverage — equal the monolith's).
+	owned := make([]bool, len(ix.docs))
+	var kept int
+	for id, d := range ix.docs {
+		if owns(d) {
+			owned[id] = true
+			kept++
+		}
+	}
+	for t, plist := range ix.postings {
+		shard.df[t] = ix.docFreq(t, len(plist))
+		var pruned []posting
+		for _, p := range plist {
+			if owned[p.docID] {
+				pruned = append(pruned, p)
+			}
+		}
+		if pruned != nil {
+			shard.postings[t] = pruned
+		}
+	}
+	shard.ownedDocs = kept
+	return shard
+}
+
+// MergeHits sorts hits with Search's exact ordering — score descending,
+// ties broken by URL ascending — and truncates to k. It is the single
+// merge used by the cluster router to fold per-shard rankings into one
+// list: because shard scores are globally comparable (see Shard), merging
+// the union of per-shard top-k lists reproduces the monolithic index's
+// top k exactly. The input is sorted in place.
+func MergeHits(hits []Hit, k int) []Hit {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.URL < hits[j].Doc.URL
+	})
+	if k >= 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
 }
 
 // BuildFromWeb constructs and freezes an index over every document in w.

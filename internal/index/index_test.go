@@ -20,6 +20,13 @@ func TestTokenize(t *testing.T) {
 		{"", nil},
 		{"the of and", nil},
 		{"KFC 2015", []string{"kfc", "2015"}},
+		// Non-ASCII letters are letters: accented names survive as whole
+		// tokens instead of being split at every accent (the old
+		// [a-z0-9]-only tokenizer turned "Café" into "caf").
+		{"Café", []string{"café"}},
+		{"Zürich Öffnungszeiten", []string{"zürich", "öffnungszeiten"}},
+		{"CAFÉ ZÜRICH", []string{"café", "zürich"}},
+		{"søndre gate 4", []string{"søndre", "gate", "4"}},
 	}
 	for _, c := range cases {
 		got := Tokenize(c.in)
@@ -78,6 +85,71 @@ func TestSearchHalfCoverageFilter(t *testing.T) {
 	// One of three meaningful tokens matches -> filtered out.
 	if hits := ix.Search("global warming hoax debate", 10); len(hits) != 0 {
 		t.Fatalf("low-coverage doc returned: %+v", hits)
+	}
+}
+
+// TestSearchRepeatedQueryTokens is the regression test for the
+// double-counting bug: repeated query terms accumulated IDF once per
+// occurrence and pushed coverage past 1.0, so "pizza pizza" scored a
+// one-term document as if it fully covered a two-term query. Coverage is
+// now distinct-terms-matched / distinct-terms-queried, making a repeated
+// query exactly equivalent to its deduplicated form.
+func TestSearchRepeatedQueryTokens(t *testing.T) {
+	ix := New()
+	ix.Add(doc("https://p/", "Pizza Palace", "Best pizza in town.", "pizza"))
+	ix.Add(doc("https://q/", "Cheap Pizza Joint", "Cheap pizza daily.", "pizza"))
+	ix.Freeze()
+
+	single := ix.Search("pizza", 10)
+	repeated := ix.Search("pizza pizza", 10)
+	if len(single) != len(repeated) {
+		t.Fatalf("repeated-term query returned %d hits, single-term %d", len(repeated), len(single))
+	}
+	for i := range single {
+		if repeated[i].Doc.URL != single[i].Doc.URL || repeated[i].Score != single[i].Score {
+			// The old code produced repeated[i].Score == 2x the IDF mass of
+			// single[i].Score here (double-counted accumulation).
+			t.Fatalf("rank %d: repeated query gave {%s %v}, single gave {%s %v}",
+				i, repeated[i].Doc.URL, repeated[i].Score, single[i].Doc.URL, single[i].Score)
+		}
+	}
+
+	// A doc matching one of two DISTINCT terms must still fail the
+	// half-coverage gate even when the matched term is repeated in the
+	// query: "pizza pizza hovercraft" has two distinct terms and the doc
+	// covers one — exactly the boundary, kept; with a third distinct term
+	// it is filtered. The old matched-occurrence counting let the repeat
+	// masquerade as extra coverage.
+	if hits := ix.Search("pizza pizza hovercraft submarine", 10); len(hits) != 0 {
+		t.Fatalf("one of three distinct terms matched but doc survived the coverage gate: %+v", hits)
+	}
+	// Coverage itself must cap at 1.0: the repeated query's top score
+	// equals the single query's, never above it.
+	if repeated[0].Score > single[0].Score {
+		t.Fatalf("repeated terms inflated the score: %v > %v", repeated[0].Score, single[0].Score)
+	}
+}
+
+// TestSearchNonASCIIEndToEnd drives accented titles through Add and
+// Search: a custom world naming businesses "Café" or "Zürich" must be
+// retrievable by those words (the old ASCII-only tokenizer shredded them).
+func TestSearchNonASCIIEndToEnd(t *testing.T) {
+	ix := New()
+	ix.Add(doc("https://cafe/", "Café Zürich", "The best café near the lake.", "café"))
+	ix.Add(doc("https://caf/", "Caf Industries", "Industrial caf supplies.", "caf"))
+	ix.Freeze()
+
+	hits := ix.Search("café", 10)
+	if len(hits) != 1 || hits[0].Doc.URL != "https://cafe/" {
+		t.Fatalf("Search(café) = %+v, want the café doc only", hits)
+	}
+	// Case-folding applies to non-ASCII letters too.
+	if hits := ix.Search("CAFÉ ZÜRICH", 10); len(hits) != 1 || hits[0].Doc.URL != "https://cafe/" {
+		t.Fatalf("Search(CAFÉ ZÜRICH) = %+v, want the café doc", hits)
+	}
+	// The accented word no longer collides with its mangled ASCII prefix.
+	if hits := ix.Search("caf", 10); len(hits) != 1 || hits[0].Doc.URL != "https://caf/" {
+		t.Fatalf("Search(caf) = %+v, want the caf doc only", hits)
 	}
 }
 

@@ -1,0 +1,149 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// The router keeps one circuit breaker per shard so a dead or misbehaving
+// shard is skipped outright — its portion of the corpus degrades to a
+// partial result — instead of every query paying a timeout for it. The
+// machine is the classic three-state breaker (closed → open after a streak
+// of failures → half-open probe after a cooldown), mirroring the crawler's
+// per-endpoint breaker in internal/browser, but unlike that one it must be
+// safe for concurrent use: many scatter-gather fan-outs consult the same
+// shard's breaker at once, and in half-open state exactly ONE of them may
+// carry the probe.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// Transition labels reported through router_breaker_transitions_total.
+// "open" counts trips from closed, "reopen" failed half-open probes; at
+// quiescence (every shard healthy again) open == close, which the cluster
+// soak asserts.
+const (
+	breakerTransOpen     = "open"
+	breakerTransReopen   = "reopen"
+	breakerTransHalfOpen = "half_open"
+	breakerTransClose    = "close"
+)
+
+// breaker is one shard's circuit breaker. Like the crawler's, it is driven
+// entirely by the clock instants its owner passes in — it never reads a
+// clock itself — so under a Manual campaign clock its transitions are a
+// pure function of the deterministic failure sequence and same-seed chaos
+// runs replay identical breaker timelines.
+type breaker struct {
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // open-state dwell before a half-open probe
+
+	mu       sync.Mutex
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // instant of the most recent trip
+	probing  bool      // half-open: a probe is in flight
+
+	// onTransition, when set, observes every state change (metric hook).
+	// Called under the breaker lock; keep it to a counter bump.
+	onTransition func(label string)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+func (br *breaker) transition(state int, label string) {
+	br.state = state
+	if br.onTransition != nil {
+		br.onTransition(label)
+	}
+}
+
+// allow reports whether a request to the shard may be issued at instant
+// now. Open fails fast until the cooldown elapses, then moves to half-open
+// and admits a single probe; while that probe is outstanding every other
+// caller keeps failing fast.
+func (br *breaker) allow(now time.Time) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch br.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(br.openedAt) < br.cooldown {
+			return false
+		}
+		br.transition(breakerHalfOpen, breakerTransHalfOpen)
+		br.probing = true
+		return true
+	default: // half-open
+		if br.probing {
+			return false
+		}
+		br.probing = true
+		return true
+	}
+}
+
+// success records a request the shard answered usefully. A successful
+// half-open probe closes the breaker; in the closed state it resets the
+// failure streak.
+func (br *breaker) success() {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state == breakerHalfOpen {
+		br.probing = false
+		br.transition(breakerClosed, breakerTransClose)
+	}
+	br.failures = 0
+}
+
+// failure records a breaker-eligible failure at instant now: transport
+// errors, timeouts, and 5xx responses other than admission sheds. A failed
+// half-open probe reopens the breaker for another full cooldown.
+func (br *breaker) failure(now time.Time) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch br.state {
+	case breakerHalfOpen:
+		br.probing = false
+		br.openedAt = now
+		br.transition(breakerOpen, breakerTransReopen)
+	case breakerClosed:
+		br.failures++
+		if br.failures >= br.threshold {
+			br.openedAt = now
+			br.transition(breakerOpen, breakerTransOpen)
+		}
+	}
+}
+
+// pushback records explicit shard pushback — a 503 admission shed, where
+// the shard is alive and asking for patience. It must not trip the breaker
+// (the shard has not stopped answering) and must not count as success (the
+// shard did no retrieval work). Its only effect: a half-open probe that
+// drew a shed resolves the probe slot so the next fan-out can try again.
+func (br *breaker) pushback() {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state == breakerHalfOpen {
+		br.probing = false
+	}
+}
+
+// stateName renders the state for spans and /statz surfaces.
+func (br *breaker) stateName() string {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	switch br.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

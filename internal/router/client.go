@@ -1,0 +1,276 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/index"
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+// Per-shard fan-out outcomes, as exposed through
+// router_shard_requests_total{outcome}.
+const (
+	outcomeOK          = "ok"           // shard answered with hits
+	outcomeShed        = "shed"         // shard pushed back (503 admission shed)
+	outcomeBreakerOpen = "breaker_open" // skipped: breaker failing fast
+	outcomeError       = "error"        // transport error, timeout, or 5xx
+)
+
+// ClientConfig configures the scatter-gather client.
+type ClientConfig struct {
+	// Shards are the shard base URLs ("http://host:port"), indexed by
+	// shard ID. Order matters: it must match the ring the corpus was
+	// partitioned with.
+	Shards []string
+	// Timeout bounds one shard request on the wall clock. <= 0 means no
+	// per-shard timeout (the propagated X-Deadline-Ms still applies at the
+	// shard).
+	Timeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// shard's breaker; <= 0 disables breakers entirely.
+	BreakerThreshold int
+	// BreakerCooldown is the open-state dwell before a half-open probe.
+	BreakerCooldown time.Duration
+	// Clock supplies the instants driving breaker cooldowns — the campaign
+	// clock in virtual-time rigs, so same-seed chaos runs replay identical
+	// breaker timelines. Defaults to the wall clock.
+	Clock simclock.Clock
+	// Transport issues the shard requests. Defaults to
+	// http.DefaultTransport; cluster tests and the soak rig install an
+	// in-process transport so no sockets are involved.
+	Transport http.RoundTripper
+}
+
+// Client fans one retrieval out to every shard concurrently, merges the
+// per-shard top-k rankings with the same comparator the index itself uses
+// (score descending, URL ascending — URLs are unique across the disjoint
+// partition, so the merged order is total and identical run to run no
+// matter which shard answers first), and implements engine.Retriever so a
+// coordinator engine is just engine.NewCustom(..., WithRetriever(client)).
+//
+// Degradation is graded: a shard that sheds, times out, errors, or sits
+// behind an open breaker merely makes the result Partial — the engine
+// still assembles a page from the reachable partition, marked with
+// X-Serp-Partial at the front end. Only when NO shard contributes does
+// Retrieve return engine.ErrRetrievalUnavailable (served as a 503).
+type Client struct {
+	cfg      ClientConfig
+	breakers []*breaker
+
+	retrievals  *telemetry.Counter    // router_retrievals_total
+	partial     *telemetry.Counter    // router_partial_results_total
+	unavailable *telemetry.Counter    // router_unavailable_total
+	perShard    *telemetry.CounterVec // router_shard_requests_total{outcome}
+	transitions *telemetry.CounterVec // router_breaker_transitions_total{event}
+}
+
+// NewClient builds a scatter-gather client over cfg.Shards, registering
+// its metrics on reg (a private registry when nil).
+func NewClient(cfg ClientConfig, reg *telemetry.Registry) *Client {
+	if len(cfg.Shards) == 0 {
+		panic("router: client needs at least one shard URL")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Wall()
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = http.DefaultTransport
+	}
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c := &Client{
+		cfg: cfg,
+		retrievals: reg.Counter("router_retrievals_total",
+			"Scatter-gather retrievals issued by the router."),
+		partial: reg.Counter("router_partial_results_total",
+			"Retrievals that merged fewer than all shards (degraded pages)."),
+		unavailable: reg.Counter("router_unavailable_total",
+			"Retrievals where no shard contributed (served as 503)."),
+		perShard: reg.CounterVec("router_shard_requests_total",
+			"Per-shard fan-out outcomes.", "outcome"),
+		transitions: reg.CounterVec("router_breaker_transitions_total",
+			"Shard breaker state transitions, by event.", "event"),
+	}
+	c.breakers = make([]*breaker, len(cfg.Shards))
+	for i := range c.breakers {
+		if cfg.BreakerThreshold > 0 {
+			br := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+			br.onTransition = func(label string) { c.transitions.With(label).Inc() }
+			c.breakers[i] = br
+		}
+	}
+	return c
+}
+
+// Shards returns the configured shard count.
+func (c *Client) Shards() int { return len(c.cfg.Shards) }
+
+// BreakerStates returns each shard breaker's current state name, for
+// /statz surfaces ("disabled" when breakers are off).
+func (c *Client) BreakerStates() []string {
+	out := make([]string, len(c.breakers))
+	for i, br := range c.breakers {
+		if br == nil {
+			out[i] = "disabled"
+		} else {
+			out[i] = br.stateName()
+		}
+	}
+	return out
+}
+
+// shardOutcome is one shard's contribution to a scatter-gather round.
+type shardOutcome struct {
+	outcome string
+	hits    []index.Hit
+}
+
+// Retrieve implements engine.Retriever: concurrent fan-out, deterministic
+// merge, graded degradation.
+func (c *Client) Retrieve(req engine.RetrieveRequest) (engine.RetrieveResult, error) {
+	c.retrievals.Inc()
+	n := len(c.cfg.Shards)
+	outcomes := make([]shardOutcome, n)
+
+	// Child spans are started sequentially, in shard order, BEFORE the
+	// fan-out: span IDs mix a per-parent sequence number, and minting them
+	// from racing goroutines would leak scheduling order into the trace,
+	// breaking same-seed byte-identical trace output.
+	spans := make([]*telemetry.Span, n)
+	for i := 0; i < n; i++ {
+		spans[i] = req.Span.StartChild("router.shard")
+		spans[i].SetAttr("shard", strconv.Itoa(i))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outcomes[i] = c.callShard(i, req, spans[i])
+		}(i)
+	}
+	wg.Wait()
+	// Ended sequentially after the barrier for the same reason they were
+	// started sequentially: recorder commit order must not depend on which
+	// shard's goroutine finished first.
+	for i := 0; i < n; i++ {
+		spans[i].End()
+	}
+
+	var merged []index.Hit
+	ok := 0
+	for _, o := range outcomes {
+		c.perShard.With(o.outcome).Inc()
+		if o.outcome == outcomeOK {
+			ok++
+			merged = append(merged, o.hits...)
+		}
+	}
+	switch {
+	case ok == 0:
+		c.unavailable.Inc()
+		return engine.RetrieveResult{}, fmt.Errorf("router: 0/%d shards answered: %w", n, engine.ErrRetrievalUnavailable)
+	case ok < n:
+		c.partial.Inc()
+		return engine.RetrieveResult{Hits: index.MergeHits(merged, req.K), Partial: true}, nil
+	default:
+		return engine.RetrieveResult{Hits: index.MergeHits(merged, req.K), Partial: false}, nil
+	}
+}
+
+// callShard performs one shard request and classifies the outcome. The
+// passed span is annotated but NOT ended here — the caller owns its
+// lifecycle.
+func (c *Client) callShard(i int, req engine.RetrieveRequest, sp *telemetry.Span) shardOutcome {
+	br := c.breakers[i]
+	if br != nil && !br.allow(c.cfg.Clock.Now()) {
+		sp.SetAttr("outcome", outcomeBreakerOpen)
+		return shardOutcome{outcome: outcomeBreakerOpen}
+	}
+
+	u := c.cfg.Shards[i] + SearchPath + "?q=" + url.QueryEscape(req.Query) +
+		"&k=" + strconv.Itoa(req.K)
+	hreq, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return c.fail(br, sp, "bad_url: "+err.Error())
+	}
+	if req.TraceID != "" {
+		hreq.Header.Set(telemetry.TraceHeader, req.TraceID)
+	}
+	if !req.Deadline.IsZero() {
+		hreq.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(req.Deadline.UnixMilli(), 10))
+	}
+
+	httpc := &http.Client{Transport: c.cfg.Transport, Timeout: c.cfg.Timeout}
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		return c.fail(br, sp, "transport: "+err.Error())
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var sr ShardResponse
+		if derr := json.NewDecoder(resp.Body).Decode(&sr); derr != nil {
+			return c.fail(br, sp, "decode: "+derr.Error())
+		}
+		if sr.Shard != i {
+			// A reply from the wrong shard means the topology is
+			// misconfigured; merging it would silently corrupt rankings.
+			return c.fail(br, sp, "misrouted: got shard "+strconv.Itoa(sr.Shard))
+		}
+		if br != nil {
+			br.success()
+		}
+		sp.SetAttr("outcome", outcomeOK)
+		sp.SetAttr("hits", strconv.Itoa(len(sr.Hits)))
+		return shardOutcome{outcome: outcomeOK, hits: sr.Hits}
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Admission shed: the shard is alive and asked for patience.
+		// Pushback must not trip the breaker — see breaker.pushback.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if br != nil {
+			br.pushback()
+		}
+		sp.SetAttr("outcome", outcomeShed)
+		return shardOutcome{outcome: outcomeShed}
+	default:
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return c.fail(br, sp, "status: "+resp.Status)
+	}
+}
+
+// fail classifies a breaker-eligible failure.
+func (c *Client) fail(br *breaker, sp *telemetry.Span, detail string) shardOutcome {
+	if br != nil {
+		br.failure(c.cfg.Clock.Now())
+	}
+	sp.SetAttr("outcome", outcomeError)
+	sp.SetAttr("error", detail)
+	return shardOutcome{outcome: outcomeError}
+}
+
+// parseDeadline reads the propagated absolute deadline from X-Deadline-Ms
+// (unix milliseconds); absent or malformed values mean no deadline.
+func parseDeadline(r *http.Request) time.Time {
+	v := r.Header.Get(telemetry.DeadlineHeader)
+	if v == "" {
+		return time.Time{}
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(ms)
+}

@@ -1,0 +1,231 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"time"
+
+	"geoserp/internal/engine"
+	"geoserp/internal/index"
+	"geoserp/internal/queries"
+	"geoserp/internal/serpserver"
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+	"geoserp/internal/webcorpus"
+)
+
+// ClusterConfig assembles a complete in-process cluster: N shard nodes plus
+// a router front end, wired through an in-memory transport so no sockets
+// are involved. The soak harness and the cluster tests both drive this —
+// it is the same code path cmd/serprouter and cmd/serpd take, minus the
+// network.
+type ClusterConfig struct {
+	// Shards is the shard count (>= 1).
+	Shards int
+	// Replicas is the ring's virtual-node count per shard (<= 0 selects
+	// DefaultReplicas). Every node in a real deployment must agree on it.
+	Replicas int
+	// Engine configures the coordinator engine (seed, datacenters,
+	// buckets, ...). The shard indexes are built from the same seed, so
+	// shards and coordinator see the identical deterministic corpus.
+	Engine engine.Config
+	// Clock drives the coordinator engine, shard deadline checks, and
+	// breaker cooldowns — the campaign clock in virtual-time rigs.
+	Clock simclock.Clock
+	// ShardAdmission, when enabled, gates each shard's /shard/search with
+	// the serpserver FIFO admission machinery (each shard gets its own
+	// gate and metrics registry).
+	ShardAdmission serpserver.AdmissionConfig
+	// ShardMiddleware, when set, wraps each shard's handler chain —
+	// between the admission gate (outermost) and the shard handler — so a
+	// chaos rig can inject per-shard faults.
+	ShardMiddleware func(shard int, next http.Handler) http.Handler
+	// ShardTimeout bounds one fan-out request on the wall clock (<= 0: no
+	// per-shard timeout).
+	ShardTimeout time.Duration
+	// BreakerThreshold / BreakerCooldown configure the router's per-shard
+	// circuit breakers; threshold <= 0 disables them.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// SpanCapacity, when > 0, installs span recorders (router and shards)
+	// with that ring-buffer capacity.
+	SpanCapacity int
+	// Registry, when set, receives the router-side metrics (engine, HTTP
+	// front end, scatter-gather) instead of a fresh private registry — so
+	// a harness can read engine and router counters off one registry.
+	// Shards always get their own registries.
+	Registry *telemetry.Registry
+	// RouterSpans, when set, is used as the router handler's span
+	// recorder instead of a fresh one (SpanCapacity then only sizes the
+	// per-shard recorders).
+	RouterSpans *telemetry.SpanRecorder
+	// RouterOptions are extra options for the router's serpserver.Handler
+	// (logger, etc). Spans are installed automatically per RouterSpans /
+	// SpanCapacity.
+	RouterOptions []serpserver.HandlerOption
+}
+
+// LocalCluster is the assembled in-process cluster.
+type LocalCluster struct {
+	// Handler is the router front end — serve /search on it exactly like a
+	// monolithic serpd handler. Callers add chaos / admission wrapping on
+	// top if they want the router gated too.
+	Handler *serpserver.Handler
+	// Engine is the coordinator engine behind Handler.
+	Engine *engine.Engine
+	// Client is the scatter-gather retriever the engine uses.
+	Client *Client
+	// Registry is the router-side telemetry registry (engine + HTTP +
+	// scatter-gather metrics).
+	Registry *telemetry.Registry
+	// Spans is the router-side span recorder (nil when SpanCapacity == 0).
+	Spans *telemetry.SpanRecorder
+	// ShardHandlers are the raw shard nodes, indexed by shard ID.
+	ShardHandlers []*ShardHandler
+	// ShardChains are the shards' full serving chains (admission gate
+	// around middleware around handler) as mounted in the transport.
+	ShardChains []http.Handler
+}
+
+// shardHost names shard i in the in-memory transport ("shard-3").
+func shardHost(i int) string { return "shard-" + strconv.Itoa(i) }
+
+// NewLocalCluster partitions the corpus, builds every shard node and the
+// router, and wires them together. The partition is exhaustive and
+// disjoint (ring ownership over document URLs), and every shard view keeps
+// full-corpus IDF statistics, so the merged cluster ranking is
+// byte-identical to a monolithic engine at any shard count.
+func NewLocalCluster(cfg ClusterConfig) *LocalCluster {
+	if cfg.Shards < 1 {
+		panic("router: cluster needs at least one shard")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Wall()
+	}
+
+	// Build the full index once from the same deterministic world the
+	// coordinator engine generates, then carve per-shard views off it.
+	// (Real shard processes each rebuild the world from the seed instead —
+	// same corpus, no shared memory; see cmd/serpd's shard mode.)
+	regions := make([]webcorpus.Region, 0)
+	for _, ri := range engine.StudyRegions() {
+		regions = append(regions, ri.Region)
+	}
+	web := webcorpus.NewWeb(cfg.Engine.Seed, queries.StudyCorpus(), regions)
+	full := index.BuildFromWeb(web)
+	ring := NewRing(cfg.Shards, cfg.Replicas)
+
+	hosts := make(map[string]http.Handler, cfg.Shards)
+	handlers := make([]*ShardHandler, cfg.Shards)
+	chains := make([]http.Handler, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		i := i
+		view := full.Shard(func(d webcorpus.Doc) bool { return ring.Owner(d.URL) == i })
+		opts := []ShardOption{WithShardClock(cfg.Clock)}
+		var shardSpans *telemetry.SpanRecorder
+		if cfg.SpanCapacity > 0 {
+			shardSpans = telemetry.NewSpanRecorder(cfg.SpanCapacity, cfg.Clock)
+			opts = append(opts, WithShardSpans(shardSpans))
+		}
+		sh := NewShardHandler(i, view, opts...)
+		var chain http.Handler = sh
+		if cfg.ShardMiddleware != nil {
+			chain = cfg.ShardMiddleware(i, chain)
+		}
+		if cfg.ShardAdmission.Enabled() {
+			ac := cfg.ShardAdmission
+			if ac.Clock == nil {
+				ac.Clock = cfg.Clock
+			}
+			chain = serpserver.NewAdmission(ac, sh.Telemetry(), shardSpans, chain)
+		}
+		handlers[i] = sh
+		chains[i] = chain
+		hosts[shardHost(i)] = chain
+	}
+
+	urls := make([]string, cfg.Shards)
+	for i := range urls {
+		urls[i] = "http://" + shardHost(i)
+	}
+
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	client := NewClient(ClientConfig{
+		Shards:           urls,
+		Timeout:          cfg.ShardTimeout,
+		BreakerThreshold: cfg.BreakerThreshold,
+		BreakerCooldown:  cfg.BreakerCooldown,
+		Clock:            cfg.Clock,
+		Transport:        &memTransport{hosts: hosts},
+	}, reg)
+
+	eng := engine.NewCustom(cfg.Engine, cfg.Clock,
+		engine.WithTelemetry(reg), engine.WithRetriever(client))
+	hOpts := append([]serpserver.HandlerOption(nil), cfg.RouterOptions...)
+	spans := cfg.RouterSpans
+	if spans == nil && cfg.SpanCapacity > 0 {
+		spans = telemetry.NewSpanRecorder(cfg.SpanCapacity, cfg.Clock)
+	}
+	if spans != nil {
+		hOpts = append(hOpts, serpserver.WithSpans(spans))
+	}
+	handler := serpserver.NewHandler(eng, hOpts...)
+
+	return &LocalCluster{
+		Handler:       handler,
+		Engine:        eng,
+		Client:        client,
+		Registry:      reg,
+		Spans:         spans,
+		ShardHandlers: handlers,
+		ShardChains:   chains,
+	}
+}
+
+// BuildShardIndex rebuilds the deterministic corpus from seed and returns
+// shard shardID's view of a shardCount-way partition. This is how a
+// standalone shard process (cmd/serpd -shard-id/-shard-count) obtains its
+// slice without any data distribution: every node regenerates the
+// identical world from the seed and keeps only the documents the ring
+// assigns it. corpus may be nil for the study corpus; replicas <= 0
+// selects DefaultReplicas (every node must agree on both).
+func BuildShardIndex(seed uint64, corpus *queries.Corpus, shardID, shardCount, replicas int) *index.Index {
+	if shardID < 0 || shardID >= shardCount {
+		panic("router: shard ID out of range")
+	}
+	if corpus == nil {
+		corpus = queries.StudyCorpus()
+	}
+	regions := make([]webcorpus.Region, 0)
+	for _, ri := range engine.StudyRegions() {
+		regions = append(regions, ri.Region)
+	}
+	web := webcorpus.NewWeb(seed, corpus, regions)
+	full := index.BuildFromWeb(web)
+	ring := NewRing(shardCount, replicas)
+	return full.Shard(func(d webcorpus.Doc) bool { return ring.Owner(d.URL) == shardID })
+}
+
+// memTransport dispatches shard requests to in-process handlers by host
+// name — full HTTP serialization, no sockets. Unknown hosts fail like a
+// connection refusal (a breaker-eligible transport error).
+type memTransport struct {
+	hosts map[string]http.Handler
+}
+
+func (t *memTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	h, ok := t.hosts[r.URL.Host]
+	if !ok {
+		return nil, fmt.Errorf("memtransport: no such host %q", r.URL.Host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, r)
+	resp := rec.Result()
+	resp.Request = r
+	return resp, nil
+}

@@ -1,0 +1,195 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"geoserp/internal/index"
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+// SearchPath is the shard retrieval endpoint. The admission gate in
+// internal/serpserver recognizes it alongside /search, so a shard node
+// reuses the exact FIFO admission machinery the monolith serves under.
+const SearchPath = "/shard/search"
+
+// defaultShardK bounds a shard reply when the router omits k. It matches
+// the engine's retrieval depth so a bare query still returns a full page's
+// candidates.
+const defaultShardK = 48
+
+// maxShardK caps how many hits one shard response will carry, whatever the
+// client asked for.
+const maxShardK = 512
+
+// ShardResponse is the wire format of one shard's answer. Scores are
+// float64s serialized by encoding/json, which emits the shortest decimal
+// that round-trips — so the router decodes bit-identical scores and the
+// merged ranking equals the monolith's exactly.
+type ShardResponse struct {
+	// Shard echoes the answering shard's ID (mismatch = misrouted query).
+	Shard int `json:"shard"`
+	// Hits is the shard's top-k, already in merge order (score descending,
+	// URL ascending).
+	Hits []index.Hit `json:"hits"`
+}
+
+// ShardHandler is one shard node's HTTP surface: GET /shard/search over a
+// document-partitioned shard view of the inverted index (see index.Shard),
+// plus the standard /healthz, /metricsz, and /tracez operability
+// endpoints. It carries no personalization state — shards rank with global
+// IDF and return raw TF-IDF candidates; everything location- or
+// session-dependent happens at the router.
+type ShardHandler struct {
+	id    int
+	idx   *index.Index
+	mux   *http.ServeMux
+	tel   *telemetry.Registry
+	spans *telemetry.SpanRecorder
+	clock simclock.Clock
+
+	requests *telemetry.Counter    // shard_requests_total
+	errors   *telemetry.CounterVec // shard_errors_total{reason}
+	hits     *telemetry.Counter    // shard_hits_returned_total
+	duration *telemetry.Histogram  // shard_search_duration_seconds
+	wall     simclock.Clock
+}
+
+// ShardOption configures a ShardHandler.
+type ShardOption func(*ShardHandler)
+
+// WithShardTelemetry registers the shard's metrics on an existing registry
+// (default: a private one).
+func WithShardTelemetry(reg *telemetry.Registry) ShardOption {
+	return func(h *ShardHandler) { h.tel = reg }
+}
+
+// WithShardSpans installs a span recorder: every retrieval gets a
+// "shard.search" span keyed off the propagated X-Trace-Id, and the handler
+// mounts GET /tracez over the recorder.
+func WithShardSpans(rec *telemetry.SpanRecorder) ShardOption {
+	return func(h *ShardHandler) { h.spans = rec }
+}
+
+// WithShardClock sets the clock used for deadline checks — the campaign
+// clock in virtual-time rigs. Defaults to the wall clock.
+func WithShardClock(c simclock.Clock) ShardOption {
+	return func(h *ShardHandler) { h.clock = c }
+}
+
+// NewShardHandler builds a shard node serving the given (already frozen)
+// shard index view as shard id.
+func NewShardHandler(id int, idx *index.Index, opts ...ShardOption) *ShardHandler {
+	h := &ShardHandler{id: id, idx: idx, mux: http.NewServeMux(), wall: simclock.Wall()}
+	for _, o := range opts {
+		o(h)
+	}
+	if h.tel == nil {
+		h.tel = telemetry.NewRegistry()
+	}
+	if h.clock == nil {
+		h.clock = simclock.Wall()
+	}
+	h.requests = h.tel.Counter("shard_requests_total", "Retrieval requests received by this shard.")
+	h.errors = h.tel.CounterVec("shard_errors_total", "Shard requests answered with an error status, by reason.", "reason")
+	h.hits = h.tel.Counter("shard_hits_returned_total", "Hits returned across all shard responses.")
+	h.duration = h.tel.Histogram("shard_search_duration_seconds", "Wall-clock shard retrieval time.", nil)
+	h.mux.HandleFunc("GET "+SearchPath, h.handleSearch)
+	h.mux.HandleFunc("GET /healthz", h.handleHealth)
+	h.mux.Handle("GET /metricsz", h.tel.MetricsHandler())
+	if h.spans != nil {
+		h.mux.Handle("GET /tracez", telemetry.TracezHandler(h.spans))
+	}
+	return h
+}
+
+// Telemetry returns the registry backing /metricsz.
+func (h *ShardHandler) Telemetry() *telemetry.Registry { return h.tel }
+
+// Spans returns the installed span recorder (nil when none).
+func (h *ShardHandler) Spans() *telemetry.SpanRecorder { return h.spans }
+
+// Docs returns how many documents this shard owns.
+func (h *ShardHandler) Docs() int { return h.idx.Len() }
+
+func (h *ShardHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
+	h.requests.Inc()
+	start := h.wall.Now()
+	defer h.duration.ObserveSince(start)
+
+	var sp *telemetry.Span
+	if h.spans != nil {
+		attempt := 0
+		if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				attempt = n
+			}
+		}
+		sp = h.spans.StartRootSeq(r.Header.Get(telemetry.TraceHeader), "shard.search", attempt)
+		sp.SetAttr("shard", strconv.Itoa(h.id))
+		defer sp.End()
+	}
+
+	// A propagated deadline that already passed means the router (or its
+	// client) has given up; refuse the work instead of ranking a partition
+	// nobody will merge.
+	if dl := parseDeadline(r); !dl.IsZero() && h.clock.Now().After(dl) {
+		h.errors.With("deadline").Inc()
+		sp.SetAttr("error", "deadline")
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "deadline exceeded", http.StatusServiceUnavailable)
+		return
+	}
+
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		h.errors.With("empty_query").Inc()
+		sp.SetAttr("error", "empty_query")
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	sp.SetAttr("query", q)
+
+	k := defaultShardK
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			h.errors.With("bad_k").Inc()
+			sp.SetAttr("error", "bad_k")
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	if k > maxShardK {
+		k = maxShardK
+	}
+
+	res := h.idx.Search(q, k)
+	h.hits.Add(uint64(len(res)))
+	sp.SetAttr("hits", strconv.Itoa(len(res)))
+
+	w.Header().Set("Content-Type", "application/json")
+	if trace := r.Header.Get(telemetry.TraceHeader); trace != "" {
+		w.Header().Set(telemetry.TraceHeader, trace)
+	}
+	if err := json.NewEncoder(w).Encode(ShardResponse{Shard: h.id, Hits: res}); err != nil {
+		// The client went away mid-write; nothing useful to do.
+		h.errors.With("write").Inc()
+	}
+}
+
+func (h *ShardHandler) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": "ok",
+		"shard":  h.id,
+		"docs":   h.idx.Len(),
+	})
+}

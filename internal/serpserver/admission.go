@@ -72,6 +72,14 @@ type admission struct {
 // telemetry registry; when h records spans, every shed produces a
 // "serpd.shed" span carrying the reason and the Retry-After hint.
 func WithAdmission(cfg AdmissionConfig, h *Handler, next http.Handler) http.Handler {
+	return NewAdmission(cfg, h.Telemetry(), h.spans, next)
+}
+
+// NewAdmission is WithAdmission for servers that are not a full SERP
+// Handler — a cluster shard node gates its /shard/search endpoint with
+// exactly the same FIFO machinery, registering metrics and shed spans on
+// its own registry and recorder. spans may be nil (no shed spans).
+func NewAdmission(cfg AdmissionConfig, reg *telemetry.Registry, spans *telemetry.SpanRecorder, next http.Handler) http.Handler {
 	if !cfg.Enabled() {
 		return next
 	}
@@ -84,11 +92,10 @@ func WithAdmission(cfg AdmissionConfig, h *Handler, next http.Handler) http.Hand
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Wall()
 	}
-	reg := h.Telemetry()
 	return &admission{
 		cfg:   cfg,
 		next:  next,
-		spans: h.spans,
+		spans: spans,
 		wall:  simclock.Wall(),
 		admitted: reg.Counter("serpd_admission_admitted_total",
 			"Search requests admitted past the concurrency gate."),
@@ -105,7 +112,7 @@ func WithAdmission(cfg AdmissionConfig, h *Handler, next http.Handler) http.Hand
 }
 
 func (a *admission) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/search" {
+	if r.URL.Path != "/search" && r.URL.Path != "/shard/search" {
 		a.next.ServeHTTP(w, r)
 		return
 	}

@@ -77,15 +77,23 @@ func chaosNote(ctx context.Context) string {
 // that short-circuit it (abort, 5xx) are recorded as "serpd.chaos" spans
 // so the timeline still explains the client-visible failure.
 func WithChaos(cfg ChaosConfig, h *Handler) http.Handler {
+	return NewChaos(cfg, h.Telemetry(), h.spans, h)
+}
+
+// NewChaos is WithChaos for servers that are not a full SERP Handler — a
+// cluster shard node injects faults on its /shard/search endpoint with the
+// same draw keying, registering the fault counters and chaos spans on its
+// own registry and recorder. spans may be nil (no chaos spans).
+func NewChaos(cfg ChaosConfig, reg *telemetry.Registry, spans *telemetry.SpanRecorder, next http.Handler) http.Handler {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Wall()
 	}
 	return &chaosMiddleware{
 		cfg:  cfg,
-		next: h,
-		ctr: h.Telemetry().CounterVec("serpd_chaos_injected_total",
+		next: next,
+		ctr: reg.CounterVec("serpd_chaos_injected_total",
 			"Faults deliberately injected by the chaos middleware, by kind.", "kind"),
-		spans:    h.spans,
+		spans:    spans,
 		attempts: make(map[string]int),
 	}
 }
@@ -137,7 +145,7 @@ func (c *chaosMiddleware) chaosSpan(trace string, n int, kind string) {
 }
 
 func (c *chaosMiddleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/search" {
+	if r.URL.Path != "/search" && r.URL.Path != "/shard/search" {
 		c.next.ServeHTTP(w, r)
 		return
 	}

@@ -38,6 +38,13 @@ const SessionCookie = "SID"
 // that statically resolved the service hostname to one datacenter.
 const DatacenterHeader = "X-Datacenter"
 
+// PartialHeader marks a 200 response whose web vertical was assembled
+// from an incomplete retrieval backend — in the sharded cluster, when one
+// or more shards shed, timed out, or sat behind an open breaker. The page
+// is still well-formed; the header lets clients and audits distinguish a
+// degraded answer from a complete one.
+const PartialHeader = "X-Serp-Partial"
+
 // Handler is the HTTP front end over an Engine. It reports through the
 // engine's telemetry registry (exposed at /metricsz) and, when a logger is
 // installed, emits one structured access-log line per request.
@@ -292,6 +299,14 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "deadline exceeded, request abandoned", http.StatusServiceUnavailable)
 		return
+	case errors.Is(err, engine.ErrRetrievalUnavailable):
+		// Every retrieval shard is down or breaker-open: there is no page
+		// to degrade to. Answer as a shed — the backend coming back is a
+		// matter of time, so clients should back off and retry.
+		h.inst.errors.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "retrieval backend unavailable", http.StatusServiceUnavailable)
+		return
 	case errors.Is(err, engine.ErrEmptyQuery):
 		h.inst.errors.Inc()
 		http.Error(w, "empty query", http.StatusBadRequest)
@@ -309,6 +324,9 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: session, Path: "/"})
 	w.Header().Set("X-Served-By", resp.Datacenter)
+	if resp.Partial {
+		w.Header().Set(PartialHeader, "web")
+	}
 
 	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json")
