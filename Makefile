@@ -28,10 +28,14 @@ lint:
 # fraction within budget, zero terminal failures) plus the
 # graded-degradation invariants (partial pages during the outage, zero
 # unavailability, router breaker ledger balanced), and writing the full
-# span timeline to soak-trace.json. `make soak-mono` keeps the original
-# single-node rig.
+# span timeline to soak-trace.json. Cluster runs additionally assert the
+# trace-stitching invariants (every sampled request stitches completely,
+# fault attribution matches the schedule) and export the post-campaign
+# probes' stitched critical-path reports and multi-process Chrome trace.
+# `make soak-mono` keeps the original single-node rig.
 soak:
-	go run -race ./cmd/soak -cluster-shards 3 -trace-out soak-trace.json
+	go run -race ./cmd/soak -cluster-shards 3 -trace-out soak-trace.json \
+		-clustertracez-out soak-clustertracez.json -cluster-trace-out soak-cluster-trace.json
 
 soak-mono:
 	go run -race ./cmd/soak -trace-out soak-trace.json
@@ -96,4 +100,5 @@ examples:
 	go run ./examples/ipmethodology
 
 clean:
-	rm -f campaign.jsonl test_output.txt bench_output.txt bench_check_output.txt trace.json soak-trace.json
+	rm -f campaign.jsonl test_output.txt bench_output.txt bench_check_output.txt trace.json \
+		soak-trace.json soak-clustertracez.json soak-cluster-trace.json

@@ -80,11 +80,15 @@ func main() {
 	flag.IntVar(&opts.RingReplicas, "ring-replicas", 0, "consistent-hash virtual nodes per shard (0 selects the default; all cluster nodes must agree)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")
+	wideEvents := flag.Bool("wide-events", false, "emit one wide-event request log line per /search")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, *logFormat)
 	if *verbose {
 		opts.Logger = logger
+	}
+	if *wideEvents {
+		opts.WideLogger = logger
 	}
 
 	var (

@@ -29,6 +29,9 @@ type options struct {
 	// Logger, when set, receives one structured access-log record per
 	// request.
 	Logger *slog.Logger
+	// WideLogger, when set, receives one wide-event "search.wide" record
+	// per /search — the canonical request log on a single structured line.
+	WideLogger *slog.Logger
 	// PprofAddr, when set, serves net/http/pprof on a separate listener.
 	PprofAddr string
 	// Chaos configures deliberate fault injection on /search (the
@@ -95,6 +98,9 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, error) {
 	var hopts []serpserver.HandlerOption
 	if opts.Logger != nil {
 		hopts = append(hopts, serpserver.WithLogger(opts.Logger))
+	}
+	if opts.WideLogger != nil {
+		hopts = append(hopts, serpserver.WithWideEvents(opts.WideLogger))
 	}
 	if opts.TracezCapacity > 0 {
 		hopts = append(hopts,

@@ -22,9 +22,14 @@
 // is still served, marked with the X-Serp-Partial header — and only when
 // no shard answers does /search shed with 503.
 //
-// Endpoints are serpd's: /search, /healthz, /statz, /metricsz, /tracez.
-// The scatter-gather layer adds router_* metrics (per-shard outcomes,
-// partial results, breaker transitions) to /metricsz.
+// Endpoints are serpd's: /search, /healthz, /statz, /metricsz, /tracez,
+// /spanz. The scatter-gather layer adds router_* metrics (per-shard
+// outcomes, partial results, breaker transitions) to /metricsz, and the
+// coordinator additionally serves /clustertracez — cross-process traces
+// stitched from its own span ring plus every shard's /spanz export, with
+// critical-path attribution (straggler shard, fan-out wait, breaker and
+// shed accounting) per trace. -wide-events adds the canonical request
+// log: one structured line per /search carrying the whole request story.
 package main
 
 import (
@@ -60,11 +65,15 @@ func main() {
 	flag.IntVar(&opts.TracezCapacity, "tracez-capacity", telemetry.DefaultSpanCapacity, "span ring capacity behind GET /tracez (0 disables tracing)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("verbose", false, "log every request")
+	wideEvents := flag.Bool("wide-events", false, "emit one wide-event request log line per /search")
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, *logFormat)
 	if *verbose {
 		opts.Logger = logger
+	}
+	if *wideEvents {
+		opts.WideLogger = logger
 	}
 
 	srv, eng, client, err := buildServer(opts)

@@ -34,7 +34,11 @@ type options struct {
 	Quiet       bool
 	CorpusPath  string
 	Logger      *slog.Logger
-	PprofAddr   string
+	// WideLogger, when set, receives one wide-event "search.wide" record
+	// per /search — the canonical request log (stage durations, per-shard
+	// outcomes, partial flag, trace ID) on a single structured line.
+	WideLogger *slog.Logger
+	PprofAddr  string
 	// Admission configures the router's own /search concurrency gate.
 	Admission serpserver.AdmissionConfig
 	// TracezCapacity bounds the span ring behind GET /tracez (<=0
@@ -121,9 +125,12 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, *router.Clie
 	}
 	eng := engine.NewCustom(cfg, simclock.Wall(), eopts...)
 
-	var hopts []serpserver.HandlerOption
+	hopts := []serpserver.HandlerOption{serpserver.WithNode("router")}
 	if opts.Logger != nil {
 		hopts = append(hopts, serpserver.WithLogger(opts.Logger))
+	}
+	if opts.WideLogger != nil {
+		hopts = append(hopts, serpserver.WithWideEvents(opts.WideLogger))
 	}
 	var spans *telemetry.SpanRecorder
 	if opts.TracezCapacity > 0 {
@@ -135,6 +142,12 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, *router.Clie
 	if opts.Admission.Enabled() {
 		root = serpserver.WithAdmission(opts.Admission, handler, root)
 	}
+	// The cluster trace surface sits outside the admission gate: it must
+	// answer while /search sheds, exactly when stitched traces matter most.
+	mux := http.NewServeMux()
+	mux.Handle("GET "+router.ClusterTracezPath, router.NewClusterTracez(spans, client))
+	mux.Handle("/", root)
+	root = mux
 	srv, err := serpserver.Listen(opts.Addr, root)
 	if err != nil {
 		return nil, nil, nil, err

@@ -19,17 +19,27 @@
 //	     [-retries 20] [-breaker-threshold 3] [-breaker-cooldown 45s]
 //	     [-deadline 10m] [-shed-fraction-budget 0.75] [-watchdog 4m]
 //	     [-cluster-shards 3] [-out obs.jsonl] [-trace-out soak-trace.json]
+//	     [-clustertracez-out probes.json] [-cluster-trace-out cluster.json]
 //
 // With -cluster-shards N the soak targets the full sharded topology — a
 // serprouter-style coordinator scatter-gathering over N in-process shard
 // nodes — and additionally injects a deterministic shard-0 outage for the
 // whole error-burst day, asserting graded degradation: pages go partial,
 // never unavailable, the router breaker trips and re-closes, and same-seed
-// runs stay byte-identical.
+// runs stay byte-identical. When spans are recorded (any trace artifact
+// flag), the cluster soak also stitches every node's /spanz export into
+// cross-process traces and asserts the observability invariants: every
+// sampled request yields a complete stitched trace (router plus all
+// contacted shards), critical-path attribution matches the injected fault
+// schedule, and the post-campaign probes' /clustertracez and Chrome bodies
+// reproduce byte-identically across same-seed runs.
 //
 // The campaign's observations can be written with -out, and -trace-out
 // dumps the full span timeline (admission sheds included) in Chrome
-// trace-event format. Exit status is non-zero when any invariant fails.
+// trace-event format. In cluster mode, -clustertracez-out writes the
+// probes' stitched critical-path reports and -cluster-trace-out the
+// stitched multi-process Chrome trace (one lane per node). Exit status is
+// non-zero when any invariant fails.
 //
 // Same-seed soak runs produce byte-identical observation output; the
 // package's test runs the harness twice and enforces it.
@@ -65,6 +75,8 @@ func main() {
 	flag.DurationVar(&opts.Watchdog, "watchdog", opts.Watchdog, "wall-clock deadline after which the run counts as deadlocked (0 = off)")
 	out := flag.String("out", "", "write the campaign observations as JSONL")
 	traceOut := flag.String("trace-out", "", "write the soak timeline as Chrome trace-event JSON")
+	clusterTracezOut := flag.String("clustertracez-out", "", "write the post-campaign probes' stitched /clustertracez JSON (cluster mode)")
+	clusterTraceOut := flag.String("cluster-trace-out", "", "write the probes' stitched multi-process Chrome trace (cluster mode)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	verbose := flag.Bool("v", false, "debug logging: one record per fetch")
 	flag.Parse()
@@ -75,7 +87,7 @@ func main() {
 	}
 	logger := slog.New(telemetry.NewLogHandler(os.Stderr, *logFormat, level))
 	opts.Logger = logger
-	if *traceOut != "" {
+	if *traceOut != "" || *clusterTracezOut != "" || *clusterTraceOut != "" {
 		opts.TraceCapacity = 1 << 17
 	}
 
@@ -132,4 +144,20 @@ func main() {
 		}
 		logger.Info("soak trace written", "path", *traceOut, "spans", sum.Spans.Len())
 	}
+	writeArtifact := func(path, what string, body []byte) {
+		if path == "" || sum == nil {
+			return
+		}
+		if len(body) == 0 {
+			logger.Error("write "+what, "err", "no cluster trace data (need -cluster-shards > 0)")
+			os.Exit(1)
+		}
+		if werr := os.WriteFile(path, body, 0o644); werr != nil {
+			logger.Error("write "+what, "err", werr)
+			os.Exit(1)
+		}
+		logger.Info(what+" written", "path", path, "bytes", len(body))
+	}
+	writeArtifact(*clusterTracezOut, "clustertracez export", sum.ClusterTracezJSON)
+	writeArtifact(*clusterTraceOut, "stitched cluster trace", sum.ClusterChrome)
 }

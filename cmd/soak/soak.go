@@ -201,6 +201,18 @@ type soakSummary struct {
 	RouterBreakerOpen   uint64
 	RouterBreakerClose  uint64
 	RouterBreakerReopen uint64
+
+	// Cluster trace-stitching artifacts (cluster mode with TraceCapacity
+	// only): the full stitched cross-process trace set, per-lane collection
+	// errors, the trace IDs of every campaign observation and of the
+	// post-campaign probes, and the probes' /clustertracez JSON and Chrome
+	// exports — the bodies same-seed runs must reproduce byte-identically.
+	ClusterTraces     []telemetry.StitchedTrace
+	ClusterLaneErrors []string
+	ObsTraceIDs       []string
+	ProbeTraceIDs     []string
+	ClusterTracezJSON []byte
+	ClusterChrome     []byte
 }
 
 // runSoak executes the chaos soak: a virtual-time campaign against an
@@ -249,6 +261,7 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 		ecfg.Seed = opts.Seed
 	}
 	var handler *serpserver.Handler
+	var ct *router.ClusterTracez
 	if opts.ClusterShards > 0 {
 		// Cluster topology: router + N shard nodes. Shard admission is
 		// deliberately generous — the gate is in the serving chain (its
@@ -275,10 +288,17 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 			},
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
-			Registry:         reg,
-			RouterSpans:      spans,
+			// Shards record spans into rings of the same capacity as the
+			// router's, so the post-campaign stitch can join every fan-out
+			// leg with its shard-side server span.
+			SpanCapacity: opts.TraceCapacity,
+			Registry:     reg,
+			RouterSpans:  spans,
 		})
 		handler = cl.Handler
+		if spans != nil {
+			ct = router.NewClusterTracez(spans, cl.Client)
+		}
 	} else {
 		eng := engine.NewCustom(ecfg, clk, engine.WithCorpus(corpus), engine.WithTelemetry(reg))
 		var hopts []serpserver.HandlerOption
@@ -461,6 +481,18 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 		sum.ParityViolation = fmt.Sprintf("streaming scorecard diverged from batch: %v vs %v", live, batch)
 	}
 
+	// Cluster trace stitching: probe the quiesced cluster, then drain and
+	// stitch every node's span ring for the completeness, attribution, and
+	// byte-identity invariants.
+	if ct != nil {
+		for _, o := range obs {
+			sum.ObsTraceIDs = append(sum.ObsTraceIDs, o.TraceID)
+		}
+		if err := collectClusterTraces(handler, ct, sum); err != nil {
+			return nil, err
+		}
+	}
+
 	return sum, checkInvariants(opts, sum)
 }
 
@@ -527,6 +559,9 @@ func checkInvariants(opts soakOptions, sum *soakSummary) error {
 		}
 		if sum.RouterBreakerOpen != sum.RouterBreakerClose {
 			bad = append(bad, fmt.Sprintf("router breaker ledger unbalanced: %d opens vs %d closes (%d reopens)", sum.RouterBreakerOpen, sum.RouterBreakerClose, sum.RouterBreakerReopen))
+		}
+		if opts.TraceCapacity > 0 {
+			bad = append(bad, clusterTraceViolations(opts, sum)...)
 		}
 	}
 	if len(bad) > 0 {

@@ -54,6 +54,11 @@ func TestSoakInvariantsAndDeterminism(t *testing.T) {
 // during the outage, zero unavailability, balanced router breaker ledger)
 // and still write byte-identical observations — merge determinism under
 // concurrency, degradation, overload, and -race all at once.
+//
+// With TraceCapacity set the runs additionally enforce the cluster-tracing
+// invariants: every sampled request stitches into a complete cross-process
+// trace, fault attribution matches the injected schedule, and the probes'
+// /clustertracez and Chrome exports are byte-identical across runs.
 func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster chaos soak takes a few wall-clock seconds")
@@ -61,6 +66,7 @@ func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
 	opts := defaultSoakOptions()
 	opts.Terms = 2
 	opts.ClusterShards = 3
+	opts.TraceCapacity = 1 << 17
 
 	first, err := runSoak(opts)
 	if err != nil {
@@ -68,6 +74,9 @@ func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
 	}
 	if first.RouterRetrievals == 0 {
 		t.Fatal("cluster soak issued no scatter-gather rounds")
+	}
+	if len(first.ClusterTraces) == 0 || len(first.ObsTraceIDs) == 0 {
+		t.Fatal("cluster soak stitched no traces")
 	}
 	second, err := runSoak(opts)
 	if err != nil {
@@ -88,5 +97,16 @@ func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
 		t.Fatalf("cluster degradation tallies diverged across same-seed runs: partial %d vs %d, unavailable %d vs %d",
 			first.RouterPartial, second.RouterPartial,
 			first.RouterUnavailable, second.RouterUnavailable)
+	}
+	// The stitched-trace exports for the quiesced probes must reproduce
+	// byte for byte: span IDs, ordering, and timeline are all functions of
+	// the seed and the campaign clock, never of scheduling.
+	if !bytes.Equal(first.ClusterTracezJSON, second.ClusterTracezJSON) {
+		t.Fatalf("same-seed /clustertracez probe bodies diverged:\n%s\nvs\n%s",
+			first.ClusterTracezJSON, second.ClusterTracezJSON)
+	}
+	if !bytes.Equal(first.ClusterChrome, second.ClusterChrome) {
+		t.Fatalf("same-seed Chrome trace exports diverged: %d vs %d bytes",
+			len(first.ClusterChrome), len(second.ClusterChrome))
 	}
 }

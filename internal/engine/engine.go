@@ -75,6 +75,11 @@ type Request struct {
 	// work between stages once it passes, returning ErrDeadlineExceeded.
 	// The serpserver handler fills it from X-Deadline-Ms.
 	Deadline time.Time
+	// Wide, when non-nil, is the request's wide-event record: Search adds
+	// one entry per ranking stage (hardware duration, same clock domain as
+	// the stage histograms), and a distributed retriever appends its
+	// per-shard legs. A nil Wide costs only nil checks.
+	Wide *telemetry.WideEvent
 }
 
 // Response is a served page plus the serving metadata the study could not
@@ -389,7 +394,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	day := e.Day()
 
 	class, topic := e.classify(req.Query)
-	e.inst.stageParse.ObserveSince(parseStart)
+	parseDur := e.wall.Now().Sub(parseStart)
+	e.inst.stageParse.Observe(parseDur.Seconds())
+	req.Wide.Stage("parse", parseDur)
 	parseSpan.SetAttr("datacenter", dc)
 	parseSpan.SetAttr("location_source", source)
 	parseSpan.SetAttr("region", qRegion)
@@ -431,7 +438,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	bucketNo := rrng.Intn(e.cfg.Buckets)
 	bp := e.bucket(bucketNo, baseMapsProb)
 	authMult, regionMult := e.dcSkew(dc)
-	e.inst.stageNoise.ObserveSince(noiseStart)
+	noiseDur := e.wall.Now().Sub(noiseStart)
+	e.inst.stageNoise.Observe(noiseDur.Seconds())
+	req.Wide.Stage("noise", noiseDur)
 	if noiseSpan != nil { // attr formatting allocates; skip it untraced
 		noiseSpan.SetAttr("bucket", fmt.Sprint(bucketNo))
 	}
@@ -440,8 +449,10 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	histSpan := req.Span.StartChild("engine.history")
 	histStart := e.wall.Now()
 	recent := e.history.recent(req.SessionID, now)
-	e.inst.historyDur.ObserveSince(histStart)
-	e.inst.stageHistory.ObserveSince(histStart)
+	histDur := e.wall.Now().Sub(histStart)
+	e.inst.historyDur.Observe(histDur.Seconds())
+	e.inst.stageHistory.Observe(histDur.Seconds())
+	req.Wide.Stage("history", histDur)
 	histSpan.End()
 	if e.pastDeadline(req.Deadline) {
 		return nil, ErrDeadlineExceeded
@@ -459,8 +470,11 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		TraceID:  req.TraceID,
 		Deadline: req.Deadline,
 		Span:     retrieveSpan,
+		Wide:     req.Wide,
 	})
-	e.inst.stageRetrieve.ObserveSince(retrieveStart)
+	retrieveDur := e.wall.Now().Sub(retrieveStart)
+	e.inst.stageRetrieve.Observe(retrieveDur.Seconds())
+	req.Wide.Stage("retrieve", retrieveDur)
 	if retrieveSpan != nil {
 		retrieveSpan.SetAttr("hits", fmt.Sprint(len(ret.Hits)))
 		if ret.Partial {
@@ -585,7 +599,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 		}
 	}
 
-	e.inst.stageRerank.ObserveSince(rerankStart)
+	rerankDur := e.wall.Now().Sub(rerankStart)
+	e.inst.stageRerank.Observe(rerankDur.Seconds())
+	req.Wide.Stage("rerank", rerankDur)
 	if rerankSpan != nil {
 		rerankSpan.SetAttr("candidates", fmt.Sprint(len(cands)))
 	}
@@ -651,7 +667,9 @@ func (e *Engine) Search(req Request) (*Response, error) {
 	if newsCard != nil {
 		page.Cards = append(page.Cards, *newsCard)
 	}
-	e.inst.stageAssemble.ObserveSince(assembleStart)
+	assembleDur := e.wall.Now().Sub(assembleStart)
+	e.inst.stageAssemble.Observe(assembleDur.Seconds())
+	req.Wide.Stage("assemble", assembleDur)
 	if assembleSpan != nil {
 		assembleSpan.SetAttr("cards", fmt.Sprint(len(page.Cards)))
 	}

@@ -32,6 +32,10 @@ type RetrieveRequest struct {
 	// Span, when non-nil, is the engine's retrieve-stage span; backends
 	// may hang per-shard child spans off it. A nil Span costs nothing.
 	Span *telemetry.Span
+	// Wide, when non-nil, is the request's wide-event record; distributed
+	// backends append one leg per shard contacted (outcome + duration). A
+	// nil Wide costs nothing.
+	Wide *telemetry.WideEvent
 }
 
 // RetrieveResult is a retrieval backend's answer.

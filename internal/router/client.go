@@ -133,6 +133,7 @@ func (c *Client) BreakerStates() []string {
 type shardOutcome struct {
 	outcome string
 	hits    []index.Hit
+	dur     time.Duration // client-observed leg duration on cfg.Clock
 }
 
 // Retrieve implements engine.Retriever: concurrent fan-out, deterministic
@@ -157,7 +158,9 @@ func (c *Client) Retrieve(req engine.RetrieveRequest) (engine.RetrieveResult, er
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			legStart := c.cfg.Clock.Now()
 			outcomes[i] = c.callShard(i, req, spans[i])
+			outcomes[i].dur = c.cfg.Clock.Now().Sub(legStart)
 		}(i)
 	}
 	wg.Wait()
@@ -170,8 +173,11 @@ func (c *Client) Retrieve(req engine.RetrieveRequest) (engine.RetrieveResult, er
 
 	var merged []index.Hit
 	ok := 0
-	for _, o := range outcomes {
+	for i, o := range outcomes {
 		c.perShard.With(o.outcome).Inc()
+		// Wide-event legs are recorded here, after the barrier, so the
+		// event never sees concurrent writers.
+		req.Wide.Shard(i, o.outcome, o.dur)
 		if o.outcome == outcomeOK {
 			ok++
 			merged = append(merged, o.hits...)
@@ -207,6 +213,12 @@ func (c *Client) callShard(i int, req engine.RetrieveRequest, sp *telemetry.Span
 	}
 	if req.TraceID != "" {
 		hreq.Header.Set(telemetry.TraceHeader, req.TraceID)
+	}
+	if id := sp.ID(); id != "" {
+		// Name the exact fan-out leg as the server span's parent, so the
+		// stitcher joins each attempt's legs unambiguously even when a
+		// trace fans out more than once (retries).
+		hreq.Header.Set(telemetry.ParentHeader, id)
 	}
 	if !req.Deadline.IsZero() {
 		hreq.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(req.Deadline.UnixMilli(), 10))
@@ -259,6 +271,26 @@ func (c *Client) fail(br *breaker, sp *telemetry.Span, detail string) shardOutco
 	sp.SetAttr("outcome", outcomeError)
 	sp.SetAttr("error", detail)
 	return shardOutcome{outcome: outcomeError}
+}
+
+// CollectSpanz drains every shard's /spanz export over the client's own
+// transport, returning one NodeSpans per shard, in shard order, plus
+// per-shard fetch errors (nil entries on success). A shard that cannot be
+// reached still yields a named, empty lane so stitched output keeps its
+// process order.
+func (c *Client) CollectSpanz() ([]telemetry.NodeSpans, []error) {
+	httpc := &http.Client{Transport: c.cfg.Transport, Timeout: c.cfg.Timeout}
+	nodes := make([]telemetry.NodeSpans, len(c.cfg.Shards))
+	errs := make([]error, len(c.cfg.Shards))
+	for i, base := range c.cfg.Shards {
+		ns, err := telemetry.FetchSpanz(httpc, base)
+		if ns.Node == "" {
+			ns.Node = "shard-" + strconv.Itoa(i)
+		}
+		nodes[i] = ns
+		errs[i] = err
+	}
+	return nodes, errs
 }
 
 // parseDeadline reads the propagated absolute deadline from X-Deadline-Ms

@@ -1,0 +1,304 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"geoserp/internal/simclock"
+	"geoserp/internal/telemetry"
+)
+
+// span hand-builds one stitched span for analyzer tests.
+func span(node, id, parent, name string, startMs, endMs int, attrs ...telemetry.Attr) telemetry.StitchedSpan {
+	return telemetry.StitchedSpan{
+		Node: node,
+		SpanRecord: telemetry.SpanRecord{
+			TraceID:  "t-1",
+			SpanID:   id,
+			ParentID: parent,
+			Name:     name,
+			Start:    epoch.Add(time.Duration(startMs) * time.Millisecond),
+			End:      epoch.Add(time.Duration(endMs) * time.Millisecond),
+			Attrs:    attrs,
+		},
+	}
+}
+
+func attr(k, v string) telemetry.Attr { return telemetry.Attr{Key: k, Val: v} }
+
+// TestAnalyzeAttribution pins the critical-path report over a hand-built
+// stitched trace: straggler selection skips breaker-open legs, ok legs must
+// stitch to their server span for completeness, and outcome counting spans
+// every leg.
+func TestAnalyzeAttribution(t *testing.T) {
+	tr := telemetry.StitchedTrace{TraceID: "t-1", Spans: []telemetry.StitchedSpan{
+		span("router", "req-1", "", "serpd.request", 0, 100),
+		span("router", "ret-1", "req-1", "engine.retrieve", 10, 80),
+		// Legs deliberately out of shard order; the report sorts them.
+		span("router", "leg-2", "ret-1", "router.shard", 10, 60,
+			attr("shard", "2"), attr("outcome", "error"), attr("error", "status: 500")),
+		span("router", "leg-0", "ret-1", "router.shard", 10, 40,
+			attr("shard", "0"), attr("outcome", "ok"), attr("hits", "7")),
+		span("router", "leg-1", "ret-1", "router.shard", 10, 15,
+			attr("shard", "1"), attr("outcome", "shed")),
+		// Breaker-open leg with the longest client duration: must never be
+		// named the straggler (it was skipped, not waited on).
+		span("router", "leg-3", "ret-1", "router.shard", 10, 80,
+			attr("shard", "3"), attr("outcome", "breaker_open")),
+		span("shard-0", "srv-0", "leg-0", "shard.search", 12, 38,
+			attr("shard", "0")),
+	}}
+
+	rep := Analyze(tr)
+	if rep.Requests != 1 || rep.Sheds != 0 {
+		t.Fatalf("requests=%d sheds=%d, want 1/0", rep.Requests, rep.Sheds)
+	}
+	if len(rep.Retrievals) != 1 {
+		t.Fatalf("retrievals = %d, want 1", len(rep.Retrievals))
+	}
+	ret := rep.Retrievals[0]
+	if ret.FanoutDur != 70*time.Millisecond {
+		t.Fatalf("fanout dur = %v", ret.FanoutDur)
+	}
+	if len(ret.Legs) != 4 {
+		t.Fatalf("legs = %d, want 4", len(ret.Legs))
+	}
+	for i, l := range ret.Legs {
+		if l.Shard != i {
+			t.Fatalf("legs not sorted by shard: %+v", ret.Legs)
+		}
+	}
+	if !ret.Legs[0].Stitched || ret.Legs[0].Node != "shard-0" || ret.Legs[0].ServerDur != 26*time.Millisecond {
+		t.Fatalf("ok leg not stitched to its server span: %+v", ret.Legs[0])
+	}
+	if ret.Legs[2].Error != "status: 500" {
+		t.Fatalf("error leg detail = %q", ret.Legs[2].Error)
+	}
+	if ret.Straggler != 2 || ret.StragglerOutcome != "error" || ret.StragglerDur != 50*time.Millisecond {
+		t.Fatalf("straggler = shard %d (%s, %v), want shard 2 (error, 50ms)",
+			ret.Straggler, ret.StragglerOutcome, ret.StragglerDur)
+	}
+	if !ret.Partial {
+		t.Fatal("retrieval with non-ok legs not marked partial")
+	}
+	if !ret.Complete || !rep.Complete {
+		t.Fatal("every ok leg stitched, but report not complete")
+	}
+	want := map[string]int{"ok": 1, "shed": 1, "error": 1, "breaker_open": 1}
+	for k, v := range want {
+		if rep.Outcomes[k] != v {
+			t.Fatalf("outcomes = %v, want %v", rep.Outcomes, want)
+		}
+	}
+}
+
+// TestAnalyzeIncomplete: an ok leg whose server span never surfaced (lost
+// export) makes the retrieval — and the report — incomplete, and a trace
+// with only shed spans reports zero requests and incomplete.
+func TestAnalyzeIncomplete(t *testing.T) {
+	tr := telemetry.StitchedTrace{TraceID: "t-1", Spans: []telemetry.StitchedSpan{
+		span("router", "req-1", "", "serpd.request", 0, 100),
+		span("router", "ret-1", "req-1", "engine.retrieve", 10, 80),
+		span("router", "leg-0", "ret-1", "router.shard", 10, 40,
+			attr("shard", "0"), attr("outcome", "ok")),
+	}}
+	rep := Analyze(tr)
+	if rep.Retrievals[0].Complete || rep.Complete {
+		t.Fatal("unstitched ok leg reported complete")
+	}
+	if rep.Retrievals[0].Straggler != 0 {
+		t.Fatalf("straggler = %d, want 0", rep.Retrievals[0].Straggler)
+	}
+
+	shedOnly := telemetry.StitchedTrace{TraceID: "t-2", Spans: []telemetry.StitchedSpan{
+		span("router", "shed-1", "", "serpd.shed", 0, 1),
+	}}
+	rep = Analyze(shedOnly)
+	if rep.Requests != 0 || rep.Sheds != 1 || rep.Complete {
+		t.Fatalf("shed-only trace: requests=%d sheds=%d complete=%v", rep.Requests, rep.Sheds, rep.Complete)
+	}
+}
+
+// TestClusterTracezEndToEnd drives a live two-shard cluster and exercises
+// the whole surface: collection over the in-memory transport, stitching,
+// per-trace filtering with byte-identical repeat bodies, the Chrome export,
+// the HTML view, and parameter validation.
+func TestClusterTracezEndToEnd(t *testing.T) {
+	cl := NewLocalCluster(ClusterConfig{
+		Shards:       2,
+		Engine:       testConfig(7),
+		Clock:        simclock.NewManual(epoch),
+		SpanCapacity: 256,
+	})
+	for i, q := range []string{"pizza", "coffee shop"} {
+		code, _, body := fetch(t, cl.Handler, q, "ct-trace-"+strconv.Itoa(i), "10.9.9.9")
+		if code != http.StatusOK {
+			t.Fatalf("query %q: status %d: %s", q, code, body)
+		}
+	}
+	ct := NewClusterTracez(cl.Spans, cl.Client)
+
+	get := func(target string) (int, http.Header, string) {
+		r := httptest.NewRequest(http.MethodGet, target, nil)
+		w := httptest.NewRecorder()
+		ct.ServeHTTP(w, r)
+		return w.Code, w.Header(), w.Body.String()
+	}
+
+	// Full JSON body: all three lanes collected, both traces stitched and
+	// complete (router + every contacted shard).
+	code, hdr, body := get("/clustertracez")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("full body: code=%d type=%q", code, hdr.Get("Content-Type"))
+	}
+	var full struct {
+		Version int `json:"version"`
+		Nodes   []struct {
+			Node  string `json:"node"`
+			Spans int    `json:"spans"`
+			Error string `json:"error"`
+		} `json:"nodes"`
+		Traces []struct {
+			Report TraceReport `json:"report"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if full.Version != telemetry.SpanzVersion {
+		t.Fatalf("version = %d", full.Version)
+	}
+	if len(full.Nodes) != 3 || full.Nodes[0].Node != "router" ||
+		full.Nodes[1].Node != "shard-0" || full.Nodes[2].Node != "shard-1" {
+		t.Fatalf("nodes = %+v", full.Nodes)
+	}
+	for _, n := range full.Nodes {
+		if n.Error != "" || n.Spans == 0 {
+			t.Fatalf("lane %s: %d spans, error %q", n.Node, n.Spans, n.Error)
+		}
+	}
+	if len(full.Traces) != 2 {
+		t.Fatalf("traces = %d, want 2", len(full.Traces))
+	}
+	// Most recent first.
+	if full.Traces[0].Report.TraceID != "ct-trace-1" || full.Traces[1].Report.TraceID != "ct-trace-0" {
+		t.Fatalf("trace order: %s, %s", full.Traces[0].Report.TraceID, full.Traces[1].Report.TraceID)
+	}
+	for _, tr := range full.Traces {
+		if !tr.Report.Complete {
+			t.Fatalf("trace %s not complete: %+v", tr.Report.TraceID, tr.Report)
+		}
+		if tr.Report.Outcomes["ok"] != 2 {
+			t.Fatalf("trace %s outcomes = %v", tr.Report.TraceID, tr.Report.Outcomes)
+		}
+	}
+
+	// ?limit caps the view; bad limits are rejected.
+	code, _, body = get("/clustertracez?limit=1")
+	if code != http.StatusOK || strings.Contains(body, "ct-trace-0") {
+		t.Fatalf("limit=1 still carries the older trace: %d\n%s", code, body)
+	}
+	if code, _, _ := get("/clustertracez?limit=x"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit: code=%d, want 400", code)
+	}
+
+	// Filtered body: only the wanted trace, no lane totals, and — with no
+	// traffic in between — byte-identical on repeat collection.
+	code, _, first := get("/clustertracez?trace=ct-trace-0")
+	if code != http.StatusOK {
+		t.Fatalf("filtered: code=%d", code)
+	}
+	if strings.Contains(first, `"nodes"`) || strings.Contains(first, "ct-trace-1") {
+		t.Fatalf("filtered body leaks ring state or other traces:\n%s", first)
+	}
+	_, _, second := get("/clustertracez?trace=ct-trace-0")
+	if first != second {
+		t.Fatalf("repeat filtered collection not byte-identical:\n%s\n----\n%s", first, second)
+	}
+	if _, _, missing := get("/clustertracez?trace=nope"); !strings.Contains(missing, `"traces": []`) {
+		t.Fatalf("unknown trace body: %s", missing)
+	}
+
+	// Chrome export: one named process lane per node.
+	code, hdr, chrome := get("/clustertracez?trace=ct-trace-0&format=chrome")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("chrome: code=%d type=%q", code, hdr.Get("Content-Type"))
+	}
+	for _, lane := range []string{`"router"`, `"shard-0"`, `"shard-1"`} {
+		if !strings.Contains(chrome, `"process_name","args":{"name":`+lane+`}`) {
+			t.Fatalf("chrome export missing process lane %s:\n%s", lane, chrome)
+		}
+	}
+
+	// HTML view, both via ?format and via Accept sniffing.
+	code, hdr, page := get("/clustertracez?format=html")
+	if code != http.StatusOK || !strings.Contains(hdr.Get("Content-Type"), "text/html") ||
+		!strings.Contains(page, "straggler shard") {
+		t.Fatalf("html: code=%d type=%q\n%s", code, hdr.Get("Content-Type"), page)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/clustertracez", nil)
+	r.Header.Set("Accept", "text/html,application/xhtml+xml")
+	w := httptest.NewRecorder()
+	ct.ServeHTTP(w, r)
+	if !strings.Contains(w.Header().Get("Content-Type"), "text/html") {
+		t.Fatal("Accept: text/html not sniffed")
+	}
+}
+
+// TestClusterTracezDegraded: with a shard erroring, the report attributes
+// the fault (error outcome on that shard's leg) and the page goes partial —
+// and traces remain "complete" in the stitching sense, since the failed leg
+// never owed a server span.
+func TestClusterTracezDegraded(t *testing.T) {
+	cl := NewLocalCluster(ClusterConfig{
+		Shards:       2,
+		Engine:       testConfig(7),
+		Clock:        simclock.NewManual(epoch),
+		SpanCapacity: 256,
+		ShardMiddleware: func(shard int, next http.Handler) http.Handler {
+			if shard != 1 {
+				return next
+			}
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if r.URL.Path == SearchPath {
+					http.Error(w, "injected fault", http.StatusInternalServerError)
+					return
+				}
+				next.ServeHTTP(w, r)
+			})
+		},
+	})
+	code, partial, _ := fetch(t, cl.Handler, "pizza", "ct-deg", "10.9.9.9")
+	if code != http.StatusOK || partial != "web" {
+		t.Fatalf("degraded fetch: code=%d partial=%q", code, partial)
+	}
+
+	ct := NewClusterTracez(cl.Spans, cl.Client)
+	r := httptest.NewRequest(http.MethodGet, "/clustertracez?trace=ct-deg", nil)
+	w := httptest.NewRecorder()
+	ct.ServeHTTP(w, r)
+	var got struct {
+		Traces []struct {
+			Report TraceReport `json:"report"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil || len(got.Traces) != 1 {
+		t.Fatalf("decode: %v\n%s", err, w.Body.String())
+	}
+	rep := got.Traces[0].Report
+	if !rep.Complete {
+		t.Fatalf("degraded trace incomplete: %+v", rep)
+	}
+	ret := rep.Retrievals[0]
+	if !ret.Partial || ret.Legs[1].Outcome != "error" || ret.Legs[1].Stitched {
+		t.Fatalf("fault not attributed to shard 1: %+v", ret)
+	}
+	if ret.Legs[0].Outcome != "ok" || !ret.Legs[0].Stitched {
+		t.Fatalf("healthy leg mis-reported: %+v", ret.Legs[0])
+	}
+}

@@ -67,8 +67,9 @@ func WithShardTelemetry(reg *telemetry.Registry) ShardOption {
 }
 
 // WithShardSpans installs a span recorder: every retrieval gets a
-// "shard.search" span keyed off the propagated X-Trace-Id, and the handler
-// mounts GET /tracez over the recorder.
+// "shard.search" span keyed off the propagated X-Trace-Id (a remote child
+// of the router's fan-out leg when X-Parent-Span is present), and the
+// handler mounts GET /tracez and the GET /spanz export over the recorder.
 func WithShardSpans(rec *telemetry.SpanRecorder) ShardOption {
 	return func(h *ShardHandler) { h.spans = rec }
 }
@@ -101,6 +102,8 @@ func NewShardHandler(id int, idx *index.Index, opts ...ShardOption) *ShardHandle
 	h.mux.Handle("GET /metricsz", h.tel.MetricsHandler())
 	if h.spans != nil {
 		h.mux.Handle("GET /tracez", telemetry.TracezHandler(h.spans))
+		h.mux.Handle("GET "+telemetry.SpanzPath,
+			telemetry.SpanzHandler(h.spans, "shard-"+strconv.Itoa(h.id)))
 	}
 	return h
 }
@@ -131,7 +134,11 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 				attempt = n
 			}
 		}
-		sp = h.spans.StartRootSeq(r.Header.Get(telemetry.TraceHeader), "shard.search", attempt)
+		// The router names its fan-out leg in X-Parent-Span, so this span
+		// joins the caller's trace as a remote child — the stitcher needs
+		// no heuristics. Callers without the header still get a root.
+		sp = h.spans.StartRemoteChild(r.Header.Get(telemetry.TraceHeader), "shard.search",
+			r.Header.Get(telemetry.ParentHeader), attempt)
 		sp.SetAttr("shard", strconv.Itoa(h.id))
 		defer sp.End()
 	}

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"geoserp/internal/engine"
@@ -54,11 +55,24 @@ type Handler struct {
 	tel    *telemetry.Registry
 	logger *slog.Logger
 	spans  *telemetry.SpanRecorder
+	node   string
+	// wideLog, when set, gets ONE canonical wide-event line per /search:
+	// per-stage durations, per-shard outcomes, partial flag, status, trace
+	// ID — the flat record the continuous-audit pipeline greps.
+	wideLog  *slog.Logger
+	widePool sync.Pool // of *wideSlot
 	// wall times request handling for the duration histogram and access
 	// log: those measure real hardware latency regardless of the virtual
 	// campaign clock driving the engine.
 	wall simclock.Clock
 	inst httpInstruments
+}
+
+// wideSlot is a pooled wide event plus its formatting buffer, so steady-
+// state wide logging allocates only inside slog itself.
+type wideSlot struct {
+	ev  telemetry.WideEvent
+	buf []byte
 }
 
 // httpInstruments are the handler's registered metrics.
@@ -89,15 +103,30 @@ func WithSpans(rec *telemetry.SpanRecorder) HandlerOption {
 	return func(h *Handler) { h.spans = rec }
 }
 
+// WithNode names this process in the /spanz span export (default "serpd").
+// The coordinator of a cluster passes "router" so stitched traces label
+// lanes by role.
+func WithNode(name string) HandlerOption {
+	return func(h *Handler) { h.node = name }
+}
+
+// WithWideEvents installs the wide-event canonical request log: one
+// structured "search.wide" line per /search on l, carrying the whole
+// request story (stage durations, shard outcomes, partial flag, trace ID).
+func WithWideEvents(l *slog.Logger) HandlerOption {
+	return func(h *Handler) { h.wideLog = l }
+}
+
 // NewHandler builds the front end. Its metrics live on the engine's
 // telemetry registry, so constructing the engine with
 // engine.WithTelemetry(reg) makes /metricsz expose both layers from one
 // registry.
 func NewHandler(eng *engine.Engine, opts ...HandlerOption) *Handler {
-	h := &Handler{eng: eng, mux: http.NewServeMux(), tel: eng.Telemetry(), wall: simclock.Wall()}
+	h := &Handler{eng: eng, mux: http.NewServeMux(), tel: eng.Telemetry(), wall: simclock.Wall(), node: "serpd"}
 	for _, o := range opts {
 		o(h)
 	}
+	h.widePool.New = func() any { return &wideSlot{buf: make([]byte, 0, 512)} }
 	h.inst = httpInstruments{
 		requests: h.tel.Counter("serpd_http_requests_total", "HTTP requests received."),
 		errors:   h.tel.Counter("serpd_http_errors_total", "Requests answered with an error status."),
@@ -112,6 +141,7 @@ func NewHandler(eng *engine.Engine, opts ...HandlerOption) *Handler {
 	h.mux.Handle("GET /metricsz", h.tel.MetricsHandler())
 	if h.spans != nil {
 		h.mux.Handle("GET /tracez", telemetry.TracezHandler(h.spans))
+		h.mux.Handle("GET "+telemetry.SpanzPath, telemetry.SpanzHandler(h.spans, h.node))
 	}
 	return h
 }
@@ -162,6 +192,12 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		r = r.WithContext(telemetry.WithTraceID(r.Context(), trace))
 	}
 	rec := &statusRecorder{ResponseWriter: w}
+	var slot *wideSlot
+	if h.wideLog != nil && r.URL.Path == "/search" {
+		slot = h.widePool.Get().(*wideSlot)
+		slot.ev.Reset()
+		r = r.WithContext(telemetry.WithWideEvent(r.Context(), &slot.ev))
+	}
 	var span *telemetry.Span
 	if h.spans != nil && r.URL.Path == "/search" {
 		// One server span per fetch attempt: the attempt header folds into
@@ -194,6 +230,17 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			span.SetAttr("chaos", kind)
 		}
 		span.End()
+	}
+	if slot != nil {
+		ev := &slot.ev
+		ev.TraceID = trace
+		ev.Status = rec.Status()
+		ev.Dur = dur
+		ev.Partial = rec.Header().Get(PartialHeader)
+		slot.buf = ev.AppendText(slot.buf[:0])
+		h.wideLog.LogAttrs(r.Context(), slog.LevelInfo, "search.wide",
+			slog.String("record", string(slot.buf)))
+		h.widePool.Put(slot)
 	}
 	if h.logger != nil {
 		h.logger.Info("request",
@@ -272,6 +319,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		session = fmt.Sprintf("sid-%d", h.inst.sessions.Inc())
 	}
 
+	wide := telemetry.WideEventFrom(r.Context())
 	req := engine.Request{
 		Query:      q,
 		GPS:        gps,
@@ -282,11 +330,13 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		TraceID:    telemetry.TraceID(r.Context()),
 		Span:       telemetry.SpanFrom(r.Context()),
 		Deadline:   parseDeadline(r),
+		Wide:       wide,
 	}
 	resp, err := h.eng.Search(req)
 	switch {
 	case errors.Is(err, engine.ErrRateLimited):
 		h.inst.errors.Inc()
+		wide.SetErr("ratelimited")
 		w.Header().Set("Retry-After", "60")
 		http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 		return
@@ -296,6 +346,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// client backs off and retries, the deadline verdict is its own to
 		// make.
 		h.inst.errors.Inc()
+		wide.SetErr("deadline")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "deadline exceeded, request abandoned", http.StatusServiceUnavailable)
 		return
@@ -304,15 +355,18 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// to degrade to. Answer as a shed — the backend coming back is a
 		// matter of time, so clients should back off and retry.
 		h.inst.errors.Inc()
+		wide.SetErr("retrieval_unavailable")
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "retrieval backend unavailable", http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, engine.ErrEmptyQuery):
 		h.inst.errors.Inc()
+		wide.SetErr("empty_query")
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	case err != nil:
 		h.inst.errors.Inc()
+		wide.SetErr("internal")
 		http.Error(w, "internal error", http.StatusInternalServerError)
 		return
 	}

@@ -9,65 +9,94 @@ import (
 	"time"
 )
 
-// WriteChromeTrace renders the recorder's spans in Chrome trace-event
-// format (the {"traceEvents": [...]} JSON that Perfetto and
-// chrome://tracing load): one "X" complete event per span, grouped onto
-// one virtual thread per trace so a trace's request→stage spans nest
-// visually, plus "M" thread_name metadata rows labelling each trace.
-//
-// Output is byte-deterministic for a deterministic span set: spans are
-// sorted by (start, trace ID, depth, span ID) — never by ring arrival
-// order, which scheduling perturbs — timestamps are microseconds relative
-// to the earliest span start, and thread IDs are assigned by first
-// appearance in the sorted order. The JSON is hand-assembled so field
-// order is fixed.
+// ProcessSpans is one process lane of a multi-process Chrome trace: a
+// node's name (shown on the lane header instead of a bare pid) and the
+// spans recorded there. The stitched cluster export renders the router and
+// every shard as separate processes of one trace file.
+type ProcessSpans struct {
+	Name  string
+	Spans []SpanRecord
+}
+
+// WriteChromeTrace renders one process's spans in Chrome trace-event
+// format — shorthand for WriteChromeTraceProcs with a single "geoserp"
+// process.
 func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
-	sorted := make([]SpanRecord, len(spans))
-	copy(sorted, spans)
+	return WriteChromeTraceProcs(w, []ProcessSpans{{Name: "geoserp", Spans: spans}})
+}
 
-	// Depth orders a parent before its children when both start at the
-	// same instant (virtual clocks make ties common).
-	byID := make(map[string]SpanRecord, len(sorted))
-	for _, s := range sorted {
-		byID[s.TraceID+"/"+s.SpanID] = s
+// WriteChromeTraceProcs renders the given processes in Chrome trace-event
+// format (the {"traceEvents": [...]} JSON that Perfetto and
+// chrome://tracing load): per process, one "M" process_name metadata row
+// naming the lane, one "M" thread_name row per trace, and one "X" complete
+// event per span, grouped onto one virtual thread per trace so a trace's
+// request→stage spans nest visually.
+//
+// Output is byte-deterministic for a deterministic span set: pids follow
+// the callers' process order, each process's spans are sorted by (start,
+// trace ID, depth, span ID) — never by ring arrival order, which
+// scheduling perturbs — timestamps are microseconds relative to the
+// earliest span start across all processes, and thread IDs are assigned by
+// first appearance in the sorted order. The JSON is hand-assembled so
+// field order is fixed.
+func WriteChromeTraceProcs(w io.Writer, procs []ProcessSpans) error {
+	type lane struct {
+		name   string
+		sorted []SpanRecord
+		tids   map[string]int
+		order  []string
 	}
-	depth := func(s SpanRecord) int {
-		d := 0
-		for s.ParentID != "" && d < len(sorted) {
-			p, ok := byID[s.TraceID+"/"+s.ParentID]
-			if !ok {
-				break
-			}
-			s = p
-			d++
-		}
-		return d
-	}
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if !a.Start.Equal(b.Start) {
-			return a.Start.Before(b.Start)
-		}
-		if a.TraceID != b.TraceID {
-			return a.TraceID < b.TraceID
-		}
-		if da, db := depth(a), depth(b); da != db {
-			return da < db
-		}
-		return a.SpanID < b.SpanID
-	})
-
+	lanes := make([]lane, 0, len(procs))
 	var epoch time.Time
-	if len(sorted) > 0 {
-		epoch = sorted[0].Start
-	}
-	tids := make(map[string]int, 16)
-	order := make([]string, 0, 16)
-	for _, s := range sorted {
-		if _, ok := tids[s.TraceID]; !ok {
-			tids[s.TraceID] = len(tids) + 1
-			order = append(order, s.TraceID)
+	haveEpoch := false
+	for _, p := range procs {
+		sorted := make([]SpanRecord, len(p.Spans))
+		copy(sorted, p.Spans)
+
+		// Depth orders a parent before its children when both start at the
+		// same instant (virtual clocks make ties common).
+		byID := make(map[string]SpanRecord, len(sorted))
+		for _, s := range sorted {
+			byID[s.TraceID+"/"+s.SpanID] = s
 		}
+		depth := func(s SpanRecord) int {
+			d := 0
+			for s.ParentID != "" && d < len(sorted) {
+				p, ok := byID[s.TraceID+"/"+s.ParentID]
+				if !ok {
+					break
+				}
+				s = p
+				d++
+			}
+			return d
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			a, b := sorted[i], sorted[j]
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			if a.TraceID != b.TraceID {
+				return a.TraceID < b.TraceID
+			}
+			if da, db := depth(a), depth(b); da != db {
+				return da < db
+			}
+			return a.SpanID < b.SpanID
+		})
+		tids := make(map[string]int, 16)
+		order := make([]string, 0, 16)
+		for _, s := range sorted {
+			if _, ok := tids[s.TraceID]; !ok {
+				tids[s.TraceID] = len(tids) + 1
+				order = append(order, s.TraceID)
+			}
+		}
+		if len(sorted) > 0 && (!haveEpoch || sorted[0].Start.Before(epoch)) {
+			epoch = sorted[0].Start
+			haveEpoch = true
+		}
+		lanes = append(lanes, lane{name: p.Name, sorted: sorted, tids: tids, order: order})
 	}
 
 	var b strings.Builder
@@ -81,32 +110,37 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 		b.WriteString("\n")
 		b.WriteString(line)
 	}
-	for _, tr := range order {
-		emit(fmt.Sprintf(`{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
-			tids[tr], jsonString("trace "+tr)))
-	}
-	for _, s := range sorted {
-		ts := s.Start.Sub(epoch).Microseconds()
-		dur := s.Dur().Microseconds()
-		if dur < 0 {
-			dur = 0
+	for i, ln := range lanes {
+		pid := i + 1
+		emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":0,"name":"process_name","args":{"name":%s}}`,
+			pid, jsonString(ln.name)))
+		for _, tr := range ln.order {
+			emit(fmt.Sprintf(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				pid, ln.tids[tr], jsonString("trace "+tr)))
 		}
-		var args strings.Builder
-		args.WriteString(fmt.Sprintf(`{"trace_id":%s,"span_id":%s`,
-			jsonString(s.TraceID), jsonString(s.SpanID)))
-		if s.ParentID != "" {
-			args.WriteString(`,"parent_id":`)
-			args.WriteString(jsonString(s.ParentID))
+		for _, s := range ln.sorted {
+			ts := s.Start.Sub(epoch).Microseconds()
+			dur := s.Dur().Microseconds()
+			if dur < 0 {
+				dur = 0
+			}
+			var args strings.Builder
+			args.WriteString(fmt.Sprintf(`{"trace_id":%s,"span_id":%s`,
+				jsonString(s.TraceID), jsonString(s.SpanID)))
+			if s.ParentID != "" {
+				args.WriteString(`,"parent_id":`)
+				args.WriteString(jsonString(s.ParentID))
+			}
+			for _, a := range s.Attrs {
+				args.WriteByte(',')
+				args.WriteString(jsonString(a.Key))
+				args.WriteByte(':')
+				args.WriteString(jsonString(a.Val))
+			}
+			args.WriteByte('}')
+			emit(fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"ts":%d,"dur":%d,"args":%s}`,
+				pid, ln.tids[s.TraceID], jsonString(s.Name), ts, dur, args.String()))
 		}
-		for _, a := range s.Attrs {
-			args.WriteByte(',')
-			args.WriteString(jsonString(a.Key))
-			args.WriteByte(':')
-			args.WriteString(jsonString(a.Val))
-		}
-		args.WriteByte('}')
-		emit(fmt.Sprintf(`{"ph":"X","pid":1,"tid":%d,"name":%s,"ts":%d,"dur":%d,"args":%s}`,
-			tids[s.TraceID], jsonString(s.Name), ts, dur, args.String()))
 	}
 	b.WriteString("\n]}\n")
 	_, err := io.WriteString(w, b.String())

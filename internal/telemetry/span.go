@@ -38,6 +38,13 @@ import (
 // trace produces a distinct, deterministic server span.
 const AttemptHeader = "X-Trace-Attempt"
 
+// ParentHeader carries the caller's span ID across a process boundary
+// beside TraceHeader, so a server can mint its span as a remote child of
+// the exact client-side span that issued the request (a fan-out leg, a
+// retry attempt) instead of an orphan root. The value is the 16-hex-digit
+// form returned by Span.ID.
+const ParentHeader = "X-Parent-Span"
+
 // MaxSpanAttrs is the attribute capacity of one span; SetAttr drops
 // attributes beyond it (recorded in the span's "attrs_dropped" count).
 const MaxSpanAttrs = 8
@@ -72,6 +79,15 @@ func (s *Span) TraceID() string {
 		return ""
 	}
 	return s.traceID
+}
+
+// ID returns the span's 16-hex-digit ID ("" for a nil span) — the wire
+// form carried by ParentHeader.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return formatSpanID(s.spanID)
 }
 
 // SetAttr attaches a key/value attribute. Attributes beyond MaxSpanAttrs
@@ -251,6 +267,28 @@ func (r *SpanRecorder) StartRootSeq(traceID, name string, seq int) *Span {
 	return s
 }
 
+// StartRemoteChild starts a span that is a child of a span in ANOTHER
+// process: parentID is the 16-hex-digit Span.ID the caller shipped over
+// ParentHeader. When parentID is empty or malformed the span degrades to a
+// root (exactly StartRootSeq), so servers handle untraced callers for
+// free. A nil recorder returns a nil (no-op) span.
+func (r *SpanRecorder) StartRemoteChild(traceID, name, parentID string, seq int) *Span {
+	if r == nil {
+		return nil
+	}
+	pid, ok := parseSpanID(parentID)
+	if !ok {
+		return r.StartRootSeq(traceID, name, seq)
+	}
+	s := r.getSpan()
+	s.traceID = traceID
+	s.name = name
+	s.parentID = pid
+	s.spanID = mintSpanID(traceID, name, pid, uint64(seq))
+	s.start = r.clock.Now()
+	return s
+}
+
 // record commits s to the ring and recycles it.
 func (r *SpanRecorder) record(s *Span, end time.Time) {
 	r.mu.Lock()
@@ -290,40 +328,84 @@ func (r *SpanRecorder) Snapshot() []SpanRecord {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]SpanRecord, 0, len(r.slots))
-	emit := func(sl *spanSlot) {
-		rec := SpanRecord{
-			TraceID: sl.traceID,
-			SpanID:  formatSpanID(sl.spanID),
-			Name:    sl.name,
-			Start:   sl.start,
-			End:     sl.end,
-		}
-		if sl.parentID != 0 {
-			rec.ParentID = formatSpanID(sl.parentID)
-		}
-		n := sl.nattrs
-		if n > 0 || sl.dropped > 0 {
-			rec.Attrs = make([]Attr, n, n+1)
-			copy(rec.Attrs, sl.attrs[:n])
-			if sl.dropped > 0 {
-				rec.Attrs = append(rec.Attrs, Attr{Key: "attrs_dropped", Val: itoa(int(sl.dropped))})
-			}
-		}
-		out = append(out, rec)
-	}
 	if len(r.slots) == r.cap {
 		for i := r.next; i < len(r.slots); i++ {
-			emit(&r.slots[i])
+			out = append(out, r.slots[i].record())
 		}
 		for i := 0; i < r.next; i++ {
-			emit(&r.slots[i])
+			out = append(out, r.slots[i].record())
 		}
 	} else {
 		for i := range r.slots {
-			emit(&r.slots[i])
+			out = append(out, r.slots[i].record())
 		}
 	}
 	return out
+}
+
+// record converts a ring slot to its export shape.
+func (sl *spanSlot) record() SpanRecord {
+	rec := SpanRecord{
+		TraceID: sl.traceID,
+		SpanID:  formatSpanID(sl.spanID),
+		Name:    sl.name,
+		Start:   sl.start,
+		End:     sl.end,
+	}
+	if sl.parentID != 0 {
+		rec.ParentID = formatSpanID(sl.parentID)
+	}
+	n := sl.nattrs
+	if n > 0 || sl.dropped > 0 {
+		rec.Attrs = make([]Attr, n, n+1)
+		copy(rec.Attrs, sl.attrs[:n])
+		if sl.dropped > 0 {
+			rec.Attrs = append(rec.Attrs, Attr{Key: "attrs_dropped", Val: itoa(int(sl.dropped))})
+		}
+	}
+	return rec
+}
+
+// SnapshotRange returns up to limit spans starting at the lifetime index
+// cursor (the cursor of span N is N-1 spans after the first ever
+// recorded), plus the cursor of the first span actually returned and the
+// recorder's lifetime total. When cursor points at spans the ring has
+// already overwritten, the window silently advances to the oldest span
+// still held — the gap (start − cursor) is the number dropped. limit <= 0
+// means "the rest of the ring". A nil recorder returns (nil, 0, 0).
+//
+// Cursors are stable across concurrent recording: new spans only ever
+// append lifetime indices, so a paginating reader resumes at next = start
+// + len(spans) without rereading or skipping anything still in the ring.
+func (r *SpanRecorder) SnapshotRange(cursor uint64, limit int) (spans []SpanRecord, start, total uint64) {
+	if r == nil {
+		return nil, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	oldest := r.total - uint64(len(r.slots))
+	start = cursor
+	if start < oldest {
+		start = oldest
+	}
+	if start > r.total {
+		start = r.total
+	}
+	n := int(r.total - start)
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	spans = make([]SpanRecord, 0, n)
+	for j := 0; j < n; j++ {
+		// The j-th span at/after start sits (start-oldest+j) slots past the
+		// ring's oldest element.
+		k := int(start-oldest) + j
+		if len(r.slots) == r.cap {
+			k = (r.next + k) % r.cap
+		}
+		spans = append(spans, r.slots[k].record())
+	}
+	return spans, start, r.total
 }
 
 // ---- deterministic span-ID minting ----
@@ -376,6 +458,32 @@ func formatSpanID(id uint64) string {
 		id >>= 4
 	}
 	return string(b[:])
+}
+
+// parseSpanID parses the 16-hex-digit wire form of a span ID. The zero ID
+// is reserved for "no parent", so "000…0" is rejected like malformed input.
+func parseSpanID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | d
+	}
+	if id == 0 {
+		return 0, false
+	}
+	return id, true
 }
 
 // itoa is a minimal non-negative integer formatter.

@@ -262,8 +262,12 @@ func TestWriteChromeTraceValidAndDeterministic(t *testing.T) {
 			t.Fatalf("unexpected phase %q", ev.Ph)
 		}
 	}
-	if meta != 2 || complete != 4 {
-		t.Fatalf("got %d metadata + %d complete events, want 2 + 4", meta, complete)
+	// One process_name row plus one thread_name row per trace.
+	if meta != 3 || complete != 4 {
+		t.Fatalf("got %d metadata + %d complete events, want 3 + 4", meta, complete)
+	}
+	if !strings.Contains(a, `"process_name","args":{"name":"geoserp"}`) {
+		t.Fatal("process_name metadata missing")
 	}
 	if !strings.Contains(a, `"attempt":"1"`) {
 		t.Fatal("span attribute missing from args")

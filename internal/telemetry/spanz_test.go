@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"geoserp/internal/simclock"
+)
+
+func recordN(rec *SpanRecorder, clk *simclock.Manual, n int) {
+	for i := 0; i < n; i++ {
+		s := rec.StartRootSeq("trace-spanz", "op", i)
+		clk.Advance(time.Millisecond)
+		s.End()
+	}
+}
+
+func TestSnapshotRangeBasicAndWraparound(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(8, clk)
+	recordN(rec, clk, 5)
+
+	spans, start, total := rec.SnapshotRange(0, 0)
+	if len(spans) != 5 || start != 0 || total != 5 {
+		t.Fatalf("pre-wrap: got %d spans start=%d total=%d", len(spans), start, total)
+	}
+	if spans[0].SpanID != formatSpanID(mintSpanID("trace-spanz", "op", 0, 0)) {
+		t.Fatalf("first span is not lifetime index 0")
+	}
+
+	// Wrap the ring: 15 more spans → total 20, ring holds indices 12..19.
+	recordN(rec, clk, 15)
+	spans, start, total = rec.SnapshotRange(0, 0)
+	if total != 20 || start != 12 || len(spans) != 8 {
+		t.Fatalf("post-wrap: got %d spans start=%d total=%d", len(spans), start, total)
+	}
+	// Oldest-first: the held window must match a full Snapshot.
+	full := rec.Snapshot()
+	for i := range full {
+		if full[i].SpanID != spans[i].SpanID {
+			t.Fatalf("SnapshotRange disagrees with Snapshot at %d", i)
+		}
+	}
+
+	// Mid-ring cursor and limit.
+	spans, start, _ = rec.SnapshotRange(15, 2)
+	if start != 15 || len(spans) != 2 || spans[0].SpanID != full[3].SpanID {
+		t.Fatalf("cursor 15 limit 2: start=%d len=%d", start, len(spans))
+	}
+	// Cursor past the end clamps to empty.
+	spans, start, _ = rec.SnapshotRange(99, 0)
+	if start != 20 || len(spans) != 0 {
+		t.Fatalf("past-end cursor: start=%d len=%d", start, len(spans))
+	}
+}
+
+func TestSnapshotRangeNilRecorder(t *testing.T) {
+	var rec *SpanRecorder
+	spans, start, total := rec.SnapshotRange(3, 10)
+	if spans != nil || start != 0 || total != 0 {
+		t.Fatalf("nil recorder: spans=%v start=%d total=%d", spans, start, total)
+	}
+	if s := rec.StartRemoteChild("t", "n", "00000000000000ff", 1); s != nil {
+		t.Fatal("nil recorder minted a span")
+	}
+}
+
+func TestStartRemoteChild(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(8, clk)
+	parent := rec.StartRootSeq("tracer", "router.shard", 2)
+	parentID := parent.ID()
+	if len(parentID) != 16 {
+		t.Fatalf("parent ID = %q", parentID)
+	}
+
+	child := rec.StartRemoteChild("tracer", "shard.search", parentID, 1)
+	child.End()
+	parent.End()
+	var got SpanRecord
+	for _, s := range rec.Snapshot() {
+		if s.Name == "shard.search" {
+			got = s
+		}
+	}
+	if got.ParentID != parentID {
+		t.Fatalf("remote child parent = %q, want %q", got.ParentID, parentID)
+	}
+
+	// Malformed / absent parent IDs degrade to a root identical to
+	// StartRootSeq.
+	for _, bad := range []string{"", "xyz", "0000000000000000", "00ff"} {
+		s := rec.StartRemoteChild("tracer", "shard.search", bad, 3)
+		want := mintSpanID("tracer", "shard.search", 0, 3)
+		if s.spanID != want || s.parentID != 0 {
+			t.Fatalf("parent %q: span=%x parent=%x, want root %x", bad, s.spanID, s.parentID, want)
+		}
+		s.End()
+	}
+}
+
+func TestSpanzHandlerPaginates(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(16, clk)
+	recordN(rec, clk, 25) // wraps: ring holds 9..24
+
+	get := func(url string) SpanzPage {
+		t.Helper()
+		w := httptest.NewRecorder()
+		SpanzHandler(rec, "shard-1").ServeHTTP(w, httptest.NewRequest("GET", url, nil))
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", url, w.Code, w.Body.String())
+		}
+		var page SpanzPage
+		if err := json.Unmarshal(w.Body.Bytes(), &page); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		return page
+	}
+
+	page := get("/spanz?limit=10")
+	if page.Version != SpanzVersion || page.Node != "shard-1" {
+		t.Fatalf("page header = %+v", page)
+	}
+	if page.Total != 25 || page.Cursor != 9 || page.Dropped != 9 || len(page.Spans) != 10 {
+		t.Fatalf("first page: %+v", page)
+	}
+	page2 := get("/spanz?cursor=19&limit=10")
+	if page2.Cursor != 19 || page2.Dropped != 0 || len(page2.Spans) != 6 || page2.NextCursor != 25 {
+		t.Fatalf("second page: %+v", page2)
+	}
+
+	for _, bad := range []string{"/spanz?cursor=x", "/spanz?limit=0", "/spanz?limit=-2"} {
+		w := httptest.NewRecorder()
+		SpanzHandler(rec, "shard-1").ServeHTTP(w, httptest.NewRequest("GET", bad, nil))
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("GET %s = %d, want 400", bad, w.Code)
+		}
+	}
+
+	// A nil recorder serves empty pages, not errors.
+	w := httptest.NewRecorder()
+	SpanzHandler(nil, "void").ServeHTTP(w, httptest.NewRequest("GET", "/spanz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("nil recorder: %d", w.Code)
+	}
+	var empty SpanzPage
+	if err := json.Unmarshal(w.Body.Bytes(), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Total != 0 || len(empty.Spans) != 0 || empty.Node != "void" {
+		t.Fatalf("nil recorder page: %+v", empty)
+	}
+}
+
+func TestFetchSpanzDrainsRing(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(64, clk)
+	recordN(rec, clk, 40)
+
+	srv := httptest.NewServer(http.StripPrefix("", spanzLimited(rec, 7)))
+	defer srv.Close()
+	got, err := FetchSpanz(srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != "node-a" || len(got.Spans) != 40 {
+		t.Fatalf("fetched node=%q spans=%d", got.Node, len(got.Spans))
+	}
+	want := rec.Snapshot()
+	for i := range want {
+		if got.Spans[i].SpanID != want[i].SpanID {
+			t.Fatalf("span %d out of order", i)
+		}
+	}
+}
+
+// spanzLimited wraps SpanzHandler forcing a small page size so FetchSpanz
+// has to paginate.
+func spanzLimited(rec *SpanRecorder, pageSize int) http.Handler {
+	inner := SpanzHandler(rec, "node-a")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		q.Set("limit", itoa(pageSize))
+		r.URL.RawQuery = q.Encode()
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// TestSpanzConcurrentWithRecording paginates a live ring while writer
+// goroutines hammer End — under -race this proves the cursor protocol and
+// the ring share no unsynchronized state, and the cursor invariants
+// (monotone windows, dropped accounting) hold mid-flight.
+func TestSpanzConcurrentWithRecording(t *testing.T) {
+	rec := NewSpanRecorder(128, simclock.NewManual(testEpoch))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := rec.StartRootSeq("trace-conc", "op", g*1_000_000+i)
+				s.SetAttr("g", itoa(g))
+				s.End()
+			}
+		}(g)
+	}
+
+	h := SpanzHandler(rec, "hot")
+	cursor := uint64(0)
+	for iter := 0; iter < 200; iter++ {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/spanz?limit=32&cursor="+itoa(int(cursor)), nil))
+		var page SpanzPage
+		if err := json.Unmarshal(w.Body.Bytes(), &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Cursor < cursor {
+			t.Fatalf("cursor moved backwards: asked %d got %d", cursor, page.Cursor)
+		}
+		if page.NextCursor != page.Cursor+uint64(len(page.Spans)) || page.NextCursor > page.Total {
+			t.Fatalf("inconsistent page: %+v", page)
+		}
+		cursor = page.NextCursor
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import "sort"
+
+// Stitching joins the span rings of several processes into cross-process
+// traces. The join needs no clock agreement or extra bookkeeping: every
+// node keys its spans by the propagated X-Trace-Id, and servers mint their
+// spans as remote children of the exact client span named by
+// X-Parent-Span, so a router fan-out leg and the shard-side server span it
+// caused already share (trace ID, parent link) — Stitch only has to merge,
+// dedup, and order.
+
+// NodeSpans is one node's contribution to a stitched trace set: the node's
+// name (router, shard-0, …) and the spans exported from its ring.
+type NodeSpans struct {
+	Node  string       `json:"node"`
+	Spans []SpanRecord `json:"spans"`
+}
+
+// StitchedSpan is a SpanRecord annotated with the node that recorded it.
+type StitchedSpan struct {
+	SpanRecord
+	Node string `json:"node"`
+}
+
+// StitchedTrace is one cross-process trace: every node's spans for a trace
+// ID, merged and deterministically ordered.
+type StitchedTrace struct {
+	TraceID string         `json:"trace_id"`
+	Spans   []StitchedSpan `json:"spans"`
+}
+
+// Stitch merges per-node span exports into cross-process traces. Within a
+// trace, spans sort by (start, depth, node, span ID) — parent before child
+// on start-time ties, as virtual clocks make common — where depth follows
+// parent links across node boundaries. Traces sort by (earliest span
+// start, trace ID). Duplicate (node, span ID) pairs — possible when a
+// caller double-exports a ring — keep the first occurrence. The ordering
+// depends only on span content, never ring arrival order, so same-seed
+// exports stitch byte-identically.
+func Stitch(nodes []NodeSpans) []StitchedTrace {
+	byTrace := make(map[string][]StitchedSpan)
+	seen := make(map[string]bool)
+	for _, n := range nodes {
+		for _, s := range n.Spans {
+			key := n.Node + "\x1f" + s.TraceID + "\x1f" + s.SpanID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			byTrace[s.TraceID] = append(byTrace[s.TraceID], StitchedSpan{SpanRecord: s, Node: n.Node})
+		}
+	}
+	out := make([]StitchedTrace, 0, len(byTrace))
+	for id, ss := range byTrace {
+		// Depth is computed over the merged span set, so a shard-side span
+		// whose parent lives on the router still lands below it.
+		flat := make([]SpanRecord, len(ss))
+		for i, s := range ss {
+			flat[i] = s.SpanRecord
+		}
+		depth := spanDepths(flat)
+		sort.SliceStable(ss, func(a, b int) bool {
+			x, y := ss[a], ss[b]
+			if !x.Start.Equal(y.Start) {
+				return x.Start.Before(y.Start)
+			}
+			if dx, dy := depth[x.SpanID], depth[y.SpanID]; dx != dy {
+				return dx < dy
+			}
+			if x.Node != y.Node {
+				return x.Node < y.Node
+			}
+			return x.SpanID < y.SpanID
+		})
+		out = append(out, StitchedTrace{TraceID: id, Spans: ss})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if !a.Spans[0].Start.Equal(b.Spans[0].Start) {
+			return a.Spans[0].Start.Before(b.Spans[0].Start)
+		}
+		return a.TraceID < b.TraceID
+	})
+	return out
+}
+
+// SpansOf returns the trace with the given ID (nil when absent).
+func SpansOf(traces []StitchedTrace, traceID string) []StitchedSpan {
+	for _, t := range traces {
+		if t.TraceID == traceID {
+			return t.Spans
+		}
+	}
+	return nil
+}

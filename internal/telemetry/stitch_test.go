@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"geoserp/internal/simclock"
+)
+
+// buildClusterRings simulates a router fan-out over two shards: the router
+// records the request root and two fan-out legs, each shard records its
+// server span as a remote child of the leg that called it.
+func buildClusterRings(t *testing.T) []NodeSpans {
+	t.Helper()
+	clk := simclock.NewManual(testEpoch)
+	router := NewSpanRecorder(32, clk)
+	shard0 := NewSpanRecorder(32, clk)
+	shard1 := NewSpanRecorder(32, clk)
+
+	root := router.StartRoot("tracex", "serpd.request")
+	leg0 := root.StartChild("router.shard")
+	leg1 := root.StartChild("router.shard")
+	clk.Advance(time.Millisecond)
+	srv0 := shard0.StartRemoteChild("tracex", "shard.search", leg0.ID(), 1)
+	srv1 := shard1.StartRemoteChild("tracex", "shard.search", leg1.ID(), 1)
+	clk.Advance(time.Millisecond)
+	srv0.End()
+	srv1.End()
+	leg0.End()
+	leg1.End()
+	root.End()
+
+	return []NodeSpans{
+		{Node: "router", Spans: router.Snapshot()},
+		{Node: "shard-0", Spans: shard0.Snapshot()},
+		{Node: "shard-1", Spans: shard1.Snapshot()},
+	}
+}
+
+func TestStitchJoinsAcrossNodes(t *testing.T) {
+	traces := Stitch(buildClusterRings(t))
+	if len(traces) != 1 || traces[0].TraceID != "tracex" {
+		t.Fatalf("stitched %d traces: %+v", len(traces), traces)
+	}
+	spans := traces[0].Spans
+	if len(spans) != 5 {
+		t.Fatalf("stitched %d spans, want 5", len(spans))
+	}
+	// Root first; server spans carry their node and link to router legs.
+	if spans[0].Name != "serpd.request" || spans[0].Node != "router" {
+		t.Fatalf("first span = %s on %s", spans[0].Name, spans[0].Node)
+	}
+	legs := map[string]string{} // leg span ID -> node of its server child
+	for _, s := range spans {
+		if s.Name == "shard.search" {
+			legs[s.ParentID] = s.Node
+		}
+	}
+	if len(legs) != 2 {
+		t.Fatalf("server spans resolved %d distinct parents, want 2", len(legs))
+	}
+	for parent, node := range legs {
+		found := false
+		for _, s := range spans {
+			if s.SpanID == parent && s.Name == "router.shard" && s.Node == "router" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("server span on %s links to %s, which is not a router leg", node, parent)
+		}
+	}
+	if got := SpansOf(traces, "tracex"); len(got) != 5 {
+		t.Fatalf("SpansOf = %d spans", len(got))
+	}
+	if got := SpansOf(traces, "absent"); got != nil {
+		t.Fatal("SpansOf(absent) != nil")
+	}
+}
+
+func TestStitchDeterministicAndDedups(t *testing.T) {
+	nodes := buildClusterRings(t)
+	a := Stitch(nodes)
+
+	// Present the same rings with node order scrambled and the router ring
+	// exported twice: output must be identical.
+	scrambled := []NodeSpans{nodes[2], nodes[0], nodes[1], nodes[0]}
+	b := Stitch(scrambled)
+	if len(a) != len(b) || len(a[0].Spans) != len(b[0].Spans) {
+		t.Fatalf("stitch not stable: %d/%d vs %d/%d traces/spans",
+			len(a), len(a[0].Spans), len(b), len(b[0].Spans))
+	}
+	for i := range a[0].Spans {
+		x, y := a[0].Spans[i], b[0].Spans[i]
+		if x.SpanID != y.SpanID || x.Node != y.Node || x.Name != y.Name {
+			t.Fatalf("span %d differs across node orderings:\n%+v\n%+v", i, x, y)
+		}
+	}
+}
+
+func TestStitchOrdersTracesByStart(t *testing.T) {
+	clk := simclock.NewManual(testEpoch)
+	rec := NewSpanRecorder(32, clk)
+	// Record "late" first so map/ring order disagrees with start order.
+	late := rec.StartRoot("zz-late", "op")
+	clk.Advance(time.Hour)
+	early := rec.StartRootSeq("aa-early", "op", 1)
+	early.End()
+	late.End()
+	// aa-early STARTED later, so it must sort second despite its ID.
+	traces := Stitch([]NodeSpans{{Node: "n", Spans: rec.Snapshot()}})
+	if len(traces) != 2 || traces[0].TraceID != "zz-late" || traces[1].TraceID != "aa-early" {
+		ids := make([]string, len(traces))
+		for i, tr := range traces {
+			ids[i] = tr.TraceID
+		}
+		t.Fatalf("trace order = %s", strings.Join(ids, ","))
+	}
+}

@@ -74,7 +74,9 @@ func spanDepths(spans []SpanRecord) map[string]int {
 
 // TracezHandler serves the recorder's recent traces: JSON by default (or
 // with ?format=json), a minimal HTML list with ?format=html or when the
-// client prefers text/html. ?limit=N caps the number of traces returned.
+// client prefers text/html. ?limit=N caps the number of traces returned;
+// ?trace=<id> narrows the output to one trace (an empty trace list, not an
+// error, when the ring no longer holds it).
 func TracezHandler(rec *SpanRecorder) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		limit := 0
@@ -86,7 +88,22 @@ func TracezHandler(rec *SpanRecorder) http.Handler {
 			}
 			limit = n
 		}
+		want := r.URL.Query().Get("trace")
+		if want != "" {
+			// The filter scans the whole ring: a trace old enough to fall
+			// outside ?limit= is still findable by ID.
+			limit = 0
+		}
 		views := TracezSnapshot(rec, limit)
+		if want != "" {
+			filtered := views[:0:0]
+			for _, v := range views {
+				if v.TraceID == want {
+					filtered = append(filtered, v)
+				}
+			}
+			views = filtered
+		}
 		format := r.URL.Query().Get("format")
 		if format == "" && strings.Contains(r.Header.Get("Accept"), "text/html") {
 			format = "html"

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"context"
+	"strconv"
+	"time"
+)
+
+// A WideEvent is the canonical request log record: ONE wide, flat line per
+// /search carrying everything the continuous-audit pipeline needs to
+// explain that page — per-stage engine durations, per-shard fan-out
+// outcome, partial flag, status, trace ID — instead of scattering the
+// story across ten narrow log lines. The struct is fixed-size (arrays, no
+// maps or slices) so coordinators can pool and reuse events, and AppendText
+// formats without allocating (pinned by BenchmarkWideEventAppend).
+//
+// A nil *WideEvent is a valid no-op sink, so instrumented code records
+// unconditionally; only the coordinator that opted into wide events pays.
+// One event must only be written from one goroutine at a time: the engine
+// records stages sequentially, and the router records shard legs after its
+// fan-out barrier.
+
+const (
+	// MaxWideStages caps recorded pipeline stages per event.
+	MaxWideStages = 8
+	// MaxWideShards caps recorded shard legs per event.
+	MaxWideShards = 16
+)
+
+// WideStage is one engine pipeline stage's duration.
+type WideStage struct {
+	Name string
+	Dur  time.Duration
+}
+
+// WideShard is one scatter-gather leg: the shard contacted, its outcome
+// (ok, shed, breaker_open, error), and the client-observed duration.
+type WideShard struct {
+	Shard   int
+	Outcome string
+	Dur     time.Duration
+}
+
+// WideEvent accumulates one request's wide log record.
+type WideEvent struct {
+	TraceID string
+	Status  int
+	Dur     time.Duration
+	Partial string // X-Serp-Partial value; "" = full page
+	Err     string // terminal error class; "" = none
+
+	nstages int
+	stages  [MaxWideStages]WideStage
+	nshards int
+	shards  [MaxWideShards]WideShard
+	dropped int // stages + legs beyond capacity
+}
+
+// Reset clears the event for reuse.
+func (e *WideEvent) Reset() {
+	if e == nil {
+		return
+	}
+	*e = WideEvent{}
+}
+
+// SetErr records the request's terminal error class. Nil-safe.
+func (e *WideEvent) SetErr(class string) {
+	if e == nil {
+		return
+	}
+	e.Err = class
+}
+
+// Stage records one pipeline stage duration (dropped beyond
+// MaxWideStages). Nil-safe.
+func (e *WideEvent) Stage(name string, d time.Duration) {
+	if e == nil {
+		return
+	}
+	if e.nstages >= MaxWideStages {
+		e.dropped++
+		return
+	}
+	e.stages[e.nstages] = WideStage{Name: name, Dur: d}
+	e.nstages++
+}
+
+// Shard records one scatter-gather leg (dropped beyond MaxWideShards).
+// Nil-safe.
+func (e *WideEvent) Shard(shard int, outcome string, d time.Duration) {
+	if e == nil {
+		return
+	}
+	if e.nshards >= MaxWideShards {
+		e.dropped++
+		return
+	}
+	e.shards[e.nshards] = WideShard{Shard: shard, Outcome: outcome, Dur: d}
+	e.nshards++
+}
+
+// Stages returns the recorded stages (a view into the event; valid until
+// Reset).
+func (e *WideEvent) Stages() []WideStage {
+	if e == nil {
+		return nil
+	}
+	return e.stages[:e.nstages]
+}
+
+// Shards returns the recorded shard legs (a view into the event; valid
+// until Reset).
+func (e *WideEvent) Shards() []WideShard {
+	if e == nil {
+		return nil
+	}
+	return e.shards[:e.nshards]
+}
+
+// AppendText appends the canonical flat record to b and returns it —
+// space-separated key=value fields, durations as integer microseconds:
+//
+//	trace=f00d… status=200 dur_us=1874 partial=web err=deadline
+//	stages=parse:12,noise:3,retrieve:901 shards=0:ok:901,1:shed:13
+//
+// partial, err, stages, shards, and dropped appear only when non-empty.
+// Appending into a caller-reused buffer allocates nothing.
+func (e *WideEvent) AppendText(b []byte) []byte {
+	if e == nil {
+		return b
+	}
+	b = append(b, "trace="...)
+	b = append(b, e.TraceID...)
+	b = append(b, " status="...)
+	b = strconv.AppendInt(b, int64(e.Status), 10)
+	b = append(b, " dur_us="...)
+	b = strconv.AppendInt(b, e.Dur.Microseconds(), 10)
+	if e.Partial != "" {
+		b = append(b, " partial="...)
+		b = append(b, e.Partial...)
+	}
+	if e.Err != "" {
+		b = append(b, " err="...)
+		b = append(b, e.Err...)
+	}
+	if e.nstages > 0 {
+		b = append(b, " stages="...)
+		b = e.appendStages(b)
+	}
+	if e.nshards > 0 {
+		b = append(b, " shards="...)
+		b = e.appendShards(b)
+	}
+	if e.dropped > 0 {
+		b = append(b, " dropped="...)
+		b = strconv.AppendInt(b, int64(e.dropped), 10)
+	}
+	return b
+}
+
+// AppendStages appends the comma-separated name:µs stage list ("" when
+// none were recorded).
+func (e *WideEvent) AppendStages(b []byte) []byte {
+	if e == nil {
+		return b
+	}
+	return e.appendStages(b)
+}
+
+func (e *WideEvent) appendStages(b []byte) []byte {
+	for i := 0; i < e.nstages; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, e.stages[i].Name...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, e.stages[i].Dur.Microseconds(), 10)
+	}
+	return b
+}
+
+// AppendShards appends the comma-separated shard:outcome:µs leg list (""
+// when none were recorded).
+func (e *WideEvent) AppendShards(b []byte) []byte {
+	if e == nil {
+		return b
+	}
+	return e.appendShards(b)
+}
+
+func (e *WideEvent) appendShards(b []byte) []byte {
+	for i := 0; i < e.nshards; i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(e.shards[i].Shard), 10)
+		b = append(b, ':')
+		b = append(b, e.shards[i].Outcome...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, e.shards[i].Dur.Microseconds(), 10)
+	}
+	return b
+}
+
+// ---- context plumbing ----
+
+type wideCtxKey struct{}
+
+// WithWideEvent returns a context carrying the event, so layers below the
+// coordinator (engine, router) can record into it without new plumbing.
+func WithWideEvent(ctx context.Context, e *WideEvent) context.Context {
+	return context.WithValue(ctx, wideCtxKey{}, e)
+}
+
+// WideEventFrom extracts the context's wide event (nil when absent).
+func WideEventFrom(ctx context.Context) *WideEvent {
+	e, _ := ctx.Value(wideCtxKey{}).(*WideEvent)
+	return e
+}

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleWideEvent() *WideEvent {
+	e := &WideEvent{
+		TraceID: "0felix0000000001",
+		Status:  200,
+		Dur:     1874 * time.Microsecond,
+		Partial: "web",
+		Err:     "",
+	}
+	e.Stage("parse", 12*time.Microsecond)
+	e.Stage("noise", 3*time.Microsecond)
+	e.Stage("retrieve", 901*time.Microsecond)
+	e.Shard(0, "ok", 901*time.Microsecond)
+	e.Shard(1, "shed", 13*time.Microsecond)
+	e.Shard(2, "breaker_open", 0)
+	return e
+}
+
+func TestWideEventAppendText(t *testing.T) {
+	got := string(sampleWideEvent().AppendText(nil))
+	want := "trace=0felix0000000001 status=200 dur_us=1874 partial=web " +
+		"stages=parse:12,noise:3,retrieve:901 shards=0:ok:901,1:shed:13,2:breaker_open:0"
+	if got != want {
+		t.Fatalf("AppendText:\n got %q\nwant %q", got, want)
+	}
+
+	// Optional fields stay out of minimal records; err appears when set.
+	min := &WideEvent{TraceID: "t", Status: 503, Err: "deadline"}
+	if got := string(min.AppendText(nil)); got != "trace=t status=503 dur_us=0 err=deadline" {
+		t.Fatalf("minimal record = %q", got)
+	}
+
+	// The stage/shard fragments are exposed separately for structured sinks.
+	e := sampleWideEvent()
+	if got := string(e.AppendStages(nil)); got != "parse:12,noise:3,retrieve:901" {
+		t.Fatalf("AppendStages = %q", got)
+	}
+	if got := string(e.AppendShards(nil)); !strings.HasPrefix(got, "0:ok:901,") {
+		t.Fatalf("AppendShards = %q", got)
+	}
+	if len(e.Stages()) != 3 || len(e.Shards()) != 3 {
+		t.Fatalf("views: %d stages %d shards", len(e.Stages()), len(e.Shards()))
+	}
+}
+
+func TestWideEventCapsAndReset(t *testing.T) {
+	e := &WideEvent{}
+	for i := 0; i < MaxWideStages+2; i++ {
+		e.Stage("s", time.Microsecond)
+	}
+	for i := 0; i < MaxWideShards+3; i++ {
+		e.Shard(i, "ok", 0)
+	}
+	if len(e.Stages()) != MaxWideStages || len(e.Shards()) != MaxWideShards {
+		t.Fatalf("caps not enforced: %d/%d", len(e.Stages()), len(e.Shards()))
+	}
+	if !strings.Contains(string(e.AppendText(nil)), " dropped=5") {
+		t.Fatalf("dropped count missing: %q", e.AppendText(nil))
+	}
+	e.Reset()
+	if len(e.Stages()) != 0 || len(e.Shards()) != 0 || e.TraceID != "" {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestWideEventNilSafe(t *testing.T) {
+	var e *WideEvent
+	e.Reset()
+	e.Stage("parse", time.Second)
+	e.Shard(0, "ok", 0)
+	if e.Stages() != nil || e.Shards() != nil {
+		t.Fatal("nil event returned views")
+	}
+	if got := e.AppendText([]byte("x")); string(got) != "x" {
+		t.Fatalf("nil AppendText = %q", got)
+	}
+}
+
+func TestWideEventContext(t *testing.T) {
+	if WideEventFrom(context.Background()) != nil {
+		t.Fatal("empty context carried a wide event")
+	}
+	e := &WideEvent{TraceID: "t"}
+	ctx := WithWideEvent(context.Background(), e)
+	if WideEventFrom(ctx) != e {
+		t.Fatal("round trip failed")
+	}
+}
+
+// TestWideEventAppendZeroAlloc pins the formatting hot path: appending the
+// canonical record into a reused buffer must not allocate.
+func TestWideEventAppendZeroAlloc(t *testing.T) {
+	e := sampleWideEvent()
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = e.AppendText(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendText allocates %v per run, want 0", allocs)
+	}
+}
+
+// BenchmarkWideEventAppend is the committed-baseline benchmark for the
+// wide-event formatter (BENCH_core.json gates allocs/op and B/op at 0).
+func BenchmarkWideEventAppend(b *testing.B) {
+	e := sampleWideEvent()
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = e.AppendText(buf[:0])
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty record")
+	}
+}
