@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test check lint chaos soak soak-mono bench bench-json bench-check repro repro-full examples clean
+.PHONY: all build vet test check lint lint-sarif chaos soak soak-mono bench bench-json bench-check repro repro-full examples clean
 
 all: build vet test
 
@@ -11,14 +11,20 @@ check: lint
 	go build ./...
 	go test -race ./...
 
-# lint runs gofmt, go vet, and geoserplint — the project analyzer that
-# machine-enforces the determinism, clock, and span invariants
-# (docs/LINTING.md). Any finding, or any stale //lint:allow, fails.
+# lint runs gofmt, go vet, and geoserplint — the project analyzer suite
+# that machine-enforces the determinism, clock, concurrency, and span
+# invariants (docs/LINTING.md). Any finding, or any stale //lint:allow,
+# fails. `make lint-sarif` writes the same findings as a SARIF 2.1.0 log
+# (lint.sarif) for code-scanning uploads; CI publishes it on every run.
 lint:
 	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	go vet ./...
 	go run ./cmd/geoserplint ./...
+
+lint-sarif:
+	go run ./cmd/geoserplint -format sarif ./... > lint.sarif || true
+	@echo "wrote lint.sarif"
 
 # soak runs the chaos soak harness under the race detector against the
 # full cluster topology — a serprouter-style coordinator scatter-gathering

@@ -1,20 +1,30 @@
-// Command geoserplint machine-enforces the repo's determinism, clock, and
-// span invariants — the properties every byte-exactness guarantee in this
-// reproduction rests on. It loads every package matching the given
-// patterns with full type information and runs the project analyzer suite:
+// Command geoserplint machine-enforces the repo's determinism, clock,
+// concurrency, and span invariants — the properties every byte-exactness
+// guarantee in this reproduction rests on. It loads every package matching
+// the given patterns with full type information and runs the project
+// analyzer suite:
 //
 //	wallclock  time must flow through an injected simclock.Clock
 //	detrand    deterministic packages draw randomness from detrand only
 //	rngkey     detrand.NewKeyed stream keys are unique across the repo
 //	spanend    every started telemetry span is ended on all paths
 //	errwrap    retry-classified packages wrap error causes with %w
+//	maporder   map iteration feeding an order-sensitive sink must be sorted
+//	lockhold   locks are released on all paths and never held across
+//	           network I/O, clock sleeps, or blocking channel ops
+//	headerkey  X-* header names come from internal/httpheader constants
+//	atomicmix  a field accessed via sync/atomic is atomic everywhere
 //
 // Usage:
 //
-//	geoserplint [-list] [packages]
+//	geoserplint [-list] [-format text|json|sarif] [packages]
 //
-// With no packages, ./... is linted. The only escape hatch is an explicit
-// annotation on (or directly above) the offending line:
+// With no packages, ./... is linted. -format selects the output: text
+// (default, file:line:col diagnostics), json (a flat array for
+// scripting), or sarif (a SARIF 2.1.0 log for code-scanning uploads; CI
+// publishes lint.sarif so findings annotate pull requests). The only
+// escape hatch is an explicit annotation on (or directly above) the
+// offending line:
 //
 //	//lint:allow <analyzer> <reason>
 //
@@ -33,8 +43,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: geoserplint [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: geoserplint [-list] [-format text|json|sarif] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -45,14 +56,35 @@ func main() {
 		}
 		return
 	}
+	if *format != "text" && *format != "json" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "geoserplint: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
+	}
 
 	diags, err := lint.Run(lint.Options{Patterns: flag.Args()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
+	}
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(os.Stdout, diags, root); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "geoserplint: %d finding(s)\n", len(diags))

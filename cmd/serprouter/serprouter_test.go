@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/router"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
@@ -36,7 +37,7 @@ func get(t *testing.T, url, trace string) (*http.Response, string) {
 	}
 	req.Header.Set("User-Agent", "Mozilla/5.0 (Linux; Android 5.1) Mobile")
 	if trace != "" {
-		req.Header.Set("X-Trace-Id", trace)
+		req.Header.Set(httpheader.TraceID, trace)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -90,7 +91,7 @@ func TestRouterOverRealSockets(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("router status = %d: %s", resp.StatusCode, routed)
 	}
-	if resp.Header.Get(serpserver.PartialHeader) != "" {
+	if resp.Header.Get(httpheader.SerpPartial) != "" {
 		t.Fatal("healthy cluster served a partial page")
 	}
 	_, want := get(t, monoSrv.URL()+q, "trace-eq")
@@ -107,8 +108,8 @@ func TestRouterOverRealSockets(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("degraded status = %d: %s", resp.StatusCode, body)
 	}
-	if resp.Header.Get(serpserver.PartialHeader) != "web" {
-		t.Fatalf("degraded page not marked partial (header %q)", resp.Header.Get(serpserver.PartialHeader))
+	if resp.Header.Get(httpheader.SerpPartial) != "web" {
+		t.Fatalf("degraded page not marked partial (header %q)", resp.Header.Get(httpheader.SerpPartial))
 	}
 
 	// Kill shard 0 too: nothing left to answer from, so /search sheds.

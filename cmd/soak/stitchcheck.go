@@ -7,8 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"geoserp/internal/httpheader"
 	"geoserp/internal/router"
-	"geoserp/internal/serpserver"
 	"geoserp/internal/telemetry"
 )
 
@@ -41,14 +41,14 @@ func collectClusterTraces(h http.Handler, ct *router.ClusterTracez, sum *soakSum
 		r := httptest.NewRequest(http.MethodGet,
 			"/search?q=pizza&ll=41.4993,-81.6944&format=json", nil)
 		r.Header.Set("User-Agent", "Mozilla/5.0 (Linux; Android 5.1) Mobile")
-		r.Header.Set("X-Forwarded-For", "203.0.113.77")
-		r.Header.Set(telemetry.TraceHeader, trace)
+		r.Header.Set(httpheader.ForwardedFor, "203.0.113.77")
+		r.Header.Set(httpheader.TraceID, trace)
 		w := httptest.NewRecorder()
 		h.ServeHTTP(w, r)
 		if w.Code != http.StatusOK {
 			return fmt.Errorf("soak: probe %s: status %d: %s", trace, w.Code, w.Body.String())
 		}
-		if p := w.Header().Get(serpserver.PartialHeader); p != "" {
+		if p := w.Header().Get(httpheader.SerpPartial); p != "" {
 			return fmt.Errorf("soak: probe %s served partial page (%q) on the healed cluster", trace, p)
 		}
 		sum.ProbeTraceIDs = append(sum.ProbeTraceIDs, trace)

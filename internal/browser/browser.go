@@ -24,6 +24,7 @@ import (
 	"unicode/utf8"
 
 	"geoserp/internal/geo"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
@@ -668,17 +669,17 @@ func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int, deadl
 		req.Header.Set("Viewport-Width", fmt.Sprint(b.fp.ViewportW))
 	}
 	if b.sourceIP != "" {
-		req.Header.Set("X-Forwarded-For", b.sourceIP)
+		req.Header.Set(httpheader.ForwardedFor, b.sourceIP)
 	}
 	if b.pinnedDC != "" {
-		req.Header.Set("X-Datacenter", b.pinnedDC)
+		req.Header.Set(httpheader.Datacenter, b.pinnedDC)
 	}
 	if b.traceID != "" {
-		req.Header.Set(telemetry.TraceHeader, b.traceID)
-		req.Header.Set(telemetry.AttemptHeader, fmt.Sprint(attempt))
+		req.Header.Set(httpheader.TraceID, b.traceID)
+		req.Header.Set(httpheader.TraceAttempt, fmt.Sprint(attempt))
 	}
 	if !deadline.IsZero() {
-		req.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(deadline.UnixMilli(), 10))
+		req.Header.Set(httpheader.DeadlineMs, strconv.FormatInt(deadline.UnixMilli(), 10))
 	}
 
 	resp, err := b.client.Do(req)
@@ -737,10 +738,10 @@ func (b *Browser) fetchOnce(ctx context.Context, term string, attempt int, deadl
 	if b.fetchCtr != nil {
 		b.fetchCtr.Inc()
 	}
-	b.lastDC = resp.Header.Get("X-Served-By")
+	b.lastDC = resp.Header.Get(httpheader.ServedBy)
 	// The HTML surface does not carry the trace; the header echo does.
 	// Attach it to the parsed record so storage keeps the join key.
-	b.lastTraceID = resp.Header.Get(telemetry.TraceHeader)
+	b.lastTraceID = resp.Header.Get(httpheader.TraceID)
 	if b.lastTraceID == "" {
 		b.lastTraceID = b.traceID
 	}

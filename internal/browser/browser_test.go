@@ -10,6 +10,7 @@ import (
 
 	"geoserp/internal/engine"
 	"geoserp/internal/geo"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
 )
@@ -167,7 +168,7 @@ func TestBrowserFingerprintSent(t *testing.T) {
 	probe := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		gotUA = r.UserAgent()
 		gotLang = r.Header.Get("Accept-Language")
-		gotXFF = r.Header.Get("X-Forwarded-For")
+		gotXFF = r.Header.Get(httpheader.ForwardedFor)
 		http.Error(w, "teapot", http.StatusTeapot)
 	}))
 	defer probe.Close()

@@ -11,8 +11,8 @@ import (
 	"time"
 
 	"geoserp/internal/detrand"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
-	"geoserp/internal/telemetry"
 )
 
 // ChaosConfig describes the faults a ChaosTransport injects between the
@@ -83,11 +83,11 @@ const maxTrackedTraces = 4096
 // header fall back to a bounded counting map, untraced ones to a global
 // sequence number.
 func (c *ChaosTransport) attemptKey(req *http.Request) string {
-	trace := req.Header.Get(telemetry.TraceHeader)
+	trace := req.Header.Get(httpheader.TraceID)
 	if trace == "" {
 		return fmt.Sprintf("seq-%d", c.seq.Add(1))
 	}
-	if v := req.Header.Get(telemetry.AttemptHeader); v != "" {
+	if v := req.Header.Get(httpheader.TraceAttempt); v != "" {
 		if n, err := strconv.Atoi(v); err == nil && n > 0 {
 			return fmt.Sprintf("%s-%d", trace, n)
 		}

@@ -12,8 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serp"
-	"geoserp/internal/telemetry"
 )
 
 func okHandler(t *testing.T) http.Handler {
@@ -238,7 +238,7 @@ func TestChaosPassThroughEchoesTrace(t *testing.T) {
 	// the trace used for keying) reach the server untouched.
 	var gotTrace atomic.Value
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		gotTrace.Store(r.Header.Get(telemetry.TraceHeader))
+		gotTrace.Store(r.Header.Get(httpheader.TraceID))
 		okHandler(t).ServeHTTP(w, r)
 	}))
 	defer srv.Close()

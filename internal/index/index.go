@@ -214,6 +214,7 @@ func (ix *Index) Search(query string, k int) []Hit {
 		// Coverage bonus: documents matching every query token beat
 		// partial matches even when the partial match is term-dense.
 		coverage := float64(matched[id]) / float64(len(qTokens))
+		//lint:allow maporder MergeHits totally orders hits by score then URL before returning
 		hits = append(hits, Hit{
 			Doc:   ix.docs[id],
 			Score: (s / norm) * (0.5 + 0.5*coverage) * coverage,

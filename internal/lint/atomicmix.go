@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// atomicmix checks that a struct field accessed through sync/atomic
+// anywhere in the module is never read or written non-atomically anywhere
+// else. Mixing the two is not a stylistic wart: the Go memory model gives
+// a plain load racing an atomic store undefined ordering, the race
+// detector flags it, and on the cluster's hot paths (breaker trip
+// counters, span ring cursors, chaos attempt maps) a torn or stale read
+// silently corrupts the very counters the determinism scorecard audits.
+//
+// The analyzer records, per field, every `&x.f` passed to a sync/atomic
+// function and every plain selector access `x.f` elsewhere, then joins
+// them module-wide in a finish pass (like rngkey's collision check): any
+// field with both kinds of access produces one diagnostic per plain
+// access. Composite-literal initialization (`T{f: 0}`) is not flagged —
+// zero-init before a value is published is idiomatic. Fields of the
+// atomic.Int64-family types are immune by construction (no plain access
+// compiles) and never appear. Test files are exempt: local counters
+// synchronized by WaitGroup joins are a test idiom, not a hot-path hazard.
+var atomicmixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a field accessed via sync/atomic must be accessed atomically everywhere; a " +
+		"mixed plain read/write races and the memory model guarantees nothing",
+	SkipTestFiles: true,
+	run:           runAtomicmix,
+	finish:        finishAtomicmix,
+}
+
+const atomicmixHint = "use the matching sync/atomic Load/Store at this site, or migrate " +
+	"the field to atomic.Int64-style types so plain access cannot compile"
+
+// atomicAccess is one recorded access to a tracked field.
+type atomicAccess struct {
+	pos   token.Position
+	field string // display name for diagnostics
+}
+
+func runAtomicmix(p *Pass, f *ast.File) {
+	// First pass: record fields whose address is taken inside a
+	// sync/atomic call, and remember those selector nodes so the plain
+	// pass skips them.
+	inAtomic := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		path, _, ok := p.resolvePkgSel(f, sel)
+		if !ok || path != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			fsel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			key, name, ok := p.fieldKey(fsel)
+			if !ok {
+				continue
+			}
+			inAtomic[fsel] = true
+			if p.runner.atomicFields[key] == nil {
+				p.runner.atomicFields[key] = &atomicFieldState{field: name}
+			}
+			st := p.runner.atomicFields[key]
+			if st.atomicAt.Filename == "" {
+				st.atomicAt = p.Fset.Position(fsel.Pos())
+			}
+		}
+		return true
+	})
+	// Second pass: record every other selector access to a struct field.
+	ast.Inspect(f, func(n ast.Node) bool {
+		fsel, ok := n.(*ast.SelectorExpr)
+		if !ok || inAtomic[fsel] {
+			return true
+		}
+		key, name, ok := p.fieldKey(fsel)
+		if !ok {
+			return true
+		}
+		if p.runner.atomicFields[key] == nil {
+			p.runner.atomicFields[key] = &atomicFieldState{field: name}
+		}
+		p.runner.atomicFields[key].plain = append(p.runner.atomicFields[key].plain,
+			atomicAccess{pos: p.Fset.Position(fsel.Pos()), field: name})
+		return true
+	})
+}
+
+// atomicFieldState accumulates, per field, where it was touched.
+type atomicFieldState struct {
+	field    string
+	atomicAt token.Position // zero Filename: never accessed atomically
+	plain    []atomicAccess
+}
+
+// fieldKey identifies the struct field a selector resolves to. Typed mode
+// keys on the field object's declaration position (unique module-wide);
+// syntactic mode falls back to package path + field name, which is exact
+// enough for the hermetic golden fixtures.
+func (p *Pass) fieldKey(sel *ast.SelectorExpr) (key, name string, ok bool) {
+	if p.Info != nil {
+		selection, found := p.Info.Selections[sel]
+		if !found || selection.Kind() != types.FieldVal {
+			return "", "", false
+		}
+		obj := selection.Obj()
+		pos := p.Fset.Position(obj.Pos())
+		return fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column),
+			fieldDisplayName(obj, selection), true
+	}
+	// Syntactic mode: skip package selectors (pkg.Name) and method calls;
+	// everything else is treated as a candidate field access.
+	if id, isIdent := sel.X.(*ast.Ident); isIdent {
+		if _, isPkg := p.importTable(fileOf(p, sel))[id.Name]; isPkg {
+			return "", "", false
+		}
+	}
+	return p.Path + ":" + sel.Sel.Name, sel.Sel.Name, true
+}
+
+// fieldDisplayName renders "Type.field" for diagnostics.
+func fieldDisplayName(obj types.Object, selection *types.Selection) string {
+	recv := selection.Recv()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	if named, isNamed := recv.(*types.Named); isNamed {
+		return named.Obj().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// fileOf finds the *ast.File in the pass containing n.
+func fileOf(p *Pass, n ast.Node) *ast.File {
+	for _, f := range p.Files {
+		if f.Pos() <= n.Pos() && n.Pos() <= f.End() {
+			return f
+		}
+	}
+	return p.Files[0]
+}
+
+// finishAtomicmix joins the module-wide record: every plain access to a
+// field that is also accessed atomically is a diagnostic.
+func finishAtomicmix(r *Runner) {
+	keys := make([]string, 0, len(r.atomicFields))
+	for k := range r.atomicFields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := r.atomicFields[k]
+		if st.atomicAt.Filename == "" || len(st.plain) == 0 {
+			continue
+		}
+		for _, acc := range st.plain {
+			r.report(Diagnostic{
+				Pos:      acc.pos,
+				Analyzer: "atomicmix",
+				Message: fmt.Sprintf("plain access to field %q, which is accessed atomically at %s:%d",
+					acc.field, st.atomicAt.Filename, st.atomicAt.Line),
+				Hint: atomicmixHint,
+			})
+		}
+	}
+}

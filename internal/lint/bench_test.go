@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The repo parse is cached across iterations: the benchmark isolates
+// analysis cost (the dataflow walks, the allow audit, the cross-package
+// finish passes), which is the part that grows as analyzers are added.
+// Parsing is the same for any suite size and is measured by the compiler
+// anyway.
+var (
+	benchRepoOnce sync.Once
+	benchRepoFset *token.FileSet
+	benchRepoPkgs map[string][]*ast.File // import path -> parsed files
+	benchRepoErr  error
+)
+
+func loadBenchRepo() {
+	benchRepoFset = token.NewFileSet()
+	benchRepoPkgs = make(map[string][]*ast.File)
+	root := filepath.Join("..", "..")
+	benchRepoErr = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata":
+				return filepath.SkipDir
+			}
+			if strings.HasPrefix(d.Name(), ".") && d.Name() != "." && d.Name() != ".." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(benchRepoFset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return perr
+		}
+		rel, rerr := filepath.Rel(root, filepath.Dir(path))
+		if rerr != nil {
+			return rerr
+		}
+		imp := "geoserp"
+		if rel != "." {
+			imp = "geoserp/" + filepath.ToSlash(rel)
+		}
+		benchRepoPkgs[imp] = append(benchRepoPkgs[imp], f)
+		return nil
+	})
+}
+
+// BenchmarkLintRepo times one full nine-analyzer pass over every Go file
+// in the repository in syntactic mode, pinning linter runtime in
+// BENCH_core.json so an analyzer that regresses from linear scans to
+// accidental quadratic path enumeration fails the bench-check gate.
+func BenchmarkLintRepo(b *testing.B) {
+	benchRepoOnce.Do(loadBenchRepo)
+	if benchRepoErr != nil {
+		b.Fatalf("load repo: %v", benchRepoErr)
+	}
+	paths := make([]string, 0, len(benchRepoPkgs))
+	for p := range benchRepoPkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRunner("geoserp", benchRepoFset)
+		for _, p := range paths {
+			r.CheckPackage(p, benchRepoPkgs[p], nil)
+		}
+		_ = r.Finish()
+	}
+}

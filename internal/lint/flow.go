@@ -1,0 +1,384 @@
+package lint
+
+import "go/ast"
+
+// This file is the package's small intraprocedural dataflow framework:
+// statement walking, path discovery, and two bounded control-flow
+// traversals shared by the flow-sensitive analyzers. spanend ("every
+// started span is ended on all paths") was its first client; lockhold
+// ("every Lock is unlocked on all paths, and nothing blocking happens in
+// between") reuses the same machinery with different hooks, and future
+// taint-style analyzers can parameterize the same walks.
+//
+// The model is deliberately syntactic: a "path" is a chain of statement
+// list suffixes (the continuation after a statement of interest), and the
+// evaluators interpret branching statements — if/else, switch, select,
+// loops — conservatively, with a budget bounding the branch-product
+// blowup. An exhausted budget concedes permissively (no diagnostic)
+// rather than false-positive.
+
+// walkStmts visits every statement in stmts and its nested statement
+// lists, in source order, without descending into function literals.
+func walkStmts(stmts []ast.Stmt, fn func(ast.Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		for _, sub := range subLists(s) {
+			walkStmts(sub.list, fn)
+		}
+	}
+}
+
+// stmtList is one nested statement list; loop marks loop bodies, where
+// falling off the end re-enters the loop rather than the enclosing list.
+type stmtList struct {
+	list []ast.Stmt
+	loop bool
+}
+
+// subLists returns the statement lists nested directly inside s.
+func subLists(s ast.Stmt) []stmtList {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return []stmtList{{st.List, false}}
+	case *ast.IfStmt:
+		out := []stmtList{{st.Body.List, false}}
+		switch e := st.Else.(type) {
+		case *ast.BlockStmt:
+			out = append(out, stmtList{e.List, false})
+		case *ast.IfStmt:
+			out = append(out, stmtList{[]ast.Stmt{e}, false})
+		}
+		return out
+	case *ast.ForStmt:
+		return []stmtList{{st.Body.List, true}}
+	case *ast.RangeStmt:
+		return []stmtList{{st.Body.List, true}}
+	case *ast.SwitchStmt:
+		return caseLists(st.Body)
+	case *ast.TypeSwitchStmt:
+		return caseLists(st.Body)
+	case *ast.SelectStmt:
+		var out []stmtList
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, stmtList{cc.Body, false})
+			}
+		}
+		return out
+	case *ast.LabeledStmt:
+		return []stmtList{{[]ast.Stmt{st.Stmt}, false}}
+	}
+	return nil
+}
+
+func caseLists(body *ast.BlockStmt) []stmtList {
+	var out []stmtList
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, stmtList{cc.Body, false})
+		}
+	}
+	return out
+}
+
+// pathFrame locates one level of the nesting chain from a function body
+// down to a target statement.
+type pathFrame struct {
+	list []ast.Stmt
+	idx  int
+	loop bool
+}
+
+// findStmtPath returns the outermost-first chain of statement lists
+// leading to target.
+func findStmtPath(stmts []ast.Stmt, target ast.Stmt, loop bool) ([]pathFrame, bool) {
+	for i, s := range stmts {
+		if s == target {
+			return []pathFrame{{stmts, i, loop}}, true
+		}
+		for _, sub := range subLists(s) {
+			if chain, ok := findStmtPath(sub.list, target, sub.loop); ok {
+				return append([]pathFrame{{stmts, i, loop}}, chain...), true
+			}
+		}
+	}
+	return nil, false
+}
+
+// continuation builds the statement segments executed after the target, in
+// order: the remainder of each enclosing list, innermost first, stopping
+// at the first loop-body boundary (the iteration ends there).
+func continuation(path []pathFrame) [][]ast.Stmt {
+	var segs [][]ast.Stmt
+	for i := len(path) - 1; i >= 0; i-- {
+		segs = append(segs, path[i].list[path[i].idx+1:])
+		if path[i].loop {
+			break
+		}
+	}
+	return segs
+}
+
+func prepend(head []ast.Stmt, tail [][]ast.Stmt) [][]ast.Stmt {
+	return append([][]ast.Stmt{head}, tail...)
+}
+
+// terminates reports whether call never returns: panic, os.Exit, or a
+// Fatal-family logger call.
+func terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// ---- all-paths obligation evaluation ----
+
+// pathEval checks an "obligation" — some call that must happen before the
+// region of interest is left on every control-flow path. The hooks define
+// what discharges it:
+//
+//   - satisfy: a plain call statement that discharges the obligation
+//     (v.End(), mu.Unlock()).
+//   - deferSatisfy: a deferred call that discharges it at function exit
+//     (covers `defer v.End()` and the `defer func() { v.End() }()` idiom
+//     when the hook chooses to scan closures).
+//   - guard: an optional if-condition under which only the then-branch
+//     needs checking (`if v != nil { ... v.End() }`: End is a nil-safe
+//     no-op on the else path).
+//
+// The budget bounds the branch-product blowup; exhausted budgets concede
+// permissively.
+type pathEval struct {
+	budget       int
+	satisfy      func(call *ast.CallExpr) bool
+	deferSatisfy func(call *ast.CallExpr) bool
+	guard        func(cond ast.Expr) bool
+}
+
+// allPathsSatisfy reports whether every path through segs discharges the
+// obligation before returning, branching out, or falling off the end.
+func (e *pathEval) allPathsSatisfy(segs [][]ast.Stmt) bool {
+	if e.budget <= 0 {
+		return true // give up permissively rather than false-positive
+	}
+	e.budget--
+	for len(segs) > 0 && len(segs[0]) == 0 {
+		segs = segs[1:]
+	}
+	if len(segs) == 0 {
+		return false // reached the end of the region without discharging
+	}
+	s := segs[0][0]
+	tail := append([][]ast.Stmt{segs[0][1:]}, segs[1:]...)
+	switch st := s.(type) {
+	case *ast.DeferStmt:
+		if e.deferSatisfy != nil && e.deferSatisfy(st.Call) {
+			return true
+		}
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if e.satisfy(call) {
+				return true
+			}
+			if terminates(call) {
+				return true // panic/exit: the process unwinds, nothing leaks
+			}
+		}
+	case *ast.ReturnStmt:
+		return false
+	case *ast.BranchStmt:
+		// break/continue/goto leave the region; conservatively a miss.
+		// (fallthrough continues into the next case, approximated as the
+		// statements after the switch.)
+		if st.Tok.String() == "fallthrough" {
+			return e.allPathsSatisfy(tail)
+		}
+		return false
+	case *ast.IfStmt:
+		thenOK := e.allPathsSatisfy(prepend(st.Body.List, tail))
+		if e.guard != nil && e.guard(st.Cond) {
+			// On the guard's else path the obligation is vacuous.
+			return thenOK
+		}
+		var elseOK bool
+		switch el := st.Else.(type) {
+		case *ast.BlockStmt:
+			elseOK = e.allPathsSatisfy(prepend(el.List, tail))
+		case *ast.IfStmt:
+			elseOK = e.allPathsSatisfy(prepend([]ast.Stmt{el}, tail))
+		default:
+			elseOK = e.allPathsSatisfy(tail)
+		}
+		return thenOK && elseOK
+	case *ast.BlockStmt:
+		return e.allPathsSatisfy(prepend(st.List, tail))
+	case *ast.LabeledStmt:
+		return e.allPathsSatisfy(prepend([]ast.Stmt{st.Stmt}, tail))
+	case *ast.ForStmt:
+		if st.Cond == nil {
+			// for {}: the tail is unreachable except via break, so the
+			// body itself must discharge the obligation on all paths.
+			return e.allPathsSatisfy([][]ast.Stmt{st.Body.List})
+		}
+		return e.allPathsSatisfy(tail) // body may run zero times
+	case *ast.RangeStmt:
+		return e.allPathsSatisfy(tail)
+	case *ast.SwitchStmt:
+		return e.caseClausesSatisfy(st.Body, tail)
+	case *ast.TypeSwitchStmt:
+		return e.caseClausesSatisfy(st.Body, tail)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if !e.allPathsSatisfy(prepend(cc.Body, tail)) {
+				return false
+			}
+		}
+		if len(st.Body.List) == 0 {
+			return true // select{} blocks forever
+		}
+		return true
+	}
+	return e.allPathsSatisfy(tail)
+}
+
+// caseClausesSatisfy requires every case body (and, without a default, the
+// fall-past path) to discharge the obligation.
+func (e *pathEval) caseClausesSatisfy(body *ast.BlockStmt, tail [][]ast.Stmt) bool {
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !e.allPathsSatisfy(prepend(cc.Body, tail)) {
+			return false
+		}
+	}
+	if !hasDefault {
+		return e.allPathsSatisfy(tail)
+	}
+	return true
+}
+
+// ---- bounded region scan ----
+
+// regionScan enumerates the statements reachable inside a region — from a
+// statement of interest up to, on each path, the first statement for which
+// stop returns true (exclusive). Branches are all explored; loop bodies
+// are entered once; function literals are not descended into (their bodies
+// run at some other time). visit sees each reachable statement at most
+// once per call site, so callers flagging findings should dedupe by
+// position if the same statement is reachable via several paths.
+type regionScan struct {
+	budget int
+	stop   func(ast.Stmt) bool
+	visit  func(ast.Stmt)
+	seen   map[ast.Stmt]bool
+}
+
+func newRegionScan(stop func(ast.Stmt) bool, visit func(ast.Stmt)) *regionScan {
+	return &regionScan{budget: 100000, stop: stop, visit: visit, seen: make(map[ast.Stmt]bool)}
+}
+
+// scan walks the continuation segments.
+func (r *regionScan) scan(segs [][]ast.Stmt) {
+	if r.budget <= 0 {
+		return
+	}
+	r.budget--
+	for len(segs) > 0 && len(segs[0]) == 0 {
+		segs = segs[1:]
+	}
+	if len(segs) == 0 {
+		return
+	}
+	s := segs[0][0]
+	tail := append([][]ast.Stmt{segs[0][1:]}, segs[1:]...)
+	if r.stop(s) {
+		return // this path's region ends here
+	}
+	if !r.seen[s] {
+		r.seen[s] = true
+		r.visit(s)
+	}
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		return
+	case *ast.BranchStmt:
+		if st.Tok.String() == "fallthrough" {
+			r.scan(tail)
+		}
+		return
+	case *ast.IfStmt:
+		r.scan(prepend(st.Body.List, tail))
+		switch el := st.Else.(type) {
+		case *ast.BlockStmt:
+			r.scan(prepend(el.List, tail))
+		case *ast.IfStmt:
+			r.scan(prepend([]ast.Stmt{el}, tail))
+		default:
+			r.scan(tail)
+		}
+		return
+	case *ast.BlockStmt:
+		r.scan(prepend(st.List, tail))
+		return
+	case *ast.LabeledStmt:
+		r.scan(prepend([]ast.Stmt{st.Stmt}, tail))
+		return
+	case *ast.ForStmt:
+		// Visit the body once, then the tail (the loop may run zero times).
+		r.scan(prepend(st.Body.List, tail))
+		r.scan(tail)
+		return
+	case *ast.RangeStmt:
+		r.scan(prepend(st.Body.List, tail))
+		r.scan(tail)
+		return
+	case *ast.SwitchStmt:
+		r.scanCases(st.Body, tail)
+		return
+	case *ast.TypeSwitchStmt:
+		r.scanCases(st.Body, tail)
+		return
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				r.scan(prepend(cc.Body, tail))
+			}
+		}
+		return
+	}
+	r.scan(tail)
+}
+
+func (r *regionScan) scanCases(body *ast.BlockStmt, tail [][]ast.Stmt) {
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		r.scan(prepend(cc.Body, tail))
+	}
+	if !hasDefault {
+		r.scan(tail)
+	}
+}

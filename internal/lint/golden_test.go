@@ -20,12 +20,17 @@ import (
 
 // goldenDirs maps each testdata directory to the analyzers it runs.
 var goldenDirs = map[string][]string{
-	"wallclock": {"wallclock"},
-	"detrand":   {"detrand"},
-	"detrandok": {"detrand"},
-	"rngkey":    {"rngkey"},
-	"spanend":   {"spanend"},
-	"errwrap":   {"errwrap"},
+	"wallclock":   {"wallclock"},
+	"detrand":     {"detrand"},
+	"detrandok":   {"detrand"},
+	"rngkey":      {"rngkey"},
+	"spanend":     {"spanend"},
+	"errwrap":     {"errwrap"},
+	"maporder":    {"maporder"},
+	"lockhold":    {"lockhold"},
+	"headerkey":   {"headerkey"},
+	"headerkeyok": {"headerkey"},
+	"atomicmix":   {"atomicmix"},
 }
 
 func TestGolden(t *testing.T) {

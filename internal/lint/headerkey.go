@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// headerkey checks that every custom X-* HTTP header name is spelled via
+// the internal/httpheader constants package, never as a raw string
+// literal. The cluster protocol rides on these headers — X-Trace-Id joins
+// spans across processes, X-Parent-Span stitches a shard's server span
+// under the router's fan-out leg, X-Deadline-Ms propagates deadlines,
+// X-Serp-Partial marks degraded pages — and a typo'd literal does not
+// fail loudly: the header silently reads as absent, the trace silently
+// degrades to orphan roots, the deadline silently stops propagating.
+// One constants package makes the compiler catch what the wire protocol
+// cannot. Test files are included: a test asserting on a typo'd literal
+// vacuously passes against the equally typo'd producer.
+var headerkeyAnalyzer = &Analyzer{
+	Name: "headerkey",
+	Doc: "X-* header names must come from the internal/httpheader constants, not raw " +
+		"string literals, so a typo cannot silently break trace/deadline propagation",
+	run: runHeaderkey,
+}
+
+const headerkeyHint = "use (or add) the constant in internal/httpheader; the compiler " +
+	"catches a misspelled identifier, the wire protocol does not"
+
+// headerLiteral matches canonical custom header names: "X-" followed by
+// capitalized segments (X-Trace-Id, X-Forwarded-For). Lowercase
+// continuations ("X-axis") do not match.
+var headerLiteral = regexp.MustCompile(`^X-[A-Z][A-Za-z0-9]*(-[A-Za-z0-9]+)*$`)
+
+func runHeaderkey(p *Pass, f *ast.File) {
+	// httpheader is the single place the literals are allowed to exist.
+	if p.InScope("internal/httpheader") {
+		return
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil || !headerLiteral.MatchString(s) {
+			return true
+		}
+		p.Reportf(lit.Pos(), headerkeyHint,
+			"raw header name literal %q outside internal/httpheader", s)
+		return true
+	})
+}

@@ -78,6 +78,10 @@ func Analyzers() []*Analyzer {
 		rngkeyAnalyzer,
 		spanendAnalyzer,
 		errwrapAnalyzer,
+		maporderAnalyzer,
+		lockholdAnalyzer,
+		headerkeyAnalyzer,
+		atomicmixAnalyzer,
 	}
 }
 
@@ -244,20 +248,22 @@ type Runner struct {
 	// (the golden harness runs one analyzer per testdata directory).
 	Only []string
 
-	diags    []Diagnostic
-	allows   map[string]map[int][]*allowEntry // filename -> line -> entries
-	rngSites map[string][]rngSite
-	seen     map[string]bool // files already scanned for allows
+	diags        []Diagnostic
+	allows       map[string]map[int][]*allowEntry // filename -> line -> entries
+	rngSites     map[string][]rngSite
+	atomicFields map[string]*atomicFieldState // field key -> accesses (atomicmix)
+	seen         map[string]bool              // files already scanned for allows
 }
 
 // NewRunner returns a Runner for the given module rooted at fset.
 func NewRunner(module string, fset *token.FileSet) *Runner {
 	return &Runner{
-		Module:   module,
-		Fset:     fset,
-		allows:   make(map[string]map[int][]*allowEntry),
-		rngSites: make(map[string][]rngSite),
-		seen:     make(map[string]bool),
+		Module:       module,
+		Fset:         fset,
+		allows:       make(map[string]map[int][]*allowEntry),
+		rngSites:     make(map[string][]rngSite),
+		atomicFields: make(map[string]*atomicFieldState),
+		seen:         make(map[string]bool),
 	}
 }
 

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockhold checks two mutex invariants, flow-sensitively (reusing the
+// shared path machinery in flow.go):
+//
+//  1. Every mu.Lock()/mu.RLock() is released on all control-flow paths in
+//     the same function (deferred or explicit) — a leaked lock deadlocks
+//     the next acquirer, and in this codebase "the next acquirer" is
+//     usually an admission gate or a span ring on the cluster's hot path.
+//
+//  2. No path between a Lock and its Unlock performs an operation that can
+//     block indefinitely while the lock is held: net/http or net calls,
+//     clock sleeps (Sleep/SleepHeld — on a held virtual clock the driver
+//     may never advance), channel sends/receives outside a select with a
+//     default clause, selects without a default, or WaitGroup waits. A
+//     blocked lock holder stalls every other goroutine that needs the
+//     lock; under the simclock hold/quiesce protocol it can deadlock the
+//     whole campaign driver.
+//
+// In typed mode only receivers whose type is sync.Mutex/sync.RWMutex are
+// analyzed; syntactic mode (testdata) accepts any .Lock()/.RLock()
+// receiver. Channel operations inside a select that has a default clause
+// are non-blocking by construction and are not flagged. Calls are matched
+// intraprocedurally: a helper that blocks inside its own body is analyzed
+// where its Lock lives, not at its call sites.
+var lockholdAnalyzer = &Analyzer{
+	Name: "lockhold",
+	Doc: "locks must be released on all paths, and no http/net call, clock sleep, or " +
+		"blocking channel operation may run while a mutex is held",
+	SkipTestFiles: true,
+	run:           runLockhold,
+}
+
+const lockholdLeakHint = "defer the Unlock right after the Lock, or unlock before every return"
+const lockholdBlockHint = "release the lock before blocking (copy what you need out of the " +
+	"critical section), or make the operation non-blocking"
+
+// lockPairs maps acquire method names to their release counterparts.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func runLockhold(p *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		checkLockBody(p, f, body)
+		return false
+	})
+}
+
+// checkLockBody finds every Lock/RLock statement in one function body and
+// applies both invariants to it.
+func checkLockBody(p *Pass, f *ast.File, body *ast.BlockStmt) {
+	flagged := make(map[token.Pos]bool) // dedupe across overlapping critical sections
+	walkStmts(body.List, func(s ast.Stmt) {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		unlockName, isLock := lockPairs[sel.Sel.Name]
+		if !isLock || len(call.Args) != 0 {
+			return
+		}
+		if p.Info != nil && !p.isMutexExpr(sel.X) {
+			return
+		}
+		recv := types.ExprString(sel.X)
+		path, found := findStmtPath(body.List, s, false)
+		if !found {
+			return
+		}
+
+		// Invariant 1: released on all paths.
+		ev := &pathEval{
+			budget:  100000,
+			satisfy: func(c *ast.CallExpr) bool { return isCallOn(c, recv, unlockName) },
+			deferSatisfy: func(c *ast.CallExpr) bool {
+				return isCallOn(c, recv, unlockName) || deferredClosureCalls(c, recv, unlockName)
+			},
+		}
+		if !ev.allPathsSatisfy(continuation(path)) {
+			p.Reportf(call.Pos(), lockholdLeakHint,
+				"%s.%s() is not released on all paths", recv, sel.Sel.Name)
+		}
+
+		// Invariant 2: nothing blocking between Lock and Unlock. A
+		// deferred Unlock extends the critical section to function exit,
+		// so the scan only stops at explicit Unlock statements.
+		scan := newRegionScan(
+			func(st ast.Stmt) bool { return isUnlockStmt(st, recv, unlockName) },
+			func(st ast.Stmt) { flagBlocking(p, f, st, recv, flagged) },
+		)
+		scan.scan(continuation(path))
+	})
+}
+
+// isMutexExpr reports whether e's type is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func (p *Pass) isMutexExpr(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isSyncType(tv.Type, "Mutex") || isSyncType(tv.Type, "RWMutex")
+}
+
+// isSyncType reports whether t (or its pointee) is sync.<name>.
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isCallOn reports whether call is recv.method() for the rendered receiver.
+func isCallOn(call *ast.CallExpr, recv, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}
+
+// deferredClosureCalls reports whether call is a deferred func literal
+// whose body calls recv.method() — `defer func() { mu.Unlock() }()`.
+func deferredClosureCalls(call *ast.CallExpr, recv, method string) bool {
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && isCallOn(c, recv, method) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isUnlockStmt reports whether s is the statement `recv.Unlock()` (or
+// RUnlock), ending the critical section on this path.
+func isUnlockStmt(s ast.Stmt, recv, unlockName string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && isCallOn(call, recv, unlockName)
+}
+
+// flagBlocking reports any blocking operation evaluated by statement s
+// itself (nested statements are visited separately by the region scan;
+// function literal bodies run at some other time and are skipped).
+func flagBlocking(p *Pass, f *ast.File, s ast.Stmt, recv string, flagged map[token.Pos]bool) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if flagged[pos] {
+			return
+		}
+		flagged[pos] = true
+		p.Reportf(pos, lockholdBlockHint, format, args...)
+	}
+	switch st := s.(type) {
+	case *ast.SendStmt:
+		report(st.Arrow, "channel send while %s is held can block the lock holder", recv)
+		return
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault && len(st.Body.List) > 0 {
+			report(st.Select, "select without a default clause blocks while %s is held", recv)
+		}
+		return // comm clauses of a defaulted select are non-blocking
+	case *ast.GoStmt, *ast.DeferStmt:
+		return // runs on another goroutine / after the unlock path resolves
+	}
+	for _, e := range stmtOwnExprs(s) {
+		inspectNoFuncLit(e, func(n ast.Node) {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					report(x.OpPos, "channel receive while %s is held can block the lock holder", recv)
+				}
+			case *ast.CallExpr:
+				flagBlockingCall(p, f, x, recv, report)
+			}
+		})
+	}
+}
+
+// stmtOwnExprs returns the expressions a statement itself evaluates,
+// excluding nested statement bodies (the region scan visits those as
+// statements of their own).
+func stmtOwnExprs(s ast.Stmt) []ast.Expr {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		return []ast.Expr{st.X}
+	case *ast.AssignStmt:
+		return append(append([]ast.Expr{}, st.Lhs...), st.Rhs...)
+	case *ast.ReturnStmt:
+		return st.Results
+	case *ast.IfStmt:
+		out := stmtOwnExprs(st.Init)
+		if st.Cond != nil {
+			out = append(out, st.Cond)
+		}
+		return out
+	case *ast.ForStmt:
+		out := append(stmtOwnExprs(st.Init), stmtOwnExprs(st.Post)...)
+		if st.Cond != nil {
+			out = append(out, st.Cond)
+		}
+		return out
+	case *ast.RangeStmt:
+		return []ast.Expr{st.X}
+	case *ast.SwitchStmt:
+		out := stmtOwnExprs(st.Init)
+		if st.Tag != nil {
+			out = append(out, st.Tag)
+		}
+		return out
+	case *ast.TypeSwitchStmt:
+		return stmtOwnExprs(st.Init)
+	case *ast.IncDecStmt:
+		return []ast.Expr{st.X}
+	case *ast.DeclStmt:
+		var out []ast.Expr
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					out = append(out, vs.Values...)
+				}
+			}
+		}
+		return out
+	case *ast.LabeledStmt:
+		return stmtOwnExprs(st.Stmt)
+	}
+	return nil
+}
+
+// flagBlockingCall classifies one call inside a critical section.
+func flagBlockingCall(p *Pass, f *ast.File, call *ast.CallExpr, recv string, report func(token.Pos, string, ...any)) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if path, name, ok := p.resolvePkgSel(f, sel); ok {
+		switch path {
+		case "net/http", "net":
+			report(call.Pos(), "%s.%s call while %s is held (network I/O under a lock)",
+				pkgBase(path), name, recv)
+		case "time":
+			if name == "Sleep" {
+				report(call.Pos(), "time.Sleep while %s is held", recv)
+			}
+		}
+		return
+	}
+	switch sel.Sel.Name {
+	case "Sleep", "SleepHeld":
+		report(call.Pos(), "%s while %s is held sleeps on a clock the lock may be blocking",
+			types.ExprString(sel), recv)
+	case "Wait":
+		// sync.Cond.Wait releases the lock — fine; sync.WaitGroup.Wait
+		// does not. Only typed mode can tell them apart.
+		if p.Info != nil {
+			if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil && isSyncType(tv.Type, "WaitGroup") {
+				report(call.Pos(), "WaitGroup.Wait while %s is held", recv)
+			}
+		}
+	default:
+		// Method calls on net/http or net types (client.Do, conn.Read...).
+		if p.Info != nil {
+			if tv, ok := p.Info.Types[sel.X]; ok && tv.Type != nil && isNetType(tv.Type) {
+				report(call.Pos(), "%s call while %s is held (network I/O under a lock)",
+					types.ExprString(sel), recv)
+			}
+		}
+	}
+}
+
+// isNetType reports whether t (or its pointee) is a named type from
+// net/http or net.
+func isNetType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && (pkg.Path() == "net/http" || pkg.Path() == "net")
+}
+
+func pkgBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// This file renders diagnostics in the machine-readable formats behind
+// `geoserplint -format`: a flat JSON array for scripting, and SARIF 2.1.0
+// for code-scanning pipelines (CI uploads lint.sarif so findings annotate
+// the changed lines of a pull request instead of scrolling by in a log).
+// Only the subset of SARIF the consumers actually read is emitted —
+// tool.driver.rules, results with ruleId/level/message/location — but
+// every emitted field follows the 2.1.0 schema so strict validators pass.
+
+// sarifSchema and sarifVersion pin the emitted log format.
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+// sarifLog is the top-level SARIF document.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRules returns the rule table: the analyzer suite plus the "allow"
+// pseudo-rule that the stale-annotation audit reports under.
+func sarifRules() []sarifRule {
+	var rules []sarifRule
+	for _, a := range Analyzers() {
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	rules = append(rules, sarifRule{
+		ID: "allow",
+		ShortDescription: sarifMessage{Text: "//lint:allow annotations must be well-formed " +
+			"and must each suppress a real diagnostic"},
+	})
+	return rules
+}
+
+// WriteSARIF writes diags to w as a SARIF 2.1.0 log. File paths are made
+// relative to root (the repo checkout) so the log is portable across
+// machines and uploadable to code-scanning services; paths outside root
+// are kept as-is.
+func WriteSARIF(w io.Writer, diags []Diagnostic, root string) error {
+	rules := sarifRules()
+	index := make(map[string]int, len(rules))
+	for i, r := range rules {
+		index[r.ID] = i
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		msg := d.Message
+		if d.Hint != "" {
+			msg += " (" + d.Hint + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:    d.Analyzer,
+			RuleIndex: index[d.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(d.Pos.Filename, root),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "geoserplint",
+				InformationURI: "https://example.invalid/geoserp/docs/LINTING.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders filename as a forward-slash URI relative to root.
+func sarifURI(filename, root string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+			filename = rel
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// jsonDiagnostic is the flat shape behind `geoserplint -format json`.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Hint     string `json:"hint,omitempty"`
+}
+
+// WriteJSON writes diags to w as a JSON array (never null: an empty run
+// emits []). Paths are made root-relative like WriteSARIF.
+func WriteJSON(w io.Writer, diags []Diagnostic, root string) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     sarifURI(d.Pos.Filename, root),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+			Hint:     d.Hint,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

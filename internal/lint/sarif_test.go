@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/engine/engine.go", Line: 42, Column: 7},
+			Analyzer: "wallclock",
+			Message:  "call to time.Now in deterministic package",
+			Hint:     "inject a simclock.Clock",
+		},
+		{
+			Pos:      token.Position{Filename: "/repo/internal/router/shard.go", Line: 9, Column: 2},
+			Analyzer: "maporder",
+			Message:  `append to "keys" inside range over map without a deterministic sort after the loop`,
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/x.go", Line: 1, Column: 1},
+			Analyzer: "allow",
+			Message:  "unused //lint:allow wallclock (it suppresses no diagnostic)",
+		},
+	}
+}
+
+// TestWriteSARIF validates the emitted log against the structural subset
+// of the SARIF 2.1.0 schema that code-scanning consumers require:
+// version/$schema, a single run, a rule table covering every analyzer,
+// and results whose ruleId/ruleIndex/location all resolve.
+func TestWriteSARIF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a 2.1.0 schema reference", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "geoserplint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+
+	// The rule table must cover the full suite plus the allow audit.
+	ruleIdx := make(map[string]int)
+	for i, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %q has no shortDescription", r.ID)
+		}
+		ruleIdx[r.ID] = i
+	}
+	for _, name := range append(AnalyzerNames(), "allow") {
+		if _, ok := ruleIdx[name]; !ok {
+			t.Errorf("rule table missing analyzer %q", name)
+		}
+	}
+
+	if len(run.Results) != len(sampleDiags()) {
+		t.Fatalf("results = %d, want %d", len(run.Results), len(sampleDiags()))
+	}
+	for i, res := range run.Results {
+		idx, known := ruleIdx[res.RuleID]
+		if !known {
+			t.Errorf("result %d: ruleId %q not in rule table", i, res.RuleID)
+		}
+		if res.RuleIndex != idx {
+			t.Errorf("result %d: ruleIndex = %d, want %d", i, res.RuleIndex, idx)
+		}
+		if res.Level != "error" {
+			t.Errorf("result %d: level = %q", i, res.Level)
+		}
+		if res.Message.Text == "" {
+			t.Errorf("result %d: empty message", i)
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result %d: locations = %d, want 1", i, len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result %d: startLine = %d", i, loc.Region.StartLine)
+		}
+		if loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+			t.Errorf("result %d: uriBaseId = %q", i, loc.ArtifactLocation.URIBaseID)
+		}
+	}
+
+	// Paths under root are relativized with forward slashes; paths outside
+	// root are preserved.
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/engine/engine.go" {
+		t.Errorf("in-root uri = %q, want internal/engine/engine.go", uri)
+	}
+	if uri := run.Results[2].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "/elsewhere/x.go" {
+		t.Errorf("out-of-root uri = %q, want /elsewhere/x.go", uri)
+	}
+
+	// The hint must travel with the message — it is the fix recipe.
+	if msg := run.Results[0].Message.Text; !strings.Contains(msg, "simclock.Clock") {
+		t.Errorf("hint missing from message: %q", msg)
+	}
+}
+
+// TestWriteSARIFEmpty checks a clean run still emits a schema-valid log
+// (results: [] — not null, which strict consumers reject).
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	runs := log["runs"].([]any)
+	results, ok := runs[0].(map[string]any)["results"]
+	if !ok || results == nil {
+		t.Fatalf("results must be [] on a clean run, got %v", results)
+	}
+}
+
+// TestWriteJSON checks the flat array format, including the never-null
+// empty case scripting loops depend on.
+func TestWriteJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleDiags(), "/repo"); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var out []jsonDiagnostic
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+	if out[0].File != "internal/engine/engine.go" || out[0].Line != 42 || out[0].Analyzer != "wallclock" {
+		t.Errorf("first diagnostic mangled: %+v", out[0])
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, nil, ""); err != nil {
+		t.Fatalf("WriteJSON(empty): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Errorf("empty run = %q, want []", got)
+	}
+}

@@ -12,15 +12,16 @@ import (
 // guarantee quietly degrades to "byte-identical minus whatever leaked".
 //
 // A "start" is a call to StartSpan/startSpan (context helpers returning
-// (ctx, *Span)) or StartChild/StartRoot/StartRootSeq (returning *Span); in
-// typed mode the result type is verified to be *telemetry.Span. Spans
-// whose ownership escapes the function — returned, passed as an argument,
-// stored in a field, or captured by a closure — are the caller's (or the
-// closure's) responsibility and are skipped. For spans that stay local,
-// the analyzer walks every control-flow path from the start statement:
-// a path that returns, breaks, or falls off the end of a loop body before
-// v.End() (or after a `defer v.End()`) is a diagnostic. `if v != nil { ...
-// v.End() }` guards count as ending, since End is nil-receiver safe.
+// (ctx, *Span)) or StartChild/StartRoot/StartRootSeq/StartRemoteChild
+// (returning *Span); in typed mode the result type is verified to be
+// *telemetry.Span. Spans whose ownership escapes the function — returned,
+// passed as an argument, stored in a field, or captured by a closure — are
+// the caller's (or the closure's) responsibility and are skipped. For
+// spans that stay local, the analyzer walks every control-flow path from
+// the start statement (via the shared pathEval in flow.go): a path that
+// returns, breaks, or falls off the end of a loop body before v.End() (or
+// after a `defer v.End()`) is a diagnostic. `if v != nil { ... v.End() }`
+// guards count as ending, since End is nil-receiver safe.
 var spanendAnalyzer = &Analyzer{
 	Name: "spanend",
 	Doc: "every started telemetry span must be ended on all paths in the same function " +
@@ -31,11 +32,12 @@ var spanendAnalyzer = &Analyzer{
 
 // spanStartFuncs maps start-call names to the index of the *Span result.
 var spanStartFuncs = map[string]int{
-	"StartSpan":    1,
-	"startSpan":    1,
-	"StartChild":   0,
-	"StartRoot":    0,
-	"StartRootSeq": 0,
+	"StartSpan":        1,
+	"startSpan":        1,
+	"StartChild":       0,
+	"StartRoot":        0,
+	"StartRootSeq":     0,
+	"StartRemoteChild": 0,
 }
 
 const spanendHint = "defer the span's End() right after the start, or end it before every return"
@@ -110,9 +112,17 @@ func checkSpanVar(p *Pass, body *ast.BlockStmt, start ast.Stmt, call *ast.CallEx
 	if !found {
 		return
 	}
-	ev := &spanEval{budget: 100000}
-	if !ev.ends(continuation(path), id.Name) {
-		p.Reportf(call.Pos(), spanendHint, "span %q is not ended on all paths", id.Name)
+	v := id.Name
+	ev := &pathEval{
+		budget:  100000,
+		satisfy: func(c *ast.CallExpr) bool { return isEndCallOn(c, v) },
+		deferSatisfy: func(c *ast.CallExpr) bool {
+			return isEndCallOn(c, v) || deferredClosureEnds(c, v)
+		},
+		guard: func(cond ast.Expr) bool { return isNilGuard(cond, v) },
+	}
+	if !ev.allPathsSatisfy(continuation(path)) {
+		p.Reportf(call.Pos(), spanendHint, "span %q is not ended on all paths", v)
 	}
 }
 
@@ -245,239 +255,6 @@ func (p *Pass) isSpanType(t types.Type) bool {
 		obj.Pkg().Path() == p.Module+"/internal/telemetry"
 }
 
-// ---- statement walking ----
-
-// walkStmts visits every statement in stmts and its nested statement
-// lists, in source order, without descending into function literals.
-func walkStmts(stmts []ast.Stmt, fn func(ast.Stmt)) {
-	for _, s := range stmts {
-		fn(s)
-		for _, sub := range subLists(s) {
-			walkStmts(sub.list, fn)
-		}
-	}
-}
-
-// stmtList is one nested statement list; loop marks loop bodies, where
-// falling off the end re-enters the loop rather than the enclosing list.
-type stmtList struct {
-	list []ast.Stmt
-	loop bool
-}
-
-// subLists returns the statement lists nested directly inside s.
-func subLists(s ast.Stmt) []stmtList {
-	switch st := s.(type) {
-	case *ast.BlockStmt:
-		return []stmtList{{st.List, false}}
-	case *ast.IfStmt:
-		out := []stmtList{{st.Body.List, false}}
-		switch e := st.Else.(type) {
-		case *ast.BlockStmt:
-			out = append(out, stmtList{e.List, false})
-		case *ast.IfStmt:
-			out = append(out, stmtList{[]ast.Stmt{e}, false})
-		}
-		return out
-	case *ast.ForStmt:
-		return []stmtList{{st.Body.List, true}}
-	case *ast.RangeStmt:
-		return []stmtList{{st.Body.List, true}}
-	case *ast.SwitchStmt:
-		return caseLists(st.Body)
-	case *ast.TypeSwitchStmt:
-		return caseLists(st.Body)
-	case *ast.SelectStmt:
-		var out []stmtList
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				out = append(out, stmtList{cc.Body, false})
-			}
-		}
-		return out
-	case *ast.LabeledStmt:
-		return []stmtList{{[]ast.Stmt{st.Stmt}, false}}
-	}
-	return nil
-}
-
-func caseLists(body *ast.BlockStmt) []stmtList {
-	var out []stmtList
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok {
-			out = append(out, stmtList{cc.Body, false})
-		}
-	}
-	return out
-}
-
-// pathFrame locates one level of the nesting chain from a function body
-// down to a target statement.
-type pathFrame struct {
-	list []ast.Stmt
-	idx  int
-	loop bool
-}
-
-// findStmtPath returns the outermost-first chain of statement lists
-// leading to target.
-func findStmtPath(stmts []ast.Stmt, target ast.Stmt, loop bool) ([]pathFrame, bool) {
-	for i, s := range stmts {
-		if s == target {
-			return []pathFrame{{stmts, i, loop}}, true
-		}
-		for _, sub := range subLists(s) {
-			if chain, ok := findStmtPath(sub.list, target, sub.loop); ok {
-				return append([]pathFrame{{stmts, i, loop}}, chain...), true
-			}
-		}
-	}
-	return nil, false
-}
-
-// continuation builds the statement segments executed after the target, in
-// order: the remainder of each enclosing list, innermost first, stopping
-// at the first loop-body boundary (the iteration ends there).
-func continuation(path []pathFrame) [][]ast.Stmt {
-	var segs [][]ast.Stmt
-	for i := len(path) - 1; i >= 0; i-- {
-		segs = append(segs, path[i].list[path[i].idx+1:])
-		if path[i].loop {
-			break
-		}
-	}
-	return segs
-}
-
-// ---- all-paths evaluation ----
-
-// spanEval walks the continuation's control flow. The budget bounds the
-// branch-product blowup; an exhausted budget concedes (no diagnostic).
-type spanEval struct {
-	budget int
-}
-
-// ends reports whether every path through segs ends the span v before
-// returning, branching out, or falling off the end.
-func (e *spanEval) ends(segs [][]ast.Stmt, v string) bool {
-	if e.budget <= 0 {
-		return true // give up permissively rather than false-positive
-	}
-	e.budget--
-	for len(segs) > 0 && len(segs[0]) == 0 {
-		segs = segs[1:]
-	}
-	if len(segs) == 0 {
-		return false // reached the end of the span's scope without End
-	}
-	s := segs[0][0]
-	tail := append([][]ast.Stmt{segs[0][1:]}, segs[1:]...)
-	switch st := s.(type) {
-	case *ast.DeferStmt:
-		if isEndCallOn(st.Call, v) || deferredClosureEnds(st.Call, v) {
-			return true
-		}
-	case *ast.ExprStmt:
-		if call, ok := st.X.(*ast.CallExpr); ok {
-			if isEndCallOn(call, v) {
-				return true
-			}
-			if terminates(call) {
-				return true // panic/exit: the process unwinds, no leak to ring
-			}
-		}
-	case *ast.ReturnStmt:
-		return false
-	case *ast.BranchStmt:
-		// break/continue/goto leave the region; conservatively a leak.
-		// (fallthrough continues into the next case, approximated as the
-		// statements after the switch.)
-		if st.Tok.String() == "fallthrough" {
-			return e.ends(tail, v)
-		}
-		return false
-	case *ast.IfStmt:
-		thenOK := e.ends(prepend(st.Body.List, tail), v)
-		if isNilGuard(st.Cond, v) {
-			// `if v != nil { ... }`: on the nil path End is a no-op anyway.
-			return thenOK
-		}
-		var elseOK bool
-		switch el := st.Else.(type) {
-		case *ast.BlockStmt:
-			elseOK = e.ends(prepend(el.List, tail), v)
-		case *ast.IfStmt:
-			elseOK = e.ends(prepend([]ast.Stmt{el}, tail), v)
-		default:
-			elseOK = e.ends(tail, v)
-		}
-		return thenOK && elseOK
-	case *ast.BlockStmt:
-		return e.ends(prepend(st.List, tail), v)
-	case *ast.LabeledStmt:
-		return e.ends(prepend([]ast.Stmt{st.Stmt}, tail), v)
-	case *ast.ForStmt:
-		if st.Cond == nil {
-			// for {}: the tail is unreachable except via break, so the
-			// body itself must end the span on all paths.
-			return e.ends([][]ast.Stmt{st.Body.List}, v)
-		}
-		return e.ends(tail, v) // body may run zero times
-	case *ast.RangeStmt:
-		return e.ends(tail, v)
-	case *ast.SwitchStmt:
-		return e.caseClausesEnd(st.Body, tail, v)
-	case *ast.TypeSwitchStmt:
-		return e.caseClausesEnd(st.Body, tail, v)
-	case *ast.SelectStmt:
-		hasDefault := false
-		for _, c := range st.Body.List {
-			cc, ok := c.(*ast.CommClause)
-			if !ok {
-				continue
-			}
-			if cc.Comm == nil {
-				hasDefault = true
-			}
-			if !e.ends(prepend(cc.Body, tail), v) {
-				return false
-			}
-		}
-		if len(st.Body.List) == 0 {
-			return true // select{} blocks forever
-		}
-		_ = hasDefault // every clause (default included) was checked above
-		return true
-	}
-	return e.ends(tail, v)
-}
-
-// caseClausesEnd requires every case body (and, without a default, the
-// fall-past path) to end v.
-func (e *spanEval) caseClausesEnd(body *ast.BlockStmt, tail [][]ast.Stmt, v string) bool {
-	hasDefault := false
-	for _, c := range body.List {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
-			continue
-		}
-		if cc.List == nil {
-			hasDefault = true
-		}
-		if !e.ends(prepend(cc.Body, tail), v) {
-			return false
-		}
-	}
-	if !hasDefault {
-		return e.ends(tail, v)
-	}
-	return true
-}
-
-func prepend(head []ast.Stmt, tail [][]ast.Stmt) [][]ast.Stmt {
-	return append([][]ast.Stmt{head}, tail...)
-}
-
 // isEndCallOn reports whether call is v.End().
 func isEndCallOn(call *ast.CallExpr, v string) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -514,19 +291,4 @@ func isNilGuard(cond ast.Expr, v string) bool {
 	isV := func(e ast.Expr) bool { id, ok := e.(*ast.Ident); return ok && id.Name == v }
 	isNil := func(e ast.Expr) bool { id, ok := e.(*ast.Ident); return ok && id.Name == "nil" }
 	return (isV(b.X) && isNil(b.Y)) || (isV(b.Y) && isNil(b.X))
-}
-
-// terminates reports whether call never returns: panic, os.Exit, or a
-// Fatal-family logger call.
-func terminates(call *ast.CallExpr) bool {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name == "panic"
-	case *ast.SelectorExpr:
-		switch fun.Sel.Name {
-		case "Exit", "Fatal", "Fatalf", "Fatalln":
-			return true
-		}
-	}
-	return false
 }

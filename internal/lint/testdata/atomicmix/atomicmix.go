@@ -1,0 +1,50 @@
+// Package atomicmixdata seeds atomicmix violations for the golden
+// harness: a field touched through sync/atomic in one place and read or
+// written plainly in another races, and the memory model guarantees
+// nothing about what the plain access observes.
+package atomicmixdata
+
+import "sync/atomic"
+
+// counter mixes access modes on hits; shed is consistently atomic and
+// plain is consistently plain, so only hits is flagged.
+type counter struct {
+	hits  uint64
+	shed  uint64
+	plain int
+}
+
+// bump is the atomic side of the race.
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.shed, 1)
+}
+
+// snapshot reads hits without the atomic load that bump's store requires.
+func snapshot(c *counter) uint64 {
+	return c.hits // want "atomicmix: plain access to field \"hits\", which is accessed atomically at"
+}
+
+// reset writes hits plainly — the torn-write half of the same bug.
+func reset(c *counter) {
+	c.hits = 0 // want "atomicmix: plain access to field \"hits\", which is accessed atomically at"
+	atomic.StoreUint64(&c.shed, 0)
+}
+
+// goodAtomic keeps every shed access atomic.
+func goodAtomic(c *counter) uint64 {
+	return atomic.LoadUint64(&c.shed)
+}
+
+// goodPlain never uses atomics on plain, so ordinary access is fine.
+func goodPlain(c *counter) {
+	c.plain++
+	_ = c.plain
+}
+
+// allowed documents a plain read the analyzer cannot prove safe: after a
+// WaitGroup join every writer has returned, so the read is ordered.
+func allowed(c *counter) uint64 {
+	//lint:allow atomicmix read happens after the writers' WaitGroup join
+	return c.hits
+}

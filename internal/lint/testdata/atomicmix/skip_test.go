@@ -1,0 +1,14 @@
+package atomicmixdata
+
+import "sync/atomic"
+
+// Test files are exempt from atomicmix: a test that increments atomically
+// in goroutines and reads plainly after joining them is an idiom, not a
+// hot-path hazard. No diagnostic is expected here.
+func mixedInTest() uint64 {
+	var n uint64
+	var c counter
+	atomic.AddUint64(&c.hits, 1)
+	n = c.hits
+	return n
+}

@@ -1,0 +1,37 @@
+// Package headerkeydata seeds headerkey violations for the golden
+// harness: any canonical X-* header name as a raw string literal is
+// flagged anywhere outside internal/httpheader, including in constant
+// declarations. Non-header strings and //lint:allow are not.
+package headerkeydata
+
+import "net/http"
+
+// badSet spells a wire header inline; a typo here would silently orphan
+// every trace.
+func badSet(req *http.Request, id string) {
+	req.Header.Set("X-Trace-Id", id) // want "headerkey: raw header name literal \"X-Trace-Id\" outside internal/httpheader"
+}
+
+// badConst re-declares a header constant outside the shared package,
+// forking the protocol's spelling authority.
+const localHeader = "X-Custom-Shard" // want "headerkey: raw header name literal \"X-Custom-Shard\" outside internal/httpheader"
+
+// badCompare reads a header by literal name.
+func badCompare(resp *http.Response) bool {
+	return resp.Header.Get("X-Serp-Partial") != "" // want "headerkey: raw header name literal \"X-Serp-Partial\" outside internal/httpheader"
+}
+
+// goodStandards: standard header names and non-header strings never match.
+func goodStandards(req *http.Request) {
+	req.Header.Set("Content-Type", "text/html")
+	req.Header.Set("Retry-After", "1")
+	_ = "X-axis"     // lowercase continuation: not a header shape
+	_ = "PREFIX-X-Y" // X- must be the prefix
+}
+
+// allowed documents a deliberate literal (a chaos test probing unknown
+// header handling).
+func allowed(req *http.Request) {
+	//lint:allow headerkey probing server handling of unknown X- headers
+	req.Header.Set("X-Unknown-Probe", "1")
+}

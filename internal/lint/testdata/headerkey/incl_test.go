@@ -1,0 +1,10 @@
+package headerkeydata
+
+import "net/http"
+
+// Test files are NOT exempt from headerkey: a test asserting on a typo'd
+// literal vacuously passes against the equally typo'd producer, so tests
+// must spell headers through the constants too.
+func assertServed(resp *http.Response) string {
+	return resp.Header.Get("X-Served-By") // want "headerkey: raw header name literal \"X-Served-By\" outside internal/httpheader"
+}

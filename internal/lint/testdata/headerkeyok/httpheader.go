@@ -1,0 +1,10 @@
+//lintpkg:geoserp/internal/httpheader
+
+// Package httpheader mirrors the real constants package: the one scope
+// where raw X-* literals are the point. No diagnostic is expected here.
+package httpheader
+
+const (
+	TraceID    = "X-Trace-Id"
+	Datacenter = "X-Datacenter"
+)

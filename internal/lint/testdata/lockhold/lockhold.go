@@ -1,0 +1,132 @@
+// Package lockholddata seeds lockhold violations for the golden harness:
+// locks leaked on some path, and blocking operations — network I/O,
+// clock sleeps, channel ops, defaultless selects — inside a critical
+// section. Balanced sections and non-blocking idioms are not flagged.
+package lockholddata
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var rw sync.RWMutex
+var ch chan int
+
+// leak misses the unlock on the early-return path.
+func leak(cond bool) {
+	mu.Lock() // want "lockhold: mu.Lock\\(\\) is not released on all paths"
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+// leakRead leaks a read lock the same way.
+func leakRead(cond bool) int {
+	rw.RLock() // want "lockhold: rw.RLock\\(\\) is not released on all paths"
+	if cond {
+		return 0
+	}
+	rw.RUnlock()
+	return 1
+}
+
+// goodDefer releases on every path by deferring.
+func goodDefer() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// goodBranches releases explicitly on both paths.
+func goodBranches(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// badHTTP performs network I/O while holding the lock.
+func badHTTP(url string) {
+	mu.Lock()
+	defer mu.Unlock()
+	http.Get(url) // want "lockhold: http.Get call while mu is held \\(network I/O under a lock\\)"
+}
+
+// badSleep sleeps on the wall clock inside the critical section.
+func badSleep() {
+	mu.Lock()
+	time.Sleep(time.Second) // want "lockhold: time.Sleep while mu is held"
+	mu.Unlock()
+}
+
+// badClockSleep sleeps on an injected clock — under the hold/quiesce
+// protocol the driver advancing that clock may need this very lock.
+func badClockSleep(clock interface{ Sleep(time.Duration) }) {
+	mu.Lock()
+	clock.Sleep(time.Second) // want "lockhold: clock.Sleep while mu is held sleeps on a clock the lock may be blocking"
+	mu.Unlock()
+}
+
+// badSend can block forever if no receiver is ready.
+func badSend(v int) {
+	mu.Lock()
+	ch <- v // want "lockhold: channel send while mu is held can block the lock holder"
+	mu.Unlock()
+}
+
+// badRecv blocks the holder until someone sends.
+func badRecv() int {
+	mu.Lock()
+	v := <-ch // want "lockhold: channel receive while mu is held can block the lock holder"
+	mu.Unlock()
+	return v
+}
+
+// badSelect has no default, so it parks the goroutine with the lock held.
+func badSelect() {
+	mu.Lock()
+	defer mu.Unlock()
+	select { // want "lockhold: select without a default clause blocks while mu is held"
+	case v := <-ch:
+		_ = v
+	}
+}
+
+// goodSelectDefault never blocks: a defaulted select is a poll.
+func goodSelectDefault() {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// goodAfterUnlock blocks only once the critical section is over.
+func goodAfterUnlock(v int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- v
+}
+
+// goodGoroutine hands blocking work to another goroutine; the holder
+// itself never blocks.
+func goodGoroutine(url string) {
+	mu.Lock()
+	defer mu.Unlock()
+	go http.Get(url)
+}
+
+// allowed documents a send the analyzer cannot prove safe: a buffered
+// channel with a single sender never blocks.
+func allowed(ready chan struct{}) {
+	mu.Lock()
+	defer mu.Unlock()
+	//lint:allow lockhold ready has capacity 1 and exactly one sender
+	ready <- struct{}{}
+}

@@ -1,0 +1,12 @@
+package lockholddata
+
+import "sync"
+
+// Test files are exempt from lockhold: tests hold locks across arbitrary
+// assertions and synthetic blocking to exercise contention. No diagnostic
+// is expected here.
+func holdAcrossSend(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package maporderdata
+
+// Test files are exempt from maporder: building an order-invariant
+// dataset from a fixture map and asserting on contents is a test idiom.
+// No diagnostic is expected here.
+func collectForAssert(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -33,3 +33,21 @@ func good() time.Time {
 func allowed() time.Time {
 	return time.Now() //lint:allow wallclock process-edge timestamp outside any campaign
 }
+
+// badAfter arms a one-shot wall-clock timer channel.
+func badAfter() {
+	<-time.After(time.Second) // want "wallclock: time.After reads the process wall clock outside internal/simclock"
+}
+
+// badTick leaks a wall-clock ticker channel.
+func badTick() {
+	for range time.Tick(time.Minute) { // want "wallclock: time.Tick reads the process wall clock outside internal/simclock"
+		break
+	}
+}
+
+// badTimer builds a wall-clock timer.
+func badTimer() {
+	t := time.NewTimer(time.Second) // want "wallclock: time.NewTimer reads the process wall clock outside internal/simclock"
+	t.Stop()
+}

@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"geoserp/internal/analysis"
@@ -215,12 +216,7 @@ func sortedLocations(s analysis.ConsistencySeries) []string {
 	for loc := range s.PerLocation {
 		out = append(out, loc)
 	}
-	// Keep a stable order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

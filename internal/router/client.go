@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/index"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
@@ -212,16 +213,16 @@ func (c *Client) callShard(i int, req engine.RetrieveRequest, sp *telemetry.Span
 		return c.fail(br, sp, "bad_url: "+err.Error())
 	}
 	if req.TraceID != "" {
-		hreq.Header.Set(telemetry.TraceHeader, req.TraceID)
+		hreq.Header.Set(httpheader.TraceID, req.TraceID)
 	}
 	if id := sp.ID(); id != "" {
 		// Name the exact fan-out leg as the server span's parent, so the
 		// stitcher joins each attempt's legs unambiguously even when a
 		// trace fans out more than once (retries).
-		hreq.Header.Set(telemetry.ParentHeader, id)
+		hreq.Header.Set(httpheader.ParentSpan, id)
 	}
 	if !req.Deadline.IsZero() {
-		hreq.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(req.Deadline.UnixMilli(), 10))
+		hreq.Header.Set(httpheader.DeadlineMs, strconv.FormatInt(req.Deadline.UnixMilli(), 10))
 	}
 
 	httpc := &http.Client{Transport: c.cfg.Transport, Timeout: c.cfg.Timeout}
@@ -296,7 +297,7 @@ func (c *Client) CollectSpanz() ([]telemetry.NodeSpans, []error) {
 // parseDeadline reads the propagated absolute deadline from X-Deadline-Ms
 // (unix milliseconds); absent or malformed values mean no deadline.
 func parseDeadline(r *http.Request) time.Time {
-	v := r.Header.Get(telemetry.DeadlineHeader)
+	v := r.Header.Get(httpheader.DeadlineMs)
 	if v == "" {
 		return time.Time{}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serpserver"
 	"geoserp/internal/simclock"
 )
@@ -146,13 +147,13 @@ func fetch(t *testing.T, h http.Handler, query, trace, ip string) (int, string, 
 	t.Helper()
 	r := httptest.NewRequest(http.MethodGet, "/search?q="+strings.ReplaceAll(query, " ", "+")+"&ll=41.4993,-81.6944&format=json", nil)
 	r.Header.Set("User-Agent", "Mozilla/5.0 (Linux; Android 5.1) Mobile")
-	r.Header.Set("X-Forwarded-For", ip)
+	r.Header.Set(httpheader.ForwardedFor, ip)
 	if trace != "" {
-		r.Header.Set("X-Trace-Id", trace)
+		r.Header.Set(httpheader.TraceID, trace)
 	}
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, r)
-	return w.Code, w.Header().Get(serpserver.PartialHeader), w.Body.String()
+	return w.Code, w.Header().Get(httpheader.SerpPartial), w.Body.String()
 }
 
 var clusterQueries = []string{
@@ -321,7 +322,7 @@ func TestShardHandlerSurface(t *testing.T) {
 
 	// An already-expired propagated deadline is refused as a shed.
 	r = httptest.NewRequest(http.MethodGet, SearchPath+"?q=pizza", nil)
-	r.Header.Set("X-Deadline-Ms", strconv.FormatInt(epoch.Add(-time.Second).UnixMilli(), 10))
+	r.Header.Set(httpheader.DeadlineMs, strconv.FormatInt(epoch.Add(-time.Second).UnixMilli(), 10))
 	w = httptest.NewRecorder()
 	sh.ServeHTTP(w, r)
 	if w.Code != http.StatusServiceUnavailable {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"geoserp/internal/httpheader"
 	"geoserp/internal/index"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
@@ -129,7 +130,7 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var sp *telemetry.Span
 	if h.spans != nil {
 		attempt := 0
-		if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+		if v := r.Header.Get(httpheader.TraceAttempt); v != "" {
 			if n, err := strconv.Atoi(v); err == nil {
 				attempt = n
 			}
@@ -137,8 +138,8 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		// The router names its fan-out leg in X-Parent-Span, so this span
 		// joins the caller's trace as a remote child — the stitcher needs
 		// no heuristics. Callers without the header still get a root.
-		sp = h.spans.StartRemoteChild(r.Header.Get(telemetry.TraceHeader), "shard.search",
-			r.Header.Get(telemetry.ParentHeader), attempt)
+		sp = h.spans.StartRemoteChild(r.Header.Get(httpheader.TraceID), "shard.search",
+			r.Header.Get(httpheader.ParentSpan), attempt)
 		sp.SetAttr("shard", strconv.Itoa(h.id))
 		defer sp.End()
 	}
@@ -183,8 +184,8 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	sp.SetAttr("hits", strconv.Itoa(len(res)))
 
 	w.Header().Set("Content-Type", "application/json")
-	if trace := r.Header.Get(telemetry.TraceHeader); trace != "" {
-		w.Header().Set(telemetry.TraceHeader, trace)
+	if trace := r.Header.Get(httpheader.TraceID); trace != "" {
+		w.Header().Set(httpheader.TraceID, trace)
 	}
 	if err := json.NewEncoder(w).Encode(ShardResponse{Shard: h.id, Hits: res}); err != nil {
 		// The client went away mid-write; nothing useful to do.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
@@ -213,12 +214,12 @@ func (a *admission) shedSpan(r *http.Request, reason string, ra time.Duration) {
 		return
 	}
 	attempt := 0
-	if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+	if v := r.Header.Get(httpheader.TraceAttempt); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
 			attempt = n
 		}
 	}
-	s := a.spans.StartRootSeq(r.Header.Get(telemetry.TraceHeader), "serpd.shed", attempt)
+	s := a.spans.StartRootSeq(r.Header.Get(httpheader.TraceID), "serpd.shed", attempt)
 	s.SetAttr("reason", reason)
 	if ra > 0 {
 		s.SetAttr("retry_after", ra.String())
@@ -229,7 +230,7 @@ func (a *admission) shedSpan(r *http.Request, reason string, ra time.Duration) {
 // parseDeadline reads the propagated absolute deadline from X-Deadline-Ms
 // (unix milliseconds); absent or malformed values mean no deadline.
 func parseDeadline(r *http.Request) time.Time {
-	v := r.Header.Get(telemetry.DeadlineHeader)
+	v := r.Header.Get(httpheader.DeadlineMs)
 	if v == "" {
 		return time.Time{}
 	}
@@ -300,6 +301,7 @@ func (g *gate) release() {
 	if front := g.queue.Front(); front != nil {
 		t := g.queue.Remove(front).(*ticket)
 		t.elem = nil
+		//lint:allow lockhold ready has capacity 1 and exactly one sender; the handoff send never blocks
 		t.ready <- struct{}{}
 		return
 	}

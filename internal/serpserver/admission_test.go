@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
@@ -163,7 +164,7 @@ func TestAdmissionShedsDeadOnArrival(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
+	req.Header.Set(httpheader.DeadlineMs, strconv.FormatInt(time.Now().Add(-time.Second).UnixMilli(), 10))
 	resp, err := srv.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -180,7 +181,7 @@ func TestAdmissionShedsDeadOnArrival(t *testing.T) {
 		t.Fatal("dead-on-arrival request still consumed a slot")
 	}
 	// The same request with a live deadline sails through an idle gate.
-	req.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(time.Now().Add(time.Hour).UnixMilli(), 10))
+	req.Header.Set(httpheader.DeadlineMs, strconv.FormatInt(time.Now().Add(time.Hour).UnixMilli(), 10))
 	resp, err = srv.Client().Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -216,7 +217,7 @@ func TestAdmissionRefusesToQueueDoomedRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	req.Header.Set(telemetry.DeadlineHeader, strconv.FormatInt(time.Now().Add(time.Second).UnixMilli(), 10))
+	req.Header.Set(httpheader.DeadlineMs, strconv.FormatInt(time.Now().Add(time.Second).UnixMilli(), 10))
 	resp, err := client.Do(req)
 	if err != nil {
 		t.Fatal(err)
@@ -272,7 +273,7 @@ func TestParseDeadline(t *testing.T) {
 	mk := func(v string) *http.Request {
 		r := httptest.NewRequest(http.MethodGet, "/search", nil)
 		if v != "" {
-			r.Header.Set(telemetry.DeadlineHeader, v)
+			r.Header.Set(httpheader.DeadlineMs, v)
 		}
 		return r
 	}

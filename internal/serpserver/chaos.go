@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"geoserp/internal/detrand"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
@@ -111,12 +112,12 @@ const maxTrackedTraces = 4096
 // growth-free, arrival-order-independent key; header-less traced requests
 // fall back to a bounded counting map.
 func (c *chaosMiddleware) attempt(r *http.Request) (trace string, n int, key string) {
-	trace = r.Header.Get(telemetry.TraceHeader)
+	trace = r.Header.Get(httpheader.TraceID)
 	if trace == "" {
 		n = int(c.seq.Add(1))
 		return "", n, fmt.Sprintf("seq-%d", n)
 	}
-	if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+	if v := r.Header.Get(httpheader.TraceAttempt); v != "" {
 		if an, err := strconv.Atoi(v); err == nil && an > 0 {
 			return trace, an, fmt.Sprintf("%s-%d", trace, an)
 		}

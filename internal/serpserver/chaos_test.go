@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
 )
 
@@ -29,7 +30,7 @@ func searchOnce(t *testing.T, srv *httptest.Server, trace string) (status int, b
 	t.Helper()
 	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/search?q=Coffee&ll=41.499300,-81.694400", nil)
 	if trace != "" {
-		req.Header.Set("X-Trace-Id", trace)
+		req.Header.Set(httpheader.TraceID, trace)
 	}
 	resp, err := srv.Client().Do(req)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
@@ -26,7 +27,7 @@ func TestAccessLogging(t *testing.T) {
 
 	req := httptest.NewRequest("GET", "/search?q=Coffee&ll=41.5,-81.7", nil)
 	req.RemoteAddr = "192.0.2.10:5555"
-	req.Header.Set(telemetry.TraceHeader, "deadbeef00000001")
+	req.Header.Set(httpheader.TraceID, "deadbeef00000001")
 	h.ServeHTTP(httptest.NewRecorder(), req)
 
 	bad := httptest.NewRequest("GET", "/search?q=&ll=41.5,-81.7", nil)
@@ -70,7 +71,7 @@ func TestAccessLoggingJSONFormat(t *testing.T) {
 func TestStatsPerDatacenter(t *testing.T) {
 	h := testHandler(t, func(cfg *engine.Config) { cfg.Datacenters = 3 })
 	for _, dc := range []string{"dc-0", "dc-1", "dc-1"} {
-		w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7", map[string]string{DatacenterHeader: dc})
+		w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7", map[string]string{httpheader.Datacenter: dc})
 		if w.Code != http.StatusOK {
 			t.Fatalf("status = %d", w.Code)
 		}

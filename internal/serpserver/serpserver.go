@@ -27,6 +27,7 @@ import (
 
 	"geoserp/internal/engine"
 	"geoserp/internal/geo"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
@@ -35,16 +36,13 @@ import (
 // SessionCookie is the cookie carrying the session ID.
 const SessionCookie = "SID"
 
-// DatacenterHeader pins a request to a named replica, emulating a client
-// that statically resolved the service hostname to one datacenter.
-const DatacenterHeader = "X-Datacenter"
-
-// PartialHeader marks a 200 response whose web vertical was assembled
-// from an incomplete retrieval backend — in the sharded cluster, when one
-// or more shards shed, timed out, or sat behind an open breaker. The page
-// is still well-formed; the header lets clients and audits distinguish a
-// degraded answer from a complete one.
-const PartialHeader = "X-Serp-Partial"
+// Replica pinning and fail-soft marking ride on the shared wire headers:
+// httpheader.Datacenter pins a request to a named replica (a client that
+// statically resolved the service hostname to one datacenter), and
+// httpheader.SerpPartial marks a 200 response whose web vertical was
+// assembled from an incomplete retrieval backend — shards shed, timed
+// out, or behind an open breaker. The page is still well-formed; the
+// header lets clients and audits distinguish degraded from complete.
 
 // Handler is the HTTP front end over an Engine. It reports through the
 // engine's telemetry registry (exposed at /metricsz) and, when a logger is
@@ -184,11 +182,11 @@ func (r *statusRecorder) Status() int {
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.inst.requests.Inc()
-	trace := r.Header.Get(telemetry.TraceHeader)
+	trace := r.Header.Get(httpheader.TraceID)
 	if trace != "" {
 		// Echo the trace so clients can attach it to the stored page
 		// record, completing the crawler → wire → log → storage chain.
-		w.Header().Set(telemetry.TraceHeader, trace)
+		w.Header().Set(httpheader.TraceID, trace)
 		r = r.WithContext(telemetry.WithTraceID(r.Context(), trace))
 	}
 	rec := &statusRecorder{ResponseWriter: w}
@@ -204,7 +202,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// the span ID, so each retry of a trace is a distinct span even
 		// though trace ID and span name repeat.
 		attempt := 0
-		if v := r.Header.Get(telemetry.AttemptHeader); v != "" {
+		if v := r.Header.Get(httpheader.TraceAttempt); v != "" {
 			if n, err := strconv.Atoi(v); err == nil {
 				attempt = n
 			}
@@ -223,7 +221,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if rec.Status() == http.StatusTooManyRequests {
 			span.SetAttr("ratelimited", "true")
 		}
-		if dc := rec.Header().Get("X-Served-By"); dc != "" {
+		if dc := rec.Header().Get(httpheader.ServedBy); dc != "" {
 			span.SetAttr("datacenter", dc)
 		}
 		if kind := chaosNote(r.Context()); kind != "" {
@@ -236,7 +234,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		ev.TraceID = trace
 		ev.Status = rec.Status()
 		ev.Dur = dur
-		ev.Partial = rec.Header().Get(PartialHeader)
+		ev.Partial = rec.Header().Get(httpheader.SerpPartial)
 		slot.buf = ev.AppendText(slot.buf[:0])
 		h.wideLog.LogAttrs(r.Context(), slog.LevelInfo, "search.wide",
 			slog.String("record", string(slot.buf)))
@@ -270,7 +268,7 @@ func isDesktopUA(ua string) bool {
 // X-Forwarded-For hop when present (the crawl machines identify themselves
 // this way), otherwise the socket's remote host.
 func clientIP(r *http.Request) string {
-	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+	if xff := r.Header.Get(httpheader.ForwardedFor); xff != "" {
 		first := strings.TrimSpace(strings.Split(xff, ",")[0])
 		if first != "" {
 			return first
@@ -325,7 +323,7 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 		GPS:        gps,
 		ClientIP:   clientIP(r),
 		SessionID:  session,
-		Datacenter: r.Header.Get(DatacenterHeader),
+		Datacenter: r.Header.Get(httpheader.Datacenter),
 		UserAgent:  r.UserAgent(),
 		TraceID:    telemetry.TraceID(r.Context()),
 		Span:       telemetry.SpanFrom(r.Context()),
@@ -377,9 +375,9 @@ func (h *Handler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: session, Path: "/"})
-	w.Header().Set("X-Served-By", resp.Datacenter)
+	w.Header().Set(httpheader.ServedBy, resp.Datacenter)
 	if resp.Partial {
-		w.Header().Set(PartialHeader, "web")
+		w.Header().Set(httpheader.SerpPartial, "web")
 	}
 
 	if r.URL.Query().Get("format") == "json" {

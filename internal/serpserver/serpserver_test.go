@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serp"
 	"geoserp/internal/simclock"
 )
@@ -61,7 +62,7 @@ func TestSearchHTML(t *testing.T) {
 	if !strings.HasPrefix(page.Location, "41.4993") {
 		t.Fatalf("page location %q does not echo the spoofed GPS", page.Location)
 	}
-	if w.Header().Get("X-Served-By") == "" {
+	if w.Header().Get(httpheader.ServedBy) == "" {
 		t.Fatal("missing X-Served-By header")
 	}
 }
@@ -118,7 +119,7 @@ func TestXForwardedForAttribution(t *testing.T) {
 		cfg.RatePerMinute = 0.001
 	})
 	// Two requests from machine A exhaust its budget...
-	hdrA := map[string]string{"X-Forwarded-For": "10.0.0.1"}
+	hdrA := map[string]string{httpheader.ForwardedFor: "10.0.0.1"}
 	for i := 0; i < 2; i++ {
 		if w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7", hdrA); w.Code != http.StatusOK {
 			t.Fatalf("request %d: status = %d", i, w.Code)
@@ -132,7 +133,7 @@ func TestXForwardedForAttribution(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 	// ...while machine B in the same pool is unaffected.
-	hdrB := map[string]string{"X-Forwarded-For": "10.0.1.1"}
+	hdrB := map[string]string{httpheader.ForwardedFor: "10.0.1.1"}
 	if w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7", hdrB); w.Code != http.StatusOK {
 		t.Fatalf("machine B status = %d", w.Code)
 	}
@@ -141,8 +142,8 @@ func TestXForwardedForAttribution(t *testing.T) {
 func TestDatacenterPinningHeader(t *testing.T) {
 	h := testHandler(t, nil)
 	w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7",
-		map[string]string{DatacenterHeader: "dc-1"})
-	if got := w.Header().Get("X-Served-By"); got != "dc-1" {
+		map[string]string{httpheader.Datacenter: "dc-1"})
+	if got := w.Header().Get(httpheader.ServedBy); got != "dc-1" {
 		t.Fatalf("served by %q, want dc-1", got)
 	}
 }
@@ -255,11 +256,11 @@ func TestClientIPFallsBackToRemoteAddr(t *testing.T) {
 	if got := clientIP(req); got != "203.0.113.7" {
 		t.Fatalf("clientIP = %q", got)
 	}
-	req.Header.Set("X-Forwarded-For", "198.51.100.1, 10.0.0.1")
+	req.Header.Set(httpheader.ForwardedFor, "198.51.100.1, 10.0.0.1")
 	if got := clientIP(req); got != "198.51.100.1" {
 		t.Fatalf("clientIP with XFF = %q", got)
 	}
-	req.Header.Set("X-Forwarded-For", " ")
+	req.Header.Set(httpheader.ForwardedFor, " ")
 	req.RemoteAddr = "noport"
 	if got := clientIP(req); got != "noport" {
 		t.Fatalf("clientIP fallback = %q", got)

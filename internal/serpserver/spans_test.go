@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/simclock"
 	"geoserp/internal/telemetry"
 )
@@ -31,7 +32,7 @@ func spanHandler(t *testing.T, mutate func(*engine.Config), extra ...HandlerOpti
 func TestRequestSpanRecorded(t *testing.T) {
 	h, rec := spanHandler(t, nil)
 	w := get(t, h, "/search?q=Coffee&ll=41.4993,-81.6944", map[string]string{
-		telemetry.TraceHeader: "cafe0123cafe0123",
+		httpheader.TraceID: "cafe0123cafe0123",
 	})
 	if w.Code != 200 {
 		t.Fatalf("status = %d", w.Code)
@@ -74,7 +75,7 @@ func TestRequestSpanRecorded(t *testing.T) {
 func TestTracezMountedWithSpans(t *testing.T) {
 	h, _ := spanHandler(t, nil)
 	get(t, h, "/search?q=Coffee&ll=41.5,-81.7", map[string]string{
-		telemetry.TraceHeader: "beef0123beef0123",
+		httpheader.TraceID: "beef0123beef0123",
 	})
 	w := get(t, h, "/tracez", nil)
 	if w.Code != 200 {

@@ -8,8 +8,8 @@ import (
 	"testing"
 
 	"geoserp/internal/engine"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serp"
-	"geoserp/internal/telemetry"
 )
 
 // TestStatzJSONKeysUnchanged is the /statz wire-format regression test:
@@ -131,11 +131,11 @@ func TestTraceEchoAndPageRecord(t *testing.T) {
 	h := testHandler(t, nil)
 	const trace = "00c0ffee00c0ffee"
 	w := get(t, h, "/search?q=Coffee&ll=41.5,-81.7&format=json",
-		map[string]string{telemetry.TraceHeader: trace})
+		map[string]string{httpheader.TraceID: trace})
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d", w.Code)
 	}
-	if got := w.Header().Get(telemetry.TraceHeader); got != trace {
+	if got := w.Header().Get(httpheader.TraceID); got != trace {
 		t.Fatalf("echoed trace = %q, want %q", got, trace)
 	}
 	var page serp.Page
@@ -147,7 +147,7 @@ func TestTraceEchoAndPageRecord(t *testing.T) {
 	}
 	// Untraced requests stay untraced: no header, no trace_id field.
 	w = get(t, h, "/search?q=Coffee&ll=41.5,-81.7&format=json", nil)
-	if got := w.Header().Get(telemetry.TraceHeader); got != "" {
+	if got := w.Header().Get(httpheader.TraceID); got != "" {
 		t.Fatalf("untraced request echoed %q", got)
 	}
 	if strings.Contains(w.Body.String(), "trace_id") {

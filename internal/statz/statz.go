@@ -26,6 +26,7 @@ import (
 
 	"geoserp/internal/analysis"
 	"geoserp/internal/crawler"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/storage"
 	"geoserp/internal/telemetry"
 )
@@ -233,7 +234,7 @@ func (r *Recorder) Handler(clock func() time.Time) http.Handler {
 			data = d
 		}
 		oldest, newest := r.RingBounds()
-		w.Header().Set("X-Statz-Ring", fmt.Sprintf("%d-%d", oldest, newest))
+		w.Header().Set(httpheader.StatzRing, fmt.Sprintf("%d-%d", oldest, newest))
 		format := req.URL.Query().Get("format")
 		if format == "" && strings.Contains(req.Header.Get("Accept"), "text/html") {
 			format = "html"

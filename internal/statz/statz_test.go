@@ -12,6 +12,7 @@ import (
 
 	"geoserp/internal/analysis"
 	"geoserp/internal/crawler"
+	"geoserp/internal/httpheader"
 	"geoserp/internal/serp"
 	"geoserp/internal/storage"
 	"geoserp/internal/telemetry"
@@ -220,8 +221,8 @@ func TestHandlerServesSnapshotsAndBuild(t *testing.T) {
 	if snap.Build.GoVersion == "" {
 		t.Fatal("/statz build block missing go_version")
 	}
-	if hdr.Get("X-Statz-Ring") != "1-2" {
-		t.Fatalf("X-Statz-Ring = %q, want 1-2", hdr.Get("X-Statz-Ring"))
+	if hdr.Get(httpheader.StatzRing) != "1-2" {
+		t.Fatalf("X-Statz-Ring = %q, want 1-2", hdr.Get(httpheader.StatzRing))
 	}
 
 	ring1, _ := rec.SweepJSON(1)

@@ -33,17 +33,12 @@ import (
 // Every Span and SpanRecorder method is nil-receiver safe, so
 // instrumented code never guards: an untraced request pays only nil checks.
 
-// AttemptHeader carries the client's 1-based fetch attempt number beside
-// TraceHeader. The server folds it into its span IDs so each retry of a
-// trace produces a distinct, deterministic server span.
-const AttemptHeader = "X-Trace-Attempt"
-
-// ParentHeader carries the caller's span ID across a process boundary
-// beside TraceHeader, so a server can mint its span as a remote child of
-// the exact client-side span that issued the request (a fan-out leg, a
-// retry attempt) instead of an orphan root. The value is the 16-hex-digit
-// form returned by Span.ID.
-const ParentHeader = "X-Parent-Span"
+// Across process boundaries the client's 1-based fetch attempt number
+// rides in httpheader.TraceAttempt (the server folds it into its span IDs
+// so each retry yields a distinct, deterministic server span) and the
+// caller's span ID in httpheader.ParentSpan, so a server can mint its
+// span as a remote child of the exact client-side span that issued the
+// request instead of an orphan root.
 
 // MaxSpanAttrs is the attribute capacity of one span; SetAttr drops
 // attributes beyond it (recorded in the span's "attrs_dropped" count).
@@ -82,7 +77,7 @@ func (s *Span) TraceID() string {
 }
 
 // ID returns the span's 16-hex-digit ID ("" for a nil span) — the wire
-// form carried by ParentHeader.
+// form carried in the httpheader.ParentSpan header.
 func (s *Span) ID() string {
 	if s == nil {
 		return ""
@@ -269,9 +264,9 @@ func (r *SpanRecorder) StartRootSeq(traceID, name string, seq int) *Span {
 
 // StartRemoteChild starts a span that is a child of a span in ANOTHER
 // process: parentID is the 16-hex-digit Span.ID the caller shipped over
-// ParentHeader. When parentID is empty or malformed the span degrades to a
-// root (exactly StartRootSeq), so servers handle untraced callers for
-// free. A nil recorder returns a nil (no-op) span.
+// the httpheader.ParentSpan header. When parentID is empty or malformed
+// the span degrades to a root (exactly StartRootSeq), so servers handle
+// untraced callers for free. A nil recorder returns a nil (no-op) span.
 func (r *SpanRecorder) StartRemoteChild(traceID, name, parentID string, seq int) *Span {
 	if r == nil {
 		return nil

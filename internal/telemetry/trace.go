@@ -7,21 +7,14 @@ import (
 	"geoserp/internal/detrand"
 )
 
-// TraceHeader is the HTTP header carrying the request's trace ID: the
-// crawler mints one per query, the browser sends it, the serpserver echoes
-// it back and logs it, and the stored page record keeps it — so a
-// divergent result in the analysis can be joined back to the exact request
-// that produced it.
-const TraceHeader = "X-Trace-Id"
-
-// DeadlineHeader carries the client's absolute request deadline as unix
-// milliseconds. Client and server share a clock domain — the campaign
-// clock in-process, wall time in live deployments — so an absolute
-// instant survives queueing delays that a relative budget would not.
-// Servers use it to shed requests that cannot be admitted in time and to
-// abandon doomed work mid-stage instead of finishing a page nobody will
-// read.
-const DeadlineHeader = "X-Deadline-Ms"
+// The trace ID travels between processes in the httpheader.TraceID
+// header: the crawler mints one per query, the browser sends it, the
+// serpserver echoes it back and logs it, and the stored page record keeps
+// it — so a divergent result in the analysis can be joined back to the
+// exact request that produced it. The client's absolute deadline rides
+// beside it in httpheader.DeadlineMs (unix milliseconds on the shared
+// clock domain, surviving queueing delays that a relative budget would
+// not).
 
 // MintTraceID derives a 16-hex-digit trace ID from a seed and a stable key
 // (e.g. phase, granularity, day, term, location, role). Minting through
