@@ -51,10 +51,17 @@ type options struct {
 	// admission, and tracez flags apply to the shard endpoint unchanged.
 	ShardCount int
 	ShardID    int
-	// RingReplicas is the consistent-hash ring's virtual-node count per
+	// ShardReplica is this node's replica ID within its shard's replica
+	// set (0-based). Replicas serve identical slices; the ID only labels
+	// this node's spans and /shard/search responses so a coordinator can
+	// verify routing and attribute failover.
+	ShardReplica int
+	// VirtualNodes is the consistent-hash ring's virtual-node count per
 	// shard; every node of one cluster (and its router) must agree on it.
-	// <= 0 selects router.DefaultReplicas.
-	RingReplicas int
+	// <= 0 selects router.DefaultVirtualNodes. Not to be confused with
+	// ShardReplica: virtual nodes spread one shard around the hash ring,
+	// replicas are extra physical copies of a shard.
+	VirtualNodes int
 }
 
 // buildServer constructs the engine and a bound (not yet serving) server.
@@ -144,11 +151,14 @@ func buildShardServer(opts options) (*serpserver.Server, *router.ShardHandler, e
 		}
 		corpus = c
 	}
-	view := router.BuildShardIndex(seed, corpus, opts.ShardID, opts.ShardCount, opts.RingReplicas)
+	view := router.BuildShardIndex(seed, corpus, opts.ShardID, opts.ShardCount, opts.VirtualNodes)
 
 	reg := telemetry.NewRegistry()
 	var spans *telemetry.SpanRecorder
-	shOpts := []router.ShardOption{router.WithShardTelemetry(reg)}
+	shOpts := []router.ShardOption{
+		router.WithShardTelemetry(reg),
+		router.WithShardReplica(opts.ShardReplica),
+	}
 	if opts.TracezCapacity > 0 {
 		spans = telemetry.NewSpanRecorder(opts.TracezCapacity, simclock.Wall())
 		shOpts = append(shOpts, router.WithShardSpans(spans))
@@ -159,7 +169,13 @@ func buildShardServer(opts options) (*serpserver.Server, *router.ShardHandler, e
 		root = serpserver.NewChaos(opts.Chaos, reg, spans, root)
 	}
 	if opts.Admission.Enabled() {
-		root = serpserver.NewAdmission(opts.Admission, reg, spans, root)
+		adm := serpserver.NewAdmission(opts.Admission, reg, spans, root)
+		if g, ok := adm.(*serpserver.Admission); ok {
+			// Deadline sheds raised inside the shard handler advertise the
+			// gate's live backlog-derived Retry-After instead of a constant.
+			sh.SetRetryAfter(g.RetryAfter)
+		}
+		root = adm
 	}
 	srv, err := serpserver.Listen(opts.Addr, root)
 	if err != nil {

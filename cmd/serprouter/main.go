@@ -7,8 +7,9 @@
 // Usage:
 //
 //	serprouter -shards http://127.0.0.1:9001,http://127.0.0.1:9002 \
-//	    [-addr 127.0.0.1:8080] [-seed 1] [-datacenters 3]
+//	    [-replicas 1] [-addr 127.0.0.1:8080] [-seed 1] [-datacenters 3]
 //	    [-shard-timeout 2s] [-breaker-threshold 3] [-breaker-cooldown 45s]
+//	    [-hedge-after 0] [-probe-interval 45s]
 //	    [-max-inflight 0] [-queue-depth 0] [-admission-service-time 1s]
 //	    [-verbose] [-log-format text|json] [-pprof-addr 127.0.0.1:6060]
 //
@@ -17,10 +18,14 @@
 // deterministic corpus from it, and the router's engine personalizes over
 // the same world.
 //
-// Degradation is graded: a shard that sheds, times out, errors, or sits
-// behind an open circuit breaker only narrows the web vertical — the page
-// is still served, marked with the X-Serp-Partial header — and only when
-// no shard answers does /search shed with 503.
+// Degradation is graded: with -replicas R > 1 each shard leg fails over
+// deterministically across its replica set (and optionally hedges
+// stragglers with -hedge-after), so a shard only narrows the web vertical
+// — the page is still served, marked with the X-Serp-Partial header —
+// when EVERY replica of that shard sheds, times out, errors, or sits
+// behind an open circuit breaker; only when no shard answers at all does
+// /search shed with 503. A background -probe-interval /healthz loop
+// re-admits recovered replicas.
 //
 // Endpoints are serpd's: /search, /healthz, /statz, /metricsz, /tracez,
 // /spanz. The scatter-gather layer adds router_* metrics (per-shard
@@ -47,7 +52,8 @@ import (
 func main() {
 	var opts options
 	flag.StringVar(&opts.Addr, "addr", "127.0.0.1:8080", "listen address")
-	flag.StringVar(&opts.Shards, "shards", "", "comma-separated shard base URLs, in shard-ID order (required)")
+	flag.StringVar(&opts.Shards, "shards", "", "comma-separated shard base URLs, in shard-ID order, replicas adjacent (required)")
+	flag.IntVar(&opts.Replicas, "replicas", 1, "replicas per shard: how many consecutive -shards URLs form one shard's replica set")
 	flag.Uint64Var(&opts.Seed, "seed", 1, "root seed for the synthetic web and noise (must match the shards')")
 	flag.IntVar(&opts.Datacenters, "datacenters", 3, "number of replica datacenters")
 	flag.IntVar(&opts.Buckets, "buckets", 8, "number of A/B experiment buckets")
@@ -59,6 +65,8 @@ func main() {
 	flag.DurationVar(&opts.ShardTimeout, "shard-timeout", 2*time.Second, "per-shard fan-out timeout (0 disables)")
 	flag.IntVar(&opts.BreakerThreshold, "breaker-threshold", 3, "consecutive shard failures that open its circuit breaker (0 disables breakers)")
 	flag.DurationVar(&opts.BreakerCooldown, "breaker-cooldown", 45*time.Second, "open-breaker dwell before a half-open probe")
+	flag.DurationVar(&opts.HedgeAfter, "hedge-after", 0, "fire a hedged backup request to another replica after this in-flight delay (0 disables hedging)")
+	flag.DurationVar(&opts.ProbeInterval, "probe-interval", 45*time.Second, "background /healthz probe cadence re-admitting recovered replicas (0 disables)")
 	flag.IntVar(&opts.Admission.MaxInflight, "max-inflight", 0, "max concurrent /search requests admitted (0 disables admission control)")
 	flag.IntVar(&opts.Admission.QueueDepth, "queue-depth", 0, "how many /search requests may queue for an admission slot")
 	flag.DurationVar(&opts.Admission.ServiceTime, "admission-service-time", time.Second, "per-request service-time estimate behind Retry-After hints")
@@ -81,8 +89,11 @@ func main() {
 		logger.Error("startup failed", "err", err)
 		os.Exit(1)
 	}
+	stopProber := client.StartProber()
+	defer stopProber()
 	logger.Info("routing sharded search",
-		"url", srv.URL(), "seed", opts.Seed, "shards", client.Shards())
+		"url", srv.URL(), "seed", opts.Seed, "shards", client.Shards(),
+		"replicas", max(opts.Replicas, 1))
 	logger.Info("endpoints ready",
 		"try", srv.URL()+"/search?q=Coffee&ll=41.4993,-81.6944",
 		"metrics", srv.URL()+"/metricsz")

@@ -22,9 +22,14 @@ type options struct {
 	// Shards is the comma-separated list of shard base URLs, in shard-ID
 	// order ("http://127.0.0.1:9001,http://127.0.0.1:9002"). The order
 	// must match the -shard-id assignment the shard serpd processes were
-	// started with, and every node must share -seed.
+	// started with, and every node must share -seed. With -replicas R > 1
+	// the list holds R consecutive URLs per shard, replicas adjacent in
+	// replica-ID order (s0r0,s0r1,s1r0,s1r1,…).
 	Shards string
-	Seed   uint64
+	// Replicas is how many consecutive URLs of -shards form one shard's
+	// replica set (<= 0 means 1: every URL is its own shard).
+	Replicas int
+	Seed     uint64
 	// Engine shape (the coordinator runs the full engine minus the local
 	// index: Places, News, personalization, noise, rate limiting).
 	Datacenters int
@@ -47,10 +52,18 @@ type options struct {
 	// ShardTimeout bounds one shard fan-out request; <= 0 disables the
 	// per-shard timeout.
 	ShardTimeout time.Duration
-	// BreakerThreshold / BreakerCooldown configure the per-shard circuit
+	// BreakerThreshold / BreakerCooldown configure the per-replica circuit
 	// breakers (threshold <= 0 disables them).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// HedgeAfter, when > 0, fires a hedged backup request to another
+	// healthy replica after a leg's primary attempt has been in flight
+	// this long (first answer wins, the loser is cancelled).
+	HedgeAfter time.Duration
+	// ProbeInterval is the background /healthz probe cadence that
+	// re-admits recovered replicas whose breakers are open (<= 0 disables
+	// the prober).
+	ProbeInterval time.Duration
 }
 
 // splitShards parses the -shards list.
@@ -72,12 +85,33 @@ func splitShards(s string) ([]string, error) {
 	return out, nil
 }
 
+// groupReplicas slices the flat -shards URL list into per-shard replica
+// sets: replicas are adjacent, so with -replicas 2 the list
+// s0r0,s0r1,s1r0,s1r1 yields [[s0r0 s0r1] [s1r0 s1r1]].
+func groupReplicas(flat []string, replicas int) ([][]string, error) {
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if len(flat)%replicas != 0 {
+		return nil, fmt.Errorf("-shards lists %d URLs, not divisible into replica sets of %d (-replicas)", len(flat), replicas)
+	}
+	out := make([][]string, 0, len(flat)/replicas)
+	for i := 0; i < len(flat); i += replicas {
+		out = append(out, flat[i:i+replicas])
+	}
+	return out, nil
+}
+
 // buildServer constructs the coordinator: a scatter-gather client over the
 // shard URLs, a full engine using it as the retrieval backend, and the
 // standard serpd HTTP front end (so crawlers cannot tell a router from a
 // monolith except via the X-Serp-Partial degradation marker).
 func buildServer(opts options) (*serpserver.Server, *engine.Engine, *router.Client, error) {
-	shards, err := splitShards(opts.Shards)
+	flat, err := splitShards(opts.Shards)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	shards, err := groupReplicas(flat, opts.Replicas)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -113,6 +147,8 @@ func buildServer(opts options) (*serpserver.Server, *engine.Engine, *router.Clie
 		Timeout:          opts.ShardTimeout,
 		BreakerThreshold: opts.BreakerThreshold,
 		BreakerCooldown:  opts.BreakerCooldown,
+		HedgeAfter:       opts.HedgeAfter,
+		ProbeInterval:    opts.ProbeInterval,
 	}, reg)
 
 	eopts := []engine.Option{engine.WithTelemetry(reg), engine.WithRetriever(client)}

@@ -18,21 +18,29 @@
 //	soak [-seed 1] [-terms 4] [-max-inflight 4] [-queue-depth 8]
 //	     [-retries 20] [-breaker-threshold 3] [-breaker-cooldown 45s]
 //	     [-deadline 10m] [-shed-fraction-budget 0.75] [-watchdog 4m]
-//	     [-cluster-shards 3] [-out obs.jsonl] [-trace-out soak-trace.json]
+//	     [-cluster-shards 3] [-cluster-replicas 2]
+//	     [-out obs.jsonl] [-trace-out soak-trace.json]
 //	     [-clustertracez-out probes.json] [-cluster-trace-out cluster.json]
 //
 // With -cluster-shards N the soak targets the full sharded topology — a
 // serprouter-style coordinator scatter-gathering over N in-process shard
-// nodes — and additionally injects a deterministic shard-0 outage for the
-// whole error-burst day, asserting graded degradation: pages go partial,
-// never unavailable, the router breaker trips and re-closes, and same-seed
-// runs stay byte-identical. When spans are recorded (any trace artifact
-// flag), the cluster soak also stitches every node's /spanz export into
-// cross-process traces and asserts the observability invariants: every
-// sampled request yields a complete stitched trace (router plus all
-// contacted shards), critical-path attribution matches the injected fault
-// schedule, and the post-campaign probes' /clustertracez and Chrome bodies
-// reproduce byte-identically across same-seed runs.
+// nodes. With -cluster-replicas R > 1 (the default is 2) every shard runs
+// R replica nodes and the injected fault is a replica-level outage:
+// replica 0 of every shard goes dark (retrieval and /healthz) for a
+// 26-hour window spanning the error-burst day, and the soak asserts the
+// replication invariants — ZERO partial pages (every leg fails over to the
+// surviving replica), per-replica breakers trip and are re-admitted by the
+// background health prober (balanced ledger), and same-seed runs stay
+// byte-identical. With -cluster-replicas 1 the legacy shard-0 outage
+// applies instead, asserting graded degradation: pages go partial, never
+// unavailable, and the router breaker trips and re-closes. When spans are
+// recorded (any trace artifact flag), the cluster soak also stitches every
+// node's /spanz export into cross-process traces and asserts the
+// observability invariants: every sampled request yields a complete
+// stitched trace (router plus all contacted shards), critical-path
+// attribution matches the injected fault schedule, and the post-campaign
+// probes' /clustertracez and Chrome bodies reproduce byte-identically
+// across same-seed runs.
 //
 // The campaign's observations can be written with -out, and -trace-out
 // dumps the full span timeline (admission sheds included) in Chrome
@@ -71,6 +79,7 @@ func main() {
 	flag.DurationVar(&opts.BreakerCooldown, "breaker-cooldown", opts.BreakerCooldown, "breaker open-state dwell")
 	flag.DurationVar(&opts.Deadline, "deadline", opts.Deadline, "end-to-end fetch deadline propagated to the server")
 	flag.IntVar(&opts.ClusterShards, "cluster-shards", opts.ClusterShards, "soak a sharded cluster (router + N shard nodes) instead of a monolith; 0 = monolith")
+	flag.IntVar(&opts.ClusterReplicas, "cluster-replicas", opts.ClusterReplicas, "replicas per shard in cluster mode; > 1 switches to the replica-outage schedule and failover invariants")
 	flag.Float64Var(&opts.ShedFractionBudget, "shed-fraction-budget", opts.ShedFractionBudget, "max tolerated fraction of admission decisions ending in a shed")
 	flag.DurationVar(&opts.Watchdog, "watchdog", opts.Watchdog, "wall-clock deadline after which the run counts as deadlocked (0 = off)")
 	out := flag.String("out", "", "write the campaign observations as JSONL")
@@ -114,6 +123,10 @@ func main() {
 			"router_breaker_open", sum.RouterBreakerOpen,
 			"router_breaker_reopen", sum.RouterBreakerReopen,
 			"router_breaker_close", sum.RouterBreakerClose,
+			"router_replica_outcomes", fmt.Sprint(sum.RouterReplicaOutcomes),
+			"router_failovers", sum.RouterFailovers,
+			"router_probes", fmt.Sprint(sum.RouterProbes),
+			"router_readmissions", sum.RouterReadmissions,
 			"statz_polls", sum.StatzPolls,
 			"statz_poll_errors", sum.StatzPollErrors,
 			"virtual_elapsed", sum.VirtualTime.String(),

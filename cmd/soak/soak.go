@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,12 +60,24 @@ type soakOptions struct {
 	// ClusterShards > 0 runs the soak against the full sharded cluster
 	// instead of a monolithic engine: a serprouter-style coordinator
 	// scatter-gathering over that many in-process shard nodes, each
-	// behind its own admission gate. Shard 0 suffers a deterministic
-	// outage (500s) for the whole error-burst virtual day, so the soak
-	// additionally proves graded degradation: pages during the outage are
-	// partial — never errors — the router's breaker for shard 0 trips and
-	// re-closes, and no retrieval ever goes fully unavailable.
-	ClusterShards int
+	// behind its own admission gate.
+	//
+	// With ClusterReplicas > 1 every shard runs that many replica nodes
+	// and the fault is a replica-level outage: replica 0 of EVERY shard
+	// goes dark (500s, /healthz included) from the start of the
+	// error-burst day until two hours into the latency-spike day. The
+	// soak then proves the replication tentpole: zero partial pages (every
+	// leg fails over to a surviving replica), failovers and per-replica
+	// breaker trips observed, and the background health prober — not
+	// search traffic — re-admits all recovered replicas, balancing the
+	// breaker ledger.
+	//
+	// With ClusterReplicas <= 1 the legacy single-replica chaos applies:
+	// shard 0 suffers the outage for the error-burst day and the soak
+	// proves graded degradation instead — pages during the outage are
+	// partial, never errors, and no retrieval goes fully unavailable.
+	ClusterShards   int
+	ClusterReplicas int
 
 	// ShedFractionBudget is the largest tolerated fraction of admission
 	// decisions that ended in a shed (the "shed fraction within budget"
@@ -98,10 +111,18 @@ func defaultSoakOptions() soakOptions {
 		BreakerThreshold:   3,
 		BreakerCooldown:    45 * time.Second,
 		Deadline:           10 * time.Minute,
+		ClusterReplicas:    2,
 		ShedFractionBudget: 0.75,
 		Watchdog:           4 * time.Minute,
 	}
 }
+
+// soakProbeInterval is the background replica health-probe cadence in
+// replicated cluster soaks. Probe instants land on five-minute marks plus
+// the router's fixed half-second phase, disjoint from every request
+// instant, so breaker re-admissions replay identically across same-seed
+// runs.
+const soakProbeInterval = 5 * time.Minute
 
 // soakEpoch anchors the virtual campaign; one day per fault phase.
 var soakEpoch = time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
@@ -197,10 +218,15 @@ type soakSummary struct {
 	RouterRetrievals    uint64            // scatter-gather rounds issued
 	RouterPartial       uint64            // rounds merged from fewer than all shards
 	RouterUnavailable   uint64            // rounds where no shard contributed
-	RouterOutcomes      map[string]uint64 // per-shard fan-out outcomes
+	RouterOutcomes      map[string]uint64 // per-shard fan-out leg outcomes
 	RouterBreakerOpen   uint64
 	RouterBreakerClose  uint64
 	RouterBreakerReopen uint64
+	// Replication tallies (zero when ClusterReplicas <= 1).
+	RouterReplicaOutcomes map[string]uint64 // per-replica attempt outcomes
+	RouterFailovers       uint64            // replica attempts beyond a leg's first
+	RouterProbes          map[string]uint64 // background health probes by outcome
+	RouterReadmissions    uint64            // breakers re-closed by a probe
 
 	// Cluster trace-stitching artifacts (cluster mode with TraceCapacity
 	// only): the full stitched cross-process trace set, per-lane collection
@@ -270,24 +296,41 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 		// concurrent fan-outs and break the byte-determinism invariant.
 		// The tight 4/8 gate stays at the router, where sheds surface as
 		// deterministic crawler retries.
+		replicated := opts.ClusterReplicas > 1
+		middleware := func(shard, replica int, next http.Handler) http.Handler {
+			if replicated {
+				// Replica-level fault: replica 0 of EVERY shard goes dark
+				// for the outage window; its siblings keep serving.
+				if replica != 0 {
+					return next
+				}
+				return &replicaOutage{clk: clk, next: next}
+			}
+			// Legacy single-replica fault: shard 0 dark for day 1.
+			if shard != 0 {
+				return next
+			}
+			return &shardOutage{clk: clk, next: next}
+		}
+		probeInterval := time.Duration(0)
+		if replicated {
+			probeInterval = soakProbeInterval
+		}
 		cl := router.NewLocalCluster(router.ClusterConfig{
-			Shards: opts.ClusterShards,
-			Engine: ecfg,
-			Clock:  clk,
+			Shards:   opts.ClusterShards,
+			Replicas: opts.ClusterReplicas,
+			Engine:   ecfg,
+			Clock:    clk,
 			ShardAdmission: serpserver.AdmissionConfig{
 				MaxInflight: 64,
 				QueueDepth:  64,
 				ServiceTime: opts.ServiceTime,
 				Clock:       clk,
 			},
-			ShardMiddleware: func(shard int, next http.Handler) http.Handler {
-				if shard != 0 {
-					return next
-				}
-				return &shardOutage{clk: clk, next: next}
-			},
+			ShardMiddleware:  middleware,
 			BreakerThreshold: opts.BreakerThreshold,
 			BreakerCooldown:  opts.BreakerCooldown,
+			ProbeInterval:    probeInterval,
 			// Shards record spans into rings of the same capacity as the
 			// router's, so the post-campaign stitch can join every fan-out
 			// leg with its shard-side server span.
@@ -295,6 +338,9 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 			Registry:     reg,
 			RouterSpans:  spans,
 		})
+		// Stop is best-effort: a prober parked on the quiesced campaign
+		// clock stays parked, which the rig accepts as a bounded leak.
+		defer cl.StopProber()
 		handler = cl.Handler
 		if spans != nil {
 			ct = router.NewClusterTracez(spans, cl.Client)
@@ -452,6 +498,10 @@ func runSoak(opts soakOptions) (*soakSummary, error) {
 		sum.RouterBreakerOpen = rb["open"]
 		sum.RouterBreakerReopen = rb["reopen"]
 		sum.RouterBreakerClose = rb["close"]
+		sum.RouterReplicaOutcomes = reg.CounterVec("router_replica_requests_total", "", "outcome").Values()
+		sum.RouterFailovers = reg.Counter("router_replica_failovers_total", "").Value()
+		sum.RouterProbes = reg.CounterVec("router_replica_probes_total", "", "outcome").Values()
+		sum.RouterReadmissions = reg.Counter("router_replica_readmissions_total", "").Value()
 	}
 	var shedTotal uint64
 	for _, n := range sum.ShedByReason {
@@ -538,7 +588,49 @@ func checkInvariants(opts soakOptions, sum *soakSummary) error {
 	if sum.ParityViolation != "" {
 		bad = append(bad, fmt.Sprintf("streaming/batch parity: %s", sum.ParityViolation))
 	}
-	if opts.ClusterShards > 0 {
+	if opts.ClusterShards > 0 && opts.ClusterReplicas > 1 {
+		// Replication: with every shard keeping a healthy sibling through
+		// the replica-0 outage, NOT ONE page may degrade — every leg must
+		// fail over — and the recovered replicas must be re-admitted by the
+		// background health prober, balancing the breaker ledger.
+		if sum.RouterPartial != 0 {
+			bad = append(bad, fmt.Sprintf("%d retrievals went partial despite a surviving replica per shard (want 0: failover must absorb the outage)", sum.RouterPartial))
+		}
+		if sum.RouterUnavailable != 0 {
+			bad = append(bad, fmt.Sprintf("%d retrievals found no shard at all (want 0)", sum.RouterUnavailable))
+		}
+		legOutcomes := make([]string, 0, len(sum.RouterOutcomes))
+		for outcome := range sum.RouterOutcomes {
+			legOutcomes = append(legOutcomes, outcome)
+		}
+		sort.Strings(legOutcomes)
+		for _, outcome := range legOutcomes {
+			if outcome != "ok" {
+				bad = append(bad, fmt.Sprintf("fan-out leg outcome %q observed (want every leg ok via failover): %v", outcome, sum.RouterOutcomes))
+			}
+		}
+		if sum.RouterReplicaOutcomes["ok"] == 0 || sum.RouterReplicaOutcomes["error"] == 0 || sum.RouterReplicaOutcomes["breaker_open"] == 0 {
+			bad = append(bad, fmt.Sprintf("replica attempt outcome mix degenerate: %v (want ok, error, and breaker_open all exercised)", sum.RouterReplicaOutcomes))
+		}
+		if sum.RouterFailovers == 0 {
+			bad = append(bad, "no leg ever failed over despite the replica-outage window")
+		}
+		if sum.RouterBreakerOpen == 0 {
+			bad = append(bad, "no replica breaker ever tripped despite the replica-outage window")
+		}
+		if sum.RouterBreakerOpen != sum.RouterBreakerClose {
+			bad = append(bad, fmt.Sprintf("replica breaker ledger unbalanced: %d opens vs %d closes (%d reopens)", sum.RouterBreakerOpen, sum.RouterBreakerClose, sum.RouterBreakerReopen))
+		}
+		if sum.RouterProbes["error"] == 0 {
+			bad = append(bad, "the health prober never observed the outage (no failed probes)")
+		}
+		if sum.RouterReadmissions == 0 {
+			bad = append(bad, "no replica was re-admitted by a health probe — recovery leaned on search traffic")
+		}
+		if opts.TraceCapacity > 0 {
+			bad = append(bad, clusterTraceViolations(opts, sum)...)
+		}
+	} else if opts.ClusterShards > 0 {
 		// Graded degradation: the shard-0 outage day must surface as
 		// partial pages — never as unavailability — and the router's
 		// breaker ledger must balance once the shard heals.
@@ -589,6 +681,43 @@ func (s *shardOutage) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	day := int(s.clk.Now().Sub(soakEpoch) / (24 * time.Hour))
 	if day == 1 && r.URL.Path == router.SearchPath {
 		http.Error(w, "soak: injected shard outage", http.StatusInternalServerError)
+		return
+	}
+	s.next.ServeHTTP(w, r)
+}
+
+// Replica-outage window for replicated cluster soaks: replica 0 of every
+// shard is dark from the start of the error-burst day until two hours into
+// the latency-spike day. Ending off the day boundary — and off the
+// crawler's 11-minute round grid — guarantees the first actor to find the
+// replicas healthy again is the background health prober (its 5-minute
+// probe ticks land on the window's end instant plus the fixed half-second
+// phase, minutes before the next search round), so the soak proves
+// probe-driven re-admission rather than traffic-driven half-open recovery.
+const (
+	replicaOutageStart = 24 * time.Hour
+	replicaOutageEnd   = 50 * time.Hour
+)
+
+// inReplicaOutage reports whether t falls inside the replica-outage window.
+func inReplicaOutage(t time.Time) bool {
+	d := t.Sub(soakEpoch)
+	return d >= replicaOutageStart && d < replicaOutageEnd
+}
+
+// replicaOutage kills one replica node for the outage window: retrieval
+// AND /healthz answer 500 — a probing router must see the node as down,
+// not merely degraded — then the replica heals on its own. Like
+// shardOutage, the fault is a pure function of the campaign clock, so
+// same-seed runs degrade and recover identically.
+type replicaOutage struct {
+	clk  simclock.Clock
+	next http.Handler
+}
+
+func (s *replicaOutage) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if inReplicaOutage(s.clk.Now()) && (r.URL.Path == router.SearchPath || r.URL.Path == "/healthz") {
+		http.Error(w, "soak: injected replica outage", http.StatusInternalServerError)
 		return
 	}
 	s.next.ServeHTTP(w, r)

@@ -48,12 +48,13 @@ func TestSoakInvariantsAndDeterminism(t *testing.T) {
 }
 
 // TestClusterSoakInvariantsAndDeterminism runs the soak against the full
-// sharded topology (router + 3 shard nodes, shard 0 dark for the whole
-// error-burst day) twice with the same seed: both runs must hold every
-// monolith invariant PLUS the graded-degradation invariants (partial pages
-// during the outage, zero unavailability, balanced router breaker ledger)
-// and still write byte-identical observations — merge determinism under
-// concurrency, degradation, overload, and -race all at once.
+// replicated topology (router + 3 shards x 2 replicas, replica 0 of every
+// shard dark for a 26-hour window) twice with the same seed: both runs
+// must hold every monolith invariant PLUS the replication invariants (zero
+// partial pages — every leg fails over to the surviving replica — breaker
+// trips re-admitted by the background health prober, balanced ledger) and
+// still write byte-identical observations — merge determinism under
+// concurrency, failover, overload, and -race all at once.
 //
 // With TraceCapacity set the runs additionally enforce the cluster-tracing
 // invariants: every sampled request stitches into a complete cross-process
@@ -74,6 +75,10 @@ func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
 	}
 	if first.RouterRetrievals == 0 {
 		t.Fatal("cluster soak issued no scatter-gather rounds")
+	}
+	if first.RouterFailovers == 0 || first.RouterReadmissions == 0 {
+		t.Fatalf("replication untested: %d failovers, %d probe re-admissions (want both > 0)",
+			first.RouterFailovers, first.RouterReadmissions)
 	}
 	if len(first.ClusterTraces) == 0 || len(first.ObsTraceIDs) == 0 {
 		t.Fatal("cluster soak stitched no traces")
@@ -97,6 +102,14 @@ func TestClusterSoakInvariantsAndDeterminism(t *testing.T) {
 		t.Fatalf("cluster degradation tallies diverged across same-seed runs: partial %d vs %d, unavailable %d vs %d",
 			first.RouterPartial, second.RouterPartial,
 			first.RouterUnavailable, second.RouterUnavailable)
+	}
+	// So must the replication bookkeeping: replica selection is a pure
+	// function of trace IDs, and re-admission of the probe schedule.
+	if first.RouterFailovers != second.RouterFailovers ||
+		first.RouterReadmissions != second.RouterReadmissions {
+		t.Fatalf("replication tallies diverged across same-seed runs: failovers %d vs %d, readmissions %d vs %d",
+			first.RouterFailovers, second.RouterFailovers,
+			first.RouterReadmissions, second.RouterReadmissions)
 	}
 	// The stitched-trace exports for the quiesced probes must reproduce
 	// byte for byte: span IDs, ordering, and timeline are all functions of

@@ -117,35 +117,77 @@ func clusterTraceViolations(opts soakOptions, sum *soakSummary) []string {
 		bad = append(bad, fmt.Sprintf("%d of %d sampled requests stitched incompletely (ok legs missing their shard span)", incomplete, len(sum.ObsTraceIDs)))
 	}
 
-	// Fault attribution: the only injected server-side fault is the shard-0
-	// outage on the error-burst day, so every error leg must point at shard
-	// 0 during day 1, and every breaker_open leg at shard 0 (the breaker can
-	// linger into the next day until its half-open probe re-closes it).
-	errorLegs, misattributed := 0, 0
-	for _, tr := range sum.ClusterTraces {
-		for _, s := range tr.Spans {
-			if s.Name != "router.shard" {
-				continue
-			}
-			day := int(s.Start.Sub(soakEpoch) / (24 * time.Hour))
-			switch s.Attr("outcome") {
-			case "error":
-				errorLegs++
-				if s.Attr("shard") != "0" || day != 1 {
-					misattributed++
-				}
-			case "breaker_open":
-				if s.Attr("shard") != "0" {
-					misattributed++
+	if opts.ClusterReplicas > 1 {
+		// Fault attribution, replicated topology: the only injected fault
+		// is the replica-0 outage window, and failover absorbs it — so
+		// every fan-out LEG must read ok, while the error and breaker_open
+		// records live on router.attempt spans that must all point at
+		// replica 0 (errors only inside the outage window; an open breaker
+		// can linger past it until the prober re-closes it).
+		errorAttempts, misattributed, badLegs := 0, 0, 0
+		for _, tr := range sum.ClusterTraces {
+			for _, s := range tr.Spans {
+				switch s.Name {
+				case "router.shard":
+					if out := s.Attr("outcome"); out != "" && out != "ok" {
+						badLegs++
+					}
+				case "router.attempt":
+					switch s.Attr("outcome") {
+					case "error":
+						errorAttempts++
+						if s.Attr("replica") != "0" || !inReplicaOutage(s.Start) {
+							misattributed++
+						}
+					case "breaker_open":
+						if s.Attr("replica") != "0" {
+							misattributed++
+						}
+					}
 				}
 			}
 		}
-	}
-	if errorLegs == 0 {
-		bad = append(bad, "no stitched trace carries an error leg despite the shard-outage day")
-	}
-	if misattributed > 0 {
-		bad = append(bad, fmt.Sprintf("%d legs attribute faults outside the injected schedule (errors must hit shard 0 on day 1, open breakers only shard 0)", misattributed))
+		if badLegs > 0 {
+			bad = append(bad, fmt.Sprintf("%d stitched fan-out legs ended non-ok (replication must absorb every replica fault)", badLegs))
+		}
+		if errorAttempts == 0 {
+			bad = append(bad, "no stitched trace carries an error attempt despite the replica-outage window")
+		}
+		if misattributed > 0 {
+			bad = append(bad, fmt.Sprintf("%d attempts attribute faults outside the injected schedule (errors must hit replica 0 inside the outage window, open breakers only replica 0)", misattributed))
+		}
+	} else {
+		// Fault attribution, legacy single-replica topology: the only
+		// injected server-side fault is the shard-0 outage on the
+		// error-burst day, so every error leg must point at shard 0 during
+		// day 1, and every breaker_open leg at shard 0 (the breaker can
+		// linger into the next day until its half-open probe re-closes it).
+		errorLegs, misattributed := 0, 0
+		for _, tr := range sum.ClusterTraces {
+			for _, s := range tr.Spans {
+				if s.Name != "router.shard" {
+					continue
+				}
+				day := int(s.Start.Sub(soakEpoch) / (24 * time.Hour))
+				switch s.Attr("outcome") {
+				case "error":
+					errorLegs++
+					if s.Attr("shard") != "0" || day != 1 {
+						misattributed++
+					}
+				case "breaker_open":
+					if s.Attr("shard") != "0" {
+						misattributed++
+					}
+				}
+			}
+		}
+		if errorLegs == 0 {
+			bad = append(bad, "no stitched trace carries an error leg despite the shard-outage day")
+		}
+		if misattributed > 0 {
+			bad = append(bad, fmt.Sprintf("%d legs attribute faults outside the injected schedule (errors must hit shard 0 on day 1, open breakers only shard 0)", misattributed))
+		}
 	}
 
 	// Probe traces: the healed cluster must answer each probe from every

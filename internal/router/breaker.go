@@ -5,9 +5,10 @@ import (
 	"time"
 )
 
-// The router keeps one circuit breaker per shard so a dead or misbehaving
-// shard is skipped outright — its portion of the corpus degrades to a
-// partial result — instead of every query paying a timeout for it. The
+// The router keeps one circuit breaker per shard REPLICA so a dead or
+// misbehaving node is skipped outright — its leg fails over to the next
+// replica of the same shard — instead of every query paying a timeout for
+// it. The
 // machine is the classic three-state breaker (closed → open after a streak
 // of failures → half-open probe after a cooldown), mirroring the crawler's
 // per-endpoint breaker in internal/browser, but unlike that one it must be
@@ -40,11 +41,12 @@ type breaker struct {
 	threshold int           // consecutive failures that trip the breaker
 	cooldown  time.Duration // open-state dwell before a half-open probe
 
-	mu       sync.Mutex
-	state    int
-	failures int       // consecutive failures while closed
-	openedAt time.Time // instant of the most recent trip
-	probing  bool      // half-open: a probe is in flight
+	mu        sync.Mutex
+	state     int
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // instant of the most recent trip
+	trippedAt time.Time // instant of the most recent closed→open trip
+	probing   bool      // half-open: a probe is in flight
 
 	// onTransition, when set, observes every state change (metric hook).
 	// Called under the breaker lock; keep it to a counter bump.
@@ -65,7 +67,10 @@ func (br *breaker) transition(state int, label string) {
 // allow reports whether a request to the shard may be issued at instant
 // now. Open fails fast until the cooldown elapses, then moves to half-open
 // and admits a single probe; while that probe is outstanding every other
-// caller keeps failing fast.
+// caller keeps failing fast. Requests sharing the trip's own clock instant
+// are still admitted — the trip becomes visible at the next instant — so
+// admission is a pure function of (state-before-now, now), never of how
+// concurrent same-instant callers interleave.
 func (br *breaker) allow(now time.Time) bool {
 	br.mu.Lock()
 	defer br.mu.Unlock()
@@ -73,6 +78,19 @@ func (br *breaker) allow(now time.Time) bool {
 	case breakerClosed:
 		return true
 	case breakerOpen:
+		// A trip takes effect strictly AFTER the clock instant it happened
+		// at. Fan-outs sharing the tripping request's instant were already
+		// committed when the threshold failure landed, so they are admitted
+		// (their failures are no-ops — the breaker is already open). Without
+		// the deferral, whether a same-instant sibling contacts the replica
+		// or fails fast would depend on goroutine interleaving, and failover
+		// tallies would diverge across same-seed runs. Reopens after a
+		// failed probe do NOT defer: same-instant siblings were denied both
+		// before the reopen (half-open, probe slot taken) and after it
+		// (cooldown restarted), so there is no interleaving to hide.
+		if now.Equal(br.trippedAt) {
+			return true
+		}
 		if now.Sub(br.openedAt) < br.cooldown {
 			return false
 		}
@@ -116,6 +134,7 @@ func (br *breaker) failure(now time.Time) {
 		br.failures++
 		if br.failures >= br.threshold {
 			br.openedAt = now
+			br.trippedAt = now
 			br.transition(breakerOpen, breakerTransOpen)
 		}
 	}
@@ -132,6 +151,33 @@ func (br *breaker) pushback() {
 	if br.state == breakerHalfOpen {
 		br.probing = false
 	}
+}
+
+// probeDue reports whether the breaker has sat open for at least its
+// cooldown at instant now — the background health prober's admission
+// test. Half-open breakers are not due: a search-path probe already owns
+// the slot, and closed breakers need no re-admission.
+func (br *breaker) probeDue(now time.Time) bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.state == breakerOpen && now.Sub(br.openedAt) >= br.cooldown
+}
+
+// probeClose closes an open breaker on the strength of an out-of-band
+// /healthz probe, reporting whether it transitioned. It emits the same
+// "close" label as a successful half-open probe, so the open/close ledger
+// the soak asserts stays balanced no matter which path re-admitted the
+// replica. A breaker that moved on since probeDue (a concurrent fan-out
+// took it half-open) is left alone — the in-flight probe decides.
+func (br *breaker) probeClose() bool {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if br.state != breakerOpen {
+		return false
+	}
+	br.failures = 0
+	br.transition(breakerClosed, breakerTransClose)
+	return true
 }
 
 // stateName renders the state for spans and /statz surfaces.

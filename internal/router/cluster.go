@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
 	"time"
 
 	"geoserp/internal/engine"
@@ -24,9 +23,15 @@ import (
 type ClusterConfig struct {
 	// Shards is the shard count (>= 1).
 	Shards int
-	// Replicas is the ring's virtual-node count per shard (<= 0 selects
-	// DefaultReplicas). Every node in a real deployment must agree on it.
+	// Replicas is the data replication factor: every shard runs this many
+	// identical replica nodes (<= 0 selects 1), and the router fails a
+	// fan-out leg over between them. Distinct from VirtualNodes, the
+	// ring's hashing knob.
 	Replicas int
+	// VirtualNodes is the ring's virtual-node count per shard (<= 0
+	// selects DefaultVirtualNodes). Every node in a real deployment must
+	// agree on it.
+	VirtualNodes int
 	// Engine configures the coordinator engine (seed, datacenters,
 	// buckets, ...). The shard indexes are built from the same seed, so
 	// shards and coordinator see the identical deterministic corpus.
@@ -38,17 +43,24 @@ type ClusterConfig struct {
 	// the serpserver FIFO admission machinery (each shard gets its own
 	// gate and metrics registry).
 	ShardAdmission serpserver.AdmissionConfig
-	// ShardMiddleware, when set, wraps each shard's handler chain —
+	// ShardMiddleware, when set, wraps each replica's handler chain —
 	// between the admission gate (outermost) and the shard handler — so a
-	// chaos rig can inject per-shard faults.
-	ShardMiddleware func(shard int, next http.Handler) http.Handler
+	// chaos rig can inject per-node faults.
+	ShardMiddleware func(shard, replica int, next http.Handler) http.Handler
 	// ShardTimeout bounds one fan-out request on the wall clock (<= 0: no
 	// per-shard timeout).
 	ShardTimeout time.Duration
-	// BreakerThreshold / BreakerCooldown configure the router's per-shard
-	// circuit breakers; threshold <= 0 disables them.
+	// BreakerThreshold / BreakerCooldown configure the router's
+	// per-replica circuit breakers; threshold <= 0 disables them.
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// HedgeAfter, when > 0, arms the client's hedged requests (see
+	// ClientConfig.HedgeAfter).
+	HedgeAfter time.Duration
+	// ProbeInterval, when > 0, starts the client's background /healthz
+	// probe loop re-admitting recovered replicas (see
+	// ClientConfig.ProbeInterval); stop it via LocalCluster.StopProber.
+	ProbeInterval time.Duration
 	// SpanCapacity, when > 0, installs span recorders (router and shards)
 	// with that ring-buffer capacity.
 	SpanCapacity int
@@ -82,15 +94,16 @@ type LocalCluster struct {
 	Registry *telemetry.Registry
 	// Spans is the router-side span recorder (nil when SpanCapacity == 0).
 	Spans *telemetry.SpanRecorder
-	// ShardHandlers are the raw shard nodes, indexed by shard ID.
-	ShardHandlers []*ShardHandler
-	// ShardChains are the shards' full serving chains (admission gate
-	// around middleware around handler) as mounted in the transport.
-	ShardChains []http.Handler
+	// ShardHandlers are the raw shard nodes, indexed [shard][replica].
+	ShardHandlers [][]*ShardHandler
+	// ShardChains are the replicas' full serving chains (admission gate
+	// around middleware around handler) as mounted in the transport,
+	// indexed [shard][replica].
+	ShardChains [][]http.Handler
+	// StopProber stops the background health prober; a no-op function
+	// when ProbeInterval was 0. Idempotent.
+	StopProber func()
 }
-
-// shardHost names shard i in the in-memory transport ("shard-3").
-func shardHost(i int) string { return "shard-" + strconv.Itoa(i) }
 
 // NewLocalCluster partitions the corpus, builds every shard node and the
 // router, and wires them together. The partition is exhaustive and
@@ -115,40 +128,56 @@ func NewLocalCluster(cfg ClusterConfig) *LocalCluster {
 	}
 	web := webcorpus.NewWeb(cfg.Engine.Seed, queries.StudyCorpus(), regions)
 	full := index.BuildFromWeb(web)
-	ring := NewRing(cfg.Shards, cfg.Replicas)
-
-	hosts := make(map[string]http.Handler, cfg.Shards)
-	handlers := make([]*ShardHandler, cfg.Shards)
-	chains := make([]http.Handler, cfg.Shards)
-	for i := 0; i < cfg.Shards; i++ {
-		i := i
-		view := full.Shard(func(d webcorpus.Doc) bool { return ring.Owner(d.URL) == i })
-		opts := []ShardOption{WithShardClock(cfg.Clock)}
-		var shardSpans *telemetry.SpanRecorder
-		if cfg.SpanCapacity > 0 {
-			shardSpans = telemetry.NewSpanRecorder(cfg.SpanCapacity, cfg.Clock)
-			opts = append(opts, WithShardSpans(shardSpans))
-		}
-		sh := NewShardHandler(i, view, opts...)
-		var chain http.Handler = sh
-		if cfg.ShardMiddleware != nil {
-			chain = cfg.ShardMiddleware(i, chain)
-		}
-		if cfg.ShardAdmission.Enabled() {
-			ac := cfg.ShardAdmission
-			if ac.Clock == nil {
-				ac.Clock = cfg.Clock
-			}
-			chain = serpserver.NewAdmission(ac, sh.Telemetry(), shardSpans, chain)
-		}
-		handlers[i] = sh
-		chains[i] = chain
-		hosts[shardHost(i)] = chain
+	ring := NewRing(cfg.Shards, cfg.VirtualNodes)
+	replicas := cfg.Replicas
+	if replicas <= 0 {
+		replicas = 1
 	}
 
-	urls := make([]string, cfg.Shards)
-	for i := range urls {
-		urls[i] = "http://" + shardHost(i)
+	hosts := make(map[string]http.Handler, cfg.Shards*replicas)
+	handlers := make([][]*ShardHandler, cfg.Shards)
+	chains := make([][]http.Handler, cfg.Shards)
+	urls := make([][]string, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		i := i
+		// One frozen view per shard, shared by its replicas — exactly what
+		// a real deployment gets from every replica regenerating the
+		// identical world from the seed.
+		view := full.Shard(func(d webcorpus.Doc) bool { return ring.Owner(d.URL) == i })
+		handlers[i] = make([]*ShardHandler, replicas)
+		chains[i] = make([]http.Handler, replicas)
+		urls[i] = make([]string, replicas)
+		for r := 0; r < replicas; r++ {
+			opts := []ShardOption{WithShardClock(cfg.Clock), WithShardReplica(r)}
+			var shardSpans *telemetry.SpanRecorder
+			if cfg.SpanCapacity > 0 {
+				shardSpans = telemetry.NewSpanRecorder(cfg.SpanCapacity, cfg.Clock)
+				opts = append(opts, WithShardSpans(shardSpans))
+			}
+			sh := NewShardHandler(i, view, opts...)
+			var chain http.Handler = sh
+			if cfg.ShardMiddleware != nil {
+				chain = cfg.ShardMiddleware(i, r, chain)
+			}
+			if cfg.ShardAdmission.Enabled() {
+				ac := cfg.ShardAdmission
+				if ac.Clock == nil {
+					ac.Clock = cfg.Clock
+				}
+				adm := serpserver.NewAdmission(ac, sh.Telemetry(), shardSpans, chain)
+				if g, ok := adm.(*serpserver.Admission); ok {
+					// Deadline sheds at the handler advertise the gate's
+					// backlog-derived Retry-After instead of a constant.
+					sh.SetRetryAfter(g.RetryAfter)
+				}
+				chain = adm
+			}
+			handlers[i][r] = sh
+			chains[i][r] = chain
+			host := ShardNodeName(i, r)
+			hosts[host] = chain
+			urls[i][r] = "http://" + host
+		}
 	}
 
 	reg := cfg.Registry
@@ -160,6 +189,8 @@ func NewLocalCluster(cfg ClusterConfig) *LocalCluster {
 		Timeout:          cfg.ShardTimeout,
 		BreakerThreshold: cfg.BreakerThreshold,
 		BreakerCooldown:  cfg.BreakerCooldown,
+		HedgeAfter:       cfg.HedgeAfter,
+		ProbeInterval:    cfg.ProbeInterval,
 		Clock:            cfg.Clock,
 		Transport:        &memTransport{hosts: hosts},
 	}, reg)
@@ -184,6 +215,7 @@ func NewLocalCluster(cfg ClusterConfig) *LocalCluster {
 		Spans:         spans,
 		ShardHandlers: handlers,
 		ShardChains:   chains,
+		StopProber:    client.StartProber(),
 	}
 }
 
@@ -192,9 +224,11 @@ func NewLocalCluster(cfg ClusterConfig) *LocalCluster {
 // standalone shard process (cmd/serpd -shard-id/-shard-count) obtains its
 // slice without any data distribution: every node regenerates the
 // identical world from the seed and keeps only the documents the ring
-// assigns it. corpus may be nil for the study corpus; replicas <= 0
-// selects DefaultReplicas (every node must agree on both).
-func BuildShardIndex(seed uint64, corpus *queries.Corpus, shardID, shardCount, replicas int) *index.Index {
+// assigns it. corpus may be nil for the study corpus; virtualNodes <= 0
+// selects DefaultVirtualNodes (every node must agree on both). Replicas
+// of one shard all build the identical view — replication is running this
+// same partition more than once.
+func BuildShardIndex(seed uint64, corpus *queries.Corpus, shardID, shardCount, virtualNodes int) *index.Index {
 	if shardID < 0 || shardID >= shardCount {
 		panic("router: shard ID out of range")
 	}
@@ -207,7 +241,7 @@ func BuildShardIndex(seed uint64, corpus *queries.Corpus, shardID, shardCount, r
 	}
 	web := webcorpus.NewWeb(seed, corpus, regions)
 	full := index.BuildFromWeb(web)
-	ring := NewRing(shardCount, replicas)
+	ring := NewRing(shardCount, virtualNodes)
 	return full.Shard(func(d webcorpus.Doc) bool { return ring.Owner(d.URL) == shardID })
 }
 

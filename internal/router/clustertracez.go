@@ -184,6 +184,12 @@ func (h *ClusterTracez) writeHTML(w http.ResponseWriter, nodes []telemetry.NodeS
 			for _, l := range ret.Legs {
 				fmt.Fprintf(&b, "<li>&nbsp;&nbsp;&nbsp;&nbsp;shard %d · %s · client %s",
 					l.Shard, html.EscapeString(l.Outcome), l.ClientDur)
+				if l.Replica >= 0 {
+					fmt.Fprintf(&b, " · replica %d", l.Replica)
+				}
+				if l.Hedge != "" {
+					fmt.Fprintf(&b, " · hedge %s", html.EscapeString(l.Hedge))
+				}
 				if l.Stitched {
 					fmt.Fprintf(&b, " · server %s on %s", l.ServerDur, html.EscapeString(l.Node))
 				}
@@ -191,6 +197,20 @@ func (h *ClusterTracez) writeHTML(w http.ResponseWriter, nodes []telemetry.NodeS
 					fmt.Fprintf(&b, " · %s", html.EscapeString(l.Error))
 				}
 				b.WriteString("</li>")
+				for _, la := range l.Attempts {
+					fmt.Fprintf(&b, "<li>&nbsp;&nbsp;&nbsp;&nbsp;&nbsp;&nbsp;&nbsp;&nbsp;replica %d · %s",
+						la.Replica, html.EscapeString(la.Outcome))
+					if la.Hedge {
+						b.WriteString(" · hedged")
+					}
+					if la.Stitched {
+						fmt.Fprintf(&b, " · server %s on %s", la.ServerDur, html.EscapeString(la.Node))
+					}
+					if la.Error != "" {
+						fmt.Fprintf(&b, " · %s", html.EscapeString(la.Error))
+					}
+					b.WriteString("</li>")
+				}
 			}
 		}
 		b.WriteString("</ul>")

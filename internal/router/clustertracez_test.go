@@ -97,6 +97,37 @@ func TestAnalyzeAttribution(t *testing.T) {
 	}
 }
 
+// TestAnalyzeStragglerSkipsShedLegs pins the shed-exclusion rule: a leg
+// the shard's admission gate shed — even one with the longest client
+// duration, because it sat in the gate's queue until the deadline — did
+// no retrieval work the coordinator waited on, so straggler attribution
+// must skip it exactly as it skips breaker-open legs, and blame the
+// slowest leg that actually ran.
+func TestAnalyzeStragglerSkipsShedLegs(t *testing.T) {
+	tr := telemetry.StitchedTrace{TraceID: "t-1", Spans: []telemetry.StitchedSpan{
+		span("router", "req-1", "", "serpd.request", 0, 100),
+		span("router", "ret-1", "req-1", "engine.retrieve", 10, 95),
+		span("router", "leg-1", "ret-1", "router.shard", 10, 90,
+			attr("shard", "1"), attr("outcome", "shed")),
+		span("router", "leg-0", "ret-1", "router.shard", 10, 40,
+			attr("shard", "0"), attr("outcome", "ok"), attr("hits", "3")),
+		span("shard-0", "srv-0", "leg-0", "shard.search", 12, 38,
+			attr("shard", "0")),
+	}}
+	rep := Analyze(tr)
+	if len(rep.Retrievals) != 1 {
+		t.Fatalf("retrievals = %d, want 1", len(rep.Retrievals))
+	}
+	ret := rep.Retrievals[0]
+	if ret.Straggler != 0 || ret.StragglerOutcome != "ok" || ret.StragglerDur != 30*time.Millisecond {
+		t.Fatalf("straggler = shard %d (%s, %v), want shard 0 (ok, 30ms): shed legs must never be blamed",
+			ret.Straggler, ret.StragglerOutcome, ret.StragglerDur)
+	}
+	if !ret.Partial {
+		t.Fatal("retrieval with a shed leg not marked partial")
+	}
+}
+
 // TestAnalyzeIncomplete: an ok leg whose server span never surfaced (lost
 // export) makes the retrieval — and the report — incomplete, and a trace
 // with only shed spans reports zero requests and incomplete.
@@ -260,7 +291,7 @@ func TestClusterTracezDegraded(t *testing.T) {
 		Engine:       testConfig(7),
 		Clock:        simclock.NewManual(epoch),
 		SpanCapacity: 256,
-		ShardMiddleware: func(shard int, next http.Handler) http.Handler {
+		ShardMiddleware: func(shard, replica int, next http.Handler) http.Handler {
 			if shard != 1 {
 				return next
 			}

@@ -22,22 +22,48 @@ const (
 	spanShed        = "serpd.shed"
 	spanRetrieve    = "engine.retrieve"
 	spanShardLeg    = "router.shard"
+	spanAttempt     = "router.attempt"
 	spanShardSearch = "shard.search"
 )
+
+// LegAttempt is one replica contact (or breaker fail-fast skip) within a
+// fan-out leg, joined (when possible) with the replica-side server span
+// it caused.
+type LegAttempt struct {
+	Replica int `json:"replica"`
+	// Hedge marks a backup request fired after the hedge delay.
+	Hedge   bool   `json:"hedge,omitempty"`
+	Outcome string `json:"outcome"`
+	Error   string `json:"error,omitempty"`
+	// Stitched reports that the replica-side server span was found; Node
+	// and ServerDur come from it.
+	Stitched  bool          `json:"stitched,omitempty"`
+	Node      string        `json:"node,omitempty"`
+	ServerDur time.Duration `json:"server_dur_ns,omitempty"`
+}
 
 // ShardLeg is one fan-out leg of a retrieval, joined (when possible) with
 // the shard-side server span it caused.
 type ShardLeg struct {
 	Shard   int    `json:"shard"`
 	Outcome string `json:"outcome"`
+	// Replica is the replica that delivered the leg's answer; -1 when
+	// unknown (failed legs, or traces recorded before replica attempts).
+	Replica int `json:"replica"`
 	// ClientDur is the leg's duration as the router's span saw it.
 	ClientDur time.Duration `json:"client_dur_ns"`
-	// Stitched reports that the shard-side server span was found; Node
-	// and ServerDur come from it.
+	// Stitched reports that the serving replica's server span was found;
+	// Node and ServerDur come from it.
 	Stitched  bool          `json:"stitched"`
 	Node      string        `json:"node,omitempty"`
 	ServerDur time.Duration `json:"server_dur_ns,omitempty"`
 	Error     string        `json:"error,omitempty"`
+	// Attempts is the leg's replica failover chain (empty for legacy
+	// traces recorded before per-replica attempts).
+	Attempts []LegAttempt `json:"attempts,omitempty"`
+	// Hedge summarizes hedging on this leg: "" (none fired), "won" (the
+	// hedged backup delivered the page), or "lost".
+	Hedge string `json:"hedge,omitempty"`
 }
 
 // Retrieval is one scatter-gather round's breakdown.
@@ -48,8 +74,8 @@ type Retrieval struct {
 	FanoutDur time.Duration `json:"fanout_dur_ns"`
 	Legs      []ShardLeg    `json:"legs"`
 	// Straggler is the contacted shard with the longest client-observed
-	// leg (ties break to the lowest shard ID); -1 when no shard was
-	// contacted (all breakers open).
+	// leg (ties break to the lowest shard ID); -1 when no shard did
+	// retrieval work (all legs breaker-open or shed).
 	Straggler        int           `json:"straggler_shard"`
 	StragglerOutcome string        `json:"straggler_outcome,omitempty"`
 	StragglerDur     time.Duration `json:"straggler_dur_ns"`
@@ -78,16 +104,23 @@ type TraceReport struct {
 func Analyze(tr telemetry.StitchedTrace) TraceReport {
 	rep := TraceReport{TraceID: tr.TraceID, Outcomes: map[string]int{}}
 
-	// Index shard-side server spans by the router leg that caused them
-	// (their remote parent). Legs that never reached a shard (breaker
-	// open, transport error) have no entry.
+	// Index shard-side server spans by the router span that caused them
+	// (their remote parent — a replica attempt span, or the leg span
+	// itself in legacy pre-replica traces). Attempts that never reached a
+	// replica (breaker open, transport error) have no entry. Attempt spans
+	// are indexed by their leg so each leg can render its failover chain.
 	serverByParent := make(map[string]telemetry.StitchedSpan)
+	attemptsByLeg := make(map[string][]telemetry.StitchedSpan)
 	for _, s := range tr.Spans {
 		switch s.Name {
 		case spanRequest:
 			rep.Requests++
 		case spanShed:
 			rep.Sheds++
+		case spanAttempt:
+			if s.ParentID != "" {
+				attemptsByLeg[s.ParentID] = append(attemptsByLeg[s.ParentID], s)
+			}
 		case spanShardSearch:
 			if s.ParentID != "" {
 				serverByParent[s.ParentID] = s
@@ -111,10 +144,49 @@ func Analyze(tr telemetry.StitchedTrace) TraceReport {
 			l := ShardLeg{
 				Shard:     shard,
 				Outcome:   leg.Attr("outcome"),
+				Replica:   -1,
 				ClientDur: leg.Dur(),
 				Error:     leg.Attr("error"),
 			}
-			if srv, ok := serverByParent[leg.SpanID]; ok {
+			if rv, rerr := strconv.Atoi(leg.Attr("replica")); rerr == nil {
+				l.Replica = rv
+			}
+			if atts := attemptsByLeg[leg.SpanID]; len(atts) > 0 {
+				for _, as := range atts {
+					la := LegAttempt{
+						Replica: -1,
+						Hedge:   as.Attr("hedge") == "true",
+						Outcome: as.Attr("outcome"),
+						Error:   as.Attr("error"),
+					}
+					if rv, rerr := strconv.Atoi(as.Attr("replica")); rerr == nil {
+						la.Replica = rv
+					}
+					if srv, ok := serverByParent[as.SpanID]; ok {
+						la.Stitched = true
+						la.Node = srv.Node
+						la.ServerDur = srv.Dur()
+					}
+					if la.Outcome == outcomeOK {
+						// The serving attempt lends the leg its server-side
+						// join, and its replica when the leg span lacks one.
+						l.Stitched = la.Stitched
+						l.Node = la.Node
+						l.ServerDur = la.ServerDur
+						if l.Replica < 0 {
+							l.Replica = la.Replica
+						}
+					}
+					if la.Hedge && l.Hedge == "" {
+						l.Hedge = "lost"
+					}
+					if la.Hedge && la.Outcome == outcomeOK {
+						l.Hedge = "won"
+					}
+					l.Attempts = append(l.Attempts, la)
+				}
+			} else if srv, ok := serverByParent[leg.SpanID]; ok {
+				// Legacy trace: the server span joined the leg directly.
 				l.Stitched = true
 				l.Node = srv.Node
 				l.ServerDur = srv.Dur()
@@ -130,9 +202,10 @@ func Analyze(tr telemetry.StitchedTrace) TraceReport {
 		}
 		sort.Slice(ret.Legs, func(i, j int) bool { return ret.Legs[i].Shard < ret.Legs[j].Shard })
 		for _, l := range ret.Legs {
-			// Breaker-open legs were never contacted; they cannot be the
-			// shard the fan-out waited on.
-			if l.Outcome == outcomeBreakerOpen {
+			// Breaker-open legs were never contacted and shed legs were
+			// refused by the gate without retrieval work; neither is the
+			// shard the fan-out did ranking work waiting on.
+			if l.Outcome == outcomeBreakerOpen || l.Outcome == outcomeShed {
 				continue
 			}
 			if ret.Straggler < 0 || l.ClientDur > ret.StragglerDur {

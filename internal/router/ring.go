@@ -16,14 +16,16 @@ import (
 	"geoserp/internal/detrand"
 )
 
-// DefaultReplicas is the virtual-node count per shard on the ring. 64
+// DefaultVirtualNodes is the virtual-node count per shard on the ring. 64
 // points per shard keeps the partition imbalance on the study corpus
-// within a few percent without making ring construction noticeable.
-const DefaultReplicas = 64
+// within a few percent without making ring construction noticeable. (This
+// is purely a hashing knob — it has nothing to do with data replication,
+// which is ClusterConfig.Replicas.)
+const DefaultVirtualNodes = 64
 
 // Ring is a consistent-hash ring assigning string keys (document URLs) to
-// shard IDs. The assignment is a pure function of (shards, replicas, key)
-// — no process state — so every node that builds a ring with the same
+// shard IDs. The assignment is a pure function of (shards, virtualNodes,
+// key) — no process state — so every node that builds a ring with the same
 // parameters agrees on ownership without coordination, and re-sharding a
 // corpus from N to N+1 shards moves only ~1/(N+1) of the documents.
 type Ring struct {
@@ -36,18 +38,18 @@ type ringPoint struct {
 	shard int
 }
 
-// NewRing builds a ring over shards×replicas virtual nodes. shards must be
-// at least 1; replicas <= 0 selects DefaultReplicas.
-func NewRing(shards, replicas int) *Ring {
+// NewRing builds a ring over shards×virtualNodes points. shards must be
+// at least 1; virtualNodes <= 0 selects DefaultVirtualNodes.
+func NewRing(shards, virtualNodes int) *Ring {
 	if shards < 1 {
 		panic("router: ring needs at least one shard")
 	}
-	if replicas <= 0 {
-		replicas = DefaultReplicas
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
 	}
-	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*virtualNodes)}
 	for s := 0; s < shards; s++ {
-		for v := 0; v < replicas; v++ {
+		for v := 0; v < virtualNodes; v++ {
 			h := mix64(detrand.Hash("router.ring", "node", strconv.Itoa(s), strconv.Itoa(v)))
 			r.points = append(r.points, ringPoint{hash: h, shard: s})
 		}

@@ -88,10 +88,15 @@ func TestBreakerLifecycle(t *testing.T) {
 	if !br.allow(now) {
 		t.Fatal("breaker tripped below threshold")
 	}
-	// Third consecutive failure trips it.
+	// Third consecutive failure trips it. The trip is deferred to the next
+	// clock instant: siblings sharing the tripping request's instant are
+	// still admitted (interleaving-independent), later instants fail fast.
 	br.failure(now)
-	if br.allow(now) {
-		t.Fatal("open breaker admitted a request")
+	if !br.allow(now) {
+		t.Fatal("breaker denied a request sharing the trip instant")
+	}
+	if br.allow(now.Add(time.Millisecond)) {
+		t.Fatal("open breaker admitted a request after the trip instant")
 	}
 	if br.stateName() != "open" {
 		t.Fatalf("state = %q, want open", br.stateName())
@@ -232,7 +237,7 @@ func TestClusterPartialDegradation(t *testing.T) {
 		Clock:            clock,
 		BreakerThreshold: 3,
 		BreakerCooldown:  45 * time.Second,
-		ShardMiddleware: func(shard int, next http.Handler) http.Handler {
+		ShardMiddleware: func(shard, replica int, next http.Handler) http.Handler {
 			if shard == 1 {
 				return fault.middleware(next)
 			}
@@ -258,12 +263,15 @@ func TestClusterPartialDegradation(t *testing.T) {
 		}
 	}
 	// After threshold=3 failures the breaker is open and failing fast.
-	if s := cl.Client.BreakerStates()[1]; s != "open" {
+	if s := cl.Client.BreakerStates()[1][0]; s != "open" {
 		t.Fatalf("shard 1 breaker = %q after failure streak, want open", s)
 	}
 	// Heal the shard; before the cooldown the breaker still fails fast
-	// (pages stay partial), after it the probe succeeds and recloses.
+	// (pages stay partial), after it the probe succeeds and recloses. The
+	// clock moves first: a trip only takes effect after its own instant
+	// (same-instant siblings are admitted, interleaving-independent).
 	fault.broken = false
+	clock.Advance(time.Second)
 	_, partial, _ = fetch(t, cl.Handler, "pizza", "t-heal-0", "10.0.0.1")
 	if partial != "web" {
 		t.Fatal("breaker open but page not partial before cooldown")
@@ -273,7 +281,7 @@ func TestClusterPartialDegradation(t *testing.T) {
 	if partial != "" {
 		t.Fatalf("probe after cooldown did not restore complete pages (partial=%q)", partial)
 	}
-	if s := cl.Client.BreakerStates()[1]; s != "closed" {
+	if s := cl.Client.BreakerStates()[1][0]; s != "closed" {
 		t.Fatalf("shard 1 breaker = %q after successful probe, want closed", s)
 	}
 }
@@ -285,7 +293,7 @@ func TestClusterAllShardsDown(t *testing.T) {
 		Shards: 2,
 		Engine: testConfig(7),
 		Clock:  simclock.NewManual(epoch),
-		ShardMiddleware: func(shard int, next http.Handler) http.Handler {
+		ShardMiddleware: func(shard, replica int, next http.Handler) http.Handler {
 			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 				http.Error(w, "down", http.StatusInternalServerError)
 			})
@@ -307,7 +315,7 @@ func TestClusterAllShardsDown(t *testing.T) {
 func TestShardHandlerSurface(t *testing.T) {
 	clock := simclock.NewManual(epoch)
 	cl := NewLocalCluster(ClusterConfig{Shards: 2, Engine: testConfig(7), Clock: clock})
-	sh := cl.ShardHandlers[0]
+	sh := cl.ShardHandlers[0][0]
 
 	// A normal search returns JSON hits from this shard only.
 	r := httptest.NewRequest(http.MethodGet, SearchPath+"?q=pizza&k=5", nil)
@@ -343,10 +351,10 @@ func TestShardHandlerSurface(t *testing.T) {
 	// monolithic corpus.
 	total := 0
 	for _, s := range cl.ShardHandlers {
-		total += s.Docs()
+		total += s[0].Docs()
 	}
 	mono := NewLocalCluster(ClusterConfig{Shards: 1, Engine: testConfig(7), Clock: simclock.NewManual(epoch)})
-	if want := mono.ShardHandlers[0].Docs(); total != want {
+	if want := mono.ShardHandlers[0][0].Docs(); total != want {
 		t.Fatalf("shard docs sum to %d, monolithic corpus has %d", total, want)
 	}
 }

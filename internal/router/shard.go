@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"strconv"
+	"time"
 
 	"geoserp/internal/httpheader"
 	"geoserp/internal/index"
@@ -32,9 +33,25 @@ const maxShardK = 512
 type ShardResponse struct {
 	// Shard echoes the answering shard's ID (mismatch = misrouted query).
 	Shard int `json:"shard"`
+	// Replica echoes the answering node's replica ID within the shard's
+	// ReplicaSet (mismatch = misrouted query). Every replica serves the
+	// identical document slice, so this is a topology check, not a data
+	// property.
+	Replica int `json:"replica"`
 	// Hits is the shard's top-k, already in merge order (score descending,
 	// URL ascending).
 	Hits []index.Hit `json:"hits"`
+}
+
+// ShardNodeName is the canonical node name for replica r of shard s, used
+// for span lanes, spanz exports, and the in-process cluster's host names.
+// Replica 0 keeps the legacy bare "shard-<s>" name so single-replica
+// topologies are indistinguishable from pre-replication ones.
+func ShardNodeName(shard, replica int) string {
+	if replica <= 0 {
+		return "shard-" + strconv.Itoa(shard)
+	}
+	return "shard-" + strconv.Itoa(shard) + "-r" + strconv.Itoa(replica)
 }
 
 // ShardHandler is one shard node's HTTP surface: GET /shard/search over a
@@ -44,12 +61,17 @@ type ShardResponse struct {
 // IDF and return raw TF-IDF candidates; everything location- or
 // session-dependent happens at the router.
 type ShardHandler struct {
-	id    int
-	idx   *index.Index
-	mux   *http.ServeMux
-	tel   *telemetry.Registry
-	spans *telemetry.SpanRecorder
-	clock simclock.Clock
+	id      int
+	replica int
+	idx     *index.Index
+	mux     *http.ServeMux
+	tel     *telemetry.Registry
+	spans   *telemetry.SpanRecorder
+	clock   simclock.Clock
+
+	// retryAfter, when set (SetRetryAfter), supplies the backlog-derived
+	// Retry-After hint for deadline sheds.
+	retryAfter func() time.Duration
 
 	requests *telemetry.Counter    // shard_requests_total
 	errors   *telemetry.CounterVec // shard_errors_total{reason}
@@ -81,6 +103,14 @@ func WithShardClock(c simclock.Clock) ShardOption {
 	return func(h *ShardHandler) { h.clock = c }
 }
 
+// WithShardReplica sets this node's replica ID within its shard's
+// ReplicaSet (default 0). It is echoed in every ShardResponse and
+// /healthz body and names the node's span lane (see ShardNodeName); the
+// served documents are identical across replicas by construction.
+func WithShardReplica(r int) ShardOption {
+	return func(h *ShardHandler) { h.replica = r }
+}
+
 // NewShardHandler builds a shard node serving the given (already frozen)
 // shard index view as shard id.
 func NewShardHandler(id int, idx *index.Index, opts ...ShardOption) *ShardHandler {
@@ -104,7 +134,7 @@ func NewShardHandler(id int, idx *index.Index, opts ...ShardOption) *ShardHandle
 	if h.spans != nil {
 		h.mux.Handle("GET /tracez", telemetry.TracezHandler(h.spans))
 		h.mux.Handle("GET "+telemetry.SpanzPath,
-			telemetry.SpanzHandler(h.spans, "shard-"+strconv.Itoa(h.id)))
+			telemetry.SpanzHandler(h.spans, ShardNodeName(h.id, h.replica)))
 	}
 	return h
 }
@@ -117,6 +147,22 @@ func (h *ShardHandler) Spans() *telemetry.SpanRecorder { return h.spans }
 
 // Docs returns how many documents this shard owns.
 func (h *ShardHandler) Docs() int { return h.idx.Len() }
+
+// SetRetryAfter wires the admission gate's backlog-derived retry hint
+// into deadline sheds, so router-side clients back off proportionally to
+// the queue actually in front of them instead of a hard-coded second.
+func (h *ShardHandler) SetRetryAfter(hint func() time.Duration) { h.retryAfter = hint }
+
+// retryAfterSeconds renders the Retry-After value for a deadline shed:
+// the gate's backlog estimate when one is wired, else the 1-second floor.
+func (h *ShardHandler) retryAfterSeconds() string {
+	if h.retryAfter != nil {
+		if d := h.retryAfter(); d > time.Second {
+			return strconv.Itoa(int((d + time.Second - 1) / time.Second))
+		}
+	}
+	return "1"
+}
 
 func (h *ShardHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.mux.ServeHTTP(w, r)
@@ -150,7 +196,7 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if dl := parseDeadline(r); !dl.IsZero() && h.clock.Now().After(dl) {
 		h.errors.With("deadline").Inc()
 		sp.SetAttr("error", "deadline")
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", h.retryAfterSeconds())
 		http.Error(w, "deadline exceeded", http.StatusServiceUnavailable)
 		return
 	}
@@ -187,7 +233,7 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if trace := r.Header.Get(httpheader.TraceID); trace != "" {
 		w.Header().Set(httpheader.TraceID, trace)
 	}
-	if err := json.NewEncoder(w).Encode(ShardResponse{Shard: h.id, Hits: res}); err != nil {
+	if err := json.NewEncoder(w).Encode(ShardResponse{Shard: h.id, Replica: h.replica, Hits: res}); err != nil {
 		// The client went away mid-write; nothing useful to do.
 		h.errors.With("write").Inc()
 	}
@@ -196,8 +242,9 @@ func (h *ShardHandler) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (h *ShardHandler) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"status": "ok",
-		"shard":  h.id,
-		"docs":   h.idx.Len(),
+		"status":  "ok",
+		"shard":   h.id,
+		"replica": h.replica,
+		"docs":    h.idx.Len(),
 	})
 }

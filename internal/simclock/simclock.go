@@ -63,6 +63,15 @@ type sleeper struct {
 	// the release — the worker resumes already holding, so the driver
 	// cannot hop again before it parks or finishes. See SleepHeld.
 	rehold bool
+	// passive marks a sleeper that rides the clock instead of driving it:
+	// it wakes, in deadline order, whenever an advance crosses its
+	// deadline, but it is invisible to NextDeadline — so a driver hopping
+	// from sleeper to sleeper never advances virtual time *because* of it.
+	// Without this, a permanently re-parking background loop (a health
+	// prober) hands DriveUntil an always-available deadline and virtual
+	// time races ahead at wall speed whenever the campaign workers are
+	// between sleeps. See SleepHeldPassive.
+	passive bool
 }
 
 // NewManual returns a Manual clock starting at the given instant.
@@ -140,6 +149,17 @@ func HolderOf(clk Clock) Holder {
 	return h
 }
 
+// PassiveHolder extends Holder with passive sleeping for background
+// maintenance loops that must never drag virtual time forward on their
+// own. Manual implements it; discover it with a type assertion on a
+// Holder and fall back to SleepHeld when absent.
+type PassiveHolder interface {
+	Holder
+	// SleepHeldPassive is SleepHeld, except the parked sleeper is
+	// invisible to drivers choosing the next instant to advance to.
+	SleepHeldPassive(d time.Duration)
+}
+
 type heldKey struct{}
 
 // WithHeld records in ctx that the caller runs under h.Hold(), so nested
@@ -185,6 +205,22 @@ func (m *Manual) Release() {
 // wake time before the worker runs again. A non-positive d keeps the
 // hold and returns immediately.
 func (m *Manual) SleepHeld(d time.Duration) {
+	m.sleepHeld(d, false)
+}
+
+// SleepHeldPassive is SleepHeld for background maintenance loops: the
+// sleeper still wakes — re-holding — when the clock crosses its deadline,
+// but it never becomes the driver's next hop target (NextDeadline skips
+// it). Campaign sleepers drive the clock; passive sleepers ride it. A
+// loop that re-parks forever (a health prober ticking every interval)
+// must sleep passively, or DriveUntil would hop its deadlines at wall
+// speed whenever the campaign workers are momentarily between sleeps,
+// racing virtual time arbitrarily far ahead of the campaign.
+func (m *Manual) SleepHeldPassive(d time.Duration) {
+	m.sleepHeld(d, true)
+}
+
+func (m *Manual) sleepHeld(d time.Duration, passive bool) {
 	if d <= 0 {
 		return
 	}
@@ -195,7 +231,7 @@ func (m *Manual) SleepHeld(d time.Duration) {
 	if m.holds == 0 {
 		m.idle.Broadcast()
 	}
-	s := &sleeper{deadline: m.now.Add(d), ch: make(chan struct{}), rehold: true}
+	s := &sleeper{deadline: m.now.Add(d), ch: make(chan struct{}), rehold: true, passive: passive}
 	m.insertLocked(s)
 	m.waiting.Broadcast()
 	m.mu.Unlock()
@@ -269,9 +305,28 @@ func (m *Manual) WaitForSleepers(n int) {
 	m.mu.Unlock()
 }
 
-// NextDeadline reports the earliest pending sleeper deadline. ok is false
-// when no goroutine is sleeping.
+// NextDeadline reports the earliest pending driving sleeper deadline —
+// passive sleepers (SleepHeldPassive) are skipped, so a driver consulting
+// it never advances the clock on a background loop's account. ok is false
+// when no driving goroutine is sleeping.
 func (m *Manual) NextDeadline() (t time.Time, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sleeper {
+		if !s.passive {
+			return s.deadline, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// nextAnyDeadline reports the earliest pending deadline including passive
+// sleepers. Drivers that have already decided to advance (a driving
+// sleeper exists) hop here first, so a passive sleeper parked earlier
+// wakes — and, via rehold, finishes its work under quiesce — strictly
+// before the clock reaches the driving deadline. That keeps background
+// sweeps serialized against campaign rounds even at shared instants.
+func (m *Manual) nextAnyDeadline() (t time.Time, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.sleeper) == 0 {
@@ -304,10 +359,16 @@ func (m *Manual) DriveUntil(done <-chan struct{}) {
 		}
 		if _, ok := m.NextDeadline(); ok {
 			// Let in-flight real work finish before hopping (see Holder),
-			// then re-read the earliest deadline: a worker that was mid-
-			// fetch may have parked an earlier one while we waited.
+			// then hop to the earliest deadline of ANY sleeper — passive
+			// included, and re-read after quiescing: a worker that was
+			// mid-fetch may have parked an earlier one while we waited.
+			// Passive sleepers never trigger this branch, but once a
+			// driving deadline exists the hop must visit each earlier
+			// passive deadline first, one quiesce per hop, so background
+			// sweeps land at their exact instants instead of racing the
+			// workers released at the driving deadline.
 			m.quiesce()
-			if next, ok := m.NextDeadline(); ok {
+			if next, ok := m.nextAnyDeadline(); ok {
 				m.AdvanceTo(next)
 			}
 			continue
@@ -334,7 +395,10 @@ func (m *Manual) RunUntilIdle(settle func()) {
 			return
 		}
 		m.quiesce()
-		if n2, ok2 := m.NextDeadline(); ok2 && n2.Before(next) {
+		// Hop to the earliest deadline of any sleeper — an earlier passive
+		// deadline (or one parked while we quiesced) is visited on its own
+		// hop, keeping background sweeps serialized against workers.
+		if n2, ok2 := m.nextAnyDeadline(); ok2 && n2.Before(next) {
 			next = n2
 		}
 		m.AdvanceTo(next)

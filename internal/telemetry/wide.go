@@ -17,8 +17,8 @@ import (
 // A nil *WideEvent is a valid no-op sink, so instrumented code records
 // unconditionally; only the coordinator that opted into wide events pays.
 // One event must only be written from one goroutine at a time: the engine
-// records stages sequentially, and the router records shard legs after its
-// fan-out barrier.
+// records stages sequentially, and the router records replica attempts
+// after its fan-out barrier.
 
 const (
 	// MaxWideStages caps recorded pipeline stages per event.
@@ -33,11 +33,17 @@ type WideStage struct {
 	Dur  time.Duration
 }
 
-// WideShard is one scatter-gather leg: the shard contacted, its outcome
-// (ok, shed, breaker_open, error), and the client-observed duration.
+// WideShard is one replica attempt within a scatter-gather leg: the shard
+// and replica contacted, the attempt outcome (ok, shed, breaker_open,
+// error, canceled), whether it was a hedged backup request, and the
+// client-observed duration. A single-replica topology records exactly one
+// attempt per shard, so the record shape is unchanged from pre-replica
+// events apart from the ".replica" suffix on the shard index.
 type WideShard struct {
 	Shard   int
+	Replica int
 	Outcome string
+	Hedge   bool
 	Dur     time.Duration
 }
 
@@ -54,6 +60,9 @@ type WideEvent struct {
 	nshards int
 	shards  [MaxWideShards]WideShard
 	dropped int // stages + legs beyond capacity
+
+	hedges    int // hedged backup requests fired
+	hedgeWins int // ... that delivered the winning answer
 }
 
 // Reset clears the event for reuse.
@@ -86,9 +95,9 @@ func (e *WideEvent) Stage(name string, d time.Duration) {
 	e.nstages++
 }
 
-// Shard records one scatter-gather leg (dropped beyond MaxWideShards).
-// Nil-safe.
-func (e *WideEvent) Shard(shard int, outcome string, d time.Duration) {
+// Shard records one replica attempt of a scatter-gather leg (dropped
+// beyond MaxWideShards). Nil-safe.
+func (e *WideEvent) Shard(shard, replica int, outcome string, hedge bool, d time.Duration) {
 	if e == nil {
 		return
 	}
@@ -96,8 +105,21 @@ func (e *WideEvent) Shard(shard int, outcome string, d time.Duration) {
 		e.dropped++
 		return
 	}
-	e.shards[e.nshards] = WideShard{Shard: shard, Outcome: outcome, Dur: d}
+	e.shards[e.nshards] = WideShard{Shard: shard, Replica: replica, Outcome: outcome, Hedge: hedge, Dur: d}
 	e.nshards++
+}
+
+// Hedge records one hedged backup request's result: won means the backup
+// delivered the page, lost means the original answer arrived first.
+// Nil-safe.
+func (e *WideEvent) Hedge(won bool) {
+	if e == nil {
+		return
+	}
+	e.hedges++
+	if won {
+		e.hedgeWins++
+	}
 }
 
 // Stages returns the recorded stages (a view into the event; valid until
@@ -122,9 +144,12 @@ func (e *WideEvent) Shards() []WideShard {
 // space-separated key=value fields, durations as integer microseconds:
 //
 //	trace=f00d… status=200 dur_us=1874 partial=web err=deadline
-//	stages=parse:12,noise:3,retrieve:901 shards=0:ok:901,1:shed:13
+//	stages=parse:12,noise:3,retrieve:901 shards=0.0:ok:901,1.1:shed:13
+//	hedges=1/1
 //
-// partial, err, stages, shards, and dropped appear only when non-empty.
+// Each shards entry is shard.replica:outcome:µs, with a ":h" suffix on
+// hedged backup attempts; hedges=wins/fired summarizes hedging. partial,
+// err, stages, shards, hedges, and dropped appear only when non-empty.
 // Appending into a caller-reused buffer allocates nothing.
 func (e *WideEvent) AppendText(b []byte) []byte {
 	if e == nil {
@@ -151,6 +176,12 @@ func (e *WideEvent) AppendText(b []byte) []byte {
 	if e.nshards > 0 {
 		b = append(b, " shards="...)
 		b = e.appendShards(b)
+	}
+	if e.hedges > 0 {
+		b = append(b, " hedges="...)
+		b = strconv.AppendInt(b, int64(e.hedgeWins), 10)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(e.hedges), 10)
 	}
 	if e.dropped > 0 {
 		b = append(b, " dropped="...)
@@ -180,8 +211,9 @@ func (e *WideEvent) appendStages(b []byte) []byte {
 	return b
 }
 
-// AppendShards appends the comma-separated shard:outcome:µs leg list (""
-// when none were recorded).
+// AppendShards appends the comma-separated shard.replica:outcome:µs
+// attempt list ("" when none were recorded); hedged backup attempts carry
+// a ":h" suffix.
 func (e *WideEvent) AppendShards(b []byte) []byte {
 	if e == nil {
 		return b
@@ -195,10 +227,15 @@ func (e *WideEvent) appendShards(b []byte) []byte {
 			b = append(b, ',')
 		}
 		b = strconv.AppendInt(b, int64(e.shards[i].Shard), 10)
+		b = append(b, '.')
+		b = strconv.AppendInt(b, int64(e.shards[i].Replica), 10)
 		b = append(b, ':')
 		b = append(b, e.shards[i].Outcome...)
 		b = append(b, ':')
 		b = strconv.AppendInt(b, e.shards[i].Dur.Microseconds(), 10)
+		if e.shards[i].Hedge {
+			b = append(b, ":h"...)
+		}
 	}
 	return b
 }

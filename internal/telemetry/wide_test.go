@@ -18,16 +18,19 @@ func sampleWideEvent() *WideEvent {
 	e.Stage("parse", 12*time.Microsecond)
 	e.Stage("noise", 3*time.Microsecond)
 	e.Stage("retrieve", 901*time.Microsecond)
-	e.Shard(0, "ok", 901*time.Microsecond)
-	e.Shard(1, "shed", 13*time.Microsecond)
-	e.Shard(2, "breaker_open", 0)
+	e.Shard(0, 0, "ok", false, 901*time.Microsecond)
+	e.Shard(1, 0, "shed", false, 13*time.Microsecond)
+	e.Shard(2, 0, "ok", false, 40*time.Microsecond)
+	e.Shard(2, 1, "canceled", true, 0)
+	e.Hedge(false)
 	return e
 }
 
 func TestWideEventAppendText(t *testing.T) {
 	got := string(sampleWideEvent().AppendText(nil))
 	want := "trace=0felix0000000001 status=200 dur_us=1874 partial=web " +
-		"stages=parse:12,noise:3,retrieve:901 shards=0:ok:901,1:shed:13,2:breaker_open:0"
+		"stages=parse:12,noise:3,retrieve:901 " +
+		"shards=0.0:ok:901,1.0:shed:13,2.0:ok:40,2.1:canceled:0:h hedges=0/1"
 	if got != want {
 		t.Fatalf("AppendText:\n got %q\nwant %q", got, want)
 	}
@@ -43,10 +46,10 @@ func TestWideEventAppendText(t *testing.T) {
 	if got := string(e.AppendStages(nil)); got != "parse:12,noise:3,retrieve:901" {
 		t.Fatalf("AppendStages = %q", got)
 	}
-	if got := string(e.AppendShards(nil)); !strings.HasPrefix(got, "0:ok:901,") {
+	if got := string(e.AppendShards(nil)); !strings.HasPrefix(got, "0.0:ok:901,") {
 		t.Fatalf("AppendShards = %q", got)
 	}
-	if len(e.Stages()) != 3 || len(e.Shards()) != 3 {
+	if len(e.Stages()) != 3 || len(e.Shards()) != 4 {
 		t.Fatalf("views: %d stages %d shards", len(e.Stages()), len(e.Shards()))
 	}
 }
@@ -57,7 +60,7 @@ func TestWideEventCapsAndReset(t *testing.T) {
 		e.Stage("s", time.Microsecond)
 	}
 	for i := 0; i < MaxWideShards+3; i++ {
-		e.Shard(i, "ok", 0)
+		e.Shard(i, 0, "ok", false, 0)
 	}
 	if len(e.Stages()) != MaxWideStages || len(e.Shards()) != MaxWideShards {
 		t.Fatalf("caps not enforced: %d/%d", len(e.Stages()), len(e.Shards()))
@@ -75,7 +78,8 @@ func TestWideEventNilSafe(t *testing.T) {
 	var e *WideEvent
 	e.Reset()
 	e.Stage("parse", time.Second)
-	e.Shard(0, "ok", 0)
+	e.Shard(0, 0, "ok", false, 0)
+	e.Hedge(true)
 	if e.Stages() != nil || e.Shards() != nil {
 		t.Fatal("nil event returned views")
 	}
